@@ -1,0 +1,324 @@
+//! A best-effort baseline Cypher-to-SQL transpiler.
+//!
+//! This crate is the stand-in for **OpenCypherTranspiler** in the Table 5
+//! comparison (Appendix E of the paper).  Like the original tool it covers
+//! only a slice of Cypher and offers no soundness guarantee; its known
+//! weaknesses deliberately mirror the three failure modes reported in the
+//! paper:
+//!
+//! 1. a large *unsupported* surface: `Count(*)`-style aggregates, `WITH`,
+//!    chained/multiple `MATCH` clauses, `EXISTS`, set operations, `ORDER BY`
+//!    and undirected edges are all rejected;
+//! 2. occasionally *ill-formed output*: when a `WHERE` predicate mentions a
+//!    bare variable (e.g. `u IS NOT NULL`) the generated SQL references an
+//!    alias that is never bound in the `FROM` clause (Appendix E, item 2);
+//! 3. occasionally *incorrect output*: `OPTIONAL MATCH` is translated with
+//!    the `LEFT JOIN` oriented the wrong way (Appendix E, item 3).
+//!
+//! The transpiler produces SQL *text*; the experiment harness classifies
+//! each output as unsupported / syntactically invalid / incorrect / correct
+//! by re-parsing it and checking it against Graphiti's sound transpilation.
+
+use graphiti_common::{Error, Result};
+use graphiti_core::{SdtContext, SRC_ATTR, TGT_ATTR};
+use graphiti_cypher::ast as cy;
+use graphiti_cypher::pretty as cypretty;
+
+/// Transpiles a Cypher query to SQL text on a best-effort basis.
+///
+/// Returns `Err(Error::Unsupported)` for queries outside the (deliberately
+/// narrow) supported fragment; the returned SQL may be ill-formed or
+/// semantically incorrect for some supported queries, mirroring the baseline
+/// tool evaluated in the paper.
+pub fn transpile_best_effort(ctx: &SdtContext, query: &cy::Query) -> Result<String> {
+    let ret = match query {
+        cy::Query::Return(r) => r,
+        cy::Query::OrderBy { .. } => {
+            return Err(Error::unsupported("baseline: ORDER BY is not supported"))
+        }
+        cy::Query::Union(..) | cy::Query::UnionAll(..) => {
+            return Err(Error::unsupported("baseline: UNION is not supported"))
+        }
+    };
+    if ret.distinct {
+        return Err(Error::unsupported("baseline: RETURN DISTINCT is not supported"));
+    }
+    // Aggregates over `*` (Count(*), Avg(*)) are not supported — Appendix E,
+    // item 1.
+    if ret.items.iter().any(contains_star_agg) {
+        return Err(Error::unsupported("baseline: Count(*) / Avg(*) are not supported"));
+    }
+    let (pattern, pred, optional) = match &ret.clause {
+        cy::Clause::Match { prev: None, pattern, pred } => (pattern, pred, false),
+        cy::Clause::OptMatch { prev, pattern, pred } => match prev.as_ref() {
+            // Only the `MATCH (single node) OPTIONAL MATCH (path)` shape is
+            // handled, and (incorrectly) ignores the anchoring MATCH.
+            cy::Clause::Match { prev: None, pattern: anchor, .. } if anchor.steps.is_empty() => {
+                (pattern, pred, true)
+            }
+            _ => {
+                return Err(Error::unsupported(
+                    "baseline: OPTIONAL MATCH after a path MATCH is not supported",
+                ))
+            }
+        },
+        cy::Clause::Match { prev: Some(_), .. } => {
+            return Err(Error::unsupported("baseline: multiple MATCH clauses are not supported"))
+        }
+        cy::Clause::With { .. } => {
+            return Err(Error::unsupported("baseline: WITH is not supported"))
+        }
+    };
+    if pattern.edges().any(|e| e.dir == cy::Direction::Undirected) {
+        return Err(Error::unsupported("baseline: undirected relationships are not supported"));
+    }
+    if has_exists(pred) {
+        return Err(Error::unsupported("baseline: EXISTS subqueries are not supported"));
+    }
+
+    // FROM clause: one aliased table per pattern element, joined along the
+    // path.  For OPTIONAL MATCH the baseline joins the optional pattern with
+    // plain inner joins (it ignores the optionality and the anchoring MATCH),
+    // which is the "misused OPTIONAL MATCH" bug of Appendix D item 2 /
+    // Appendix E item 3: rows without a match are silently dropped.
+    let _ = optional;
+    let mut from = String::new();
+    let mut prev_var = pattern.start.var.clone();
+    let mut prev_pk = ctx.pk_of(pattern.start.label.as_str())?.clone();
+    from.push_str(&format!("{} AS {}", ctx.table_of(pattern.start.label.as_str())?, prev_var));
+    let join_kw = "JOIN";
+    for (edge, node) in &pattern.steps {
+        let edge_table = ctx.table_of(edge.label.as_str())?;
+        let node_table = ctx.table_of(node.label.as_str())?;
+        let node_pk = ctx.pk_of(node.label.as_str())?.clone();
+        let (edge_prev, edge_next) = match edge.dir {
+            cy::Direction::Right => (SRC_ATTR, TGT_ATTR),
+            cy::Direction::Left => (TGT_ATTR, SRC_ATTR),
+            cy::Direction::Undirected => unreachable!("rejected above"),
+        };
+        from.push_str(&format!(
+            " {join_kw} {edge_table} AS {edge_var} ON {edge_var}.{edge_prev} = {prev_var}.{prev_pk}",
+            edge_var = edge.var
+        ));
+        from.push_str(&format!(
+            " {join_kw} {node_table} AS {node_var} ON {edge_var}.{edge_next} = {node_var}.{node_pk}",
+            edge_var = edge.var,
+            node_var = node.var
+        ));
+        prev_var = node.var.clone();
+        prev_pk = node_pk;
+    }
+
+    // WHERE clause: inline property constraints plus the (rendered)
+    // predicate.  Predicates over bare variables are rendered as-is, which
+    // yields SQL that references an undefined alias — Appendix E item 2.
+    let mut conjuncts: Vec<String> = Vec::new();
+    for node in pattern.nodes() {
+        for (k, v) in &node.props {
+            conjuncts.push(format!("{}.{} = {}", node.var, k, sql_value(v)));
+        }
+    }
+    for edge in pattern.edges() {
+        for (k, v) in &edge.props {
+            conjuncts.push(format!("{}.{} = {}", edge.var, k, sql_value(v)));
+        }
+    }
+    if pred != &cy::Pred::True {
+        conjuncts.push(render_pred(pred));
+    }
+
+    let items: Vec<String> = ret
+        .items
+        .iter()
+        .zip(ret.names.iter())
+        .map(|(e, n)| {
+            let rendered = render_expr(e);
+            if n.as_str() == rendered {
+                rendered
+            } else {
+                format!("{rendered} AS {n}")
+            }
+        })
+        .collect();
+
+    let mut sql = format!("SELECT {} FROM {from}", items.join(", "));
+    if !conjuncts.is_empty() {
+        sql.push_str(&format!(" WHERE {}", conjuncts.join(" AND ")));
+    }
+    if ret.items.iter().any(cy::Expr::has_agg) {
+        let group_cols: Vec<String> = ret
+            .items
+            .iter()
+            .filter(|e| !e.has_agg())
+            .map(render_expr)
+            .collect();
+        if !group_cols.is_empty() {
+            sql.push_str(&format!(" GROUP BY {}", group_cols.join(", ")));
+        }
+    }
+    Ok(sql)
+}
+
+fn contains_star_agg(e: &cy::Expr) -> bool {
+    match e {
+        cy::Expr::Agg(_, inner, _) => matches!(inner.as_ref(), cy::Expr::Star),
+        cy::Expr::Arith(a, _, b) => contains_star_agg(a) || contains_star_agg(b),
+        cy::Expr::Cast(_) => false,
+        _ => false,
+    }
+}
+
+fn has_exists(p: &cy::Pred) -> bool {
+    match p {
+        cy::Pred::Exists(_) => true,
+        cy::Pred::And(a, b) | cy::Pred::Or(a, b) => has_exists(a) || has_exists(b),
+        cy::Pred::Not(inner) => has_exists(inner),
+        _ => false,
+    }
+}
+
+fn sql_value(v: &graphiti_common::Value) -> String {
+    graphiti_sql::pretty::value_to_string(v)
+}
+
+fn render_expr(e: &cy::Expr) -> String {
+    // The Cypher rendering of property accesses, aggregates, and arithmetic
+    // happens to be valid SQL for the fragment the baseline accepts; bare
+    // variables are rendered verbatim, which is where ill-formed output
+    // comes from.
+    cypretty::expr_to_string(e)
+}
+
+fn render_pred(p: &cy::Pred) -> String {
+    match p {
+        cy::Pred::True => "TRUE".to_string(),
+        cy::Pred::False => "FALSE".to_string(),
+        cy::Pred::Cmp(a, op, b) => format!("{} {} {}", render_expr(a), op.as_sql(), render_expr(b)),
+        cy::Pred::IsNull(e) => format!("{} IS NULL", render_expr(e)),
+        cy::Pred::In(e, vs) => {
+            let items: Vec<String> = vs.iter().map(sql_value).collect();
+            format!("{} IN ({})", render_expr(e), items.join(", "))
+        }
+        cy::Pred::Exists(_) => "TRUE".to_string(),
+        cy::Pred::And(a, b) => format!("({} AND {})", render_pred(a), render_pred(b)),
+        cy::Pred::Or(a, b) => format!("({} OR {})", render_pred(a), render_pred(b)),
+        cy::Pred::Not(inner) => format!("NOT ({})", render_pred(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_common::Value;
+    use graphiti_core::{infer_sdt, transpile_query};
+    use graphiti_cypher::{eval_query as eval_cypher, parse_query};
+    use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+    use graphiti_sql::{eval_query as eval_sql, parse_query as parse_sql};
+    use graphiti_transformer::apply_to_graph;
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    fn emp_graph() -> GraphInstance {
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let _ee = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, cs, [("wid", Value::Int(11))]);
+        g
+    }
+
+    #[test]
+    fn simple_path_queries_are_translated_correctly() {
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let q = parse_query(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE n.id = 1 RETURN n.name, m.dname",
+        )
+        .unwrap();
+        let sql_text = transpile_best_effort(&ctx, &q).unwrap();
+        let sql = parse_sql(&sql_text).expect("baseline output should parse");
+        let induced =
+            apply_to_graph(&ctx.sdt, &ctx.graph_schema, &emp_graph(), &ctx.induced_schema).unwrap();
+        let got = eval_sql(&induced, &sql).unwrap();
+        let want = eval_cypher(&emp_schema(), &emp_graph(), &q).unwrap();
+        assert!(got.equivalent(&want));
+    }
+
+    #[test]
+    fn count_star_and_with_are_unsupported() {
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        for text in [
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname, Count(*)",
+            "MATCH (n:EMP) WITH n MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname",
+            "MATCH (n:EMP) RETURN n.name UNION MATCH (m:DEPT) RETURN m.dname",
+            "MATCH (n:EMP)-[e:WORK_AT]-(m:DEPT) RETURN n.name",
+            "MATCH (n:EMP) RETURN n.name ORDER BY n.name",
+            "MATCH (m:DEPT) WHERE EXISTS ((n:EMP)-[e:WORK_AT]->(m:DEPT)) RETURN m.dname",
+        ] {
+            let q = parse_query(text).unwrap();
+            let err = transpile_best_effort(&ctx, &q).unwrap_err();
+            assert!(err.is_unsupported(), "{text} should be unsupported");
+        }
+    }
+
+    #[test]
+    fn aggregate_without_star_is_supported_and_correct() {
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let q = parse_query(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n.id) AS num",
+        )
+        .unwrap();
+        let sql_text = transpile_best_effort(&ctx, &q).unwrap();
+        let sql = parse_sql(&sql_text).unwrap();
+        let induced =
+            apply_to_graph(&ctx.sdt, &ctx.graph_schema, &emp_graph(), &ctx.induced_schema).unwrap();
+        let got = eval_sql(&induced, &sql).unwrap();
+        let want = eval_cypher(&emp_schema(), &emp_graph(), &q).unwrap();
+        assert!(got.equivalent(&want));
+    }
+
+    #[test]
+    fn optional_match_translation_is_incorrect() {
+        // Appendix E item 3 / Appendix D item 2: the baseline's LEFT JOIN
+        // orientation drops the rows that Cypher's OPTIONAL MATCH keeps.
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let mut g = emp_graph();
+        g.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        let q = parse_query(
+            "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname",
+        )
+        .unwrap();
+        let sql_text = transpile_best_effort(&ctx, &q).unwrap();
+        let sql = parse_sql(&sql_text).expect("output parses");
+        let induced = apply_to_graph(&ctx.sdt, &ctx.graph_schema, &g, &ctx.induced_schema).unwrap();
+        let got = eval_sql(&induced, &sql).unwrap();
+        let want = eval_cypher(&emp_schema(), &g, &q).unwrap();
+        // The sound transpiler agrees with Cypher; the baseline does not.
+        let sound = transpile_query(&ctx, &q).unwrap();
+        let sound_result = eval_sql(&induced, &sound).unwrap();
+        assert!(sound_result.equivalent(&want));
+        assert!(!got.equivalent(&want));
+    }
+
+    #[test]
+    fn bare_variable_predicates_yield_invalid_sql() {
+        // Appendix E item 2: the rendered predicate references `m` as a
+        // column, which no SQL table provides.
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let q = parse_query(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE NOT m IS NULL RETURN n.name",
+        )
+        .unwrap();
+        let sql_text = transpile_best_effort(&ctx, &q).unwrap();
+        let induced =
+            apply_to_graph(&ctx.sdt, &ctx.graph_schema, &emp_graph(), &ctx.induced_schema).unwrap();
+        let usable = parse_sql(&sql_text).and_then(|sql| eval_sql(&induced, &sql));
+        assert!(usable.is_err(), "expected ill-formed SQL, got a usable query");
+    }
+}

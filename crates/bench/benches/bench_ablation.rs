@@ -1,0 +1,75 @@
+//! Ablation benchmarks for design choices called out in DESIGN.md:
+//!
+//! * selection pushdown in the SQL evaluator (optimized vs unoptimized
+//!   evaluation of a textbook `FROM a, b, c WHERE ...` query);
+//! * BMC instance generation with vs without query-constant seeding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_benchmarks::{build_databases, schemas};
+use graphiti_checkers::{BoundedChecker, ValueDomain};
+use graphiti_core::infer_sdt;
+use graphiti_sql::{eval_query, eval_query_unoptimized, parse_query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let domain = schemas::employees();
+    let ctx = infer_sdt(&domain.graph_schema).unwrap();
+    let dbs = build_databases(
+        &ctx,
+        &domain.transformer().unwrap(),
+        &domain.target_schema,
+        300,
+        2,
+        3,
+    )
+    .unwrap();
+    let textbook = parse_query(
+        "SELECT e.EmpName, d.DeptName FROM Employee AS e, Assignment AS a, Department AS d \
+         WHERE e.EmpId = a.EmpRef AND a.DeptRef = d.DeptNo AND d.DeptNo < 50",
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("eval_with_selection_pushdown", |b| {
+        b.iter(|| eval_query(&dbs.target, &textbook).unwrap().len())
+    });
+    group.bench_function("eval_without_selection_pushdown", |b| {
+        b.iter(|| eval_query_unoptimized(&dbs.target, &textbook).unwrap().len())
+    });
+
+    let sql = parse_query("SELECT e.ename FROM EMP AS e WHERE e.id = 7").unwrap();
+    group.bench_function("bmc_instances_with_constant_seeding", |b| {
+        let checker = BoundedChecker::default();
+        let domain_pool = ValueDomain::from_queries(&[&sql]);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut rows = 0usize;
+            for _ in 0..50 {
+                rows += checker
+                    .generate_instance(&ctx.induced_schema, 4, &domain_pool, &mut rng)
+                    .total_rows();
+            }
+            rows
+        })
+    });
+    group.bench_function("bmc_instances_without_constant_seeding", |b| {
+        let checker = BoundedChecker::default();
+        let empty_pool = ValueDomain::from_queries(&[]);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut rows = 0usize;
+            for _ in 0..50 {
+                rows += checker
+                    .generate_instance(&ctx.induced_schema, 4, &empty_pool, &mut rng)
+                    .total_rows();
+            }
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

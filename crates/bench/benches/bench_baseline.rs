@@ -1,0 +1,35 @@
+//! Criterion benchmark for the baseline transpiler comparison (Table 5):
+//! best-effort transpilation plus differential classification over a corpus
+//! subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_baseline::transpile_best_effort;
+use graphiti_bench::table5;
+use graphiti_benchmarks::small_corpus;
+use graphiti_core::infer_sdt;
+
+fn bench_baseline(c: &mut Criterion) {
+    let corpus = small_corpus(20);
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function("best_effort_transpile", |b| {
+        b.iter(|| {
+            let mut supported = 0usize;
+            for bench in &corpus {
+                if let (Ok(cypher), Ok(ctx)) = (bench.cypher(), infer_sdt(&bench.graph_schema)) {
+                    if transpile_best_effort(&ctx, &cypher).is_ok() {
+                        supported += 1;
+                    }
+                }
+            }
+            supported
+        })
+    });
+    group.bench_function("table5_classification", |b| {
+        b.iter(|| table5(&corpus, 8).rows.last().unwrap().correct)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmark for the bounded-model-checking backend (the engine
+//! behind Table 2): refutation of the motivating example's buggy pair and
+//! bounded verification of a correct pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_benchmarks::full_corpus;
+use graphiti_checkers::BoundedChecker;
+use graphiti_core::reduce;
+use std::time::Duration;
+
+fn bench_bmc(c: &mut Criterion) {
+    let corpus = full_corpus();
+    let buggy = corpus.iter().find(|b| b.id == "stackoverflow/optional-vs-inner-join").unwrap();
+    let correct = corpus.iter().find(|b| b.id == "academic/concept-lookup").unwrap();
+
+    let prepare = |b: &graphiti_benchmarks::Benchmark| {
+        let cypher = b.cypher().unwrap();
+        let sql = b.sql().unwrap();
+        let transformer = b.transformer().unwrap();
+        let reduction = reduce(&b.graph_schema, &cypher, &transformer).unwrap();
+        (reduction, sql, b.target_schema.clone())
+    };
+    let buggy_prep = prepare(buggy);
+    let correct_prep = prepare(correct);
+
+    let mut group = c.benchmark_group("bmc");
+    group.sample_size(10);
+    group.bench_function("refute_optional_vs_inner_join", |bench| {
+        bench.iter(|| {
+            let checker = BoundedChecker {
+                time_budget: Duration::from_secs(5),
+                ..BoundedChecker::default()
+            };
+            let (reduction, sql, target_schema) = &buggy_prep;
+            let (outcome, _) = checker
+                .check_with_stats(
+                    &reduction.ctx.induced_schema,
+                    &reduction.transpiled,
+                    target_schema,
+                    sql,
+                    &reduction.rdt,
+                )
+                .unwrap();
+            assert!(outcome.is_refuted());
+        })
+    });
+    group.bench_function("bounded_verify_concept_lookup", |bench| {
+        bench.iter(|| {
+            let checker = BoundedChecker {
+                max_bound: 3,
+                instances_per_bound: 40,
+                time_budget: Duration::from_secs(5),
+                seed: 1,
+            };
+            let (reduction, sql, target_schema) = &correct_prep;
+            let (outcome, _) = checker
+                .check_with_stats(
+                    &reduction.ctx.induced_schema,
+                    &reduction.transpiled,
+                    target_schema,
+                    sql,
+                    &reduction.rdt,
+                )
+                .unwrap();
+            assert!(outcome.is_equivalent_verdict());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bmc);
+criterion_main!(benches);

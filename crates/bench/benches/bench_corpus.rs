@@ -1,0 +1,22 @@
+//! Criterion benchmark for corpus construction and the Table 1 statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_bench::table1;
+use graphiti_benchmarks::{small_corpus, Category};
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("build_small_corpus", |b| b.iter(|| small_corpus(10).len()));
+    group.bench_function("generate_gpt_category", |b| {
+        b.iter(|| graphiti_benchmarks::generate_category(Category::GptTranslate, 20, 0).len())
+    });
+    let corpus = small_corpus(10);
+    group.bench_function("table1_statistics", |b| {
+        b.iter(|| table1(&corpus).rows.last().unwrap().count)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

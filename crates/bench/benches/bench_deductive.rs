@@ -1,0 +1,45 @@
+//! Criterion benchmark for the deductive backend (the engine behind
+//! Table 3): full verification of Mediator-style pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_benchmarks::{generate_category, Category};
+use graphiti_checkers::DeductiveChecker;
+use graphiti_core::{reduce, CheckOutcome, SqlEquivChecker};
+
+fn bench_deductive(c: &mut Criterion) {
+    let benches = generate_category(Category::Mediator, 20, 0);
+    let prepared: Vec<_> = benches
+        .iter()
+        .filter_map(|b| {
+            let cypher = b.cypher().ok()?;
+            let sql = b.sql().ok()?;
+            let transformer = b.transformer().ok()?;
+            let reduction = reduce(&b.graph_schema, &cypher, &transformer).ok()?;
+            Some((reduction, sql, b.target_schema.clone()))
+        })
+        .collect();
+    let mut group = c.benchmark_group("deductive");
+    group.sample_size(20);
+    group.bench_function("verify_mediator_pairs", |bench| {
+        let checker = DeductiveChecker::new();
+        bench.iter(|| {
+            let mut verified = 0usize;
+            for (reduction, sql, target_schema) in &prepared {
+                if let Ok(CheckOutcome::Verified) = checker.check_sql(
+                    &reduction.ctx.induced_schema,
+                    &reduction.transpiled,
+                    target_schema,
+                    sql,
+                    &reduction.rdt,
+                ) {
+                    verified += 1;
+                }
+            }
+            verified
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deductive);
+criterion_main!(benches);

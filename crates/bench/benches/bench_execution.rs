@@ -1,0 +1,41 @@
+//! Criterion benchmark for SQL execution on mock databases (the engine
+//! behind Table 4): transpiled vs manually-written query on the biomedical
+//! workload at two data scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphiti_benchmarks::{build_databases, full_corpus};
+use graphiti_core::reduce;
+use graphiti_sql::eval_query;
+
+fn bench_execution(c: &mut Criterion) {
+    let corpus = full_corpus();
+    let bench = corpus.iter().find(|b| b.id == "stackoverflow/courses-per-student").unwrap();
+    let cypher = bench.cypher().unwrap();
+    let sql = bench.sql().unwrap();
+    let transformer = bench.transformer().unwrap();
+    let reduction = reduce(&bench.graph_schema, &cypher, &transformer).unwrap();
+
+    let mut group = c.benchmark_group("execution");
+    group.sample_size(10);
+    for scale in [500usize, 2000] {
+        let dbs = build_databases(
+            &reduction.ctx,
+            &transformer,
+            &bench.target_schema,
+            scale,
+            2,
+            7,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("transpiled", scale), &dbs, |b, dbs| {
+            b.iter(|| eval_query(&dbs.induced, &reduction.transpiled).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("manual", scale), &dbs, |b, dbs| {
+            b.iter(|| eval_query(&dbs.target, &sql).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark for transpilation latency (the Section 6.3 numbers
+//! behind "transpilation takes milliseconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphiti_benchmarks::small_corpus;
+use graphiti_core::{infer_sdt, transpile_query};
+
+fn bench_transpile(c: &mut Criterion) {
+    let corpus = small_corpus(10);
+    let prepared: Vec<_> = corpus
+        .iter()
+        .filter_map(|b| {
+            let cypher = b.cypher().ok()?;
+            let ctx = infer_sdt(&b.graph_schema).ok()?;
+            Some((ctx, cypher))
+        })
+        .collect();
+    let mut group = c.benchmark_group("transpile");
+    group.sample_size(20);
+    group.bench_function("corpus_subset", |bench| {
+        bench.iter(|| {
+            let mut total_size = 0usize;
+            for (ctx, cypher) in &prepared {
+                if let Ok(sql) = transpile_query(ctx, cypher) {
+                    total_size += sql.size();
+                }
+            }
+            total_size
+        })
+    });
+    group.bench_function("single_motivating_example", |bench| {
+        let domain = graphiti_benchmarks::schemas::biomedical();
+        let ctx = infer_sdt(&domain.graph_schema).unwrap();
+        let cypher = graphiti_cypher::parse_query(
+            "MATCH (c1:CONCEPT {CID: 1})-[r1:CS]->(p1:PA)-[r2:SP]->(s:SENTENCE) WITH s \
+             MATCH (s:SENTENCE)<-[r3:SP]-(p2:PA)<-[r4:CS]-(c2:CONCEPT) RETURN c2.CID AS c, Count(*) AS n",
+        )
+        .unwrap();
+        bench.iter(|| transpile_query(&ctx, &cypher).unwrap().size())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

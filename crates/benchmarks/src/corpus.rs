@@ -1,0 +1,200 @@
+//! The benchmark corpus: categories, the `Benchmark` record, and corpus
+//! assembly mirroring Table 1 of the paper.
+
+use crate::generator::{generate_category, identity_transformer_text};
+use crate::handwritten;
+use graphiti_common::Result;
+use graphiti_cypher::Query as CypherQuery;
+use graphiti_graph::GraphSchema;
+use graphiti_relational::RelSchema;
+use graphiti_sql::SqlQuery;
+use graphiti_transformer::Transformer;
+use serde::{Deserialize, Serialize};
+
+/// The six benchmark categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Query pairs from StackOverflow posts.
+    StackOverflow,
+    /// Query pairs from tutorials (including the Neo4j "Cypher for SQL
+    /// users" guide).
+    Tutorial,
+    /// Query pairs from academic papers.
+    Academic,
+    /// SQL queries from the VeriEQL benchmark suite, manually translated to
+    /// Cypher.
+    VeriEql,
+    /// SQL query pairs from the Mediator evaluation set, rephrased as
+    /// Cypher-vs-SQL pairs over induced schemas.
+    Mediator,
+    /// SQL queries transpiled to Cypher by an LLM-style noisy translator.
+    GptTranslate,
+}
+
+impl Category {
+    /// All categories, in Table 1 order.
+    pub fn all() -> [Category; 6] {
+        [
+            Category::StackOverflow,
+            Category::Tutorial,
+            Category::Academic,
+            Category::VeriEql,
+            Category::Mediator,
+            Category::GptTranslate,
+        ]
+    }
+
+    /// Display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::StackOverflow => "StackOverflow",
+            Category::Tutorial => "Tutorial",
+            Category::Academic => "Academic",
+            Category::VeriEql => "VeriEQL",
+            Category::Mediator => "Mediator",
+            Category::GptTranslate => "GPT-Translate",
+        }
+    }
+
+    /// The number of benchmarks this category contributes in Table 1.
+    pub fn paper_count(&self) -> usize {
+        match self {
+            Category::StackOverflow => 12,
+            Category::Tutorial => 26,
+            Category::Academic => 7,
+            Category::VeriEql => 60,
+            Category::Mediator => 100,
+            Category::GptTranslate => 205,
+        }
+    }
+}
+
+/// One benchmark: a (Cypher, SQL) pair over explicit schemas plus the user
+/// transformer relating them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Stable identifier, e.g. `academic/motivating-example`.
+    pub id: String,
+    /// The category the pair belongs to.
+    pub category: Category,
+    /// The property-graph schema.
+    pub graph_schema: GraphSchema,
+    /// The target relational schema.
+    pub target_schema: RelSchema,
+    /// Cypher query text.
+    pub cypher_text: String,
+    /// SQL query text over the target schema.
+    pub sql_text: String,
+    /// Transformer text (graph labels → target tables).
+    pub transformer_text: String,
+    /// Ground truth: whether the pair is intended/known to be equivalent.
+    pub expected_equivalent: bool,
+}
+
+impl Benchmark {
+    /// Parses the Cypher side.
+    pub fn cypher(&self) -> Result<CypherQuery> {
+        graphiti_cypher::parse_query(&self.cypher_text)
+    }
+
+    /// Parses the SQL side.
+    pub fn sql(&self) -> Result<SqlQuery> {
+        graphiti_sql::parse_query(&self.sql_text)
+    }
+
+    /// Parses the transformer.
+    pub fn transformer(&self) -> Result<Transformer> {
+        graphiti_transformer::parse_transformer(&self.transformer_text)
+    }
+}
+
+/// Builds the full 410-benchmark corpus with the same per-category counts as
+/// Table 1 of the paper.
+pub fn full_corpus() -> Vec<Benchmark> {
+    corpus_with_counts(&Category::all().map(|c| (c, c.paper_count())))
+}
+
+/// Builds a smaller corpus (same proportions, scaled down) for quick runs
+/// and tests: `scale` is a divisor applied to the per-category counts.
+pub fn small_corpus(scale: usize) -> Vec<Benchmark> {
+    let scale = scale.max(1);
+    corpus_with_counts(
+        &Category::all().map(|c| (c, (c.paper_count() / scale).max(2))),
+    )
+}
+
+/// Builds a corpus with explicit per-category counts.
+pub fn corpus_with_counts(counts: &[(Category, usize)]) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for (category, count) in counts {
+        let mut items = handwritten::handwritten_for(*category);
+        items.truncate(*count);
+        let missing = count.saturating_sub(items.len());
+        if missing > 0 {
+            items.extend(generate_category(*category, missing, items.len()));
+        }
+        out.extend(items);
+    }
+    out
+}
+
+/// Re-export of the identity-transformer helper (used by examples and the
+/// harness when the target schema *is* the induced schema).
+pub fn identity_transformer_for(schema: &RelSchema) -> String {
+    identity_transformer_text(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_corpus_matches_table_1_counts() {
+        let corpus = full_corpus();
+        assert_eq!(corpus.len(), 410);
+        for cat in Category::all() {
+            let n = corpus.iter().filter(|b| b.category == cat).count();
+            assert_eq!(n, cat.paper_count(), "count for {}", cat.name());
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_parse() {
+        // Parsing all 410 queries is cheap; evaluating/checking them is left
+        // to the experiment harness.
+        for b in full_corpus() {
+            assert!(b.cypher().is_ok(), "cypher of {} does not parse: {}", b.id, b.cypher_text);
+            assert!(b.sql().is_ok(), "sql of {} does not parse: {}", b.id, b.sql_text);
+            assert!(b.transformer().is_ok(), "transformer of {} does not parse", b.id);
+            assert!(b.graph_schema.validate().is_ok(), "graph schema of {}", b.id);
+            assert!(b.target_schema.validate().is_ok(), "target schema of {}", b.id);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let corpus = full_corpus();
+        let mut ids: Vec<&str> = corpus.iter().map(|b| b.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn small_corpus_has_all_categories() {
+        let corpus = small_corpus(20);
+        for cat in Category::all() {
+            assert!(corpus.iter().any(|b| b.category == cat));
+        }
+    }
+
+    #[test]
+    fn corpus_contains_known_buggy_pairs() {
+        let corpus = full_corpus();
+        let buggy = corpus.iter().filter(|b| !b.expected_equivalent).count();
+        // 1 StackOverflow + 1 Tutorial + 1 Academic + 4 VeriEQL + 0 Mediator
+        // + 27 GPT-Translate = 34, as in Table 2.
+        assert_eq!(buggy, 34);
+    }
+}

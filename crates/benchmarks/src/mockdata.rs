@@ -1,0 +1,179 @@
+//! Mock database instances for the execution-time experiment (Table 4).
+//!
+//! The paper generates mock relational instances with 10k–1M tuples per
+//! table and compares the execution time of transpiled vs manually-written
+//! SQL.  We generate scalable property-graph instances, derive the induced
+//! relational instance through the SDT and the target relational instance
+//! through the user transformer, so the two queries of a benchmark run over
+//! data that satisfies `Φ_rdt(R') = R` by construction.
+
+use graphiti_common::Value;
+use graphiti_core::SdtContext;
+use graphiti_graph::{GraphInstance, GraphSchema, NodeId};
+use graphiti_relational::{RelInstance, RelSchema};
+use graphiti_transformer::{apply_to_graph, Transformer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Generates a property-graph instance with `nodes_per_label` nodes per node
+/// type and roughly `edges_per_node` outgoing edges per source node.
+///
+/// Property values are small integers and short strings drawn from a pool
+/// that includes the constants used by the hand-written benchmarks (company
+/// names, years, ...) so that selective predicates still match some rows.
+pub fn generate_graph(
+    schema: &GraphSchema,
+    nodes_per_label: usize,
+    edges_per_node: usize,
+    seed: u64,
+) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = GraphInstance::new();
+    let mut ids_by_label: HashMap<String, Vec<NodeId>> = HashMap::new();
+    let string_pool = [
+        "Drachenblut Delikatessen",
+        "Atropine",
+        "Aspirin",
+        "Alice",
+        "Bob",
+        "Carol",
+        "CS",
+        "EE",
+        "Widget",
+        "Gadget",
+    ];
+    for node_ty in &schema.node_types {
+        let mut ids = Vec::with_capacity(nodes_per_label);
+        for i in 0..nodes_per_label {
+            let mut props: Vec<(String, Value)> = Vec::with_capacity(node_ty.keys.len());
+            for (ki, key) in node_ty.keys.iter().enumerate() {
+                let value = if ki == 0 {
+                    // Default (primary) key: unique per label.
+                    Value::Int(i as i64)
+                } else if rng.gen_bool(0.5) {
+                    Value::Int(rng.gen_range(0..2500))
+                } else {
+                    Value::Str(string_pool[rng.gen_range(0..string_pool.len())].to_string())
+                };
+                props.push((key.as_str().to_string(), value));
+            }
+            ids.push(graph.add_node(node_ty.label.clone(), props));
+        }
+        ids_by_label.insert(node_ty.label.as_str().to_string(), ids);
+    }
+    let mut edge_counter: i64 = 0;
+    for edge_ty in &schema.edge_types {
+        let sources = ids_by_label.get(edge_ty.src.as_str()).cloned().unwrap_or_default();
+        let targets = ids_by_label.get(edge_ty.tgt.as_str()).cloned().unwrap_or_default();
+        if targets.is_empty() {
+            continue;
+        }
+        for &src in &sources {
+            for _ in 0..edges_per_node {
+                let tgt = targets[rng.gen_range(0..targets.len())];
+                let mut props: Vec<(String, Value)> = Vec::with_capacity(edge_ty.keys.len());
+                for (ki, key) in edge_ty.keys.iter().enumerate() {
+                    let value = if ki == 0 {
+                        edge_counter += 1;
+                        Value::Int(edge_counter)
+                    } else {
+                        Value::Int(rng.gen_range(0..50))
+                    };
+                    props.push((key.as_str().to_string(), value));
+                }
+                graph.add_edge(edge_ty.label.clone(), src, tgt, props);
+            }
+        }
+    }
+    graph
+}
+
+/// Everything Table 4 needs for one benchmark: the graph, the induced
+/// relational instance (for the transpiled query) and the target relational
+/// instance (for the manually-written query).
+#[derive(Debug, Clone)]
+pub struct MockDatabases {
+    /// The generated property graph.
+    pub graph: GraphInstance,
+    /// Its image under the standard database transformer.
+    pub induced: RelInstance,
+    /// Its image under the user transformer (the target schema instance).
+    pub target: RelInstance,
+}
+
+/// Builds matched induced/target instances from a generated graph.
+pub fn build_databases(
+    ctx: &SdtContext,
+    user_transformer: &Transformer,
+    target_schema: &RelSchema,
+    nodes_per_label: usize,
+    edges_per_node: usize,
+    seed: u64,
+) -> graphiti_common::Result<MockDatabases> {
+    let graph = generate_graph(&ctx.graph_schema, nodes_per_label, edges_per_node, seed);
+    let induced = apply_to_graph(&ctx.sdt, &ctx.graph_schema, &graph, &ctx.induced_schema)?;
+    let target = apply_to_graph(user_transformer, &ctx.graph_schema, &graph, target_schema)?;
+    Ok(MockDatabases { graph, induced, target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas;
+    use graphiti_core::infer_sdt;
+
+    #[test]
+    fn generated_graphs_are_schema_valid() {
+        for domain in schemas::all_domains() {
+            let g = generate_graph(&domain.graph_schema, 30, 2, 11);
+            assert!(g.validate(&domain.graph_schema).is_ok(), "domain {}", domain.name);
+            assert_eq!(
+                g.node_count(),
+                30 * domain.graph_schema.node_types.len(),
+                "domain {}",
+                domain.name
+            );
+            assert!(g.edge_count() > 0);
+        }
+    }
+
+    #[test]
+    fn databases_are_consistent_with_schemas() {
+        let domain = schemas::employees();
+        let ctx = infer_sdt(&domain.graph_schema).unwrap();
+        let dbs = build_databases(
+            &ctx,
+            &domain.transformer().unwrap(),
+            &domain.target_schema,
+            50,
+            2,
+            42,
+        )
+        .unwrap();
+        assert!(dbs.induced.validate(&ctx.induced_schema).is_ok());
+        // The target instance has one Assignment row per WORK_AT edge.
+        assert_eq!(
+            dbs.target.table("Assignment").unwrap().len(),
+            dbs.graph.edge_count()
+        );
+        assert_eq!(dbs.target.table("Employee").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let domain = schemas::movies();
+        let a = generate_graph(&domain.graph_schema, 20, 3, 5);
+        let b = generate_graph(&domain.graph_schema, 20, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_parameter_controls_size() {
+        let domain = schemas::university();
+        let small = generate_graph(&domain.graph_schema, 10, 1, 1);
+        let large = generate_graph(&domain.graph_schema, 100, 2, 1);
+        assert!(large.node_count() > small.node_count());
+        assert!(large.edge_count() > small.edge_count());
+    }
+}

@@ -1,0 +1,246 @@
+//! Domain schemas used by the benchmark corpus.
+//!
+//! Each [`Domain`] bundles a graph schema, a "natural" target relational
+//! schema (the kind a DBA would write, with different table/column names
+//! than the induced schema), and the database transformer connecting them —
+//! the three schema-level inputs of every benchmark in the paper's corpus.
+
+use graphiti_common::Result;
+use graphiti_graph::{EdgeType, GraphSchema, NodeType};
+use graphiti_relational::{Constraint, RelSchema, Relation};
+use graphiti_transformer::{parse_transformer, Transformer};
+
+/// A benchmark domain: schemas on both sides plus the transformer.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Short identifier (used in benchmark ids).
+    pub name: &'static str,
+    /// The property-graph schema.
+    pub graph_schema: GraphSchema,
+    /// The target relational schema.
+    pub target_schema: RelSchema,
+    /// Textual form of the user transformer (graph labels → target tables).
+    pub transformer_text: String,
+}
+
+impl Domain {
+    /// Parses the transformer text.
+    pub fn transformer(&self) -> Result<Transformer> {
+        parse_transformer(&self.transformer_text)
+    }
+}
+
+/// The biomedical SemMedDB-style domain of the motivating example (Fig. 2).
+pub fn biomedical() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("CONCEPT", ["CID", "Name"]))
+        .with_node(NodeType::new("PA", ["PID", "PCSID"]))
+        .with_node(NodeType::new("SENTENCE", ["SID", "PMID"]))
+        .with_edge(EdgeType::new("CS", "CONCEPT", "PA", ["CSEID", "CSID"]))
+        .with_edge(EdgeType::new("SP", "PA", "SENTENCE", ["SPID", "SPSID"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Concept", ["CID", "NAME"]))
+        .with_relation(Relation::new("Cs", ["CID", "CSID"]))
+        .with_relation(Relation::new("Pa", ["PID", "CSID"]))
+        .with_relation(Relation::new("Sp", ["SPID", "SID", "PID"]))
+        .with_relation(Relation::new("Sentence", ["SID", "PMID"]))
+        .with_constraint(Constraint::pk("Concept", "CID"))
+        .with_constraint(Constraint::pk("Pa", "PID"))
+        .with_constraint(Constraint::pk("Sp", "SPID"))
+        .with_constraint(Constraint::pk("Sentence", "SID"));
+    // Figure 5, adapted to this crate's edge-fact convention (property keys
+    // first, then source and target default keys).
+    let transformer_text = "\
+CONCEPT(cid, name) -> Concept(cid, name)
+CONCEPT(cid, _), CS(cseid, csid, cid, pid), PA(pid, _) -> Cs(cid, csid)
+PA(pid, pcsid) -> Pa(pid, pcsid)
+PA(pid, _), SP(spid, spsid, pid, sid), SENTENCE(sid, _) -> Sp(spid, sid, pid)
+SENTENCE(sid, pmid) -> Sentence(sid, pmid)"
+        .to_string();
+    Domain { name: "biomedical", graph_schema, target_schema, transformer_text }
+}
+
+/// A small human-resources domain (Fig. 14): employees working at
+/// departments.
+pub fn employees() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("EMP", ["id", "ename"]))
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Employee", ["EmpId", "EmpName"]))
+        .with_relation(Relation::new("Department", ["DeptNo", "DeptName"]))
+        .with_relation(Relation::new("Assignment", ["AId", "EmpRef", "DeptRef"]))
+        .with_constraint(Constraint::pk("Employee", "EmpId"))
+        .with_constraint(Constraint::pk("Department", "DeptNo"))
+        .with_constraint(Constraint::pk("Assignment", "AId"))
+        .with_constraint(Constraint::fk("Assignment", "EmpRef", "Employee", "EmpId"))
+        .with_constraint(Constraint::fk("Assignment", "DeptRef", "Department", "DeptNo"));
+    let transformer_text = "\
+EMP(id, ename) -> Employee(id, ename)
+DEPT(dnum, dname) -> Department(dnum, dname)
+WORK_AT(wid, src, tgt) -> Assignment(wid, src, tgt)"
+        .to_string();
+    Domain { name: "employees", graph_schema, target_schema, transformer_text }
+}
+
+/// A retail/Northwind-style domain: customers purchasing orders that contain
+/// products (used by the Neo4j-tutorial benchmarks).
+pub fn retail() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("Customer", ["CustomerID", "CompanyName"]))
+        .with_node(NodeType::new("Order", ["OrderID", "OrderDate"]))
+        .with_node(NodeType::new("Product", ["ProductID", "ProductName"]))
+        .with_edge(EdgeType::new("PURCHASED", "Customer", "Order", ["PuId"]))
+        .with_edge(EdgeType::new("CONTAINS", "Order", "Product", ["OdId", "UnitPrice", "Quantity"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Customers", ["CustomerID", "CompanyName"]))
+        .with_relation(Relation::new("Orders", ["OrderID", "OrderDate", "CustomerID2"]))
+        .with_relation(Relation::new(
+            "OrderDetails",
+            ["OdId", "UnitPrice", "Quantity", "OrderID2", "ProductID2"],
+        ))
+        .with_relation(Relation::new("Products", ["ProductID", "ProductName"]))
+        .with_constraint(Constraint::pk("Customers", "CustomerID"))
+        .with_constraint(Constraint::pk("Orders", "OrderID"))
+        .with_constraint(Constraint::pk("OrderDetails", "OdId"))
+        .with_constraint(Constraint::pk("Products", "ProductID"))
+        .with_constraint(Constraint::fk("Orders", "CustomerID2", "Customers", "CustomerID"))
+        .with_constraint(Constraint::fk("OrderDetails", "OrderID2", "Orders", "OrderID"))
+        .with_constraint(Constraint::fk("OrderDetails", "ProductID2", "Products", "ProductID"));
+    let transformer_text = "\
+Customer(cid, cname) -> Customers(cid, cname)
+Order(oid, odate), PURCHASED(puid, cid, oid) -> Orders(oid, odate, cid)
+CONTAINS(odid, price, qty, oid, pid) -> OrderDetails(odid, price, qty, oid, pid)
+Product(pid, pname) -> Products(pid, pname)"
+        .to_string();
+    Domain { name: "retail", graph_schema, target_schema, transformer_text }
+}
+
+/// A social-network domain: users posting pictures and following each other.
+pub fn social() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("USR", ["UsrId", "UsrName"]))
+        .with_node(NodeType::new("PIC", ["PicId", "PicSize"]))
+        .with_edge(EdgeType::new("POSTED", "USR", "PIC", ["PostId", "PostDate"]))
+        .with_edge(EdgeType::new("FOLLOWS", "USR", "USR", ["FId"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Users", ["UId", "UName"]))
+        .with_relation(Relation::new("Pictures", ["PId", "PSize"]))
+        .with_relation(Relation::new("Posts", ["PostKey", "PostWhen", "Poster", "Picture"]))
+        .with_relation(Relation::new("Followers", ["FKey", "Follower", "Followee"]))
+        .with_constraint(Constraint::pk("Users", "UId"))
+        .with_constraint(Constraint::pk("Pictures", "PId"))
+        .with_constraint(Constraint::pk("Posts", "PostKey"))
+        .with_constraint(Constraint::pk("Followers", "FKey"))
+        .with_constraint(Constraint::fk("Posts", "Poster", "Users", "UId"))
+        .with_constraint(Constraint::fk("Posts", "Picture", "Pictures", "PId"))
+        .with_constraint(Constraint::fk("Followers", "Follower", "Users", "UId"))
+        .with_constraint(Constraint::fk("Followers", "Followee", "Users", "UId"));
+    let transformer_text = "\
+USR(uid, uname) -> Users(uid, uname)
+PIC(pid, psize) -> Pictures(pid, psize)
+POSTED(postid, postdate, uid, pid) -> Posts(postid, postdate, uid, pid)
+FOLLOWS(fid, a, b) -> Followers(fid, a, b)"
+        .to_string();
+    Domain { name: "social", graph_schema, target_schema, transformer_text }
+}
+
+/// A university domain: students enrolling in courses taught by lecturers.
+pub fn university() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("STUDENT", ["StuId", "StuName", "Year"]))
+        .with_node(NodeType::new("COURSE", ["CrsId", "CrsTitle", "Credits"]))
+        .with_edge(EdgeType::new("ENROLLED", "STUDENT", "COURSE", ["EnrId", "Grade"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Students", ["SId", "SName", "SYear"]))
+        .with_relation(Relation::new("Courses", ["CId", "CTitle", "CCredits"]))
+        .with_relation(Relation::new("Enrollments", ["EId", "EGrade", "EStu", "ECrs"]))
+        .with_constraint(Constraint::pk("Students", "SId"))
+        .with_constraint(Constraint::pk("Courses", "CId"))
+        .with_constraint(Constraint::pk("Enrollments", "EId"))
+        .with_constraint(Constraint::fk("Enrollments", "EStu", "Students", "SId"))
+        .with_constraint(Constraint::fk("Enrollments", "ECrs", "Courses", "CId"));
+    let transformer_text = "\
+STUDENT(sid, sname, year) -> Students(sid, sname, year)
+COURSE(cid, ctitle, credits) -> Courses(cid, ctitle, credits)
+ENROLLED(eid, grade, sid, cid) -> Enrollments(eid, grade, sid, cid)"
+        .to_string();
+    Domain { name: "university", graph_schema, target_schema, transformer_text }
+}
+
+/// A movies domain: actors acting in movies.
+pub fn movies() -> Domain {
+    let graph_schema = GraphSchema::new()
+        .with_node(NodeType::new("ACTOR", ["ActId", "ActName", "Dob"]))
+        .with_node(NodeType::new("MOVIE", ["MovId", "Title", "ReleaseYear"]))
+        .with_edge(EdgeType::new("ACTS_IN", "ACTOR", "MOVIE", ["RoleId", "Role"]));
+    let target_schema = RelSchema::new()
+        .with_relation(Relation::new("Actors", ["AId", "AName", "ADob"]))
+        .with_relation(Relation::new("Movies", ["MId", "MTitle", "MYear"]))
+        .with_relation(Relation::new("Casting", ["CastId", "CastRole", "CastActor", "CastMovie"]))
+        .with_constraint(Constraint::pk("Actors", "AId"))
+        .with_constraint(Constraint::pk("Movies", "MId"))
+        .with_constraint(Constraint::pk("Casting", "CastId"))
+        .with_constraint(Constraint::fk("Casting", "CastActor", "Actors", "AId"))
+        .with_constraint(Constraint::fk("Casting", "CastMovie", "Movies", "MId"));
+    let transformer_text = "\
+ACTOR(aid, aname, dob) -> Actors(aid, aname, dob)
+MOVIE(mid, title, year) -> Movies(mid, title, year)
+ACTS_IN(rid, role, aid, mid) -> Casting(rid, role, aid, mid)"
+        .to_string();
+    Domain { name: "movies", graph_schema, target_schema, transformer_text }
+}
+
+/// All benchmark domains.
+pub fn all_domains() -> Vec<Domain> {
+    vec![biomedical(), employees(), retail(), social(), university(), movies()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_core::infer_sdt;
+
+    #[test]
+    fn all_domains_are_well_formed() {
+        for d in all_domains() {
+            assert!(d.graph_schema.validate().is_ok(), "graph schema of {}", d.name);
+            assert!(d.target_schema.validate().is_ok(), "target schema of {}", d.name);
+            let t = d.transformer().unwrap_or_else(|e| panic!("transformer of {}: {e}", d.name));
+            assert!(t.is_safe(), "transformer of {}", d.name);
+            assert!(infer_sdt(&d.graph_schema).is_ok(), "SDT of {}", d.name);
+        }
+    }
+
+    #[test]
+    fn transformer_heads_match_target_tables() {
+        for d in all_domains() {
+            let t = d.transformer().unwrap();
+            for head in t.head_names() {
+                assert!(
+                    d.target_schema.has_relation(head.as_str()),
+                    "{}: head `{head}` is not a target table",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transformer_arities_match_target_tables() {
+        for d in all_domains() {
+            let t = d.transformer().unwrap();
+            for rule in &t.rules {
+                let rel = d.target_schema.relation(rule.head.name.as_str()).unwrap();
+                assert_eq!(
+                    rel.arity(),
+                    rule.head.arity(),
+                    "{}: rule head `{}` arity mismatch",
+                    d.name,
+                    rule.head.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Bounded model checking backend (the VeriEQL substitute).
+//!
+//! VeriEQL encodes bounded symbolic tables into SMT; we do not have an SMT
+//! solver available, so this backend explores the same search space
+//! *enumeratively*: it generates relational instances of the induced schema
+//! with up to `bound` rows per table (respecting primary keys, foreign keys,
+//! and not-null constraints), pushes each instance through the residual
+//! transformer to obtain the corresponding target instance, executes both
+//! queries with the reference SQL evaluator, and compares the result tables
+//! under Definition 4.4.
+//!
+//! Like VeriEQL, the checker either produces a concrete counterexample or
+//! reports "no counterexample up to bound k" — it never proves full
+//! equivalence.  Value domains are seeded with the constants appearing in
+//! the two queries so that constant-guarded paths are exercised.
+
+use graphiti_common::{Result, Value};
+use graphiti_core::{CheckOutcome, Counterexample, SqlEquivChecker};
+use graphiti_relational::{Constraint, RelInstance, RelSchema, Table};
+use graphiti_sql::{eval_query, SqlPred, SqlQuery};
+use graphiti_transformer::{apply_to_relational, Transformer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of the bounded checker.
+#[derive(Debug, Clone)]
+pub struct BoundedChecker {
+    /// Largest per-table row count to explore.
+    pub max_bound: usize,
+    /// Number of randomized instances generated per bound.
+    pub instances_per_bound: usize,
+    /// Wall-clock budget; the search stops (reporting the bound reached) when
+    /// it is exhausted.
+    pub time_budget: Duration,
+    /// RNG seed, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for BoundedChecker {
+    fn default() -> Self {
+        BoundedChecker {
+            max_bound: 6,
+            instances_per_bound: 120,
+            time_budget: Duration::from_secs(10),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl BoundedChecker {
+    /// A checker with a specific time budget (and default bounds).
+    pub fn with_budget(time_budget: Duration) -> Self {
+        BoundedChecker { time_budget, ..Default::default() }
+    }
+
+    /// Generates one random instance of `schema` with at most `bound` rows
+    /// per table.
+    pub fn generate_instance(
+        &self,
+        schema: &RelSchema,
+        bound: usize,
+        domain: &ValueDomain,
+        rng: &mut StdRng,
+    ) -> RelInstance {
+        let mut inst = RelInstance::empty_of(schema);
+        // Fill tables without foreign keys first so that FK targets exist.
+        let mut order: Vec<usize> = (0..schema.relations.len()).collect();
+        order.sort_by_key(|&i| schema.foreign_keys(schema.relations[i].name.as_str()).len());
+        for idx in order {
+            let rel = &schema.relations[idx];
+            let name = rel.name.as_str();
+            let pk = schema.primary_key(name).cloned();
+            let fks = schema.foreign_keys(name);
+            let not_nulls: Vec<&str> = schema
+                .constraints
+                .iter()
+                .filter_map(|c| match c {
+                    Constraint::NotNull { relation, attr } if relation.eq_ignore_case(name) => {
+                        Some(attr.as_str())
+                    }
+                    _ => None,
+                })
+                .collect();
+            let rows = rng.gen_range(0..=bound);
+            let mut table = Table::new(rel.attrs.iter().map(|a| a.as_str().to_string()));
+            let mut used_pks: Vec<Value> = Vec::new();
+            'rows: for row_idx in 0..rows {
+                let mut row = Vec::with_capacity(rel.arity());
+                for attr in &rel.attrs {
+                    let is_pk = pk.as_ref().map(|p| p == attr).unwrap_or(false);
+                    let fk = fks.iter().find(|(a, _, _)| *a == attr);
+                    let value = if is_pk {
+                        // Unique small integers, occasionally drawn from the
+                        // constant pool to make constant predicates fire.
+                        let mut v = domain.pick_key(rng, attr.as_str(), row_idx);
+                        let mut attempts = 0;
+                        while used_pks.contains(&v) && attempts < 8 {
+                            v = Value::Int(rng.gen_range(0..(4 * bound as i64 + 4)));
+                            attempts += 1;
+                        }
+                        if used_pks.contains(&v) {
+                            continue 'rows;
+                        }
+                        used_pks.push(v.clone());
+                        v
+                    } else if let Some((_, ref_rel, ref_attr)) = fk {
+                        // Pick an existing referenced value.
+                        let referenced = inst
+                            .table(ref_rel.as_str())
+                            .and_then(|t| {
+                                let idx = t.column_index(ref_attr.as_str())?;
+                                if t.rows.is_empty() {
+                                    None
+                                } else {
+                                    let pick = rng.gen_range(0..t.rows.len());
+                                    Some(t.rows[pick][idx].clone())
+                                }
+                            });
+                        match referenced {
+                            Some(v) => v,
+                            None => continue 'rows,
+                        }
+                    } else {
+                        let nullable = !not_nulls.contains(&attr.as_str());
+                        domain.pick_value(rng, attr.as_str(), nullable)
+                    };
+                    row.push(value);
+                }
+                table.push_row(row);
+            }
+            inst.insert_table(name.to_string(), table);
+        }
+        inst
+    }
+}
+
+/// The pool of values used to populate generated instances.
+#[derive(Debug, Clone, Default)]
+pub struct ValueDomain {
+    ints: Vec<i64>,
+    strings: Vec<String>,
+    /// Constants seen in comparisons against a specific (unqualified,
+    /// lower-cased) column name, which dramatically improves the odds of
+    /// triggering constant-guarded query paths.
+    per_column: std::collections::HashMap<String, Vec<Value>>,
+}
+
+impl ValueDomain {
+    /// Builds a domain seeded with the constants of the given queries.
+    pub fn from_queries(queries: &[&SqlQuery]) -> Self {
+        let mut domain = ValueDomain {
+            ints: vec![0, 1, 2],
+            strings: vec!["a".into(), "b".into()],
+            per_column: Default::default(),
+        };
+        for q in queries {
+            collect_query_constants(q, &mut domain);
+        }
+        domain.ints.sort_unstable();
+        domain.ints.dedup();
+        domain.strings.sort();
+        domain.strings.dedup();
+        domain
+    }
+
+    fn note_column_constant(&mut self, column: &str, value: &Value) {
+        let key = column.rsplit('.').next().unwrap_or(column).to_ascii_lowercase();
+        self.per_column.entry(key).or_default().push(value.clone());
+    }
+
+    fn column_pool(&self, attr: &str) -> Option<&[Value]> {
+        self.per_column.get(&attr.to_ascii_lowercase()).map(|v| v.as_slice())
+    }
+
+    fn pick_key(&self, rng: &mut StdRng, attr: &str, row_idx: usize) -> Value {
+        if let Some(pool) = self.column_pool(attr) {
+            if rng.gen_bool(0.6) {
+                return pool[rng.gen_range(0..pool.len())].clone();
+            }
+        }
+        if !self.ints.is_empty() && rng.gen_bool(0.5) {
+            Value::Int(self.ints[rng.gen_range(0..self.ints.len())])
+        } else {
+            Value::Int(row_idx as i64)
+        }
+    }
+
+    fn pick_value(&self, rng: &mut StdRng, attr: &str, nullable: bool) -> Value {
+        if nullable && rng.gen_bool(0.08) {
+            return Value::Null;
+        }
+        if let Some(pool) = self.column_pool(attr) {
+            if rng.gen_bool(0.6) {
+                return pool[rng.gen_range(0..pool.len())].clone();
+            }
+        }
+        if !self.strings.is_empty() && rng.gen_bool(0.3) {
+            return Value::Str(self.strings[rng.gen_range(0..self.strings.len())].clone());
+        }
+        if self.ints.is_empty() {
+            Value::Int(rng.gen_range(0..4))
+        } else {
+            Value::Int(self.ints[rng.gen_range(0..self.ints.len())])
+        }
+    }
+}
+
+fn collect_query_constants(q: &SqlQuery, domain: &mut ValueDomain) {
+    fn from_value(v: &Value, domain: &mut ValueDomain) {
+        match v {
+            Value::Int(i) => {
+                // Include neighbours so that strict comparisons can be
+                // satisfied on both sides.
+                domain.ints.extend([*i - 1, *i, *i + 1]);
+            }
+            Value::Float(f) => domain.ints.push(*f as i64),
+            Value::Str(s) => domain.strings.push(s.clone()),
+            _ => {}
+        }
+    }
+    fn from_expr(e: &graphiti_sql::SqlExpr, domain: &mut ValueDomain) {
+        use graphiti_sql::SqlExpr as E;
+        match e {
+            E::Value(v) => from_value(v, domain),
+            E::Cast(p) => from_pred(p, domain),
+            E::Agg(_, inner, _) => from_expr(inner, domain),
+            E::Arith(a, _, b) => {
+                from_expr(a, domain);
+                from_expr(b, domain);
+            }
+            _ => {}
+        }
+    }
+    fn from_pred(p: &SqlPred, domain: &mut ValueDomain) {
+        use graphiti_sql::SqlExpr as E;
+        match p {
+            SqlPred::Cmp(a, _, b) => {
+                // Remember column-vs-constant comparisons per column name.
+                if let (E::Col(c), E::Value(v)) = (a.as_ref(), b.as_ref()) {
+                    domain.note_column_constant(&c.render(), v);
+                }
+                if let (E::Value(v), E::Col(c)) = (a.as_ref(), b.as_ref()) {
+                    domain.note_column_constant(&c.render(), v);
+                }
+                from_expr(a, domain);
+                from_expr(b, domain);
+            }
+            SqlPred::IsNull(e) => from_expr(e, domain),
+            SqlPred::InList(e, vs) => {
+                if let E::Col(c) = e.as_ref() {
+                    for v in vs {
+                        domain.note_column_constant(&c.render(), v);
+                    }
+                }
+                from_expr(e, domain);
+                vs.iter().for_each(|v| from_value(v, domain));
+            }
+            SqlPred::InQuery(es, sub) => {
+                es.iter().for_each(|e| from_expr(e, domain));
+                collect_query_constants(sub, domain);
+            }
+            SqlPred::Exists(sub) => collect_query_constants(sub, domain),
+            SqlPred::And(a, b) | SqlPred::Or(a, b) => {
+                from_pred(a, domain);
+                from_pred(b, domain);
+            }
+            SqlPred::Not(inner) => from_pred(inner, domain),
+            SqlPred::Bool(_) => {}
+        }
+    }
+    match q {
+        SqlQuery::Table(_) => {}
+        SqlQuery::Project { input, items, .. } => {
+            items.iter().for_each(|i| from_expr(&i.expr, domain));
+            collect_query_constants(input, domain);
+        }
+        SqlQuery::Select { input, pred } => {
+            from_pred(pred, domain);
+            collect_query_constants(input, domain);
+        }
+        SqlQuery::Rename { input, .. } | SqlQuery::OrderBy { input, .. } => {
+            collect_query_constants(input, domain);
+        }
+        SqlQuery::Join { left, right, pred, .. } => {
+            from_pred(pred, domain);
+            collect_query_constants(left, domain);
+            collect_query_constants(right, domain);
+        }
+        SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => {
+            collect_query_constants(a, domain);
+            collect_query_constants(b, domain);
+        }
+        SqlQuery::GroupBy { input, keys, items, having } => {
+            keys.iter().for_each(|k| from_expr(k, domain));
+            items.iter().for_each(|i| from_expr(&i.expr, domain));
+            from_pred(having, domain);
+            collect_query_constants(input, domain);
+        }
+        SqlQuery::With { definition, body, .. } => {
+            collect_query_constants(definition, domain);
+            collect_query_constants(body, domain);
+        }
+    }
+}
+
+/// Statistics reported by the bounded checker alongside its verdict.
+#[derive(Debug, Clone, Default)]
+pub struct BmcStats {
+    /// Largest bound fully explored.
+    pub checked_bound: usize,
+    /// Number of instances evaluated.
+    pub instances: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl BoundedChecker {
+    /// Runs the bounded check and additionally returns search statistics
+    /// (used by the Table 2 harness).
+    pub fn check_with_stats(
+        &self,
+        induced_schema: &RelSchema,
+        induced_query: &SqlQuery,
+        target_schema: &RelSchema,
+        target_query: &SqlQuery,
+        rdt: &Transformer,
+    ) -> Result<(CheckOutcome, BmcStats)> {
+        let start = Instant::now();
+        let mut stats = BmcStats::default();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let domain = ValueDomain::from_queries(&[induced_query, target_query]);
+        let ordered = is_ordered(induced_query) && is_ordered(target_query);
+        // Keep sweeping bounds 1..=max_bound with fresh random instances
+        // until either a counterexample is found or the time budget runs out
+        // (VeriEQL similarly keeps growing its bound within the time limit).
+        'search: loop {
+            for bound in 1..=self.max_bound {
+                for _ in 0..self.instances_per_bound {
+                    if start.elapsed() > self.time_budget {
+                        break 'search;
+                    }
+                    let induced = self.generate_instance(induced_schema, bound, &domain, &mut rng);
+                    stats.instances += 1;
+                    let target = match apply_to_relational(rdt, &induced, target_schema) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    };
+                    let left = match eval_query(&induced, induced_query) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    };
+                    let right = match eval_query(&target, target_query) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    };
+                    let same = if ordered {
+                        left.equivalent_ordered(&right)
+                    } else {
+                        left.equivalent(&right)
+                    };
+                    if !same {
+                        stats.elapsed = start.elapsed();
+                        stats.checked_bound = stats.checked_bound.max(bound);
+                        let cex = Counterexample {
+                            induced_instance: induced,
+                            target_instance: target,
+                            graph_instance: None,
+                            graph_side_result: left,
+                            relational_side_result: right,
+                        };
+                        return Ok((CheckOutcome::Refuted(Box::new(cex)), stats));
+                    }
+                }
+                stats.checked_bound = stats.checked_bound.max(bound);
+            }
+            if start.elapsed() > self.time_budget {
+                break;
+            }
+        }
+        stats.elapsed = start.elapsed();
+        Ok((CheckOutcome::BoundedEquivalent { bound: stats.checked_bound }, stats))
+    }
+}
+
+fn is_ordered(q: &SqlQuery) -> bool {
+    matches!(q, SqlQuery::OrderBy { .. })
+}
+
+impl SqlEquivChecker for BoundedChecker {
+    fn check_sql(
+        &self,
+        induced_schema: &RelSchema,
+        induced_query: &SqlQuery,
+        target_schema: &RelSchema,
+        target_query: &SqlQuery,
+        rdt: &Transformer,
+    ) -> Result<CheckOutcome> {
+        self.check_with_stats(induced_schema, induced_query, target_schema, target_query, rdt)
+            .map(|(outcome, _)| outcome)
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-model-checker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_core::{check_equivalence, infer_sdt, reduce};
+    use graphiti_cypher::parse_query as parse_cypher;
+    use graphiti_graph::{EdgeType, GraphSchema, NodeType};
+    use graphiti_sql::parse_query as parse_sql;
+    use graphiti_transformer::parse_transformer;
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    /// Target relational schema with different table/column names than the
+    /// induced one, plus the transformer connecting them.
+    fn target_schema() -> graphiti_relational::RelSchema {
+        use graphiti_relational::{Constraint, RelSchema, Relation};
+        RelSchema::new()
+            .with_relation(Relation::new("Employee", ["EmpId", "EmpName"]))
+            .with_relation(Relation::new("Department", ["DeptNo", "DeptName"]))
+            .with_relation(Relation::new("Assignment", ["AId", "EmpId2", "DeptNo2"]))
+            .with_constraint(Constraint::pk("Employee", "EmpId"))
+            .with_constraint(Constraint::pk("Department", "DeptNo"))
+            .with_constraint(Constraint::pk("Assignment", "AId"))
+    }
+
+    fn user_transformer() -> graphiti_transformer::Transformer {
+        parse_transformer(
+            "EMP(id, name) -> Employee(id, name)\n\
+             DEPT(dnum, dname) -> Department(dnum, dname)\n\
+             WORK_AT(wid, src, tgt) -> Assignment(wid, src, tgt)",
+        )
+        .unwrap()
+    }
+
+    fn quick_checker() -> BoundedChecker {
+        BoundedChecker {
+            max_bound: 4,
+            instances_per_bound: 400,
+            time_budget: Duration::from_secs(30),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn equivalent_pair_is_bounded_verified() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n) AS num",
+        )
+        .unwrap();
+        let sql = parse_sql(
+            "SELECT d.DeptName AS name, Count(*) AS num FROM Employee AS e \
+             JOIN Assignment AS a ON e.EmpId = a.EmpId2 \
+             JOIN Department AS d ON a.DeptNo2 = d.DeptNo GROUP BY d.DeptName",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &quick_checker(),
+        )
+        .unwrap();
+        assert!(outcome.is_equivalent_verdict(), "unexpected outcome: {outcome:?}");
+    }
+
+    #[test]
+    fn inequivalent_pair_is_refuted_with_graph_counterexample() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n) AS num",
+        )
+        .unwrap();
+        // Bug: counts departments per employee name instead (grouping by the
+        // wrong column) — not equivalent.
+        let sql = parse_sql(
+            "SELECT e.EmpName AS name, Count(*) AS num FROM Employee AS e \
+             JOIN Assignment AS a ON e.EmpId = a.EmpId2 \
+             JOIN Department AS d ON a.DeptNo2 = d.DeptNo GROUP BY e.EmpName",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &quick_checker(),
+        )
+        .unwrap();
+        match outcome {
+            CheckOutcome::Refuted(cex) => {
+                let g = cex.graph_instance.expect("graph counterexample");
+                assert!(g.node_count() > 0);
+                assert!(!cex.graph_side_result.equivalent(&cex.relational_side_result));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn appendix_d_item_3_wrong_variable_bug_is_refuted() {
+        // The VeriEQL-category bug from Appendix D: the Cypher query fails to
+        // introduce a second DEPT node, so its filter collapses to
+        // `t0.EmpNo = 5` on the joined department.
+        let graph_schema = GraphSchema::new()
+            .with_node(NodeType::new("EMPN", ["EmpNo", "EName", "DeptNoRef"]))
+            .with_node(NodeType::new("DEPTN", ["DeptNo", "DName"]))
+            .with_edge(EdgeType::new("WORK_IN", "EMPN", "DEPTN", ["wid"]));
+        let target = {
+            use graphiti_relational::{Constraint, RelSchema, Relation};
+            RelSchema::new()
+                .with_relation(Relation::new("EMP", ["EmpNo", "EName", "DeptNo"]))
+                .with_relation(Relation::new("DEPT", ["DeptNo", "DName"]))
+                .with_constraint(Constraint::pk("EMP", "EmpNo"))
+                .with_constraint(Constraint::pk("DEPT", "DeptNo"))
+        };
+        let transformer = parse_transformer(
+            "EMPN(e, n, d) -> EMP(e, n, d)\nDEPTN(d, n) -> DEPT(d, n)",
+        )
+        .unwrap();
+        let sql = parse_sql(
+            "SELECT t0.EmpNo, t0.DeptNo, t1.DeptNo AS DeptNo0 FROM ( \
+               SELECT EmpNo, EName, DeptNo, DeptNo + EmpNo AS f9 FROM EMP WHERE EmpNo = 10 \
+             ) AS t0 JOIN (SELECT DeptNo, DName, DeptNo + 5 AS f2 FROM DEPT) AS t1 \
+             ON t0.EmpNo = t1.DeptNo AND t0.f9 = t1.f2",
+        )
+        .unwrap();
+        let cypher = parse_cypher(
+            "MATCH (t0:EMPN {EmpNo: 10})-[w:WORK_IN]->(t1:DEPTN) \
+             WHERE t1.DeptNo + t0.EmpNo = t1.DeptNo + 5 \
+             RETURN t0.EmpNo, t1.DeptNo, t1.DeptNo AS DeptNo0",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &graph_schema,
+            &cypher,
+            &target,
+            &sql,
+            &transformer,
+            &quick_checker(),
+        )
+        .unwrap();
+        assert!(outcome.is_refuted(), "expected refutation, got {outcome:?}");
+    }
+
+    #[test]
+    fn generated_instances_respect_constraints() {
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let checker = quick_checker();
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain = ValueDomain::from_queries(&[]);
+        for bound in 1..=4 {
+            for _ in 0..25 {
+                let inst = checker.generate_instance(&ctx.induced_schema, bound, &domain, &mut rng);
+                assert!(inst.validate(&ctx.induced_schema).is_ok());
+                for (_, t) in inst.tables() {
+                    assert!(t.len() <= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_bound_and_instances() {
+        let cypher = parse_cypher("MATCH (n:EMP) RETURN n.id").unwrap();
+        let user = user_transformer();
+        let reduction = reduce(&emp_schema(), &cypher, &user).unwrap();
+        let sql = parse_sql("SELECT e.EmpId FROM Employee AS e").unwrap();
+        let checker = quick_checker();
+        let (outcome, stats) = checker
+            .check_with_stats(
+                &reduction.ctx.induced_schema,
+                &reduction.transpiled,
+                &target_schema(),
+                &sql,
+                &reduction.rdt,
+            )
+            .unwrap();
+        assert!(outcome.is_equivalent_verdict());
+        assert!(stats.instances > 0);
+        assert!(stats.checked_bound >= 1);
+    }
+}

@@ -1,0 +1,846 @@
+//! Deductive verification backend (the Mediator substitute).
+//!
+//! Mediator proves full (unbounded) equivalence of SQL queries over
+//! different schemas connected by a transformer, for a fragment without
+//! aggregation or outer joins.  This backend reproduces that behaviour with
+//! a classical decision procedure instead of SMT:
+//!
+//! 1. The residual transformer's rules are read as *view definitions*: each
+//!    target table is a union of conjunctive queries over the induced
+//!    schema.  The target-side query is unfolded through these views so that
+//!    both queries range over the induced schema.
+//! 2. Both queries are normalized into unions of conjunctive queries (UCQs):
+//!    select-project-join-rename trees with equality predicates only.
+//! 3. Two UCQs are equivalent under bag semantics iff their conjunctive
+//!    queries can be matched up to isomorphism; the backend searches for
+//!    such a matching and reports `Verified` when it finds one.
+//!
+//! Anything outside the fragment (aggregation, outer joins, `DISTINCT`,
+//! subqueries, non-equality predicates, arithmetic) yields `Unknown`, as
+//! does failure to find an isomorphism — the procedure is sound but
+//! incomplete and never produces counterexamples, exactly like Mediator.
+
+use graphiti_common::{CmpOp, Error, Result, Value};
+use graphiti_core::{CheckOutcome, SqlEquivChecker};
+use graphiti_relational::RelSchema;
+use graphiti_sql::{ColumnRef, JoinKind, SelectItem, SqlExpr, SqlPred, SqlQuery};
+use graphiti_transformer::{Term, Transformer};
+use std::collections::HashMap;
+
+/// Configuration of the deductive checker.
+#[derive(Debug, Clone)]
+pub struct DeductiveChecker {
+    /// Upper bound on CQ atoms before the isomorphism search gives up (a
+    /// safeguard against pathological inputs).
+    pub max_atoms: usize,
+}
+
+impl Default for DeductiveChecker {
+    fn default() -> Self {
+        DeductiveChecker::new()
+    }
+}
+
+impl DeductiveChecker {
+    /// Creates a checker with the default limits.
+    pub fn new() -> Self {
+        DeductiveChecker { max_atoms: 24 }
+    }
+
+    /// Returns `true` if the query lies in the supported fragment
+    /// (aggregation-free, outer-join-free, subquery-free, `DISTINCT`-free).
+    pub fn supports(&self, q: &SqlQuery) -> bool {
+        fragment_ok(q)
+    }
+}
+
+fn fragment_ok(q: &SqlQuery) -> bool {
+    match q {
+        SqlQuery::Table(_) => true,
+        SqlQuery::Project { input, items, distinct } => {
+            !*distinct
+                && items.iter().all(|i| matches!(i.expr, SqlExpr::Col(_) | SqlExpr::Value(_)))
+                && fragment_ok(input)
+        }
+        SqlQuery::Select { input, pred } => pred_ok(pred) && fragment_ok(input),
+        SqlQuery::Rename { input, .. } => fragment_ok(input),
+        SqlQuery::Join { left, right, kind, pred } => {
+            matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && pred_ok(pred)
+                && fragment_ok(left)
+                && fragment_ok(right)
+        }
+        SqlQuery::UnionAll(a, b) => fragment_ok(a) && fragment_ok(b),
+        SqlQuery::Union(..) => false,
+        SqlQuery::GroupBy { .. } => false,
+        SqlQuery::OrderBy { .. } => false,
+        SqlQuery::With { definition, body, .. } => fragment_ok(definition) && fragment_ok(body),
+    }
+}
+
+fn pred_ok(p: &SqlPred) -> bool {
+    match p {
+        SqlPred::Bool(_) => true,
+        SqlPred::Cmp(a, op, b) => {
+            *op == CmpOp::Eq
+                && matches!(a.as_ref(), SqlExpr::Col(_) | SqlExpr::Value(_))
+                && matches!(b.as_ref(), SqlExpr::Col(_) | SqlExpr::Value(_))
+        }
+        SqlPred::And(a, b) => pred_ok(a) && pred_ok(b),
+        _ => false,
+    }
+}
+
+// ------------------------------------------------------------- CQ structure
+
+/// A conjunctive query in normal form.
+#[derive(Debug, Clone)]
+struct Cq {
+    /// Atoms: `(table, slot per column)`.
+    atoms: Vec<(String, Vec<usize>)>,
+    /// Union-find parent array over slots.
+    parent: Vec<usize>,
+    /// Constant attached to a slot class, if any.
+    consts: HashMap<usize, Value>,
+    /// Output slots (projection), in order.
+    output: Vec<Slot>,
+    /// Output column names (for name resolution only; ignored by
+    /// isomorphism).
+    out_names: Vec<String>,
+}
+
+/// An output slot: either a variable slot or a constant column.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Var(usize),
+    Const(Value),
+}
+
+impl Cq {
+    fn new_slot(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> Result<()> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        let ca = self.consts.get(&ra).cloned();
+        let cb = self.consts.get(&rb).cloned();
+        if let (Some(x), Some(y)) = (&ca, &cb) {
+            if !x.strict_eq(y) {
+                return Err(Error::checker("unsatisfiable conjunctive query"));
+            }
+        }
+        self.parent[ra] = rb;
+        if let Some(x) = ca {
+            self.consts.insert(rb, x);
+        }
+        Ok(())
+    }
+
+    fn set_const(&mut self, slot: usize, v: Value) -> Result<()> {
+        let r = self.find(slot);
+        if let Some(existing) = self.consts.get(&r) {
+            if !existing.strict_eq(&v) {
+                return Err(Error::checker("unsatisfiable conjunctive query"));
+            }
+        }
+        self.consts.insert(r, v);
+        Ok(())
+    }
+
+    /// Resolves an output column reference to its slot.
+    fn resolve(&self, cref: &ColumnRef) -> Option<Slot> {
+        let idx = graphiti_sql::resolve_column(&self.out_names, cref)?;
+        Some(self.output[idx].clone())
+    }
+
+    /// Canonicalizes slots through the union-find so later comparisons can
+    /// use the roots directly.
+    fn canonical(&self) -> CanonicalCq {
+        let root_const = |slot: usize| self.consts.get(&self.find(slot)).cloned();
+        CanonicalCq {
+            atoms: self
+                .atoms
+                .iter()
+                .map(|(t, slots)| {
+                    (
+                        t.to_ascii_lowercase(),
+                        slots
+                            .iter()
+                            .map(|&s| (self.find(s), root_const(s)))
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+            output: self
+                .output
+                .iter()
+                .map(|s| match s {
+                    Slot::Var(v) => (Some(self.find(*v)), root_const(*v)),
+                    Slot::Const(c) => (None, Some(c.clone())),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A CQ with union-find roots resolved, ready for isomorphism checking.
+#[derive(Debug, Clone)]
+struct CanonicalCq {
+    /// Atoms: table name plus, per position, the slot root and its constant.
+    atoms: Vec<(String, Vec<(usize, Option<Value>)>)>,
+    /// Output positions: slot root (None for pure constants) and constant.
+    output: Vec<(Option<usize>, Option<Value>)>,
+}
+
+// ---------------------------------------------------------- normalization
+
+struct Normalizer<'a> {
+    /// Views: table name (lower-cased) -> UCQ definition.
+    views: HashMap<String, Vec<Cq>>,
+    /// Base schema used to determine column names of base tables.
+    schema: &'a RelSchema,
+}
+
+impl<'a> Normalizer<'a> {
+    fn normalize(&self, q: &SqlQuery) -> Result<Vec<Cq>> {
+        match q {
+            SqlQuery::Table(name) => {
+                if let Some(view) = self.views.get(&name.as_str().to_ascii_lowercase()) {
+                    // Re-qualify the view's output columns with the table name.
+                    return Ok(view
+                        .iter()
+                        .map(|cq| {
+                            let mut cq = cq.clone();
+                            cq.out_names = cq
+                                .out_names
+                                .iter()
+                                .map(|c| format!("{name}.{}", unqualified(c)))
+                                .collect();
+                            cq
+                        })
+                        .collect());
+                }
+                let rel = self.schema.relation(name.as_str()).ok_or_else(|| {
+                    Error::checker(format!("unknown table `{name}` during normalization"))
+                })?;
+                let mut cq = Cq {
+                    atoms: Vec::new(),
+                    parent: Vec::new(),
+                    consts: HashMap::new(),
+                    output: Vec::new(),
+                    out_names: Vec::new(),
+                };
+                let slots: Vec<usize> = rel.attrs.iter().map(|_| cq.new_slot()).collect();
+                cq.atoms.push((rel.name.as_str().to_string(), slots.clone()));
+                cq.output = slots.into_iter().map(Slot::Var).collect();
+                cq.out_names =
+                    rel.attrs.iter().map(|a| format!("{}.{}", name, a.as_str())).collect();
+                Ok(vec![cq])
+            }
+            SqlQuery::Rename { input, alias } => {
+                let mut cqs = self.normalize(input)?;
+                for cq in &mut cqs {
+                    cq.out_names = cq
+                        .out_names
+                        .iter()
+                        .map(|c| format!("{alias}.{}", unqualified(c)))
+                        .collect();
+                }
+                Ok(cqs)
+            }
+            SqlQuery::Select { input, pred } => {
+                let cqs = self.normalize(input)?;
+                let mut out = Vec::new();
+                for cq in cqs {
+                    match apply_pred(cq, pred) {
+                        Ok(cq) => out.push(cq),
+                        Err(_) => { /* unsatisfiable disjunct: drop */ }
+                    }
+                }
+                Ok(out)
+            }
+            SqlQuery::Project { input, items, distinct } => {
+                if *distinct {
+                    return Err(Error::unsupported("DISTINCT is outside the deductive fragment"));
+                }
+                let cqs = self.normalize(input)?;
+                let mut out = Vec::new();
+                for cq in cqs {
+                    let mut projected = cq.clone();
+                    let mut output = Vec::new();
+                    let mut names = Vec::new();
+                    for item in items {
+                        match &item.expr {
+                            SqlExpr::Col(c) => {
+                                let slot = cq.resolve(c).ok_or_else(|| {
+                                    Error::checker(format!(
+                                        "cannot resolve column `{}` during normalization",
+                                        c.render()
+                                    ))
+                                })?;
+                                output.push(slot);
+                            }
+                            SqlExpr::Value(v) => output.push(Slot::Const(v.clone())),
+                            _ => {
+                                return Err(Error::unsupported(
+                                    "only plain columns are supported in the deductive fragment",
+                                ))
+                            }
+                        }
+                        names.push(item.output_name());
+                    }
+                    projected.output = output;
+                    projected.out_names = names;
+                    out.push(projected);
+                }
+                Ok(out)
+            }
+            SqlQuery::Join { left, right, kind, pred } => {
+                if !matches!(kind, JoinKind::Inner | JoinKind::Cross) {
+                    return Err(Error::unsupported(
+                        "outer joins are outside the deductive fragment",
+                    ));
+                }
+                let lefts = self.normalize(left)?;
+                let rights = self.normalize(right)?;
+                let mut out = Vec::new();
+                for l in &lefts {
+                    for r in &rights {
+                        let combined = combine(l, r);
+                        match apply_pred(combined, pred) {
+                            Ok(cq) => out.push(cq),
+                            Err(_) => {}
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            SqlQuery::UnionAll(a, b) => {
+                let mut out = self.normalize(a)?;
+                out.extend(self.normalize(b)?);
+                Ok(out)
+            }
+            SqlQuery::With { name, definition, body } => {
+                let def = self.normalize(definition)?;
+                let mut extended = Normalizer { views: self.views.clone(), schema: self.schema };
+                extended.views.insert(name.as_str().to_ascii_lowercase(), def);
+                extended.normalize(body)
+            }
+            SqlQuery::Union(..) | SqlQuery::GroupBy { .. } | SqlQuery::OrderBy { .. } => Err(
+                Error::unsupported("query is outside the deductive fragment"),
+            ),
+        }
+    }
+}
+
+fn unqualified(name: &str) -> &str {
+    name.rsplit_once('.').map(|(_, s)| s).unwrap_or(name)
+}
+
+/// Concatenates two CQs (used by joins), offsetting the right CQ's slots.
+fn combine(l: &Cq, r: &Cq) -> Cq {
+    let offset = l.parent.len();
+    let mut cq = l.clone();
+    cq.parent.extend(r.parent.iter().map(|p| p + offset));
+    for (slot, v) in &r.consts {
+        cq.consts.insert(slot + offset, v.clone());
+    }
+    cq.atoms.extend(
+        r.atoms.iter().map(|(t, slots)| (t.clone(), slots.iter().map(|s| s + offset).collect())),
+    );
+    cq.output.extend(r.output.iter().map(|s| match s {
+        Slot::Var(v) => Slot::Var(v + offset),
+        Slot::Const(c) => Slot::Const(c.clone()),
+    }));
+    cq.out_names.extend(r.out_names.iter().cloned());
+    cq
+}
+
+/// Applies an equality-only predicate to a CQ, merging slots / binding
+/// constants.  Fails (Err) when the CQ becomes unsatisfiable.
+fn apply_pred(mut cq: Cq, pred: &SqlPred) -> Result<Cq> {
+    match pred {
+        SqlPred::Bool(true) => Ok(cq),
+        SqlPred::Bool(false) => Err(Error::checker("unsatisfiable")),
+        SqlPred::And(a, b) => {
+            let cq = apply_pred(cq, a)?;
+            apply_pred(cq, b)
+        }
+        SqlPred::Cmp(a, CmpOp::Eq, b) => {
+            let resolve = |cq: &Cq, e: &SqlExpr| -> Result<Slot> {
+                match e {
+                    SqlExpr::Col(c) => cq.resolve(c).ok_or_else(|| {
+                        Error::checker(format!("cannot resolve `{}`", c.render()))
+                    }),
+                    SqlExpr::Value(v) => Ok(Slot::Const(v.clone())),
+                    _ => Err(Error::unsupported("non-column expression in predicate")),
+                }
+            };
+            let sa = resolve(&cq, a)?;
+            let sb = resolve(&cq, b)?;
+            match (sa, sb) {
+                (Slot::Var(x), Slot::Var(y)) => cq.union(x, y)?,
+                (Slot::Var(x), Slot::Const(v)) | (Slot::Const(v), Slot::Var(x)) => {
+                    cq.set_const(x, v)?
+                }
+                (Slot::Const(x), Slot::Const(y)) => {
+                    if !x.strict_eq(&y) {
+                        return Err(Error::checker("unsatisfiable"));
+                    }
+                }
+            }
+            Ok(cq)
+        }
+        _ => Err(Error::unsupported("predicate outside the deductive fragment")),
+    }
+}
+
+// ------------------------------------------------------------ isomorphism
+
+/// Checks whether two canonical CQs are isomorphic: there is a bijection
+/// between their atoms (over the same tables) inducing a consistent
+/// bijection on slot roots that preserves constants and maps the output
+/// multiset onto the other output multiset.
+fn cq_isomorphic(a: &CanonicalCq, b: &CanonicalCq) -> bool {
+    if a.atoms.len() != b.atoms.len() || a.output.len() != b.output.len() {
+        return false;
+    }
+    let mut used = vec![false; b.atoms.len()];
+    let mut mapping: HashMap<usize, usize> = HashMap::new();
+    let mut reverse: HashMap<usize, usize> = HashMap::new();
+    atoms_match(a, b, 0, &mut used, &mut mapping, &mut reverse)
+}
+
+fn atoms_match(
+    a: &CanonicalCq,
+    b: &CanonicalCq,
+    idx: usize,
+    used: &mut Vec<bool>,
+    mapping: &mut HashMap<usize, usize>,
+    reverse: &mut HashMap<usize, usize>,
+) -> bool {
+    if idx == a.atoms.len() {
+        return outputs_match(a, b, mapping);
+    }
+    let (table, slots) = &a.atoms[idx];
+    for j in 0..b.atoms.len() {
+        if used[j] || &b.atoms[j].0 != table || b.atoms[j].1.len() != slots.len() {
+            continue;
+        }
+        // Try to extend the slot mapping.
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        let mut ok = true;
+        for ((sa, ca), (sb, cb)) in slots.iter().zip(b.atoms[j].1.iter()) {
+            let consts_agree = match (ca, cb) {
+                (Some(x), Some(y)) => x.strict_eq(y),
+                (None, None) => true,
+                _ => false,
+            };
+            if !consts_agree {
+                ok = false;
+                break;
+            }
+            match (mapping.get(sa), reverse.get(sb)) {
+                (Some(&m), _) if m != *sb => {
+                    ok = false;
+                    break;
+                }
+                (_, Some(&r)) if r != *sa => {
+                    ok = false;
+                    break;
+                }
+                (None, None) => {
+                    mapping.insert(*sa, *sb);
+                    reverse.insert(*sb, *sa);
+                    added.push((*sa, *sb));
+                }
+                _ => {}
+            }
+        }
+        if ok {
+            used[j] = true;
+            if atoms_match(a, b, idx + 1, used, mapping, reverse) {
+                return true;
+            }
+            used[j] = false;
+        }
+        for (sa, sb) in added {
+            mapping.remove(&sa);
+            reverse.remove(&sb);
+        }
+    }
+    false
+}
+
+fn outputs_match(a: &CanonicalCq, b: &CanonicalCq, mapping: &HashMap<usize, usize>) -> bool {
+    // Table equivalence ignores column order (Definition 4.4), so compare
+    // outputs as multisets after applying the slot mapping.
+    let project = |out: &[(Option<usize>, Option<Value>)], map: bool| -> Vec<String> {
+        let mut items: Vec<String> = out
+            .iter()
+            .map(|(slot, c)| match (slot, c) {
+                (Some(s), _) => {
+                    let s = if map { mapping.get(s).copied().unwrap_or(usize::MAX) } else { *s };
+                    format!("slot:{s}")
+                }
+                (None, Some(v)) => format!("const:{v}"),
+                (None, None) => "null".to_string(),
+            })
+            .collect();
+        items.sort();
+        items
+    };
+    project(&a.output, true) == project(&b.output, false)
+}
+
+// ------------------------------------------------------------ view building
+
+/// Builds view definitions (UCQs over the induced schema) for each target
+/// table from the residual transformer's rules.
+fn views_from_rdt(
+    rdt: &Transformer,
+    induced_schema: &RelSchema,
+    target_schema: &RelSchema,
+) -> Result<HashMap<String, Vec<Cq>>> {
+    let mut views: HashMap<String, Vec<Cq>> = HashMap::new();
+    for rule in &rdt.rules {
+        let mut cq = Cq {
+            atoms: Vec::new(),
+            parent: Vec::new(),
+            consts: HashMap::new(),
+            output: Vec::new(),
+            out_names: Vec::new(),
+        };
+        let mut var_slots: HashMap<String, usize> = HashMap::new();
+        for atom in &rule.body {
+            let rel = induced_schema.relation(atom.name.as_str()).ok_or_else(|| {
+                Error::checker(format!(
+                    "residual transformer references unknown induced table `{}`",
+                    atom.name
+                ))
+            })?;
+            if rel.arity() != atom.arity() {
+                return Err(Error::checker(format!(
+                    "residual rule uses `{}` with arity {} but the table has {}",
+                    atom.name,
+                    atom.arity(),
+                    rel.arity()
+                )));
+            }
+            let mut slots = Vec::new();
+            for term in &atom.terms {
+                let slot = match term {
+                    Term::Var(v) => *var_slots
+                        .entry(v.as_str().to_string())
+                        .or_insert_with(|| cq.new_slot()),
+                    Term::Wildcard => cq.new_slot(),
+                    Term::Const(value) => {
+                        let s = cq.new_slot();
+                        cq.set_const(s, value.clone())?;
+                        s
+                    }
+                };
+                slots.push(slot);
+            }
+            cq.atoms.push((rel.name.as_str().to_string(), slots));
+        }
+        let target_rel = target_schema.relation(rule.head.name.as_str()).ok_or_else(|| {
+            Error::checker(format!("unknown target table `{}`", rule.head.name))
+        })?;
+        if target_rel.arity() != rule.head.arity() {
+            return Err(Error::checker(format!(
+                "residual rule head `{}` has arity {} but the table has {}",
+                rule.head.name,
+                rule.head.arity(),
+                target_rel.arity()
+            )));
+        }
+        for (term, attr) in rule.head.terms.iter().zip(target_rel.attrs.iter()) {
+            match term {
+                Term::Var(v) => {
+                    let slot = var_slots.get(v.as_str()).ok_or_else(|| {
+                        Error::checker(format!("unsafe residual rule: unbound head variable `{v}`"))
+                    })?;
+                    cq.output.push(Slot::Var(*slot));
+                }
+                Term::Const(value) => cq.output.push(Slot::Const(value.clone())),
+                Term::Wildcard => {
+                    return Err(Error::checker("wildcard in residual rule head"));
+                }
+            }
+            cq.out_names.push(attr.as_str().to_string());
+        }
+        views
+            .entry(target_rel.name.as_str().to_ascii_lowercase())
+            .or_default()
+            .push(cq);
+    }
+    Ok(views)
+}
+
+impl SqlEquivChecker for DeductiveChecker {
+    fn check_sql(
+        &self,
+        induced_schema: &RelSchema,
+        induced_query: &SqlQuery,
+        target_schema: &RelSchema,
+        target_query: &SqlQuery,
+        rdt: &Transformer,
+    ) -> Result<CheckOutcome> {
+        if !self.supports(induced_query) || !self.supports(target_query) {
+            return Ok(CheckOutcome::Unknown(
+                "query is outside the aggregation-free, outer-join-free fragment".to_string(),
+            ));
+        }
+        let views = match views_from_rdt(rdt, induced_schema, target_schema) {
+            Ok(v) => v,
+            Err(e) => return Ok(CheckOutcome::Unknown(e.to_string())),
+        };
+        let induced_normalizer = Normalizer { views: HashMap::new(), schema: induced_schema };
+        let target_normalizer = Normalizer { views, schema: target_schema };
+        let left = match induced_normalizer.normalize(induced_query) {
+            Ok(cqs) => cqs,
+            Err(e) => return Ok(CheckOutcome::Unknown(e.to_string())),
+        };
+        let right = match target_normalizer.normalize(target_query) {
+            Ok(cqs) => cqs,
+            Err(e) => return Ok(CheckOutcome::Unknown(e.to_string())),
+        };
+        if left.iter().chain(right.iter()).any(|cq| cq.atoms.len() > self.max_atoms) {
+            return Ok(CheckOutcome::Unknown("conjunctive query too large".to_string()));
+        }
+        if left.len() != right.len() {
+            return Ok(CheckOutcome::Unknown(
+                "different numbers of conjunctive queries".to_string(),
+            ));
+        }
+        let left: Vec<CanonicalCq> = left.iter().map(Cq::canonical).collect();
+        let right: Vec<CanonicalCq> = right.iter().map(Cq::canonical).collect();
+        // Find a perfect matching of isomorphic CQs (greedy with backtracking).
+        let mut used = vec![false; right.len()];
+        if match_ucqs(&left, &right, 0, &mut used) {
+            Ok(CheckOutcome::Verified)
+        } else {
+            Ok(CheckOutcome::Unknown("no isomorphism between normal forms found".to_string()))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "deductive-verifier"
+    }
+}
+
+fn match_ucqs(left: &[CanonicalCq], right: &[CanonicalCq], idx: usize, used: &mut Vec<bool>) -> bool {
+    if idx == left.len() {
+        return true;
+    }
+    for j in 0..right.len() {
+        if used[j] {
+            continue;
+        }
+        if cq_isomorphic(&left[idx], &right[j]) {
+            used[j] = true;
+            if match_ucqs(left, right, idx + 1, used) {
+                return true;
+            }
+            used[j] = false;
+        }
+    }
+    false
+}
+
+/// Re-exported helper so the experiment harness can classify which
+/// benchmarks fall into the supported fragment without running the checker.
+pub fn in_supported_fragment(q: &SqlQuery) -> bool {
+    fragment_ok(q)
+}
+
+/// Helper used in tests and the harness: a `SelectItem` list that projects
+/// the given qualified columns verbatim.
+pub fn columns(items: &[(&str, &str)]) -> Vec<SelectItem> {
+    items.iter().map(|(q, n)| SelectItem::expr(SqlExpr::col(*q, *n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_core::{check_equivalence, CheckOutcome};
+    use graphiti_cypher::parse_query as parse_cypher;
+    use graphiti_graph::{EdgeType, GraphSchema, NodeType};
+    use graphiti_relational::{Constraint, RelSchema, Relation};
+    use graphiti_sql::parse_query as parse_sql;
+    use graphiti_transformer::parse_transformer;
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    fn target_schema() -> RelSchema {
+        RelSchema::new()
+            .with_relation(Relation::new("Employee", ["EmpId", "EmpName"]))
+            .with_relation(Relation::new("Department", ["DeptNo", "DeptName"]))
+            .with_relation(Relation::new("Assignment", ["AId", "EmpId2", "DeptNo2"]))
+            .with_constraint(Constraint::pk("Employee", "EmpId"))
+            .with_constraint(Constraint::pk("Department", "DeptNo"))
+            .with_constraint(Constraint::pk("Assignment", "AId"))
+    }
+
+    fn user_transformer() -> Transformer {
+        parse_transformer(
+            "EMP(id, name) -> Employee(id, name)\n\
+             DEPT(dnum, dname) -> Department(dnum, dname)\n\
+             WORK_AT(wid, src, tgt) -> Assignment(wid, src, tgt)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn verifies_equivalent_join_queries() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE n.id = 1 RETURN n.name, m.dname",
+        )
+        .unwrap();
+        // Hand-written SQL over the target schema, with joins written in a
+        // different order and different aliases.
+        let sql = parse_sql(
+            "SELECT d.DeptName, e.EmpName FROM Department AS d \
+             JOIN Assignment AS a ON a.DeptNo2 = d.DeptNo \
+             JOIN Employee AS e ON e.EmpId = a.EmpId2 WHERE e.EmpId = 1",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &DeductiveChecker::new(),
+        )
+        .unwrap();
+        assert!(matches!(outcome, CheckOutcome::Verified), "got {outcome:?}");
+    }
+
+    #[test]
+    fn different_filters_are_not_verified() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE n.id = 1 RETURN n.name, m.dname",
+        )
+        .unwrap();
+        let sql = parse_sql(
+            "SELECT e.EmpName, d.DeptName FROM Department AS d \
+             JOIN Assignment AS a ON a.DeptNo2 = d.DeptNo \
+             JOIN Employee AS e ON e.EmpId = a.EmpId2 WHERE e.EmpId = 2",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &DeductiveChecker::new(),
+        )
+        .unwrap();
+        assert!(matches!(outcome, CheckOutcome::Unknown(_)), "got {outcome:?}");
+    }
+
+    #[test]
+    fn aggregation_is_outside_the_fragment() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname, Count(*)",
+        )
+        .unwrap();
+        let sql = parse_sql(
+            "SELECT d.DeptName, Count(*) FROM Department AS d \
+             JOIN Assignment AS a ON a.DeptNo2 = d.DeptNo GROUP BY d.DeptName",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &DeductiveChecker::new(),
+        )
+        .unwrap();
+        assert!(matches!(outcome, CheckOutcome::Unknown(_)));
+    }
+
+    #[test]
+    fn union_all_of_projections_is_verified() {
+        let cypher = parse_cypher(
+            "MATCH (n:EMP) RETURN n.id AS x UNION ALL MATCH (m:DEPT) RETURN m.dnum AS x",
+        )
+        .unwrap();
+        let sql = parse_sql(
+            "SELECT d.DeptNo AS x FROM Department AS d UNION ALL SELECT e.EmpId AS x FROM Employee AS e",
+        )
+        .unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target_schema(),
+            &sql,
+            &user_transformer(),
+            &DeductiveChecker::new(),
+        )
+        .unwrap();
+        assert!(matches!(outcome, CheckOutcome::Verified), "got {outcome:?}");
+    }
+
+    #[test]
+    fn multi_rule_views_unfold() {
+        // Target table that merges employees and departments; the Cypher
+        // query reads both node types.
+        let target = RelSchema::new().with_relation(Relation::new("Everyone", ["key"]));
+        let transformer = parse_transformer(
+            "EMP(id, _) -> Everyone(id)\nDEPT(dnum, _) -> Everyone(dnum)",
+        )
+        .unwrap();
+        let cypher = parse_cypher(
+            "MATCH (n:EMP) RETURN n.id AS key UNION ALL MATCH (m:DEPT) RETURN m.dnum AS key",
+        )
+        .unwrap();
+        let sql = parse_sql("SELECT t.key FROM Everyone AS t").unwrap();
+        let outcome = check_equivalence(
+            &emp_schema(),
+            &cypher,
+            &target,
+            &sql,
+            &transformer,
+            &DeductiveChecker::new(),
+        )
+        .unwrap();
+        assert!(matches!(outcome, CheckOutcome::Verified), "got {outcome:?}");
+    }
+
+    #[test]
+    fn fragment_detection() {
+        let checker = DeductiveChecker::new();
+        let ok = parse_sql("SELECT a.x FROM t AS a JOIN s AS b ON a.x = b.y").unwrap();
+        assert!(checker.supports(&ok));
+        let agg = parse_sql("SELECT Count(*) FROM t").unwrap();
+        assert!(!checker.supports(&agg));
+        let outer = parse_sql("SELECT a.x FROM t AS a LEFT JOIN s AS b ON a.x = b.y").unwrap();
+        assert!(!checker.supports(&outer));
+        let neq = parse_sql("SELECT a.x FROM t AS a WHERE a.x > 3").unwrap();
+        assert!(!checker.supports(&neq));
+    }
+}

@@ -1,0 +1,24 @@
+//! SQL equivalence-checking backends for Graphiti.
+//!
+//! The paper plugs two off-the-shelf verifiers into its reduction:
+//! VeriEQL (a bounded model checker) and Mediator (a deductive verifier).
+//! Neither is available as a Rust library, so this crate provides
+//! behaviourally equivalent substitutes implementing the
+//! [`graphiti_core::SqlEquivChecker`] trait:
+//!
+//! * [`BoundedChecker`] — enumerative/randomized bounded model checking with
+//!   constraint-respecting instance generation and concrete
+//!   counterexamples (`bmc` module);
+//! * [`DeductiveChecker`] — unbounded verification for the
+//!   aggregation-free, outer-join-free fragment via view unfolding through
+//!   the residual transformer and union-of-conjunctive-queries isomorphism
+//!   (`deductive` module).
+//!
+//! See DESIGN.md for how these substitutions preserve the shape of the
+//! paper's experiments.
+
+pub mod bmc;
+pub mod deductive;
+
+pub use bmc::{BmcStats, BoundedChecker, ValueDomain};
+pub use deductive::{in_supported_fragment, DeductiveChecker};

@@ -1,0 +1,111 @@
+//! Error handling shared by every crate in the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The unified error type of the Graphiti reproduction.
+///
+/// Variants are intentionally coarse-grained: each one identifies the
+/// subsystem that failed plus a human-readable message, which is what the
+/// command-line tools and the experiment harness surface to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A lexer or parser error (Cypher, SQL, or transformer DSL).
+    Parse {
+        /// Which language was being parsed (e.g. `"cypher"`, `"sql"`).
+        language: &'static str,
+        /// Human-readable description including position information.
+        message: String,
+    },
+    /// A schema is malformed or a query refers to unknown schema elements.
+    Schema(String),
+    /// A database instance violates its schema or integrity constraints.
+    Instance(String),
+    /// Runtime evaluation failure (type error, unknown column, ...).
+    Eval(String),
+    /// The transpiler does not support the given construct.
+    Unsupported(String),
+    /// A transformer could not be applied or inverted.
+    Transformer(String),
+    /// An equivalence-checking backend failed or gave up.
+    Checker(String),
+}
+
+impl Error {
+    /// Builds a parse error for `language` with the given message.
+    pub fn parse(language: &'static str, message: impl Into<String>) -> Self {
+        Error::Parse { language, message: message.into() }
+    }
+
+    /// Builds a schema error.
+    pub fn schema(message: impl Into<String>) -> Self {
+        Error::Schema(message.into())
+    }
+
+    /// Builds an instance error.
+    pub fn instance(message: impl Into<String>) -> Self {
+        Error::Instance(message.into())
+    }
+
+    /// Builds an evaluation error.
+    pub fn eval(message: impl Into<String>) -> Self {
+        Error::Eval(message.into())
+    }
+
+    /// Builds an "unsupported construct" error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::Unsupported(message.into())
+    }
+
+    /// Builds a transformer error.
+    pub fn transformer(message: impl Into<String>) -> Self {
+        Error::Transformer(message.into())
+    }
+
+    /// Builds a checker error.
+    pub fn checker(message: impl Into<String>) -> Self {
+        Error::Checker(message.into())
+    }
+
+    /// Returns `true` if this error indicates an unsupported construct
+    /// rather than a hard failure.
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, Error::Unsupported(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { language, message } => write!(f, "{language} parse error: {message}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Instance(m) => write!(f, "instance error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Transformer(m) => write!(f, "transformer error: {m}"),
+            Error::Checker(m) => write!(f, "checker error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem() {
+        let e = Error::parse("cypher", "unexpected token `)` at 12");
+        assert!(e.to_string().contains("cypher"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn unsupported_flag() {
+        assert!(Error::unsupported("variable-length paths").is_unsupported());
+        assert!(!Error::eval("boom").is_unsupported());
+    }
+}

@@ -1,0 +1,108 @@
+//! Lightweight identifier type with case-preserving equality.
+//!
+//! Identifiers (labels, table names, attribute names, variable names) are
+//! compared *case-insensitively* for keywords at the parser level, but once
+//! they reach the data model they are treated as case-preserving strings.
+//! [`Ident`] is a thin newtype over `String` so the rest of the codebase can
+//! be explicit about which strings are identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// An identifier (label, relation name, attribute name, variable name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ident(String);
+
+impl Ident {
+    /// Creates a new identifier from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        Ident(s.into())
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` if this identifier equals `other` ignoring ASCII case.
+    pub fn eq_ignore_case(&self, other: &str) -> bool {
+        self.0.eq_ignore_ascii_case(other)
+    }
+
+    /// Consumes the identifier and returns the underlying string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident::new(s)
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident(s)
+    }
+}
+
+impl Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trip() {
+        let id = Ident::new("Concept");
+        assert_eq!(id.as_str(), "Concept");
+        assert_eq!(id.to_string(), "Concept");
+        assert_eq!(id, "Concept");
+    }
+
+    #[test]
+    fn case_insensitive_helper() {
+        let id = Ident::new("MATCH");
+        assert!(id.eq_ignore_case("match"));
+        assert!(!id.eq_ignore_case("matc"));
+    }
+
+    #[test]
+    fn usable_as_hash_key_by_str() {
+        let mut set: HashSet<Ident> = HashSet::new();
+        set.insert(Ident::new("emp"));
+        assert!(set.contains("emp"));
+        assert!(!set.contains("dept"));
+    }
+}

@@ -1,0 +1,114 @@
+//! SQL/Cypher three-valued logic.
+//!
+//! Both Featherweight SQL and Featherweight Cypher interpret predicates under
+//! Kleene's strong three-valued logic (Appendix A of the paper): `⊥ ∧ Null =
+//! ⊥`, `⊤ ∨ Null = ⊤`, and otherwise any `Null` operand makes the result
+//! `Null`.
+
+use serde::{Deserialize, Serialize};
+
+/// A three-valued truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (the result of comparing with `NULL`).
+    Unknown,
+}
+
+impl Truth {
+    /// Lifts a Rust boolean into three-valued logic.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Three-valued conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Three-valued negation.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Returns `true` only for [`Truth::True`] — the filter semantics of both
+    /// `WHERE` in SQL and pattern predicates in Cypher (rows whose predicate
+    /// evaluates to `Unknown` are dropped).
+    pub fn is_true(self) -> bool {
+        matches!(self, Truth::True)
+    }
+
+    /// Returns `true` for [`Truth::Unknown`].
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Truth::Unknown)
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::*;
+
+    #[test]
+    fn kleene_and() {
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(True.and(True), True);
+    }
+
+    #[test]
+    fn kleene_or() {
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+    }
+
+    #[test]
+    fn negation_fixes_unknown() {
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        assert!(True.is_true());
+        assert!(!Unknown.is_true());
+        assert!(!False.is_true());
+    }
+}

@@ -1,0 +1,197 @@
+//! `InferSDT`: induced relational schema and standard database transformer
+//! (Section 5.1, Figure 13).
+//!
+//! For every node type `(l, K1, ..., Kn)` the induced schema has a table
+//! named `l` with attributes `K1, ..., Kn` and primary key `K1`; for every
+//! edge type `(l, t_src, t_tgt, K1, ..., Km)` it has a table `l` with
+//! attributes `K1, ..., Km, SRC, TGT`, primary key `K1`, and foreign keys
+//! from `SRC`/`TGT` to the endpoint tables' primary keys.  The standard
+//! database transformer (SDT) maps each graph element type to its table.
+
+use graphiti_common::{Error, Ident, Result};
+use graphiti_graph::GraphSchema;
+use graphiti_relational::{Constraint, RelSchema, Relation};
+use graphiti_transformer::{Atom, Rule, Term, Transformer};
+
+/// Attribute name used for the source foreign key of edge tables.
+pub const SRC_ATTR: &str = "SRC";
+/// Attribute name used for the target foreign key of edge tables.
+pub const TGT_ATTR: &str = "TGT";
+
+/// The output of [`infer_sdt`]: the induced relational schema, the standard
+/// database transformer, and the graph schema it was derived from.
+#[derive(Debug, Clone)]
+pub struct SdtContext {
+    /// The graph schema `Ψ_G`.
+    pub graph_schema: GraphSchema,
+    /// The induced relational schema `Ψ'_R`.
+    pub induced_schema: RelSchema,
+    /// The standard database transformer `Φ_sdt`.
+    pub sdt: Transformer,
+}
+
+impl SdtContext {
+    /// The induced table name for a node/edge label (the label itself).
+    pub fn table_of(&self, label: &str) -> Result<&Ident> {
+        self.induced_schema
+            .relation(label)
+            .map(|r| &r.name)
+            .ok_or_else(|| Error::schema(format!("label `{label}` has no induced table")))
+    }
+
+    /// The primary-key attribute (default property key) of a label.
+    pub fn pk_of(&self, label: &str) -> Result<&Ident> {
+        self.graph_schema
+            .default_key_of(label)
+            .ok_or_else(|| Error::schema(format!("unknown label `{label}`")))
+    }
+
+    /// The property keys of a label (not including `SRC`/`TGT`).
+    pub fn keys_of(&self, label: &str) -> Result<&[Ident]> {
+        self.graph_schema
+            .keys_of(label)
+            .ok_or_else(|| Error::schema(format!("unknown label `{label}`")))
+    }
+
+    /// Returns `true` if the label names an edge type.
+    pub fn is_edge(&self, label: &str) -> bool {
+        self.graph_schema.is_edge_label(label)
+    }
+}
+
+/// Infers the induced relational schema and the standard database
+/// transformer for a graph schema (the `InferSDT` procedure of Algorithm 1).
+pub fn infer_sdt(graph_schema: &GraphSchema) -> Result<SdtContext> {
+    graph_schema.validate()?;
+    let mut schema = RelSchema::new();
+    let mut sdt = Transformer::new();
+
+    // Node rule.
+    for node in &graph_schema.node_types {
+        let table = Relation::new(node.label.clone(), node.keys.clone());
+        schema = schema
+            .with_relation(table)
+            .with_constraint(Constraint::pk(node.label.clone(), node.default_key().clone()));
+        let vars: Vec<Term> = node.keys.iter().map(|k| Term::Var(k.clone())).collect();
+        sdt = sdt.with_rule(Rule::new(
+            vec![Atom::new(node.label.clone(), vars.clone())],
+            Atom::new(node.label.clone(), vars),
+        ));
+    }
+
+    // Edge rule.
+    for edge in &graph_schema.edge_types {
+        let mut attrs: Vec<Ident> = edge.keys.clone();
+        attrs.push(Ident::new(SRC_ATTR));
+        attrs.push(Ident::new(TGT_ATTR));
+        let table = Relation::new(edge.label.clone(), attrs);
+        let src_pk = graph_schema
+            .default_key_of(edge.src.as_str())
+            .ok_or_else(|| Error::schema(format!("edge `{}` has unknown source type", edge.label)))?
+            .clone();
+        let tgt_pk = graph_schema
+            .default_key_of(edge.tgt.as_str())
+            .ok_or_else(|| Error::schema(format!("edge `{}` has unknown target type", edge.label)))?
+            .clone();
+        schema = schema
+            .with_relation(table)
+            .with_constraint(Constraint::pk(edge.label.clone(), edge.default_key().clone()))
+            .with_constraint(Constraint::fk(edge.label.clone(), SRC_ATTR, edge.src.clone(), src_pk))
+            .with_constraint(Constraint::fk(edge.label.clone(), TGT_ATTR, edge.tgt.clone(), tgt_pk))
+            .with_constraint(Constraint::not_null(edge.label.clone(), SRC_ATTR))
+            .with_constraint(Constraint::not_null(edge.label.clone(), TGT_ATTR));
+        let mut vars: Vec<Term> = edge.keys.iter().map(|k| Term::Var(k.clone())).collect();
+        vars.push(Term::var(format!("fk_{SRC_ATTR}")));
+        vars.push(Term::var(format!("fk_{TGT_ATTR}")));
+        sdt = sdt.with_rule(Rule::new(
+            vec![Atom::new(edge.label.clone(), vars.clone())],
+            Atom::new(edge.label.clone(), vars),
+        ));
+    }
+
+    let ctx = SdtContext { graph_schema: graph_schema.clone(), induced_schema: schema, sdt };
+    ctx.induced_schema.validate()?;
+    Ok(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_common::Value;
+    use graphiti_graph::{EdgeType, GraphInstance, NodeType};
+    use graphiti_transformer::apply_to_graph;
+
+    /// The EMP/WORK_AT/DEPT schema from Figure 14a.
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    #[test]
+    fn example_5_1_induced_schema() {
+        // Figure 14b: emp(id, name), work_at(wid, SRC, TGT), dept(dnum, dname).
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        let emp = ctx.induced_schema.relation("EMP").unwrap();
+        assert_eq!(emp.attrs.iter().map(|a| a.as_str()).collect::<Vec<_>>(), vec!["id", "name"]);
+        let work_at = ctx.induced_schema.relation("WORK_AT").unwrap();
+        assert_eq!(
+            work_at.attrs.iter().map(|a| a.as_str()).collect::<Vec<_>>(),
+            vec!["wid", "SRC", "TGT"]
+        );
+        assert_eq!(ctx.induced_schema.primary_key("WORK_AT").unwrap().as_str(), "wid");
+        let fks = ctx.induced_schema.foreign_keys("WORK_AT");
+        assert_eq!(fks.len(), 2);
+        assert!(fks.iter().any(|(a, r, ra)| a.as_str() == "SRC"
+            && r.as_str() == "EMP"
+            && ra.as_str() == "id"));
+        assert!(fks.iter().any(|(a, r, ra)| a.as_str() == "TGT"
+            && r.as_str() == "DEPT"
+            && ra.as_str() == "dnum"));
+    }
+
+    #[test]
+    fn example_5_2_standard_transformer_maps_instances() {
+        // Figure 15: the SDT maps the graph instance to the induced tables.
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        assert_eq!(ctx.sdt.rule_count(), 3);
+
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let _ee = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, cs, [("wid", Value::Int(11))]);
+
+        let rel = apply_to_graph(&ctx.sdt, &ctx.graph_schema, &g, &ctx.induced_schema).unwrap();
+        let work_at = rel.table("WORK_AT").unwrap();
+        assert_eq!(work_at.len(), 2);
+        assert!(work_at.rows.contains(&vec![Value::Int(10), Value::Int(1), Value::Int(1)]));
+        assert!(work_at.rows.contains(&vec![Value::Int(11), Value::Int(2), Value::Int(1)]));
+        assert_eq!(rel.table("EMP").unwrap().len(), 2);
+        assert_eq!(rel.table("DEPT").unwrap().len(), 2);
+        // The produced instance satisfies the induced integrity constraints.
+        assert!(rel.validate(&ctx.induced_schema).is_ok());
+    }
+
+    #[test]
+    fn context_accessors() {
+        let ctx = infer_sdt(&emp_schema()).unwrap();
+        assert_eq!(ctx.table_of("WORK_AT").unwrap().as_str(), "WORK_AT");
+        assert_eq!(ctx.pk_of("DEPT").unwrap().as_str(), "dnum");
+        assert_eq!(ctx.keys_of("EMP").unwrap().len(), 2);
+        assert!(ctx.is_edge("WORK_AT"));
+        assert!(!ctx.is_edge("EMP"));
+        assert!(ctx.table_of("GHOST").is_err());
+    }
+
+    #[test]
+    fn invalid_graph_schema_is_rejected() {
+        let bad = GraphSchema::new()
+            .with_node(NodeType::new("A", ["id"]))
+            .with_edge(EdgeType::new("R", "A", "MISSING", ["rid"]));
+        assert!(infer_sdt(&bad).is_err());
+    }
+}

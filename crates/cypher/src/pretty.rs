@@ -1,0 +1,201 @@
+//! Pretty-printer: renders Featherweight Cypher ASTs back to surface syntax.
+//!
+//! The printer is used for default column names, for benchmark corpus dumps,
+//! and to round-trip queries in tests.
+
+use crate::ast::*;
+use graphiti_common::Value;
+
+/// Renders an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Prop(var, key) => format!("{var}.{key}"),
+        Expr::Var(v) => v.to_string(),
+        Expr::Value(v) => value_to_string(v),
+        Expr::Cast(p) => format!("Cast({})", pred_to_string(p)),
+        Expr::Agg(kind, inner, distinct) => {
+            let inner = expr_to_string(inner);
+            if *distinct {
+                format!("{}(DISTINCT {})", kind.as_str(), inner)
+            } else {
+                format!("{}({})", kind.as_str(), inner)
+            }
+        }
+        Expr::Arith(a, op, b) => {
+            format!("{} {} {}", expr_to_string(a), op.as_str(), expr_to_string(b))
+        }
+        Expr::Star => "*".to_string(),
+    }
+}
+
+/// Renders a literal value in Cypher syntax.
+pub fn value_to_string(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => format!("'{s}'"),
+    }
+}
+
+/// Renders a predicate.
+pub fn pred_to_string(p: &Pred) -> String {
+    match p {
+        Pred::True => "true".to_string(),
+        Pred::False => "false".to_string(),
+        Pred::Cmp(a, op, b) => {
+            format!("{} {} {}", expr_to_string(a), op.as_sql(), expr_to_string(b))
+        }
+        Pred::IsNull(e) => format!("{} IS NULL", expr_to_string(e)),
+        Pred::In(e, vs) => {
+            let items: Vec<String> = vs.iter().map(value_to_string).collect();
+            format!("{} IN [{}]", expr_to_string(e), items.join(", "))
+        }
+        Pred::Exists(pp) => format!("EXISTS {{ MATCH {} }}", pattern_to_string(pp)),
+        Pred::And(a, b) => format!("({} AND {})", pred_to_string(a), pred_to_string(b)),
+        Pred::Or(a, b) => format!("({} OR {})", pred_to_string(a), pred_to_string(b)),
+        Pred::Not(inner) => format!("NOT ({})", pred_to_string(inner)),
+    }
+}
+
+fn props_to_string(props: &[(graphiti_common::Ident, Value)]) -> String {
+    if props.is_empty() {
+        return String::new();
+    }
+    let items: Vec<String> =
+        props.iter().map(|(k, v)| format!("{k}: {}", value_to_string(v))).collect();
+    format!(" {{{}}}", items.join(", "))
+}
+
+/// Renders a node pattern.
+pub fn node_pattern_to_string(np: &NodePattern) -> String {
+    format!("({}:{}{})", np.var, np.label, props_to_string(&np.props))
+}
+
+/// Renders a path pattern.
+pub fn pattern_to_string(pp: &PathPattern) -> String {
+    let mut out = node_pattern_to_string(&pp.start);
+    for (edge, node) in &pp.steps {
+        let body = format!("[{}:{}{}]", edge.var, edge.label, props_to_string(&edge.props));
+        match edge.dir {
+            Direction::Right => out.push_str(&format!("-{body}->")),
+            Direction::Left => out.push_str(&format!("<-{body}-")),
+            Direction::Undirected => out.push_str(&format!("-{body}-")),
+        }
+        out.push_str(&node_pattern_to_string(node));
+    }
+    out
+}
+
+/// Renders a clause (sequence of `MATCH`/`OPTIONAL MATCH`/`WITH`).
+pub fn clause_to_string(c: &Clause) -> String {
+    match c {
+        Clause::Match { prev, pattern, pred } => {
+            let mut out = prev.as_ref().map(|p| clause_to_string(p) + " ").unwrap_or_default();
+            out.push_str(&format!("MATCH {}", pattern_to_string(pattern)));
+            if pred != &Pred::True {
+                out.push_str(&format!(" WHERE {}", pred_to_string(pred)));
+            }
+            out
+        }
+        Clause::OptMatch { prev, pattern, pred } => {
+            let mut out = clause_to_string(prev);
+            out.push_str(&format!(" OPTIONAL MATCH {}", pattern_to_string(pattern)));
+            if pred != &Pred::True {
+                out.push_str(&format!(" WHERE {}", pred_to_string(pred)));
+            }
+            out
+        }
+        Clause::With { prev, old, new } => {
+            let mut out = clause_to_string(prev);
+            let items: Vec<String> = old
+                .iter()
+                .zip(new.iter())
+                .map(|(o, n)| if o == n { o.to_string() } else { format!("{o} AS {n}") })
+                .collect();
+            out.push_str(&format!(" WITH {}", items.join(", ")));
+            out
+        }
+    }
+}
+
+/// Renders a full query.
+pub fn query_to_string(q: &Query) -> String {
+    match q {
+        Query::Return(r) => {
+            let mut out = clause_to_string(&r.clause);
+            out.push_str(" RETURN ");
+            if r.distinct {
+                out.push_str("DISTINCT ");
+            }
+            let items: Vec<String> = r
+                .items
+                .iter()
+                .zip(r.names.iter())
+                .map(|(e, n)| {
+                    let rendered = expr_to_string(e);
+                    if rendered == n.as_str() {
+                        rendered
+                    } else {
+                        format!("{rendered} AS {n}")
+                    }
+                })
+                .collect();
+            out.push_str(&items.join(", "));
+            out
+        }
+        Query::OrderBy { input, keys } => {
+            let mut out = query_to_string(input);
+            out.push_str(" ORDER BY ");
+            let items: Vec<String> = keys
+                .iter()
+                .map(|k| {
+                    format!("{}{}", expr_to_string(&k.expr), if k.ascending { "" } else { " DESC" })
+                })
+                .collect();
+            out.push_str(&items.join(", "));
+            out
+        }
+        Query::Union(a, b) => format!("{} UNION {}", query_to_string(a), query_to_string(b)),
+        Query::UnionAll(a, b) => {
+            format!("{} UNION ALL {}", query_to_string(a), query_to_string(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn round_trip_simple_query() {
+        let text = "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n) AS num";
+        let q = parse_query(text).unwrap();
+        let printed = query_to_string(&q);
+        let reparsed = parse_query(&printed).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn round_trip_with_predicates_and_order() {
+        let text = "MATCH (c:Customer {Region: 'EU'}) OPTIONAL MATCH (p:Product)<-[d:Details]-(c) \
+                    WHERE p.Price > 10 AND NOT p.Name IS NULL \
+                    RETURN c.Name, Sum(p.Price) AS total ORDER BY total DESC";
+        let q = parse_query(text).unwrap();
+        let printed = query_to_string(&q);
+        let reparsed = parse_query(&printed).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn round_trip_union_exists_in() {
+        let text = "MATCH (a:A)-[r:R]->(b:B) WHERE a.x IN [1, 2] RETURN a.x \
+                    UNION MATCH (b:B) WHERE EXISTS { MATCH (a:A)-[r:R]->(b:B) } RETURN b.y";
+        let q = parse_query(text).unwrap();
+        let printed = query_to_string(&q);
+        let reparsed = parse_query(&printed).unwrap();
+        assert_eq!(q, reparsed);
+    }
+}

@@ -1,0 +1,335 @@
+//! Property-graph instances (Definition 3.3).
+//!
+//! An instance `G = (N, E, P, T)` is represented as arenas of [`Node`]s and
+//! [`Edge`]s.  Properties `P` are stored inline on each element, and the
+//! typing function `T` is the element's label (labels and types are
+//! interchangeable per the paper's uniqueness assumption).
+
+use crate::schema::GraphSchema;
+use graphiti_common::{Error, Ident, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Index of a node in a [`GraphInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge in a [`GraphInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A node carrying a label and property map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's identity within its instance.
+    pub id: NodeId,
+    /// The node label (its type).
+    pub label: Ident,
+    /// Property key/value pairs.
+    pub props: BTreeMap<Ident, Value>,
+}
+
+/// A directed edge carrying a label, endpoints, and property map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The edge's identity within its instance.
+    pub id: EdgeId,
+    /// The edge label (its type).
+    pub label: Ident,
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub tgt: NodeId,
+    /// Property key/value pairs.
+    pub props: BTreeMap<Ident, Value>,
+}
+
+impl Node {
+    /// Returns the value of property `key`, or `Null` if absent.
+    pub fn prop(&self, key: &str) -> Value {
+        self.props.get(key).cloned().unwrap_or(Value::Null)
+    }
+}
+
+impl Edge {
+    /// Returns the value of property `key`, or `Null` if absent.
+    pub fn prop(&self, key: &str) -> Value {
+        self.props.get(key).cloned().unwrap_or(Value::Null)
+    }
+}
+
+/// A property-graph instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphInstance {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl GraphInstance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        GraphInstance::default()
+    }
+
+    /// Adds a node with the given label and properties, returning its id.
+    pub fn add_node(
+        &mut self,
+        label: impl Into<Ident>,
+        props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            label: label.into(),
+            props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        });
+        id
+    }
+
+    /// Adds an edge with the given label, endpoints, and properties,
+    /// returning its id.
+    pub fn add_edge(
+        &mut self,
+        label: impl Into<Ident>,
+        src: NodeId,
+        tgt: NodeId,
+        props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            id,
+            label: label.into(),
+            src,
+            tgt,
+            props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        });
+        id
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Returns the edge with the given id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Iterates over the nodes with a given label.
+    pub fn nodes_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.nodes.iter().filter(move |n| n.label == label)
+    }
+
+    /// Iterates over the edges with a given label.
+    pub fn edges_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Edge> + 'a {
+        self.edges.iter().filter(move |e| e.label == label)
+    }
+
+    /// Iterates over edges whose source is `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(move |e| e.src == node)
+    }
+
+    /// Iterates over edges whose target is `node`.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(move |e| e.tgt == node)
+    }
+
+    /// Validates the instance against a schema:
+    ///
+    /// * every node/edge label is declared;
+    /// * properties are a subset of the declared keys;
+    /// * default-key values are present, non-null, and unique per type;
+    /// * edge endpoints exist and have the declared source/target labels.
+    pub fn validate(&self, schema: &GraphSchema) -> Result<()> {
+        let mut default_seen: HashSet<(String, Value)> = HashSet::new();
+        for node in &self.nodes {
+            let ty = schema
+                .node_type(node.label.as_str())
+                .ok_or_else(|| Error::instance(format!("unknown node label `{}`", node.label)))?;
+            for key in node.props.keys() {
+                if !ty.keys.contains(key) {
+                    return Err(Error::instance(format!(
+                        "node `{}` has undeclared property `{key}`",
+                        node.label
+                    )));
+                }
+            }
+            let dk = ty.default_key();
+            let v = node.prop(dk.as_str());
+            if v.is_null() {
+                return Err(Error::instance(format!(
+                    "node `{}` is missing its default key `{dk}`",
+                    node.label
+                )));
+            }
+            if !default_seen.insert((node.label.to_string(), v.clone())) {
+                return Err(Error::instance(format!(
+                    "duplicate default-key value {v} for node label `{}`",
+                    node.label
+                )));
+            }
+        }
+        for edge in &self.edges {
+            let ty = schema
+                .edge_type(edge.label.as_str())
+                .ok_or_else(|| Error::instance(format!("unknown edge label `{}`", edge.label)))?;
+            if edge.src.0 >= self.nodes.len() || edge.tgt.0 >= self.nodes.len() {
+                return Err(Error::instance(format!(
+                    "edge `{}` has dangling endpoints",
+                    edge.label
+                )));
+            }
+            let src = self.node(edge.src);
+            let tgt = self.node(edge.tgt);
+            if src.label != ty.src || tgt.label != ty.tgt {
+                return Err(Error::instance(format!(
+                    "edge `{}` connects `{}`->`{}` but schema declares `{}`->`{}`",
+                    edge.label, src.label, tgt.label, ty.src, ty.tgt
+                )));
+            }
+            for key in edge.props.keys() {
+                if !ty.keys.contains(key) {
+                    return Err(Error::instance(format!(
+                        "edge `{}` has undeclared property `{key}`",
+                        edge.label
+                    )));
+                }
+            }
+            let dk = ty.default_key();
+            let v = edge.prop(dk.as_str());
+            if v.is_null() {
+                return Err(Error::instance(format!(
+                    "edge `{}` is missing its default key `{dk}`",
+                    edge.label
+                )));
+            }
+            if !default_seen.insert((edge.label.to_string(), v.clone())) {
+                return Err(Error::instance(format!(
+                    "duplicate default-key value {v} for edge label `{}`",
+                    edge.label
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeType, GraphSchema, NodeType};
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    /// Builds the instance from Figure 15a of the paper.
+    fn fig15_instance() -> GraphInstance {
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let _ee = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, cs, [("wid", Value::Int(11))]);
+        g
+    }
+
+    #[test]
+    fn build_and_validate_fig15() {
+        let g = fig15_instance();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.validate(&emp_schema()).is_ok());
+        assert_eq!(g.nodes_with_label("EMP").count(), 2);
+        assert_eq!(g.edges_with_label("WORK_AT").count(), 2);
+    }
+
+    #[test]
+    fn traversal_helpers() {
+        let g = fig15_instance();
+        let a = g.nodes_with_label("EMP").next().unwrap().id;
+        assert_eq!(g.out_edges(a).count(), 1);
+        let cs = g
+            .nodes_with_label("DEPT")
+            .find(|n| n.prop("dname") == Value::str("CS"))
+            .unwrap()
+            .id;
+        assert_eq!(g.in_edges(cs).count(), 2);
+    }
+
+    #[test]
+    fn missing_property_defaults_to_null() {
+        let g = fig15_instance();
+        let n = g.nodes_with_label("EMP").next().unwrap();
+        assert_eq!(n.prop("nonexistent"), Value::Null);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_label() {
+        let mut g = fig15_instance();
+        g.add_node("GHOST", [("x", Value::Int(1))]);
+        assert!(g.validate(&emp_schema()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_default_key() {
+        let mut g = fig15_instance();
+        g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("dup"))]);
+        assert!(g.validate(&emp_schema()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_wrong_endpoint_type() {
+        let mut g = GraphInstance::new();
+        let d1 = g.add_node("DEPT", [("dnum", Value::Int(1))]);
+        let d2 = g.add_node("DEPT", [("dnum", Value::Int(2))]);
+        g.add_edge("WORK_AT", d1, d2, [("wid", Value::Int(1))]);
+        assert!(g.validate(&emp_schema()).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_undeclared_property() {
+        let mut g = GraphInstance::new();
+        g.add_node("EMP", [("id", Value::Int(1)), ("salary", Value::Int(9))]);
+        assert!(g.validate(&emp_schema()).is_err());
+    }
+}

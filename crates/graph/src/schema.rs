@@ -1,0 +1,241 @@
+//! Graph database schemas (Definitions 3.1 and 3.2).
+
+use graphiti_common::{Error, Ident, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A node type `(l, K1, ..., Kn)`: a label plus an ordered list of property
+/// keys. `K1` is the *default property key*, which has a globally unique
+/// value (the analogue of a relational primary key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeType {
+    /// The node label, e.g. `CONCEPT`.
+    pub label: Ident,
+    /// Ordered property keys; the first is the default (primary) key.
+    pub keys: Vec<Ident>,
+}
+
+impl NodeType {
+    /// Creates a node type from a label and property-key names.
+    pub fn new(label: impl Into<Ident>, keys: impl IntoIterator<Item = impl Into<Ident>>) -> Self {
+        NodeType { label: label.into(), keys: keys.into_iter().map(Into::into).collect() }
+    }
+
+    /// The default (primary) property key of this node type.
+    pub fn default_key(&self) -> &Ident {
+        &self.keys[0]
+    }
+}
+
+/// An edge type `(l, t_src, t_tgt, K1, ..., Km)`: a label, the labels of the
+/// source and target node types, and an ordered list of property keys whose
+/// first element is the default (primary) key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeType {
+    /// The edge label, e.g. `WORK_AT`.
+    pub label: Ident,
+    /// Label of the source node type.
+    pub src: Ident,
+    /// Label of the target node type.
+    pub tgt: Ident,
+    /// Ordered property keys; the first is the default (primary) key.
+    pub keys: Vec<Ident>,
+}
+
+impl EdgeType {
+    /// Creates an edge type.
+    pub fn new(
+        label: impl Into<Ident>,
+        src: impl Into<Ident>,
+        tgt: impl Into<Ident>,
+        keys: impl IntoIterator<Item = impl Into<Ident>>,
+    ) -> Self {
+        EdgeType {
+            label: label.into(),
+            src: src.into(),
+            tgt: tgt.into(),
+            keys: keys.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The default (primary) property key of this edge type.
+    pub fn default_key(&self) -> &Ident {
+        &self.keys[0]
+    }
+}
+
+/// A graph database schema `Ψ_G = (T_N, T_E)` (Definition 3.2).
+///
+/// The paper assumes that labels uniquely identify types and that property
+/// keys do not clash between different types; [`GraphSchema::validate`]
+/// enforces both assumptions.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GraphSchema {
+    /// Node types, in declaration order.
+    pub node_types: Vec<NodeType>,
+    /// Edge types, in declaration order.
+    pub edge_types: Vec<EdgeType>,
+}
+
+impl GraphSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        GraphSchema::default()
+    }
+
+    /// Adds a node type and returns `self` for chaining.
+    pub fn with_node(mut self, node: NodeType) -> Self {
+        self.node_types.push(node);
+        self
+    }
+
+    /// Adds an edge type and returns `self` for chaining.
+    pub fn with_edge(mut self, edge: EdgeType) -> Self {
+        self.edge_types.push(edge);
+        self
+    }
+
+    /// Looks up a node type by label.
+    pub fn node_type(&self, label: &str) -> Option<&NodeType> {
+        self.node_types.iter().find(|n| n.label == label)
+    }
+
+    /// Looks up an edge type by label.
+    pub fn edge_type(&self, label: &str) -> Option<&EdgeType> {
+        self.edge_types.iter().find(|e| e.label == label)
+    }
+
+    /// Returns `true` if the label names a node type.
+    pub fn is_node_label(&self, label: &str) -> bool {
+        self.node_type(label).is_some()
+    }
+
+    /// Returns `true` if the label names an edge type.
+    pub fn is_edge_label(&self, label: &str) -> bool {
+        self.edge_type(label).is_some()
+    }
+
+    /// Returns every label in the schema (nodes then edges).
+    pub fn labels(&self) -> impl Iterator<Item = &Ident> {
+        self.node_types.iter().map(|n| &n.label).chain(self.edge_types.iter().map(|e| &e.label))
+    }
+
+    /// The property keys of the node or edge type with the given label.
+    pub fn keys_of(&self, label: &str) -> Option<&[Ident]> {
+        if let Some(n) = self.node_type(label) {
+            Some(&n.keys)
+        } else {
+            self.edge_type(label).map(|e| e.keys.as_slice())
+        }
+    }
+
+    /// The default (primary) property key of the node or edge type with the
+    /// given label.
+    pub fn default_key_of(&self, label: &str) -> Option<&Ident> {
+        self.keys_of(label).and_then(|k| k.first())
+    }
+
+    /// Validates the paper's well-formedness assumptions:
+    ///
+    /// 1. labels are unique across node and edge types;
+    /// 2. every type has at least one property key (the default key);
+    /// 3. property keys are unique within a type and across the schema;
+    /// 4. edge endpoints refer to declared node types.
+    pub fn validate(&self) -> Result<()> {
+        let mut labels: HashSet<&str> = HashSet::new();
+        for l in self.labels() {
+            if !labels.insert(l.as_str()) {
+                return Err(Error::schema(format!("duplicate label `{l}`")));
+            }
+        }
+        let mut keys_seen: HashSet<&str> = HashSet::new();
+        for (label, keys) in self
+            .node_types
+            .iter()
+            .map(|n| (&n.label, &n.keys))
+            .chain(self.edge_types.iter().map(|e| (&e.label, &e.keys)))
+        {
+            if keys.is_empty() {
+                return Err(Error::schema(format!(
+                    "type `{label}` must declare at least a default property key"
+                )));
+            }
+            let mut local: HashSet<&str> = HashSet::new();
+            for k in keys {
+                if !local.insert(k.as_str()) {
+                    return Err(Error::schema(format!(
+                        "duplicate property key `{k}` in type `{label}`"
+                    )));
+                }
+                if !keys_seen.insert(k.as_str()) {
+                    return Err(Error::schema(format!(
+                        "property key `{k}` used by more than one type (type `{label}`)"
+                    )));
+                }
+            }
+        }
+        for e in &self.edge_types {
+            for endpoint in [&e.src, &e.tgt] {
+                if !self.is_node_label(endpoint.as_str()) {
+                    return Err(Error::schema(format!(
+                        "edge type `{}` refers to unknown node type `{endpoint}`",
+                        e.label
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_dept() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    #[test]
+    fn lookup_and_default_keys() {
+        let s = emp_dept();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.node_type("EMP").unwrap().default_key().as_str(), "id");
+        assert_eq!(s.edge_type("WORK_AT").unwrap().default_key().as_str(), "wid");
+        assert_eq!(s.default_key_of("DEPT").unwrap().as_str(), "dnum");
+        assert!(s.is_node_label("EMP"));
+        assert!(s.is_edge_label("WORK_AT"));
+        assert!(!s.is_node_label("WORK_AT"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let s = emp_dept().with_node(NodeType::new("EMP", ["other"]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_across_types_rejected() {
+        let s = GraphSchema::new()
+            .with_node(NodeType::new("A", ["id"]))
+            .with_node(NodeType::new("B", ["id"]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn missing_endpoint_rejected() {
+        let s = GraphSchema::new()
+            .with_node(NodeType::new("A", ["aid"]))
+            .with_edge(EdgeType::new("REL", "A", "MISSING", ["rid"]));
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn empty_keys_rejected() {
+        let s = GraphSchema::new().with_node(NodeType { label: "A".into(), keys: vec![] });
+        assert!(s.validate().is_err());
+    }
+}

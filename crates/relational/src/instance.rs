@@ -1,0 +1,260 @@
+//! Relational database instances (Definition 3.6).
+
+use crate::schema::{Constraint, RelSchema};
+use crate::table::Table;
+use graphiti_common::{Error, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// A relational database instance: one [`Table`] per relation.
+///
+/// Table contents use the relation's declared attribute order; columns in the
+/// stored tables carry the *unqualified* attribute names.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RelInstance {
+    tables: BTreeMap<String, Table>,
+}
+
+impl RelInstance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        RelInstance::default()
+    }
+
+    /// Creates an instance with an empty table for every relation declared in
+    /// `schema`.
+    pub fn empty_of(schema: &RelSchema) -> Self {
+        let mut inst = RelInstance::new();
+        for rel in &schema.relations {
+            inst.tables.insert(
+                rel.name.as_str().to_string(),
+                Table::new(rel.attrs.iter().map(|a| a.as_str().to_string())),
+            );
+        }
+        inst
+    }
+
+    /// Inserts (or replaces) a whole table.
+    pub fn insert_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Appends a row to the named table, creating it if needed (columns will
+    /// be those of the provided schema relation if available).
+    pub fn push_row(&mut self, name: &str, row: Vec<Value>) {
+        if let Some(t) = self.table_mut(name) {
+            t.push_row(row);
+            return;
+        }
+        let mut t = Table::new((0..row.len()).map(|i| format!("c{i}")));
+        t.push_row(row);
+        self.tables.insert(name.to_string(), t);
+    }
+
+    /// Looks up a table by name (falling back to a case-insensitive match).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).or_else(|| {
+            self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+        })
+    }
+
+    /// Mutable lookup of a table by name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        if self.tables.contains_key(name) {
+            return self.tables.get_mut(name);
+        }
+        let key = self.tables.keys().find(|k| k.eq_ignore_ascii_case(name)).cloned()?;
+        self.tables.get_mut(&key)
+    }
+
+    /// Iterates over `(name, table)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Validates the instance against a schema: every declared relation has a
+    /// table of matching arity, and all integrity constraints hold.
+    pub fn validate(&self, schema: &RelSchema) -> Result<()> {
+        for rel in &schema.relations {
+            let table = self
+                .table(rel.name.as_str())
+                .ok_or_else(|| Error::instance(format!("missing table `{}`", rel.name)))?;
+            if table.arity() != rel.arity() {
+                return Err(Error::instance(format!(
+                    "table `{}` has arity {} but schema declares {}",
+                    rel.name,
+                    table.arity(),
+                    rel.arity()
+                )));
+            }
+        }
+        for c in &schema.constraints {
+            self.check_constraint(schema, c)?;
+        }
+        Ok(())
+    }
+
+    fn check_constraint(&self, schema: &RelSchema, c: &Constraint) -> Result<()> {
+        match c {
+            Constraint::PrimaryKey { relation, attr } => {
+                let rel = schema.relation(relation.as_str()).unwrap();
+                let idx = rel.attr_index(attr.as_str()).unwrap();
+                let table = self
+                    .table(relation.as_str())
+                    .ok_or_else(|| Error::instance(format!("missing table `{relation}`")))?;
+                let mut seen: HashSet<Value> = HashSet::new();
+                for row in &table.rows {
+                    let v = &row[idx];
+                    if v.is_null() {
+                        return Err(Error::instance(format!(
+                            "primary key `{relation}.{attr}` contains NULL"
+                        )));
+                    }
+                    if !seen.insert(v.clone()) {
+                        return Err(Error::instance(format!(
+                            "primary key `{relation}.{attr}` has duplicate value {v}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Constraint::ForeignKey { relation, attr, ref_relation, ref_attr } => {
+                let rel = schema.relation(relation.as_str()).unwrap();
+                let idx = rel.attr_index(attr.as_str()).unwrap();
+                let ref_rel = schema.relation(ref_relation.as_str()).unwrap();
+                let ref_idx = ref_rel.attr_index(ref_attr.as_str()).unwrap();
+                let table = self
+                    .table(relation.as_str())
+                    .ok_or_else(|| Error::instance(format!("missing table `{relation}`")))?;
+                let ref_table = self
+                    .table(ref_relation.as_str())
+                    .ok_or_else(|| Error::instance(format!("missing table `{ref_relation}`")))?;
+                let referenced: HashSet<&Value> =
+                    ref_table.rows.iter().map(|r| &r[ref_idx]).collect();
+                for row in &table.rows {
+                    let v = &row[idx];
+                    if v.is_null() {
+                        continue;
+                    }
+                    if !referenced.contains(v) {
+                        return Err(Error::instance(format!(
+                            "foreign key `{relation}.{attr}` value {v} not found in `{ref_relation}.{ref_attr}`"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Constraint::NotNull { relation, attr } => {
+                let rel = schema.relation(relation.as_str()).unwrap();
+                let idx = rel.attr_index(attr.as_str()).unwrap();
+                let table = self
+                    .table(relation.as_str())
+                    .ok_or_else(|| Error::instance(format!("missing table `{relation}`")))?;
+                for row in &table.rows {
+                    if row[idx].is_null() {
+                        return Err(Error::instance(format!(
+                            "NOT NULL attribute `{relation}.{attr}` contains NULL"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Constraint, RelSchema, Relation};
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn schema() -> RelSchema {
+        RelSchema::new()
+            .with_relation(Relation::new("emp", ["id", "name"]))
+            .with_relation(Relation::new("dept", ["dnum", "dname"]))
+            .with_relation(Relation::new("work_at", ["wid", "SRC", "TGT"]))
+            .with_constraint(Constraint::pk("emp", "id"))
+            .with_constraint(Constraint::pk("dept", "dnum"))
+            .with_constraint(Constraint::pk("work_at", "wid"))
+            .with_constraint(Constraint::fk("work_at", "SRC", "emp", "id"))
+            .with_constraint(Constraint::fk("work_at", "TGT", "dept", "dnum"))
+            .with_constraint(Constraint::not_null("emp", "name"))
+    }
+
+    /// Builds the relational instance from Figure 15b.
+    fn fig15_instance() -> RelInstance {
+        let mut inst = RelInstance::empty_of(&schema());
+        inst.table_mut("emp").unwrap().push_row(vec![v(1), Value::str("A")]);
+        inst.table_mut("emp").unwrap().push_row(vec![v(2), Value::str("B")]);
+        inst.table_mut("dept").unwrap().push_row(vec![v(1), Value::str("CS")]);
+        inst.table_mut("dept").unwrap().push_row(vec![v(2), Value::str("EE")]);
+        inst.table_mut("work_at").unwrap().push_row(vec![v(10), v(1), v(1)]);
+        inst.table_mut("work_at").unwrap().push_row(vec![v(11), v(2), v(1)]);
+        inst
+    }
+
+    #[test]
+    fn validate_fig15() {
+        let inst = fig15_instance();
+        assert!(inst.validate(&schema()).is_ok());
+        assert_eq!(inst.total_rows(), 6);
+        assert_eq!(inst.table("EMP").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pk_violation_detected() {
+        let mut inst = fig15_instance();
+        inst.table_mut("emp").unwrap().push_row(vec![v(1), Value::str("dup")]);
+        assert!(inst.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn pk_null_detected() {
+        let mut inst = fig15_instance();
+        inst.table_mut("emp").unwrap().push_row(vec![Value::Null, Value::str("x")]);
+        assert!(inst.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn fk_violation_detected() {
+        let mut inst = fig15_instance();
+        inst.table_mut("work_at").unwrap().push_row(vec![v(12), v(99), v(1)]);
+        assert!(inst.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn fk_null_is_allowed() {
+        let mut inst = fig15_instance();
+        inst.table_mut("work_at").unwrap().push_row(vec![v(12), Value::Null, v(1)]);
+        assert!(inst.validate(&schema()).is_ok());
+    }
+
+    #[test]
+    fn not_null_violation_detected() {
+        let mut inst = fig15_instance();
+        inst.table_mut("emp").unwrap().push_row(vec![v(3), Value::Null]);
+        assert!(inst.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn missing_table_detected() {
+        let inst = RelInstance::new();
+        assert!(inst.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut inst = fig15_instance();
+        inst.insert_table("emp", Table::new(["id"]));
+        assert!(inst.validate(&schema()).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Relational schemas and integrity constraints (Definition 3.5).
+
+use graphiti_common::{Error, Ident, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A single relation (table) declaration: a name plus an ordered attribute
+/// list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Table name.
+    pub name: Ident,
+    /// Ordered attribute names.
+    pub attrs: Vec<Ident>,
+}
+
+impl Relation {
+    /// Creates a relation declaration.
+    pub fn new(name: impl Into<Ident>, attrs: impl IntoIterator<Item = impl Into<Ident>>) -> Self {
+        Relation { name: name.into(), attrs: attrs.into_iter().map(Into::into).collect() }
+    }
+
+    /// Returns the position of an attribute, if declared.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// An atomic integrity constraint (Section 3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `PK(R) = a`: attribute `a` is the primary key of relation `R`.
+    PrimaryKey {
+        /// Relation name.
+        relation: Ident,
+        /// Primary key attribute.
+        attr: Ident,
+    },
+    /// `FK(R.a) = R'.a'`: values of `R.a` must appear in `R'.a'`.
+    ForeignKey {
+        /// Referencing relation.
+        relation: Ident,
+        /// Referencing attribute.
+        attr: Ident,
+        /// Referenced relation.
+        ref_relation: Ident,
+        /// Referenced attribute.
+        ref_attr: Ident,
+    },
+    /// `NotNull(R, a)`: attribute `a` of relation `R` must not be `NULL`.
+    NotNull {
+        /// Relation name.
+        relation: Ident,
+        /// Attribute that must be non-null.
+        attr: Ident,
+    },
+}
+
+impl Constraint {
+    /// Convenience constructor for a primary-key constraint.
+    pub fn pk(relation: impl Into<Ident>, attr: impl Into<Ident>) -> Self {
+        Constraint::PrimaryKey { relation: relation.into(), attr: attr.into() }
+    }
+
+    /// Convenience constructor for a foreign-key constraint.
+    pub fn fk(
+        relation: impl Into<Ident>,
+        attr: impl Into<Ident>,
+        ref_relation: impl Into<Ident>,
+        ref_attr: impl Into<Ident>,
+    ) -> Self {
+        Constraint::ForeignKey {
+            relation: relation.into(),
+            attr: attr.into(),
+            ref_relation: ref_relation.into(),
+            ref_attr: ref_attr.into(),
+        }
+    }
+
+    /// Convenience constructor for a not-null constraint.
+    pub fn not_null(relation: impl Into<Ident>, attr: impl Into<Ident>) -> Self {
+        Constraint::NotNull { relation: relation.into(), attr: attr.into() }
+    }
+}
+
+/// A relational database schema `Ψ_R = (S, ξ)`: a set of relations plus a
+/// conjunction of atomic integrity constraints.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RelSchema {
+    /// Declared relations, in declaration order.
+    pub relations: Vec<Relation>,
+    /// Integrity constraints `ξ`.
+    pub constraints: Vec<Constraint>,
+}
+
+impl RelSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        RelSchema::default()
+    }
+
+    /// Adds a relation and returns `self` for chaining.
+    pub fn with_relation(mut self, rel: Relation) -> Self {
+        self.relations.push(rel);
+        self
+    }
+
+    /// Adds a constraint and returns `self` for chaining.
+    pub fn with_constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Looks up a relation by name (case-sensitive first, then
+    /// case-insensitive as a convenience for hand-written SQL).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations
+            .iter()
+            .find(|r| r.name == name)
+            .or_else(|| self.relations.iter().find(|r| r.name.eq_ignore_case(name)))
+    }
+
+    /// Returns the primary-key attribute of a relation, if declared.
+    pub fn primary_key(&self, relation: &str) -> Option<&Ident> {
+        self.constraints.iter().find_map(|c| match c {
+            Constraint::PrimaryKey { relation: r, attr } if r.eq_ignore_case(relation) => {
+                Some(attr)
+            }
+            _ => None,
+        })
+    }
+
+    /// Returns all foreign keys declared on a relation as
+    /// `(attr, ref_relation, ref_attr)` triples.
+    pub fn foreign_keys(&self, relation: &str) -> Vec<(&Ident, &Ident, &Ident)> {
+        self.constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::ForeignKey { relation: r, attr, ref_relation, ref_attr }
+                    if r.eq_ignore_case(relation) =>
+                {
+                    Some((attr, ref_relation, ref_attr))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Returns `true` when the schema declares the given relation.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relation(name).is_some()
+    }
+
+    /// Validates the schema: unique relation names, unique attributes per
+    /// relation, and constraints that refer to declared relations/attributes.
+    pub fn validate(&self) -> Result<()> {
+        let mut names: HashSet<String> = HashSet::new();
+        for r in &self.relations {
+            if !names.insert(r.name.as_str().to_ascii_lowercase()) {
+                return Err(Error::schema(format!("duplicate relation `{}`", r.name)));
+            }
+            let mut attrs: HashSet<&str> = HashSet::new();
+            for a in &r.attrs {
+                if !attrs.insert(a.as_str()) {
+                    return Err(Error::schema(format!(
+                        "duplicate attribute `{a}` in relation `{}`",
+                        r.name
+                    )));
+                }
+            }
+        }
+        let check_attr = |rel: &Ident, attr: &Ident| -> Result<()> {
+            let r = self
+                .relation(rel.as_str())
+                .ok_or_else(|| Error::schema(format!("constraint refers to unknown relation `{rel}`")))?;
+            if r.attr_index(attr.as_str()).is_none() {
+                return Err(Error::schema(format!(
+                    "constraint refers to unknown attribute `{rel}.{attr}`"
+                )));
+            }
+            Ok(())
+        };
+        for c in &self.constraints {
+            match c {
+                Constraint::PrimaryKey { relation, attr } | Constraint::NotNull { relation, attr } => {
+                    check_attr(relation, attr)?;
+                }
+                Constraint::ForeignKey { relation, attr, ref_relation, ref_attr } => {
+                    check_attr(relation, attr)?;
+                    check_attr(ref_relation, ref_attr)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The induced relational schema from Figure 14b of the paper.
+    fn induced_emp_schema() -> RelSchema {
+        RelSchema::new()
+            .with_relation(Relation::new("emp", ["id", "name"]))
+            .with_relation(Relation::new("dept", ["dnum", "dname"]))
+            .with_relation(Relation::new("work_at", ["wid", "SRC", "TGT"]))
+            .with_constraint(Constraint::pk("emp", "id"))
+            .with_constraint(Constraint::pk("dept", "dnum"))
+            .with_constraint(Constraint::pk("work_at", "wid"))
+            .with_constraint(Constraint::fk("work_at", "SRC", "emp", "id"))
+            .with_constraint(Constraint::fk("work_at", "TGT", "dept", "dnum"))
+    }
+
+    #[test]
+    fn lookups() {
+        let s = induced_emp_schema();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.relation("emp").unwrap().arity(), 2);
+        assert_eq!(s.relation("EMP").unwrap().arity(), 2);
+        assert_eq!(s.primary_key("work_at").unwrap().as_str(), "wid");
+        assert_eq!(s.foreign_keys("work_at").len(), 2);
+        assert!(s.has_relation("dept"));
+        assert!(!s.has_relation("nope"));
+    }
+
+    #[test]
+    fn attr_index() {
+        let r = Relation::new("t", ["a", "b", "c"]);
+        assert_eq!(r.attr_index("b"), Some(1));
+        assert_eq!(r.attr_index("z"), None);
+    }
+
+    #[test]
+    fn validation_rejects_duplicates() {
+        let s = RelSchema::new()
+            .with_relation(Relation::new("t", ["a"]))
+            .with_relation(Relation::new("T", ["b"]));
+        assert!(s.validate().is_err());
+        let s2 = RelSchema::new().with_relation(Relation::new("t", ["a", "a"]));
+        assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_dangling_constraints() {
+        let s = RelSchema::new()
+            .with_relation(Relation::new("t", ["a"]))
+            .with_constraint(Constraint::pk("t", "missing"));
+        assert!(s.validate().is_err());
+        let s2 = RelSchema::new()
+            .with_relation(Relation::new("t", ["a"]))
+            .with_constraint(Constraint::fk("t", "a", "ghost", "x"));
+        assert!(s2.validate().is_err());
+    }
+}

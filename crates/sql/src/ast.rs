@@ -1,0 +1,591 @@
+//! Featherweight SQL abstract syntax (Figure 10 of the paper).
+//!
+//! The AST is the relational-algebra-style language of the paper:
+//!
+//! ```text
+//! Query Q ::= R | Π_L(Q) | σ_φ(Q) | ρ_R(Q) | Q ∪ Q | Q ⊎ Q | Q ⊗ Q
+//!           | GroupBy(Q, Ē, L, φ) | With(Q, R, Q) | OrderBy(Q, ā, b)
+//! L ::= E | ρ_a(E) | L, L
+//! E ::= a | v | Cast(φ) | Agg(E) | E ⊕ E
+//! φ ::= b | E ⊙ E | IsNull(E) | E ∈ v̄ | E ∈ Q | φ∧φ | φ∨φ | ¬φ
+//! ⊗ ::= × | ⋈_φ | left/right/full outer joins
+//! ```
+//!
+//! Extensions beyond the paper's figure, all used by real benchmark queries:
+//! `DISTINCT`, `EXISTS(Q)` predicates, and tuple-`IN` over a subquery (the
+//! form produced by the `P-Exists` transpilation rule).
+
+use graphiti_common::{AggKind, BinArith, CmpOp, Ident, Value};
+use serde::{Deserialize, Serialize};
+
+/// A (possibly qualified) column reference, e.g. `c2.CID` or `CID`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Optional table qualifier.
+    pub qualifier: Option<Ident>,
+    /// Column name.
+    pub name: Ident,
+}
+
+impl ColumnRef {
+    /// An unqualified column reference.
+    pub fn unqualified(name: impl Into<Ident>) -> Self {
+        ColumnRef { qualifier: None, name: name.into() }
+    }
+
+    /// A qualified column reference.
+    pub fn qualified(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> Self {
+        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+
+    /// Renders the reference as `qualifier.name` or `name`.
+    pub fn render(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// A SQL scalar expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SqlExpr {
+    /// A column reference.
+    Col(ColumnRef),
+    /// A literal value.
+    Value(Value),
+    /// `Cast(φ)` — predicate to `1`/`0`/`NULL` (also covers `CASE WHEN φ THEN 1 ELSE 0 END`).
+    Cast(Box<SqlPred>),
+    /// Aggregate call; the boolean is `DISTINCT`.
+    Agg(AggKind, Box<SqlExpr>, bool),
+    /// Binary arithmetic.
+    Arith(Box<SqlExpr>, BinArith, Box<SqlExpr>),
+    /// The `*` of `COUNT(*)`.
+    Star,
+}
+
+impl SqlExpr {
+    /// Convenience constructor for a qualified column.
+    pub fn col(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> Self {
+        SqlExpr::Col(ColumnRef::qualified(qualifier, name))
+    }
+
+    /// Convenience constructor for an unqualified column.
+    pub fn name(name: impl Into<Ident>) -> Self {
+        SqlExpr::Col(ColumnRef::unqualified(name))
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn value(v: impl Into<Value>) -> Self {
+        SqlExpr::Value(v.into())
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        SqlExpr::Agg(AggKind::Count, Box::new(SqlExpr::Star), false)
+    }
+
+    /// A non-distinct aggregate.
+    pub fn agg(kind: AggKind, e: SqlExpr) -> Self {
+        SqlExpr::Agg(kind, Box::new(e), false)
+    }
+
+    /// Returns `true` if the expression contains an aggregate.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            SqlExpr::Agg(..) => true,
+            SqlExpr::Arith(a, _, b) => a.has_agg() || b.has_agg(),
+            SqlExpr::Cast(p) => p.has_agg(),
+            _ => false,
+        }
+    }
+
+    /// AST node count (Table 1 size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            SqlExpr::Col(_) | SqlExpr::Value(_) | SqlExpr::Star => 1,
+            SqlExpr::Cast(p) => 1 + p.size(),
+            SqlExpr::Agg(_, e, _) => 1 + e.size(),
+            SqlExpr::Arith(a, _, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// All column references in the expression.
+    pub fn columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<ColumnRef>) {
+        match self {
+            SqlExpr::Col(c) => out.push(c.clone()),
+            SqlExpr::Cast(p) => p.collect_columns(out),
+            SqlExpr::Agg(_, e, _) => e.collect_columns(out),
+            SqlExpr::Arith(a, _, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            SqlExpr::Value(_) | SqlExpr::Star => {}
+        }
+    }
+}
+
+/// A SQL predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SqlPred {
+    /// Boolean constant.
+    Bool(bool),
+    /// Comparison.
+    Cmp(Box<SqlExpr>, CmpOp, Box<SqlExpr>),
+    /// `E IS NULL`.
+    IsNull(Box<SqlExpr>),
+    /// `E IN (v1, ..., vn)` over literal values.
+    InList(Box<SqlExpr>, Vec<Value>),
+    /// `(E1, ..., En) IN (SELECT ...)` — tuple membership in a subquery.
+    InQuery(Vec<SqlExpr>, Box<SqlQuery>),
+    /// `EXISTS (SELECT ...)`.
+    Exists(Box<SqlQuery>),
+    /// Conjunction.
+    And(Box<SqlPred>, Box<SqlPred>),
+    /// Disjunction.
+    Or(Box<SqlPred>, Box<SqlPred>),
+    /// Negation.
+    Not(Box<SqlPred>),
+}
+
+impl SqlPred {
+    /// `⊤`.
+    pub fn true_() -> Self {
+        SqlPred::Bool(true)
+    }
+
+    /// Convenience constructor for comparisons.
+    pub fn cmp(a: SqlExpr, op: CmpOp, b: SqlExpr) -> Self {
+        SqlPred::Cmp(Box::new(a), op, Box::new(b))
+    }
+
+    /// Convenience constructor for column equality `a = b`.
+    pub fn col_eq(a: SqlExpr, b: SqlExpr) -> Self {
+        SqlPred::cmp(a, CmpOp::Eq, b)
+    }
+
+    /// Conjunction that simplifies `⊤ ∧ p` to `p`.
+    pub fn and(a: SqlPred, b: SqlPred) -> Self {
+        match (a, b) {
+            (SqlPred::Bool(true), p) | (p, SqlPred::Bool(true)) => p,
+            (a, b) => SqlPred::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(a: SqlPred, b: SqlPred) -> Self {
+        SqlPred::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Negation.
+    pub fn not(p: SqlPred) -> Self {
+        SqlPred::Not(Box::new(p))
+    }
+
+    /// Conjunction of an iterator of predicates (`⊤` if empty).
+    pub fn conjunction(preds: impl IntoIterator<Item = SqlPred>) -> Self {
+        preds.into_iter().fold(SqlPred::Bool(true), SqlPred::and)
+    }
+
+    /// Splits a predicate into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&SqlPred> {
+        match self {
+            SqlPred::And(a, b) => {
+                let mut out = a.conjuncts();
+                out.extend(b.conjuncts());
+                out
+            }
+            _ => vec![self],
+        }
+    }
+
+    /// Returns `true` if the predicate contains an aggregate.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            SqlPred::Cmp(a, _, b) => a.has_agg() || b.has_agg(),
+            SqlPred::IsNull(e) => e.has_agg(),
+            SqlPred::InList(e, _) => e.has_agg(),
+            SqlPred::InQuery(es, _) => es.iter().any(SqlExpr::has_agg),
+            SqlPred::And(a, b) | SqlPred::Or(a, b) => a.has_agg() || b.has_agg(),
+            SqlPred::Not(p) => p.has_agg(),
+            SqlPred::Bool(_) | SqlPred::Exists(_) => false,
+        }
+    }
+
+    /// Returns `true` if the predicate contains a subquery.
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            SqlPred::InQuery(..) | SqlPred::Exists(_) => true,
+            SqlPred::And(a, b) | SqlPred::Or(a, b) => a.has_subquery() || b.has_subquery(),
+            SqlPred::Not(p) => p.has_subquery(),
+            _ => false,
+        }
+    }
+
+    /// AST node count (Table 1 size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            SqlPred::Bool(_) => 1,
+            SqlPred::Cmp(a, _, b) => 1 + a.size() + b.size(),
+            SqlPred::IsNull(e) => 1 + e.size(),
+            SqlPred::InList(e, vs) => 1 + e.size() + vs.len(),
+            SqlPred::InQuery(es, q) => 1 + es.iter().map(SqlExpr::size).sum::<usize>() + q.size(),
+            SqlPred::Exists(q) => 1 + q.size(),
+            SqlPred::And(a, b) | SqlPred::Or(a, b) => 1 + a.size() + b.size(),
+            SqlPred::Not(p) => 1 + p.size(),
+        }
+    }
+
+    fn collect_columns(&self, out: &mut Vec<ColumnRef>) {
+        match self {
+            SqlPred::Cmp(a, _, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            SqlPred::IsNull(e) | SqlPred::InList(e, _) => e.collect_columns(out),
+            SqlPred::InQuery(es, _) => es.iter().for_each(|e| e.collect_columns(out)),
+            SqlPred::And(a, b) | SqlPred::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            SqlPred::Not(p) => p.collect_columns(out),
+            SqlPred::Bool(_) | SqlPred::Exists(_) => {}
+        }
+    }
+
+    /// Column references appearing (outside subqueries) in the predicate.
+    pub fn columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+}
+
+/// One item of a projection list: an expression with an optional alias
+/// (`ρ_a(E)` in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: SqlExpr,
+    /// Output column name; defaults to a rendering of the expression.
+    pub alias: Option<Ident>,
+}
+
+impl SelectItem {
+    /// An item without an alias.
+    pub fn expr(expr: SqlExpr) -> Self {
+        SelectItem { expr, alias: None }
+    }
+
+    /// An aliased item.
+    pub fn aliased(expr: SqlExpr, alias: impl Into<Ident>) -> Self {
+        SelectItem { expr, alias: Some(alias.into()) }
+    }
+
+    /// The output column name.
+    pub fn output_name(&self) -> String {
+        match &self.alias {
+            Some(a) => a.to_string(),
+            None => crate::pretty::expr_to_string(&self.expr),
+        }
+    }
+}
+
+/// Join operators (`⊗` in Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// Cartesian product `×`.
+    Cross,
+    /// Inner join `⋈_φ`.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Right outer join.
+    Right,
+    /// Full outer join.
+    Full,
+}
+
+/// A Featherweight SQL query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SqlQuery {
+    /// A base relation or CTE reference.
+    Table(Ident),
+    /// Projection `Π_L(Q)`; `distinct` adds `SELECT DISTINCT`.
+    Project {
+        /// Input query.
+        input: Box<SqlQuery>,
+        /// Projection list.
+        items: Vec<SelectItem>,
+        /// Whether duplicate rows are removed.
+        distinct: bool,
+    },
+    /// Selection `σ_φ(Q)`.
+    Select {
+        /// Input query.
+        input: Box<SqlQuery>,
+        /// Filter predicate.
+        pred: SqlPred,
+    },
+    /// Renaming `ρ_T(Q)`: gives the result the table alias `T`.
+    Rename {
+        /// Input query.
+        input: Box<SqlQuery>,
+        /// New table alias.
+        alias: Ident,
+    },
+    /// Join `Q ⊗_φ Q`.
+    Join {
+        /// Left input.
+        left: Box<SqlQuery>,
+        /// Right input.
+        right: Box<SqlQuery>,
+        /// Join flavour.
+        kind: JoinKind,
+        /// Join predicate (`⊤` for cross joins).
+        pred: SqlPred,
+    },
+    /// Set union `∪` (duplicates removed).
+    Union(Box<SqlQuery>, Box<SqlQuery>),
+    /// Bag union `⊎` (`UNION ALL`).
+    UnionAll(Box<SqlQuery>, Box<SqlQuery>),
+    /// `GroupBy(Q, Ē, L, φ)`: grouping keys, projection list, `HAVING`.
+    GroupBy {
+        /// Input query.
+        input: Box<SqlQuery>,
+        /// Grouping key expressions.
+        keys: Vec<SqlExpr>,
+        /// Projection list (may contain aggregates).
+        items: Vec<SelectItem>,
+        /// `HAVING` predicate.
+        having: SqlPred,
+    },
+    /// `With(Q_def, R, Q_body)`: a common table expression.
+    With {
+        /// CTE name.
+        name: Ident,
+        /// CTE definition.
+        definition: Box<SqlQuery>,
+        /// Body that may reference the CTE.
+        body: Box<SqlQuery>,
+    },
+    /// `OrderBy(Q, ā, b)`.
+    OrderBy {
+        /// Input query.
+        input: Box<SqlQuery>,
+        /// Sort keys: expression plus ascending flag.
+        keys: Vec<(SqlExpr, bool)>,
+    },
+}
+
+impl SqlQuery {
+    /// A base-table scan.
+    pub fn table(name: impl Into<Ident>) -> Self {
+        SqlQuery::Table(name.into())
+    }
+
+    /// `ρ_alias(self)`.
+    pub fn rename(self, alias: impl Into<Ident>) -> Self {
+        SqlQuery::Rename { input: Box::new(self), alias: alias.into() }
+    }
+
+    /// `σ_pred(self)`.
+    pub fn select(self, pred: SqlPred) -> Self {
+        SqlQuery::Select { input: Box::new(self), pred }
+    }
+
+    /// `Π_items(self)`.
+    pub fn project(self, items: Vec<SelectItem>) -> Self {
+        SqlQuery::Project { input: Box::new(self), items, distinct: false }
+    }
+
+    /// Inner join with a predicate.
+    pub fn join(self, right: SqlQuery, pred: SqlPred) -> Self {
+        SqlQuery::Join { left: Box::new(self), right: Box::new(right), kind: JoinKind::Inner, pred }
+    }
+
+    /// Left outer join with a predicate.
+    pub fn left_join(self, right: SqlQuery, pred: SqlPred) -> Self {
+        SqlQuery::Join { left: Box::new(self), right: Box::new(right), kind: JoinKind::Left, pred }
+    }
+
+    /// Cross join.
+    pub fn cross_join(self, right: SqlQuery) -> Self {
+        SqlQuery::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind: JoinKind::Cross,
+            pred: SqlPred::Bool(true),
+        }
+    }
+
+    /// AST node count (the Table 1 "SQL Size" metric).
+    pub fn size(&self) -> usize {
+        match self {
+            SqlQuery::Table(_) => 1,
+            SqlQuery::Project { input, items, .. } => {
+                1 + input.size() + items.iter().map(|i| i.expr.size()).sum::<usize>()
+            }
+            SqlQuery::Select { input, pred } => 1 + input.size() + pred.size(),
+            SqlQuery::Rename { input, .. } => 1 + input.size(),
+            SqlQuery::Join { left, right, pred, .. } => 1 + left.size() + right.size() + pred.size(),
+            SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => 1 + a.size() + b.size(),
+            SqlQuery::GroupBy { input, keys, items, having } => {
+                1 + input.size()
+                    + keys.iter().map(SqlExpr::size).sum::<usize>()
+                    + items.iter().map(|i| i.expr.size()).sum::<usize>()
+                    + having.size()
+            }
+            SqlQuery::With { definition, body, .. } => 1 + definition.size() + body.size(),
+            SqlQuery::OrderBy { input, keys } => {
+                1 + input.size() + keys.iter().map(|(e, _)| e.size()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Returns `true` if the query uses aggregation anywhere.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            SqlQuery::Table(_) => false,
+            SqlQuery::Project { input, items, .. } => {
+                items.iter().any(|i| i.expr.has_agg()) || input.has_agg()
+            }
+            SqlQuery::Select { input, pred } => pred.has_agg() || input.has_agg(),
+            SqlQuery::Rename { input, .. } => input.has_agg(),
+            SqlQuery::Join { left, right, .. } => left.has_agg() || right.has_agg(),
+            SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => a.has_agg() || b.has_agg(),
+            SqlQuery::GroupBy { .. } => true,
+            SqlQuery::With { definition, body, .. } => definition.has_agg() || body.has_agg(),
+            SqlQuery::OrderBy { input, .. } => input.has_agg(),
+        }
+    }
+
+    /// Returns `true` if the query uses an outer join anywhere.
+    pub fn has_outer_join(&self) -> bool {
+        match self {
+            SqlQuery::Table(_) => false,
+            SqlQuery::Project { input, .. }
+            | SqlQuery::Select { input, .. }
+            | SqlQuery::Rename { input, .. }
+            | SqlQuery::OrderBy { input, .. } => input.has_outer_join(),
+            SqlQuery::Join { left, right, kind, .. } => {
+                matches!(kind, JoinKind::Left | JoinKind::Right | JoinKind::Full)
+                    || left.has_outer_join()
+                    || right.has_outer_join()
+            }
+            SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => {
+                a.has_outer_join() || b.has_outer_join()
+            }
+            SqlQuery::GroupBy { input, .. } => input.has_outer_join(),
+            SqlQuery::With { definition, body, .. } => {
+                definition.has_outer_join() || body.has_outer_join()
+            }
+        }
+    }
+
+    /// Names of the base tables referenced by the query (excluding CTEs).
+    pub fn base_tables(&self) -> Vec<Ident> {
+        fn walk(q: &SqlQuery, ctes: &mut Vec<Ident>, out: &mut Vec<Ident>) {
+            match q {
+                SqlQuery::Table(name) => {
+                    if !ctes.contains(name) && !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+                SqlQuery::Project { input, .. }
+                | SqlQuery::Select { input, .. }
+                | SqlQuery::Rename { input, .. }
+                | SqlQuery::OrderBy { input, .. }
+                | SqlQuery::GroupBy { input, .. } => walk(input, ctes, out),
+                SqlQuery::Join { left, right, .. }
+                | SqlQuery::Union(left, right)
+                | SqlQuery::UnionAll(left, right) => {
+                    walk(left, ctes, out);
+                    walk(right, ctes, out);
+                }
+                SqlQuery::With { name, definition, body } => {
+                    walk(definition, ctes, out);
+                    ctes.push(name.clone());
+                    walk(body, ctes, out);
+                    ctes.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_size() {
+        let q = SqlQuery::table("emp")
+            .rename("n")
+            .join(
+                SqlQuery::table("work_at").rename("e"),
+                SqlPred::col_eq(SqlExpr::col("n", "id"), SqlExpr::col("e", "SRC")),
+            )
+            .select(SqlPred::cmp(SqlExpr::col("n", "id"), CmpOp::Gt, SqlExpr::value(0)))
+            .project(vec![SelectItem::aliased(SqlExpr::col("n", "name"), "name")]);
+        assert!(q.size() > 8);
+        assert!(!q.has_agg());
+        assert!(!q.has_outer_join());
+        assert_eq!(q.base_tables(), vec![Ident::new("emp"), Ident::new("work_at")]);
+    }
+
+    #[test]
+    fn conjuncts_and_conjunction() {
+        let p = SqlPred::conjunction(vec![
+            SqlPred::col_eq(SqlExpr::name("a"), SqlExpr::name("b")),
+            SqlPred::col_eq(SqlExpr::name("c"), SqlExpr::name("d")),
+            SqlPred::Bool(true),
+        ]);
+        assert_eq!(p.conjuncts().len(), 2);
+        assert_eq!(SqlPred::true_().conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn agg_and_outer_join_detection() {
+        let q = SqlQuery::GroupBy {
+            input: Box::new(SqlQuery::table("t").left_join(SqlQuery::table("s"), SqlPred::true_())),
+            keys: vec![SqlExpr::name("a")],
+            items: vec![SelectItem::expr(SqlExpr::count_star())],
+            having: SqlPred::true_(),
+        };
+        assert!(q.has_agg());
+        assert!(q.has_outer_join());
+    }
+
+    #[test]
+    fn cte_names_are_not_base_tables() {
+        let q = SqlQuery::With {
+            name: "T1".into(),
+            definition: Box::new(SqlQuery::table("emp")),
+            body: Box::new(SqlQuery::table("T1").join(
+                SqlQuery::table("dept"),
+                SqlPred::true_(),
+            )),
+        };
+        let tables = q.base_tables();
+        assert!(tables.contains(&Ident::new("emp")));
+        assert!(tables.contains(&Ident::new("dept")));
+        assert!(!tables.contains(&Ident::new("T1")));
+    }
+
+    #[test]
+    fn select_item_output_names() {
+        assert_eq!(SelectItem::aliased(SqlExpr::col("t", "a"), "x").output_name(), "x");
+        assert_eq!(SelectItem::expr(SqlExpr::col("t", "a")).output_name(), "t.a");
+        assert_eq!(SelectItem::expr(SqlExpr::count_star()).output_name(), "Count(*)");
+    }
+}

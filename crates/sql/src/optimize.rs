@@ -1,0 +1,357 @@
+//! A small logical optimizer: selection pushdown into join trees.
+//!
+//! Hand-written SQL benchmarks frequently use the textbook
+//! `FROM a, b, c WHERE a.x = b.y AND ...` style, which parses to a selection
+//! over a chain of Cartesian products.  Evaluating that literally
+//! materializes the full product, which is hopeless at the row counts used
+//! by the Table 4 experiment.  This pass pushes conjuncts of a selection
+//! into the join tree:
+//!
+//! * join conjuncts (`a.x = b.y`) are attached to the lowest join node whose
+//!   two sides provide the referenced aliases, turning a cross join into an
+//!   inner join that the evaluator executes as a hash join;
+//! * single-side conjuncts (`a.x = 1`) are pushed to the subtree providing
+//!   the alias;
+//! * conjuncts with unqualified columns, subqueries, or anything else we
+//!   cannot prove safe stay in the top-level selection;
+//! * nothing is pushed into or across outer joins (that would change
+//!   semantics).
+//!
+//! The pass is purely a performance optimization; `eval_query_unoptimized`
+//! bypasses it and the `hash_join_agrees_with_nested_loop` test plus the
+//! ablation benchmark check that results are unchanged.
+
+use crate::ast::*;
+use std::collections::HashSet;
+
+/// Optimizes a query (recursively, including subqueries in predicates).
+pub fn optimize(q: &SqlQuery) -> SqlQuery {
+    match q {
+        SqlQuery::Table(n) => SqlQuery::Table(n.clone()),
+        SqlQuery::Rename { input, alias } => {
+            SqlQuery::Rename { input: Box::new(optimize(input)), alias: alias.clone() }
+        }
+        SqlQuery::Project { input, items, distinct } => SqlQuery::Project {
+            input: Box::new(optimize(input)),
+            items: items.iter().map(optimize_item).collect(),
+            distinct: *distinct,
+        },
+        SqlQuery::Select { input, pred } => {
+            let input = optimize(input);
+            let pred = optimize_pred(pred);
+            push_selection(input, pred)
+        }
+        SqlQuery::Join { left, right, kind, pred } => SqlQuery::Join {
+            left: Box::new(optimize(left)),
+            right: Box::new(optimize(right)),
+            kind: *kind,
+            pred: optimize_pred(pred),
+        },
+        SqlQuery::Union(a, b) => SqlQuery::Union(Box::new(optimize(a)), Box::new(optimize(b))),
+        SqlQuery::UnionAll(a, b) => {
+            SqlQuery::UnionAll(Box::new(optimize(a)), Box::new(optimize(b)))
+        }
+        SqlQuery::GroupBy { input, keys, items, having } => SqlQuery::GroupBy {
+            input: Box::new(optimize(input)),
+            keys: keys.clone(),
+            items: items.iter().map(optimize_item).collect(),
+            having: optimize_pred(having),
+        },
+        SqlQuery::With { name, definition, body } => SqlQuery::With {
+            name: name.clone(),
+            definition: Box::new(optimize(definition)),
+            body: Box::new(optimize(body)),
+        },
+        SqlQuery::OrderBy { input, keys } => {
+            SqlQuery::OrderBy { input: Box::new(optimize(input)), keys: keys.clone() }
+        }
+    }
+}
+
+fn optimize_item(item: &SelectItem) -> SelectItem {
+    SelectItem { expr: item.expr.clone(), alias: item.alias.clone() }
+}
+
+fn optimize_pred(p: &SqlPred) -> SqlPred {
+    match p {
+        SqlPred::InQuery(es, q) => SqlPred::InQuery(es.clone(), Box::new(optimize(q))),
+        SqlPred::Exists(q) => SqlPred::Exists(Box::new(optimize(q))),
+        SqlPred::And(a, b) => SqlPred::And(Box::new(optimize_pred(a)), Box::new(optimize_pred(b))),
+        SqlPred::Or(a, b) => SqlPred::Or(Box::new(optimize_pred(a)), Box::new(optimize_pred(b))),
+        SqlPred::Not(inner) => SqlPred::Not(Box::new(optimize_pred(inner))),
+        other => other.clone(),
+    }
+}
+
+/// Pushes the conjuncts of `pred` into the join tree `input` where safe.
+fn push_selection(input: SqlQuery, pred: SqlPred) -> SqlQuery {
+    if !matches!(input, SqlQuery::Join { .. }) {
+        return wrap_select(input, pred);
+    }
+    if has_outer_join(&input) {
+        // Conservative: never rewrite around outer joins.
+        return wrap_select(input, pred);
+    }
+    let conjuncts: Vec<SqlPred> = pred.conjuncts().into_iter().cloned().collect();
+    let mut tree = input;
+    let mut leftover: Vec<SqlPred> = Vec::new();
+    for conjunct in conjuncts {
+        if conjunct.has_subquery() {
+            leftover.push(conjunct);
+            continue;
+        }
+        let quals = qualifiers_of(&conjunct);
+        match quals {
+            Some(quals) if !quals.is_empty() => {
+                let (new_tree, pushed) = push_conjunct(tree, &conjunct, &quals);
+                tree = new_tree;
+                if !pushed {
+                    leftover.push(conjunct);
+                }
+            }
+            _ => leftover.push(conjunct),
+        }
+    }
+    wrap_select(tree, SqlPred::conjunction(leftover))
+}
+
+fn wrap_select(input: SqlQuery, pred: SqlPred) -> SqlQuery {
+    if matches!(pred, SqlPred::Bool(true)) {
+        input
+    } else {
+        SqlQuery::Select { input: Box::new(input), pred }
+    }
+}
+
+/// The set of table qualifiers referenced by a conjunct, or `None` if any
+/// column is unqualified (in which case we cannot determine provenance).
+fn qualifiers_of(p: &SqlPred) -> Option<HashSet<String>> {
+    let mut out = HashSet::new();
+    for c in p.columns() {
+        match &c.qualifier {
+            Some(q) => {
+                out.insert(q.as_str().to_ascii_lowercase());
+            }
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// The aliases (or base-table names) a from-tree exposes at its top level.
+fn provided_aliases(q: &SqlQuery) -> HashSet<String> {
+    let mut out = HashSet::new();
+    match q {
+        SqlQuery::Table(n) => {
+            out.insert(n.as_str().to_ascii_lowercase());
+        }
+        SqlQuery::Rename { alias, .. } => {
+            out.insert(alias.as_str().to_ascii_lowercase());
+        }
+        SqlQuery::Join { left, right, .. } => {
+            out.extend(provided_aliases(left));
+            out.extend(provided_aliases(right));
+        }
+        SqlQuery::Select { input, .. } => out.extend(provided_aliases(input)),
+        _ => {}
+    }
+    out
+}
+
+fn has_outer_join(q: &SqlQuery) -> bool {
+    match q {
+        SqlQuery::Join { left, right, kind, .. } => {
+            matches!(kind, JoinKind::Left | JoinKind::Right | JoinKind::Full)
+                || has_outer_join(left)
+                || has_outer_join(right)
+        }
+        SqlQuery::Select { input, .. } | SqlQuery::Rename { input, .. } => has_outer_join(input),
+        _ => false,
+    }
+}
+
+/// Attempts to push one conjunct into a join tree. Returns the (possibly
+/// rewritten) tree and whether the conjunct was attached.
+fn push_conjunct(tree: SqlQuery, conjunct: &SqlPred, quals: &HashSet<String>) -> (SqlQuery, bool) {
+    match tree {
+        SqlQuery::Join { left, right, kind, pred }
+            if matches!(kind, JoinKind::Cross | JoinKind::Inner) =>
+        {
+            let left_aliases = provided_aliases(&left);
+            let right_aliases = provided_aliases(&right);
+            if quals.is_subset(&left_aliases) {
+                let (new_left, pushed) = push_conjunct(*left, conjunct, quals);
+                let new_left = if pushed {
+                    new_left
+                } else {
+                    return (
+                        SqlQuery::Join {
+                            left: Box::new(wrap_select(new_left, conjunct.clone())),
+                            right,
+                            kind,
+                            pred,
+                        },
+                        true,
+                    );
+                };
+                return (
+                    SqlQuery::Join { left: Box::new(new_left), right, kind, pred },
+                    true,
+                );
+            }
+            if quals.is_subset(&right_aliases) {
+                let (new_right, pushed) = push_conjunct(*right, conjunct, quals);
+                let new_right = if pushed {
+                    new_right
+                } else {
+                    return (
+                        SqlQuery::Join {
+                            left,
+                            right: Box::new(wrap_select(new_right, conjunct.clone())),
+                            kind,
+                            pred,
+                        },
+                        true,
+                    );
+                };
+                return (
+                    SqlQuery::Join { left, right: Box::new(new_right), kind, pred },
+                    true,
+                );
+            }
+            let all: HashSet<String> =
+                left_aliases.union(&right_aliases).cloned().collect();
+            if quals.is_subset(&all) {
+                let new_pred = SqlPred::and(pred, conjunct.clone());
+                return (
+                    SqlQuery::Join { left, right, kind: JoinKind::Inner, pred: new_pred },
+                    true,
+                );
+            }
+            (SqlQuery::Join { left, right, kind, pred }, false)
+        }
+        other => (other, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn count_kind(q: &SqlQuery, target: JoinKind) -> usize {
+        match q {
+            SqlQuery::Join { left, right, kind, .. } => {
+                (*kind == target) as usize + count_kind(left, target) + count_kind(right, target)
+            }
+            SqlQuery::Select { input, .. }
+            | SqlQuery::Project { input, .. }
+            | SqlQuery::Rename { input, .. }
+            | SqlQuery::GroupBy { input, .. }
+            | SqlQuery::OrderBy { input, .. } => count_kind(input, target),
+            SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => {
+                count_kind(a, target) + count_kind(b, target)
+            }
+            SqlQuery::With { definition, body, .. } => {
+                count_kind(definition, target) + count_kind(body, target)
+            }
+            SqlQuery::Table(_) => 0,
+        }
+    }
+
+    #[test]
+    fn cross_joins_become_inner_joins() {
+        let q = parse_query(
+            "SELECT c2.CID FROM Cs AS c2, Pa AS p2, Sp AS s2 \
+             WHERE s2.PID = p2.PID AND p2.CSID = c2.CSID AND c2.CID = 1",
+        )
+        .unwrap();
+        assert_eq!(count_kind(&q, JoinKind::Cross), 2);
+        let opt = optimize(&q);
+        assert_eq!(count_kind(&opt, JoinKind::Cross), 0);
+        assert_eq!(count_kind(&opt, JoinKind::Inner), 2);
+    }
+
+    #[test]
+    fn outer_joins_are_left_alone() {
+        let q = parse_query(
+            "SELECT a.x FROM t AS a LEFT JOIN s AS b ON a.id = b.id WHERE a.x = 1",
+        )
+        .unwrap();
+        let opt = optimize(&q);
+        assert_eq!(count_kind(&opt, JoinKind::Left), 1);
+        // The selection must still be present above the outer join.
+        fn has_select(q: &SqlQuery) -> bool {
+            match q {
+                SqlQuery::Select { .. } => true,
+                SqlQuery::Project { input, .. } => has_select(input),
+                _ => false,
+            }
+        }
+        assert!(has_select(&opt));
+    }
+
+    #[test]
+    fn subquery_conjuncts_stay_on_top() {
+        let q = parse_query(
+            "SELECT a.x FROM t AS a, s AS b WHERE a.id = b.id AND a.x IN (SELECT c.x FROM u AS c)",
+        )
+        .unwrap();
+        let opt = optimize(&q);
+        // The equi conjunct is pushed, the IN-subquery conjunct remains in a
+        // selection above the join.
+        fn top_select_pred(q: &SqlQuery) -> Option<&SqlPred> {
+            match q {
+                SqlQuery::Project { input, .. } => top_select_pred(input),
+                SqlQuery::Select { pred, .. } => Some(pred),
+                _ => None,
+            }
+        }
+        let pred = top_select_pred(&opt).expect("selection should remain");
+        assert!(pred.has_subquery());
+        assert_eq!(count_kind(&opt, JoinKind::Inner), 1);
+    }
+
+    #[test]
+    fn optimizes_inside_in_subqueries() {
+        let q = parse_query(
+            "SELECT a.x FROM t AS a WHERE a.x IN ( \
+               SELECT b.y FROM s AS b, u AS c WHERE b.id = c.id)",
+        )
+        .unwrap();
+        let opt = optimize(&q);
+        assert_eq!(count_kind(&opt, JoinKind::Cross), 0);
+        fn find_inner_in_pred(q: &SqlQuery) -> usize {
+            match q {
+                SqlQuery::Project { input, .. } => find_inner_in_pred(input),
+                SqlQuery::Select { input, pred } => {
+                    let sub = match pred {
+                        SqlPred::InQuery(_, s) => count_kind(s, JoinKind::Inner),
+                        _ => 0,
+                    };
+                    sub + find_inner_in_pred(input)
+                }
+                _ => 0,
+            }
+        }
+        assert_eq!(find_inner_in_pred(&opt), 1);
+    }
+
+    #[test]
+    fn single_side_constant_predicates_are_pushed_down() {
+        let q = parse_query("SELECT a.x FROM t AS a, s AS b WHERE a.id = b.id AND b.kind = 3")
+            .unwrap();
+        let opt = optimize(&q);
+        // `b.kind = 3` should now sit directly on the scan of `s AS b`.
+        fn right_side_has_select(q: &SqlQuery) -> bool {
+            match q {
+                SqlQuery::Project { input, .. } | SqlQuery::Select { input, .. } => {
+                    right_side_has_select(input)
+                }
+                SqlQuery::Join { right, .. } => matches!(right.as_ref(), SqlQuery::Select { .. }),
+                _ => false,
+            }
+        }
+        assert!(right_side_has_select(&opt));
+    }
+}

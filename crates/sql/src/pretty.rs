@@ -1,0 +1,252 @@
+//! Pretty-printer: renders Featherweight SQL algebra back to SQL text.
+//!
+//! The printer produces readable `SELECT`/`FROM`/`WHERE`/`GROUP BY` text with
+//! `WITH` clauses for CTEs, close to the transpilation output shown in
+//! Figure 7 of the paper.  It is used for display, corpus dumps, and the
+//! default output-column names of unaliased projection items.
+
+use crate::ast::*;
+use graphiti_common::Value;
+
+/// Renders a scalar expression.
+pub fn expr_to_string(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Col(c) => c.render(),
+        SqlExpr::Value(v) => value_to_string(v),
+        SqlExpr::Cast(p) => format!("CASE WHEN {} THEN 1 ELSE 0 END", pred_to_string(p)),
+        SqlExpr::Agg(kind, inner, distinct) => {
+            let inner = expr_to_string(inner);
+            if *distinct {
+                format!("{}(DISTINCT {inner})", kind.as_str())
+            } else {
+                format!("{}({inner})", kind.as_str())
+            }
+        }
+        SqlExpr::Arith(a, op, b) => {
+            format!("{} {} {}", expr_to_string(a), op.as_str(), expr_to_string(b))
+        }
+        SqlExpr::Star => "*".to_string(),
+    }
+}
+
+/// Renders a literal in SQL syntax.
+pub fn value_to_string(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => format!("'{s}'"),
+    }
+}
+
+/// Renders a predicate.
+pub fn pred_to_string(p: &SqlPred) -> String {
+    match p {
+        SqlPred::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        SqlPred::Cmp(a, op, b) => {
+            format!("{} {} {}", expr_to_string(a), op.as_sql(), expr_to_string(b))
+        }
+        SqlPred::IsNull(e) => format!("{} IS NULL", expr_to_string(e)),
+        SqlPred::InList(e, vs) => {
+            let items: Vec<String> = vs.iter().map(value_to_string).collect();
+            format!("{} IN ({})", expr_to_string(e), items.join(", "))
+        }
+        SqlPred::InQuery(es, q) => {
+            let exprs: Vec<String> = es.iter().map(expr_to_string).collect();
+            let lhs = if exprs.len() == 1 {
+                exprs[0].clone()
+            } else {
+                format!("({})", exprs.join(", "))
+            };
+            format!("{lhs} IN ({})", query_to_string(q))
+        }
+        SqlPred::Exists(q) => format!("EXISTS ({})", query_to_string(q)),
+        SqlPred::And(a, b) => format!("({} AND {})", pred_to_string(a), pred_to_string(b)),
+        SqlPred::Or(a, b) => format!("({} OR {})", pred_to_string(a), pred_to_string(b)),
+        SqlPred::Not(inner) => format!("NOT ({})", pred_to_string(inner)),
+    }
+}
+
+fn items_to_string(items: &[SelectItem]) -> String {
+    items
+        .iter()
+        .map(|i| match &i.alias {
+            Some(a) => format!("{} AS {a}", expr_to_string(&i.expr)),
+            None => expr_to_string(&i.expr),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a query as a `FROM`-clause item (table name, aliased subquery, or
+/// join chain).
+fn from_item(q: &SqlQuery) -> String {
+    match q {
+        SqlQuery::Table(name) => name.to_string(),
+        SqlQuery::Rename { input, alias } => match input.as_ref() {
+            SqlQuery::Table(name) => format!("{name} AS {alias}"),
+            other => format!("({}) AS {alias}", query_to_string(other)),
+        },
+        SqlQuery::Join { left, right, kind, pred } => {
+            let kw = match kind {
+                JoinKind::Cross => "CROSS JOIN",
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+                JoinKind::Right => "RIGHT JOIN",
+                JoinKind::Full => "FULL JOIN",
+            };
+            if matches!(kind, JoinKind::Cross) {
+                format!("{} {kw} {}", from_item(left), from_item(right))
+            } else {
+                format!("{} {kw} {} ON {}", from_item(left), from_item(right), pred_to_string(pred))
+            }
+        }
+        other => format!("({}) AS sub", query_to_string(other)),
+    }
+}
+
+/// Renders a query as SQL text.
+pub fn query_to_string(q: &SqlQuery) -> String {
+    match q {
+        SqlQuery::Table(name) => format!("SELECT * FROM {name}"),
+        SqlQuery::Rename { .. } | SqlQuery::Join { .. } => {
+            format!("SELECT * FROM {}", from_item(q))
+        }
+        SqlQuery::Select { input, pred } => {
+            format!("SELECT * FROM {} WHERE {}", from_or_sub(input), pred_to_string(pred))
+        }
+        SqlQuery::Project { input, items, distinct } => {
+            let distinct_kw = if *distinct { "DISTINCT " } else { "" };
+            match input.as_ref() {
+                SqlQuery::Select { input: inner, pred } => format!(
+                    "SELECT {distinct_kw}{} FROM {} WHERE {}",
+                    items_to_string(items),
+                    from_or_sub(inner),
+                    pred_to_string(pred)
+                ),
+                other => format!(
+                    "SELECT {distinct_kw}{} FROM {}",
+                    items_to_string(items),
+                    from_or_sub(other)
+                ),
+            }
+        }
+        SqlQuery::GroupBy { input, keys, items, having } => {
+            let keys_str =
+                keys.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let (from_part, where_part) = match input.as_ref() {
+                SqlQuery::Select { input: inner, pred } => {
+                    (from_or_sub(inner), format!(" WHERE {}", pred_to_string(pred)))
+                }
+                other => (from_or_sub(other), String::new()),
+            };
+            let mut out = format!(
+                "SELECT {} FROM {from_part}{where_part}",
+                items_to_string(items)
+            );
+            if !keys.is_empty() {
+                out.push_str(&format!(" GROUP BY {keys_str}"));
+            }
+            if having != &SqlPred::Bool(true) {
+                out.push_str(&format!(" HAVING {}", pred_to_string(having)));
+            }
+            out
+        }
+        SqlQuery::With { .. } => {
+            // Collect a chain of WITH definitions into a single WITH list.
+            let mut defs: Vec<(String, String)> = Vec::new();
+            let mut cur = q;
+            while let SqlQuery::With { name, definition, body } = cur {
+                defs.push((name.to_string(), query_to_string(definition)));
+                cur = body;
+            }
+            let defs_str = defs
+                .iter()
+                .map(|(n, d)| format!("{n} AS ({d})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("WITH {defs_str} {}", query_to_string(cur))
+        }
+        SqlQuery::OrderBy { input, keys } => {
+            let keys_str = keys
+                .iter()
+                .map(|(e, asc)| {
+                    format!("{}{}", expr_to_string(e), if *asc { "" } else { " DESC" })
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{} ORDER BY {keys_str}", query_to_string(input))
+        }
+        SqlQuery::Union(a, b) => {
+            format!("{} UNION {}", query_to_string(a), query_to_string(b))
+        }
+        SqlQuery::UnionAll(a, b) => {
+            format!("{} UNION ALL {}", query_to_string(a), query_to_string(b))
+        }
+    }
+}
+
+/// Renders either a plain `FROM` item or a parenthesized subquery.
+fn from_or_sub(q: &SqlQuery) -> String {
+    match q {
+        SqlQuery::Table(_) | SqlQuery::Rename { .. } | SqlQuery::Join { .. } => from_item(q),
+        other => format!("({}) AS sub", query_to_string(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_common::CmpOp;
+
+    #[test]
+    fn render_join_chain() {
+        let q = SqlQuery::table("emp")
+            .rename("n")
+            .join(
+                SqlQuery::table("work_at").rename("e"),
+                SqlPred::col_eq(SqlExpr::col("n", "id"), SqlExpr::col("e", "SRC")),
+            )
+            .select(SqlPred::cmp(SqlExpr::col("n", "id"), CmpOp::Eq, SqlExpr::value(1)))
+            .project(vec![SelectItem::aliased(SqlExpr::col("n", "name"), "name")]);
+        let sql = query_to_string(&q);
+        assert!(sql.contains("SELECT n.name AS name"));
+        assert!(sql.contains("emp AS n JOIN work_at AS e ON n.id = e.SRC"));
+        assert!(sql.contains("WHERE n.id = 1"));
+    }
+
+    #[test]
+    fn render_group_by_and_cte() {
+        let inner = SqlQuery::table("emp").project(vec![SelectItem::expr(SqlExpr::col("emp", "id"))]);
+        let q = SqlQuery::With {
+            name: "T1".into(),
+            definition: Box::new(inner),
+            body: Box::new(SqlQuery::GroupBy {
+                input: Box::new(SqlQuery::table("T1")),
+                keys: vec![SqlExpr::name("id")],
+                items: vec![
+                    SelectItem::expr(SqlExpr::name("id")),
+                    SelectItem::aliased(SqlExpr::count_star(), "cnt"),
+                ],
+                having: SqlPred::true_(),
+            }),
+        };
+        let sql = query_to_string(&q);
+        assert!(sql.starts_with("WITH T1 AS ("));
+        assert!(sql.contains("GROUP BY id"));
+        assert!(sql.contains("Count(*) AS cnt"));
+    }
+
+    #[test]
+    fn render_in_subquery_and_union() {
+        let sub = SqlQuery::table("s").project(vec![SelectItem::expr(SqlExpr::col("s", "SID"))]);
+        let q = SqlQuery::table("t")
+            .select(SqlPred::InQuery(vec![SqlExpr::col("t", "SID")], Box::new(sub)))
+            .project(vec![SelectItem::expr(SqlExpr::col("t", "SID"))]);
+        let q = SqlQuery::Union(Box::new(q.clone()), Box::new(q));
+        let sql = query_to_string(&q);
+        assert!(sql.contains("IN (SELECT s.SID FROM s)"));
+        assert!(sql.contains(" UNION "));
+    }
+}

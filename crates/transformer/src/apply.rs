@@ -1,0 +1,453 @@
+//! Application semantics of database transformers (Section 4.1).
+//!
+//! A database instance is converted into a set of ground facts by the
+//! function `C(D)`:
+//!
+//! * a node `N(l, a1, ..., an)` becomes `l(a1, ..., an)`;
+//! * an edge `E(l, s, t, a1, ..., an)` becomes `l(a1, ..., an, s, t)` where
+//!   `s`/`t` are the default-key values of the endpoints;
+//! * a relational tuple of table `R` becomes `R(a1, ..., an)`.
+//!
+//! Applying a transformer `Φ` evaluates its rules bottom-up (single
+//! stratum, no recursion): every substitution that satisfies a rule's body
+//! over the source facts contributes the instantiated head fact to the
+//! target instance.  `Φ(D) = D'` then means the derived facts are exactly
+//! the facts of `D'`.
+
+use crate::ast::{Atom, Term, Transformer};
+use graphiti_common::{Error, Result, Value};
+use graphiti_graph::{GraphInstance, GraphSchema};
+use graphiti_relational::{RelInstance, RelSchema, Table};
+use std::collections::{BTreeSet, HashMap};
+
+/// A ground fact `name(args)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Predicate name (label or table name).
+    pub name: String,
+    /// Ground arguments.
+    pub args: Vec<Value>,
+}
+
+/// A set of ground facts indexed by predicate name.
+#[derive(Debug, Clone, Default)]
+pub struct FactSet {
+    by_name: HashMap<String, Vec<Vec<Value>>>,
+}
+
+impl FactSet {
+    /// Creates an empty fact set.
+    pub fn new() -> Self {
+        FactSet::default()
+    }
+
+    /// Adds a fact.
+    pub fn insert(&mut self, name: &str, args: Vec<Value>) {
+        self.by_name.entry(name.to_ascii_lowercase()).or_default().push(args);
+    }
+
+    /// All facts for a predicate name (case-insensitive).
+    pub fn facts_of(&self, name: &str) -> &[Vec<Value>] {
+        self.by_name.get(&name.to_ascii_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.by_name.values().map(|v| v.len()).sum()
+    }
+
+    /// Returns `true` if there are no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Converts a graph instance into ground facts (`C(D)` for graphs).
+pub fn graph_to_facts(schema: &GraphSchema, graph: &GraphInstance) -> Result<FactSet> {
+    let mut facts = FactSet::new();
+    for node in graph.nodes() {
+        let ty = schema
+            .node_type(node.label.as_str())
+            .ok_or_else(|| Error::transformer(format!("unknown node label `{}`", node.label)))?;
+        let args: Vec<Value> = ty.keys.iter().map(|k| node.prop(k.as_str())).collect();
+        facts.insert(node.label.as_str(), args);
+    }
+    for edge in graph.edges() {
+        let ty = schema
+            .edge_type(edge.label.as_str())
+            .ok_or_else(|| Error::transformer(format!("unknown edge label `{}`", edge.label)))?;
+        let mut args: Vec<Value> = ty.keys.iter().map(|k| edge.prop(k.as_str())).collect();
+        let src = graph.node(edge.src);
+        let tgt = graph.node(edge.tgt);
+        let src_key = schema
+            .default_key_of(src.label.as_str())
+            .ok_or_else(|| Error::transformer(format!("unknown node label `{}`", src.label)))?;
+        let tgt_key = schema
+            .default_key_of(tgt.label.as_str())
+            .ok_or_else(|| Error::transformer(format!("unknown node label `{}`", tgt.label)))?;
+        args.push(src.prop(src_key.as_str()));
+        args.push(tgt.prop(tgt_key.as_str()));
+        facts.insert(edge.label.as_str(), args);
+    }
+    Ok(facts)
+}
+
+/// Converts a relational instance into ground facts (`C(D)` for relations).
+pub fn rel_to_facts(instance: &RelInstance) -> FactSet {
+    let mut facts = FactSet::new();
+    for (name, table) in instance.tables() {
+        for row in &table.rows {
+            facts.insert(name, row.clone());
+        }
+    }
+    facts
+}
+
+/// Applies a transformer to a set of source facts, producing a relational
+/// instance over `target_schema`.
+///
+/// Derived tuples are deduplicated (set semantics): the transformer
+/// describes *which* facts must hold in the target, and the target tables of
+/// all our benchmarks carry primary keys.
+pub fn apply_to_facts(
+    transformer: &Transformer,
+    facts: &FactSet,
+    target_schema: &RelSchema,
+) -> Result<RelInstance> {
+    let mut derived: HashMap<String, BTreeSet<Vec<Value>>> = HashMap::new();
+    for rule in &transformer.rules {
+        let substitutions = match_body(&rule.body, facts)?;
+        for sub in substitutions {
+            let tuple: Vec<Value> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => Ok(v.clone()),
+                    Term::Var(x) => sub
+                        .get(x.as_str())
+                        .cloned()
+                        .ok_or_else(|| Error::transformer(format!("unbound head variable `{x}`"))),
+                    Term::Wildcard => {
+                        Err(Error::transformer("wildcard `_` cannot appear in a rule head"))
+                    }
+                })
+                .collect::<Result<_>>()?;
+            derived.entry(rule.head.name.as_str().to_string()).or_default().insert(tuple);
+        }
+    }
+    let mut out = RelInstance::empty_of(target_schema);
+    for (name, tuples) in derived {
+        let rel = target_schema.relation(&name).ok_or_else(|| {
+            Error::transformer(format!("transformer produces unknown target table `{name}`"))
+        })?;
+        let mut table = Table::new(rel.attrs.iter().map(|a| a.as_str().to_string()));
+        for t in tuples {
+            if t.len() != rel.arity() {
+                return Err(Error::transformer(format!(
+                    "rule head for `{name}` has arity {} but the table has {} attributes",
+                    t.len(),
+                    rel.arity()
+                )));
+            }
+            table.push_row(t);
+        }
+        out.insert_table(rel.name.as_str().to_string(), table);
+    }
+    Ok(out)
+}
+
+/// Applies a transformer to a graph instance (`Φ(G)`), producing a
+/// relational instance over `target_schema`.
+pub fn apply_to_graph(
+    transformer: &Transformer,
+    graph_schema: &GraphSchema,
+    graph: &GraphInstance,
+    target_schema: &RelSchema,
+) -> Result<RelInstance> {
+    let facts = graph_to_facts(graph_schema, graph)?;
+    apply_to_facts(transformer, &facts, target_schema)
+}
+
+/// Applies a transformer to a relational instance (used for residual
+/// transformers between the induced and the target schema).
+pub fn apply_to_relational(
+    transformer: &Transformer,
+    source: &RelInstance,
+    target_schema: &RelSchema,
+) -> Result<RelInstance> {
+    let facts = rel_to_facts(source);
+    apply_to_facts(transformer, &facts, target_schema)
+}
+
+/// Checks whether `Φ(source_facts) = target` (database equivalence modulo
+/// the transformer, Definition 4.3), comparing tables as sets of tuples.
+pub fn is_model(
+    transformer: &Transformer,
+    source_facts: &FactSet,
+    target: &RelInstance,
+    target_schema: &RelSchema,
+) -> Result<bool> {
+    let derived = apply_to_facts(transformer, source_facts, target_schema)?;
+    for rel in &target_schema.relations {
+        let expected: BTreeSet<Vec<Value>> = target
+            .table(rel.name.as_str())
+            .map(|t| t.rows.iter().cloned().collect())
+            .unwrap_or_default();
+        let actual: BTreeSet<Vec<Value>> = derived
+            .table(rel.name.as_str())
+            .map(|t| t.rows.iter().cloned().collect())
+            .unwrap_or_default();
+        if expected != actual {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+type Substitution = HashMap<String, Value>;
+
+/// Computes all substitutions satisfying a rule body over the facts, using a
+/// simple indexed left-to-right join.
+fn match_body(body: &[Atom], facts: &FactSet) -> Result<Vec<Substitution>> {
+    let mut subs: Vec<Substitution> = vec![Substitution::new()];
+    for atom in body {
+        let candidates = facts.facts_of(atom.name.as_str());
+        // Index the candidate facts by the positions that are already bound
+        // in at least one substitution (using the first substitution as a
+        // template: all substitutions bind the same variable set).
+        let bound_positions: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => subs.first().map(|s| s.contains_key(v.as_str())).unwrap_or(false),
+                Term::Wildcard => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (fi, fact) in candidates.iter().enumerate() {
+            if fact.len() != atom.arity() {
+                return Err(Error::transformer(format!(
+                    "predicate `{}` used with arity {} but facts have arity {}",
+                    atom.name,
+                    atom.arity(),
+                    fact.len()
+                )));
+            }
+            let key: Vec<Value> = bound_positions.iter().map(|&i| fact[i].clone()).collect();
+            index.entry(key).or_default().push(fi);
+        }
+        let mut next: Vec<Substitution> = Vec::new();
+        for sub in &subs {
+            let key: Vec<Value> = bound_positions
+                .iter()
+                .map(|&i| match &atom.terms[i] {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => sub[v.as_str()].clone(),
+                    Term::Wildcard => unreachable!("wildcards are never bound positions"),
+                })
+                .collect();
+            let Some(matches) = index.get(&key) else { continue };
+            'facts: for &fi in matches {
+                let fact = &candidates[fi];
+                let mut extended = sub.clone();
+                for (term, value) in atom.terms.iter().zip(fact.iter()) {
+                    match term {
+                        Term::Const(c) => {
+                            if !c.strict_eq(value) {
+                                continue 'facts;
+                            }
+                        }
+                        Term::Wildcard => {}
+                        Term::Var(v) => match extended.get(v.as_str()) {
+                            Some(existing) => {
+                                if !existing.strict_eq(value) {
+                                    continue 'facts;
+                                }
+                            }
+                            None => {
+                                extended.insert(v.as_str().to_string(), value.clone());
+                            }
+                        },
+                    }
+                }
+                next.push(extended);
+            }
+        }
+        subs = next;
+        if subs.is_empty() {
+            break;
+        }
+    }
+    Ok(subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transformer;
+    use graphiti_graph::{EdgeType, NodeType};
+    use graphiti_relational::{Constraint, Relation};
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The graph schema of Figure 2a.
+    fn semmed_graph_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("CONCEPT", ["CID", "Name"]))
+            .with_node(NodeType::new("PA", ["PID", "CSID"]))
+            .with_node(NodeType::new("SENTENCE", ["SID", "PMID"]))
+            .with_edge(EdgeType::new("CS", "CONCEPT", "PA", ["eCID", "eCSID"]))
+            .with_edge(EdgeType::new("SP", "PA", "SENTENCE", ["SPID", "eSID"]))
+    }
+
+    /// The graph instance of Figure 3a (only the Atropine part that matters).
+    fn semmed_graph() -> GraphInstance {
+        let mut g = GraphInstance::new();
+        let atropine = g.add_node("CONCEPT", [("CID", v(1)), ("Name", s("Atropine"))]);
+        let _aspirin = g.add_node("CONCEPT", [("CID", v(2)), ("Name", s("Aspirin"))]);
+        let pa0 = g.add_node("PA", [("PID", v(0)), ("CSID", v(0))]);
+        let pa1 = g.add_node("PA", [("PID", v(1)), ("CSID", v(1))]);
+        let s0 = g.add_node("SENTENCE", [("SID", v(0)), ("PMID", v(0))]);
+        let s1 = g.add_node("SENTENCE", [("SID", v(1)), ("PMID", v(0))]);
+        g.add_edge("CS", atropine, pa0, [("eCID", v(1)), ("eCSID", v(0))]);
+        g.add_edge("CS", atropine, pa1, [("eCID", v(1)), ("eCSID", v(1))]);
+        g.add_edge("SP", pa0, s0, [("SPID", v(0)), ("eSID", v(0))]);
+        g.add_edge("SP", pa1, s0, [("SPID", v(1)), ("eSID", v(0))]);
+        let _ = s1;
+        g
+    }
+
+    /// The relational schema of Figure 2b.
+    fn semmed_rel_schema() -> RelSchema {
+        RelSchema::new()
+            .with_relation(Relation::new("Concept", ["CID", "NAME"]))
+            .with_relation(Relation::new("Cs", ["CID", "CSID"]))
+            .with_relation(Relation::new("Pa", ["PID", "CSID"]))
+            .with_relation(Relation::new("Sp", ["SPID", "SID", "PID"]))
+            .with_relation(Relation::new("Sentence", ["SID", "PMID"]))
+            .with_constraint(Constraint::pk("Concept", "CID"))
+            .with_constraint(Constraint::pk("Pa", "PID"))
+            .with_constraint(Constraint::pk("Sp", "SPID"))
+            .with_constraint(Constraint::pk("Sentence", "SID"))
+    }
+
+    /// The transformer of Figure 5 (edge facts carry `src`/`tgt` as their
+    /// last two arguments).
+    fn fig5_transformer() -> Transformer {
+        parse_transformer(
+            "CONCEPT(cid, name) -> Concept(cid, name)\n\
+             CONCEPT(cid, _), CS(ecid, csid, cid, pid), PA(pid, csid) -> Cs(cid, csid)\n\
+             PA(pid, csid) -> Pa(pid, csid)\n\
+             PA(pid, _), SP(spid, sid, pid, sid2), SENTENCE(sid, _) -> Sp(spid, sid, pid)\n\
+             SENTENCE(sid, pmid) -> Sentence(sid, pmid)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn graph_facts_include_endpoint_keys() {
+        let facts = graph_to_facts(&semmed_graph_schema(), &semmed_graph()).unwrap();
+        let cs = facts.facts_of("CS");
+        assert_eq!(cs.len(), 2);
+        // (eCID, eCSID, src CID, tgt PID)
+        assert!(cs.contains(&vec![v(1), v(0), v(1), v(0)]));
+        assert_eq!(facts.facts_of("CONCEPT").len(), 2);
+        assert_eq!(facts.facts_of("sentence").len(), 2);
+    }
+
+    #[test]
+    fn example_4_1_transformer_maps_graph_to_relational_instance() {
+        // Example 4.1: Φ(G) = R for the Figure 3 instances.
+        let rel = apply_to_graph(
+            &fig5_transformer(),
+            &semmed_graph_schema(),
+            &semmed_graph(),
+            &semmed_rel_schema(),
+        )
+        .unwrap();
+        assert_eq!(rel.table("Concept").unwrap().len(), 2);
+        let cs = rel.table("Cs").unwrap();
+        assert_eq!(cs.len(), 2);
+        assert!(cs.rows.contains(&vec![v(1), v(0)]));
+        assert!(cs.rows.contains(&vec![v(1), v(1)]));
+        let sp = rel.table("Sp").unwrap();
+        assert_eq!(sp.len(), 2);
+        assert!(sp.rows.contains(&vec![v(0), v(0), v(0)]));
+        assert!(sp.rows.contains(&vec![v(1), v(0), v(1)]));
+        assert_eq!(rel.table("Sentence").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn is_model_accepts_matching_and_rejects_mismatched_instances() {
+        let facts = graph_to_facts(&semmed_graph_schema(), &semmed_graph()).unwrap();
+        let schema = semmed_rel_schema();
+        let good = apply_to_facts(&fig5_transformer(), &facts, &schema).unwrap();
+        assert!(is_model(&fig5_transformer(), &facts, &good, &schema).unwrap());
+        let mut bad = good.clone();
+        bad.table_mut("Concept").unwrap().push_row(vec![v(99), s("Ghost")]);
+        assert!(!is_model(&fig5_transformer(), &facts, &bad, &schema).unwrap());
+    }
+
+    #[test]
+    fn constants_in_rules_filter_facts() {
+        let t = parse_transformer("CONCEPT(cid, 'Atropine') -> OnlyAtropine(cid)").unwrap();
+        let schema =
+            RelSchema::new().with_relation(Relation::new("OnlyAtropine", ["cid"]));
+        let rel =
+            apply_to_graph(&t, &semmed_graph_schema(), &semmed_graph(), &schema).unwrap();
+        assert_eq!(rel.table("OnlyAtropine").unwrap().rows, vec![vec![v(1)]]);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        // PA(x, x) only matches PA nodes whose PID equals their CSID.
+        let t = parse_transformer("PA(x, x) -> Diagonal(x)").unwrap();
+        let schema = RelSchema::new().with_relation(Relation::new("Diagonal", ["x"]));
+        let rel = apply_to_graph(&t, &semmed_graph_schema(), &semmed_graph(), &schema).unwrap();
+        assert_eq!(rel.table("Diagonal").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let t = parse_transformer("CONCEPT(cid) -> C(cid)").unwrap();
+        let schema = RelSchema::new().with_relation(Relation::new("C", ["cid"]));
+        assert!(apply_to_graph(&t, &semmed_graph_schema(), &semmed_graph(), &schema).is_err());
+    }
+
+    #[test]
+    fn relational_to_relational_application() {
+        // A residual-style transformer that renames a table and drops a column.
+        let mut source = RelInstance::new();
+        source.insert_table(
+            "emp_raw",
+            Table::with_rows(["id", "name", "junk"], vec![vec![v(1), s("A"), v(0)]]),
+        );
+        let t = parse_transformer("emp_raw(id, name, _) -> emp(id, name)").unwrap();
+        let schema = RelSchema::new().with_relation(Relation::new("emp", ["id", "name"]));
+        let out = apply_to_relational(&t, &source, &schema).unwrap();
+        assert_eq!(out.table("emp").unwrap().rows, vec![vec![v(1), s("A")]]);
+    }
+
+    #[test]
+    fn derived_tuples_are_deduplicated() {
+        let mut source = RelInstance::new();
+        source.insert_table(
+            "t",
+            Table::with_rows(["a", "b"], vec![vec![v(1), v(1)], vec![v(1), v(2)]]),
+        );
+        let tr = parse_transformer("t(a, _) -> out(a)").unwrap();
+        let schema = RelSchema::new().with_relation(Relation::new("out", ["a"]));
+        let derived = apply_to_relational(&tr, &source, &schema).unwrap();
+        assert_eq!(derived.table("out").unwrap().len(), 1);
+    }
+}

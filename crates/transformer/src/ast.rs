@@ -1,0 +1,250 @@
+//! The database-transformer DSL (Figure 11 of the paper).
+//!
+//! A transformer is a set of rules `P1, ..., Pn -> P0`, where each predicate
+//! `P` is `E(t1, ..., tn)` with `E` a table name / node label / edge label
+//! and each term a constant, a variable, or the wildcard `_`.
+
+use graphiti_common::{Ident, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A term of a transformer predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// A constant value.
+    Const(Value),
+    /// A universally quantified variable.
+    Var(Ident),
+    /// `_` — a fresh, unused variable.
+    Wildcard,
+}
+
+impl Term {
+    /// Convenience constructor for variables.
+    pub fn var(name: impl Into<Ident>) -> Self {
+        Term::Var(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(x) => write!(f, "{x}"),
+            Term::Wildcard => write!(f, "_"),
+        }
+    }
+}
+
+/// A predicate `E(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Table name, node label, or edge label.
+    pub name: Ident,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(name: impl Into<Ident>, terms: Vec<Term>) -> Self {
+        Atom { name: name.into(), terms }
+    }
+
+    /// Creates an atom whose terms are all variables with the given names.
+    pub fn with_vars(
+        name: impl Into<Ident>,
+        vars: impl IntoIterator<Item = impl Into<Ident>>,
+    ) -> Self {
+        Atom { name: name.into(), terms: vars.into_iter().map(|v| Term::Var(v.into())).collect() }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// All variable names used in the atom.
+    pub fn variables(&self) -> Vec<&Ident> {
+        self.terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.name, terms.join(", "))
+    }
+}
+
+/// A rule `P1, ..., Pn -> P0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Body predicates `P1, ..., Pn`.
+    pub body: Vec<Atom>,
+    /// Head predicate `P0`.
+    pub head: Atom,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(body: Vec<Atom>, head: Atom) -> Self {
+        Rule { body, head }
+    }
+
+    /// Returns `true` when every head variable also occurs in the body
+    /// (safety, in the Datalog sense).
+    pub fn is_safe(&self) -> bool {
+        let body_vars: HashSet<&Ident> = self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().iter().all(|v| body_vars.contains(v))
+    }
+
+    /// AST node count of the rule (atoms plus terms), used by the Table 1
+    /// transformer-size metric.
+    pub fn size(&self) -> usize {
+        1 + self.body.iter().map(|a| 1 + a.arity()).sum::<usize>() + 1 + self.head.arity()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        write!(f, "{} -> {}", body.join(", "), self.head)
+    }
+}
+
+/// A database transformer: a list of rules.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Transformer {
+    /// The rules, in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+impl Transformer {
+    /// Creates an empty transformer.
+    pub fn new() -> Self {
+        Transformer::default()
+    }
+
+    /// Adds a rule and returns `self` for chaining.
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules (the "Transformer Size" metric in Table 1 counts
+    /// rules).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when every rule is safe.
+    pub fn is_safe(&self) -> bool {
+        self.rules.iter().all(Rule::is_safe)
+    }
+
+    /// The set of head relation names (the tables this transformer
+    /// produces).
+    pub fn head_names(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&&r.head.name) {
+                out.push(&r.head.name);
+            }
+        }
+        out
+    }
+
+    /// Applies a renaming of predicate names to the *body* atoms of every
+    /// rule (the substitution `Φ[σ]` of Algorithm 2 used to build the
+    /// residual transformer).
+    pub fn rename_body_predicates(&self, mapping: &dyn Fn(&Ident) -> Option<Ident>) -> Transformer {
+        Transformer {
+            rules: self
+                .rules
+                .iter()
+                .map(|r| Rule {
+                    body: r
+                        .body
+                        .iter()
+                        .map(|a| Atom {
+                            name: mapping(&a.name).unwrap_or_else(|| a.name.clone()),
+                            terms: a.terms.clone(),
+                        })
+                        .collect(),
+                    head: r.head.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Transformer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_size() {
+        let rule = Rule::new(
+            vec![
+                Atom::with_vars("CONCEPT", ["cid", "name"]),
+                Atom::new(
+                    "CS",
+                    vec![Term::var("cid"), Term::var("csid"), Term::var("cid"), Term::var("pid")],
+                ),
+            ],
+            Atom::with_vars("Cs", ["cid", "csid"]),
+        );
+        assert!(rule.is_safe());
+        assert_eq!(rule.to_string(), "CONCEPT(cid, name), CS(cid, csid, cid, pid) -> Cs(cid, csid)");
+        assert_eq!(rule.size(), 1 + (1 + 2) + (1 + 4) + 1 + 2);
+    }
+
+    #[test]
+    fn unsafe_rule_detected() {
+        let rule = Rule::new(
+            vec![Atom::with_vars("A", ["x"])],
+            Atom::with_vars("B", ["x", "y"]),
+        );
+        assert!(!rule.is_safe());
+        let t = Transformer::new().with_rule(rule);
+        assert!(!t.is_safe());
+    }
+
+    #[test]
+    fn rename_body_predicates_only_touches_bodies() {
+        let t = Transformer::new().with_rule(Rule::new(
+            vec![Atom::with_vars("EMP", ["id", "name"])],
+            Atom::with_vars("Employee", ["id", "name"]),
+        ));
+        let renamed = t.rename_body_predicates(&|n| {
+            (n.as_str() == "EMP").then(|| Ident::new("emp_table"))
+        });
+        assert_eq!(renamed.rules[0].body[0].name.as_str(), "emp_table");
+        assert_eq!(renamed.rules[0].head.name.as_str(), "Employee");
+    }
+
+    #[test]
+    fn head_names_dedup() {
+        let t = Transformer::new()
+            .with_rule(Rule::new(vec![Atom::with_vars("A", ["x"])], Atom::with_vars("T", ["x"])))
+            .with_rule(Rule::new(vec![Atom::with_vars("B", ["y"])], Atom::with_vars("T", ["y"])));
+        assert_eq!(t.head_names().len(), 1);
+    }
+}

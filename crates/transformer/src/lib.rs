@@ -1,0 +1,21 @@
+//! Database transformers for the Graphiti reproduction.
+//!
+//! This crate implements the database-transformer DSL of Section 4.1 of the
+//! paper (Figure 11) and its Herbrand-style application semantics:
+//!
+//! * [`ast`] — rules `P1, ..., Pn -> P0` over labels and table names.
+//! * [`parser`] — the concrete one-rule-per-line syntax used in Figure 5.
+//! * [`apply`] — the function `C(D)` turning instances into ground facts,
+//!   and transformer application `Φ(D)` for graph and relational sources,
+//!   including the equivalence check `D ∼Φ D'` of Definition 4.3.
+
+pub mod apply;
+pub mod ast;
+pub mod parser;
+
+pub use apply::{
+    apply_to_facts, apply_to_graph, apply_to_relational, graph_to_facts, is_model, rel_to_facts,
+    Fact, FactSet,
+};
+pub use ast::{Atom, Rule, Term, Transformer};
+pub use parser::{parse_rule, parse_transformer};

@@ -1,0 +1,170 @@
+//! Parser for the transformer DSL (Figure 11).
+//!
+//! The concrete syntax is one rule per line (or separated by `;`):
+//!
+//! ```text
+//! CONCEPT(cid, name) -> Concept(cid, name)
+//! CONCEPT(cid, _), CS(cid, csid, cid, pid), PA(pid, csid) -> Cs(cid, csid)
+//! ```
+//!
+//! Terms starting with a letter are variables, `_` is a wildcard, quoted
+//! strings and numbers are constants.
+
+use crate::ast::{Atom, Rule, Term, Transformer};
+use graphiti_common::{Error, Ident, Result, Value};
+
+/// Parses a transformer from its textual form.
+pub fn parse_transformer(input: &str) -> Result<Transformer> {
+    let mut rules = Vec::new();
+    for raw_line in input.split(['\n', ';']) {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+            continue;
+        }
+        rules.push(parse_rule(line)?);
+    }
+    if rules.is_empty() {
+        return Err(Error::parse("transformer", "no rules found"));
+    }
+    Ok(Transformer { rules })
+}
+
+/// Parses a single rule `P1, ..., Pn -> P0`.
+pub fn parse_rule(line: &str) -> Result<Rule> {
+    let (body_text, head_text) = line
+        .split_once("->")
+        .ok_or_else(|| Error::parse("transformer", format!("rule `{line}` is missing `->`")))?;
+    let head = parse_single_atom(head_text.trim())?;
+    let body = parse_atom_list(body_text.trim())?;
+    if body.is_empty() {
+        return Err(Error::parse("transformer", format!("rule `{line}` has an empty body")));
+    }
+    let rule = Rule { body, head };
+    if !rule.is_safe() {
+        return Err(Error::parse(
+            "transformer",
+            format!("rule `{line}` is unsafe: head variables must appear in the body"),
+        ));
+    }
+    Ok(rule)
+}
+
+fn parse_atom_list(text: &str) -> Result<Vec<Atom>> {
+    let mut atoms = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| Error::parse("transformer", format!("unterminated atom in `{text}`")))?;
+        let atom_text = &rest[..=close];
+        atoms.push(parse_single_atom(atom_text.trim())?);
+        rest = rest[close + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(Error::parse(
+                "transformer",
+                format!("expected `,` between atoms, found `{rest}`"),
+            ));
+        }
+    }
+    Ok(atoms)
+}
+
+fn parse_single_atom(text: &str) -> Result<Atom> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| Error::parse("transformer", format!("atom `{text}` is missing `(`")))?;
+    if !text.ends_with(')') {
+        return Err(Error::parse("transformer", format!("atom `{text}` is missing `)`")));
+    }
+    let name = text[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '\'') {
+        return Err(Error::parse("transformer", format!("invalid predicate name `{name}`")));
+    }
+    let args = &text[open + 1..text.len() - 1];
+    let mut terms = Vec::new();
+    if !args.trim().is_empty() {
+        for arg in args.split(',') {
+            terms.push(parse_term(arg.trim())?);
+        }
+    }
+    Ok(Atom { name: Ident::new(name), terms })
+}
+
+fn parse_term(text: &str) -> Result<Term> {
+    if text == "_" {
+        return Ok(Term::Wildcard);
+    }
+    if text.is_empty() {
+        return Err(Error::parse("transformer", "empty term"));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Term::Const(Value::Int(i)));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Term::Const(Value::Float(f)));
+    }
+    if (text.starts_with('\'') && text.ends_with('\'') && text.len() >= 2)
+        || (text.starts_with('"') && text.ends_with('"') && text.len() >= 2)
+    {
+        return Ok(Term::Const(Value::Str(text[1..text.len() - 1].to_string())));
+    }
+    if text.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Ok(Term::Var(Ident::new(text)));
+    }
+    Err(Error::parse("transformer", format!("invalid term `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The transformer from Figure 5 of the paper.
+    const FIG5: &str = "\
+        CONCEPT(cid, name) -> Concept(cid, name)\n\
+        CONCEPT(cid, _), CS(cid2, csid, cid, pid), PA(pid, csid) -> Cs(cid, csid)\n\
+        PA(pid, csid) -> Pa(pid, csid)\n\
+        PA(pid, _), SP(spid, sid, pid2, pid, sid2), SENTENCE(sid, _) -> Sp(spid, sid, pid)\n\
+        SENTENCE(sid, pmid) -> Sentence(sid, pmid)";
+
+    #[test]
+    fn parse_figure_5_transformer() {
+        let t = parse_transformer(FIG5).unwrap();
+        assert_eq!(t.rule_count(), 5);
+        assert!(t.is_safe());
+        assert_eq!(t.rules[1].body.len(), 3);
+        assert_eq!(t.rules[1].head.name.as_str(), "Cs");
+        assert_eq!(t.rules[0].body[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn parse_wildcards_constants_and_strings() {
+        let r = parse_rule("EMP(id, _, 'CS', 3) -> T(id)").unwrap();
+        assert_eq!(r.body[0].terms[1], Term::Wildcard);
+        assert_eq!(r.body[0].terms[2], Term::Const(Value::str("CS")));
+        assert_eq!(r.body[0].terms[3], Term::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        assert!(parse_rule("EMP(id) T(id)").is_err());
+        assert!(parse_rule("EMP(id -> T(id)").is_err());
+        assert!(parse_rule("-> T(id)").is_err());
+        assert!(parse_rule("EMP(id) -> T(id, extra)").is_err());
+        assert!(parse_transformer("").is_err());
+    }
+
+    #[test]
+    fn round_trip_via_display() {
+        let t = parse_transformer(FIG5).unwrap();
+        let reparsed = parse_transformer(&t.to_string()).unwrap();
+        assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn semicolon_separated_rules() {
+        let t = parse_transformer("A(x) -> B(x); C(y) -> D(y)").unwrap();
+        assert_eq!(t.rule_count(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the Graphiti reproduction.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! the examples and integration tests can use a single dependency.  Library
+//! users will usually depend on the individual crates instead:
+//!
+//! * [`graphiti_core`] — SDT inference, transpilation, equivalence checking;
+//! * [`graphiti_cypher`] / [`graphiti_sql`] — the two query languages
+//!   (parsers, evaluators, pretty-printers);
+//! * [`graphiti_graph`] / [`graphiti_relational`] — the two data models;
+//! * [`graphiti_transformer`] — the database-transformer DSL;
+//! * [`graphiti_checkers`] — the bounded and deductive backends;
+//! * [`graphiti_baseline`] — the best-effort baseline transpiler;
+//! * [`graphiti_benchmarks`] — the evaluation corpus and mock data.
+
+pub use graphiti_baseline as baseline;
+pub use graphiti_benchmarks as benchmarks;
+pub use graphiti_checkers as checkers;
+pub use graphiti_common as common;
+pub use graphiti_core as core;
+pub use graphiti_cypher as cypher;
+pub use graphiti_graph as graph;
+pub use graphiti_relational as relational;
+pub use graphiti_sql as sql;
+pub use graphiti_transformer as transformer;

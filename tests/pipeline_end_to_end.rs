@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: the full Algorithm 1 pipeline with both
+//! backends on benchmarks drawn from the corpus, plus corpus-wide sanity
+//! checks that every hand-written benchmark's ground truth is respected.
+
+use graphiti_benchmarks::{full_corpus, small_corpus, Category};
+use graphiti_checkers::{BoundedChecker, DeductiveChecker};
+use graphiti_core::{check_equivalence, reduce, CheckOutcome};
+use std::time::Duration;
+
+#[test]
+fn handwritten_ground_truth_is_respected_by_the_bounded_checker() {
+    // Only the hand-written pairs (ids without a trailing sequence number):
+    // the generated categories are exercised by the experiment harness.
+    let corpus: Vec<_> = full_corpus()
+        .into_iter()
+        .filter(|b| !b.id.chars().rev().take(3).all(|c| c.is_ascii_digit()))
+        .collect();
+    assert!(corpus.len() >= 10);
+    for bench in corpus {
+        // Expected-equivalent pairs only need a short sweep (we are checking
+        // for the *absence* of false refutations); expected-buggy pairs get
+        // a longer budget to actually find their counterexample.
+        let budget = if bench.expected_equivalent {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_secs(60)
+        };
+        let outcome = check_equivalence(
+            &bench.graph_schema,
+            &bench.cypher().unwrap(),
+            &bench.target_schema,
+            &bench.sql().unwrap(),
+            &bench.transformer().unwrap(),
+            &BoundedChecker::with_budget(budget),
+        )
+        .unwrap();
+        if bench.expected_equivalent {
+            assert!(
+                !outcome.is_refuted(),
+                "{} was refuted but is expected to be equivalent",
+                bench.id
+            );
+        } else {
+            assert!(
+                outcome.is_refuted(),
+                "{} was not refuted but is expected to be non-equivalent (got {outcome:?})",
+                bench.id
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_equivalent_pairs_are_never_refuted() {
+    // A sample of generated pairs marked equivalent must never be refuted:
+    // they were produced by the sound transpiler, so a refutation would be a
+    // soundness bug in the pipeline.
+    let corpus: Vec<_> = small_corpus(20)
+        .into_iter()
+        .filter(|b| b.expected_equivalent)
+        .take(20)
+        .collect();
+    assert!(!corpus.is_empty());
+    let quick = BoundedChecker { time_budget: Duration::from_millis(700), ..Default::default() };
+    for bench in corpus {
+        let outcome = check_equivalence(
+            &bench.graph_schema,
+            &bench.cypher().unwrap(),
+            &bench.target_schema,
+            &bench.sql().unwrap(),
+            &bench.transformer().unwrap(),
+            &quick,
+        )
+        .unwrap();
+        assert!(!outcome.is_refuted(), "soundness violation on {}", bench.id);
+    }
+}
+
+#[test]
+fn deductive_backend_verifies_a_sample_of_mediator_pairs() {
+    let corpus: Vec<_> = full_corpus()
+        .into_iter()
+        .filter(|b| b.category == Category::Mediator)
+        .take(15)
+        .collect();
+    let deductive = DeductiveChecker::new();
+    let mut verified = 0;
+    let mut supported = 0;
+    for bench in &corpus {
+        let reduction = reduce(
+            &bench.graph_schema,
+            &bench.cypher().unwrap(),
+            &bench.transformer().unwrap(),
+        )
+        .unwrap();
+        let sql = bench.sql().unwrap();
+        if !deductive.supports(&reduction.transpiled) || !deductive.supports(&sql) {
+            continue;
+        }
+        supported += 1;
+        let outcome = check_equivalence(
+            &bench.graph_schema,
+            &bench.cypher().unwrap(),
+            &bench.target_schema,
+            &sql,
+            &bench.transformer().unwrap(),
+            &deductive,
+        )
+        .unwrap();
+        if matches!(outcome, CheckOutcome::Verified) {
+            verified += 1;
+        }
+    }
+    assert!(supported > 0, "the Mediator category must contain supported pairs");
+    // The paper verifies roughly 80% of supported pairs; our generated
+    // Mediator pairs are all exactly transpiler images, so they should all
+    // verify.
+    assert_eq!(verified, supported);
+}
+
+#[test]
+fn bounded_and_deductive_backends_never_contradict_each_other() {
+    // If the deductive backend says Verified, the bounded backend must not
+    // find a counterexample (soundness of both).
+    let corpus: Vec<_> = full_corpus()
+        .into_iter()
+        .filter(|b| b.category == Category::Mediator)
+        .take(6)
+        .collect();
+    let deductive = DeductiveChecker::new();
+    let bounded = BoundedChecker { time_budget: Duration::from_millis(600), ..Default::default() };
+    for bench in &corpus {
+        let args = (
+            &bench.graph_schema,
+            bench.cypher().unwrap(),
+            &bench.target_schema,
+            bench.sql().unwrap(),
+            bench.transformer().unwrap(),
+        );
+        let d = check_equivalence(args.0, &args.1, args.2, &args.3, &args.4, &deductive).unwrap();
+        let b = check_equivalence(args.0, &args.1, args.2, &args.3, &args.4, &bounded).unwrap();
+        if matches!(d, CheckOutcome::Verified) {
+            assert!(!b.is_refuted(), "backends disagree on {}", bench.id);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the core invariants of the reproduction:
+//!
+//! * **Transpiler soundness (Theorem 5.7)**: on arbitrary small graph
+//!   instances, the transpiled SQL query over the SDT-image of the graph is
+//!   table-equivalent to the Cypher query on the graph.
+//! * **Table equivalence (Definition 4.4)** is reflexive, symmetric, and
+//!   invariant under column and row permutation.
+//! * **Transformer application** commutes with the counterexample lifting
+//!   (SDT followed by lift followed by SDT is a fixpoint).
+
+use graphiti_common::Value;
+use graphiti_core::{infer_sdt, lift_to_graph, transpile_query};
+use graphiti_cypher::{eval_query as eval_cypher, parse_query as parse_cypher};
+use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+use graphiti_relational::Table;
+use graphiti_sql::eval_query as eval_sql;
+use graphiti_transformer::apply_to_graph;
+use proptest::prelude::*;
+
+fn emp_schema() -> GraphSchema {
+    GraphSchema::new()
+        .with_node(NodeType::new("EMP", ["id", "ename"]))
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+}
+
+/// A strategy producing small, schema-valid EMP/DEPT/WORK_AT graphs.
+fn arb_graph() -> impl Strategy<Value = GraphInstance> {
+    let emp_count = 0usize..5;
+    let dept_count = 1usize..4;
+    (emp_count, dept_count, proptest::collection::vec((0usize..5, 0usize..4), 0..8), any::<u64>())
+        .prop_map(|(emps, depts, edges, salt)| {
+            let mut g = GraphInstance::new();
+            let mut emp_ids = Vec::new();
+            let mut dept_ids = Vec::new();
+            for i in 0..emps {
+                emp_ids.push(g.add_node(
+                    "EMP",
+                    [
+                        ("id", Value::Int(i as i64)),
+                        ("ename", Value::Str(format!("e{}", (i as u64 + salt) % 3))),
+                    ],
+                ));
+            }
+            for i in 0..depts {
+                dept_ids.push(g.add_node(
+                    "DEPT",
+                    [
+                        ("dnum", Value::Int(i as i64)),
+                        ("dname", Value::Str(format!("d{}", (i as u64 + salt) % 2))),
+                    ],
+                ));
+            }
+            for (k, (e, d)) in edges.into_iter().enumerate() {
+                if !emp_ids.is_empty() && !dept_ids.is_empty() {
+                    let src = emp_ids[e % emp_ids.len()];
+                    let tgt = dept_ids[d % dept_ids.len()];
+                    g.add_edge("WORK_AT", src, tgt, [("wid", Value::Int(k as i64))]);
+                }
+            }
+            g
+        })
+}
+
+/// The featherweight queries whose soundness we check on random instances.
+const QUERIES: &[&str] = &[
+    "MATCH (n:EMP) RETURN n.ename AS name, n.id AS id",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.ename AS name, m.dname AS dept",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS dept, Count(n) AS headcount",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE n.id > 0 AND m.dnum = 1 RETURN n.id AS id",
+    "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.id AS id, m.dnum AS dept",
+    "MATCH (m:DEPT) WHERE EXISTS ((n:EMP)-[e:WORK_AT]->(m:DEPT)) RETURN m.dname AS dept",
+    "MATCH (n:EMP) RETURN Count(*) AS total",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) MATCH (n2:EMP)-[e2:WORK_AT]->(m:DEPT) \
+     WHERE n.id < n2.id RETURN n.id AS a, n2.id AS b",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 5.7 (soundness of transpilation), checked empirically on
+    /// random instances for a battery of featherweight queries.
+    #[test]
+    fn transpilation_is_sound_on_random_graphs(graph in arb_graph(), qidx in 0usize..QUERIES.len()) {
+        let schema = emp_schema();
+        prop_assume!(graph.validate(&schema).is_ok());
+        let ctx = infer_sdt(&schema).unwrap();
+        let query = parse_cypher(QUERIES[qidx]).unwrap();
+        let cypher_result = eval_cypher(&schema, &graph, &query).unwrap();
+        let induced = apply_to_graph(&ctx.sdt, &schema, &graph, &ctx.induced_schema).unwrap();
+        let sql = transpile_query(&ctx, &query).unwrap();
+        let sql_result = eval_sql(&induced, &sql).unwrap();
+        prop_assert!(
+            cypher_result.equivalent(&sql_result),
+            "query `{}` disagrees:\ncypher:\n{}\nsql:\n{}",
+            QUERIES[qidx],
+            cypher_result,
+            sql_result
+        );
+    }
+
+    /// The SDT is invertible on its image: graph → induced tables → graph →
+    /// induced tables is a fixpoint (used for counterexample lifting).
+    #[test]
+    fn sdt_lift_round_trip(graph in arb_graph()) {
+        let schema = emp_schema();
+        prop_assume!(graph.validate(&schema).is_ok());
+        let ctx = infer_sdt(&schema).unwrap();
+        let induced = apply_to_graph(&ctx.sdt, &schema, &graph, &ctx.induced_schema).unwrap();
+        let lifted = lift_to_graph(&ctx, &induced).unwrap();
+        prop_assert!(lifted.validate(&schema).is_ok());
+        let induced_again = apply_to_graph(&ctx.sdt, &schema, &lifted, &ctx.induced_schema).unwrap();
+        for rel in &ctx.induced_schema.relations {
+            let a = induced.table(rel.name.as_str()).unwrap();
+            let b = induced_again.table(rel.name.as_str()).unwrap();
+            prop_assert!(a.equivalent(b), "table {} changed by the round trip", rel.name);
+        }
+    }
+
+    /// Definition 4.4: table equivalence is invariant under row and column
+    /// permutation, and sensitive to multiplicity changes.
+    #[test]
+    fn table_equivalence_properties(
+        rows in proptest::collection::vec(proptest::collection::vec(0i64..4, 3), 0..6),
+        row_seed in any::<u64>(),
+    ) {
+        let to_table = |rows: &[Vec<i64>], col_perm: [usize; 3]| -> Table {
+            let mut t = Table::new(["a", "b", "c"]);
+            for r in rows {
+                t.push_row(col_perm.iter().map(|&i| Value::Int(r[i])).collect());
+            }
+            t
+        };
+        let original = to_table(&rows, [0, 1, 2]);
+        // Row permutation (rotate by seed) + column permutation.
+        let mut rotated = rows.clone();
+        if !rotated.is_empty() {
+            let shift = (row_seed as usize) % rotated.len();
+            rotated.rotate_left(shift);
+        }
+        let permuted = to_table(&rotated, [2, 0, 1]);
+        prop_assert!(original.equivalent(&original));
+        prop_assert!(original.equivalent(&permuted));
+        prop_assert!(permuted.equivalent(&original));
+        // Adding a duplicate of an existing row breaks equivalence.
+        if let Some(first) = rows.first() {
+            let mut extended = rows.clone();
+            extended.push(first.clone());
+            let bigger = to_table(&extended, [0, 1, 2]);
+            prop_assert!(!original.equivalent(&bigger));
+        }
+    }
+}
