@@ -146,12 +146,8 @@ pub fn transpile_best_effort(ctx: &SdtContext, query: &cy::Query) -> Result<Stri
         sql.push_str(&format!(" WHERE {}", conjuncts.join(" AND ")));
     }
     if ret.items.iter().any(cy::Expr::has_agg) {
-        let group_cols: Vec<String> = ret
-            .items
-            .iter()
-            .filter(|e| !e.has_agg())
-            .map(render_expr)
-            .collect();
+        let group_cols: Vec<String> =
+            ret.items.iter().filter(|e| !e.has_agg()).map(render_expr).collect();
         if !group_cols.is_empty() {
             sql.push_str(&format!(" GROUP BY {}", group_cols.join(", ")));
         }
@@ -311,10 +307,9 @@ mod tests {
         // Appendix E item 2: the rendered predicate references `m` as a
         // column, which no SQL table provides.
         let ctx = infer_sdt(&emp_schema()).unwrap();
-        let q = parse_query(
-            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE NOT m IS NULL RETURN n.name",
-        )
-        .unwrap();
+        let q =
+            parse_query("MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WHERE NOT m IS NULL RETURN n.name")
+                .unwrap();
         let sql_text = transpile_best_effort(&ctx, &q).unwrap();
         let induced =
             apply_to_graph(&ctx.sdt, &ctx.graph_schema, &emp_graph(), &ctx.induced_schema).unwrap();

@@ -15,15 +15,9 @@ use rand::SeedableRng;
 fn bench_ablation(c: &mut Criterion) {
     let domain = schemas::employees();
     let ctx = infer_sdt(&domain.graph_schema).unwrap();
-    let dbs = build_databases(
-        &ctx,
-        &domain.transformer().unwrap(),
-        &domain.target_schema,
-        300,
-        2,
-        3,
-    )
-    .unwrap();
+    let dbs =
+        build_databases(&ctx, &domain.transformer().unwrap(), &domain.target_schema, 300, 2, 3)
+            .unwrap();
     let textbook = parse_query(
         "SELECT e.EmpName, d.DeptName FROM Employee AS e, Assignment AS a, Department AS d \
          WHERE e.EmpId = a.EmpRef AND a.DeptRef = d.DeptNo AND d.DeptNo < 50",

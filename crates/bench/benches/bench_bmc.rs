@@ -27,10 +27,8 @@ fn bench_bmc(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("refute_optional_vs_inner_join", |bench| {
         bench.iter(|| {
-            let checker = BoundedChecker {
-                time_budget: Duration::from_secs(5),
-                ..BoundedChecker::default()
-            };
+            let checker =
+                BoundedChecker { time_budget: Duration::from_secs(5), ..BoundedChecker::default() };
             let (reduction, sql, target_schema) = &buggy_prep;
             let (outcome, _) = checker
                 .check_with_stats(

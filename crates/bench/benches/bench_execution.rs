@@ -18,15 +18,8 @@ fn bench_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("execution");
     group.sample_size(10);
     for scale in [500usize, 2000] {
-        let dbs = build_databases(
-            &reduction.ctx,
-            &transformer,
-            &bench.target_schema,
-            scale,
-            2,
-            7,
-        )
-        .unwrap();
+        let dbs = build_databases(&reduction.ctx, &transformer, &bench.target_schema, scale, 2, 7)
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("transpiled", scale), &dbs, |b, dbs| {
             b.iter(|| eval_query(&dbs.induced, &reduction.transpiled).unwrap().len())
         });

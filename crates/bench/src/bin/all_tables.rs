@@ -6,9 +6,7 @@
 //! With the default options this reproduces the full evaluation on the
 //! 410-benchmark corpus; pass `--scale 10` for a quick smoke run.
 
-use graphiti_bench::{
-    table1, table2, table3, table4, table5, transpile_latency, HarnessOptions,
-};
+use graphiti_bench::{table1, table2, table3, table4, table5, transpile_latency, HarnessOptions};
 
 fn main() {
     let opts = HarnessOptions::from_args();

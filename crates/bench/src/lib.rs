@@ -64,7 +64,7 @@ impl SizeStats {
     }
 }
 
-fn per_category<'a>(corpus: &'a [Benchmark]) -> BTreeMap<&'static str, Vec<&'a Benchmark>> {
+fn per_category(corpus: &[Benchmark]) -> BTreeMap<&'static str, Vec<&Benchmark>> {
     let mut map: BTreeMap<&'static str, Vec<&Benchmark>> = BTreeMap::new();
     for cat in Category::all() {
         map.insert(cat.name(), Vec::new());

@@ -118,9 +118,7 @@ pub fn full_corpus() -> Vec<Benchmark> {
 /// and tests: `scale` is a divisor applied to the per-category counts.
 pub fn small_corpus(scale: usize) -> Vec<Benchmark> {
     let scale = scale.max(1);
-    corpus_with_counts(
-        &Category::all().map(|c| (c, (c.paper_count() / scale).max(2))),
-    )
+    corpus_with_counts(&Category::all().map(|c| (c, (c.paper_count() / scale).max(2))))
 }
 
 /// Builds a corpus with explicit per-category counts.

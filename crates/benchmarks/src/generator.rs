@@ -28,8 +28,7 @@ pub fn identity_transformer_text(schema: &RelSchema) -> String {
         .relations
         .iter()
         .map(|rel| {
-            let vars: Vec<String> =
-                (0..rel.arity()).map(|i| format!("v{i}")).collect();
+            let vars: Vec<String> = (0..rel.arity()).map(|i| format!("v{i}")).collect();
             format!("{}({}) -> {}({})", rel.name, vars.join(", "), rel.name, vars.join(", "))
         })
         .collect::<Vec<_>>()
@@ -128,25 +127,19 @@ fn render_template(schema: &GraphSchema, category: Category, rng: &mut StdRng) -
     // outer-join-free, equality-only fragment handled by the deductive
     // backend; the other categories sample from everything.
     let template_id = if category == Category::Mediator {
-        [0usize, 1, 2][rng.gen_range(0..3)]
+        [0usize, 1, 2][rng.gen_range(0..3usize)]
     } else {
         rng.gen_range(0..10)
     };
     match template_id {
         0 => format!("MATCH (a:{s}) RETURN a.{s_k1} AS c0, a.{s_k2} AS c1"),
-        1 => format!(
-            "MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN a.{s_k1} AS c0, b.{t_k1} AS c1"
-        ),
+        1 => format!("MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN a.{s_k1} AS c0, b.{t_k1} AS c1"),
         2 => format!(
             "MATCH (a:{s})-[r:{e}]->(b:{t}) WHERE a.{s_k1} = {c1} \
              RETURN a.{s_k2} AS c0, b.{t_k2} AS c1"
         ),
-        3 => format!(
-            "MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN b.{t_k2} AS c0, Count(a) AS c1"
-        ),
-        4 => format!(
-            "MATCH (a:{s})-[r:{e}]->(b:{t}) WHERE b.{t_k1} > {c1} RETURN a.{s_k1} AS c0"
-        ),
+        3 => format!("MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN b.{t_k2} AS c0, Count(a) AS c1"),
+        4 => format!("MATCH (a:{s})-[r:{e}]->(b:{t}) WHERE b.{t_k1} > {c1} RETURN a.{s_k1} AS c0"),
         5 => format!(
             "MATCH (a:{s}) OPTIONAL MATCH (a:{s})-[r:{e}]->(b:{t}) \
              RETURN a.{s_k1} AS c0, b.{t_k1} AS c1"
@@ -158,9 +151,7 @@ fn render_template(schema: &GraphSchema, category: Category, rng: &mut StdRng) -
         7 => format!(
             "MATCH (a:{s}) RETURN a.{s_k1} AS c0 UNION ALL MATCH (b:{t}) RETURN b.{t_k1} AS c0"
         ),
-        8 => format!(
-            "MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN a.{s_k2} AS c0, Sum(b.{t_k1}) AS c1"
-        ),
+        8 => format!("MATCH (a:{s})-[r:{e}]->(b:{t}) RETURN a.{s_k2} AS c0, Sum(b.{t_k1}) AS c1"),
         _ => format!(
             "MATCH (a:{s})-[r:{e}]->(b:{t}) WHERE a.{s_k1} IN [{c1}, {c2}] \
              RETURN a.{s_k2} AS c0, b.{t_k2} AS c1"
@@ -338,11 +329,13 @@ fn mutate_aggregate(q: &SqlQuery) -> Option<SqlQuery> {
 /// Drops the last projected column (changing the output arity).
 fn mutate_drop_column(q: &SqlQuery) -> Option<SqlQuery> {
     match q {
-        SqlQuery::Project { input, items, distinct } if items.len() > 1 => Some(SqlQuery::Project {
-            input: input.clone(),
-            items: items[..items.len() - 1].to_vec(),
-            distinct: *distinct,
-        }),
+        SqlQuery::Project { input, items, distinct } if items.len() > 1 => {
+            Some(SqlQuery::Project {
+                input: input.clone(),
+                items: items[..items.len() - 1].to_vec(),
+                distinct: *distinct,
+            })
+        }
         SqlQuery::GroupBy { input, keys, items, having } if items.len() > 1 => {
             Some(SqlQuery::GroupBy {
                 input: input.clone(),
@@ -351,16 +344,12 @@ fn mutate_drop_column(q: &SqlQuery) -> Option<SqlQuery> {
                 having: having.clone(),
             })
         }
-        SqlQuery::OrderBy { input, keys } => mutate_drop_column(input).map(|q| SqlQuery::OrderBy {
-            input: Box::new(q),
-            keys: keys.clone(),
-        }),
-        SqlQuery::UnionAll(a, b) => {
-            match (mutate_drop_column(a), mutate_drop_column(b)) {
-                (Some(ma), Some(mb)) => Some(SqlQuery::UnionAll(Box::new(ma), Box::new(mb))),
-                _ => None,
-            }
-        }
+        SqlQuery::OrderBy { input, keys } => mutate_drop_column(input)
+            .map(|q| SqlQuery::OrderBy { input: Box::new(q), keys: keys.clone() }),
+        SqlQuery::UnionAll(a, b) => match (mutate_drop_column(a), mutate_drop_column(b)) {
+            (Some(ma), Some(mb)) => Some(SqlQuery::UnionAll(Box::new(ma), Box::new(mb))),
+            _ => None,
+        },
         _ => None,
     }
 }
@@ -388,8 +377,7 @@ mod tests {
                 assert!(parse_sql(&b.sql_text).is_ok(), "{}: {}", b.id, b.sql_text);
                 let t = b.transformer().unwrap();
                 assert!(t.is_safe());
-                let reduction =
-                    graphiti_core::reduce(&b.graph_schema, &cypher, &t).unwrap();
+                let reduction = graphiti_core::reduce(&b.graph_schema, &cypher, &t).unwrap();
                 assert!(reduction.transpiled.size() > 0);
             }
         }
@@ -427,10 +415,9 @@ mod tests {
     #[test]
     fn mutations_change_semantics_syntactically() {
         let mut rng = StdRng::seed_from_u64(99);
-        let q = parse_sql(
-            "SELECT a.x AS c0, Count(*) AS c1 FROM t AS a WHERE a.x = 3 GROUP BY a.x",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT a.x AS c0, Count(*) AS c1 FROM t AS a WHERE a.x = 3 GROUP BY a.x")
+                .unwrap();
         let mutated = mutate(&q, &mut rng).expect("mutation applies");
         assert_ne!(q, mutated);
     }

@@ -195,9 +195,8 @@ mod tests {
         assert_eq!(handwritten_for(Category::Academic).len(), 3);
         assert_eq!(handwritten_for(Category::Tutorial).len(), 3);
         assert_eq!(handwritten_for(Category::StackOverflow).len(), 4);
-        let buggy = |c: Category| {
-            handwritten_for(c).iter().filter(|b| !b.expected_equivalent).count()
-        };
+        let buggy =
+            |c: Category| handwritten_for(c).iter().filter(|b| !b.expected_equivalent).count();
         assert_eq!(buggy(Category::Academic), 1);
         assert_eq!(buggy(Category::Tutorial), 1);
         assert_eq!(buggy(Category::StackOverflow), 1);

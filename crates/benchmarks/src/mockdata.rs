@@ -142,21 +142,12 @@ mod tests {
     fn databases_are_consistent_with_schemas() {
         let domain = schemas::employees();
         let ctx = infer_sdt(&domain.graph_schema).unwrap();
-        let dbs = build_databases(
-            &ctx,
-            &domain.transformer().unwrap(),
-            &domain.target_schema,
-            50,
-            2,
-            42,
-        )
-        .unwrap();
+        let dbs =
+            build_databases(&ctx, &domain.transformer().unwrap(), &domain.target_schema, 50, 2, 42)
+                .unwrap();
         assert!(dbs.induced.validate(&ctx.induced_schema).is_ok());
         // The target instance has one Assignment row per WORK_AT edge.
-        assert_eq!(
-            dbs.target.table("Assignment").unwrap().len(),
-            dbs.graph.edge_count()
-        );
+        assert_eq!(dbs.target.table("Assignment").unwrap().len(), dbs.graph.edge_count());
         assert_eq!(dbs.target.table("Employee").unwrap().len(), 50);
     }
 

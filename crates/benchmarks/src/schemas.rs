@@ -92,7 +92,12 @@ pub fn retail() -> Domain {
         .with_node(NodeType::new("Order", ["OrderID", "OrderDate"]))
         .with_node(NodeType::new("Product", ["ProductID", "ProductName"]))
         .with_edge(EdgeType::new("PURCHASED", "Customer", "Order", ["PuId"]))
-        .with_edge(EdgeType::new("CONTAINS", "Order", "Product", ["OdId", "UnitPrice", "Quantity"]));
+        .with_edge(EdgeType::new(
+            "CONTAINS",
+            "Order",
+            "Product",
+            ["OdId", "UnitPrice", "Quantity"],
+        ));
     let target_schema = RelSchema::new()
         .with_relation(Relation::new("Customers", ["CustomerID", "CompanyName"]))
         .with_relation(Relation::new("Orders", ["OrderID", "OrderDate", "CustomerID2"]))

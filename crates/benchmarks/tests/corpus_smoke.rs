@@ -1,0 +1,50 @@
+//! Fast corpus smoke test: everything in the corpus is well-formed, with no
+//! checking budgets involved — parsing and counting only.
+
+use graphiti_benchmarks::{full_corpus, small_corpus, Category};
+use std::collections::BTreeSet;
+
+#[test]
+fn full_corpus_ids_are_unique_and_counts_match_table1() {
+    let corpus = full_corpus();
+    let total: usize = Category::all().iter().map(|c| c.paper_count()).sum();
+    assert_eq!(corpus.len(), total, "full corpus must match the Table 1 total");
+    let ids: BTreeSet<&str> = corpus.iter().map(|b| b.id.as_str()).collect();
+    assert_eq!(ids.len(), corpus.len(), "benchmark ids must be unique");
+}
+
+#[test]
+fn every_benchmark_parses() {
+    for bench in full_corpus() {
+        bench.cypher().unwrap_or_else(|e| panic!("{}: cypher does not parse: {e}", bench.id));
+        bench.sql().unwrap_or_else(|e| panic!("{}: sql does not parse: {e}", bench.id));
+        bench
+            .transformer()
+            .unwrap_or_else(|e| panic!("{}: transformer does not parse: {e}", bench.id));
+        bench
+            .graph_schema
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: graph schema invalid: {e}", bench.id));
+    }
+}
+
+#[test]
+fn small_corpus_returns_exactly_the_scaled_count() {
+    // Expected totals computed by hand from the Table 1 per-category counts
+    // (12, 26, 7, 60, 100, 205) scaled down with a floor of 2 per category,
+    // independently of the implementation's formula.
+    for (scale, expected) in [(1usize, 410usize), (5, 82), (10, 42), (100, 12)] {
+        let corpus = small_corpus(scale);
+        assert_eq!(
+            corpus.len(),
+            expected,
+            "small_corpus({scale}) must return exactly {expected} entries"
+        );
+        let ids: BTreeSet<&str> = corpus.iter().map(|b| b.id.as_str()).collect();
+        assert_eq!(ids.len(), corpus.len(), "small_corpus({scale}) ids must be unique");
+        for cat in Category::all() {
+            let n = corpus.iter().filter(|b| b.category == cat).count();
+            assert!(n >= 2, "small_corpus({scale}) must keep >= 2 {cat:?} entries, got {n}");
+        }
+    }
+}

@@ -106,17 +106,15 @@ impl BoundedChecker {
                         v
                     } else if let Some((_, ref_rel, ref_attr)) = fk {
                         // Pick an existing referenced value.
-                        let referenced = inst
-                            .table(ref_rel.as_str())
-                            .and_then(|t| {
-                                let idx = t.column_index(ref_attr.as_str())?;
-                                if t.rows.is_empty() {
-                                    None
-                                } else {
-                                    let pick = rng.gen_range(0..t.rows.len());
-                                    Some(t.rows[pick][idx].clone())
-                                }
-                            });
+                        let referenced = inst.table(ref_rel.as_str()).and_then(|t| {
+                            let idx = t.column_index(ref_attr.as_str())?;
+                            if t.rows.is_empty() {
+                                None
+                            } else {
+                                let pick = rng.gen_range(0..t.rows.len());
+                                Some(t.rows[pick][idx].clone())
+                            }
+                        });
                         match referenced {
                             Some(v) => v,
                             None => continue 'rows,
@@ -526,10 +524,8 @@ mod tests {
                 .with_constraint(Constraint::pk("EMP", "EmpNo"))
                 .with_constraint(Constraint::pk("DEPT", "DeptNo"))
         };
-        let transformer = parse_transformer(
-            "EMPN(e, n, d) -> EMP(e, n, d)\nDEPTN(d, n) -> DEPT(d, n)",
-        )
-        .unwrap();
+        let transformer =
+            parse_transformer("EMPN(e, n, d) -> EMP(e, n, d)\nDEPTN(d, n) -> DEPT(d, n)").unwrap();
         let sql = parse_sql(
             "SELECT t0.EmpNo, t0.DeptNo, t1.DeptNo AS DeptNo0 FROM ( \
                SELECT EmpNo, EName, DeptNo, DeptNo + EmpNo AS f9 FROM EMP WHERE EmpNo = 10 \

@@ -177,10 +177,7 @@ impl Cq {
                 .map(|(t, slots)| {
                     (
                         t.to_ascii_lowercase(),
-                        slots
-                            .iter()
-                            .map(|&s| (self.find(s), root_const(s)))
-                            .collect::<Vec<_>>(),
+                        slots.iter().map(|&s| (self.find(s), root_const(s))).collect::<Vec<_>>(),
                     )
                 })
                 .collect(),
@@ -196,11 +193,15 @@ impl Cq {
     }
 }
 
+/// One canonical atom: table name plus, per position, the slot root and
+/// its constant.
+type CanonicalAtom = (String, Vec<(usize, Option<Value>)>);
+
 /// A CQ with union-find roots resolved, ready for isomorphism checking.
 #[derive(Debug, Clone)]
 struct CanonicalCq {
     /// Atoms: table name plus, per position, the slot root and its constant.
-    atoms: Vec<(String, Vec<(usize, Option<Value>)>)>,
+    atoms: Vec<CanonicalAtom>,
     /// Output positions: slot root (None for pure constants) and constant.
     output: Vec<(Option<usize>, Option<Value>)>,
 }
@@ -320,9 +321,8 @@ impl<'a> Normalizer<'a> {
                 for l in &lefts {
                     for r in &rights {
                         let combined = combine(l, r);
-                        match apply_pred(combined, pred) {
-                            Ok(cq) => out.push(cq),
-                            Err(_) => {}
+                        if let Ok(cq) = apply_pred(combined, pred) {
+                            out.push(cq)
                         }
                     }
                 }
@@ -339,9 +339,9 @@ impl<'a> Normalizer<'a> {
                 extended.views.insert(name.as_str().to_ascii_lowercase(), def);
                 extended.normalize(body)
             }
-            SqlQuery::Union(..) | SqlQuery::GroupBy { .. } | SqlQuery::OrderBy { .. } => Err(
-                Error::unsupported("query is outside the deductive fragment"),
-            ),
+            SqlQuery::Union(..) | SqlQuery::GroupBy { .. } | SqlQuery::OrderBy { .. } => {
+                Err(Error::unsupported("query is outside the deductive fragment"))
+            }
         }
     }
 }
@@ -382,9 +382,9 @@ fn apply_pred(mut cq: Cq, pred: &SqlPred) -> Result<Cq> {
         SqlPred::Cmp(a, CmpOp::Eq, b) => {
             let resolve = |cq: &Cq, e: &SqlExpr| -> Result<Slot> {
                 match e {
-                    SqlExpr::Col(c) => cq.resolve(c).ok_or_else(|| {
-                        Error::checker(format!("cannot resolve `{}`", c.render()))
-                    }),
+                    SqlExpr::Col(c) => cq
+                        .resolve(c)
+                        .ok_or_else(|| Error::checker(format!("cannot resolve `{}`", c.render()))),
                     SqlExpr::Value(v) => Ok(Slot::Const(v.clone())),
                     _ => Err(Error::unsupported("non-column expression in predicate")),
                 }
@@ -543,9 +543,9 @@ fn views_from_rdt(
             let mut slots = Vec::new();
             for term in &atom.terms {
                 let slot = match term {
-                    Term::Var(v) => *var_slots
-                        .entry(v.as_str().to_string())
-                        .or_insert_with(|| cq.new_slot()),
+                    Term::Var(v) => {
+                        *var_slots.entry(v.as_str().to_string()).or_insert_with(|| cq.new_slot())
+                    }
                     Term::Wildcard => cq.new_slot(),
                     Term::Const(value) => {
                         let s = cq.new_slot();
@@ -557,9 +557,9 @@ fn views_from_rdt(
             }
             cq.atoms.push((rel.name.as_str().to_string(), slots));
         }
-        let target_rel = target_schema.relation(rule.head.name.as_str()).ok_or_else(|| {
-            Error::checker(format!("unknown target table `{}`", rule.head.name))
-        })?;
+        let target_rel = target_schema
+            .relation(rule.head.name.as_str())
+            .ok_or_else(|| Error::checker(format!("unknown target table `{}`", rule.head.name)))?;
         if target_rel.arity() != rule.head.arity() {
             return Err(Error::checker(format!(
                 "residual rule head `{}` has arity {} but the table has {}",
@@ -583,10 +583,7 @@ fn views_from_rdt(
             }
             cq.out_names.push(attr.as_str().to_string());
         }
-        views
-            .entry(target_rel.name.as_str().to_ascii_lowercase())
-            .or_default()
-            .push(cq);
+        views.entry(target_rel.name.as_str().to_ascii_lowercase()).or_default().push(cq);
     }
     Ok(views)
 }
@@ -643,7 +640,12 @@ impl SqlEquivChecker for DeductiveChecker {
     }
 }
 
-fn match_ucqs(left: &[CanonicalCq], right: &[CanonicalCq], idx: usize, used: &mut Vec<bool>) -> bool {
+fn match_ucqs(
+    left: &[CanonicalCq],
+    right: &[CanonicalCq],
+    idx: usize,
+    used: &mut Vec<bool>,
+) -> bool {
     if idx == left.len() {
         return true;
     }
@@ -762,10 +764,8 @@ mod tests {
 
     #[test]
     fn aggregation_is_outside_the_fragment() {
-        let cypher = parse_cypher(
-            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname, Count(*)",
-        )
-        .unwrap();
+        let cypher =
+            parse_cypher("MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname, Count(*)").unwrap();
         let sql = parse_sql(
             "SELECT d.DeptName, Count(*) FROM Department AS d \
              JOIN Assignment AS a ON a.DeptNo2 = d.DeptNo GROUP BY d.DeptName",
@@ -810,10 +810,9 @@ mod tests {
         // Target table that merges employees and departments; the Cypher
         // query reads both node types.
         let target = RelSchema::new().with_relation(Relation::new("Everyone", ["key"]));
-        let transformer = parse_transformer(
-            "EMP(id, _) -> Everyone(id)\nDEPT(dnum, _) -> Everyone(dnum)",
-        )
-        .unwrap();
+        let transformer =
+            parse_transformer("EMP(id, _) -> Everyone(id)\nDEPT(dnum, _) -> Everyone(dnum)")
+                .unwrap();
         let cypher = parse_cypher(
             "MATCH (n:EMP) RETURN n.id AS key UNION ALL MATCH (m:DEPT) RETURN m.dnum AS key",
         )

@@ -49,6 +49,7 @@ impl Truth {
     }
 
     /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -227,7 +227,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -431,9 +431,7 @@ impl AggKind {
         let mut isum: i64 = 0;
         let mut min: Option<Value> = None;
         let mut max: Option<Value> = None;
-        let mut saw_any = false;
         for v in values {
-            saw_any = true;
             if v.is_null() {
                 continue;
             }
@@ -473,11 +471,9 @@ impl AggKind {
             AggKind::Count => Value::Int(count),
             AggKind::Sum => {
                 if count == 0 {
-                    if saw_any {
-                        Value::Null
-                    } else {
-                        Value::Null
-                    }
+                    // SUM over zero non-NULL inputs is NULL, whether the
+                    // input was empty or all-NULL.
+                    Value::Null
                 } else if all_int {
                     Value::Int(isum)
                 } else {
@@ -538,7 +534,7 @@ mod tests {
 
     #[test]
     fn aggregates_skip_nulls() {
-        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        let vals = [Value::Int(1), Value::Null, Value::Int(3)];
         assert_eq!(AggKind::Count.fold(vals.iter()), Value::Int(2));
         assert_eq!(AggKind::Sum.fold(vals.iter()), Value::Int(4));
         assert_eq!(AggKind::Avg.fold(vals.iter()), Value::Float(2.0));
@@ -548,7 +544,7 @@ mod tests {
 
     #[test]
     fn aggregates_over_all_nulls() {
-        let vals = vec![Value::Null, Value::Null];
+        let vals = [Value::Null, Value::Null];
         assert_eq!(AggKind::Count.fold(vals.iter()), Value::Int(0));
         assert_eq!(AggKind::Sum.fold(vals.iter()), Value::Null);
         assert_eq!(AggKind::Min.fold(vals.iter()), Value::Null);
@@ -564,7 +560,7 @@ mod tests {
 
     #[test]
     fn total_order_groups_types() {
-        let mut vals = vec![Value::str("z"), Value::Int(5), Value::Null, Value::Bool(true)];
+        let mut vals = [Value::str("z"), Value::Int(5), Value::Null, Value::Bool(true)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

@@ -143,9 +143,9 @@ mod tests {
         assert_eq!(ctx.induced_schema.primary_key("WORK_AT").unwrap().as_str(), "wid");
         let fks = ctx.induced_schema.foreign_keys("WORK_AT");
         assert_eq!(fks.len(), 2);
-        assert!(fks.iter().any(|(a, r, ra)| a.as_str() == "SRC"
-            && r.as_str() == "EMP"
-            && ra.as_str() == "id"));
+        assert!(fks
+            .iter()
+            .any(|(a, r, ra)| a.as_str() == "SRC" && r.as_str() == "EMP" && ra.as_str() == "id"));
         assert!(fks.iter().any(|(a, r, ra)| a.as_str() == "TGT"
             && r.as_str() == "DEPT"
             && ra.as_str() == "dnum"));

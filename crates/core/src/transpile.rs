@@ -60,15 +60,11 @@ impl RefStyle<'_> {
     fn prop(&self, var: &Ident, key: &Ident) -> SqlExpr {
         match self {
             RefStyle::Pattern(aliases) => {
-                let alias = aliases
-                    .get(var.as_str())
-                    .cloned()
-                    .unwrap_or_else(|| var.as_str().to_string());
+                let alias =
+                    aliases.get(var.as_str()).cloned().unwrap_or_else(|| var.as_str().to_string());
                 SqlExpr::Col(ColumnRef::qualified(alias, key.clone()))
             }
-            RefStyle::Clause => {
-                SqlExpr::Col(ColumnRef::unqualified(format!("{var}_{key}")))
-            }
+            RefStyle::Clause => SqlExpr::Col(ColumnRef::unqualified(format!("{var}_{key}"))),
             RefStyle::Sided { t1, x1, t2 } => {
                 let side = if x1.iter().any(|(v, _)| v == var) { *t1 } else { *t2 };
                 SqlExpr::Col(ColumnRef::qualified(side, format!("{var}_{key}")))
@@ -124,18 +120,11 @@ impl<'a> Transpiler<'a> {
             items.push(SelectItem::aliased(translated, name.clone()));
         }
         if !r.has_agg() {
-            Ok(SqlQuery::Project {
-                input: Box::new(clause_q),
-                items,
-                distinct: r.distinct,
-            })
+            Ok(SqlQuery::Project { input: Box::new(clause_q), items, distinct: r.distinct })
         } else {
             // Q-Agg: non-aggregate output expressions become grouping keys.
-            let keys: Vec<SqlExpr> = items
-                .iter()
-                .filter(|i| !i.expr.has_agg())
-                .map(|i| i.expr.clone())
-                .collect();
+            let keys: Vec<SqlExpr> =
+                items.iter().filter(|i| !i.expr.has_agg()).map(|i| i.expr.clone()).collect();
             Ok(SqlQuery::GroupBy {
                 input: Box::new(clause_q),
                 keys,
@@ -194,8 +183,7 @@ impl<'a> Transpiler<'a> {
                     pred: join_pred,
                 };
                 let vars_out = merge_vars(&x1, &pr.vars);
-                let projected =
-                    self.project_sided(joined, &vars_out, &t1, &x1, &t2)?;
+                let projected = self.project_sided(joined, &vars_out, &t1, &x1, &t2)?;
                 let filter = self.pred(pred, &RefStyle::Clause, &vars_out)?;
                 Ok((vars_out, wrap_select(projected, filter)))
             }
@@ -231,13 +219,10 @@ impl<'a> Transpiler<'a> {
                 let mut items = Vec::new();
                 let mut vars_out = Vec::new();
                 for (o, n) in old.iter().zip(new.iter()) {
-                    let label = x1
-                        .iter()
-                        .find(|(v, _)| v == o)
-                        .map(|(_, l)| l.clone())
-                        .ok_or_else(|| {
-                            Error::eval(format!("WITH references unbound variable `{o}`"))
-                        })?;
+                    let label =
+                        x1.iter().find(|(v, _)| v == o).map(|(_, l)| l.clone()).ok_or_else(
+                            || Error::eval(format!("WITH references unbound variable `{o}`")),
+                        )?;
                     for key in self.ctx.keys_of(label.as_str())? {
                         items.push(SelectItem::aliased(
                             SqlExpr::Col(ColumnRef::unqualified(format!("{o}_{key}"))),
@@ -331,8 +316,8 @@ impl<'a> Transpiler<'a> {
                 SqlExpr::Value(value.clone()),
             ));
         }
-        let mut query =
-            SqlQuery::table(self.ctx.table_of(pp.start.label.as_str())?.clone()).rename(&*start_alias);
+        let mut query = SqlQuery::table(self.ctx.table_of(pp.start.label.as_str())?.clone())
+            .rename(&*start_alias);
 
         let mut prev_alias = start_alias;
         let mut prev_pk = self.ctx.pk_of(pp.start.label.as_str())?.clone();
@@ -340,10 +325,7 @@ impl<'a> Transpiler<'a> {
 
         for (edge_pat, node_pat) in &pp.steps {
             if !self.ctx.is_edge(edge_pat.label.as_str()) {
-                return Err(Error::schema(format!(
-                    "`{}` is not an edge label",
-                    edge_pat.label
-                )));
+                return Err(Error::schema(format!("`{}` is not an edge label", edge_pat.label)));
             }
             let edge_alias = self.bind_pattern_var(
                 &edge_pat.var,
@@ -382,11 +364,10 @@ impl<'a> Transpiler<'a> {
             // orientation is admissible only when the labels line up (Cypher
             // matches by node identity, so a value collision between keys of
             // different types must not produce a spurious SQL match).
-            let edge_ty = self
-                .ctx
-                .graph_schema
-                .edge_type(edge_pat.label.as_str())
-                .ok_or_else(|| Error::schema(format!("unknown edge label `{}`", edge_pat.label)))?;
+            let edge_ty =
+                self.ctx.graph_schema.edge_type(edge_pat.label.as_str()).ok_or_else(|| {
+                    Error::schema(format!("unknown edge label `{}`", edge_pat.label))
+                })?;
             let forward_ok = edge_ty.src == prev_label && edge_ty.tgt == node_pat.label;
             let backward_ok = edge_ty.src == node_pat.label && edge_ty.tgt == prev_label;
 
@@ -581,20 +562,17 @@ impl<'a> Transpiler<'a> {
     ) -> Result<SqlPred> {
         let pr = self.pattern(pp)?;
         let selected = wrap_select(pr.query.clone(), SqlPred::conjunction(pr.conds.clone()));
-        let shared: Vec<(Ident, Ident)> = pr
-            .vars
-            .iter()
-            .filter(|(v, _)| scope.iter().any(|(sv, _)| sv == v))
-            .cloned()
-            .collect();
+        let shared: Vec<(Ident, Ident)> =
+            pr.vars.iter().filter(|(v, _)| scope.iter().any(|(sv, _)| sv == v)).cloned().collect();
         if shared.is_empty() {
             // Uncorrelated existence check.
             let (v, l) = &pr.vars[0];
             let alias = pr.aliases.get(v.as_str()).cloned().unwrap_or_else(|| v.to_string());
             let pk = self.ctx.pk_of(l.as_str())?;
-            let sub = selected.project(vec![SelectItem::expr(SqlExpr::Col(
-                ColumnRef::qualified(alias, pk.clone()),
-            ))]);
+            let sub = selected.project(vec![SelectItem::expr(SqlExpr::Col(ColumnRef::qualified(
+                alias,
+                pk.clone(),
+            )))]);
             return Ok(SqlPred::Exists(Box::new(sub)));
         }
         let mut sub_items = Vec::new();
@@ -656,9 +634,7 @@ fn resolve_sort_key(ret: &cy::ReturnQuery, key: &cy::Expr) -> Result<String> {
             return Ok(ret.names[idx].to_string());
         }
     }
-    Err(Error::unsupported(format!(
-        "ORDER BY key `{rendered}` does not match any returned column"
-    )))
+    Err(Error::unsupported(format!("ORDER BY key `{rendered}` does not match any returned column")))
 }
 
 #[cfg(test)]
@@ -875,8 +851,10 @@ mod tests {
             .with_edge(EdgeType::new("CS", "CONCEPT", "PA", ["eCID", "eCSID"]))
             .with_edge(EdgeType::new("SP", "PA", "SENTENCE", ["SPID", "eSID"]));
         let mut g = GraphInstance::new();
-        let atropine = g.add_node("CONCEPT", [("CID", Value::Int(1)), ("Name", Value::str("Atropine"))]);
-        let _aspirin = g.add_node("CONCEPT", [("CID", Value::Int(2)), ("Name", Value::str("Aspirin"))]);
+        let atropine =
+            g.add_node("CONCEPT", [("CID", Value::Int(1)), ("Name", Value::str("Atropine"))]);
+        let _aspirin =
+            g.add_node("CONCEPT", [("CID", Value::Int(2)), ("Name", Value::str("Aspirin"))]);
         let pa0 = g.add_node("PA", [("PID", Value::Int(0)), ("CSID", Value::Int(0))]);
         let pa1 = g.add_node("PA", [("PID", Value::Int(1)), ("CSID", Value::Int(1))]);
         let s0 = g.add_node("SENTENCE", [("SID", Value::Int(0)), ("PMID", Value::Int(0))]);

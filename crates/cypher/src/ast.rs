@@ -251,6 +251,7 @@ impl Pred {
     }
 
     /// Convenience constructor for negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(p: Pred) -> Self {
         Pred::Not(Box::new(p))
     }
@@ -397,7 +398,9 @@ impl Clause {
             Clause::Match { prev, pattern, pred } => {
                 1 + prev.as_ref().map(|p| p.size()).unwrap_or(0) + pattern.size() + pred.size()
             }
-            Clause::OptMatch { prev, pattern, pred } => 1 + prev.size() + pattern.size() + pred.size(),
+            Clause::OptMatch { prev, pattern, pred } => {
+                1 + prev.size() + pattern.size() + pred.size()
+            }
             Clause::With { prev, old, .. } => 1 + prev.size() + old.len(),
         }
     }
@@ -445,6 +448,9 @@ pub struct SortKey {
 }
 
 /// A Featherweight Cypher query.
+// `Return` is by far the most common variant; boxing it to appease
+// `large_enum_variant` would cost an allocation on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Query {
     /// A plain return query.
@@ -516,7 +522,10 @@ mod tests {
     pub(crate) fn example_3_4() -> Query {
         let pattern = PathPattern::new(
             NodePattern::new("n", "EMP"),
-            vec![(EdgePattern::new("e", "WORK_AT", Direction::Right), NodePattern::new("m", "DEPT"))],
+            vec![(
+                EdgePattern::new("e", "WORK_AT", Direction::Right),
+                NodePattern::new("m", "DEPT"),
+            )],
         );
         let clause = Clause::match_pattern(pattern, Pred::True);
         Query::Return(ReturnQuery::new(
@@ -554,7 +563,10 @@ mod tests {
     fn visible_variables_through_with() {
         let pp1 = PathPattern::new(
             NodePattern::new("n", "EMP"),
-            vec![(EdgePattern::new("e", "WORK_AT", Direction::Right), NodePattern::new("m", "DEPT"))],
+            vec![(
+                EdgePattern::new("e", "WORK_AT", Direction::Right),
+                NodePattern::new("m", "DEPT"),
+            )],
         );
         let clause = Clause::match_pattern(pp1, Pred::True)
             .then_with(vec!["m".into()], vec!["d".into()])

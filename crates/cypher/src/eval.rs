@@ -470,11 +470,7 @@ fn consistent_with_context(binding: &Binding, context: Option<&Binding>) -> bool
 
 fn union_tables(mut a: Table, b: Table, dedup: bool) -> Result<Table> {
     if a.arity() != b.arity() {
-        return Err(Error::eval(format!(
-            "UNION arity mismatch: {} vs {}",
-            a.arity(),
-            b.arity()
-        )));
+        return Err(Error::eval(format!("UNION arity mismatch: {} vs {}", a.arity(), b.arity())));
     }
     a.rows.extend(b.rows);
     Ok(if dedup { a.dedup() } else { a })
@@ -571,11 +567,7 @@ mod tests {
 
     #[test]
     fn where_predicate_and_arithmetic() {
-        let t = run(
-            "MATCH (n:EMP) WHERE n.id + 1 = 2 RETURN n.name",
-            &emp_schema(),
-            &emp_graph(),
-        );
+        let t = run("MATCH (n:EMP) WHERE n.id + 1 = 2 RETURN n.name", &emp_schema(), &emp_graph());
         assert_eq!(t.len(), 1);
         assert_eq!(t.rows[0][0], Value::str("A"));
     }
@@ -666,7 +658,8 @@ mod tests {
         let mut g = emp_graph();
         // Add a third employee working at EE.
         let c = g.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
-        let ee = g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("EE")).unwrap().id;
+        let ee =
+            g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("EE")).unwrap().id;
         g.add_edge("WORK_AT", c, ee, [("wid", Value::Int(12))]);
         let t = run(
             "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(*) AS num",

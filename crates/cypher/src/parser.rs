@@ -20,6 +20,9 @@ use crate::lexer::{tokenize, Token};
 use graphiti_common::{AggKind, BinArith, CmpOp, Error, Ident, Result, Value};
 use std::collections::HashMap;
 
+/// Parsed body of an edge pattern: variable, label, and property literals.
+type EdgeBody = (Option<String>, Option<String>, Vec<(Ident, Value)>);
+
 /// Parses a complete Cypher query.
 pub fn parse_query(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
@@ -165,11 +168,7 @@ impl Parser {
         let mut names = Vec::new();
         loop {
             let e = self.parse_expr()?;
-            let name = if self.eat_kw("as") {
-                self.expect_ident()?
-            } else {
-                default_name(&e)
-            };
+            let name = if self.eat_kw("as") { self.expect_ident()? } else { default_name(&e) };
             items.push(e);
             names.push(Ident::new(name));
             if !self.eat(&Token::Comma) {
@@ -266,8 +265,7 @@ impl Parser {
                         "WITH over computed expressions is outside Featherweight Cypher",
                     ));
                 }
-                let renamed =
-                    if self.eat_kw("as") { self.expect_ident()? } else { name.clone() };
+                let renamed = if self.eat_kw("as") { self.expect_ident()? } else { name.clone() };
                 if let Some(label) = self.var_labels.get(&name).cloned() {
                     self.var_labels.insert(renamed.clone(), label);
                 }
@@ -279,9 +277,7 @@ impl Parser {
             }
         }
         if self.at_kw("where") {
-            return Err(Error::unsupported(
-                "WHERE after WITH is outside Featherweight Cypher",
-            ));
+            return Err(Error::unsupported("WHERE after WITH is outside Featherweight Cypher"));
         }
         Ok(Clause::With { prev: Box::new(prev), old, new })
     }
@@ -323,16 +319,12 @@ impl Parser {
         let var = var.unwrap_or_else(|| self.fresh_var());
         let label = match label {
             Some(l) => l,
-            None => self
-                .var_labels
-                .get(&var)
-                .cloned()
-                .ok_or_else(|| {
-                    Error::parse(
-                        "cypher",
-                        format!("node pattern `({var})` has no label and `{var}` is not bound earlier"),
-                    )
-                })?,
+            None => self.var_labels.get(&var).cloned().ok_or_else(|| {
+                Error::parse(
+                    "cypher",
+                    format!("node pattern `({var})` has no label and `{var}` is not bound earlier"),
+                )
+            })?,
         };
         self.var_labels.insert(var.clone(), label.clone());
         Ok(NodePattern { var: Ident::new(var), label: Ident::new(label), props })
@@ -364,7 +356,7 @@ impl Parser {
         Ok(None)
     }
 
-    fn parse_edge_body(&mut self) -> Result<(Option<String>, Option<String>, Vec<(Ident, Value)>)> {
+    fn parse_edge_body(&mut self) -> Result<EdgeBody> {
         let var = match self.peek() {
             Token::Ident(s) => {
                 let s = s.clone();
@@ -375,7 +367,8 @@ impl Parser {
         };
         let label = if self.eat(&Token::Colon) {
             let l = self.expect_ident()?;
-            if self.eat(&Token::Star) || self.peek() == &Token::Dot && self.peek_at(1) == &Token::Dot
+            if self.eat(&Token::Star)
+                || self.peek() == &Token::Dot && self.peek_at(1) == &Token::Dot
             {
                 return Err(Error::unsupported(
                     "variable-length path patterns are outside Featherweight Cypher",
@@ -433,7 +426,10 @@ impl Parser {
             Token::Minus => match self.bump() {
                 Token::Int(i) => Ok(Value::Int(-i)),
                 Token::Float(f) => Ok(Value::Float(-f)),
-                other => Err(Error::parse("cypher", format!("expected number after `-`, found {other:?}"))),
+                other => Err(Error::parse(
+                    "cypher",
+                    format!("expected number after `-`, found {other:?}"),
+                )),
             },
             Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
@@ -495,8 +491,16 @@ impl Parser {
                 if self.eat(&Token::RParen)
                     && !matches!(
                         self.peek(),
-                        Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge
-                            | Token::Plus | Token::Minus | Token::Star | Token::Slash
+                        Token::Eq
+                            | Token::Ne
+                            | Token::Lt
+                            | Token::Le
+                            | Token::Gt
+                            | Token::Ge
+                            | Token::Plus
+                            | Token::Minus
+                            | Token::Star
+                            | Token::Slash
                     )
                 {
                     return Ok(p);
@@ -575,7 +579,10 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(Pred::Exists(pp))
             }
-            other => Err(Error::parse("cypher", format!("expected `{{` or `(` after EXISTS, found {other:?}"))),
+            other => Err(Error::parse(
+                "cypher",
+                format!("expected `{{` or `(` after EXISTS, found {other:?}"),
+            )),
         }
     }
 

@@ -1,0 +1,56 @@
+//! Round-trip tests for the Cypher lexer/parser/pretty-printer:
+//! `parse(pretty(parse(s)))` must equal `parse(s)` for a battery of
+//! queries covering the whole featherweight fragment.
+
+use graphiti_cypher::{parse_query, query_to_string};
+
+/// One query per grammar production the parser supports.
+const QUERIES: &[&str] = &[
+    "MATCH (n:EMP) RETURN n.id AS id",
+    "MATCH (n:EMP) RETURN n.id AS id, n.ename AS name",
+    "MATCH (n:EMP) RETURN DISTINCT n.ename AS name",
+    "MATCH (n:EMP) WHERE n.id > 3 RETURN n.id AS id",
+    "MATCH (n:EMP) WHERE n.id >= 1 AND n.ename = 'Ada' RETURN n.id AS id",
+    "MATCH (n:EMP) WHERE n.id < 5 OR NOT n.id <> 2 RETURN n.id AS id",
+    "MATCH (n:EMP) WHERE n.ename IS NULL RETURN n.id AS id",
+    "MATCH (n:EMP) WHERE n.ename IS NOT NULL RETURN n.id AS id",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.ename AS name, m.dname AS dept",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS dept, Count(n) AS headcount",
+    "MATCH (n:EMP) RETURN Count(*) AS total",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN Sum(e.wid) AS s",
+    "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) \
+     RETURN n.id AS id, m.dnum AS dept",
+    "MATCH (m:DEPT) WHERE EXISTS ((n:EMP)-[e:WORK_AT]->(m:DEPT)) RETURN m.dname AS dept",
+    "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) MATCH (n2:EMP)-[e2:WORK_AT]->(m:DEPT) \
+     WHERE n.id < n2.id RETURN n.id AS a, n2.id AS b",
+    "MATCH (n:EMP) RETURN n.id AS id ORDER BY id",
+    "MATCH (n:EMP) RETURN n.id AS id, n.ename AS name ORDER BY name, id",
+    "MATCH (n:EMP) RETURN n.id AS id UNION MATCH (m:DEPT) RETURN m.dnum AS id",
+    "MATCH (n:EMP) RETURN n.id AS id UNION ALL MATCH (m:DEPT) RETURN m.dnum AS id",
+];
+
+#[test]
+fn pretty_then_parse_is_identity_on_asts() {
+    for text in QUERIES {
+        let parsed = parse_query(text).unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        let printed = query_to_string(&parsed);
+        let reparsed = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("pretty output `{printed}` of `{text}` failed to parse: {e}")
+        });
+        assert_eq!(
+            parsed, reparsed,
+            "round trip changed the AST for `{text}` (printed `{printed}`)"
+        );
+    }
+}
+
+#[test]
+fn pretty_is_a_fixpoint_after_one_round() {
+    // pretty(parse(pretty(parse(s)))) == pretty(parse(s)): the printer
+    // normalizes once, then stays put.
+    for text in QUERIES {
+        let once = query_to_string(&parse_query(text).unwrap());
+        let twice = query_to_string(&parse_query(&once).unwrap());
+        assert_eq!(once, twice, "pretty-printer is not idempotent for `{text}`");
+    }
+}

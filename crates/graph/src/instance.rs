@@ -288,11 +288,8 @@ mod tests {
         let g = fig15_instance();
         let a = g.nodes_with_label("EMP").next().unwrap().id;
         assert_eq!(g.out_edges(a).count(), 1);
-        let cs = g
-            .nodes_with_label("DEPT")
-            .find(|n| n.prop("dname") == Value::str("CS"))
-            .unwrap()
-            .id;
+        let cs =
+            g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("CS")).unwrap().id;
         assert_eq!(g.in_edges(cs).count(), 2);
     }
 

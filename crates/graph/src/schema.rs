@@ -227,9 +227,12 @@ mod tests {
 
     #[test]
     fn missing_endpoint_rejected() {
-        let s = GraphSchema::new()
-            .with_node(NodeType::new("A", ["aid"]))
-            .with_edge(EdgeType::new("REL", "A", "MISSING", ["rid"]));
+        let s = GraphSchema::new().with_node(NodeType::new("A", ["aid"])).with_edge(EdgeType::new(
+            "REL",
+            "A",
+            "MISSING",
+            ["rid"],
+        ));
         assert!(s.validate().is_err());
     }
 

@@ -175,9 +175,9 @@ impl RelSchema {
             }
         }
         let check_attr = |rel: &Ident, attr: &Ident| -> Result<()> {
-            let r = self
-                .relation(rel.as_str())
-                .ok_or_else(|| Error::schema(format!("constraint refers to unknown relation `{rel}`")))?;
+            let r = self.relation(rel.as_str()).ok_or_else(|| {
+                Error::schema(format!("constraint refers to unknown relation `{rel}`"))
+            })?;
             if r.attr_index(attr.as_str()).is_none() {
                 return Err(Error::schema(format!(
                     "constraint refers to unknown attribute `{rel}.{attr}`"
@@ -187,7 +187,8 @@ impl RelSchema {
         };
         for c in &self.constraints {
             match c {
-                Constraint::PrimaryKey { relation, attr } | Constraint::NotNull { relation, attr } => {
+                Constraint::PrimaryKey { relation, attr }
+                | Constraint::NotNull { relation, attr } => {
                     check_attr(relation, attr)?;
                 }
                 Constraint::ForeignKey { relation, attr, ref_relation, ref_attr } => {

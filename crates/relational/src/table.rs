@@ -170,13 +170,13 @@ impl Table {
         let ours: Vec<Vec<Value>> = (0..n).map(|i| col_values(self, i, ordered)).collect();
         let theirs: Vec<Vec<Value>> = (0..n).map(|i| col_values(other, i, ordered)).collect();
         let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut c: Vec<usize> = Vec::new();
-            for j in 0..n {
-                if ours[i] == theirs[j] {
-                    c.push(j);
-                }
-            }
+        for our in &ours {
+            let c: Vec<usize> = theirs
+                .iter()
+                .enumerate()
+                .filter(|(_, their)| *their == our)
+                .map(|(j, _)| j)
+                .collect();
             if c.is_empty() {
                 return None;
             }

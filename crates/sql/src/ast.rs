@@ -184,6 +184,7 @@ impl SqlPred {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(p: SqlPred) -> Self {
         SqlPred::Not(Box::new(p))
     }
@@ -434,7 +435,9 @@ impl SqlQuery {
             }
             SqlQuery::Select { input, pred } => 1 + input.size() + pred.size(),
             SqlQuery::Rename { input, .. } => 1 + input.size(),
-            SqlQuery::Join { left, right, pred, .. } => 1 + left.size() + right.size() + pred.size(),
+            SqlQuery::Join { left, right, pred, .. } => {
+                1 + left.size() + right.size() + pred.size()
+            }
             SqlQuery::Union(a, b) | SqlQuery::UnionAll(a, b) => 1 + a.size() + b.size(),
             SqlQuery::GroupBy { input, keys, items, having } => {
                 1 + input.size()
@@ -571,10 +574,7 @@ mod tests {
         let q = SqlQuery::With {
             name: "T1".into(),
             definition: Box::new(SqlQuery::table("emp")),
-            body: Box::new(SqlQuery::table("T1").join(
-                SqlQuery::table("dept"),
-                SqlPred::true_(),
-            )),
+            body: Box::new(SqlQuery::table("T1").join(SqlQuery::table("dept"), SqlPred::true_())),
         };
         let tables = q.base_tables();
         assert!(tables.contains(&Ident::new("emp")));

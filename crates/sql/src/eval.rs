@@ -165,9 +165,10 @@ impl<'a> Evaluator<'a> {
     }
 
     fn scan(&self, name: &str, ctes: &CteEnv) -> Result<Table> {
-        if let Some(t) = ctes.get(name).or_else(|| {
-            ctes.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
-        }) {
+        if let Some(t) = ctes
+            .get(name)
+            .or_else(|| ctes.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v))
+        {
             return Ok(requalify(t, name));
         }
         match self.instance.table(name) {
@@ -384,7 +385,13 @@ impl<'a> Evaluator<'a> {
             }
             let mut new_row = Vec::with_capacity(items.len());
             for item in items {
-                new_row.push(self.eval_group_expr(&item.expr, &rows, &input.columns, ctes, outer)?);
+                new_row.push(self.eval_group_expr(
+                    &item.expr,
+                    &rows,
+                    &input.columns,
+                    ctes,
+                    outer,
+                )?);
             }
             out.rows.push(new_row);
         }
@@ -473,7 +480,9 @@ impl<'a> Evaluator<'a> {
             SqlPred::Or(a, b) => Ok(self
                 .eval_group_pred(a, rows, columns, ctes, outer, cache)?
                 .or(self.eval_group_pred(b, rows, columns, ctes, outer, cache)?)),
-            SqlPred::Not(p) => Ok(self.eval_group_pred(p, rows, columns, ctes, outer, cache)?.not()),
+            SqlPred::Not(p) => {
+                Ok(self.eval_group_pred(p, rows, columns, ctes, outer, cache)?.not())
+            }
             SqlPred::InQuery(..) | SqlPred::Exists(_) => match rows.first() {
                 Some(row) => {
                     let scope = Scope { columns, row, outer };
@@ -490,9 +499,9 @@ impl<'a> Evaluator<'a> {
         let mut resolved: Vec<(usize, bool)> = Vec::new();
         for (expr, asc) in keys {
             let idx = match expr {
-                SqlExpr::Col(c) => resolve_column(&table.columns, c).or_else(|| {
-                    table.column_index(&c.render())
-                }),
+                SqlExpr::Col(c) => {
+                    resolve_column(&table.columns, c).or_else(|| table.column_index(&c.render()))
+                }
                 other => table.column_index(&crate::pretty::expr_to_string(other)),
             }
             .ok_or_else(|| {
@@ -532,9 +541,7 @@ impl<'a> Evaluator<'a> {
                     Truth::Unknown => Value::Null,
                 })
             }
-            SqlExpr::Agg(..) => {
-                Err(Error::eval("aggregate used outside of a GROUP BY context"))
-            }
+            SqlExpr::Agg(..) => Err(Error::eval("aggregate used outside of a GROUP BY context")),
             SqlExpr::Arith(a, op, b) => {
                 let va = self.eval_scalar(a, scope, ctes)?;
                 let vb = self.eval_scalar(b, scope, ctes)?;
@@ -600,12 +607,12 @@ impl<'a> Evaluator<'a> {
                 let table = self.subquery_result(sub, scope, ctes, cache)?;
                 Ok(Truth::from_bool(!table.is_empty()))
             }
-            SqlPred::And(a, b) => {
-                Ok(self.eval_pred(a, scope, ctes, cache)?.and(self.eval_pred(b, scope, ctes, cache)?))
-            }
-            SqlPred::Or(a, b) => {
-                Ok(self.eval_pred(a, scope, ctes, cache)?.or(self.eval_pred(b, scope, ctes, cache)?))
-            }
+            SqlPred::And(a, b) => Ok(self
+                .eval_pred(a, scope, ctes, cache)?
+                .and(self.eval_pred(b, scope, ctes, cache)?)),
+            SqlPred::Or(a, b) => Ok(self
+                .eval_pred(a, scope, ctes, cache)?
+                .or(self.eval_pred(b, scope, ctes, cache)?)),
             SqlPred::Not(inner) => Ok(self.eval_pred(inner, scope, ctes, cache)?.not()),
         }
     }
@@ -675,7 +682,10 @@ mod tests {
         let mut inst = RelInstance::new();
         inst.insert_table(
             "Concept",
-            Table::with_rows(["CID", "NAME"], vec![vec![v(1), s("Atropine")], vec![v(2), s("Aspirin")]]),
+            Table::with_rows(
+                ["CID", "NAME"],
+                vec![vec![v(1), s("Atropine")], vec![v(2), s("Aspirin")]],
+            ),
         );
         inst.insert_table(
             "Cs",
@@ -789,10 +799,8 @@ mod tests {
         );
         // Both departments survive the right join; EE has no work_at row.
         assert_eq!(right.len(), 2);
-        let full = run(
-            "SELECT e.id, w.wid FROM emp AS e FULL JOIN work_at AS w ON e.id = w.SRC",
-            &inst,
-        );
+        let full =
+            run("SELECT e.id, w.wid FROM emp AS e FULL JOIN work_at AS w ON e.id = w.SRC", &inst);
         assert_eq!(full.len(), 2);
     }
 
@@ -829,7 +837,8 @@ mod tests {
 
     #[test]
     fn union_and_union_all() {
-        let t = run("SELECT e.name FROM emp AS e UNION SELECT e.name FROM emp AS e", &emp_instance());
+        let t =
+            run("SELECT e.name FROM emp AS e UNION SELECT e.name FROM emp AS e", &emp_instance());
         assert_eq!(t.len(), 2);
         let t2 = run(
             "SELECT e.name FROM emp AS e UNION ALL SELECT e.name FROM emp AS e",

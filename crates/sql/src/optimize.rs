@@ -194,10 +194,7 @@ fn push_conjunct(tree: SqlQuery, conjunct: &SqlPred, quals: &HashSet<String>) ->
                         true,
                     );
                 };
-                return (
-                    SqlQuery::Join { left: Box::new(new_left), right, kind, pred },
-                    true,
-                );
+                return (SqlQuery::Join { left: Box::new(new_left), right, kind, pred }, true);
             }
             if quals.is_subset(&right_aliases) {
                 let (new_right, pushed) = push_conjunct(*right, conjunct, quals);
@@ -214,13 +211,9 @@ fn push_conjunct(tree: SqlQuery, conjunct: &SqlPred, quals: &HashSet<String>) ->
                         true,
                     );
                 };
-                return (
-                    SqlQuery::Join { left, right: Box::new(new_right), kind, pred },
-                    true,
-                );
+                return (SqlQuery::Join { left, right: Box::new(new_right), kind, pred }, true);
             }
-            let all: HashSet<String> =
-                left_aliases.union(&right_aliases).cloned().collect();
+            let all: HashSet<String> = left_aliases.union(&right_aliases).cloned().collect();
             if quals.is_subset(&all) {
                 let new_pred = SqlPred::and(pred, conjunct.clone());
                 return (
@@ -274,10 +267,8 @@ mod tests {
 
     #[test]
     fn outer_joins_are_left_alone() {
-        let q = parse_query(
-            "SELECT a.x FROM t AS a LEFT JOIN s AS b ON a.id = b.id WHERE a.x = 1",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a.x FROM t AS a LEFT JOIN s AS b ON a.id = b.id WHERE a.x = 1")
+            .unwrap();
         let opt = optimize(&q);
         assert_eq!(count_kind(&opt, JoinKind::Left), 1);
         // The selection must still be present above the outer join.
@@ -339,8 +330,8 @@ mod tests {
 
     #[test]
     fn single_side_constant_predicates_are_pushed_down() {
-        let q = parse_query("SELECT a.x FROM t AS a, s AS b WHERE a.id = b.id AND b.kind = 3")
-            .unwrap();
+        let q =
+            parse_query("SELECT a.x FROM t AS a, s AS b WHERE a.id = b.id AND b.kind = 3").unwrap();
         let opt = optimize(&q);
         // `b.kind = 3` should now sit directly on the scan of `s AS b`.
         fn right_side_has_select(q: &SqlQuery) -> bool {

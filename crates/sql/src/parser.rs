@@ -384,8 +384,16 @@ impl Parser {
                 if self.eat(&Token::RParen)
                     && !matches!(
                         self.peek(),
-                        Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge
-                            | Token::Plus | Token::Minus | Token::Star | Token::Slash
+                        Token::Eq
+                            | Token::Ne
+                            | Token::Lt
+                            | Token::Le
+                            | Token::Gt
+                            | Token::Ge
+                            | Token::Plus
+                            | Token::Minus
+                            | Token::Star
+                            | Token::Slash
                     )
                     && !self.at_kw("in")
                     && !self.at_kw("is")

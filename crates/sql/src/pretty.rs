@@ -54,11 +54,8 @@ pub fn pred_to_string(p: &SqlPred) -> String {
         }
         SqlPred::InQuery(es, q) => {
             let exprs: Vec<String> = es.iter().map(expr_to_string).collect();
-            let lhs = if exprs.len() == 1 {
-                exprs[0].clone()
-            } else {
-                format!("({})", exprs.join(", "))
-            };
+            let lhs =
+                if exprs.len() == 1 { exprs[0].clone() } else { format!("({})", exprs.join(", ")) };
             format!("{lhs} IN ({})", query_to_string(q))
         }
         SqlPred::Exists(q) => format!("EXISTS ({})", query_to_string(q)),
@@ -133,18 +130,14 @@ pub fn query_to_string(q: &SqlQuery) -> String {
             }
         }
         SqlQuery::GroupBy { input, keys, items, having } => {
-            let keys_str =
-                keys.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
+            let keys_str = keys.iter().map(expr_to_string).collect::<Vec<_>>().join(", ");
             let (from_part, where_part) = match input.as_ref() {
                 SqlQuery::Select { input: inner, pred } => {
                     (from_or_sub(inner), format!(" WHERE {}", pred_to_string(pred)))
                 }
                 other => (from_or_sub(other), String::new()),
             };
-            let mut out = format!(
-                "SELECT {} FROM {from_part}{where_part}",
-                items_to_string(items)
-            );
+            let mut out = format!("SELECT {} FROM {from_part}{where_part}", items_to_string(items));
             if !keys.is_empty() {
                 out.push_str(&format!(" GROUP BY {keys_str}"));
             }
@@ -161,19 +154,14 @@ pub fn query_to_string(q: &SqlQuery) -> String {
                 defs.push((name.to_string(), query_to_string(definition)));
                 cur = body;
             }
-            let defs_str = defs
-                .iter()
-                .map(|(n, d)| format!("{n} AS ({d})"))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let defs_str =
+                defs.iter().map(|(n, d)| format!("{n} AS ({d})")).collect::<Vec<_>>().join(", ");
             format!("WITH {defs_str} {}", query_to_string(cur))
         }
         SqlQuery::OrderBy { input, keys } => {
             let keys_str = keys
                 .iter()
-                .map(|(e, asc)| {
-                    format!("{}{}", expr_to_string(e), if *asc { "" } else { " DESC" })
-                })
+                .map(|(e, asc)| format!("{}{}", expr_to_string(e), if *asc { "" } else { " DESC" }))
                 .collect::<Vec<_>>()
                 .join(", ");
             format!("{} ORDER BY {keys_str}", query_to_string(input))
@@ -218,7 +206,8 @@ mod tests {
 
     #[test]
     fn render_group_by_and_cte() {
-        let inner = SqlQuery::table("emp").project(vec![SelectItem::expr(SqlExpr::col("emp", "id"))]);
+        let inner =
+            SqlQuery::table("emp").project(vec![SelectItem::expr(SqlExpr::col("emp", "id"))]);
         let q = SqlQuery::With {
             name: "T1".into(),
             definition: Box::new(inner),

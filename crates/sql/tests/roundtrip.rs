@@ -1,0 +1,58 @@
+//! Round-trip tests for the SQL lexer/parser/pretty-printer:
+//! `parse(pretty(parse(s)))` must equal `parse(s)` for a battery of
+//! queries covering the whole featherweight fragment.
+
+use graphiti_sql::{parse_query, query_to_string};
+
+/// One query per grammar production the parser supports.
+const QUERIES: &[&str] = &[
+    "SELECT e.id FROM emp AS e",
+    "SELECT e.id AS id, e.name AS name FROM emp AS e",
+    "SELECT DISTINCT e.name AS name FROM emp AS e",
+    "SELECT * FROM emp AS e WHERE e.id = 1",
+    "SELECT e.id FROM emp AS e WHERE e.id > 3 AND e.name = 'Ada'",
+    "SELECT e.id FROM emp AS e WHERE e.id < 5 OR NOT e.id <> 2",
+    "SELECT e.id FROM emp AS e WHERE e.name IS NULL",
+    "SELECT e.id FROM emp AS e WHERE e.name IS NOT NULL",
+    "SELECT e.name, d.dname FROM emp AS e, dept AS d WHERE e.dno = d.dnum",
+    "SELECT e.name, d.dname FROM emp AS e JOIN dept AS d ON e.dno = d.dnum",
+    "SELECT e.name, d.dname FROM emp AS e LEFT JOIN dept AS d ON e.dno = d.dnum",
+    "SELECT d.dname, Count(e.id) AS headcount FROM emp AS e, dept AS d \
+     WHERE e.dno = d.dnum GROUP BY d.dname",
+    "SELECT d.dname, Count(e.id) AS headcount FROM emp AS e, dept AS d \
+     WHERE e.dno = d.dnum GROUP BY d.dname HAVING Count(e.id) > 1",
+    "SELECT Count(*) FROM emp AS e",
+    "SELECT Sum(e.id) AS s, Avg(e.id) AS a FROM emp AS e",
+    "SELECT e.id FROM emp AS e ORDER BY e.id",
+    "SELECT e.id, e.name FROM emp AS e ORDER BY e.name, e.id",
+    "SELECT e.id FROM emp AS e WHERE e.dno IN ( SELECT d.dnum FROM dept AS d )",
+    "SELECT e.id FROM emp AS e WHERE EXISTS ( SELECT d.dnum FROM dept AS d WHERE d.dnum = e.dno )",
+    "SELECT e.id FROM emp AS e UNION SELECT d.dnum FROM dept AS d",
+    "SELECT e.id FROM emp AS e UNION ALL SELECT d.dnum FROM dept AS d",
+    "SELECT CASE WHEN e.id > 1 THEN 1 ELSE 0 END AS flag FROM emp AS e",
+    "SELECT e.id FROM ( SELECT x.id FROM emp AS x ) AS e",
+];
+
+#[test]
+fn pretty_then_parse_is_identity_on_asts() {
+    for text in QUERIES {
+        let parsed = parse_query(text).unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+        let printed = query_to_string(&parsed);
+        let reparsed = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("pretty output `{printed}` of `{text}` failed to parse: {e}")
+        });
+        assert_eq!(
+            parsed, reparsed,
+            "round trip changed the AST for `{text}` (printed `{printed}`)"
+        );
+    }
+}
+
+#[test]
+fn pretty_is_a_fixpoint_after_one_round() {
+    for text in QUERIES {
+        let once = query_to_string(&parse_query(text).unwrap());
+        let twice = query_to_string(&parse_query(&once).unwrap());
+        assert_eq!(once, twice, "pretty-printer is not idempotent for `{text}`");
+    }
+}

@@ -118,21 +118,20 @@ pub fn apply_to_facts(
     for rule in &transformer.rules {
         let substitutions = match_body(&rule.body, facts)?;
         for sub in substitutions {
-            let tuple: Vec<Value> = rule
-                .head
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => Ok(v.clone()),
-                    Term::Var(x) => sub
-                        .get(x.as_str())
-                        .cloned()
-                        .ok_or_else(|| Error::transformer(format!("unbound head variable `{x}`"))),
-                    Term::Wildcard => {
-                        Err(Error::transformer("wildcard `_` cannot appear in a rule head"))
-                    }
-                })
-                .collect::<Result<_>>()?;
+            let tuple: Vec<Value> =
+                rule.head
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => Ok(v.clone()),
+                        Term::Var(x) => sub.get(x.as_str()).cloned().ok_or_else(|| {
+                            Error::transformer(format!("unbound head variable `{x}`"))
+                        }),
+                        Term::Wildcard => {
+                            Err(Error::transformer("wildcard `_` cannot appear in a rule head"))
+                        }
+                    })
+                    .collect::<Result<_>>()?;
             derived.entry(rule.head.name.as_str().to_string()).or_default().insert(tuple);
         }
     }
@@ -401,10 +400,8 @@ mod tests {
     #[test]
     fn constants_in_rules_filter_facts() {
         let t = parse_transformer("CONCEPT(cid, 'Atropine') -> OnlyAtropine(cid)").unwrap();
-        let schema =
-            RelSchema::new().with_relation(Relation::new("OnlyAtropine", ["cid"]));
-        let rel =
-            apply_to_graph(&t, &semmed_graph_schema(), &semmed_graph(), &schema).unwrap();
+        let schema = RelSchema::new().with_relation(Relation::new("OnlyAtropine", ["cid"]));
+        let rel = apply_to_graph(&t, &semmed_graph_schema(), &semmed_graph(), &schema).unwrap();
         assert_eq!(rel.table("OnlyAtropine").unwrap().rows, vec![vec![v(1)]]);
     }
 

@@ -212,16 +212,16 @@ mod tests {
             Atom::with_vars("Cs", ["cid", "csid"]),
         );
         assert!(rule.is_safe());
-        assert_eq!(rule.to_string(), "CONCEPT(cid, name), CS(cid, csid, cid, pid) -> Cs(cid, csid)");
+        assert_eq!(
+            rule.to_string(),
+            "CONCEPT(cid, name), CS(cid, csid, cid, pid) -> Cs(cid, csid)"
+        );
         assert_eq!(rule.size(), 1 + (1 + 2) + (1 + 4) + 1 + 2);
     }
 
     #[test]
     fn unsafe_rule_detected() {
-        let rule = Rule::new(
-            vec![Atom::with_vars("A", ["x"])],
-            Atom::with_vars("B", ["x", "y"]),
-        );
+        let rule = Rule::new(vec![Atom::with_vars("A", ["x"])], Atom::with_vars("B", ["x", "y"]));
         assert!(!rule.is_safe());
         let t = Transformer::new().with_rule(rule);
         assert!(!t.is_safe());
@@ -233,9 +233,8 @@ mod tests {
             vec![Atom::with_vars("EMP", ["id", "name"])],
             Atom::with_vars("Employee", ["id", "name"]),
         ));
-        let renamed = t.rename_body_predicates(&|n| {
-            (n.as_str() == "EMP").then(|| Ident::new("emp_table"))
-        });
+        let renamed =
+            t.rename_body_predicates(&|n| (n.as_str() == "EMP").then(|| Ident::new("emp_table")));
         assert_eq!(renamed.rules[0].body[0].name.as_str(), "emp_table");
         assert_eq!(renamed.rules[0].head.name.as_str(), "Employee");
     }

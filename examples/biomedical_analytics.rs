@@ -47,7 +47,8 @@ fn main() -> graphiti_common::Result<()> {
     // 2. The corresponding relational instance (Figure 3b) via the user
     //    transformer, and both query results.
     let transformer = bench.transformer()?;
-    let relational = apply_to_graph(&transformer, &bench.graph_schema, &graph, &bench.target_schema)?;
+    let relational =
+        apply_to_graph(&transformer, &bench.graph_schema, &graph, &bench.target_schema)?;
     let cypher = bench.cypher()?;
     let sql = bench.sql()?;
     let cypher_result = eval_cypher(&bench.graph_schema, &graph, &cypher)?;

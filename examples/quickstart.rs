@@ -28,11 +28,13 @@ fn main() -> graphiti_common::Result<()> {
     println!("\nStandard database transformer:\n{}", ctx.sdt);
 
     // 3. Transpile a Cypher query (Example 3.4 of the paper).
-    let cypher_text =
-        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n) AS num";
+    let cypher_text = "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS name, Count(n) AS num";
     let cypher = parse_cypher(cypher_text)?;
     println!("Cypher query:\n  {cypher_text}");
-    println!("\nTranspiled SQL over the induced schema:\n  {}", transpile_to_sql_text(&ctx, &cypher)?);
+    println!(
+        "\nTranspiled SQL over the induced schema:\n  {}",
+        transpile_to_sql_text(&ctx, &cypher)?
+    );
 
     // 4. Build a small graph instance and check that the transpiled SQL
     //    computes the same table as the Cypher query (Theorem 5.7 at work).

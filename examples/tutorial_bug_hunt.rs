@@ -66,6 +66,9 @@ fn main() -> graphiti_common::Result<()> {
             }
         }
     }
-    println!("\n{} pairs checked: {refuted} refuted, {verified} with no counterexample.", corpus.len());
+    println!(
+        "\n{} pairs checked: {refuted} refuted, {verified} with no counterexample.",
+        corpus.len()
+    );
     Ok(())
 }

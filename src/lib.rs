@@ -1,5 +1,13 @@
 //! Umbrella crate for the Graphiti reproduction.
 //!
+//! Graphiti checks equivalence between graph queries (Featherweight
+//! Cypher) and relational queries (Featherweight SQL) connected by a
+//! user-written database transformer: it infers a standard database
+//! transformer from the graph schema, transpiles Cypher to SQL over the
+//! induced relational schema (sound by construction), and reduces the
+//! cross-model question to SQL-vs-SQL equivalence modulo a residual
+//! transformer, discharged by a bounded or deductive backend.
+//!
 //! This crate re-exports the public API of every workspace member so that
 //! the examples and integration tests can use a single dependency.  Library
 //! users will usually depend on the individual crates instead:
@@ -12,6 +20,39 @@
 //! * [`graphiti_checkers`] — the bounded and deductive backends;
 //! * [`graphiti_baseline`] — the best-effort baseline transpiler;
 //! * [`graphiti_benchmarks`] — the evaluation corpus and mock data.
+//!
+//! Tests additionally use `graphiti-testkit` (shared fixtures, proptest
+//! generators, and the differential soundness oracle); it is a
+//! dev-dependency only and not re-exported here.
+//!
+//! # Building, testing, reproducing
+//!
+//! ```console
+//! $ cargo build --release                                  # whole workspace
+//! $ cargo test -q                                          # tier-1 tests
+//! $ cargo test --workspace -q                              # everything
+//! $ cargo run --release -p graphiti-bench --bin all_tables # Tables 1-5
+//! ```
+//!
+//! See `README.md` for the workspace layout and the vendored offline
+//! stand-ins for `serde`, `rand`, `proptest`, and `criterion`.
+//!
+//! # Example
+//!
+//! ```
+//! use graphiti::core::{infer_sdt, transpile_query};
+//! use graphiti::cypher::parse_query;
+//! use graphiti::graph::{EdgeType, GraphSchema, NodeType};
+//!
+//! let schema = GraphSchema::new()
+//!     .with_node(NodeType::new("EMP", ["id", "name"]))
+//!     .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+//!     .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]));
+//! let ctx = infer_sdt(&schema).unwrap();
+//! let q = parse_query("MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS dept").unwrap();
+//! let sql = transpile_query(&ctx, &q).unwrap();
+//! println!("{}", graphiti::sql::query_to_string(&sql));
+//! ```
 
 pub use graphiti_baseline as baseline;
 pub use graphiti_benchmarks as benchmarks;

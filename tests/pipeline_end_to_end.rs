@@ -55,11 +55,8 @@ fn generated_equivalent_pairs_are_never_refuted() {
     // A sample of generated pairs marked equivalent must never be refuted:
     // they were produced by the sound transpiler, so a refutation would be a
     // soundness bug in the pipeline.
-    let corpus: Vec<_> = small_corpus(20)
-        .into_iter()
-        .filter(|b| b.expected_equivalent)
-        .take(20)
-        .collect();
+    let corpus: Vec<_> =
+        small_corpus(20).into_iter().filter(|b| b.expected_equivalent).take(20).collect();
     assert!(!corpus.is_empty());
     let quick = BoundedChecker { time_budget: Duration::from_millis(700), ..Default::default() };
     for bench in corpus {
@@ -78,21 +75,15 @@ fn generated_equivalent_pairs_are_never_refuted() {
 
 #[test]
 fn deductive_backend_verifies_a_sample_of_mediator_pairs() {
-    let corpus: Vec<_> = full_corpus()
-        .into_iter()
-        .filter(|b| b.category == Category::Mediator)
-        .take(15)
-        .collect();
+    let corpus: Vec<_> =
+        full_corpus().into_iter().filter(|b| b.category == Category::Mediator).take(15).collect();
     let deductive = DeductiveChecker::new();
     let mut verified = 0;
     let mut supported = 0;
     for bench in &corpus {
-        let reduction = reduce(
-            &bench.graph_schema,
-            &bench.cypher().unwrap(),
-            &bench.transformer().unwrap(),
-        )
-        .unwrap();
+        let reduction =
+            reduce(&bench.graph_schema, &bench.cypher().unwrap(), &bench.transformer().unwrap())
+                .unwrap();
         let sql = bench.sql().unwrap();
         if !deductive.supports(&reduction.transpiled) || !deductive.supports(&sql) {
             continue;
@@ -122,11 +113,8 @@ fn deductive_backend_verifies_a_sample_of_mediator_pairs() {
 fn bounded_and_deductive_backends_never_contradict_each_other() {
     // If the deductive backend says Verified, the bounded backend must not
     // find a counterexample (soundness of both).
-    let corpus: Vec<_> = full_corpus()
-        .into_iter()
-        .filter(|b| b.category == Category::Mediator)
-        .take(6)
-        .collect();
+    let corpus: Vec<_> =
+        full_corpus().into_iter().filter(|b| b.category == Category::Mediator).take(6).collect();
     let deductive = DeductiveChecker::new();
     let bounded = BoundedChecker { time_budget: Duration::from_millis(600), ..Default::default() };
     for bench in &corpus {

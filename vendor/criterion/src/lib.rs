@@ -1,0 +1,213 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion 0.5 API that the `graphiti-bench`
+//! benchmarks use — [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! builders, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a deliberately
+//! simple measurement loop: one warm-up iteration, then `sample_size` timed
+//! iterations, reporting min/mean. No statistics, plots, or HTML reports.
+//! Swapping this vendored crate for the real one upgrades the measurement
+//! without touching the benchmark sources.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark, e.g. `scale/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also forces lazy init
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time hint (accepted for API compatibility;
+    /// the stub always runs exactly `sample_size` iterations).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (printing is done per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample size (10).
+    pub fn new() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.default_sample_size.max(1);
+        self.run_one(name, samples, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, name: &str, samples: usize, f: F) {
+        let mut bencher = Bencher { samples, durations: Vec::new() };
+        f(&mut bencher);
+        if bencher.durations.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        let total: Duration = bencher.durations.iter().sum();
+        let mean = total / bencher.durations.len() as u32;
+        let min = bencher.durations.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<60} mean {:>12?}  min {:>12?}  ({} samples)",
+            mean,
+            min,
+            bencher.durations.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark() {
+        let mut c = Criterion::new();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("inc", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::new();
+        let mut seen = 0i64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(1);
+            group.bench_with_input(BenchmarkId::new("id", 7), &41i64, |b, &x| {
+                b.iter(|| seen = x + 1)
+            });
+            group.finish();
+        }
+        assert_eq!(seen, 42);
+    }
+}

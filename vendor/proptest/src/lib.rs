@@ -1,0 +1,565 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the slice of the proptest 1.x API that the workspace's
+//! property tests and `graphiti-testkit` use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`, `prop_filter`
+//!   and `boxed`;
+//! * range strategies (`0usize..5`), tuple strategies up to arity 8,
+//!   [`collection::vec`], [`Just`], [`any`], and [`sample::select`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`prop_assume!`] and [`prop_oneof!`] macros;
+//! * [`test_runner::TestRunner`] driven by [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberately accepted for a vendored
+//! test dependency: failing cases are **not shrunk** (the failing input is
+//! printed in full instead), `prop_assume!` skips the case rather than
+//! resampling, and generation is deterministic from a fixed seed (override
+//! with the `PROPTEST_SEED` environment variable) so test runs are
+//! reproducible by default.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Re-export so generated code and downstream crates can name the RNG.
+pub use rand::SeedableRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no intermediate `ValueTree`: strategies
+/// generate values directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values not satisfying `f` (retrying a bounded
+    /// number of times before panicking, like proptest's rejection limit).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: std::rc::Rc::new(self) }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ----------------------------------------------------------- range strategies
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ----------------------------------------------------------- tuple strategies
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ------------------------------------------------------------------ arbitrary
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy yielding uniformly random values of a primitive type.
+#[derive(Debug, Clone, Default)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(0u64..=u64::MAX) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ----------------------------------------------------------------- collection
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Anything usable as a collection size: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draws a size.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+// --------------------------------------------------------------------- sample
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy that picks one element of a fixed list.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Picks uniformly from `options`; panics if `options` is empty.
+    pub fn select<T: Clone, I: Into<Vec<T>>>(options: I) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "sample::select requires at least one option");
+        Select { options }
+    }
+}
+
+// ---------------------------------------------------------------- test runner
+
+/// The test runner and its configuration.
+pub mod test_runner {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration for [`TestRunner`]; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives a property over `config.cases` generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner seeded from `PROPTEST_SEED` (or a fixed default,
+        /// so test runs are reproducible).
+        pub fn new(config: ProptestConfig) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0x9e3779b97f4a7c15);
+            TestRunner { config, rng: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Runs `test` on `config.cases` inputs generated by `strategy`,
+        /// printing the failing input (no shrinking) if a case panics.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: FnMut(S::Value),
+        {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                let rendered = format!("{input:?}");
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input)));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest: case {}/{} failed (no shrinking in the vendored runner)\n\
+                         failing input: {}",
+                        case + 1,
+                        self.config.cases,
+                        rendered
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+// --------------------------------------------------------------------- macros
+
+/// Declares property tests over strategies, mirroring proptest's macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(&strategy, |($($arg,)+)| { $body });
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when `cond` is false. Real proptest resamples;
+/// the vendored runner counts the case as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Strategy that picks uniformly among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = (0usize..5, 10i64..20, collection::vec(0u8..3, 2..6));
+        for _ in 0..200 {
+            let (a, b, v) = strat.generate(&mut rng);
+            assert!(a < 5);
+            assert!((10..20).contains(&b));
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = (1usize..4)
+            .prop_filter("nonzero", |&n| n > 0)
+            .prop_flat_map(|n| collection::vec(0usize..n, n))
+            .prop_map(|v| v.len());
+        for _ in 0..100 {
+            let len = strat.generate(&mut rng);
+            assert!((1..4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn oneof_and_select_pick_listed_options() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = prop_oneof![Just(1i64), Just(2i64), 5i64..7];
+        let sel = sample::select(vec!["a", "b"]);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || v == 2 || (5..7).contains(&v));
+            let s = sel.generate(&mut rng);
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, assume, and assertions.
+        #[test]
+        fn macro_generates_and_asserts(x in 0usize..10, ys in collection::vec(0i64..5, 0..4)) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assert_ne!(x, 3);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace's data types carry `#[derive(Serialize, Deserialize)]`
+//! attributes; this crate makes those derives compile without network
+//! access. The derives (re-exported from the vendored `serde_derive`)
+//! expand to nothing, and the traits here are empty markers, so no
+//! serialization behaviour is implemented — swapping these two vendored
+//! crates for the real ones re-enables it without touching any source.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

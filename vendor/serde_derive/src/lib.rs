@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that they are serialization-ready, but the build
+//! environment cannot reach crates.io. These derives expand to nothing:
+//! the attributes stay valid (and the real serde can be dropped in by
+//! swapping the vendored crates), while no serialization code is generated.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
