@@ -54,7 +54,7 @@ pub fn generate_graph(
                 } else if rng.gen_bool(0.5) {
                     Value::Int(rng.gen_range(0..2500))
                 } else {
-                    Value::Str(string_pool[rng.gen_range(0..string_pool.len())].to_string())
+                    Value::str(string_pool[rng.gen_range(0..string_pool.len())])
                 };
                 props.push((key.as_str().to_string(), value));
             }

@@ -194,7 +194,7 @@ impl ValueDomain {
             }
         }
         if !self.strings.is_empty() && rng.gen_bool(0.3) {
-            return Value::Str(self.strings[rng.gen_range(0..self.strings.len())].clone());
+            return Value::str(&self.strings[rng.gen_range(0..self.strings.len())]);
         }
         if self.ints.is_empty() {
             Value::Int(rng.gen_range(0..4))
@@ -213,7 +213,7 @@ fn collect_query_constants(q: &SqlQuery, domain: &mut ValueDomain) {
                 domain.ints.extend([*i - 1, *i, *i + 1]);
             }
             Value::Float(f) => domain.ints.push(*f as i64),
-            Value::Str(s) => domain.strings.push(s.clone()),
+            Value::Str(s) => domain.strings.push(s.to_string()),
             _ => {}
         }
     }

@@ -1,0 +1,72 @@
+//! A global string interner backing [`Value::Str`](crate::Value::Str).
+//!
+//! Both evaluators clone property values constantly (into bindings, rows,
+//! grouping keys, hash-join keys), so string values are stored as
+//! `Arc<str>`: cloning is a reference-count bump instead of a heap copy.
+//! Interning additionally dedupes equal strings behind one allocation,
+//! which lets equality checks take an `Arc::ptr_eq` fast path before
+//! falling back to a byte comparison.
+//!
+//! The interner is a process-global table guarded by a mutex.  It is only
+//! touched when a string value is *constructed* (parsing, data generation,
+//! concatenation) — never on the clone-heavy evaluation hot paths — so the
+//! lock is not contended in practice.  Entries live for the lifetime of the
+//! process; the workloads here build bounded vocabularies (schema
+//! identifiers, corpus literals, small mock-data pools), so unbounded
+//! growth is not a concern.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn table() -> &'static Mutex<HashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Returns the canonical `Arc<str>` for `s`, inserting it on first use.
+///
+/// Two calls with equal strings return pointer-identical `Arc`s, so
+/// `Arc::ptr_eq` can be used as an equality fast path.
+pub fn intern(s: &str) -> Arc<str> {
+    let mut set = table().lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    match set.get(s) {
+        Some(existing) => Arc::clone(existing),
+        None => {
+            let arc: Arc<str> = Arc::from(s);
+            set.insert(Arc::clone(&arc));
+            arc
+        }
+    }
+}
+
+/// Number of distinct strings currently interned (diagnostics / tests).
+pub fn interned_count() -> usize {
+    table().lock().unwrap_or_else(|poisoned| poisoned.into_inner()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_and_is_ptr_equal() {
+        let a = intern("shared-string");
+        let b = intern("shared-string");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "shared-string");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_arcs() {
+        let a = intern("intern-test-x");
+        let b = intern("intern-test-y");
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn count_is_monotonic() {
+        let before = interned_count();
+        intern("intern-test-count-probe");
+        assert!(interned_count() >= before);
+    }
+}

@@ -8,14 +8,18 @@
 //! * [`Truth`] — three-valued logic used by predicate evaluation in both
 //!   Featherweight Cypher and Featherweight SQL.
 //! * [`Error`] — the common error type shared across the workspace.
+//! * [`intern`](crate::intern) — the global string interner behind
+//!   [`Value::Str`], making value clones cheap on evaluator hot paths.
 //! * Small helpers for identifier handling and deterministic hashing.
 
 pub mod error;
 pub mod ident;
+pub mod intern;
 pub mod truth;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use ident::Ident;
+pub use intern::intern;
 pub use truth::Truth;
 pub use value::{AggKind, BinArith, CmpOp, Value};

@@ -5,13 +5,20 @@
 //! `Null` follows SQL semantics: it compares as `Unknown`, propagates through
 //! arithmetic, and is skipped by aggregates (except `COUNT(*)`).
 
+use crate::intern::intern;
 use crate::truth::Truth;
 use crate::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A database value.
+///
+/// Strings are stored as interned [`Arc<str>`] (see [`crate::intern`]):
+/// cloning a `Value` is always cheap — at most a reference-count bump —
+/// which both evaluators rely on when materializing rows, bindings, and
+/// grouping keys.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     /// SQL `NULL` / Cypher `null`.
@@ -22,13 +29,21 @@ pub enum Value {
     Int(i64),
     /// Double-precision float.
     Float(f64),
-    /// String value.
-    Str(String),
+    /// String value (interned; clones share one allocation).
+    Str(Arc<str>),
 }
 
 impl Value {
-    /// Convenience constructor for string values.
-    pub fn str(s: impl Into<String>) -> Self {
+    /// Convenience constructor for string values (interned).
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(intern(s.as_ref()))
+    }
+
+    /// Constructor for derived, likely-unique strings (concatenation
+    /// results, formatted identifiers): wraps without interning, so
+    /// transient values produced on evaluation hot paths don't accumulate
+    /// in the global intern table.
+    pub fn str_owned(s: impl Into<Arc<str>>) -> Self {
         Value::Str(s.into())
     }
 
@@ -83,7 +98,9 @@ impl Value {
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
                 (*a as f64) == *b
             }
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Interned strings are pointer-identical when equal, so the
+            // byte comparison is only reached for non-interned duplicates.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             _ => false,
         }
     }
@@ -185,7 +202,7 @@ impl Value {
                         // convenience; anything else is a type error.
                         if op == BinArith::Add {
                             if let (Value::Str(a), Value::Str(b)) = (self, other) {
-                                return Ok(Value::Str(format!("{a}{b}")));
+                                return Ok(Value::str_owned(format!("{a}{b}")));
                             }
                         }
                         return Err(Error::eval(format!(
@@ -299,12 +316,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
     }
 }

@@ -8,9 +8,9 @@
 
 use crate::ast::*;
 use graphiti_common::{AggKind, Error, Ident, Result, Truth, Value};
-use graphiti_graph::{EdgeId, GraphInstance, GraphSchema, NodeId};
+use graphiti_graph::{Edge, EdgeId, GraphInstance, GraphSchema, NodeId};
 use graphiti_relational::Table;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A reference to a bound graph element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +29,39 @@ pub type Binding = BTreeMap<Ident, Option<ElemRef>>;
 ///
 /// The `schema` is needed to resolve default property keys (used by the
 /// `Exists` predicate and by bare-variable expressions such as `Count(n)`).
+///
+/// Pattern matching walks the instance's persistent adjacency indexes
+/// (label → elements, per-node out/in edge lists), so extending a partial
+/// binding costs O(degree) instead of O(edges).  The pre-index behaviour is
+/// retained as [`eval_query_unoptimized`] for ablation benchmarks and
+/// differential testing; both engines produce table-equivalent results
+/// (Definition 4.4) by construction.
 pub fn eval_query(schema: &GraphSchema, graph: &GraphInstance, query: &Query) -> Result<Table> {
-    let ev = Evaluator { schema, graph };
+    let ev = Evaluator { schema, graph, use_index: true };
+    ev.query(query)
+}
+
+/// Evaluates a Cypher query with the naive pattern matcher: every partial
+/// binding rescans the full edge arena per step (O(bindings × edges)).
+///
+/// This is the seed evaluator's strategy, kept as the ablation baseline and
+/// as the reference implementation the indexed engine is differentially
+/// tested against.
+pub fn eval_query_unoptimized(
+    schema: &GraphSchema,
+    graph: &GraphInstance,
+    query: &Query,
+) -> Result<Table> {
+    let ev = Evaluator { schema, graph, use_index: false };
     ev.query(query)
 }
 
 struct Evaluator<'a> {
     schema: &'a GraphSchema,
     graph: &'a GraphInstance,
+    /// Walk adjacency indexes (`true`) or rescan the edge arena per binding
+    /// (`false`, the retained naive path).
+    use_index: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -106,17 +131,23 @@ impl<'a> Evaluator<'a> {
             }
         } else {
             // Implicit grouping: non-aggregate expressions form the grouping
-            // key (the Groups construction in Fig. 19).
+            // key (the Groups construction in Fig. 19).  Groups are located
+            // by hash (strict equality, where `Null = Null`) but stored in
+            // first-seen order so output order matches the naive engine.
             let group_exprs: Vec<&Expr> = r.items.iter().filter(|e| !e.has_agg()).collect();
             let mut groups: Vec<(Vec<Value>, Vec<Binding>)> = Vec::new();
+            let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
             for b in &bindings {
                 let key: Vec<Value> = group_exprs
                     .iter()
                     .map(|e| self.eval_expr(e, std::slice::from_ref(b)))
                     .collect::<Result<_>>()?;
-                match groups.iter_mut().find(|(k, _)| k == &key) {
-                    Some((_, members)) => members.push(b.clone()),
-                    None => groups.push((key, vec![b.clone()])),
+                match group_index.get(&key) {
+                    Some(&i) => groups[i].1.push(b.clone()),
+                    None => {
+                        group_index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![b.clone()]));
+                    }
                 }
             }
             // Like SQL, an aggregate-only RETURN over zero matches still
@@ -239,40 +270,117 @@ impl<'a> Evaluator<'a> {
                     Some(Some(ElemRef::Node(id))) => *id,
                     _ => continue,
                 };
-                for edge in self.graph.edges_with_label(edge_pat.label.as_str()) {
-                    let candidates: Vec<(NodeId, NodeId)> = match edge_pat.dir {
-                        Direction::Right => vec![(edge.src, edge.tgt)],
-                        Direction::Left => vec![(edge.tgt, edge.src)],
-                        Direction::Undirected => vec![(edge.src, edge.tgt), (edge.tgt, edge.src)],
-                    };
-                    for (from, to) in candidates {
-                        if from != prev_node {
-                            continue;
-                        }
-                        if !self.edge_matches(edge.id, edge_pat) {
-                            continue;
-                        }
-                        let to_node = self.graph.node(to);
-                        if to_node.label != node_pat.label || !self.node_matches(to, node_pat) {
-                            continue;
-                        }
-                        let mut nb = b.clone();
-                        if !bind(&mut nb, &edge_pat.var, ElemRef::Edge(edge.id)) {
-                            continue;
-                        }
-                        if !bind(&mut nb, &node_pat.var, ElemRef::Node(to)) {
-                            continue;
-                        }
-                        if consistent_with_context(&nb, context) {
-                            next.push(nb);
-                        }
-                    }
+                if self.use_index {
+                    self.extend_via_adjacency(b, prev_node, edge_pat, node_pat, context, &mut next);
+                } else {
+                    self.extend_via_scan(b, prev_node, edge_pat, node_pat, context, &mut next);
                 }
             }
             partials = next;
             prev_var = node_pat.var.clone();
         }
         partials
+    }
+
+    /// Extends one partial binding by walking `prev_node`'s adjacency lists:
+    /// only edges incident to the bound node are considered, so a step costs
+    /// O(degree) per binding.
+    fn extend_via_adjacency(
+        &self,
+        b: &Binding,
+        prev_node: NodeId,
+        edge_pat: &EdgePattern,
+        node_pat: &NodePattern,
+        context: Option<&Binding>,
+        next: &mut Vec<Binding>,
+    ) {
+        let try_edge = |edge: &Edge, to: NodeId, next: &mut Vec<Binding>| {
+            if edge.label != edge_pat.label {
+                return;
+            }
+            self.push_step_binding(b, edge, to, edge_pat, node_pat, context, next);
+        };
+        match edge_pat.dir {
+            Direction::Right => {
+                for edge in self.graph.out_edges(prev_node) {
+                    try_edge(edge, edge.tgt, next);
+                }
+            }
+            Direction::Left => {
+                for edge in self.graph.in_edges(prev_node) {
+                    try_edge(edge, edge.src, next);
+                }
+            }
+            Direction::Undirected => {
+                // A self-loop appears in both lists and yields two matches,
+                // mirroring the naive matcher's two orientations.
+                for edge in self.graph.out_edges(prev_node) {
+                    try_edge(edge, edge.tgt, next);
+                }
+                for edge in self.graph.in_edges(prev_node) {
+                    try_edge(edge, edge.src, next);
+                }
+            }
+        }
+    }
+
+    /// Extends one partial binding the naive way: rescan the whole edge
+    /// arena and keep the edges incident to `prev_node`.  Retained as the
+    /// ablation baseline for [`eval_query_unoptimized`].
+    fn extend_via_scan(
+        &self,
+        b: &Binding,
+        prev_node: NodeId,
+        edge_pat: &EdgePattern,
+        node_pat: &NodePattern,
+        context: Option<&Binding>,
+        next: &mut Vec<Binding>,
+    ) {
+        for edge in self.graph.edges().iter().filter(|e| e.label == edge_pat.label) {
+            let candidates: [Option<(NodeId, NodeId)>; 2] = match edge_pat.dir {
+                Direction::Right => [Some((edge.src, edge.tgt)), None],
+                Direction::Left => [Some((edge.tgt, edge.src)), None],
+                Direction::Undirected => [Some((edge.src, edge.tgt)), Some((edge.tgt, edge.src))],
+            };
+            for (from, to) in candidates.into_iter().flatten() {
+                if from != prev_node {
+                    continue;
+                }
+                self.push_step_binding(b, edge, to, edge_pat, node_pat, context, next);
+            }
+        }
+    }
+
+    /// Shared tail of a pattern step: property checks, variable binding, and
+    /// context consistency for one candidate `(edge, to)` extension.
+    #[allow(clippy::too_many_arguments)]
+    fn push_step_binding(
+        &self,
+        b: &Binding,
+        edge: &Edge,
+        to: NodeId,
+        edge_pat: &EdgePattern,
+        node_pat: &NodePattern,
+        context: Option<&Binding>,
+        next: &mut Vec<Binding>,
+    ) {
+        if !self.edge_matches(edge.id, edge_pat) {
+            return;
+        }
+        let to_node = self.graph.node(to);
+        if to_node.label != node_pat.label || !self.node_matches(to, node_pat) {
+            return;
+        }
+        let mut nb = b.clone();
+        if !bind(&mut nb, &edge_pat.var, ElemRef::Edge(edge.id)) {
+            return;
+        }
+        if !bind(&mut nb, &node_pat.var, ElemRef::Node(to)) {
+            return;
+        }
+        if consistent_with_context(&nb, context) {
+            next.push(nb);
+        }
     }
 
     fn node_matches(&self, id: NodeId, pat: &NodePattern) -> bool {
@@ -380,7 +488,7 @@ impl<'a> Evaluator<'a> {
                         return v;
                     }
                 }
-                Value::Str(id.to_string())
+                Value::str_owned(id.to_string())
             }
             Some(Some(ElemRef::Edge(id))) => {
                 let edge = self.graph.edge(*id);
@@ -390,7 +498,7 @@ impl<'a> Evaluator<'a> {
                         return v;
                     }
                 }
-                Value::Str(id.to_string())
+                Value::str_owned(id.to_string())
             }
             _ => Value::Null,
         }

@@ -422,7 +422,7 @@ impl Parser {
         match self.bump() {
             Token::Int(i) => Ok(Value::Int(i)),
             Token::Float(f) => Ok(Value::Float(f)),
-            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Str(s) => Ok(Value::str(s)),
             Token::Minus => match self.bump() {
                 Token::Int(i) => Ok(Value::Int(-i)),
                 Token::Float(f) => Ok(Value::Float(-f)),
@@ -631,7 +631,7 @@ impl Parser {
             }
             Token::Str(s) => {
                 self.bump();
-                Ok(Expr::Value(Value::Str(s)))
+                Ok(Expr::Value(Value::str(s)))
             }
             Token::Minus => {
                 self.bump();

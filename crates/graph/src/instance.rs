@@ -8,7 +8,7 @@
 use crate::schema::GraphSchema;
 use graphiti_common::{Error, Ident, Result, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// Index of a node in a [`GraphInstance`].
@@ -72,10 +72,39 @@ impl Edge {
 }
 
 /// A property-graph instance.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Besides the node/edge arenas, the instance maintains **persistent
+/// adjacency indexes** that are kept up to date on every `add_node` /
+/// `add_edge` call:
+///
+/// * label → node ids and label → edge ids, backing
+///   [`nodes_with_label`](GraphInstance::nodes_with_label) and
+///   [`edges_with_label`](GraphInstance::edges_with_label);
+/// * per-node outgoing/incoming edge lists, backing
+///   [`out_edges`](GraphInstance::out_edges) /
+///   [`in_edges`](GraphInstance::in_edges).
+///
+/// The indexes turn the Cypher evaluator's pattern matching from
+/// *O(bindings × edges)* rescans into *O(bindings × degree)* adjacency
+/// walks.  They are derived data: equality and serialization semantics are
+/// determined by the arenas alone (two instances built by the same
+/// insertion sequence have identical indexes).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GraphInstance {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
+    nodes_by_label: HashMap<Ident, Vec<NodeId>>,
+    edges_by_label: HashMap<Ident, Vec<EdgeId>>,
+    out_adjacency: Vec<Vec<EdgeId>>,
+    in_adjacency: Vec<Vec<EdgeId>>,
+}
+
+impl PartialEq for GraphInstance {
+    fn eq(&self, other: &Self) -> bool {
+        // Indexes are a function of the arenas; comparing them would be
+        // redundant work.
+        self.nodes == other.nodes && self.edges == other.edges
+    }
 }
 
 impl GraphInstance {
@@ -91,9 +120,13 @@ impl GraphInstance {
         props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
+        let label = label.into();
+        self.nodes_by_label.entry(label.clone()).or_default().push(id);
+        self.out_adjacency.push(Vec::new());
+        self.in_adjacency.push(Vec::new());
         self.nodes.push(Node {
             id,
-            label: label.into(),
+            label,
             props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
         });
         id
@@ -101,6 +134,11 @@ impl GraphInstance {
 
     /// Adds an edge with the given label, endpoints, and properties,
     /// returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added to this instance yet
+    /// (dangling endpoints would corrupt the adjacency indexes).
     pub fn add_edge(
         &mut self,
         label: impl Into<Ident>,
@@ -108,10 +146,18 @@ impl GraphInstance {
         tgt: NodeId,
         props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
     ) -> EdgeId {
+        assert!(
+            src.0 < self.nodes.len() && tgt.0 < self.nodes.len(),
+            "edge endpoints must be added before the edge"
+        );
         let id = EdgeId(self.edges.len());
+        let label = label.into();
+        self.edges_by_label.entry(label.clone()).or_default().push(id);
+        self.out_adjacency[src.0].push(id);
+        self.in_adjacency[tgt.0].push(id);
         self.edges.push(Edge {
             id,
-            label: label.into(),
+            label,
             src,
             tgt,
             props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
@@ -149,24 +195,52 @@ impl GraphInstance {
         &self.edges[id.0]
     }
 
-    /// Iterates over the nodes with a given label.
+    /// Iterates over the nodes with a given label, in insertion order.
+    ///
+    /// Backed by the label index: cost is proportional to the number of
+    /// *matching* nodes, not the total node count.
     pub fn nodes_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
-        self.nodes.iter().filter(move |n| n.label == label)
+        self.nodes_by_label
+            .get(label)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(move |id| &self.nodes[id.0])
     }
 
-    /// Iterates over the edges with a given label.
+    /// Iterates over the edges with a given label, in insertion order.
+    ///
+    /// Backed by the label index: cost is proportional to the number of
+    /// *matching* edges, not the total edge count.
     pub fn edges_with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a Edge> + 'a {
-        self.edges.iter().filter(move |e| e.label == label)
+        self.edges_by_label
+            .get(label)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(move |id| &self.edges[id.0])
     }
 
-    /// Iterates over edges whose source is `node`.
+    /// Iterates over edges whose source is `node`, in insertion order
+    /// (adjacency-list lookup, O(out-degree)).
     pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
-        self.edges.iter().filter(move |e| e.src == node)
+        self.out_adjacency
+            .get(node.0)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(move |id| &self.edges[id.0])
     }
 
-    /// Iterates over edges whose target is `node`.
+    /// Iterates over edges whose target is `node`, in insertion order
+    /// (adjacency-list lookup, O(in-degree)).
     pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
-        self.edges.iter().filter(move |e| e.tgt == node)
+        self.in_adjacency
+            .get(node.0)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(move |id| &self.edges[id.0])
     }
 
     /// Validates the instance against a schema:
@@ -328,5 +402,44 @@ mod tests {
         let mut g = GraphInstance::new();
         g.add_node("EMP", [("id", Value::Int(1)), ("salary", Value::Int(9))]);
         assert!(g.validate(&emp_schema()).is_err());
+    }
+
+    #[test]
+    fn adjacency_indexes_track_insertions() {
+        let g = fig15_instance();
+        let cs =
+            g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("CS")).unwrap().id;
+        let ee =
+            g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("EE")).unwrap().id;
+        // Index-backed traversals agree with a full scan.
+        assert_eq!(g.in_edges(cs).count(), g.edges().iter().filter(|e| e.tgt == cs).count());
+        assert_eq!(g.in_edges(ee).count(), 0);
+        for n in g.nodes() {
+            let scanned: Vec<_> =
+                g.edges().iter().filter(|e| e.src == n.id).map(|e| e.id).collect();
+            let indexed: Vec<_> = g.out_edges(n.id).map(|e| e.id).collect();
+            assert_eq!(scanned, indexed);
+        }
+    }
+
+    #[test]
+    fn label_indexes_preserve_insertion_order() {
+        let g = fig15_instance();
+        let scanned: Vec<_> = g.nodes().iter().filter(|n| n.label == "EMP").map(|n| n.id).collect();
+        let indexed: Vec<_> = g.nodes_with_label("EMP").map(|n| n.id).collect();
+        assert_eq!(scanned, indexed);
+        let scanned_e: Vec<_> =
+            g.edges().iter().filter(|e| e.label == "WORK_AT").map(|e| e.id).collect();
+        let indexed_e: Vec<_> = g.edges_with_label("WORK_AT").map(|e| e.id).collect();
+        assert_eq!(scanned_e, indexed_e);
+        assert_eq!(g.nodes_with_label("GHOST").count(), 0);
+        assert_eq!(g.edges_with_label("GHOST").count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must be added before the edge")]
+    fn dangling_edge_endpoints_are_rejected_at_insertion() {
+        let mut g = GraphInstance::new();
+        g.add_edge("WORK_AT", NodeId(0), NodeId(1), [("wid", Value::Int(1))]);
     }
 }

@@ -103,7 +103,8 @@ impl Table {
         self.rows.get(row).and_then(|r| r.get(idx))
     }
 
-    /// Sorts rows into a canonical order (used to compare bags).
+    /// Sorts rows into a canonical order (used to compare bags).  Returns
+    /// borrowed rows — no value is cloned.
     pub fn canonical_rows(&self) -> Vec<&Row> {
         let mut rows: Vec<&Row> = self.rows.iter().collect();
         rows.sort_by(|a, b| cmp_rows(a, b));
@@ -111,14 +112,15 @@ impl Table {
     }
 
     /// Bag (multiset) equality of the rows of two tables assuming columns are
-    /// already aligned positionally.
+    /// already aligned positionally.  Counts are built over row *references*,
+    /// so no value is cloned.
     pub fn rows_bag_equal(&self, other: &Table) -> bool {
         if self.len() != other.len() || self.arity() != other.arity() {
             return false;
         }
-        let mut counts: HashMap<Vec<Value>, i64> = HashMap::new();
+        let mut counts: HashMap<&Row, i64> = HashMap::with_capacity(self.len());
         for r in &self.rows {
-            *counts.entry(r.clone()).or_insert(0) += 1;
+            *counts.entry(r).or_insert(0) += 1;
         }
         for r in &other.rows {
             match counts.get_mut(r) {
@@ -159,16 +161,17 @@ impl Table {
             return Some(Vec::new());
         }
         // Candidate columns for each of our columns: those in `other` whose
-        // multiset (or sequence) of values matches.
-        let col_values = |t: &Table, i: usize, ordered: bool| -> Vec<Value> {
-            let mut vs: Vec<Value> = t.rows.iter().map(|r| r[i].clone()).collect();
+        // multiset (or sequence) of values matches.  Columns are profiled as
+        // vectors of value *references* — nothing is cloned.
+        fn col_values(t: &Table, i: usize, ordered: bool) -> Vec<&Value> {
+            let mut vs: Vec<&Value> = t.rows.iter().map(|r| &r[i]).collect();
             if !ordered {
                 vs.sort_by(|a, b| a.total_cmp(b));
             }
             vs
-        };
-        let ours: Vec<Vec<Value>> = (0..n).map(|i| col_values(self, i, ordered)).collect();
-        let theirs: Vec<Vec<Value>> = (0..n).map(|i| col_values(other, i, ordered)).collect();
+        }
+        let ours: Vec<Vec<&Value>> = (0..n).map(|i| col_values(self, i, ordered)).collect();
+        let theirs: Vec<Vec<&Value>> = (0..n).map(|i| col_values(other, i, ordered)).collect();
         let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
         for our in &ours {
             let c: Vec<usize> = theirs
@@ -228,25 +231,27 @@ impl Table {
     }
 
     fn check_mapping(&self, other: &Table, mapping: &[usize], ordered: bool) -> bool {
-        let project = |t: &Table, perm: Option<&[usize]>| -> Vec<Vec<Value>> {
+        // Rows are compared through permuted *reference* vectors —
+        // `mapping[i] = j` means our column i corresponds to their column j,
+        // so their rows are viewed through the mapping to align with ours.
+        // No value is cloned.
+        fn project<'t>(t: &'t Table, perm: Option<&[usize]>) -> Vec<Vec<&'t Value>> {
             t.rows
                 .iter()
                 .map(|r| match perm {
-                    Some(p) => (0..r.len()).map(|i| r[p[i]].clone()).collect(),
-                    None => r.clone(),
+                    Some(p) => (0..r.len()).map(|i| &r[p[i]]).collect(),
+                    None => r.iter().collect(),
                 })
                 .collect()
-        };
+        }
         let a = project(self, None);
-        // `mapping[i] = j` means our column i corresponds to their column j,
-        // so their rows must be permuted by the mapping to align with ours.
         let b = project(other, Some(mapping));
         if ordered {
             a == b
         } else {
-            let mut counts: HashMap<Vec<Value>, i64> = HashMap::new();
+            let mut counts: HashMap<&Vec<&Value>, i64> = HashMap::with_capacity(a.len());
             for r in &a {
-                *counts.entry(r.clone()).or_insert(0) += 1;
+                *counts.entry(r).or_insert(0) += 1;
             }
             for r in &b {
                 match counts.get_mut(r) {
@@ -259,11 +264,13 @@ impl Table {
     }
 
     /// Removes duplicate rows (set semantics), keeping the first occurrence.
+    /// The seen-set holds row references; only the surviving rows are cloned
+    /// into the output.
     pub fn dedup(&self) -> Table {
-        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+        let mut seen: std::collections::HashSet<&Row> = std::collections::HashSet::new();
         let mut out = Table::new(self.columns.clone());
         for r in &self.rows {
-            if seen.insert(r.clone(), ()).is_none() {
+            if seen.insert(r) {
                 out.rows.push(r.clone());
             }
         }

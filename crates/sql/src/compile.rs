@@ -1,0 +1,264 @@
+//! Compilation of SQL expressions and predicates into positional programs.
+//!
+//! The tree-walking interpreter resolves every column reference with
+//! [`resolve_column`](crate::eval::resolve_column) — a case-insensitive
+//! string scan over the scope's column list that allocates per lookup — for
+//! **every row**.  This module lowers [`SqlExpr`]/[`SqlPred`] trees against
+//! a fixed column layout **once per operator**, producing programs whose
+//! column references are plain positional indexes:
+//!
+//! * [`CExpr`] / [`CPred`] — row-at-a-time programs used by selections,
+//!   projections, and join predicates;
+//! * [`CGroupExpr`] / [`CGroupPred`] — group-at-a-time programs used by
+//!   `GROUP BY` projections and `HAVING` predicates, with aggregates folded
+//!   over the group's member rows.
+//!
+//! Compilation never fails: references that do not resolve against the
+//! local layout are kept symbolic ([`CExpr::Outer`]) and fall back to the
+//! outer-scope chain at runtime, which is exactly how correlated subqueries
+//! resolve their free columns.  Constructs that are *errors* when evaluated
+//! (an aggregate in scalar position, a bare `*`) compile to explicit error
+//! instructions so the compiled engine reports the same errors, in the same
+//! situations, as the interpreter — including not reporting them at all
+//! when no row is ever evaluated.
+//!
+//! Subqueries are not compiled into the program: [`CPred::InQuery`] and
+//! [`CPred::Exists`] carry the subquery AST by reference and re-enter the
+//! evaluator, which caches uncorrelated results per operator exactly like
+//! the interpreted path.
+
+use crate::ast::{ColumnRef, SqlExpr, SqlPred, SqlQuery};
+use crate::eval::resolve_column;
+use graphiti_common::{AggKind, BinArith, CmpOp, Value};
+
+/// A scalar expression lowered against a fixed column layout.
+#[derive(Debug)]
+pub enum CExpr<'q> {
+    /// A column resolved to a positional index in the current row.
+    Col(usize),
+    /// A column that did not resolve locally: looked up through the scope
+    /// chain at runtime (correlated / outer references).
+    Outer(&'q ColumnRef),
+    /// A literal.
+    Value(&'q Value),
+    /// `Cast(φ)` over a compiled predicate.
+    Cast(Box<CPred<'q>>),
+    /// Binary arithmetic.
+    Arith(Box<CExpr<'q>>, BinArith, Box<CExpr<'q>>),
+    /// An aggregate in scalar position — an error if ever evaluated.
+    ScalarAgg,
+    /// A bare `*` outside `Count(*)` — an error if ever evaluated.
+    Star,
+}
+
+/// A predicate lowered against a fixed column layout.
+#[derive(Debug)]
+pub enum CPred<'q> {
+    /// Boolean constant.
+    Bool(bool),
+    /// Comparison.
+    Cmp(CExpr<'q>, CmpOp, CExpr<'q>),
+    /// `E IS NULL`.
+    IsNull(CExpr<'q>),
+    /// `E IN (v1, ..., vn)`.
+    InList(CExpr<'q>, &'q [Value]),
+    /// Tuple membership in a subquery; the subquery re-enters the evaluator.
+    InQuery(Vec<CExpr<'q>>, &'q SqlQuery),
+    /// `EXISTS (SELECT ...)`; the subquery re-enters the evaluator.
+    Exists(&'q SqlQuery),
+    /// Conjunction.
+    And(Box<CPred<'q>>, Box<CPred<'q>>),
+    /// Disjunction.
+    Or(Box<CPred<'q>>, Box<CPred<'q>>),
+    /// Negation.
+    Not(Box<CPred<'q>>),
+}
+
+/// A group-level expression: aggregates fold over the group's rows, scalar
+/// parts evaluate on the group's first row.
+#[derive(Debug)]
+pub enum CGroupExpr<'q> {
+    /// `Count(*)` — the group's cardinality.
+    CountStar,
+    /// An aggregate over a compiled row expression; the flag is `DISTINCT`.
+    Agg(AggKind, CExpr<'q>, bool),
+    /// Arithmetic over group-level operands.
+    Arith(Box<CGroupExpr<'q>>, BinArith, Box<CGroupExpr<'q>>),
+    /// A non-aggregate expression, evaluated on the group's first row
+    /// (`Null` for an empty group).
+    Scalar(CExpr<'q>),
+    /// `*` under a non-COUNT aggregate — an error if ever evaluated.
+    StarAgg,
+}
+
+/// A group-level predicate (`HAVING`).
+#[derive(Debug)]
+pub enum CGroupPred<'q> {
+    /// Boolean constant.
+    Bool(bool),
+    /// Comparison of group-level expressions.
+    Cmp(CGroupExpr<'q>, CmpOp, CGroupExpr<'q>),
+    /// `E IS NULL` at group level.
+    IsNull(CGroupExpr<'q>),
+    /// `E IN (v1, ..., vn)` at group level.
+    InList(CGroupExpr<'q>, &'q [Value]),
+    /// A subquery predicate, delegated to the row-wise evaluator on the
+    /// group's first row (`Unknown` for an empty group).
+    Subquery(&'q SqlPred),
+    /// Conjunction.
+    And(Box<CGroupPred<'q>>, Box<CGroupPred<'q>>),
+    /// Disjunction.
+    Or(Box<CGroupPred<'q>>, Box<CGroupPred<'q>>),
+    /// Negation.
+    Not(Box<CGroupPred<'q>>),
+}
+
+/// Lowers a scalar expression against `columns`.
+pub fn compile_expr<'q>(e: &'q SqlExpr, columns: &[String]) -> CExpr<'q> {
+    match e {
+        SqlExpr::Col(c) => match resolve_column(columns, c) {
+            Some(idx) => CExpr::Col(idx),
+            None => CExpr::Outer(c),
+        },
+        SqlExpr::Value(v) => CExpr::Value(v),
+        SqlExpr::Cast(p) => CExpr::Cast(Box::new(compile_pred(p, columns))),
+        SqlExpr::Agg(..) => CExpr::ScalarAgg,
+        SqlExpr::Arith(a, op, b) => CExpr::Arith(
+            Box::new(compile_expr(a, columns)),
+            *op,
+            Box::new(compile_expr(b, columns)),
+        ),
+        SqlExpr::Star => CExpr::Star,
+    }
+}
+
+/// Lowers a predicate against `columns`.
+pub fn compile_pred<'q>(p: &'q SqlPred, columns: &[String]) -> CPred<'q> {
+    match p {
+        SqlPred::Bool(b) => CPred::Bool(*b),
+        SqlPred::Cmp(a, op, b) => {
+            CPred::Cmp(compile_expr(a, columns), *op, compile_expr(b, columns))
+        }
+        SqlPred::IsNull(e) => CPred::IsNull(compile_expr(e, columns)),
+        SqlPred::InList(e, vs) => CPred::InList(compile_expr(e, columns), vs),
+        SqlPred::InQuery(es, sub) => {
+            CPred::InQuery(es.iter().map(|e| compile_expr(e, columns)).collect(), sub)
+        }
+        SqlPred::Exists(sub) => CPred::Exists(sub),
+        SqlPred::And(a, b) => {
+            CPred::And(Box::new(compile_pred(a, columns)), Box::new(compile_pred(b, columns)))
+        }
+        SqlPred::Or(a, b) => {
+            CPred::Or(Box::new(compile_pred(a, columns)), Box::new(compile_pred(b, columns)))
+        }
+        SqlPred::Not(inner) => CPred::Not(Box::new(compile_pred(inner, columns))),
+    }
+}
+
+/// Lowers a group-level expression (a `GROUP BY` projection item) against
+/// `columns`.
+pub fn compile_group_expr<'q>(e: &'q SqlExpr, columns: &[String]) -> CGroupExpr<'q> {
+    match e {
+        SqlExpr::Agg(kind, inner, distinct) => {
+            if matches!(inner.as_ref(), SqlExpr::Star) {
+                if *kind == AggKind::Count {
+                    CGroupExpr::CountStar
+                } else {
+                    CGroupExpr::StarAgg
+                }
+            } else {
+                CGroupExpr::Agg(*kind, compile_expr(inner, columns), *distinct)
+            }
+        }
+        SqlExpr::Arith(a, op, b) => CGroupExpr::Arith(
+            Box::new(compile_group_expr(a, columns)),
+            *op,
+            Box::new(compile_group_expr(b, columns)),
+        ),
+        other => CGroupExpr::Scalar(compile_expr(other, columns)),
+    }
+}
+
+/// Lowers a `HAVING` predicate against `columns`.
+pub fn compile_group_pred<'q>(p: &'q SqlPred, columns: &[String]) -> CGroupPred<'q> {
+    match p {
+        SqlPred::Bool(b) => CGroupPred::Bool(*b),
+        SqlPred::Cmp(a, op, b) => {
+            CGroupPred::Cmp(compile_group_expr(a, columns), *op, compile_group_expr(b, columns))
+        }
+        SqlPred::IsNull(e) => CGroupPred::IsNull(compile_group_expr(e, columns)),
+        SqlPred::InList(e, vs) => CGroupPred::InList(compile_group_expr(e, columns), vs),
+        SqlPred::InQuery(..) | SqlPred::Exists(_) => CGroupPred::Subquery(p),
+        SqlPred::And(a, b) => CGroupPred::And(
+            Box::new(compile_group_pred(a, columns)),
+            Box::new(compile_group_pred(b, columns)),
+        ),
+        SqlPred::Or(a, b) => CGroupPred::Or(
+            Box::new(compile_group_pred(a, columns)),
+            Box::new(compile_group_pred(b, columns)),
+        ),
+        SqlPred::Not(inner) => CGroupPred::Not(Box::new(compile_group_pred(inner, columns))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SelectItem;
+
+    fn cols() -> Vec<String> {
+        vec!["e.id".to_string(), "e.name".to_string()]
+    }
+
+    #[test]
+    fn columns_resolve_to_positions() {
+        let e = SqlExpr::col("e", "name");
+        match compile_expr(&e, &cols()) {
+            CExpr::Col(1) => {}
+            other => panic!("expected Col(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_columns_stay_symbolic() {
+        let e = SqlExpr::col("outer_t", "x");
+        match compile_expr(&e, &cols()) {
+            CExpr::Outer(c) => assert_eq!(c.render(), "outer_t.x"),
+            other => panic!("expected Outer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates_lower_recursively() {
+        let p = SqlPred::and(
+            SqlPred::cmp(SqlExpr::col("e", "id"), graphiti_common::CmpOp::Gt, SqlExpr::value(1)),
+            SqlPred::IsNull(Box::new(SqlExpr::col("e", "name"))),
+        );
+        match compile_pred(&p, &cols()) {
+            CPred::And(a, b) => {
+                assert!(matches!(*a, CPred::Cmp(CExpr::Col(0), _, CExpr::Value(_))));
+                assert!(matches!(*b, CPred::IsNull(CExpr::Col(1))));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_exprs_split_aggregates_from_scalars() {
+        let item = SelectItem::expr(SqlExpr::count_star());
+        assert!(matches!(compile_group_expr(&item.expr, &cols()), CGroupExpr::CountStar));
+        let agg = SqlExpr::agg(AggKind::Sum, SqlExpr::col("e", "id"));
+        assert!(matches!(
+            compile_group_expr(&agg, &cols()),
+            CGroupExpr::Agg(AggKind::Sum, CExpr::Col(0), false)
+        ));
+        let scalar = SqlExpr::col("e", "name");
+        assert!(matches!(compile_group_expr(&scalar, &cols()), CGroupExpr::Scalar(CExpr::Col(1))));
+    }
+
+    #[test]
+    fn star_under_non_count_is_a_deferred_error() {
+        let bad = SqlExpr::agg(AggKind::Sum, SqlExpr::Star);
+        assert!(matches!(compile_group_expr(&bad, &cols()), CGroupExpr::StarAgg));
+    }
+}

@@ -10,24 +10,40 @@
 //! equi-joins are executed with a hash join.  [`eval_query`] additionally
 //! runs the selection-pushdown optimizer first so that textbook
 //! `FROM a, b, c WHERE ...` queries do not materialize full Cartesian
-//! products; [`eval_query_unoptimized`] skips that pass (used by the
-//! ablation benchmark).
+//! products, and executes expressions through the
+//! [`compile`](crate::compile) pass: per operator, column references are
+//! resolved to positional indexes **once**, and the per-row loop runs the
+//! resulting positional program.  [`eval_query_unoptimized`] skips both the
+//! pushdown pass and compilation, retaining the naive per-row
+//! string-resolution interpreter for the ablation benchmark and for
+//! differential testing of the compiled engine.
 
 use crate::ast::*;
+use crate::compile::{
+    compile_expr, compile_group_expr, compile_group_pred, compile_pred, CExpr, CGroupExpr,
+    CGroupPred, CPred,
+};
 use crate::optimize::optimize;
 use graphiti_common::{AggKind, Error, Result, Truth, Value};
 use graphiti_relational::{RelInstance, Table};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Evaluates a SQL query against a relational instance (with optimization).
+/// Evaluates a SQL query against a relational instance with the full
+/// optimization pipeline: selection pushdown, hash joins, and pre-compiled
+/// positional expression programs.
 pub fn eval_query(instance: &RelInstance, query: &SqlQuery) -> Result<Table> {
     let optimized = optimize(query);
-    eval_query_unoptimized(instance, &optimized)
+    let ev = Evaluator { instance, compiled: true };
+    ev.eval(&optimized, &CteEnv::new(), None)
 }
 
-/// Evaluates a SQL query without the selection-pushdown pass.
+/// Evaluates a SQL query without the selection-pushdown pass and without
+/// expression compilation: every column reference is re-resolved by string
+/// matching for every row, as in the seed interpreter.  Kept as the
+/// ablation baseline and as the reference the compiled engine is
+/// differentially tested against.
 pub fn eval_query_unoptimized(instance: &RelInstance, query: &SqlQuery) -> Result<Table> {
-    let ev = Evaluator { instance };
+    let ev = Evaluator { instance, compiled: false };
     ev.eval(query, &CteEnv::new(), None)
 }
 
@@ -42,9 +58,12 @@ struct Scope<'a> {
 }
 
 impl<'a> Scope<'a> {
-    fn lookup(&self, cref: &ColumnRef) -> Option<Value> {
+    /// Resolves a column reference to the value it names, walking the outer
+    /// scope chain for correlated references.  Returns a borrow — callers
+    /// clone only when they need ownership.
+    fn lookup(&self, cref: &ColumnRef) -> Option<&'a Value> {
         match resolve_column(self.columns, cref) {
-            Some(idx) => Some(self.row[idx].clone()),
+            Some(idx) => Some(&self.row[idx]),
             None => self.outer.and_then(|o| o.lookup(cref)),
         }
     }
@@ -94,6 +113,10 @@ fn requalify(table: &Table, alias: &str) -> Table {
 
 struct Evaluator<'a> {
     instance: &'a RelInstance,
+    /// Run per-operator compiled positional programs (`true`) or re-resolve
+    /// columns by string matching per row (`false`, the retained naive
+    /// path).
+    compiled: bool,
 }
 
 type SubqCache = HashMap<usize, Table>;
@@ -110,10 +133,20 @@ impl<'a> Evaluator<'a> {
                 let t = self.eval(input, ctes, outer)?;
                 let cache = self.cache_subqueries(pred, ctes);
                 let mut out = Table::new(t.columns.clone());
-                for row in &t.rows {
-                    let scope = Scope { columns: &t.columns, row, outer };
-                    if self.eval_pred(pred, &scope, ctes, &cache)?.is_true() {
-                        out.rows.push(row.clone());
+                if self.compiled {
+                    let program = compile_pred(pred, &t.columns);
+                    for row in &t.rows {
+                        let scope = Scope { columns: &t.columns, row, outer };
+                        if self.eval_cpred(&program, &scope, ctes, &cache)?.is_true() {
+                            out.rows.push(row.clone());
+                        }
+                    }
+                } else {
+                    for row in &t.rows {
+                        let scope = Scope { columns: &t.columns, row, outer };
+                        if self.eval_pred(pred, &scope, ctes, &cache)?.is_true() {
+                            out.rows.push(row.clone());
+                        }
                     }
                 }
                 Ok(out)
@@ -122,13 +155,26 @@ impl<'a> Evaluator<'a> {
                 let t = self.eval(input, ctes, outer)?;
                 let columns: Vec<String> = items.iter().map(|i| i.output_name()).collect();
                 let mut out = Table::new(columns);
-                for row in &t.rows {
-                    let scope = Scope { columns: &t.columns, row, outer };
-                    let mut new_row = Vec::with_capacity(items.len());
-                    for item in items {
-                        new_row.push(self.eval_scalar(&item.expr, &scope, ctes)?);
+                if self.compiled {
+                    let programs: Vec<CExpr<'_>> =
+                        items.iter().map(|i| compile_expr(&i.expr, &t.columns)).collect();
+                    for row in &t.rows {
+                        let scope = Scope { columns: &t.columns, row, outer };
+                        let mut new_row = Vec::with_capacity(items.len());
+                        for program in &programs {
+                            new_row.push(self.eval_cexpr(program, &scope, ctes)?);
+                        }
+                        out.rows.push(new_row);
                     }
-                    out.rows.push(new_row);
+                } else {
+                    for row in &t.rows {
+                        let scope = Scope { columns: &t.columns, row, outer };
+                        let mut new_row = Vec::with_capacity(items.len());
+                        for item in items {
+                            new_row.push(self.eval_scalar(&item.expr, &scope, ctes)?);
+                        }
+                        out.rows.push(new_row);
+                    }
                 }
                 Ok(if *distinct { out.dedup() } else { out })
             }
@@ -204,7 +250,10 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        // General nested-loop join.
+        // General nested-loop join.  The join predicate is compiled once
+        // against the combined layout; the naive path interprets it per
+        // pair.
+        let program = if self.compiled { Some(compile_pred(pred, &columns)) } else { None };
         let null_right = vec![Value::Null; right.columns.len()];
         let null_left = vec![Value::Null; left.columns.len()];
         let mut right_matched = vec![false; right.rows.len()];
@@ -215,7 +264,10 @@ impl<'a> Evaluator<'a> {
                 let scope = Scope { columns: &columns, row: &combined, outer };
                 let ok = match kind {
                     JoinKind::Cross => true,
-                    _ => self.eval_pred(pred, &scope, ctes, &cache)?.is_true(),
+                    _ => match &program {
+                        Some(p) => self.eval_cpred(p, &scope, ctes, &cache)?.is_true(),
+                        None => self.eval_pred(pred, &scope, ctes, &cache)?.is_true(),
+                    },
                 };
                 if ok {
                     matched = true;
@@ -288,6 +340,11 @@ impl<'a> Evaluator<'a> {
         }
         let residual = SqlPred::conjunction(residual);
         let cache = self.cache_subqueries(&residual, ctes);
+        let residual_program = if self.compiled && !matches!(residual, SqlPred::Bool(true)) {
+            Some(compile_pred(&residual, columns))
+        } else {
+            None
+        };
         let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         'rows: for (ri, rrow) in right.rows.iter().enumerate() {
             let mut key = Vec::with_capacity(pairs.len());
@@ -324,7 +381,10 @@ impl<'a> Evaluator<'a> {
                             true
                         } else {
                             let scope = Scope { columns, row: &combined, outer };
-                            self.eval_pred(&residual, &scope, ctes, &cache)?.is_true()
+                            match &residual_program {
+                                Some(p) => self.eval_cpred(p, &scope, ctes, &cache)?.is_true(),
+                                None => self.eval_pred(&residual, &scope, ctes, &cache)?.is_true(),
+                            }
                         };
                         if keep {
                             matched = true;
@@ -353,13 +413,24 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Table> {
         let columns: Vec<String> = items.iter().map(|i| i.output_name()).collect();
         let mut out = Table::new(columns);
-        // Group rows by key values (insertion-ordered).
+        // Grouping-key programs: compiled once per operator on the fast
+        // path, re-resolved per row on the naive path.
+        let key_programs: Option<Vec<CExpr<'_>>> =
+            self.compiled.then(|| keys.iter().map(|k| compile_expr(k, &input.columns)).collect());
+        // Group rows by key values (hash-located, insertion-ordered).
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for (ri, row) in input.rows.iter().enumerate() {
             let scope = Scope { columns: &input.columns, row, outer };
-            let key: Vec<Value> =
-                keys.iter().map(|k| self.eval_scalar(k, &scope, ctes)).collect::<Result<_>>()?;
+            let key: Vec<Value> = match &key_programs {
+                Some(programs) => programs
+                    .iter()
+                    .map(|p| self.eval_cexpr(p, &scope, ctes))
+                    .collect::<Result<_>>()?,
+                None => {
+                    keys.iter().map(|k| self.eval_scalar(k, &scope, ctes)).collect::<Result<_>>()?
+                }
+            };
             if !groups.contains_key(&key) {
                 order.push(key.clone());
             }
@@ -372,26 +443,52 @@ impl<'a> Evaluator<'a> {
             groups.insert(Vec::new(), Vec::new());
         }
         let cache = self.cache_subqueries(having, ctes);
+        let having_program: Option<CGroupPred<'_>> = (self.compiled
+            && !matches!(having, SqlPred::Bool(true)))
+        .then(|| compile_group_pred(having, &input.columns));
+        let item_programs: Option<Vec<CGroupExpr<'_>>> = self
+            .compiled
+            .then(|| items.iter().map(|i| compile_group_expr(&i.expr, &input.columns)).collect());
         for key in order {
             let members = &groups[&key];
             let rows: Vec<&Vec<Value>> = members.iter().map(|&i| &input.rows[i]).collect();
             if !matches!(having, SqlPred::Bool(true)) {
-                let keep = self
-                    .eval_group_pred(having, &rows, &input.columns, ctes, outer, &cache)?
-                    .is_true();
+                let keep = match &having_program {
+                    Some(p) => self
+                        .eval_cgroup_pred(p, &rows, &input.columns, ctes, outer, &cache)?
+                        .is_true(),
+                    None => self
+                        .eval_group_pred(having, &rows, &input.columns, ctes, outer, &cache)?
+                        .is_true(),
+                };
                 if !keep {
                     continue;
                 }
             }
             let mut new_row = Vec::with_capacity(items.len());
-            for item in items {
-                new_row.push(self.eval_group_expr(
-                    &item.expr,
-                    &rows,
-                    &input.columns,
-                    ctes,
-                    outer,
-                )?);
+            match &item_programs {
+                Some(programs) => {
+                    for p in programs {
+                        new_row.push(self.eval_cgroup_expr(
+                            p,
+                            &rows,
+                            &input.columns,
+                            ctes,
+                            outer,
+                        )?);
+                    }
+                }
+                None => {
+                    for item in items {
+                        new_row.push(self.eval_group_expr(
+                            &item.expr,
+                            &rows,
+                            &input.columns,
+                            ctes,
+                            outer,
+                        )?);
+                    }
+                }
             }
             out.rows.push(new_row);
         }
@@ -531,6 +628,7 @@ impl<'a> Evaluator<'a> {
         match e {
             SqlExpr::Col(c) => scope
                 .lookup(c)
+                .cloned()
                 .ok_or_else(|| Error::eval(format!("unknown column `{}`", c.render()))),
             SqlExpr::Value(v) => Ok(v.clone()),
             SqlExpr::Cast(p) => {
@@ -583,25 +681,7 @@ impl<'a> Evaluator<'a> {
                     .map(|e| self.eval_scalar(e, scope, ctes))
                     .collect::<Result<_>>()?;
                 let table = self.subquery_result(sub, scope, ctes, cache)?;
-                if table.arity() != lhs.len() {
-                    return Err(Error::eval(format!(
-                        "IN subquery arity mismatch: {} vs {}",
-                        table.arity(),
-                        lhs.len()
-                    )));
-                }
-                let mut truth = Truth::False;
-                for row in &table.rows {
-                    let mut row_truth = Truth::True;
-                    for (l, r) in lhs.iter().zip(row.iter()) {
-                        row_truth = row_truth.and(l.sql_eq(r));
-                    }
-                    truth = truth.or(row_truth);
-                    if truth.is_true() {
-                        return Ok(Truth::True);
-                    }
-                }
-                Ok(truth)
+                in_membership(&lhs, &table)
             }
             SqlPred::Exists(sub) => {
                 let table = self.subquery_result(sub, scope, ctes, cache)?;
@@ -614,6 +694,183 @@ impl<'a> Evaluator<'a> {
                 .eval_pred(a, scope, ctes, cache)?
                 .or(self.eval_pred(b, scope, ctes, cache)?)),
             SqlPred::Not(inner) => Ok(self.eval_pred(inner, scope, ctes, cache)?.not()),
+        }
+    }
+
+    // ------------------------------------------ compiled-program execution
+    //
+    // The runtime for the positional programs produced by
+    // [`crate::compile`].  These mirror `eval_scalar` / `eval_pred` /
+    // `eval_group_expr` / `eval_group_pred` exactly, except that column
+    // references are already indexes into the current row.
+
+    fn eval_cexpr(&self, e: &CExpr<'_>, scope: &Scope<'_>, ctes: &CteEnv) -> Result<Value> {
+        match e {
+            CExpr::Col(idx) => Ok(scope.row[*idx].clone()),
+            // Compilation already proved the reference does not resolve in
+            // the local layout, so start the walk at the outer scope.
+            CExpr::Outer(cref) => scope
+                .outer
+                .and_then(|o| o.lookup(cref))
+                .cloned()
+                .ok_or_else(|| Error::eval(format!("unknown column `{}`", cref.render()))),
+            CExpr::Value(v) => Ok((*v).clone()),
+            CExpr::Cast(p) => {
+                let t = self.eval_cpred(p, scope, ctes, &SubqCache::new())?;
+                Ok(match t {
+                    Truth::True => Value::Int(1),
+                    Truth::False => Value::Int(0),
+                    Truth::Unknown => Value::Null,
+                })
+            }
+            CExpr::Arith(a, op, b) => {
+                let va = self.eval_cexpr(a, scope, ctes)?;
+                let vb = self.eval_cexpr(b, scope, ctes)?;
+                va.arith(*op, &vb)
+            }
+            CExpr::ScalarAgg => Err(Error::eval("aggregate used outside of a GROUP BY context")),
+            CExpr::Star => Err(Error::eval("`*` may only appear inside Count(*)")),
+        }
+    }
+
+    fn eval_cpred(
+        &self,
+        p: &CPred<'_>,
+        scope: &Scope<'_>,
+        ctes: &CteEnv,
+        cache: &SubqCache,
+    ) -> Result<Truth> {
+        match p {
+            CPred::Bool(b) => Ok(Truth::from_bool(*b)),
+            CPred::Cmp(a, op, b) => {
+                let va = self.eval_cexpr(a, scope, ctes)?;
+                let vb = self.eval_cexpr(b, scope, ctes)?;
+                Ok(va.compare(*op, &vb))
+            }
+            CPred::IsNull(e) => {
+                let v = self.eval_cexpr(e, scope, ctes)?;
+                Ok(Truth::from_bool(v.is_null()))
+            }
+            CPred::InList(e, vs) => {
+                let v = self.eval_cexpr(e, scope, ctes)?;
+                let mut truth = Truth::False;
+                for candidate in *vs {
+                    truth = truth.or(v.sql_eq(candidate));
+                }
+                Ok(truth)
+            }
+            CPred::InQuery(exprs, sub) => {
+                let lhs: Vec<Value> =
+                    exprs.iter().map(|e| self.eval_cexpr(e, scope, ctes)).collect::<Result<_>>()?;
+                let table = self.subquery_result(sub, scope, ctes, cache)?;
+                in_membership(&lhs, &table)
+            }
+            CPred::Exists(sub) => {
+                let table = self.subquery_result(sub, scope, ctes, cache)?;
+                Ok(Truth::from_bool(!table.is_empty()))
+            }
+            CPred::And(a, b) => Ok(self
+                .eval_cpred(a, scope, ctes, cache)?
+                .and(self.eval_cpred(b, scope, ctes, cache)?)),
+            CPred::Or(a, b) => Ok(self
+                .eval_cpred(a, scope, ctes, cache)?
+                .or(self.eval_cpred(b, scope, ctes, cache)?)),
+            CPred::Not(inner) => Ok(self.eval_cpred(inner, scope, ctes, cache)?.not()),
+        }
+    }
+
+    fn eval_cgroup_expr(
+        &self,
+        e: &CGroupExpr<'_>,
+        rows: &[&Vec<Value>],
+        columns: &[String],
+        ctes: &CteEnv,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Value> {
+        match e {
+            CGroupExpr::CountStar => Ok(Value::Int(rows.len() as i64)),
+            CGroupExpr::StarAgg => Err(Error::eval("`*` may only appear inside Count(*)")),
+            CGroupExpr::Agg(kind, inner, distinct) => {
+                let mut values = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let scope = Scope { columns, row, outer };
+                    values.push(self.eval_cexpr(inner, &scope, ctes)?);
+                }
+                if *distinct {
+                    // Hash-based dedup preserving first-seen order (Value's
+                    // Hash is consistent with strict_eq).
+                    let mut seen: HashSet<Value> = HashSet::with_capacity(values.len());
+                    let mut uniq: Vec<Value> = Vec::new();
+                    for v in values {
+                        if seen.insert(v.clone()) {
+                            uniq.push(v);
+                        }
+                    }
+                    Ok(kind.fold(uniq.iter()))
+                } else {
+                    Ok(kind.fold(values.iter()))
+                }
+            }
+            CGroupExpr::Arith(a, op, b) => {
+                let va = self.eval_cgroup_expr(a, rows, columns, ctes, outer)?;
+                let vb = self.eval_cgroup_expr(b, rows, columns, ctes, outer)?;
+                va.arith(*op, &vb)
+            }
+            CGroupExpr::Scalar(inner) => match rows.first() {
+                Some(row) => {
+                    let scope = Scope { columns, row, outer };
+                    self.eval_cexpr(inner, &scope, ctes)
+                }
+                None => Ok(Value::Null),
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_cgroup_pred(
+        &self,
+        pred: &CGroupPred<'_>,
+        rows: &[&Vec<Value>],
+        columns: &[String],
+        ctes: &CteEnv,
+        outer: Option<&Scope<'_>>,
+        cache: &SubqCache,
+    ) -> Result<Truth> {
+        match pred {
+            CGroupPred::Bool(b) => Ok(Truth::from_bool(*b)),
+            CGroupPred::Cmp(a, op, b) => {
+                let va = self.eval_cgroup_expr(a, rows, columns, ctes, outer)?;
+                let vb = self.eval_cgroup_expr(b, rows, columns, ctes, outer)?;
+                Ok(va.compare(*op, &vb))
+            }
+            CGroupPred::IsNull(e) => {
+                let v = self.eval_cgroup_expr(e, rows, columns, ctes, outer)?;
+                Ok(Truth::from_bool(v.is_null()))
+            }
+            CGroupPred::InList(e, vs) => {
+                let v = self.eval_cgroup_expr(e, rows, columns, ctes, outer)?;
+                let mut truth = Truth::False;
+                for candidate in *vs {
+                    truth = truth.or(v.sql_eq(candidate));
+                }
+                Ok(truth)
+            }
+            CGroupPred::And(a, b) => Ok(self
+                .eval_cgroup_pred(a, rows, columns, ctes, outer, cache)?
+                .and(self.eval_cgroup_pred(b, rows, columns, ctes, outer, cache)?)),
+            CGroupPred::Or(a, b) => Ok(self
+                .eval_cgroup_pred(a, rows, columns, ctes, outer, cache)?
+                .or(self.eval_cgroup_pred(b, rows, columns, ctes, outer, cache)?)),
+            CGroupPred::Not(p) => {
+                Ok(self.eval_cgroup_pred(p, rows, columns, ctes, outer, cache)?.not())
+            }
+            CGroupPred::Subquery(p) => match rows.first() {
+                Some(row) => {
+                    let scope = Scope { columns, row, outer };
+                    self.eval_pred(p, &scope, ctes, cache)
+                }
+                None => Ok(Truth::Unknown),
+            },
         }
     }
 
@@ -653,6 +910,31 @@ impl<'a> Evaluator<'a> {
         }
         cache
     }
+}
+
+/// Three-valued tuple membership of `lhs` in the rows of `table` (the
+/// semantics of `(E1, ..., En) IN (SELECT ...)`), shared by the interpreted
+/// and compiled predicate runtimes.
+fn in_membership(lhs: &[Value], table: &Table) -> Result<Truth> {
+    if table.arity() != lhs.len() {
+        return Err(Error::eval(format!(
+            "IN subquery arity mismatch: {} vs {}",
+            table.arity(),
+            lhs.len()
+        )));
+    }
+    let mut truth = Truth::False;
+    for row in &table.rows {
+        let mut row_truth = Truth::True;
+        for (l, r) in lhs.iter().zip(row.iter()) {
+            row_truth = row_truth.and(l.sql_eq(r));
+        }
+        truth = truth.or(row_truth);
+        if truth.is_true() {
+            return Ok(Truth::True);
+        }
+    }
+    Ok(truth)
 }
 
 fn concat_union(mut a: Table, b: Table, dedup: bool) -> Result<Table> {

@@ -12,8 +12,12 @@
 //!   style transpilation output).
 //! * [`optimize`] — selection pushdown into join trees so textbook
 //!   `FROM a, b WHERE ...` queries do not materialize Cartesian products.
+//! * [`compile`] — lowers expressions/predicates into positional programs
+//!   (column references resolved to row indexes once per operator).
 //! * [`eval`] — a bag-semantics evaluator with three-valued `NULL` logic,
-//!   hash equi-joins, outer joins, grouping, and correlated subqueries.
+//!   hash equi-joins, outer joins, grouping, and correlated subqueries;
+//!   [`eval_query`] runs compiled programs, [`eval_query_unoptimized`]
+//!   retains the naive per-row interpreter as the ablation baseline.
 //!
 //! # Example
 //!
@@ -33,6 +37,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod optimize;

@@ -461,7 +461,7 @@ impl Parser {
         match self.bump() {
             Token::Int(i) => Ok(Value::Int(i)),
             Token::Float(f) => Ok(Value::Float(f)),
-            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Str(s) => Ok(Value::str(s)),
             Token::Minus => match self.bump() {
                 Token::Int(i) => Ok(Value::Int(-i)),
                 Token::Float(f) => Ok(Value::Float(-f)),
@@ -521,7 +521,7 @@ impl Parser {
             }
             Token::Str(s) => {
                 self.bump();
-                Ok(SqlExpr::Value(Value::Str(s)))
+                Ok(SqlExpr::Value(Value::str(s)))
             }
             Token::Minus => {
                 self.bump();

@@ -80,7 +80,7 @@ fn props(
 fn random_value(rng: &mut StdRng) -> Value {
     match rng.gen_range(0..4usize) {
         0 => Value::Int(rng.gen_range(0..4i64)),
-        1 => Value::Str(STRINGS[rng.gen_range(0..STRINGS.len())].to_string()),
+        1 => Value::str(STRINGS[rng.gen_range(0..STRINGS.len())]),
         2 => Value::Bool(rng.gen_bool(0.5)),
         _ => Value::Null,
     }

@@ -108,7 +108,7 @@ fn parse_term(text: &str) -> Result<Term> {
     if (text.starts_with('\'') && text.ends_with('\'') && text.len() >= 2)
         || (text.starts_with('"') && text.ends_with('"') && text.len() >= 2)
     {
-        return Ok(Term::Const(Value::Str(text[1..text.len() - 1].to_string())));
+        return Ok(Term::Const(Value::str(&text[1..text.len() - 1])));
     }
     if text.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return Ok(Term::Var(Ident::new(text)));
