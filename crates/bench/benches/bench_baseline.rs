@@ -26,7 +26,7 @@ fn bench_baseline(c: &mut Criterion) {
         })
     });
     group.bench_function("table5_classification", |b| {
-        b.iter(|| table5(&corpus, 8).rows.last().unwrap().correct)
+        b.iter(|| table5(&corpus, 8, 1).rows.last().unwrap().correct)
     });
     group.finish();
 }

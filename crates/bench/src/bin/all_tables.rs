@@ -17,17 +17,17 @@ fn main() {
     println!("{}", table1(&corpus));
 
     println!("-- Table 2: bounded equivalence checking ({} ms budget) --", opts.budget_ms);
-    println!("{}", table2(&corpus, opts.budget()));
+    println!("{}", table2(&corpus, opts.budget(), opts.workers));
 
     println!("-- Table 3: full equivalence verification --");
-    println!("{}", table3(&corpus));
+    println!("{}", table3(&corpus, opts.workers));
 
     println!("-- Table 4: execution time of transpiled vs manual SQL --");
-    println!("{}", table4(&corpus, opts.mock_nodes));
+    println!("{}", table4(&corpus, opts.mock_nodes, opts.workers));
 
     println!("-- Transpilation latency (Section 6.3) --");
     println!("{}", transpile_latency(&corpus));
 
     println!("-- Table 5: baseline transpiler comparison --");
-    println!("{}", table5(&corpus, opts.diff_instances));
+    println!("{}", table5(&corpus, opts.diff_instances, opts.workers));
 }

@@ -157,60 +157,81 @@ fn run_sql_family(
     FamilyResult { name, description, naive, optimized }
 }
 
-/// Differential sweep: old and new engines must agree on every corpus
-/// benchmark, on both sides, over small mock databases.
+/// Differential sweep: the naive interpreters must agree with the batch
+/// engine's cached-plan execution on every corpus benchmark, on both
+/// sides, over small mock databases.
+///
+/// The optimized side runs through [`graphiti_engine`]: each benchmark's
+/// databases are frozen into a snapshot (the user-transformed target
+/// instance registered as a named SQL target), and the three queries go
+/// through the engine's plan-cache + compiled-plan path.  Benchmarks are
+/// checked concurrently across the host's cores.
 fn corpus_differential(quick: bool) -> (usize, bool) {
     let corpus = if quick { small_corpus(8) } else { small_corpus(2) };
-    let mut checked = 0usize;
-    for b in &corpus {
+    let workers = graphiti_engine::available_workers();
+    let verdicts = graphiti_engine::run_parallel(corpus.len(), workers, |i| {
+        let b = &corpus[i];
         let (Ok(cypher), Ok(sql), Ok(transformer)) = (b.cypher(), b.sql(), b.transformer()) else {
-            continue;
+            return None;
         };
-        let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { continue };
+        let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { return None };
         let Ok(dbs) = build_databases(&reduction.ctx, &transformer, &b.target_schema, 6, 2, 0xD1FF)
         else {
-            continue;
+            return None;
         };
-        // Cypher side: indexed vs naive on the mock graph.
+        let engine = graphiti_engine::Engine::new(graphiti_engine::Snapshot::from_parts(
+            b.graph_schema.clone(),
+            dbs.graph.clone(),
+            reduction.ctx.clone(),
+            dbs.induced.clone(),
+            [("target".to_string(), dbs.target.clone())],
+        ));
+        // Cypher side: naive edge-rescanning matcher vs the engine.
         let old = graphiti_cypher::eval_query_unoptimized(&b.graph_schema, &dbs.graph, &cypher);
-        let new = graphiti_cypher::eval_query(&b.graph_schema, &dbs.graph, &cypher);
+        let new = engine.execute(&graphiti_engine::BatchQuery::cypher(&b.cypher_text)).result;
         match (old, new) {
             (Ok(o), Ok(n)) => {
                 if !o.equivalent(&n) {
                     eprintln!("cypher engines disagree on corpus benchmark `{}`", b.id);
-                    return (checked, false);
+                    return Some(false);
                 }
             }
             (o, n) => {
                 if o.is_ok() != n.is_ok() {
                     eprintln!("cypher engines error-disagree on corpus benchmark `{}`", b.id);
-                    return (checked, false);
+                    return Some(false);
                 }
             }
         }
-        // SQL side: compiled vs naive on both the transpiled and the
-        // manually-written query.
-        for (inst, q) in [(&dbs.induced, &reduction.transpiled), (&dbs.target, &sql)] {
+        // SQL side: naive interpreter vs the engine's compiled plans, on
+        // both the transpiled and the manually-written query.
+        let induced = graphiti_engine::SqlTarget::Induced;
+        let target = graphiti_engine::SqlTarget::Named("target".to_string());
+        for (inst, tgt, q) in
+            [(&dbs.induced, &induced, &reduction.transpiled), (&dbs.target, &target, &sql)]
+        {
             let old = graphiti_sql::eval_query_unoptimized(inst, q);
-            let new = graphiti_sql::eval_query(inst, q);
+            let new = engine.execute_sql_ast(q, tgt).result;
             match (old, new) {
                 (Ok(o), Ok(n)) => {
                     if !o.equivalent(&n) {
                         eprintln!("sql engines disagree on corpus benchmark `{}`", b.id);
-                        return (checked, false);
+                        return Some(false);
                     }
                 }
                 (o, n) => {
                     if o.is_ok() != n.is_ok() {
                         eprintln!("sql engines error-disagree on corpus benchmark `{}`", b.id);
-                        return (checked, false);
+                        return Some(false);
                     }
                 }
             }
         }
-        checked += 1;
-    }
-    (checked, true)
+        Some(true)
+    });
+    let checked = verdicts.iter().filter(|v| v.is_some()).count();
+    let all_agree = verdicts.iter().flatten().all(|ok| *ok);
+    (checked, all_agree)
 }
 
 fn json_escape(s: &str) -> String {

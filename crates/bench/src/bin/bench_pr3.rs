@@ -1,0 +1,378 @@
+//! PR 3 performance harness: serial single-query loops vs the batch
+//! engine.
+//!
+//! The workload is the corpus sweep as a *service* would see it: every
+//! corpus benchmark contributes three text queries (the Cypher query, its
+//! transpilation, and the manually-written SQL), and the whole set is
+//! replayed for several rounds — the repeated-query traffic shape the
+//! engine's plan cache is built for.  Three execution models run it:
+//!
+//! * **serial pipeline** — the consumer loop this PR replaced: exactly
+//!   what `differential_oracle` and the sweep did per query before the
+//!   engine existed — re-validate the graph, re-infer the SDT,
+//!   re-apply the transformer to rebuild the induced instance, re-parse,
+//!   re-transpile, then evaluate;
+//! * **serial re-parse** — a stronger baseline that already keeps the
+//!   databases warm and only re-parses text and re-runs the
+//!   optimizer/per-operator compiler inside `eval_query` per request;
+//! * **engine** — `graphiti-engine` batches over frozen snapshots at 1,
+//!   2, 4, and 8 workers, with compiled plans cached across rounds.
+//!
+//! Before any timing, every workload item is checked differentially:
+//! the engine's cached-plan results must be table-equivalent to the
+//! re-parse baseline's results (the harness exits non-zero otherwise).
+//! The emitted `BENCH_PR3.json` ends with a `"gate"` object of
+//! hardware-portable ratios consumed by the `check_bench` CI gate; the
+//! headline `parallel_speedup_4w` compares the 4-worker engine against
+//! the serial pipeline it replaced (on a single-core host the gain is
+//! snapshot + plan-cache amortization; worker scaling stacks on top when
+//! cores exist).
+//!
+//! Usage: `cargo run --release -p graphiti-bench --bin bench_pr3 --
+//! [--quick] [--out PATH]`.
+
+use graphiti_benchmarks::{build_databases, small_corpus};
+use graphiti_core::reduce;
+use graphiti_engine::{available_workers, run_parallel, BatchQuery, Engine, Snapshot};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut opts = Options { quick: false, out: "BENCH_PR3.json".to_string() };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--out" if i + 1 < args.len() => {
+                    opts.out = args[i + 1].clone();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// One benchmark's frozen state: the snapshot shared by every engine
+/// measurement, plus the raw texts the serial baselines start from.
+struct BenchCtx {
+    snapshot: Arc<Snapshot>,
+    cypher_text: String,
+    manual_sql_text: String,
+}
+
+/// One workload item: which benchmark context it runs against and the
+/// query (always text-keyed, so the plan cache is exercised end to end).
+struct Item {
+    bench: usize,
+    query: BatchQuery,
+}
+
+const TARGET: &str = "target";
+
+/// Builds the per-benchmark contexts and the flattened workload.
+fn build_workload(quick: bool) -> (Vec<BenchCtx>, Vec<Item>) {
+    let corpus = if quick { small_corpus(8) } else { small_corpus(2) };
+    let mut ctxs: Vec<BenchCtx> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    for b in &corpus {
+        let (Ok(cypher), Ok(_sql), Ok(transformer)) = (b.cypher(), b.sql(), b.transformer()) else {
+            continue;
+        };
+        let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { continue };
+        let Ok(dbs) = build_databases(&reduction.ctx, &transformer, &b.target_schema, 6, 2, 0x93A7)
+        else {
+            continue;
+        };
+        let transpiled_text = graphiti_sql::query_to_string(&reduction.transpiled);
+        let snapshot = Snapshot::from_parts(
+            b.graph_schema.clone(),
+            dbs.graph,
+            reduction.ctx.clone(),
+            dbs.induced,
+            [(TARGET.to_string(), dbs.target)],
+        );
+        let bench = ctxs.len();
+        ctxs.push(BenchCtx {
+            snapshot,
+            cypher_text: b.cypher_text.clone(),
+            manual_sql_text: b.sql_text.clone(),
+        });
+        items.push(Item { bench, query: BatchQuery::cypher(&b.cypher_text) });
+        items.push(Item { bench, query: BatchQuery::sql(transpiled_text) });
+        items.push(Item { bench, query: BatchQuery::sql_on(TARGET, &b.sql_text) });
+    }
+    (ctxs, items)
+}
+
+/// The pre-engine consumer pipeline, one benchmark's three queries: what
+/// `differential_oracle` + the manual-SQL check did per call before PR 3 —
+/// validate the graph, infer the SDT, rebuild the induced instance via the
+/// transformer, parse, transpile, and evaluate, sharing nothing across
+/// calls.
+fn legacy_pipeline(ctx: &BenchCtx) -> graphiti_common::Result<usize> {
+    let snapshot = &ctx.snapshot;
+    let (schema, graph) = (snapshot.schema(), snapshot.graph());
+    graph.validate(schema)?;
+    let query = graphiti_cypher::parse_query(&ctx.cypher_text)?;
+    let cypher_rows = graphiti_cypher::eval_query(schema, graph, &query)?.len();
+    let sdt = graphiti_core::infer_sdt(schema)?;
+    let induced =
+        graphiti_transformer::apply_to_graph(&sdt.sdt, schema, graph, &sdt.induced_schema)?;
+    let transpiled = graphiti_core::transpile_query(&sdt, &query)?;
+    let transpiled_rows = graphiti_sql::eval_query(&induced, &transpiled)?.len();
+    let manual = graphiti_sql::parse_query(&ctx.manual_sql_text)?;
+    let manual_rows = graphiti_sql::eval_query(
+        snapshot.sql_instance(&graphiti_engine::SqlTarget::Named(TARGET.to_string()))?,
+        &manual,
+    )?
+    .len();
+    Ok(cypher_rows + transpiled_rows + manual_rows)
+}
+
+/// The stronger warm-database baseline: parse the text and run the
+/// one-shot evaluator, per request, no shared plans.
+fn legacy_execute(
+    ctx: &BenchCtx,
+    query: &BatchQuery,
+) -> graphiti_common::Result<graphiti_relational::Table> {
+    match query {
+        BatchQuery::Cypher { text } => {
+            let q = graphiti_cypher::parse_query(text)?;
+            graphiti_cypher::eval_query(ctx.snapshot.schema(), ctx.snapshot.graph(), &q)
+        }
+        BatchQuery::Sql { text, target } => {
+            let q = graphiti_sql::parse_query(text)?;
+            graphiti_sql::eval_query(ctx.snapshot.sql_instance(target)?, &q)
+        }
+    }
+}
+
+fn fresh_engines(ctxs: &[BenchCtx]) -> Vec<Engine> {
+    ctxs.iter().map(|c| Engine::new(Arc::clone(&c.snapshot))).collect()
+}
+
+/// One timed engine round over the whole workload; returns elapsed
+/// seconds.
+fn engine_round(engines: &[Engine], items: &[Item], workers: usize) -> f64 {
+    let start = Instant::now();
+    let outcomes =
+        run_parallel(items.len(), workers, |i| engines[items[i].bench].execute(&items[i].query));
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(outcomes.iter().all(|o| o.result.is_ok()), "workload items were pre-validated");
+    elapsed
+}
+
+struct EngineMeasurement {
+    workers: usize,
+    queries_per_sec: f64,
+    cold_round_seconds: f64,
+    warm_round_seconds_avg: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn measure_engine(
+    ctxs: &[BenchCtx],
+    items: &[Item],
+    workers: usize,
+    rounds: usize,
+) -> EngineMeasurement {
+    let engines = fresh_engines(ctxs);
+    // The cold pass fills the plan caches and is timed on its own; the
+    // remaining rounds run as one batch, which is the service shape — a
+    // worker pool draining a queue of repeated queries — rather than
+    // spawn-join per round.
+    let cold_round_seconds = engine_round(&engines, items, workers);
+    let warm_len = items.len() * (rounds - 1);
+    let start = Instant::now();
+    let outcomes = run_parallel(warm_len, workers, |i| {
+        let it = &items[i % items.len()];
+        engines[it.bench].execute(&it.query)
+    });
+    let warm_seconds = start.elapsed().as_secs_f64();
+    assert!(outcomes.iter().all(|o| o.result.is_ok()), "workload items were pre-validated");
+    let (hits, misses) = engines.iter().fold((0u64, 0u64), |(h, m), e| {
+        let s = e.cache_stats();
+        (h + s.hits, m + s.misses)
+    });
+    EngineMeasurement {
+        workers,
+        queries_per_sec: (items.len() * rounds) as f64 / (cold_round_seconds + warm_seconds),
+        cold_round_seconds,
+        warm_round_seconds_avg: warm_seconds / (rounds - 1) as f64,
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let rounds = if opts.quick { 4 } else { 8 };
+    let (ctxs, mut items) = build_workload(opts.quick);
+
+    // ---------------------------------------------- differential validation
+    // Engine (cached compiled plans) vs legacy (one-shot evaluator) on
+    // every item; items the legacy path cannot evaluate are dropped from
+    // the timed workload so both models process identical traffic.
+    let engines = fresh_engines(&ctxs);
+    let mut checked = 0usize;
+    let mut all_agree = true;
+    items.retain(|it| match legacy_execute(&ctxs[it.bench], &it.query) {
+        Err(_) => false,
+        Ok(want) => {
+            checked += 1;
+            match engines[it.bench].execute(&it.query).result {
+                Ok(got) if got.equivalent(&want) => true,
+                Ok(_) => {
+                    eprintln!("engine disagrees with legacy on `{}`", it.query.text());
+                    all_agree = false;
+                    false
+                }
+                Err(e) => {
+                    eprintln!("engine failed where legacy succeeded on `{}`: {e}", it.query.text());
+                    all_agree = false;
+                    false
+                }
+            }
+        }
+    });
+    drop(engines);
+
+    // Keep only benchmarks whose full query triple survived validation, so
+    // every execution model processes identical traffic (the serial
+    // pipeline runs whole benchmarks, not individual items).
+    let candidate_benchmarks = ctxs.len();
+    let mut surviving_items = vec![0usize; ctxs.len()];
+    for it in &items {
+        surviving_items[it.bench] += 1;
+    }
+    let keep: Vec<bool> = surviving_items.iter().map(|&n| n == 3).collect();
+    let mut remap = vec![usize::MAX; ctxs.len()];
+    let mut kept = Vec::new();
+    for (i, ctx) in ctxs.into_iter().enumerate() {
+        if keep[i] {
+            remap[i] = kept.len();
+            kept.push(ctx);
+        }
+    }
+    let ctxs = kept;
+    let mut items: Vec<Item> = items.into_iter().filter(|it| keep[it.bench]).collect();
+    for it in &mut items {
+        it.bench = remap[it.bench];
+    }
+    let dropped_benchmarks = candidate_benchmarks - ctxs.len();
+    assert_eq!(items.len(), 3 * ctxs.len());
+
+    // ------------------------------------- serial pipeline (pre-PR3 world)
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for ctx in &ctxs {
+            legacy_pipeline(ctx).expect("workload benchmarks were pre-validated");
+        }
+    }
+    let pipeline_seconds = start.elapsed().as_secs_f64();
+    let pipeline_qps = (3 * ctxs.len() * rounds) as f64 / pipeline_seconds;
+
+    // --------------------------------------- serial re-parse (warm tables)
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for it in &items {
+            let _ = legacy_execute(&ctxs[it.bench], &it.query);
+        }
+    }
+    let reparse_seconds = start.elapsed().as_secs_f64();
+    let reparse_qps = (items.len() * rounds) as f64 / reparse_seconds;
+
+    // ------------------------------------------------------ engine ladder
+    let ladder: Vec<EngineMeasurement> =
+        [1usize, 2, 4, 8].iter().map(|&w| measure_engine(&ctxs, &items, w, rounds)).collect();
+
+    let four = &ladder[2];
+    let one = &ladder[0];
+    let parallel_speedup_4w = four.queries_per_sec / pipeline_qps;
+    let cache_warm_speedup = one.cold_round_seconds / one.warm_round_seconds_avg;
+
+    // -------------------------------------------------------------- report
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"harness\": \"bench_pr3\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if opts.quick { "quick" } else { "full" });
+    let _ = writeln!(json, "  \"workers_available\": {},", available_workers());
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"benchmarks\": {}, \"dropped_benchmarks\": {dropped_benchmarks}, \"queries_per_round\": {}, \"rounds\": {rounds}}},",
+        ctxs.len(),
+        items.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"serial_pipeline\": {{\"description\": \"pre-engine per-query loop: validate + infer SDT + apply transformer + parse + transpile + eval\", \"queries_per_sec\": {pipeline_qps:.1}, \"total_seconds\": {pipeline_seconds:.4}}},",
+    );
+    let _ = writeln!(
+        json,
+        "  \"serial_reparse\": {{\"description\": \"warm databases, per-query parse + optimize + per-operator compile + eval\", \"queries_per_sec\": {reparse_qps:.1}, \"total_seconds\": {reparse_seconds:.4}}},",
+    );
+    let _ = writeln!(json, "  \"engine\": [");
+    for (i, m) in ladder.iter().enumerate() {
+        let comma = if i + 1 < ladder.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"queries_per_sec\": {:.1}, \"cold_round_seconds\": {:.4}, \"warm_round_seconds_avg\": {:.4}, \"cache_hits\": {}, \"cache_misses\": {}}}{comma}",
+            m.workers,
+            m.queries_per_sec,
+            m.cold_round_seconds,
+            m.warm_round_seconds_avg,
+            m.cache_hits,
+            m.cache_misses
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"differential\": {{\"queries_checked\": {checked}, \"all_agree\": {all_agree}}},"
+    );
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"parallel_speedup_4w\": {parallel_speedup_4w:.2},");
+    let _ = writeln!(json, "    \"cache_warm_speedup\": {cache_warm_speedup:.2},");
+    let _ = writeln!(json, "    \"sweep_all_agree\": {all_agree}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, &json).expect("write bench json");
+
+    println!("workload: {} queries x {rounds} rounds over {} benchmarks", items.len(), ctxs.len());
+    println!("| model | q/s | vs serial pipeline |");
+    println!("|---|---|---|");
+    println!("| serial pipeline (pre-engine per-query loop) | {pipeline_qps:.0} | 1.00x |");
+    println!(
+        "| serial re-parse (warm tables, no plan reuse) | {reparse_qps:.0} | {:.2}x |",
+        reparse_qps / pipeline_qps
+    );
+    for m in &ladder {
+        println!(
+            "| engine, {} worker(s) | {:.0} | {:.2}x |",
+            m.workers,
+            m.queries_per_sec,
+            m.queries_per_sec / pipeline_qps
+        );
+    }
+    println!(
+        "plan cache: cold round {:.4}s, warm rounds {:.4}s avg ({cache_warm_speedup:.2}x), {} hits / {} misses at 4 workers",
+        one.cold_round_seconds, one.warm_round_seconds_avg, four.cache_hits, four.cache_misses
+    );
+    println!("differential: {checked} queries checked, all_agree = {all_agree}");
+    println!("wrote {}", opts.out);
+    if !all_agree {
+        std::process::exit(1);
+    }
+}

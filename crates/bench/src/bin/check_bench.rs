@@ -1,0 +1,214 @@
+//! CI perf-regression gate: compares freshly-emitted bench JSON against a
+//! checked-in baseline and fails if any tracked metric regresses by more
+//! than the tolerance (default 30%).
+//!
+//! Tracked metrics are deliberately **hardware-portable ratios and
+//! booleans**, never absolute timings: a baseline recorded on one machine
+//! must gate runs on another without flaking.
+//!
+//! * If the baseline has a top-level `"gate"` object (`bench_pr3`
+//!   format), every key in it is tracked: numbers must not drop below
+//!   `baseline * (1 - tolerance)`, and `true` booleans must stay `true`.
+//! * Otherwise (`bench_pr2` format) the fallback tracks each
+//!   `families[*].speedup` (matched by family name) and
+//!   `differential.all_engines_agree`.
+//!
+//! Usage: `check_bench --baseline BENCH_PR3.json --fresh BENCH_PR3_CI.json
+//! [--tolerance 0.30]`.  Exits non-zero on the first regression (after
+//! printing the full comparison table).
+
+use graphiti_bench::json::{parse, Json};
+
+struct Options {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut opts = Options { baseline: String::new(), fresh: String::new(), tolerance: 0.30 };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--baseline" if i + 1 < args.len() => {
+                    opts.baseline = args[i + 1].clone();
+                    i += 1;
+                }
+                "--fresh" if i + 1 < args.len() => {
+                    opts.fresh = args[i + 1].clone();
+                    i += 1;
+                }
+                "--tolerance" if i + 1 < args.len() => {
+                    opts.tolerance = args[i + 1].parse().unwrap_or(opts.tolerance);
+                    i += 1;
+                }
+                other => {
+                    eprintln!("unknown argument `{other}`");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        if opts.baseline.is_empty() || opts.fresh.is_empty() {
+            eprintln!(
+                "usage: check_bench --baseline BASELINE.json --fresh FRESH.json [--tolerance 0.30]"
+            );
+            std::process::exit(2);
+        }
+        opts
+    }
+}
+
+struct Check {
+    metric: String,
+    baseline: String,
+    fresh: String,
+    ok: bool,
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Numeric metric: fresh must reach `baseline * (1 - tolerance)`.
+fn check_num(metric: String, baseline: f64, fresh: Option<f64>, tolerance: f64) -> Check {
+    let floor = baseline * (1.0 - tolerance);
+    match fresh {
+        Some(f) => Check {
+            metric,
+            baseline: format!("{baseline:.2}"),
+            fresh: format!("{f:.2}"),
+            ok: f >= floor,
+        },
+        None => Check {
+            metric,
+            baseline: format!("{baseline:.2}"),
+            fresh: "MISSING".to_string(),
+            ok: false,
+        },
+    }
+}
+
+/// Boolean metric: a `true` baseline must stay `true`.
+fn check_bool(metric: String, baseline: bool, fresh: Option<bool>) -> Check {
+    let ok = !baseline || fresh == Some(true);
+    Check {
+        metric,
+        baseline: baseline.to_string(),
+        fresh: fresh.map(|b| b.to_string()).unwrap_or_else(|| "MISSING".to_string()),
+        ok,
+    }
+}
+
+/// Tracks every key of the baseline's `gate` object.
+fn gate_checks(baseline: &Json, fresh: &Json, tolerance: f64) -> Option<Vec<Check>> {
+    let gate = baseline.get("gate")?.as_obj()?;
+    let fresh_gate = fresh.get("gate");
+    let mut checks = Vec::new();
+    for (key, value) in gate {
+        let fresh_value = fresh_gate.and_then(|g| g.get(key));
+        match value {
+            Json::Num(b) => checks.push(check_num(
+                format!("gate.{key}"),
+                *b,
+                fresh_value.and_then(Json::as_num),
+                tolerance,
+            )),
+            Json::Bool(b) => checks.push(check_bool(
+                format!("gate.{key}"),
+                *b,
+                fresh_value.and_then(Json::as_bool),
+            )),
+            _ => {}
+        }
+    }
+    Some(checks)
+}
+
+/// Fallback for gate-less bench JSON (the `bench_pr2` format): per-family
+/// speedups plus the sweep-agreement flag.
+fn family_checks(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let fresh_families = fresh.get("families").and_then(Json::as_arr).unwrap_or(&[]);
+    for family in baseline.get("families").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (Some(name), Some(speedup)) = (
+            family.get("name").and_then(Json::as_str),
+            family.get("speedup").and_then(Json::as_num),
+        ) else {
+            continue;
+        };
+        let fresh_speedup = fresh_families
+            .iter()
+            .find(|f| f.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|f| f.get("speedup"))
+            .and_then(Json::as_num);
+        checks.push(check_num(
+            format!("families.{name}.speedup"),
+            speedup,
+            fresh_speedup,
+            tolerance,
+        ));
+    }
+    if let Some(agree) = baseline
+        .get("differential")
+        .and_then(|d| d.get("all_engines_agree"))
+        .and_then(Json::as_bool)
+    {
+        let fresh_agree = fresh
+            .get("differential")
+            .and_then(|d| d.get("all_engines_agree"))
+            .and_then(Json::as_bool);
+        checks.push(check_bool("differential.all_engines_agree".to_string(), agree, fresh_agree));
+    }
+    checks
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let baseline = load(&opts.baseline);
+    let fresh = load(&opts.fresh);
+
+    let checks = gate_checks(&baseline, &fresh, opts.tolerance)
+        .unwrap_or_else(|| family_checks(&baseline, &fresh, opts.tolerance));
+    if checks.is_empty() {
+        eprintln!("no tracked metrics found in `{}`", opts.baseline);
+        std::process::exit(2);
+    }
+
+    println!(
+        "perf gate: `{}` vs baseline `{}` (tolerance {:.0}%)",
+        opts.fresh,
+        opts.baseline,
+        opts.tolerance * 100.0
+    );
+    println!("| metric | baseline | fresh | status |");
+    println!("|---|---|---|---|");
+    let mut failed = false;
+    for c in &checks {
+        println!(
+            "| {} | {} | {} | {} |",
+            c.metric,
+            c.baseline,
+            c.fresh,
+            if c.ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !c.ok;
+    }
+    if failed {
+        eprintln!(
+            "perf gate FAILED: at least one tracked metric regressed > {:.0}%",
+            opts.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate passed: {} metrics within tolerance", checks.len());
+}

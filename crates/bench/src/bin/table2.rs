@@ -12,5 +12,5 @@ fn main() {
         corpus.len(),
         opts.budget_ms
     );
-    println!("{}", table2(&corpus, opts.budget()));
+    println!("{}", table2(&corpus, opts.budget(), opts.workers));
 }

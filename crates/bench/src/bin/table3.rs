@@ -8,5 +8,5 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let corpus = opts.corpus();
     println!("Table 3: full equivalence verification ({} benchmarks)", corpus.len());
-    println!("{}", table3(&corpus));
+    println!("{}", table3(&corpus, opts.workers));
 }

@@ -12,7 +12,7 @@ fn main() {
          ({} nodes per label in the mock databases)",
         opts.mock_nodes
     );
-    println!("{}", table4(&corpus, opts.mock_nodes));
+    println!("{}", table4(&corpus, opts.mock_nodes, opts.workers));
     println!("Transpilation latency (Section 6.3):");
     println!("{}", transpile_latency(&corpus));
 }

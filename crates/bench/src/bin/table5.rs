@@ -8,5 +8,5 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let corpus = opts.corpus();
     println!("Table 5: transpilation results of the best-effort baseline transpiler");
-    println!("{}", table5(&corpus, opts.diff_instances));
+    println!("{}", table5(&corpus, opts.diff_instances, opts.workers));
 }

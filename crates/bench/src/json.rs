@@ -1,0 +1,297 @@
+//! A minimal JSON reader for the bench harness.
+//!
+//! The workspace is offline (no `serde_json`), and the only JSON the bench
+//! tooling consumes is the JSON the bench tooling *produces*
+//! (`BENCH_PR2.json` / `BENCH_PR3.json`), so a small recursive-descent
+//! parser over the full JSON grammar is all `check_bench` needs.  Numbers
+//! are parsed as `f64`, which is exact for every counter and ratio the
+//! harnesses emit.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order is not preserved; bench JSON never relies on
+    /// it).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member access for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape `{hex}`: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            byte => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let ch_len = match byte {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or_else(|| format!("invalid UTF-8 at byte {}", *pos))?;
+                out.push_str(chunk);
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_json_shape() {
+        let doc = r#"{
+            "harness": "bench_pr3",
+            "mode": "full",
+            "gate": {"parallel_speedup_4w": 2.41, "sweep_all_agree": true},
+            "families": [
+                {"name": "a \"quoted\" name", "speedup": 6.4},
+                {"name": "b", "speedup": 2000.5}
+            ],
+            "empty_arr": [],
+            "empty_obj": {},
+            "neg": -1.5e-3,
+            "nothing": null
+        }"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("harness").and_then(Json::as_str), Some("bench_pr3"));
+        let gate = v.get("gate").unwrap();
+        assert_eq!(gate.get("parallel_speedup_4w").and_then(Json::as_num), Some(2.41));
+        assert_eq!(gate.get("sweep_all_agree").and_then(Json::as_bool), Some(true));
+        let families = v.get("families").and_then(Json::as_arr).unwrap();
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].get("name").and_then(Json::as_str), Some("a \"quoted\" name"));
+        assert_eq!(v.get("neg").and_then(Json::as_num), Some(-0.0015));
+        assert_eq!(v.get("nothing"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn round_trips_the_checked_in_bench_file() {
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR2.json"),
+        )
+        .expect("BENCH_PR2.json is checked in");
+        let v = parse(&text).expect("checked-in bench JSON parses");
+        assert!(v.get("families").and_then(Json::as_arr).is_some());
+    }
+}

@@ -15,6 +15,15 @@
 //!
 //! The corresponding `table1` … `table5` binaries print the reports in a
 //! markdown layout that mirrors the paper, and `all_tables` runs everything.
+//!
+//! The per-benchmark work of Tables 2-5 fans out across a worker pool
+//! ([`graphiti_engine::run_parallel`]); pass `--workers 1` to the binaries
+//! for strictly serial execution (the default uses every available core —
+//! per-benchmark wall-clock averages are then measured under concurrency,
+//! which is representative of service conditions but not of an idle
+//! machine).
+
+pub mod json;
 
 use graphiti_baseline::transpile_best_effort;
 use graphiti_benchmarks::{build_databases, Benchmark, Category};
@@ -196,7 +205,7 @@ pub struct Table2Report {
 ///
 /// `budget` is the wall-clock budget per benchmark (the paper uses 10
 /// minutes; scale it down for quick runs).
-pub fn table2(corpus: &[Benchmark], budget: Duration) -> Table2Report {
+pub fn table2(corpus: &[Benchmark], budget: Duration, workers: usize) -> Table2Report {
     let groups = per_category(corpus);
     let mut report = Table2Report::default();
     let mut totals = Table2Row { category: "Total".into(), ..Default::default() };
@@ -206,10 +215,14 @@ pub fn table2(corpus: &[Benchmark], budget: Duration) -> Table2Report {
         let mut row = Table2Row { category: name.to_string(), ..Default::default() };
         let mut bounds = Vec::new();
         let mut ref_times = Vec::new();
-        for b in &groups[name] {
-            row.count += 1;
+        let benches = &groups[name];
+        let outcomes = graphiti_engine::run_parallel(benches.len(), workers, |i| {
             let checker = BoundedChecker { time_budget: budget, ..BoundedChecker::default() };
-            match run_bmc(b, &checker) {
+            run_bmc(benches[i], &checker)
+        });
+        for (b, outcome) in benches.iter().zip(outcomes) {
+            row.count += 1;
+            match outcome {
                 Ok((CheckOutcome::Refuted(_), stats)) => {
                     row.non_equiv += 1;
                     ref_times.push(stats.elapsed.as_secs_f64());
@@ -321,8 +334,7 @@ pub struct Table3Report {
 }
 
 /// Runs full (unbounded) verification with the deductive backend (Table 3).
-pub fn table3(corpus: &[Benchmark]) -> Table3Report {
-    let checker = DeductiveChecker::new();
+pub fn table3(corpus: &[Benchmark], workers: usize) -> Table3Report {
     let groups = per_category(corpus);
     let mut report = Table3Report::default();
     let mut totals = Table3Row { category: "Total".into(), ..Default::default() };
@@ -330,16 +342,18 @@ pub fn table3(corpus: &[Benchmark]) -> Table3Report {
     for name in ordered_categories() {
         let mut row = Table3Row { category: name.to_string(), ..Default::default() };
         let mut times = Vec::new();
-        for b in &groups[name] {
-            row.count += 1;
-            let Ok(cypher) = b.cypher() else { continue };
-            let Ok(sql) = b.sql() else { continue };
-            let Ok(transformer) = b.transformer() else { continue };
-            let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { continue };
+        let benches = &groups[name];
+        // `Some((verified, seconds))` per supported benchmark.
+        let outcomes = graphiti_engine::run_parallel(benches.len(), workers, |i| {
+            let b = benches[i];
+            let checker = DeductiveChecker::new();
+            let cypher = b.cypher().ok()?;
+            let sql = b.sql().ok()?;
+            let transformer = b.transformer().ok()?;
+            let reduction = reduce(&b.graph_schema, &cypher, &transformer).ok()?;
             if !checker.supports(&reduction.transpiled) || !checker.supports(&sql) {
-                continue;
+                return None;
             }
-            row.supported += 1;
             let start = Instant::now();
             let outcome = checker.check_sql(
                 &reduction.ctx.induced_schema,
@@ -348,10 +362,18 @@ pub fn table3(corpus: &[Benchmark]) -> Table3Report {
                 &sql,
                 &reduction.rdt,
             );
-            times.push(start.elapsed().as_secs_f64());
-            match outcome {
-                Ok(CheckOutcome::Verified) => row.verified += 1,
-                _ => row.unknown += 1,
+            let verified = matches!(outcome, Ok(CheckOutcome::Verified));
+            Some((verified, start.elapsed().as_secs_f64()))
+        });
+        for outcome in outcomes {
+            row.count += 1;
+            let Some((verified, seconds)) = outcome else { continue };
+            row.supported += 1;
+            times.push(seconds);
+            if verified {
+                row.verified += 1;
+            } else {
+                row.unknown += 1;
             }
         }
         row.avg_time_s = if times.is_empty() {
@@ -430,39 +452,49 @@ pub struct Table4Report {
 /// categories are measured, as in the paper.  `nodes_per_label` controls the
 /// data scale (the paper uses 10k–1M rows; the default binaries use a
 /// smaller scale suited to an interpreted engine).
-pub fn table4(corpus: &[Benchmark], nodes_per_label: usize) -> Table4Report {
+pub fn table4(corpus: &[Benchmark], nodes_per_label: usize, workers: usize) -> Table4Report {
     let groups = per_category(corpus);
     let mut report = Table4Report::default();
     let mut all_ratios: Vec<(f64, f64)> = Vec::new();
     for name in ["StackOverflow", "Tutorial", "Academic"] {
         let mut row = Table4Row { category: name.to_string(), ..Default::default() };
-        let mut ratios: Vec<(f64, f64)> = Vec::new();
-        for b in &groups[name] {
-            let Ok(cypher) = b.cypher() else { continue };
-            let Ok(sql) = b.sql() else { continue };
-            let Ok(transformer) = b.transformer() else { continue };
-            let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { continue };
-            let Ok(dbs) = build_databases(
+        let benches = &groups[name];
+        // Each benchmark freezes its databases into an engine snapshot and
+        // executes both queries through the batch engine's compiled-plan
+        // path; per-query wall-clock comes from the engine's outcome
+        // timings.
+        let measured = graphiti_engine::run_parallel(benches.len(), workers, |i| {
+            let b = benches[i];
+            let cypher = b.cypher().ok()?;
+            let sql = b.sql().ok()?;
+            let transformer = b.transformer().ok()?;
+            let reduction = reduce(&b.graph_schema, &cypher, &transformer).ok()?;
+            let dbs = build_databases(
                 &reduction.ctx,
                 &transformer,
                 &b.target_schema,
                 nodes_per_label,
                 2,
                 0xDA7A,
-            ) else {
-                continue;
-            };
-            let start = Instant::now();
-            let transpiled_ok = eval_query(&dbs.induced, &reduction.transpiled).is_ok();
-            let transpiled_time = start.elapsed().as_secs_f64();
-            let start = Instant::now();
-            let manual_ok = eval_query(&dbs.target, &sql).is_ok();
-            let manual_time = start.elapsed().as_secs_f64();
-            if !transpiled_ok || !manual_ok {
-                continue;
+            )
+            .ok()?;
+            let engine = graphiti_engine::Engine::new(graphiti_engine::Snapshot::from_parts(
+                b.graph_schema.clone(),
+                dbs.graph,
+                reduction.ctx.clone(),
+                dbs.induced,
+                [("target".to_string(), dbs.target)],
+            ));
+            let transpiled =
+                engine.execute_sql_ast(&reduction.transpiled, &graphiti_engine::SqlTarget::Induced);
+            let manual = engine
+                .execute_sql_ast(&sql, &graphiti_engine::SqlTarget::Named("target".to_string()));
+            if transpiled.result.is_err() || manual.result.is_err() {
+                return None;
             }
-            ratios.push((transpiled_time, manual_time));
-        }
+            Some((transpiled.micros as f64 / 1e6, manual.micros as f64 / 1e6))
+        });
+        let ratios: Vec<(f64, f64)> = measured.into_iter().flatten().collect();
         row.count = ratios.len();
         if !ratios.is_empty() {
             row.avg_transpiled_s = ratios.iter().map(|(t, _)| t).sum::<f64>() / ratios.len() as f64;
@@ -567,30 +599,28 @@ pub struct Table5Report {
 /// baseline SQL and Graphiti's transpiled SQL are executed on a battery of
 /// randomly generated induced-schema instances; any observed difference
 /// classifies the output as incorrect.
-pub fn table5(corpus: &[Benchmark], instances_per_query: usize) -> Table5Report {
+pub fn table5(corpus: &[Benchmark], instances_per_query: usize, workers: usize) -> Table5Report {
     let groups = per_category(corpus);
     let mut report = Table5Report::default();
     let mut totals = Table5Row { category: "Total".into(), ..Default::default() };
     for name in ordered_categories() {
         let mut row = Table5Row { category: name.to_string(), ..Default::default() };
-        for b in &groups[name] {
-            row.count += 1;
+        let benches = &groups[name];
+        let verdicts = graphiti_engine::run_parallel(benches.len(), workers, |i| {
+            let b = benches[i];
             let Ok(cypher) = b.cypher() else {
-                row.unsupported += 1;
-                continue;
+                return Table5Verdict::Unsupported;
             };
             let Ok(ctx) = graphiti_core::infer_sdt(&b.graph_schema) else {
-                row.unsupported += 1;
-                continue;
+                return Table5Verdict::Unsupported;
             };
             match transpile_best_effort(&ctx, &cypher) {
-                Err(_) => row.unsupported += 1,
+                Err(_) => Table5Verdict::Unsupported,
                 Ok(sql_text) => match graphiti_sql::parse_query(&sql_text) {
-                    Err(_) => row.syn_err += 1,
+                    Err(_) => Table5Verdict::SynErr,
                     Ok(baseline_sql) => {
                         let Ok(sound_sql) = graphiti_core::transpile_query(&ctx, &cypher) else {
-                            row.unsupported += 1;
-                            continue;
+                            return Table5Verdict::Unsupported;
                         };
                         match differential_check(
                             &ctx.induced_schema,
@@ -598,12 +628,21 @@ pub fn table5(corpus: &[Benchmark], instances_per_query: usize) -> Table5Report 
                             &sound_sql,
                             instances_per_query,
                         ) {
-                            DifferentialVerdict::Agrees => row.correct += 1,
-                            DifferentialVerdict::Differs => row.incorrect += 1,
-                            DifferentialVerdict::ExecutionError => row.syn_err += 1,
+                            DifferentialVerdict::Agrees => Table5Verdict::Correct,
+                            DifferentialVerdict::Differs => Table5Verdict::Incorrect,
+                            DifferentialVerdict::ExecutionError => Table5Verdict::SynErr,
                         }
                     }
                 },
+            }
+        });
+        for verdict in verdicts {
+            row.count += 1;
+            match verdict {
+                Table5Verdict::Unsupported => row.unsupported += 1,
+                Table5Verdict::SynErr => row.syn_err += 1,
+                Table5Verdict::Incorrect => row.incorrect += 1,
+                Table5Verdict::Correct => row.correct += 1,
             }
         }
         totals.count += row.count;
@@ -621,6 +660,13 @@ enum DifferentialVerdict {
     Agrees,
     Differs,
     ExecutionError,
+}
+
+enum Table5Verdict {
+    Unsupported,
+    SynErr,
+    Incorrect,
+    Correct,
 }
 
 fn differential_check(
@@ -732,17 +778,25 @@ pub struct HarnessOptions {
     pub mock_nodes: usize,
     /// Random instances per query for the Table 5 differential check.
     pub diff_instances: usize,
+    /// Worker threads for the per-benchmark fan-out (Tables 2-5).
+    pub workers: usize,
 }
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        HarnessOptions { scale: 1, budget_ms: 1500, mock_nodes: 2000, diff_instances: 40 }
+        HarnessOptions {
+            scale: 1,
+            budget_ms: 1500,
+            mock_nodes: 2000,
+            diff_instances: 40,
+            workers: graphiti_engine::available_workers(),
+        }
     }
 }
 
 impl HarnessOptions {
     /// Parses `--scale N`, `--budget-ms N`, `--mock-nodes N`,
-    /// `--diff-instances N` from command-line arguments.
+    /// `--diff-instances N`, `--workers N` from command-line arguments.
     pub fn from_args() -> Self {
         let mut opts = HarnessOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -755,6 +809,7 @@ impl HarnessOptions {
                 "--diff-instances" => {
                     opts.diff_instances = args[i + 1].parse().unwrap_or(opts.diff_instances)
                 }
+                "--workers" => opts.workers = args[i + 1].parse().unwrap_or(opts.workers),
                 _ => {}
             }
             i += 2;
@@ -805,7 +860,7 @@ mod tests {
     #[test]
     fn table3_and_latency_run_on_a_small_corpus() {
         let corpus = small_corpus(30);
-        let t3 = table3(&corpus);
+        let t3 = table3(&corpus, 2);
         let total = t3.rows.last().unwrap();
         assert!(total.supported <= total.count);
         assert_eq!(total.verified + total.unknown, total.supported);
@@ -823,7 +878,7 @@ mod tests {
             })
             .collect();
         assert_eq!(corpus.len(), 2);
-        let report = table2(&corpus, Duration::from_millis(800));
+        let report = table2(&corpus, Duration::from_millis(800), 2);
         let total = report.rows.last().unwrap();
         assert_eq!(total.count, 2);
         assert_eq!(total.non_equiv, 1);
@@ -833,7 +888,7 @@ mod tests {
     #[test]
     fn table5_classifies_baseline_output() {
         let corpus = small_corpus(40);
-        let report = table5(&corpus, 12);
+        let report = table5(&corpus, 12, 2);
         let total = report.rows.last().unwrap();
         assert_eq!(
             total.unsupported + total.syn_err + total.incorrect + total.correct,
@@ -854,7 +909,7 @@ mod tests {
             })
             .take(6)
             .collect();
-        let report = table4(&corpus, 200);
+        let report = table4(&corpus, 200, 2);
         let total = report.rows.last().unwrap();
         assert!(total.count > 0);
         let pct_sum = total.pct_transpiled_faster

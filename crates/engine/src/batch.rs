@@ -1,0 +1,223 @@
+//! The batch execution service.
+//!
+//! An [`Engine`] binds one immutable [`Snapshot`] to one [`PlanCache`] and
+//! evaluates batches of Cypher and SQL queries across a small worker pool.
+//! Workers are scoped threads pulling indexes from a shared atomic counter
+//! (a minimal work-stealing queue): cheap items don't stall behind
+//! expensive ones, results land in submission order, and nothing outlives
+//! the call — no runtime dependency, no detached threads.
+
+use crate::cache::{CacheStats, PlanCache, SqlPlan};
+use crate::run_parallel;
+use crate::snapshot::{Snapshot, SqlTarget};
+use graphiti_common::Result;
+use graphiti_relational::Table;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One query of a batch.
+#[derive(Debug, Clone)]
+pub enum BatchQuery {
+    /// A Cypher query over the snapshot's graph.
+    Cypher {
+        /// Query text.
+        text: String,
+    },
+    /// A SQL query over one of the snapshot's relational instances.
+    Sql {
+        /// Query text.
+        text: String,
+        /// Which instance to evaluate against.
+        target: SqlTarget,
+    },
+}
+
+impl BatchQuery {
+    /// A Cypher query over the graph.
+    pub fn cypher(text: impl Into<String>) -> BatchQuery {
+        BatchQuery::Cypher { text: text.into() }
+    }
+
+    /// A SQL query over the induced (SDT-image) instance.
+    pub fn sql(text: impl Into<String>) -> BatchQuery {
+        BatchQuery::Sql { text: text.into(), target: SqlTarget::Induced }
+    }
+
+    /// A SQL query over a named extra instance.
+    pub fn sql_on(target: impl Into<String>, text: impl Into<String>) -> BatchQuery {
+        BatchQuery::Sql { text: text.into(), target: SqlTarget::Named(target.into()) }
+    }
+
+    /// The query text.
+    pub fn text(&self) -> &str {
+        match self {
+            BatchQuery::Cypher { text } | BatchQuery::Sql { text, .. } => text,
+        }
+    }
+}
+
+/// The result of one query of a batch.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The result table, or the pipeline error (parse, plan, or eval).
+    pub result: Result<Table>,
+    /// Wall-clock microseconds spent on this query (including cache
+    /// lookup, parse/compile on a miss, and evaluation).
+    pub micros: u64,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// The result of a whole batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Wall-clock microseconds for the whole batch.
+    pub wall_micros: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cache hits attributable to this batch.
+    pub cache_hits: u64,
+    /// Cache misses attributable to this batch.
+    pub cache_misses: u64,
+}
+
+impl BatchReport {
+    /// Number of successful queries.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// Number of failed queries.
+    pub fn err_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// Batch throughput in queries per second (`0` for an empty batch).
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 / (self.wall_micros as f64 / 1e6)
+    }
+}
+
+/// A parallel batch query service over one frozen snapshot.
+#[derive(Debug)]
+pub struct Engine {
+    snapshot: Arc<Snapshot>,
+    cache: PlanCache,
+}
+
+impl Engine {
+    /// Creates an engine (with an empty plan cache) over a snapshot.
+    pub fn new(snapshot: Arc<Snapshot>) -> Engine {
+        Engine { snapshot, cache: PlanCache::new() }
+    }
+
+    /// Convenience: freeze `schema`/`graph` and build an engine over it.
+    pub fn for_graph(
+        schema: graphiti_graph::GraphSchema,
+        graph: graphiti_graph::GraphInstance,
+    ) -> Result<Engine> {
+        Ok(Engine::new(Snapshot::freeze(schema, graph)?))
+    }
+
+    /// The engine's snapshot.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes one query, consulting (and populating) the plan cache.
+    pub fn execute(&self, query: &BatchQuery) -> QueryOutcome {
+        let start = Instant::now();
+        let (result, cache_hit) = match query {
+            BatchQuery::Cypher { text } => self.execute_cypher(text),
+            BatchQuery::Sql { text, target } => self.execute_sql(text, target),
+        };
+        QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
+    }
+
+    fn execute_cypher(&self, text: &str) -> (Result<Table>, bool) {
+        let (ast, hit) = match self.cache.cypher(text, || graphiti_cypher::parse_query(text)) {
+            Ok(pair) => pair,
+            Err(e) => return (Err(e), false),
+        };
+        (graphiti_cypher::eval_query(self.snapshot.schema(), self.snapshot.graph(), &ast), hit)
+    }
+
+    fn execute_sql(&self, text: &str, target: &SqlTarget) -> (Result<Table>, bool) {
+        let instance = match self.snapshot.sql_instance(target) {
+            Ok(i) => i,
+            Err(e) => return (Err(e), false),
+        };
+        let (plan, hit) = match self.cache.sql(text, target, || {
+            let ast = graphiti_sql::parse_query(text)?;
+            let plan = graphiti_sql::compile_query(instance, &ast)?;
+            Ok(SqlPlan { ast, plan })
+        }) {
+            Ok(pair) => pair,
+            Err(e) => return (Err(e), false),
+        };
+        (graphiti_sql::eval_compiled(instance, &plan.plan), hit)
+    }
+
+    /// Executes an already-parsed SQL query through the snapshot and plan
+    /// cache (keyed by the AST's rendered text), skipping the text parser.
+    ///
+    /// This is the entry point for callers that hold a transpiler's output:
+    /// the differential oracle evaluates transpiled ASTs exactly, with no
+    /// pretty-print/re-parse round-trip in the trusted path.
+    pub fn execute_sql_ast(
+        &self,
+        ast: &graphiti_sql::SqlQuery,
+        target: &SqlTarget,
+    ) -> QueryOutcome {
+        let start = Instant::now();
+        let (result, cache_hit) = match self.snapshot.sql_instance(target) {
+            Err(e) => (Err(e), false),
+            Ok(instance) => {
+                let text = graphiti_sql::query_to_string(ast);
+                match self.cache.sql(&text, target, || {
+                    let plan = graphiti_sql::compile_query(instance, ast)?;
+                    Ok(SqlPlan { ast: ast.clone(), plan })
+                }) {
+                    Ok((plan, hit)) => (graphiti_sql::eval_compiled(instance, &plan.plan), hit),
+                    Err(e) => (Err(e), false),
+                }
+            }
+        };
+        QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
+    }
+
+    /// Evaluates a batch across `workers` threads, returning per-query
+    /// outcomes in submission order plus aggregate timing and cache
+    /// counters.
+    ///
+    /// `workers == 1` runs inline on the caller's thread (a true serial
+    /// baseline with zero thread overhead); higher counts use scoped
+    /// threads over an atomic work queue.  Results are deterministic:
+    /// every query sees the same immutable snapshot, and the only shared
+    /// mutable state is the plan cache, which never changes results (a
+    /// cached plan is exactly what the miss path would have built).
+    pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
+        let before = self.cache.stats();
+        let start = Instant::now();
+        let outcomes = run_parallel(batch.len(), workers, |i| self.execute(&batch[i]));
+        let wall_micros = start.elapsed().as_micros() as u64;
+        let after = self.cache.stats();
+        BatchReport {
+            outcomes,
+            wall_micros,
+            workers: workers.max(1),
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+        }
+    }
+}

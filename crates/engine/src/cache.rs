@@ -1,0 +1,280 @@
+//! The query-plan cache.
+//!
+//! Keyed by **normalized query text** (whitespace-collapsed, case
+//! preserved — string literals are case-significant) plus the query's
+//! language and SQL target, the cache stores everything the hot path would
+//! otherwise recompute per request:
+//!
+//! * Cypher: the parsed [`Query`](graphiti_cypher::ast::Query) AST;
+//! * SQL: the parsed AST **and** the fully-compiled
+//!   [`CompiledQuery`](graphiti_sql::CompiledQuery) positional program
+//!   (parse + optimize + compile all happen at most once per distinct
+//!   query text).
+//!
+//! Entries are `Arc`s, so a cache hit is a map lookup plus a refcount
+//! bump; the plan itself is shared by however many workers are executing
+//! the same query concurrently.  Parse failures are deliberately *not*
+//! cached: error traffic stays cold rather than occupying the table.
+
+use crate::snapshot::SqlTarget;
+use graphiti_common::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached, ready-to-execute SQL entry: the parsed AST plus the compiled
+/// positional program.
+#[derive(Debug)]
+pub struct SqlPlan {
+    /// The parsed (unoptimized) AST, kept for introspection and transpiler
+    /// round-trips.
+    pub ast: graphiti_sql::SqlQuery,
+    /// The compiled plan executed by
+    /// [`eval_compiled`](graphiti_sql::eval_compiled).
+    pub plan: graphiti_sql::CompiledQuery,
+}
+
+/// A cached plan: one variant per query language.
+#[derive(Debug, Clone)]
+pub enum CachedPlan {
+    /// A parsed Cypher query.
+    Cypher(Arc<graphiti_cypher::ast::Query>),
+    /// A parsed + compiled SQL query.
+    Sql(Arc<SqlPlan>),
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse/compile.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe plan cache.
+///
+/// The table lock is held only for lookups and inserts — never while
+/// parsing, compiling, or executing — so workers contend for nanoseconds,
+/// not milliseconds.  Two workers racing on the same cold key may both
+/// compile; the second insert wins and both count as misses, which keeps
+/// the counters honest about work actually performed.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    table: Mutex<HashMap<String, CachedPlan>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Collapses runs of whitespace so formatting differences don't defeat the
+/// cache — **outside string literals only**.  Everything between quotes
+/// (single or double, matching both lexers) is copied verbatim: `'A  B'`
+/// and `'A B'` are different values and must never share a cache key.
+/// Case is preserved throughout: identifiers resolve case-insensitively
+/// anyway, and literal contents are case-significant.
+pub fn normalize_query_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    push_normalized(&mut out, text);
+    out
+}
+
+/// Single-pass, quote-aware whitespace collapse appended onto an existing
+/// buffer — the cache-key builder runs once per query executed, so it
+/// stays one allocation total.
+fn push_normalized(out: &mut String, text: &str) {
+    let mut in_quote: Option<char> = None;
+    let mut pending_space = false;
+    for ch in text.chars() {
+        match in_quote {
+            Some(quote) => {
+                out.push(ch);
+                if ch == quote {
+                    in_quote = None;
+                }
+            }
+            None if ch.is_whitespace() => {
+                // Collapse the run; emit one space only if content follows.
+                pending_space = !out.is_empty();
+            }
+            None => {
+                if pending_space {
+                    out.push(' ');
+                    pending_space = false;
+                }
+                if ch == '\'' || ch == '"' {
+                    in_quote = Some(ch);
+                }
+                out.push(ch);
+            }
+        }
+    }
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    fn key(kind: &str, target: Option<&SqlTarget>, text: &str) -> String {
+        let mut key = String::with_capacity(kind.len() + text.len() + 24);
+        key.push_str(kind);
+        key.push('\u{1}');
+        match target {
+            None => {}
+            Some(SqlTarget::Induced) => key.push_str("induced\u{1}"),
+            Some(SqlTarget::Named(name)) => {
+                key.push_str("named:");
+                key.push_str(name);
+                key.push('\u{1}');
+            }
+        }
+        push_normalized(&mut key, text);
+        key
+    }
+
+    /// Looks up or builds the Cypher plan for `text`.  The boolean is
+    /// `true` on a cache hit.
+    pub fn cypher(
+        &self,
+        text: &str,
+        build: impl FnOnce() -> Result<graphiti_cypher::ast::Query>,
+    ) -> Result<(Arc<graphiti_cypher::ast::Query>, bool)> {
+        let key = PlanCache::key("cypher", None, text);
+        if let Some(CachedPlan::Cypher(q)) = self.lookup(&key) {
+            return Ok((q, true));
+        }
+        let built = Arc::new(build()?);
+        self.insert(key, CachedPlan::Cypher(Arc::clone(&built)));
+        Ok((built, false))
+    }
+
+    /// Looks up or builds the SQL plan for `text` against `target`.  The
+    /// boolean is `true` on a cache hit.
+    pub fn sql(
+        &self,
+        text: &str,
+        target: &SqlTarget,
+        build: impl FnOnce() -> Result<SqlPlan>,
+    ) -> Result<(Arc<SqlPlan>, bool)> {
+        let key = PlanCache::key("sql", Some(target), text);
+        if let Some(CachedPlan::Sql(p)) = self.lookup(&key) {
+            return Ok((p, true));
+        }
+        let built = Arc::new(build()?);
+        self.insert(key, CachedPlan::Sql(Arc::clone(&built)));
+        Ok((built, false))
+    }
+
+    fn lookup(&self, key: &str) -> Option<CachedPlan> {
+        let table = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        match table.get(key) {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: String, plan: CachedPlan) {
+        let mut table = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        table.insert(key, plan);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.table.lock().unwrap_or_else(|p| p.into_inner()).len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_collapses_whitespace_only() {
+        assert_eq!(
+            normalize_query_text("SELECT  e.name\n FROM emp   AS e"),
+            "SELECT e.name FROM emp AS e"
+        );
+        // Case is preserved.
+        assert_eq!(normalize_query_text("SELECT 'A b'"), "SELECT 'A b'");
+    }
+
+    #[test]
+    fn normalization_preserves_whitespace_inside_literals() {
+        // `'A  B'` and `'A B'` are different values: their keys must
+        // differ, including for tabs/newlines inside the quotes.
+        assert_eq!(normalize_query_text("WHERE  x = 'A  B'"), "WHERE x = 'A  B'");
+        assert_ne!(
+            normalize_query_text("WHERE x = 'A  B'"),
+            normalize_query_text("WHERE x = 'A B'")
+        );
+        assert_eq!(normalize_query_text("RETURN 'a\n\tb'  AS x"), "RETURN 'a\n\tb' AS x");
+        assert_eq!(normalize_query_text("SELECT \"q  q\"  FROM t"), "SELECT \"q  q\" FROM t");
+        // Whitespace collapsing resumes after the literal closes.
+        assert_eq!(normalize_query_text("x = 'A  B'   AND  y"), "x = 'A  B' AND y");
+    }
+
+    #[test]
+    fn literal_whitespace_variants_get_distinct_cache_entries() {
+        let cache = PlanCache::new();
+        // The build closure's output is irrelevant to the keying under
+        // test; what matters is that the two texts (differing only in
+        // whitespace *inside* a literal) don't collide.
+        let parse = || graphiti_cypher::parse_query("MATCH (n:EMP) RETURN n.id AS a");
+        let a = "MATCH (n:EMP) WHERE n.name = 'A  B' RETURN n.id AS a";
+        let b = "MATCH (n:EMP) WHERE n.name = 'A B' RETURN n.id AS a";
+        let (_, hit_a) = cache.cypher(a, parse).unwrap();
+        let (_, hit_b) = cache.cypher(b, parse).unwrap();
+        assert!(!hit_a && !hit_b, "distinct literals must not share an entry");
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = PlanCache::new();
+        let parse = || graphiti_cypher::parse_query("MATCH (n:EMP) RETURN n.id AS a");
+        let (first, hit1) = cache.cypher("MATCH (n:EMP) RETURN n.id AS a", parse).unwrap();
+        assert!(!hit1);
+        let (second, hit2) = cache.cypher("MATCH (n:EMP)  RETURN n.id AS a", parse).unwrap();
+        assert!(hit2, "whitespace-normalized lookup must hit");
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = PlanCache::new();
+        let bad = cache.cypher("MATCH (((", || graphiti_cypher::parse_query("MATCH ((("));
+        assert!(bad.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // The failed lookup still counts as a miss.
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Parallel batch query execution for the Graphiti reproduction.
+//!
+//! Everything below the engine is a pure function of immutable data —
+//! evaluators take `&GraphInstance` / `&RelInstance` and return fresh
+//! tables — so serving a batch of queries concurrently needs exactly three
+//! pieces, which this crate provides:
+//!
+//! * [`Snapshot`] — one frozen, validated database state (graph +
+//!   adjacency indexes + SDT context + induced relational image + extra
+//!   named instances) behind an `Arc`, shared by all workers without
+//!   locks;
+//! * [`PlanCache`] — a query-plan cache keyed by normalized query text
+//!   that stores parsed Cypher ASTs and parsed **+ compiled** SQL plans
+//!   ([`graphiti_sql::CompiledQuery`]), so repeated queries skip parse,
+//!   optimize, and compile entirely;
+//! * [`Engine`] — the batch service: [`Engine::run_batch`] spreads a
+//!   `&[BatchQuery]` across a scoped worker pool (atomic-counter work
+//!   stealing, no runtime dependencies) and returns a [`BatchReport`]
+//!   with per-query results, timings, and cache hit/miss counters.
+//!
+//! # Example
+//!
+//! ```
+//! use graphiti_engine::{BatchQuery, Engine};
+//! use graphiti_graph::{GraphSchema, GraphInstance, NodeType, EdgeType};
+//! use graphiti_common::Value;
+//!
+//! let schema = GraphSchema::new()
+//!     .with_node(NodeType::new("EMP", ["id", "name"]))
+//!     .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+//!     .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]));
+//! let mut g = GraphInstance::new();
+//! let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+//! let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+//! g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+//!
+//! let engine = Engine::for_graph(schema, g).unwrap();
+//! let batch = vec![
+//!     BatchQuery::cypher("MATCH (n:EMP) RETURN n.name AS who"),
+//!     BatchQuery::sql("SELECT d.dname FROM DEPT AS d"),
+//! ];
+//! let report = engine.run_batch(&batch, 4);
+//! assert_eq!(report.ok_count(), 2);
+//! // Warm run: both plans come from the cache.
+//! let warm = engine.run_batch(&batch, 4);
+//! assert_eq!(warm.cache_hits, 2);
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod snapshot;
+
+pub use batch::{BatchQuery, BatchReport, Engine, QueryOutcome};
+pub use cache::{normalize_query_text, CacheStats, CachedPlan, PlanCache, SqlPlan};
+pub use snapshot::{Snapshot, SqlTarget};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The host's available parallelism (`1` if it cannot be determined).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `count` independent tasks across `workers` scoped threads and
+/// collects the results in index order.
+///
+/// Work distribution is a shared atomic counter — the cheapest possible
+/// work-stealing queue: each worker claims the next unclaimed index, so
+/// skewed per-task costs balance automatically.  `workers <= 1` (or a
+/// single task) runs inline on the caller's thread.  A panicking task
+/// propagates after all workers have stopped.
+pub fn run_parallel<T, F>(count: usize, workers: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // Workers buffer (index, value) pairs locally and merge under one lock
+    // at exit, so the per-item cost is a single relaxed fetch-add.
+    let merged: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    local.push((i, task(i)));
+                }
+                merged.lock().unwrap_or_else(|p| p.into_inner()).extend(local);
+            });
+        }
+    });
+    let mut pairs = merged.into_inner().unwrap_or_else(|p| p.into_inner());
+    debug_assert_eq!(pairs.len(), count, "every index is claimed by exactly one worker");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+// The whole point of the snapshot design: everything a worker touches is
+// plain owned data.  These assertions fail to *compile* if anyone
+// reintroduces `Rc`, raw interior mutability, or a non-`Sync` field
+// anywhere in the snapshot/plan type graph.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<graphiti_common::Value>();
+    assert_send_sync::<graphiti_graph::GraphInstance>();
+    assert_send_sync::<graphiti_graph::GraphSchema>();
+    assert_send_sync::<graphiti_relational::RelInstance>();
+    assert_send_sync::<graphiti_relational::Table>();
+    assert_send_sync::<graphiti_core::SdtContext>();
+    assert_send_sync::<graphiti_cypher::ast::Query>();
+    assert_send_sync::<graphiti_sql::SqlQuery>();
+    assert_send_sync::<graphiti_sql::CompiledQuery>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<Engine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_common::Value;
+    use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    fn emp_graph() -> GraphInstance {
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let _ee = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, cs, [("wid", Value::Int(11))]);
+        g
+    }
+
+    fn test_batch() -> Vec<BatchQuery> {
+        vec![
+            BatchQuery::cypher("MATCH (n:EMP) RETURN n.name AS who"),
+            BatchQuery::cypher(
+                "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS d, Count(n) AS c",
+            ),
+            BatchQuery::sql("SELECT d.dname FROM DEPT AS d"),
+            BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e"),
+            BatchQuery::cypher("MATCH (((bad syntax"),
+        ]
+    }
+
+    #[test]
+    fn run_parallel_preserves_index_order() {
+        let out = run_parallel(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        let serial = run_parallel(10, 1, |i| i + 1);
+        assert_eq!(serial, (1..=10).collect::<Vec<_>>());
+        assert!(run_parallel(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn freeze_rejects_invalid_graphs() {
+        let mut g = emp_graph();
+        g.add_node("GHOST", [("x", Value::Int(1))]);
+        assert!(Snapshot::freeze(emp_schema(), g).is_err());
+    }
+
+    #[test]
+    fn batches_evaluate_and_report_errors_per_query() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let report = engine.run_batch(&test_batch(), 4);
+        assert_eq!(report.outcomes.len(), 5);
+        assert_eq!(report.ok_count(), 4);
+        assert!(report.outcomes[4].result.is_err(), "bad syntax must fail in isolation");
+        assert_eq!(report.outcomes[0].result.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_batches_match_serial_batches() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let batch = test_batch();
+        let serial = engine.run_batch(&batch, 1);
+        for workers in [2, 4, 8] {
+            let parallel = engine.run_batch(&batch, workers);
+            for (s, p) in serial.outcomes.iter().zip(parallel.outcomes.iter()) {
+                assert_eq!(s.result.is_ok(), p.result.is_ok());
+                if let (Ok(st), Ok(pt)) = (&s.result, &p.result) {
+                    assert_eq!(st, pt);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_runs_hit_the_cache_and_agree_with_cold_runs() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let batch: Vec<BatchQuery> =
+            test_batch().into_iter().filter(|q| !q.text().contains("bad")).collect();
+        let cold = engine.run_batch(&batch, 2);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses as usize, batch.len());
+        let warm = engine.run_batch(&batch, 2);
+        assert_eq!(warm.cache_hits as usize, batch.len());
+        assert_eq!(warm.cache_misses, 0);
+        for (c, w) in cold.outcomes.iter().zip(warm.outcomes.iter()) {
+            assert_eq!(c.result.as_ref().unwrap(), w.result.as_ref().unwrap());
+            assert!(w.cache_hit);
+        }
+    }
+
+    #[test]
+    fn sql_ast_entry_point_matches_text_entry_point() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let text = "SELECT d.dname FROM DEPT AS d";
+        let ast = graphiti_sql::parse_query(text).unwrap();
+        let via_ast = engine.execute_sql_ast(&ast, &SqlTarget::Induced);
+        let via_text = engine.execute(&BatchQuery::sql(text));
+        assert_eq!(via_ast.result.unwrap(), via_text.result.unwrap());
+    }
+
+    #[test]
+    fn named_targets_resolve_and_unknown_targets_error() {
+        let mut extra = graphiti_relational::RelInstance::new();
+        extra.insert_table(
+            "t",
+            graphiti_relational::Table::with_rows(["x"], vec![vec![Value::Int(7)]]),
+        );
+        let snapshot =
+            Snapshot::freeze_with(emp_schema(), emp_graph(), [("side".to_string(), extra)])
+                .unwrap();
+        let engine = Engine::new(snapshot);
+        let ok = engine.execute(&BatchQuery::sql_on("side", "SELECT t.x FROM t"));
+        assert_eq!(ok.result.unwrap().rows, vec![vec![Value::Int(7)]]);
+        let missing = engine.execute(&BatchQuery::sql_on("nope", "SELECT t.x FROM t"));
+        assert!(missing.result.is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Immutable, cheaply-shareable database snapshots.
+//!
+//! A [`Snapshot`] freezes one property graph together with everything a
+//! query service needs to answer both Cypher and SQL traffic against it:
+//! the validated [`GraphInstance`] (adjacency indexes included), the
+//! inferred [`SdtContext`], the SDT-image [`RelInstance`] the transpiler
+//! targets, and any number of additional named relational instances (e.g.
+//! a benchmark's user-transformed target database).
+//!
+//! Snapshots are handed out as `Arc<Snapshot>`: cloning a handle is a
+//! reference-count bump, and every contained type is plain owned data
+//! (`String`s, `Vec`s, maps, interned `Arc<str>` values), so a snapshot is
+//! `Send + Sync` and can back any number of worker threads without
+//! locking.
+
+use graphiti_common::Result;
+use graphiti_core::{infer_sdt, SdtContext};
+use graphiti_graph::{GraphInstance, GraphSchema};
+use graphiti_relational::RelInstance;
+use graphiti_transformer::apply_to_graph;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The SQL-side evaluation target of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SqlTarget {
+    /// The SDT-image of the frozen graph (what transpiled queries run on).
+    Induced,
+    /// One of the extra named instances registered at freeze time.
+    Named(String),
+}
+
+impl std::fmt::Display for SqlTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlTarget::Induced => f.write_str("induced"),
+            SqlTarget::Named(n) => write!(f, "named:{n}"),
+        }
+    }
+}
+
+/// A frozen, validated, query-ready database state.
+#[derive(Debug)]
+pub struct Snapshot {
+    schema: GraphSchema,
+    graph: GraphInstance,
+    ctx: SdtContext,
+    induced: RelInstance,
+    extra: BTreeMap<String, RelInstance>,
+}
+
+impl Snapshot {
+    /// Validates `graph` against `schema`, infers the SDT, materializes the
+    /// induced relational instance, and freezes everything into a shared
+    /// snapshot.
+    pub fn freeze(schema: GraphSchema, graph: GraphInstance) -> Result<Arc<Snapshot>> {
+        Snapshot::freeze_with(schema, graph, [])
+    }
+
+    /// [`Snapshot::freeze`] plus additional named relational instances that
+    /// SQL batch queries can target via [`SqlTarget::Named`].
+    pub fn freeze_with(
+        schema: GraphSchema,
+        graph: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+    ) -> Result<Arc<Snapshot>> {
+        graph.validate(&schema)?;
+        let ctx = infer_sdt(&schema)?;
+        let induced = apply_to_graph(&ctx.sdt, &schema, &graph, &ctx.induced_schema)?;
+        Ok(Arc::new(Snapshot { schema, graph, ctx, induced, extra: extra.into_iter().collect() }))
+    }
+
+    /// Assembles a snapshot from already-computed parts (e.g. a benchmark
+    /// harness that built the databases itself).  The caller vouches that
+    /// `induced` really is the `ctx.sdt`-image of `graph`.
+    pub fn from_parts(
+        schema: GraphSchema,
+        graph: GraphInstance,
+        ctx: SdtContext,
+        induced: RelInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+    ) -> Arc<Snapshot> {
+        Arc::new(Snapshot { schema, graph, ctx, induced, extra: extra.into_iter().collect() })
+    }
+
+    /// The graph schema.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// The frozen graph instance.
+    pub fn graph(&self) -> &GraphInstance {
+        &self.graph
+    }
+
+    /// The inferred SDT context (induced schema + standard transformer).
+    pub fn ctx(&self) -> &SdtContext {
+        &self.ctx
+    }
+
+    /// The SDT-image relational instance.
+    pub fn induced(&self) -> &RelInstance {
+        &self.induced
+    }
+
+    /// Resolves a SQL target to its relational instance.
+    pub fn sql_instance(&self, target: &SqlTarget) -> Result<&RelInstance> {
+        match target {
+            SqlTarget::Induced => Ok(&self.induced),
+            SqlTarget::Named(name) => self.extra.get(name).ok_or_else(|| {
+                graphiti_common::Error::eval(format!("unknown snapshot target `{name}`"))
+            }),
+        }
+    }
+
+    /// Names of the extra registered instances.
+    pub fn extra_targets(&self) -> impl Iterator<Item = &str> {
+        self.extra.keys().map(String::as_str)
+    }
+}

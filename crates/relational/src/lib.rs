@@ -16,4 +16,4 @@ pub mod table;
 
 pub use instance::RelInstance;
 pub use schema::{Constraint, RelSchema, Relation};
-pub use table::{Row, Table};
+pub use table::{column_index_in, Row, Table};

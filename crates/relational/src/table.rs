@@ -68,33 +68,7 @@ impl Table {
     ///    is unambiguous;
     /// 3. case-insensitive versions of the two rules above.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        if let Some(i) = self.columns.iter().position(|c| c == name) {
-            return Some(i);
-        }
-        let suffix_matches: Vec<usize> = self
-            .columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| unqualified(c) == name)
-            .map(|(i, _)| i)
-            .collect();
-        if suffix_matches.len() == 1 {
-            return Some(suffix_matches[0]);
-        }
-        if let Some(i) = self.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-            return Some(i);
-        }
-        let ci_matches: Vec<usize> = self
-            .columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| unqualified(c).eq_ignore_ascii_case(name))
-            .map(|(i, _)| i)
-            .collect();
-        if ci_matches.len() == 1 {
-            return Some(ci_matches[0]);
-        }
-        None
+        column_index_in(&self.columns, name)
     }
 
     /// Returns a row's value in the named column, if the column exists.
@@ -287,6 +261,42 @@ pub fn cmp_rows(a: &Row, b: &Row) -> std::cmp::Ordering {
         }
     }
     a.len().cmp(&b.len())
+}
+
+/// [`Table::column_index`] over a bare column list, so layout-only passes
+/// (plan compilation) can replay result-column resolution without
+/// materializing a table.
+///
+/// Resolution is in four steps, mirroring SQL name resolution: exact match
+/// on the full (possibly qualified) name; unambiguous match on the
+/// unqualified suffix (`CID` matches `c2.CID`); then case-insensitive
+/// versions of both rules.
+pub fn column_index_in(columns: &[String], name: &str) -> Option<usize> {
+    if let Some(i) = columns.iter().position(|c| c == name) {
+        return Some(i);
+    }
+    let suffix_matches: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| unqualified(c) == name)
+        .map(|(i, _)| i)
+        .collect();
+    if suffix_matches.len() == 1 {
+        return Some(suffix_matches[0]);
+    }
+    if let Some(i) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+        return Some(i);
+    }
+    let ci_matches: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| unqualified(c).eq_ignore_ascii_case(name))
+        .map(|(i, _)| i)
+        .collect();
+    if ci_matches.len() == 1 {
+        return Some(ci_matches[0]);
+    }
+    None
 }
 
 /// Strips a qualifier prefix: `c2.CID` → `CID`.

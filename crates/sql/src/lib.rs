@@ -42,10 +42,12 @@ pub mod eval;
 pub mod lexer;
 pub mod optimize;
 pub mod parser;
+pub mod plan;
 pub mod pretty;
 
 pub use ast::{ColumnRef, JoinKind, SelectItem, SqlExpr, SqlPred, SqlQuery};
-pub use eval::{eval_query, eval_query_unoptimized, resolve_column};
+pub use eval::{eval_compiled, eval_query, eval_query_unoptimized, resolve_column};
 pub use optimize::optimize;
 pub use parser::parse_query;
+pub use plan::{compile_query, CompiledQuery};
 pub use pretty::query_to_string;

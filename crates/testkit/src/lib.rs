@@ -34,5 +34,7 @@ pub mod fixtures;
 pub mod oracle;
 pub mod strategies;
 
-pub use oracle::{differential_oracle, differential_oracle_against_sql, OracleError};
+pub use oracle::{
+    differential_oracle, differential_oracle_against_sql, differential_oracle_batch, OracleError,
+};
 pub use strategies::{arb_cypher, arb_instance, ArbCypher, ArbInstance};

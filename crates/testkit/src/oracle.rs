@@ -6,12 +6,21 @@
 //! SDT-image of the graph. [`differential_oracle`] checks exactly that on
 //! concrete inputs, and is the primitive every property test in the
 //! workspace builds on.
+//!
+//! Evaluation runs through [`graphiti_engine`]: the (graph, SDT-image)
+//! pair is frozen into a [`Snapshot`], the Cypher side executes through
+//! the engine's cached-plan path, and the SQL side executes the transpiled
+//! AST through the compiled-plan path — so every oracle invocation across
+//! the workspace's property tests also differentially exercises the
+//! production batch engine against the paper's semantics.
+//! [`differential_oracle_batch`] amortizes one snapshot over many queries
+//! and fans the checks out across a worker pool.
 
-use graphiti_core::{infer_sdt, transpile_query};
+use graphiti_core::transpile_query;
 use graphiti_cypher::ast::Query;
+use graphiti_engine::{BatchQuery, Engine, SqlTarget};
 use graphiti_graph::{GraphInstance, GraphSchema};
 use graphiti_relational::Table;
-use graphiti_transformer::apply_to_graph;
 
 /// Why the oracle could not confirm soundness.
 #[derive(Debug)]
@@ -96,17 +105,25 @@ fn differential_oracle_impl(
     cypher_text: &str,
     sql_text: Option<&str>,
 ) -> Result<(Table, Table), OracleError> {
-    graph.validate(schema)?;
-    let query = graphiti_cypher::parse_query(cypher_text)?;
-    let ctx = infer_sdt(schema)?;
+    let engine = Engine::for_graph(schema.clone(), graph.clone())?;
+    check_one(&engine, cypher_text, sql_text)
+}
 
-    let cypher_result = graphiti_cypher::eval_query(schema, graph, &query)?;
-    let induced = apply_to_graph(&ctx.sdt, schema, graph, &ctx.induced_schema)?;
+/// Runs one (cypher, optional handwritten sql) check through a prebuilt
+/// engine.
+#[allow(clippy::result_large_err)]
+fn check_one(
+    engine: &Engine,
+    cypher_text: &str,
+    sql_text: Option<&str>,
+) -> Result<(Table, Table), OracleError> {
+    let query = graphiti_cypher::parse_query(cypher_text)?;
+    let cypher_result = engine.execute(&BatchQuery::cypher(cypher_text)).result?;
     let sql = match sql_text {
-        None => transpile_query(&ctx, &query)?,
+        None => transpile_query(engine.snapshot().ctx(), &query)?,
         Some(text) => graphiti_sql::parse_query(text)?,
     };
-    let sql_result = graphiti_sql::eval_query(&induced, &sql)?;
+    let sql_result = engine.execute_sql_ast(&sql, &SqlTarget::Induced).result?;
 
     let equivalent = if matches!(query, Query::OrderBy { .. }) {
         cypher_result.equivalent_ordered(&sql_result)
@@ -123,6 +140,27 @@ fn differential_oracle_impl(
             sql_result,
         })
     }
+}
+
+/// Checks the soundness property for many queries against one graph,
+/// freezing a single engine snapshot and fanning the per-query checks out
+/// across `workers` threads.
+///
+/// Returns the per-query result tables in input order, or the first error
+/// in input order.  Because the engine's plan cache is shared across the
+/// batch, this also exercises concurrent cache fills under the oracle.
+#[allow(clippy::result_large_err)]
+pub fn differential_oracle_batch(
+    schema: &GraphSchema,
+    graph: &GraphInstance,
+    queries: &[&str],
+    workers: usize,
+) -> Result<Vec<(Table, Table)>, OracleError> {
+    let engine = Engine::for_graph(schema.clone(), graph.clone())?;
+    let results = graphiti_engine::run_parallel(queries.len(), workers, |i| {
+        check_one(&engine, queries[i], None)
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -206,7 +244,7 @@ mod tests {
         let schema = fixtures::emp::schema();
         let graph = fixtures::emp::graph();
         let cypher = fixtures::emp::QUERIES[1];
-        let ctx = infer_sdt(&schema).unwrap();
+        let ctx = graphiti_core::infer_sdt(&schema).unwrap();
         let sql = transpile_query(&ctx, &graphiti_cypher::parse_query(cypher).unwrap()).unwrap();
         let sql_text = graphiti_sql::query_to_string(&sql);
         differential_oracle_against_sql(&schema, &graph, cypher, &sql_text)

@@ -19,7 +19,9 @@
 //! * [`graphiti_transformer`] — the database-transformer DSL;
 //! * [`graphiti_checkers`] — the bounded and deductive backends;
 //! * [`graphiti_baseline`] — the best-effort baseline transpiler;
-//! * [`graphiti_benchmarks`] — the evaluation corpus and mock data.
+//! * [`graphiti_benchmarks`] — the evaluation corpus and mock data;
+//! * [`graphiti_engine`] — the parallel batch execution service (shared
+//!   snapshots + query-plan cache + worker pool).
 //!
 //! Tests additionally use `graphiti-testkit` (shared fixtures, proptest
 //! generators, and the differential soundness oracle); it is a
@@ -60,6 +62,7 @@ pub use graphiti_checkers as checkers;
 pub use graphiti_common as common;
 pub use graphiti_core as core;
 pub use graphiti_cypher as cypher;
+pub use graphiti_engine as engine;
 pub use graphiti_graph as graph;
 pub use graphiti_relational as relational;
 pub use graphiti_sql as sql;

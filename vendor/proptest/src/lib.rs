@@ -356,6 +356,16 @@ pub mod test_runner {
         }
     }
 
+    /// Applies a `PROPTEST_CASES`-style override to a config.  Factored
+    /// out of [`TestRunner::new`] so it is testable without mutating
+    /// process-global environment state from a parallel test harness.
+    pub fn apply_cases_override(mut config: ProptestConfig, raw: Option<String>) -> ProptestConfig {
+        if let Some(cases) = raw.and_then(|s| s.parse::<u32>().ok()) {
+            config.cases = cases;
+        }
+        config
+    }
+
     /// Drives a property over `config.cases` generated inputs.
     pub struct TestRunner {
         config: ProptestConfig,
@@ -365,7 +375,13 @@ pub mod test_runner {
     impl TestRunner {
         /// Creates a runner seeded from `PROPTEST_SEED` (or a fixed default,
         /// so test runs are reproducible).
+        ///
+        /// Like real proptest, the `PROPTEST_CASES` environment variable
+        /// overrides the configured case count — the nightly
+        /// differential-fuzz CI job uses this to deepen every property in
+        /// the workspace without touching per-test configs.
         pub fn new(config: ProptestConfig) -> Self {
+            let config = apply_cases_override(config, std::env::var("PROPTEST_CASES").ok());
             let seed = std::env::var("PROPTEST_SEED")
                 .ok()
                 .and_then(|s| s.parse::<u64>().ok())
@@ -561,5 +577,15 @@ mod tests {
             prop_assert_eq!(ys.len(), ys.len());
             prop_assert_ne!(x, 3);
         }
+    }
+
+    #[test]
+    fn proptest_cases_override_replaces_configured_count() {
+        use crate::test_runner::{apply_cases_override, ProptestConfig};
+        let base = ProptestConfig::with_cases(99);
+        assert_eq!(apply_cases_override(base.clone(), Some("7".to_string())).cases, 7);
+        // Absent or unparsable values leave the config untouched.
+        assert_eq!(apply_cases_override(base.clone(), None).cases, 99);
+        assert_eq!(apply_cases_override(base, Some("not-a-number".to_string())).cases, 99);
     }
 }
