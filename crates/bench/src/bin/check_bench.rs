@@ -6,14 +6,20 @@
 //! booleans**, never absolute timings: a baseline recorded on one machine
 //! must gate runs on another without flaking.
 //!
-//! * If the baseline has a top-level `"gate"` object (`bench_pr3`
-//!   format), every key in it is tracked: numbers must not drop below
-//!   `baseline * (1 - tolerance)`, and `true` booleans must stay `true`.
+//! * If the baseline has a top-level `"gate"` object (`bench_pr3`/
+//!   `bench_pr4` format), every key in it is tracked: numbers must not
+//!   drop below `baseline * (1 - tolerance)`, and `true` booleans must
+//!   stay `true`.
+//! * If the baseline additionally has a `"floors"` object, every key in
+//!   it is an **absolute minimum** for the fresh run's matching `gate`
+//!   metric — no tolerance applied.  This is how `bench_pr4` pins
+//!   `vectorized_speedup >= 2.0` as a hard requirement rather than a
+//!   relative one.
 //! * Otherwise (`bench_pr2` format) the fallback tracks each
 //!   `families[*].speedup` (matched by family name) and
 //!   `differential.all_engines_agree`.
 //!
-//! Usage: `check_bench --baseline BENCH_PR3.json --fresh BENCH_PR3_CI.json
+//! Usage: `check_bench --baseline BENCH_PR4.json --fresh BENCH_PR4_CI.json
 //! [--tolerance 0.30]`.  Exits non-zero on the first regression (after
 //! printing the full comparison table).
 
@@ -131,7 +137,38 @@ fn gate_checks(baseline: &Json, fresh: &Json, tolerance: f64) -> Option<Vec<Chec
             _ => {}
         }
     }
+    checks.extend(floor_checks(baseline, fresh));
     Some(checks)
+}
+
+/// Tracks every key of the baseline's optional `floors` object: the fresh
+/// run's matching `gate` metric must meet the floor *absolutely* (no
+/// tolerance — a floor is a requirement, not a baseline).
+fn floor_checks(baseline: &Json, fresh: &Json) -> Vec<Check> {
+    let mut checks = Vec::new();
+    let Some(floors) = baseline.get("floors").and_then(Json::as_obj) else {
+        return checks;
+    };
+    let fresh_gate = fresh.get("gate");
+    for (key, value) in floors {
+        let Json::Num(floor) = value else { continue };
+        let fresh_value = fresh_gate.and_then(|g| g.get(key)).and_then(Json::as_num);
+        checks.push(match fresh_value {
+            Some(f) => Check {
+                metric: format!("floors.{key}"),
+                baseline: format!(">= {floor:.2}"),
+                fresh: format!("{f:.2}"),
+                ok: f >= *floor,
+            },
+            None => Check {
+                metric: format!("floors.{key}"),
+                baseline: format!(">= {floor:.2}"),
+                fresh: "MISSING".to_string(),
+                ok: false,
+            },
+        });
+    }
+    checks
 }
 
 /// Fallback for gate-less bench JSON (the `bench_pr2` format): per-family

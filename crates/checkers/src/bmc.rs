@@ -85,9 +85,22 @@ impl BoundedChecker {
             let rows = rng.gen_range(0..=bound);
             let mut table = Table::new(rel.attrs.iter().map(|a| a.as_str().to_string()));
             let mut used_pks: Vec<Value> = Vec::new();
+            // Resolve each attribute's FK target (table + column index)
+            // once per relation, not once per generated row — the
+            // per-row `column_index` scan was the generator's hot spot.
+            let fk_targets: Vec<Option<(&Table, usize)>> = rel
+                .attrs
+                .iter()
+                .map(|attr| {
+                    let (_, ref_rel, ref_attr) = fks.iter().find(|(a, _, _)| a == &attr)?;
+                    let t = inst.table(ref_rel.as_str())?;
+                    let idx = t.column_index(ref_attr.as_str())?;
+                    Some((t, idx))
+                })
+                .collect();
             'rows: for row_idx in 0..rows {
                 let mut row = Vec::with_capacity(rel.arity());
-                for attr in &rel.attrs {
+                for (attr_pos, attr) in rel.attrs.iter().enumerate() {
                     let is_pk = pk.as_ref().map(|p| p == attr).unwrap_or(false);
                     let fk = fks.iter().find(|(a, _, _)| *a == attr);
                     let value = if is_pk {
@@ -104,10 +117,10 @@ impl BoundedChecker {
                         }
                         used_pks.push(v.clone());
                         v
-                    } else if let Some((_, ref_rel, ref_attr)) = fk {
-                        // Pick an existing referenced value.
-                        let referenced = inst.table(ref_rel.as_str()).and_then(|t| {
-                            let idx = t.column_index(ref_attr.as_str())?;
+                    } else if fk.is_some() {
+                        // Pick an existing referenced value from the
+                        // pre-resolved target table/column.
+                        let referenced = fk_targets[attr_pos].and_then(|(t, idx)| {
                             if t.rows.is_empty() {
                                 None
                             } else {

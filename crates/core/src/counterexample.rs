@@ -10,11 +10,15 @@
 use crate::infer_sdt::{SdtContext, SRC_ATTR, TGT_ATTR};
 use graphiti_common::{Error, Result, Value};
 use graphiti_graph::{GraphInstance, NodeId};
-use graphiti_relational::RelInstance;
+use graphiti_relational::{NameIndex, RelInstance};
 use std::collections::HashMap;
 
 /// Converts an instance of the induced relational schema into the graph
 /// instance it is the SDT-image of.
+///
+/// Column indexes are resolved **once per table** through a precomputed
+/// [`NameIndex`] — not re-scanned per row, which used to make lifting a
+/// large counterexample O(rows × columns²).
 pub fn lift_to_graph(ctx: &SdtContext, induced: &RelInstance) -> Result<GraphInstance> {
     let mut graph = GraphInstance::new();
     // (label, default-key value) -> node id
@@ -22,34 +26,51 @@ pub fn lift_to_graph(ctx: &SdtContext, induced: &RelInstance) -> Result<GraphIns
 
     for node_ty in &ctx.graph_schema.node_types {
         let Some(table) = induced.table(node_ty.label.as_str()) else { continue };
+        let names = NameIndex::new(&table.columns);
+        let key_idx: Vec<(&str, usize)> = node_ty
+            .keys
+            .iter()
+            .map(|k| {
+                let idx = names.get(k.as_str()).ok_or_else(|| {
+                    Error::transformer(format!(
+                        "induced table `{}` is missing column `{k}`",
+                        node_ty.label
+                    ))
+                })?;
+                Ok((k.as_str(), idx))
+            })
+            .collect::<Result<_>>()?;
+        let pk_idx = names.get(node_ty.default_key().as_str()).unwrap_or(0);
         for row in &table.rows {
-            let props: Vec<(String, Value)> = node_ty
-                .keys
-                .iter()
-                .map(|k| {
-                    let idx = table.column_index(k.as_str()).ok_or_else(|| {
-                        Error::transformer(format!(
-                            "induced table `{}` is missing column `{k}`",
-                            node_ty.label
-                        ))
-                    })?;
-                    Ok((k.as_str().to_string(), row[idx].clone()))
-                })
-                .collect::<Result<_>>()?;
+            let props: Vec<(String, Value)> =
+                key_idx.iter().map(|&(k, idx)| (k.to_string(), row[idx].clone())).collect();
             let id = graph.add_node(node_ty.label.clone(), props);
-            let pk_idx = table.column_index(node_ty.default_key().as_str()).unwrap_or(0);
             node_index.insert((node_ty.label.as_str().to_string(), row[pk_idx].clone()), id);
         }
     }
 
     for edge_ty in &ctx.graph_schema.edge_types {
         let Some(table) = induced.table(edge_ty.label.as_str()) else { continue };
-        let src_idx = table.column_index(SRC_ATTR).ok_or_else(|| {
+        let names = NameIndex::new(&table.columns);
+        let src_idx = names.get(SRC_ATTR).ok_or_else(|| {
             Error::transformer(format!("edge table `{}` is missing `SRC`", edge_ty.label))
         })?;
-        let tgt_idx = table.column_index(TGT_ATTR).ok_or_else(|| {
+        let tgt_idx = names.get(TGT_ATTR).ok_or_else(|| {
             Error::transformer(format!("edge table `{}` is missing `TGT`", edge_ty.label))
         })?;
+        let key_idx: Vec<(&str, usize)> = edge_ty
+            .keys
+            .iter()
+            .map(|k| {
+                let idx = names.get(k.as_str()).ok_or_else(|| {
+                    Error::transformer(format!(
+                        "induced table `{}` is missing column `{k}`",
+                        edge_ty.label
+                    ))
+                })?;
+                Ok((k.as_str(), idx))
+            })
+            .collect::<Result<_>>()?;
         for row in &table.rows {
             let src_key = (edge_ty.src.as_str().to_string(), row[src_idx].clone());
             let tgt_key = (edge_ty.tgt.as_str().to_string(), row[tgt_idx].clone());
@@ -60,19 +81,8 @@ pub fn lift_to_graph(ctx: &SdtContext, induced: &RelInstance) -> Result<GraphIns
                     edge_ty.label
                 )));
             };
-            let props: Vec<(String, Value)> = edge_ty
-                .keys
-                .iter()
-                .map(|k| {
-                    let idx = table.column_index(k.as_str()).ok_or_else(|| {
-                        Error::transformer(format!(
-                            "induced table `{}` is missing column `{k}`",
-                            edge_ty.label
-                        ))
-                    })?;
-                    Ok((k.as_str().to_string(), row[idx].clone()))
-                })
-                .collect::<Result<_>>()?;
+            let props: Vec<(String, Value)> =
+                key_idx.iter().map(|&(k, idx)| (k.to_string(), row[idx].clone())).collect();
             graph.add_edge(edge_ty.label.clone(), src, tgt, props);
         }
     }

@@ -1,18 +1,30 @@
 //! The batch execution service.
 //!
 //! An [`Engine`] binds one immutable [`Snapshot`] to one [`PlanCache`] and
-//! evaluates batches of Cypher and SQL queries across a small worker pool.
-//! Workers are scoped threads pulling indexes from a shared atomic counter
-//! (a minimal work-stealing queue): cheap items don't stall behind
-//! expensive ones, results land in submission order, and nothing outlives
-//! the call — no runtime dependency, no detached threads.
+//! evaluates batches of Cypher and SQL queries across a worker pool.  SQL
+//! runs **vectorized**: cached compiled plans execute column-at-a-time over
+//! the snapshot's columnar image
+//! ([`eval_vectorized`](graphiti_sql::eval_vectorized)); the row-at-a-time
+//! [`eval_compiled`](graphiti_sql::eval_compiled) path stays available (and
+//! differentially tested) as the oracle.
+//!
+//! Parallel batches are served by a **persistent** [`WorkerPool`]: threads
+//! spawn once per engine (lazily, on the first parallel batch) and are fed
+//! jobs over a channel, so repeated small batches never pay thread-spawn
+//! latency.  Within a batch, participating workers drain a shared atomic
+//! work queue — cheap items don't stall behind expensive ones — and
+//! results land in submission order.  The pre-pool per-batch scoped-thread
+//! path is retained as [`Engine::run_batch_unpooled`] for ablation
+//! benchmarks.
 
 use crate::cache::{CacheStats, PlanCache, SqlPlan};
-use crate::run_parallel;
+use crate::pool::WorkerPool;
 use crate::snapshot::{Snapshot, SqlTarget};
 use graphiti_common::Result;
 use graphiti_relational::Table;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One query of a batch.
@@ -103,17 +115,37 @@ impl BatchReport {
     }
 }
 
+/// The shared, thread-safe core of an engine: everything workers touch.
+#[derive(Debug)]
+struct EngineInner {
+    snapshot: Arc<Snapshot>,
+    cache: PlanCache,
+}
+
 /// A parallel batch query service over one frozen snapshot.
 #[derive(Debug)]
 pub struct Engine {
-    snapshot: Arc<Snapshot>,
-    cache: PlanCache,
+    inner: Arc<EngineInner>,
+    /// Lazily-spawned persistent worker pool (first parallel batch).
+    pool: OnceLock<WorkerPool>,
 }
 
 impl Engine {
     /// Creates an engine (with an empty plan cache) over a snapshot.
     pub fn new(snapshot: Arc<Snapshot>) -> Engine {
-        Engine { snapshot, cache: PlanCache::new() }
+        Engine {
+            inner: Arc::new(EngineInner { snapshot, cache: PlanCache::new() }),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// [`Engine::new`] with an explicit plan-cache capacity (see
+    /// [`PlanCache::with_capacity`]).
+    pub fn with_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner { snapshot, cache: PlanCache::with_capacity(capacity) }),
+            pool: OnceLock::new(),
+        }
     }
 
     /// Convenience: freeze `schema`/`graph` and build an engine over it.
@@ -126,16 +158,142 @@ impl Engine {
 
     /// The engine's snapshot.
     pub fn snapshot(&self) -> &Arc<Snapshot> {
-        &self.snapshot
+        &self.inner.snapshot
     }
 
     /// Current plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.cache.stats()
     }
 
     /// Executes one query, consulting (and populating) the plan cache.
     pub fn execute(&self, query: &BatchQuery) -> QueryOutcome {
+        self.inner.execute(query)
+    }
+
+    /// Executes an already-parsed SQL query through the snapshot and plan
+    /// cache (keyed by the AST's rendered text), skipping the text parser.
+    ///
+    /// This is the entry point for callers that hold a transpiler's output:
+    /// the differential oracle evaluates transpiled ASTs exactly, with no
+    /// pretty-print/re-parse round-trip in the trusted path.
+    pub fn execute_sql_ast(
+        &self,
+        ast: &graphiti_sql::SqlQuery,
+        target: &SqlTarget,
+    ) -> QueryOutcome {
+        self.inner.execute_sql_ast(ast, target)
+    }
+
+    /// Evaluates a batch across up to `workers` pool threads, returning
+    /// per-query outcomes in submission order plus aggregate timing and
+    /// cache counters.
+    ///
+    /// `workers == 1` runs inline on the caller's thread (a true serial
+    /// baseline with zero dispatch overhead); higher counts enqueue one
+    /// drain job per participating worker on the engine's persistent pool
+    /// (spawned once, on first use).  Results are deterministic: every
+    /// query sees the same immutable snapshot, and the only shared mutable
+    /// state is the plan cache, which never changes results (a cached plan
+    /// is exactly what the miss path would have built).
+    pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
+        self.run_batch_with(batch, workers, true)
+    }
+
+    /// The pre-pool execution model: `workers` *scoped threads spawned for
+    /// this batch alone*, torn down at the end.  Retained as the ablation
+    /// baseline the persistent pool is benchmarked against (`bench_pr4`'s
+    /// small-batch comparison); results are identical to
+    /// [`Engine::run_batch`].
+    pub fn run_batch_unpooled(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
+        self.run_batch_with(batch, workers, false)
+    }
+
+    fn run_batch_with(&self, batch: &[BatchQuery], workers: usize, pooled: bool) -> BatchReport {
+        let before = self.inner.cache.stats();
+        let start = Instant::now();
+        let workers = workers.max(1).min(batch.len().max(1));
+        let outcomes = if workers <= 1 {
+            batch.iter().map(|q| self.inner.execute(q)).collect()
+        } else if pooled {
+            self.dispatch_pooled(batch, workers)
+        } else {
+            crate::run_parallel(batch.len(), workers, |i| self.inner.execute(&batch[i]))
+        };
+        let wall_micros = start.elapsed().as_micros() as u64;
+        let after = self.inner.cache.stats();
+        BatchReport {
+            outcomes,
+            wall_micros,
+            workers,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+        }
+    }
+
+    /// Fans a batch across the persistent pool: one drain job per
+    /// participating worker, all pulling indexes from a shared atomic
+    /// counter, results merged and re-ordered at the end.
+    fn dispatch_pooled(&self, batch: &[BatchQuery], workers: usize) -> Vec<QueryOutcome> {
+        let pool = self.pool.get_or_init(|| WorkerPool::new(default_pool_threads()));
+        let jobs = workers.min(pool.threads());
+        let shared = Arc::new(BatchState {
+            inner: Arc::clone(&self.inner),
+            queries: batch.to_vec(),
+            next: AtomicUsize::new(0),
+            merged: Mutex::new(Vec::with_capacity(batch.len())),
+        });
+        let (done_tx, done_rx) = channel::<()>();
+        for _ in 0..jobs {
+            let state = Arc::clone(&shared);
+            let done = done_tx.clone();
+            pool.submit(Box::new(move || {
+                // Buffer locally, merge under one lock at exit: per-item
+                // cost is a single relaxed fetch-add.
+                let mut local: Vec<(usize, QueryOutcome)> = Vec::new();
+                loop {
+                    let i = state.next.fetch_add(1, Ordering::Relaxed);
+                    if i >= state.queries.len() {
+                        break;
+                    }
+                    local.push((i, state.inner.execute(&state.queries[i])));
+                }
+                state.merged.lock().unwrap_or_else(|p| p.into_inner()).extend(local);
+                let _ = done.send(());
+            }));
+        }
+        drop(done_tx);
+        let mut finished = 0;
+        while finished < jobs {
+            match done_rx.recv() {
+                Ok(()) => finished += 1,
+                Err(_) => break, // a worker died; detected below
+            }
+        }
+        let mut pairs =
+            std::mem::take(&mut *shared.merged.lock().unwrap_or_else(|p| p.into_inner()));
+        assert_eq!(pairs.len(), batch.len(), "a pool worker panicked mid-batch");
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        pairs.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// Pool size: every available core, but at least 8 so worker-ladder
+/// benchmarks exercise real threads even on small hosts.
+fn default_pool_threads() -> usize {
+    crate::available_workers().max(8)
+}
+
+/// Everything one in-flight batch shares with its pool jobs.
+struct BatchState {
+    inner: Arc<EngineInner>,
+    queries: Vec<BatchQuery>,
+    next: AtomicUsize,
+    merged: Mutex<Vec<(usize, QueryOutcome)>>,
+}
+
+impl EngineInner {
+    fn execute(&self, query: &BatchQuery) -> QueryOutcome {
         let start = Instant::now();
         let (result, cache_hit) = match query {
             BatchQuery::Cypher { text } => self.execute_cypher(text),
@@ -157,6 +315,10 @@ impl Engine {
             Ok(i) => i,
             Err(e) => return (Err(e), false),
         };
+        let columnar = match self.snapshot.sql_columnar(target) {
+            Ok(c) => c,
+            Err(e) => return (Err(e), false),
+        };
         let (plan, hit) = match self.cache.sql(text, target, || {
             let ast = graphiti_sql::parse_query(text)?;
             let plan = graphiti_sql::compile_query(instance, &ast)?;
@@ -165,59 +327,27 @@ impl Engine {
             Ok(pair) => pair,
             Err(e) => return (Err(e), false),
         };
-        (graphiti_sql::eval_compiled(instance, &plan.plan), hit)
+        (graphiti_sql::eval_vectorized(instance, columnar, &plan.plan), hit)
     }
 
-    /// Executes an already-parsed SQL query through the snapshot and plan
-    /// cache (keyed by the AST's rendered text), skipping the text parser.
-    ///
-    /// This is the entry point for callers that hold a transpiler's output:
-    /// the differential oracle evaluates transpiled ASTs exactly, with no
-    /// pretty-print/re-parse round-trip in the trusted path.
-    pub fn execute_sql_ast(
-        &self,
-        ast: &graphiti_sql::SqlQuery,
-        target: &SqlTarget,
-    ) -> QueryOutcome {
+    fn execute_sql_ast(&self, ast: &graphiti_sql::SqlQuery, target: &SqlTarget) -> QueryOutcome {
         let start = Instant::now();
-        let (result, cache_hit) = match self.snapshot.sql_instance(target) {
-            Err(e) => (Err(e), false),
-            Ok(instance) => {
-                let text = graphiti_sql::query_to_string(ast);
-                match self.cache.sql(&text, target, || {
-                    let plan = graphiti_sql::compile_query(instance, ast)?;
-                    Ok(SqlPlan { ast: ast.clone(), plan })
-                }) {
-                    Ok((plan, hit)) => (graphiti_sql::eval_compiled(instance, &plan.plan), hit),
-                    Err(e) => (Err(e), false),
+        let (result, cache_hit) =
+            match (self.snapshot.sql_instance(target), self.snapshot.sql_columnar(target)) {
+                (Ok(instance), Ok(columnar)) => {
+                    let text = graphiti_sql::query_to_string(ast);
+                    match self.cache.sql(&text, target, || {
+                        let plan = graphiti_sql::compile_query(instance, ast)?;
+                        Ok(SqlPlan { ast: ast.clone(), plan })
+                    }) {
+                        Ok((plan, hit)) => {
+                            (graphiti_sql::eval_vectorized(instance, columnar, &plan.plan), hit)
+                        }
+                        Err(e) => (Err(e), false),
+                    }
                 }
-            }
-        };
+                (Err(e), _) | (_, Err(e)) => (Err(e), false),
+            };
         QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
-    }
-
-    /// Evaluates a batch across `workers` threads, returning per-query
-    /// outcomes in submission order plus aggregate timing and cache
-    /// counters.
-    ///
-    /// `workers == 1` runs inline on the caller's thread (a true serial
-    /// baseline with zero thread overhead); higher counts use scoped
-    /// threads over an atomic work queue.  Results are deterministic:
-    /// every query sees the same immutable snapshot, and the only shared
-    /// mutable state is the plan cache, which never changes results (a
-    /// cached plan is exactly what the miss path would have built).
-    pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
-        let before = self.cache.stats();
-        let start = Instant::now();
-        let outcomes = run_parallel(batch.len(), workers, |i| self.execute(&batch[i]));
-        let wall_micros = start.elapsed().as_micros() as u64;
-        let after = self.cache.stats();
-        BatchReport {
-            outcomes,
-            wall_micros,
-            workers: workers.max(1),
-            cache_hits: after.hits - before.hits,
-            cache_misses: after.misses - before.misses,
-        }
     }
 }

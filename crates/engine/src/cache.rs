@@ -15,12 +15,24 @@
 //! bump; the plan itself is shared by however many workers are executing
 //! the same query concurrently.  Parse failures are deliberately *not*
 //! cached: error traffic stays cold rather than occupying the table.
+//!
+//! The cache is **bounded**: it holds at most its configured capacity
+//! (default [`DEFAULT_PLAN_CACHE_CAPACITY`]) and evicts the
+//! least-recently-used entry on overflow, so adversarial traffic of
+//! unique query texts cannot grow memory without limit.  Recency is a
+//! monotonic clock stamp per entry plus a stamp-ordered side index, making
+//! both the touch on a hit and the eviction on an insert `O(log n)`.
 
 use crate::snapshot::SqlTarget;
 use graphiti_common::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default bound on resident plans.  Far above any benign workload's
+/// distinct-query count (the corpus sweep holds 612), far below memory
+/// exhaustion for adversarial unique-text traffic.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
 
 /// A cached, ready-to-execute SQL entry: the parsed AST plus the compiled
 /// positional program.
@@ -52,6 +64,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Maximum resident entries.
+    pub capacity: usize,
 }
 
 impl CacheStats {
@@ -66,18 +82,36 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe plan cache.
+/// A thread-safe, capacity-bounded LRU plan cache.
 ///
 /// The table lock is held only for lookups and inserts — never while
 /// parsing, compiling, or executing — so workers contend for nanoseconds,
 /// not milliseconds.  Two workers racing on the same cold key may both
 /// compile; the second insert wins and both count as misses, which keeps
 /// the counters honest about work actually performed.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
-    table: Mutex<HashMap<String, CachedPlan>>,
+    inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    capacity: usize,
+    /// Monotonic recency clock; every lookup hit and insert advances it.
+    clock: u64,
+    /// Key → (plan, last-touch stamp).
+    table: HashMap<String, (CachedPlan, u64)>,
+    /// Stamp → key, ordered: the first entry is the LRU eviction victim.
+    order: BTreeMap<u64, String>,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
 }
 
 /// Collapses runs of whitespace so formatting differences don't defeat the
@@ -125,9 +159,24 @@ fn push_normalized(out: &mut String, text: &str) {
 }
 
 impl PlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> PlanCache {
-        PlanCache::default()
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(CacheInner {
+                capacity: capacity.max(1),
+                clock: 0,
+                table: HashMap::new(),
+                order: BTreeMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     fn key(kind: &str, target: Option<&SqlTarget>, text: &str) -> String {
@@ -181,11 +230,19 @@ impl PlanCache {
     }
 
     fn lookup(&self, key: &str) -> Option<CachedPlan> {
-        let table = self.table.lock().unwrap_or_else(|p| p.into_inner());
-        match table.get(key) {
-            Some(entry) => {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.table.get(key).map(|(plan, old)| (plan.clone(), *old)) {
+            Some((plan, old_stamp)) => {
+                // Touch: re-stamp the entry so it moves to the MRU end.
+                inner.order.remove(&old_stamp);
+                inner.order.insert(stamp, key.to_string());
+                if let Some(entry) = inner.table.get_mut(key) {
+                    entry.1 = stamp;
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.clone())
+                Some(plan)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -195,17 +252,32 @@ impl PlanCache {
     }
 
     fn insert(&self, key: String, plan: CachedPlan) {
-        let mut table = self.table.lock().unwrap_or_else(|p| p.into_inner());
-        table.insert(key, plan);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old_stamp) = inner.table.get(&key).map(|(_, s)| *s) {
+            // Replacement keeps the table size; just re-stamp.
+            inner.order.remove(&old_stamp);
+        } else if inner.table.len() >= inner.capacity {
+            // Evict the least-recently-used entry.
+            if let Some((_, victim)) = inner.order.pop_first() {
+                inner.table.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.order.insert(stamp, key.clone());
+        inner.table.insert(key, (plan, stamp));
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.table.lock().unwrap_or_else(|p| p.into_inner()).len();
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries,
+            entries: inner.table.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: inner.capacity,
         }
     }
 }
@@ -276,5 +348,62 @@ mod tests {
         assert_eq!(cache.stats().entries, 0);
         // The failed lookup still counts as a miss.
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    fn cypher_text(i: usize) -> String {
+        format!("MATCH (n:EMP) RETURN n.id AS a{i}")
+    }
+
+    fn fill(cache: &PlanCache, i: usize) -> bool {
+        let text = cypher_text(i);
+        let (_, hit) =
+            cache.cypher(&text, || graphiti_cypher::parse_query(&cypher_text(i))).unwrap();
+        hit
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction_order() {
+        let cache = PlanCache::with_capacity(2);
+        assert!(!fill(&cache, 0)); // resident: {0}
+        assert!(!fill(&cache, 1)); // resident: {0, 1}
+        assert!(fill(&cache, 0)); // touch 0 → 1 is now LRU
+        assert!(!fill(&cache, 2)); // evicts 1; resident: {0, 2}
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, 2);
+        assert!(fill(&cache, 0), "the touched entry must have survived");
+        assert!(fill(&cache, 2), "the fresh insert must have survived");
+        assert!(!fill(&cache, 1), "the LRU entry must have been evicted");
+        assert_eq!(cache.stats().evictions, 2, "re-inserting 1 evicts the next LRU");
+    }
+
+    #[test]
+    fn reinserted_evicted_plan_returns_identical_results() {
+        use crate::{BatchQuery, Engine};
+        use graphiti_common::Value;
+        use graphiti_graph::{GraphInstance, GraphSchema, NodeType};
+
+        let schema = GraphSchema::new().with_node(NodeType::new("EMP", ["id", "name"]));
+        let mut g = GraphInstance::new();
+        g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let engine = Engine::with_cache_capacity(crate::Snapshot::freeze(schema, g).unwrap(), 1);
+
+        let query = BatchQuery::sql("SELECT e.name FROM EMP AS e WHERE e.id = 1");
+        let first = engine.execute(&query);
+        assert!(!first.cache_hit);
+        // Evict the plan by filling the size-1 cache with another query.
+        let other = engine.execute(&BatchQuery::sql("SELECT e.id FROM EMP AS e"));
+        assert!(!other.cache_hit);
+        assert_eq!(engine.cache_stats().entries, 1);
+        assert!(engine.cache_stats().evictions >= 1);
+        // The evicted plan recompiles (a miss) and yields identical rows.
+        let again = engine.execute(&query);
+        assert!(!again.cache_hit, "evicted plans must recompile");
+        assert_eq!(first.result.unwrap(), again.result.unwrap());
+        // And once re-resident, it hits.
+        let warm = engine.execute(&query);
+        assert!(warm.cache_hit);
     }
 }

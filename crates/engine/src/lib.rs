@@ -48,10 +48,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod pool;
 pub mod snapshot;
 
 pub use batch::{BatchQuery, BatchReport, Engine, QueryOutcome};
-pub use cache::{normalize_query_text, CacheStats, CachedPlan, PlanCache, SqlPlan};
+pub use cache::{
+    normalize_query_text, CacheStats, CachedPlan, PlanCache, SqlPlan, DEFAULT_PLAN_CACHE_CAPACITY,
+};
+pub use pool::WorkerPool;
 pub use snapshot::{Snapshot, SqlTarget};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

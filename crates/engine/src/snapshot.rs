@@ -16,7 +16,7 @@
 use graphiti_common::Result;
 use graphiti_core::{infer_sdt, SdtContext};
 use graphiti_graph::{GraphInstance, GraphSchema};
-use graphiti_relational::RelInstance;
+use graphiti_relational::{ColumnInstance, RelInstance};
 use graphiti_transformer::apply_to_graph;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -40,13 +40,22 @@ impl std::fmt::Display for SqlTarget {
 }
 
 /// A frozen, validated, query-ready database state.
+///
+/// Every relational instance is materialized **twice** at freeze time: the
+/// row-oriented [`RelInstance`] (plan compilation, subquery re-entry, the
+/// row-at-a-time oracle path) and its columnar image
+/// ([`ColumnInstance`]) that the vectorized executor scans — so every
+/// batch query starts from cache-friendly typed columns without any
+/// per-query conversion.
 #[derive(Debug)]
 pub struct Snapshot {
     schema: GraphSchema,
     graph: GraphInstance,
     ctx: SdtContext,
     induced: RelInstance,
+    induced_columnar: ColumnInstance,
     extra: BTreeMap<String, RelInstance>,
+    extra_columnar: BTreeMap<String, ColumnInstance>,
 }
 
 impl Snapshot {
@@ -67,7 +76,19 @@ impl Snapshot {
         graph.validate(&schema)?;
         let ctx = infer_sdt(&schema)?;
         let induced = apply_to_graph(&ctx.sdt, &schema, &graph, &ctx.induced_schema)?;
-        Ok(Arc::new(Snapshot { schema, graph, ctx, induced, extra: extra.into_iter().collect() }))
+        let extra: BTreeMap<String, RelInstance> = extra.into_iter().collect();
+        let induced_columnar = ColumnInstance::from_rel(&induced);
+        let extra_columnar =
+            extra.iter().map(|(k, v)| (k.clone(), ColumnInstance::from_rel(v))).collect();
+        Ok(Arc::new(Snapshot {
+            schema,
+            graph,
+            ctx,
+            induced,
+            induced_columnar,
+            extra,
+            extra_columnar,
+        }))
     }
 
     /// Assembles a snapshot from already-computed parts (e.g. a benchmark
@@ -80,7 +101,11 @@ impl Snapshot {
         induced: RelInstance,
         extra: impl IntoIterator<Item = (String, RelInstance)>,
     ) -> Arc<Snapshot> {
-        Arc::new(Snapshot { schema, graph, ctx, induced, extra: extra.into_iter().collect() })
+        let extra: BTreeMap<String, RelInstance> = extra.into_iter().collect();
+        let induced_columnar = ColumnInstance::from_rel(&induced);
+        let extra_columnar =
+            extra.iter().map(|(k, v)| (k.clone(), ColumnInstance::from_rel(v))).collect();
+        Arc::new(Snapshot { schema, graph, ctx, induced, induced_columnar, extra, extra_columnar })
     }
 
     /// The graph schema.
@@ -108,6 +133,17 @@ impl Snapshot {
         match target {
             SqlTarget::Induced => Ok(&self.induced),
             SqlTarget::Named(name) => self.extra.get(name).ok_or_else(|| {
+                graphiti_common::Error::eval(format!("unknown snapshot target `{name}`"))
+            }),
+        }
+    }
+
+    /// Resolves a SQL target to its columnar image (built at freeze time;
+    /// the vectorized executor scans these).
+    pub fn sql_columnar(&self, target: &SqlTarget) -> Result<&ColumnInstance> {
+        match target {
+            SqlTarget::Induced => Ok(&self.induced_columnar),
+            SqlTarget::Named(name) => self.extra_columnar.get(name).ok_or_else(|| {
                 graphiti_common::Error::eval(format!("unknown snapshot target `{name}`"))
             }),
         }

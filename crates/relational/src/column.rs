@@ -1,0 +1,874 @@
+//! Columnar storage: typed per-column vectors with validity bitmaps.
+//!
+//! [`Table`] stores rows as `Vec<Vec<Value>>`: every predicate pays per-row
+//! dispatch and per-value enum matching, and every operator that copies rows
+//! copies `Value`s one at a time.  [`ColumnTable`] is the cache-friendly
+//! dual: one typed vector per column (`Int`, `Float`, `Bool`, interned
+//! `Arc<str>` strings) with a validity bitmap for `NULL`s, falling back to a
+//! mixed `Vec<Value>` only for genuinely heterogeneous columns.  Conversion
+//! in both directions is lossless — `Int(3)` and `Float(3.0)` never collapse
+//! into one representation — which the round-trip property tests in
+//! `graphiti-testkit` pin down.
+//!
+//! Column payloads sit behind `Arc`s, so cloning a column (a scan, a rename)
+//! is a reference-count bump, and a filter is a *gather*: build a selection
+//! vector, then copy only the surviving slots of each typed vector.
+//!
+//! [`NameIndex`] precomputes the four-step column-name resolution of
+//! [`column_index_in`] (exact, unambiguous suffix, then the case-insensitive
+//! versions) into hash maps, so callers that resolve many names against one
+//! layout — or one name against many rows — do it O(1) per lookup instead
+//! of O(columns) per call.
+
+use crate::instance::RelInstance;
+use crate::table::{unqualified, Table};
+use graphiti_common::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hasher;
+use std::sync::{Arc, OnceLock};
+
+/// Index value in a gather vector that produces a `NULL` slot instead of
+/// reading from the source column (used for outer-join null extension).
+pub const NULL_IDX: u32 = u32::MAX;
+
+// ---------------------------------------------------------------- validity
+
+/// A validity bitmap: bit `i` set means slot `i` holds a real value, clear
+/// means the slot is `NULL`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-invalid (all-`NULL`) bitmap of the given length.
+    pub fn all_invalid(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An all-valid bitmap of the given length.
+    pub fn all_valid(len: usize) -> Bitmap {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Whether slot `i` holds a real value.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks slot `i` valid.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid (non-`NULL`) slots.
+    pub fn count_valid(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+// ----------------------------------------------------------------- columns
+
+/// The typed payload of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers (invalid slots hold `0`).
+    Int(Vec<i64>),
+    /// Double-precision floats (invalid slots hold `0.0`).
+    Float(Vec<f64>),
+    /// Booleans (invalid slots hold `false`).
+    Bool(Vec<bool>),
+    /// Interned strings (invalid slots hold a shared empty string).
+    Str(Vec<Arc<str>>),
+    /// Heterogeneous fallback: the values themselves, `NULL`s included.
+    Mixed(Vec<Value>),
+}
+
+/// One column: an `Arc`-shared typed payload plus an optional validity
+/// bitmap (`None` = every slot valid).  Cloning is a reference-count bump.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: Arc<ColumnData>,
+    validity: Option<Arc<Bitmap>>,
+}
+
+fn empty_str() -> Arc<str> {
+    static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from("")))
+}
+
+impl Column {
+    /// Builds a column from owned values, inferring the tightest typed
+    /// representation: a column whose non-null values are all of one type
+    /// gets a typed vector + validity bitmap, anything heterogeneous keeps
+    /// the values as [`ColumnData::Mixed`].  All-`NULL` columns become an
+    /// all-invalid `Int` column (losslessly: every slot reads back `NULL`).
+    pub fn from_values(values: Vec<Value>) -> Column {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Unknown,
+            Int,
+            Float,
+            Bool,
+            Str,
+            Mixed,
+        }
+        let mut kind = Kind::Unknown;
+        let mut nulls = false;
+        for v in &values {
+            let k = match v {
+                Value::Null => {
+                    nulls = true;
+                    continue;
+                }
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Bool(_) => Kind::Bool,
+                Value::Str(_) => Kind::Str,
+            };
+            if kind == Kind::Unknown {
+                kind = k;
+            } else if kind != k {
+                kind = Kind::Mixed;
+                break;
+            }
+        }
+        let len = values.len();
+        let mut validity = if nulls { Some(Bitmap::all_invalid(len)) } else { None };
+        let data = match kind {
+            Kind::Mixed => {
+                return Column { data: Arc::new(ColumnData::Mixed(values)), validity: None };
+            }
+            Kind::Unknown | Kind::Int => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Int(x) => {
+                            if let Some(b) = &mut validity {
+                                b.set(i);
+                            }
+                            out.push(*x);
+                        }
+                        _ => out.push(0),
+                    }
+                }
+                ColumnData::Int(out)
+            }
+            Kind::Float => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Float(x) => {
+                            if let Some(b) = &mut validity {
+                                b.set(i);
+                            }
+                            out.push(*x);
+                        }
+                        _ => out.push(0.0),
+                    }
+                }
+                ColumnData::Float(out)
+            }
+            Kind::Bool => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Bool(x) => {
+                            if let Some(b) = &mut validity {
+                                b.set(i);
+                            }
+                            out.push(*x);
+                        }
+                        _ => out.push(false),
+                    }
+                }
+                ColumnData::Bool(out)
+            }
+            Kind::Str => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.iter().enumerate() {
+                    match v {
+                        Value::Str(s) => {
+                            if let Some(b) = &mut validity {
+                                b.set(i);
+                            }
+                            out.push(Arc::clone(s));
+                        }
+                        _ => out.push(empty_str()),
+                    }
+                }
+                ColumnData::Str(out)
+            }
+        };
+        Column { data: Arc::new(data), validity: validity.map(Arc::new) }
+    }
+
+    /// A column of `len` copies of one value (constant broadcast).
+    pub fn splat(value: &Value, len: usize) -> Column {
+        match value {
+            Value::Null => Column {
+                data: Arc::new(ColumnData::Int(vec![0; len])),
+                validity: Some(Arc::new(Bitmap::all_invalid(len))),
+            },
+            Value::Int(x) => {
+                Column { data: Arc::new(ColumnData::Int(vec![*x; len])), validity: None }
+            }
+            Value::Float(x) => {
+                Column { data: Arc::new(ColumnData::Float(vec![*x; len])), validity: None }
+            }
+            Value::Bool(x) => {
+                Column { data: Arc::new(ColumnData::Bool(vec![*x; len])), validity: None }
+            }
+            Value::Str(s) => {
+                Column { data: Arc::new(ColumnData::Str(vec![Arc::clone(s); len])), validity: None }
+            }
+        }
+    }
+
+    /// Wraps typed parts directly (kernels that already produced a typed
+    /// vector).  `validity: None` means every slot is valid.
+    pub fn from_parts(data: ColumnData, validity: Option<Bitmap>) -> Column {
+        Column { data: Arc::new(data), validity: validity.map(Arc::new) }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self.data.as_ref() {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The typed payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity bitmap (`None` = all valid).  Meaningless for
+    /// [`ColumnData::Mixed`], whose `NULL`s live in the values.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_deref()
+    }
+
+    /// Whether slot `i` is `NULL`.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self.data.as_ref() {
+            ColumnData::Mixed(v) => v[i].is_null(),
+            _ => self.validity.as_ref().is_some_and(|b| !b.get(i)),
+        }
+    }
+
+    /// Materializes slot `i` as a [`Value`] (cheap: at most an `Arc` bump).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        if let Some(b) = &self.validity {
+            if !b.get(i) {
+                return Value::Null;
+            }
+        }
+        match self.data.as_ref() {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(v) => Value::Str(Arc::clone(&v[i])),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Strict structural equality of slot `i` with `other`'s slot `j`,
+    /// mirroring [`Value::strict_eq`] (so `NULL == NULL`, and `Int`/`Float`
+    /// compare numerically across the two typed representations).
+    pub fn strict_eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
+        }
+        match (self.data.as_ref(), other.data.as_ref()) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a[i] == b[j],
+            (ColumnData::Float(a), ColumnData::Float(b)) => {
+                a[i] == b[j] || (a[i].is_nan() && b[j].is_nan())
+            }
+            (ColumnData::Int(a), ColumnData::Float(b)) => (a[i] as f64) == b[j],
+            (ColumnData::Float(a), ColumnData::Int(b)) => a[i] == (b[j] as f64),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i] == b[j],
+            (ColumnData::Str(a), ColumnData::Str(b)) => Arc::ptr_eq(&a[i], &b[j]) || a[i] == b[j],
+            _ => self.value(i).strict_eq(&other.value(j)),
+        }
+    }
+
+    /// Hashes slot `i` exactly as [`Value`]'s `Hash` implementation would,
+    /// so hash-bucketed joins and group-bys agree with the row engine's
+    /// `HashMap<Vec<Value>, _>` keys.
+    #[inline]
+    pub fn hash_value_into(&self, i: usize, state: &mut impl Hasher) {
+        use std::hash::Hash;
+        if self.is_null(i) {
+            0u8.hash(state);
+            return;
+        }
+        match self.data.as_ref() {
+            ColumnData::Int(v) => {
+                2u8.hash(state);
+                (v[i] as f64).to_bits().hash(state);
+            }
+            ColumnData::Float(v) => {
+                2u8.hash(state);
+                v[i].to_bits().hash(state);
+            }
+            ColumnData::Bool(v) => {
+                1u8.hash(state);
+                v[i].hash(state);
+            }
+            ColumnData::Str(v) => {
+                3u8.hash(state);
+                v[i].hash(state);
+            }
+            ColumnData::Mixed(v) => v[i].hash(state),
+        }
+    }
+
+    /// Copies the selected slots into a new column (`gather`).  Every index
+    /// must be in bounds; use [`Column::gather_opt`] when some output slots
+    /// should be `NULL`.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let data = match self.data.as_ref() {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float(v) => {
+                ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| Arc::clone(&v[i as usize])).collect())
+            }
+            ColumnData::Mixed(v) => {
+                ColumnData::Mixed(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        let validity = self.validity.as_ref().map(|b| {
+            let mut out = Bitmap::all_invalid(indices.len());
+            for (o, &i) in indices.iter().enumerate() {
+                if b.get(i as usize) {
+                    out.set(o);
+                }
+            }
+            Arc::new(out)
+        });
+        Column { data: Arc::new(data), validity }
+    }
+
+    /// Like [`Column::gather`], but an index of [`NULL_IDX`] produces a
+    /// `NULL` slot (outer-join null extension).
+    pub fn gather_opt(&self, indices: &[u32]) -> Column {
+        if !indices.contains(&NULL_IDX) {
+            return self.gather(indices);
+        }
+        let mut bitmap = Bitmap::all_invalid(indices.len());
+        for (o, &i) in indices.iter().enumerate() {
+            if i != NULL_IDX && !self.is_null(i as usize) {
+                bitmap.set(o);
+            }
+        }
+        let data = match self.data.as_ref() {
+            ColumnData::Int(v) => ColumnData::Int(
+                indices.iter().map(|&i| if i == NULL_IDX { 0 } else { v[i as usize] }).collect(),
+            ),
+            ColumnData::Float(v) => ColumnData::Float(
+                indices.iter().map(|&i| if i == NULL_IDX { 0.0 } else { v[i as usize] }).collect(),
+            ),
+            ColumnData::Bool(v) => ColumnData::Bool(
+                indices
+                    .iter()
+                    .map(|&i| if i == NULL_IDX { false } else { v[i as usize] })
+                    .collect(),
+            ),
+            ColumnData::Str(v) => ColumnData::Str(
+                indices
+                    .iter()
+                    .map(|&i| if i == NULL_IDX { empty_str() } else { Arc::clone(&v[i as usize]) })
+                    .collect(),
+            ),
+            ColumnData::Mixed(v) => ColumnData::Mixed(
+                indices
+                    .iter()
+                    .map(|&i| if i == NULL_IDX { Value::Null } else { v[i as usize].clone() })
+                    .collect(),
+            ),
+        };
+        Column { data: Arc::new(data), validity: Some(Arc::new(bitmap)) }
+    }
+
+    /// Concatenates two columns.  Matching typed variants stay typed;
+    /// anything else degrades to [`ColumnData::Mixed`] (still lossless).
+    pub fn concat(&self, other: &Column) -> Column {
+        let (n, m) = (self.len(), other.len());
+        let concat_validity = || -> Option<Arc<Bitmap>> {
+            if self.validity.is_none() && other.validity.is_none() {
+                return None;
+            }
+            let mut out = Bitmap::all_invalid(n + m);
+            for i in 0..n {
+                if !self.is_null(i) {
+                    out.set(i);
+                }
+            }
+            for j in 0..m {
+                if !other.is_null(j) {
+                    out.set(n + j);
+                }
+            }
+            Some(Arc::new(out))
+        };
+        match (self.data.as_ref(), other.data.as_ref()) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => Column {
+                data: Arc::new(ColumnData::Int(a.iter().chain(b.iter()).copied().collect())),
+                validity: concat_validity(),
+            },
+            (ColumnData::Float(a), ColumnData::Float(b)) => Column {
+                data: Arc::new(ColumnData::Float(a.iter().chain(b.iter()).copied().collect())),
+                validity: concat_validity(),
+            },
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => Column {
+                data: Arc::new(ColumnData::Bool(a.iter().chain(b.iter()).copied().collect())),
+                validity: concat_validity(),
+            },
+            (ColumnData::Str(a), ColumnData::Str(b)) => Column {
+                data: Arc::new(ColumnData::Str(a.iter().chain(b.iter()).cloned().collect())),
+                validity: concat_validity(),
+            },
+            _ => {
+                let mut values = Vec::with_capacity(n + m);
+                for i in 0..n {
+                    values.push(self.value(i));
+                }
+                for j in 0..m {
+                    values.push(other.value(j));
+                }
+                Column { data: Arc::new(ColumnData::Mixed(values)), validity: None }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- name index
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SuffixEntry {
+    Unique(usize),
+    Ambiguous,
+}
+
+/// Precomputed column-name resolution over one layout, replaying the
+/// four-step rules of [`column_index_in`] with O(1) lookups: exact match,
+/// unambiguous unqualified suffix, then the case-insensitive versions of
+/// both.  Build once per operator/table, resolve as many names (or rows) as
+/// needed.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    exact: HashMap<String, usize>,
+    suffix: HashMap<String, SuffixEntry>,
+    exact_ci: HashMap<String, usize>,
+    suffix_ci: HashMap<String, SuffixEntry>,
+}
+
+impl NameIndex {
+    /// Builds the index for a column layout.
+    pub fn new(columns: &[String]) -> NameIndex {
+        let mut idx = NameIndex::default();
+        for (i, c) in columns.iter().enumerate() {
+            idx.exact.entry(c.clone()).or_insert(i);
+            idx.exact_ci.entry(c.to_ascii_lowercase()).or_insert(i);
+            let suffix = unqualified(c);
+            idx.suffix
+                .entry(suffix.to_string())
+                .and_modify(|e| *e = SuffixEntry::Ambiguous)
+                .or_insert(SuffixEntry::Unique(i));
+            idx.suffix_ci
+                .entry(suffix.to_ascii_lowercase())
+                .and_modify(|e| {
+                    // Distinct columns sharing a suffix are ambiguous; the
+                    // same physical column reached twice is not possible
+                    // here because each index is inserted once.
+                    *e = SuffixEntry::Ambiguous;
+                })
+                .or_insert(SuffixEntry::Unique(i));
+        }
+        idx
+    }
+
+    /// Resolves `name` exactly as [`column_index_in`] would.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        if let Some(&i) = self.exact.get(name) {
+            return Some(i);
+        }
+        if let Some(SuffixEntry::Unique(i)) = self.suffix.get(name) {
+            return Some(*i);
+        }
+        let lower = name.to_ascii_lowercase();
+        if let Some(&i) = self.exact_ci.get(&lower) {
+            return Some(i);
+        }
+        if let Some(SuffixEntry::Unique(i)) = self.suffix_ci.get(&lower) {
+            return Some(*i);
+        }
+        None
+    }
+}
+
+// ------------------------------------------------------------ column table
+
+/// A result table in columnar form: named, typed columns of equal length.
+///
+/// Column names sit behind an `Arc` (operators that only reshuffle data
+/// share one name vector), and the [`NameIndex`] is built lazily on first
+/// by-name lookup — positional execution paths never pay for it.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnTable {
+    columns: Arc<Vec<String>>,
+    cols: Vec<Column>,
+    len: usize,
+    index: OnceLock<Arc<NameIndex>>,
+}
+
+impl ColumnTable {
+    /// Builds a columnar table from named columns.  All columns must share
+    /// one length (`len` is taken from the first; callers uphold equality).
+    pub fn from_columns(columns: Arc<Vec<String>>, cols: Vec<Column>, len: usize) -> ColumnTable {
+        debug_assert_eq!(columns.len(), cols.len(), "name/column arity mismatch");
+        debug_assert!(cols.iter().all(|c| c.len() == len), "column length mismatch");
+        ColumnTable { columns, cols, len, index: OnceLock::new() }
+    }
+
+    /// Converts a row-oriented table losslessly.
+    pub fn from_table(table: &Table) -> ColumnTable {
+        let arity = table.arity();
+        let mut cols = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let values: Vec<Value> = table.rows.iter().map(|r| r[c].clone()).collect();
+            cols.push(Column::from_values(values));
+        }
+        ColumnTable {
+            columns: Arc::new(table.columns.clone()),
+            cols,
+            len: table.rows.len(),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Converts back to a row-oriented table losslessly.
+    pub fn to_table(&self) -> Table {
+        let mut rows = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            rows.push(self.row(i));
+        }
+        Table { columns: self.columns.as_ref().clone(), rows }
+    }
+
+    /// Materializes row `i` as a value vector.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &Arc<Vec<String>> {
+        &self.columns
+    }
+
+    /// The columns themselves.
+    pub fn cols(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// One column by position.
+    pub fn col(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// The lazily-built name-resolution index for this layout.
+    pub fn name_index(&self) -> &NameIndex {
+        self.index.get_or_init(|| Arc::new(NameIndex::new(&self.columns)))
+    }
+
+    /// Resolves a column name with the same rules as
+    /// [`Table::column_index`], O(1) after the first lookup.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.name_index().get(name)
+    }
+
+    /// The value at (`row`, named column), if the column resolves.
+    pub fn value(&self, row: usize, column: &str) -> Option<Value> {
+        let idx = self.column_index(column)?;
+        (row < self.len).then(|| self.cols[idx].value(row))
+    }
+
+    /// Reuses this table's column data under new names (a rename /
+    /// requalification: no payload is copied).
+    pub fn with_column_names(&self, columns: Arc<Vec<String>>) -> ColumnTable {
+        debug_assert_eq!(columns.len(), self.cols.len());
+        ColumnTable { columns, cols: self.cols.clone(), len: self.len, index: OnceLock::new() }
+    }
+
+    /// Gathers the selected rows of every column.
+    pub fn gather(&self, indices: &[u32]) -> ColumnTable {
+        ColumnTable {
+            columns: Arc::clone(&self.columns),
+            cols: self.cols.iter().map(|c| c.gather(indices)).collect(),
+            len: indices.len(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for ColumnTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_table() == other.to_table()
+    }
+}
+
+// --------------------------------------------------------- column instance
+
+/// A relational instance in columnar form: one [`ColumnTable`] per
+/// relation, with the same case-insensitive lookup fallback as
+/// [`RelInstance::table`].
+#[derive(Debug, Clone, Default)]
+pub struct ColumnInstance {
+    tables: BTreeMap<String, ColumnTable>,
+}
+
+impl ColumnInstance {
+    /// An empty columnar instance.
+    pub fn new() -> ColumnInstance {
+        ColumnInstance::default()
+    }
+
+    /// Converts every table of a row-oriented instance.
+    pub fn from_rel(instance: &RelInstance) -> ColumnInstance {
+        let mut out = ColumnInstance::new();
+        for (name, table) in instance.tables() {
+            out.tables.insert(name.clone(), ColumnTable::from_table(table));
+        }
+        out
+    }
+
+    /// Inserts (or replaces) a table.
+    pub fn insert_table(&mut self, name: impl Into<String>, table: ColumnTable) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table by name (case-insensitive fallback, mirroring
+    /// [`RelInstance::table`]).
+    pub fn table(&self, name: &str) -> Option<&ColumnTable> {
+        self.tables.get(name).or_else(|| {
+            self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+        })
+    }
+
+    /// Iterates over `(name, table)` pairs.
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &ColumnTable)> {
+        self.tables.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::column_index_in;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn sample_table() -> Table {
+        Table::with_rows(
+            ["e.id", "e.name", "e.score"],
+            vec![
+                vec![v(1), Value::str("A"), Value::Float(1.5)],
+                vec![v(2), Value::Null, Value::Null],
+                vec![Value::Null, Value::str("C"), Value::Float(-0.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let t = sample_table();
+        let ct = ColumnTable::from_table(&t);
+        assert_eq!(ct.len(), 3);
+        assert_eq!(ct.arity(), 3);
+        assert_eq!(ct.to_table(), t);
+    }
+
+    #[test]
+    fn typed_columns_are_inferred() {
+        let ct = ColumnTable::from_table(&sample_table());
+        assert!(matches!(ct.col(0).data(), ColumnData::Int(_)));
+        assert!(matches!(ct.col(1).data(), ColumnData::Str(_)));
+        assert!(matches!(ct.col(2).data(), ColumnData::Float(_)));
+        assert!(ct.col(0).is_null(2));
+        assert!(!ct.col(0).is_null(0));
+    }
+
+    #[test]
+    fn int_float_mix_falls_back_to_mixed_losslessly() {
+        let t = Table::with_rows(["x"], vec![vec![v(3)], vec![Value::Float(3.0)]]);
+        let ct = ColumnTable::from_table(&t);
+        assert!(matches!(ct.col(0).data(), ColumnData::Mixed(_)));
+        let back = ct.to_table();
+        assert!(matches!(back.rows[0][0], Value::Int(3)));
+        assert!(matches!(back.rows[1][0], Value::Float(_)));
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let t = Table::with_rows(["x"], vec![vec![Value::Null], vec![Value::Null]]);
+        let ct = ColumnTable::from_table(&t);
+        assert_eq!(ct.to_table(), t);
+        assert!(ct.col(0).is_null(0) && ct.col(0).is_null(1));
+    }
+
+    #[test]
+    fn gather_selects_and_reorders() {
+        let ct = ColumnTable::from_table(&sample_table());
+        let g = ct.gather(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.col(0).value(0), Value::Null);
+        assert_eq!(g.col(0).value(1), v(1));
+        assert_eq!(g.col(1).value(0), Value::str("C"));
+    }
+
+    #[test]
+    fn gather_opt_produces_null_rows() {
+        let ct = ColumnTable::from_table(&sample_table());
+        let g = ct.cols()[0].gather_opt(&[0, NULL_IDX, 1]);
+        assert_eq!(g.value(0), v(1));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(2), v(2));
+    }
+
+    #[test]
+    fn concat_matches_row_concat() {
+        let a = ColumnTable::from_table(&sample_table());
+        let strs = Column::from_values(vec![Value::str("x"), Value::Null]);
+        let ints = Column::from_values(vec![v(9), v(8)]);
+        let mixed = ints.concat(&strs);
+        assert_eq!(mixed.value(0), v(9));
+        assert_eq!(mixed.value(2), Value::str("x"));
+        assert_eq!(mixed.value(3), Value::Null);
+        let same = a.col(0).concat(a.col(0));
+        assert!(matches!(same.data(), ColumnData::Int(_)));
+        assert_eq!(same.len(), 6);
+        assert!(same.is_null(2) && same.is_null(5));
+    }
+
+    #[test]
+    fn strict_eq_at_crosses_numeric_representations() {
+        let ints = Column::from_values(vec![v(3), Value::Null]);
+        let floats = Column::from_values(vec![Value::Float(3.0), Value::Null]);
+        assert!(ints.strict_eq_at(0, &floats, 0));
+        assert!(ints.strict_eq_at(1, &floats, 1), "NULL == NULL under strict equality");
+        assert!(!ints.strict_eq_at(0, &floats, 1));
+    }
+
+    #[test]
+    fn hashes_agree_with_value_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let col = Column::from_values(vec![v(3), Value::Float(3.0), Value::Null, Value::str("s")]);
+        for i in 0..col.len() {
+            let mut a = DefaultHasher::new();
+            col.hash_value_into(i, &mut a);
+            let mut b = DefaultHasher::new();
+            col.value(i).hash(&mut b);
+            assert_eq!(a.finish(), b.finish(), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn name_index_replays_column_index_in() {
+        let layouts: Vec<Vec<String>> = vec![
+            vec!["c2.CID".into(), "cnt".into()],
+            vec!["a.id".into(), "b.id".into()],
+            vec!["a.ID".into(), "b.id".into(), "x".into()],
+            vec!["E.Name".into(), "e.name".into()],
+            vec![],
+        ];
+        let probes =
+            ["c2.CID", "CID", "cid", "cnt", "missing", "id", "ID", "a.id", "A.ID", "x", "name"];
+        for cols in &layouts {
+            let idx = NameIndex::new(cols);
+            for p in probes {
+                assert_eq!(idx.get(p), column_index_in(cols, p), "layout {cols:?} probe `{p}`");
+            }
+        }
+    }
+
+    #[test]
+    fn column_instance_lookup_is_case_insensitive() {
+        let mut rel = RelInstance::new();
+        rel.insert_table("Emp", Table::with_rows(["id"], vec![vec![v(1)]]));
+        let ci = ColumnInstance::from_rel(&rel);
+        assert!(ci.table("Emp").is_some());
+        assert!(ci.table("EMP").is_some());
+        assert!(ci.table("nope").is_none());
+        assert_eq!(ci.table("emp").unwrap().value(0, "id"), Some(v(1)));
+    }
+
+    #[test]
+    fn bitmap_counts_and_bounds() {
+        let mut b = Bitmap::all_invalid(70);
+        assert_eq!(b.count_valid(), 0);
+        b.set(0);
+        b.set(69);
+        assert!(b.get(0) && b.get(69) && !b.get(35));
+        assert_eq!(b.count_valid(), 2);
+        let full = Bitmap::all_valid(70);
+        assert_eq!(full.count_valid(), 70);
+        assert_eq!(Bitmap::all_valid(64).count_valid(), 64);
+    }
+}

@@ -10,10 +10,12 @@
 //!   relation of Definition 4.4 (column-bijection + multiset equality) and
 //!   its ordered variant for `ORDER BY` results.
 
+pub mod column;
 pub mod instance;
 pub mod schema;
 pub mod table;
 
+pub use column::{Bitmap, Column, ColumnData, ColumnInstance, ColumnTable, NameIndex, NULL_IDX};
 pub use instance::RelInstance;
 pub use schema::{Constraint, RelSchema, Relation};
 pub use table::{column_index_in, Row, Table};

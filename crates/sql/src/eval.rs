@@ -62,14 +62,14 @@ pub fn eval_query_unoptimized(instance: &RelInstance, query: &SqlQuery) -> Resul
     ev.eval(query, &CteEnv::new(), None)
 }
 
-type CteEnv = HashMap<String, Table>;
+pub(crate) type CteEnv = HashMap<String, Table>;
 
 /// Row-scope used to resolve column references, chained for correlated
 /// subqueries.
-struct Scope<'a> {
-    columns: &'a [String],
-    row: &'a [Value],
-    outer: Option<&'a Scope<'a>>,
+pub(crate) struct Scope<'a> {
+    pub(crate) columns: &'a [String],
+    pub(crate) row: &'a [Value],
+    pub(crate) outer: Option<&'a Scope<'a>>,
 }
 
 impl<'a> Scope<'a> {
@@ -126,18 +126,23 @@ fn requalify(table: &Table, alias: &str) -> Table {
     }
 }
 
-struct Evaluator<'a> {
-    instance: &'a RelInstance,
+pub(crate) struct Evaluator<'a> {
+    pub(crate) instance: &'a RelInstance,
     /// Run per-operator compiled positional programs (`true`) or re-resolve
     /// columns by string matching per row (`false`, the retained naive
     /// path).
-    compiled: bool,
+    pub(crate) compiled: bool,
 }
 
-type SubqCache = HashMap<usize, Table>;
+pub(crate) type SubqCache = HashMap<usize, Table>;
 
 impl<'a> Evaluator<'a> {
-    fn eval(&self, q: &SqlQuery, ctes: &CteEnv, outer: Option<&Scope<'_>>) -> Result<Table> {
+    pub(crate) fn eval(
+        &self,
+        q: &SqlQuery,
+        ctes: &CteEnv,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Table> {
         match q {
             SqlQuery::Table(name) => self.scan(name.as_str(), ctes),
             SqlQuery::Rename { input, alias } => {
@@ -656,7 +661,12 @@ impl<'a> Evaluator<'a> {
 
     // ------------------------------------------------- scalars & predicates
 
-    fn eval_scalar(&self, e: &SqlExpr, scope: &Scope<'_>, ctes: &CteEnv) -> Result<Value> {
+    pub(crate) fn eval_scalar(
+        &self,
+        e: &SqlExpr,
+        scope: &Scope<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Value> {
         match e {
             SqlExpr::Col(c) => scope
                 .lookup(c)
@@ -681,7 +691,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_pred(
+    pub(crate) fn eval_pred(
         &self,
         p: &SqlPred,
         scope: &Scope<'_>,
@@ -736,7 +746,7 @@ impl<'a> Evaluator<'a> {
     // `eval_group_expr` / `eval_group_pred` exactly, except that column
     // references are already indexes into the current row.
 
-    fn eval_cexpr(&self, e: &CExpr, scope: &Scope<'_>, ctes: &CteEnv) -> Result<Value> {
+    pub(crate) fn eval_cexpr(&self, e: &CExpr, scope: &Scope<'_>, ctes: &CteEnv) -> Result<Value> {
         match e {
             CExpr::Col(idx) => Ok(scope.row[*idx].clone()),
             // Compilation already proved the reference does not resolve in
@@ -765,7 +775,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn eval_cpred(
+    pub(crate) fn eval_cpred(
         &self,
         p: &CPred,
         scope: &Scope<'_>,
@@ -945,7 +955,7 @@ impl<'a> Evaluator<'a> {
 
     /// Pre-evaluates the subqueries a compiled predicate will consult,
     /// keyed by the program's own subquery identities.
-    fn cache_cpred_subqueries(&self, program: &CPred, ctes: &CteEnv) -> SubqCache {
+    pub(crate) fn cache_cpred_subqueries(&self, program: &CPred, ctes: &CteEnv) -> SubqCache {
         let mut subs = Vec::new();
         program.collect_subqueries(&mut subs);
         self.cache_collected(&subs, ctes)
@@ -953,7 +963,7 @@ impl<'a> Evaluator<'a> {
 
     /// Pre-evaluates the subqueries a compiled `HAVING` program will
     /// consult.
-    fn cache_cgroup_subqueries(&self, program: &CGroupPred, ctes: &CteEnv) -> SubqCache {
+    pub(crate) fn cache_cgroup_subqueries(&self, program: &CGroupPred, ctes: &CteEnv) -> SubqCache {
         let mut subs = Vec::new();
         program.collect_subqueries(&mut subs);
         self.cache_collected(&subs, ctes)
@@ -991,33 +1001,16 @@ impl<'a> Evaluator<'a> {
             }
             PlanOp::Select { input, program } => {
                 let t = self.eval_plan(input, ctes, outer)?;
-                let cache = self.cache_cpred_subqueries(program, ctes);
-                let mut out = Table::new(t.columns.clone());
-                for row in &t.rows {
-                    let scope = Scope { columns: &t.columns, row, outer };
-                    if self.eval_cpred(program, &scope, ctes, &cache)?.is_true() {
-                        out.rows.push(row.clone());
-                    }
-                }
-                Ok(out)
+                self.select_compiled(&t, program, ctes, outer)
             }
             PlanOp::Project { input, programs, distinct } => {
                 let t = self.eval_plan(input, ctes, outer)?;
-                let mut out = Table::new(node.columns.clone());
-                for row in &t.rows {
-                    let scope = Scope { columns: &t.columns, row, outer };
-                    let mut new_row = Vec::with_capacity(programs.len());
-                    for program in programs {
-                        new_row.push(self.eval_cexpr(program, &scope, ctes)?);
-                    }
-                    out.rows.push(new_row);
-                }
-                Ok(if *distinct { out.dedup() } else { out })
+                self.project_compiled(&t, programs, *distinct, node.columns.as_slice(), ctes, outer)
             }
             PlanOp::Cross { left, right } => {
                 let lt = self.eval_plan(left, ctes, outer)?;
                 let rt = self.eval_plan(right, ctes, outer)?;
-                let mut out = Table::new(node.columns.clone());
+                let mut out = Table::new(node.columns.iter().cloned());
                 for lrow in &lt.rows {
                     for rrow in &rt.rows {
                         out.rows.push(lrow.iter().chain(rrow.iter()).cloned().collect());
@@ -1034,7 +1027,7 @@ impl<'a> Evaluator<'a> {
                     *kind,
                     pairs,
                     residual.as_ref(),
-                    node,
+                    node.columns.as_slice(),
                     ctes,
                     outer,
                 )
@@ -1042,7 +1035,15 @@ impl<'a> Evaluator<'a> {
             PlanOp::LoopJoin { left, right, kind, program } => {
                 let lt = self.eval_plan(left, ctes, outer)?;
                 let rt = self.eval_plan(right, ctes, outer)?;
-                self.loop_join_compiled(&lt, &rt, *kind, program, node, ctes, outer)
+                self.loop_join_compiled(
+                    &lt,
+                    &rt,
+                    *kind,
+                    program,
+                    node.columns.as_slice(),
+                    ctes,
+                    outer,
+                )
             }
             PlanOp::Union { left, right, dedup } => {
                 let ta = self.eval_plan(left, ctes, outer)?;
@@ -1051,7 +1052,15 @@ impl<'a> Evaluator<'a> {
             }
             PlanOp::GroupBy { input, keys, items, having } => {
                 let t = self.eval_plan(input, ctes, outer)?;
-                self.group_by_compiled(&t, keys, items, having.as_ref(), node, ctes, outer)
+                self.group_by_compiled(
+                    &t,
+                    keys,
+                    items,
+                    having.as_ref(),
+                    node.columns.as_slice(),
+                    ctes,
+                    outer,
+                )
             }
             PlanOp::With { name, definition, body } => {
                 let def = self.eval_plan(definition, ctes, outer)?;
@@ -1076,15 +1085,59 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// The compiled-plan `Select` runtime: filter `t` through `program`.
+    /// Shared with the vectorized executor's fallback path for predicates
+    /// that cannot run column-at-a-time (subqueries).
+    pub(crate) fn select_compiled(
+        &self,
+        t: &Table,
+        program: &CPred,
+        ctes: &CteEnv,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Table> {
+        let cache = self.cache_cpred_subqueries(program, ctes);
+        let mut out = Table::new(t.columns.clone());
+        for row in &t.rows {
+            let scope = Scope { columns: &t.columns, row, outer };
+            if self.eval_cpred(program, &scope, ctes, &cache)?.is_true() {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The compiled-plan `Project` runtime, shared with the vectorized
+    /// executor's fallback path.
+    pub(crate) fn project_compiled(
+        &self,
+        t: &Table,
+        programs: &[CExpr],
+        distinct: bool,
+        out_columns: &[String],
+        ctes: &CteEnv,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Table> {
+        let mut out = Table::new(out_columns.iter().cloned());
+        for row in &t.rows {
+            let scope = Scope { columns: &t.columns, row, outer };
+            let mut new_row = Vec::with_capacity(programs.len());
+            for program in programs {
+                new_row.push(self.eval_cexpr(program, &scope, ctes)?);
+            }
+            out.rows.push(new_row);
+        }
+        Ok(if distinct { out.dedup() } else { out })
+    }
+
     #[allow(clippy::too_many_arguments)]
-    fn hash_join_compiled(
+    pub(crate) fn hash_join_compiled(
         &self,
         left: &Table,
         right: &Table,
         kind: JoinKind,
         pairs: &[(usize, usize)],
         residual: Option<&CPred>,
-        node: &PlanNode,
+        out_columns: &[String],
         ctes: &CteEnv,
         outer: Option<&Scope<'_>>,
     ) -> Result<Table> {
@@ -1103,7 +1156,7 @@ impl<'a> Evaluator<'a> {
             }
             index.entry(key).or_default().push(ri);
         }
-        let mut out = Table::new(node.columns.clone());
+        let mut out = Table::new(out_columns.iter().cloned());
         let null_right = vec![Value::Null; right.columns.len()];
         for lrow in &left.rows {
             let mut matched = false;
@@ -1126,7 +1179,7 @@ impl<'a> Evaluator<'a> {
                         let keep = match residual {
                             None => true,
                             Some(p) => {
-                                let scope = Scope { columns: &node.columns, row: &combined, outer };
+                                let scope = Scope { columns: out_columns, row: &combined, outer };
                                 self.eval_cpred(p, &scope, ctes, &cache)?.is_true()
                             }
                         };
@@ -1145,18 +1198,18 @@ impl<'a> Evaluator<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn loop_join_compiled(
+    pub(crate) fn loop_join_compiled(
         &self,
         left: &Table,
         right: &Table,
         kind: JoinKind,
         program: &CPred,
-        node: &PlanNode,
+        out_columns: &[String],
         ctes: &CteEnv,
         outer: Option<&Scope<'_>>,
     ) -> Result<Table> {
         let cache = self.cache_cpred_subqueries(program, ctes);
-        let mut out = Table::new(node.columns.clone());
+        let mut out = Table::new(out_columns.iter().cloned());
         let null_right = vec![Value::Null; right.columns.len()];
         let null_left = vec![Value::Null; left.columns.len()];
         let mut right_matched = vec![false; right.rows.len()];
@@ -1164,7 +1217,7 @@ impl<'a> Evaluator<'a> {
             let mut matched = false;
             for (ri, rrow) in right.rows.iter().enumerate() {
                 let combined: Vec<Value> = lrow.iter().chain(rrow.iter()).cloned().collect();
-                let scope = Scope { columns: &node.columns, row: &combined, outer };
+                let scope = Scope { columns: out_columns, row: &combined, outer };
                 if self.eval_cpred(program, &scope, ctes, &cache)?.is_true() {
                     matched = true;
                     right_matched[ri] = true;
@@ -1186,17 +1239,17 @@ impl<'a> Evaluator<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn group_by_compiled(
+    pub(crate) fn group_by_compiled(
         &self,
         input: &Table,
         keys: &[CExpr],
         items: &[CGroupExpr],
         having: Option<&CGroupPred>,
-        node: &PlanNode,
+        out_columns: &[String],
         ctes: &CteEnv,
         outer: Option<&Scope<'_>>,
     ) -> Result<Table> {
-        let mut out = Table::new(node.columns.clone());
+        let mut out = Table::new(out_columns.iter().cloned());
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for (ri, row) in input.rows.iter().enumerate() {

@@ -18,6 +18,10 @@
 //!   hash equi-joins, outer joins, grouping, and correlated subqueries;
 //!   [`eval_query`] runs compiled programs, [`eval_query_unoptimized`]
 //!   retains the naive per-row interpreter as the ablation baseline.
+//! * [`vectorized`] — columnar, batch-at-a-time execution of compiled
+//!   plans over [`ColumnTable`](graphiti_relational::ColumnTable)s
+//!   ([`eval_vectorized`]), differentially tested against [`eval_compiled`]
+//!   which remains the row-at-a-time oracle path.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod optimize;
 pub mod parser;
 pub mod plan;
 pub mod pretty;
+pub mod vectorized;
 
 pub use ast::{ColumnRef, JoinKind, SelectItem, SqlExpr, SqlPred, SqlQuery};
 pub use eval::{eval_compiled, eval_query, eval_query_unoptimized, resolve_column};
@@ -51,3 +56,4 @@ pub use optimize::optimize;
 pub use parser::parse_query;
 pub use plan::{compile_query, CompiledQuery};
 pub use pretty::query_to_string;
+pub use vectorized::eval_vectorized;

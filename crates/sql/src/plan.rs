@@ -43,6 +43,7 @@ use crate::optimize::optimize;
 use graphiti_common::{Error, Ident, Result};
 use graphiti_relational::RelInstance;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A fully-compiled, owned, thread-safe execution plan for one SQL query.
 ///
@@ -56,16 +57,19 @@ pub struct CompiledQuery {
 impl CompiledQuery {
     /// The output column names of the plan.
     pub fn columns(&self) -> &[String] {
-        &self.root.columns
+        self.root.columns.as_slice()
     }
 }
 
 /// One operator of a compiled plan, carrying its statically-inferred output
-/// layout.
+/// layout.  Layouts are `Arc`-shared: operators that do not reshape their
+/// input (selection, ordering) share the child's name vector, and the
+/// vectorized executor reuses them verbatim as result-table names, so no
+/// per-execution requalification strings are ever rebuilt.
 #[derive(Debug)]
 pub(crate) struct PlanNode {
     pub(crate) op: PlanOp,
-    pub(crate) columns: Vec<String>,
+    pub(crate) columns: Arc<Vec<String>>,
 }
 
 /// The operator kinds of a compiled plan.
@@ -154,12 +158,12 @@ fn compile_node(
 ) -> Result<PlanNode> {
     match q {
         SqlQuery::Table(name) => {
-            let columns = scan_columns(name.as_str(), instance, ctes)?;
+            let columns = Arc::new(scan_columns(name.as_str(), instance, ctes)?);
             Ok(PlanNode { op: PlanOp::Scan { name: name.clone() }, columns })
         }
         SqlQuery::Rename { input, alias } => {
             let input = compile_node(input, instance, ctes)?;
-            let columns = requalify_columns(&input.columns, alias.as_str());
+            let columns = Arc::new(requalify_columns(&input.columns, alias.as_str()));
             Ok(PlanNode {
                 op: PlanOp::Rename { input: Box::new(input), alias: alias.clone() },
                 columns,
@@ -167,14 +171,15 @@ fn compile_node(
         }
         SqlQuery::Select { input, pred } => {
             let input = compile_node(input, instance, ctes)?;
-            let program = compile_pred(pred, &input.columns);
-            let columns = input.columns.clone();
+            let program = compile_pred(pred, input.columns.as_slice());
+            let columns = Arc::clone(&input.columns);
             Ok(PlanNode { op: PlanOp::Select { input: Box::new(input), program }, columns })
         }
         SqlQuery::Project { input, items, distinct } => {
             let input = compile_node(input, instance, ctes)?;
-            let programs = items.iter().map(|i| compile_expr(&i.expr, &input.columns)).collect();
-            let columns = items.iter().map(|i| i.output_name()).collect();
+            let programs =
+                items.iter().map(|i| compile_expr(&i.expr, input.columns.as_slice())).collect();
+            let columns = Arc::new(items.iter().map(|i| i.output_name()).collect());
             Ok(PlanNode {
                 op: PlanOp::Project { input: Box::new(input), programs, distinct: *distinct },
                 columns,
@@ -191,7 +196,7 @@ fn compile_node(
             let right = compile_node(b, instance, ctes)?;
             // The runtime keeps the left side's columns (arity mismatches
             // stay runtime errors, as in the interpreter).
-            let columns = left.columns.clone();
+            let columns = Arc::clone(&left.columns);
             Ok(PlanNode {
                 op: PlanOp::Union { left: Box::new(left), right: Box::new(right), dedup },
                 columns,
@@ -199,12 +204,15 @@ fn compile_node(
         }
         SqlQuery::GroupBy { input, keys, items, having } => {
             let input = compile_node(input, instance, ctes)?;
-            let key_programs = keys.iter().map(|k| compile_expr(k, &input.columns)).collect();
-            let item_programs =
-                items.iter().map(|i| compile_group_expr(&i.expr, &input.columns)).collect();
+            let key_programs =
+                keys.iter().map(|k| compile_expr(k, input.columns.as_slice())).collect();
+            let item_programs = items
+                .iter()
+                .map(|i| compile_group_expr(&i.expr, input.columns.as_slice()))
+                .collect();
             let having_program = (!matches!(having, SqlPred::Bool(true)))
-                .then(|| compile_group_pred(having, &input.columns));
-            let columns = items.iter().map(|i| i.output_name()).collect();
+                .then(|| compile_group_pred(having, input.columns.as_slice()));
+            let columns = Arc::new(items.iter().map(|i| i.output_name()).collect());
             Ok(PlanNode {
                 op: PlanOp::GroupBy {
                     input: Box::new(input),
@@ -226,7 +234,7 @@ fn compile_node(
                 definition.columns.iter().map(|c| unqualified(c).to_string()).collect(),
             );
             let body = compile_node(body, instance, &extended)?;
-            let columns = body.columns.clone();
+            let columns = Arc::clone(&body.columns);
             Ok(PlanNode {
                 op: PlanOp::With {
                     name: name.clone(),
@@ -240,7 +248,7 @@ fn compile_node(
             let input = compile_node(input, instance, ctes)?;
             let mut resolved: Vec<(usize, bool)> = Vec::new();
             for (expr, asc) in keys {
-                let idx = resolve_order_key(expr, &input.columns).ok_or_else(|| {
+                let idx = resolve_order_key(expr, input.columns.as_slice()).ok_or_else(|| {
                     Error::eval(format!(
                         "ORDER BY key `{}` is not an output column",
                         crate::pretty::expr_to_string(expr)
@@ -248,7 +256,7 @@ fn compile_node(
                 })?;
                 resolved.push((idx, *asc));
             }
-            let columns = input.columns.clone();
+            let columns = Arc::clone(&input.columns);
             Ok(PlanNode { op: PlanOp::OrderBy { input: Box::new(input), keys: resolved }, columns })
         }
     }
@@ -274,7 +282,8 @@ fn compile_join(
     kind: JoinKind,
     pred: &SqlPred,
 ) -> Result<PlanNode> {
-    let columns: Vec<String> = left.columns.iter().chain(right.columns.iter()).cloned().collect();
+    let columns: Arc<Vec<String>> =
+        Arc::new(left.columns.iter().chain(right.columns.iter()).cloned().collect());
     if matches!(kind, JoinKind::Cross) {
         return Ok(PlanNode {
             op: PlanOp::Cross { left: Box::new(left), right: Box::new(right) },
@@ -290,15 +299,17 @@ fn compile_join(
             if let SqlPred::Cmp(a, op, b) = conjunct {
                 if *op == graphiti_common::CmpOp::Eq {
                     if let (SqlExpr::Col(ca), SqlExpr::Col(cb)) = (a.as_ref(), b.as_ref()) {
-                        if let (Some(li), Some(ri)) =
-                            (resolve_column(&left.columns, ca), resolve_column(&right.columns, cb))
-                        {
+                        if let (Some(li), Some(ri)) = (
+                            resolve_column(left.columns.as_slice(), ca),
+                            resolve_column(right.columns.as_slice(), cb),
+                        ) {
                             pairs.push((li, ri));
                             continue;
                         }
-                        if let (Some(li), Some(ri)) =
-                            (resolve_column(&left.columns, cb), resolve_column(&right.columns, ca))
-                        {
+                        if let (Some(li), Some(ri)) = (
+                            resolve_column(left.columns.as_slice(), cb),
+                            resolve_column(right.columns.as_slice(), ca),
+                        ) {
                             pairs.push((li, ri));
                             continue;
                         }
@@ -310,7 +321,7 @@ fn compile_join(
         if !pairs.is_empty() {
             let residual = SqlPred::conjunction(residual);
             let residual_program = (!matches!(residual, SqlPred::Bool(true)))
-                .then(|| compile_pred(&residual, &columns));
+                .then(|| compile_pred(&residual, columns.as_slice()));
             return Ok(PlanNode {
                 op: PlanOp::HashJoin {
                     left: Box::new(left),
@@ -323,7 +334,7 @@ fn compile_join(
             });
         }
     }
-    let program = compile_pred(pred, &columns);
+    let program = compile_pred(pred, columns.as_slice());
     Ok(PlanNode {
         op: PlanOp::LoopJoin { left: Box::new(left), right: Box::new(right), kind, program },
         columns,
