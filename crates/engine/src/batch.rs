@@ -1,7 +1,13 @@
 //! The batch execution service.
 //!
-//! An [`Engine`] binds one immutable [`Snapshot`] to one [`PlanCache`] and
-//! evaluates batches of Cypher and SQL queries across a worker pool.  SQL
+//! An [`Engine`] binds a [`Snapshot`] handle to one [`PlanCache`] and
+//! evaluates batches of Cypher and SQL queries across a worker pool.  The
+//! snapshot handle is **swappable** ([`Engine::swap_snapshot`]): a
+//! writable graph store publishes successive MVCC generations through it,
+//! while every query and batch pins the generation current at its start
+//! and runs against that immutable state end to end — readers are never
+//! blocked by writers, and the plan cache survives generation changes
+//! (plans are keyed by query text + target, not data).  SQL
 //! runs **vectorized**: cached compiled plans execute column-at-a-time over
 //! the snapshot's columnar image
 //! ([`eval_vectorized`](graphiti_sql::eval_vectorized)); the row-at-a-time
@@ -24,7 +30,7 @@ use graphiti_common::Result;
 use graphiti_relational::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 /// One query of a batch.
@@ -95,6 +101,19 @@ pub struct BatchReport {
     pub cache_misses: u64,
 }
 
+/// A point-in-time view of an engine's execution resources (see
+/// [`Engine::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Threads in the persistent worker pool, or `None` while the pool has
+    /// not been spawned yet (it spawns lazily on the first parallel batch).
+    pub pool_threads: Option<usize>,
+    /// The host parallelism the pool would size itself from.
+    pub workers_available: usize,
+    /// Plan-cache counters (hits, misses, residency, evictions, capacity).
+    pub cache: CacheStats,
+}
+
 impl BatchReport {
     /// Number of successful queries.
     pub fn ok_count(&self) -> usize {
@@ -116,13 +135,29 @@ impl BatchReport {
 }
 
 /// The shared, thread-safe core of an engine: everything workers touch.
+///
+/// The snapshot handle sits behind an `RwLock` so a writable store can
+/// **publish a new MVCC generation** ([`Engine::swap_snapshot`]) without
+/// blocking readers: every query (and every batch) pins one `Arc` up
+/// front and runs against it end to end, so in-flight work keeps its
+/// generation while new work sees the latest one.  The lock is held only
+/// for the `Arc` clone/swap — never across parsing, compilation, or
+/// evaluation.
 #[derive(Debug)]
 struct EngineInner {
-    snapshot: Arc<Snapshot>,
+    snapshot: RwLock<Arc<Snapshot>>,
     cache: PlanCache,
 }
 
-/// A parallel batch query service over one frozen snapshot.
+impl EngineInner {
+    /// Pins the latest published generation.
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
+/// A parallel batch query service over a (swappable) frozen snapshot
+/// generation.
 #[derive(Debug)]
 pub struct Engine {
     inner: Arc<EngineInner>,
@@ -134,7 +169,10 @@ impl Engine {
     /// Creates an engine (with an empty plan cache) over a snapshot.
     pub fn new(snapshot: Arc<Snapshot>) -> Engine {
         Engine {
-            inner: Arc::new(EngineInner { snapshot, cache: PlanCache::new() }),
+            inner: Arc::new(EngineInner {
+                snapshot: RwLock::new(snapshot),
+                cache: PlanCache::new(),
+            }),
             pool: OnceLock::new(),
         }
     }
@@ -143,7 +181,10 @@ impl Engine {
     /// [`PlanCache::with_capacity`]).
     pub fn with_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Engine {
         Engine {
-            inner: Arc::new(EngineInner { snapshot, cache: PlanCache::with_capacity(capacity) }),
+            inner: Arc::new(EngineInner {
+                snapshot: RwLock::new(snapshot),
+                cache: PlanCache::with_capacity(capacity),
+            }),
             pool: OnceLock::new(),
         }
     }
@@ -156,14 +197,38 @@ impl Engine {
         Ok(Engine::new(Snapshot::freeze(schema, graph)?))
     }
 
-    /// The engine's snapshot.
-    pub fn snapshot(&self) -> &Arc<Snapshot> {
-        &self.inner.snapshot
+    /// The engine's latest published snapshot generation.  The returned
+    /// handle stays valid (and immutable) for as long as the caller holds
+    /// it, even across [`Engine::swap_snapshot`] calls.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.inner.current()
+    }
+
+    /// Publishes a new snapshot generation, returning the previous one.
+    /// Readers are never blocked: queries and batches already in flight
+    /// finish against the generation they pinned at start, and every
+    /// subsequent query sees `next`.  Cached plans stay valid because they
+    /// are keyed by query text + target and compiled against schema-derived
+    /// layouts, which a data-only generation change cannot alter.
+    pub fn swap_snapshot(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
+        let mut slot = self.inner.snapshot.write().unwrap_or_else(|p| p.into_inner());
+        std::mem::replace(&mut *slot, next)
     }
 
     /// Current plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.stats()
+    }
+
+    /// A lightweight point-in-time view of the engine's moving parts —
+    /// observable without running a batch: worker-pool state plus the full
+    /// plan-cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            pool_threads: self.pool.get().map(WorkerPool::threads),
+            workers_available: crate::available_workers(),
+            cache: self.inner.cache.stats(),
+        }
     }
 
     /// Executes one query, consulting (and populating) the plan cache.
@@ -213,12 +278,18 @@ impl Engine {
         let before = self.inner.cache.stats();
         let start = Instant::now();
         let workers = workers.max(1).min(batch.len().max(1));
+        // Pin one generation for the whole batch: every query of the batch
+        // sees the same immutable snapshot even if a writer publishes new
+        // generations mid-flight.
+        let snapshot = self.inner.current();
         let outcomes = if workers <= 1 {
-            batch.iter().map(|q| self.inner.execute(q)).collect()
+            batch.iter().map(|q| self.inner.execute_on(&snapshot, q)).collect()
         } else if pooled {
-            self.dispatch_pooled(batch, workers)
+            self.dispatch_pooled(batch, workers, snapshot)
         } else {
-            crate::run_parallel(batch.len(), workers, |i| self.inner.execute(&batch[i]))
+            crate::run_parallel(batch.len(), workers, |i| {
+                self.inner.execute_on(&snapshot, &batch[i])
+            })
         };
         let wall_micros = start.elapsed().as_micros() as u64;
         let after = self.inner.cache.stats();
@@ -234,11 +305,17 @@ impl Engine {
     /// Fans a batch across the persistent pool: one drain job per
     /// participating worker, all pulling indexes from a shared atomic
     /// counter, results merged and re-ordered at the end.
-    fn dispatch_pooled(&self, batch: &[BatchQuery], workers: usize) -> Vec<QueryOutcome> {
+    fn dispatch_pooled(
+        &self,
+        batch: &[BatchQuery],
+        workers: usize,
+        snapshot: Arc<Snapshot>,
+    ) -> Vec<QueryOutcome> {
         let pool = self.pool.get_or_init(|| WorkerPool::new(default_pool_threads()));
         let jobs = workers.min(pool.threads());
         let shared = Arc::new(BatchState {
             inner: Arc::clone(&self.inner),
+            snapshot,
             queries: batch.to_vec(),
             next: AtomicUsize::new(0),
             merged: Mutex::new(Vec::with_capacity(batch.len())),
@@ -256,7 +333,7 @@ impl Engine {
                     if i >= state.queries.len() {
                         break;
                     }
-                    local.push((i, state.inner.execute(&state.queries[i])));
+                    local.push((i, state.inner.execute_on(&state.snapshot, &state.queries[i])));
                 }
                 state.merged.lock().unwrap_or_else(|p| p.into_inner()).extend(local);
                 let _ = done.send(());
@@ -284,38 +361,53 @@ fn default_pool_threads() -> usize {
     crate::available_workers().max(8)
 }
 
-/// Everything one in-flight batch shares with its pool jobs.
+/// Everything one in-flight batch shares with its pool jobs, including the
+/// generation the batch pinned at submission.
 struct BatchState {
     inner: Arc<EngineInner>,
+    snapshot: Arc<Snapshot>,
     queries: Vec<BatchQuery>,
     next: AtomicUsize,
     merged: Mutex<Vec<(usize, QueryOutcome)>>,
 }
 
 impl EngineInner {
+    /// Executes one query against the latest generation (pinned for the
+    /// duration of this query).
     fn execute(&self, query: &BatchQuery) -> QueryOutcome {
+        let snapshot = self.current();
+        self.execute_on(&snapshot, query)
+    }
+
+    /// Executes one query against an explicitly pinned generation.
+    fn execute_on(&self, snapshot: &Snapshot, query: &BatchQuery) -> QueryOutcome {
         let start = Instant::now();
         let (result, cache_hit) = match query {
-            BatchQuery::Cypher { text } => self.execute_cypher(text),
-            BatchQuery::Sql { text, target } => self.execute_sql(text, target),
+            BatchQuery::Cypher { text } => self.execute_cypher(snapshot, text),
+            BatchQuery::Sql { text, target } => self.execute_sql(snapshot, text, target),
         };
         QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
     }
 
-    fn execute_cypher(&self, text: &str) -> (Result<Table>, bool) {
+    fn execute_cypher(&self, snapshot: &Snapshot, text: &str) -> (Result<Table>, bool) {
         let (ast, hit) = match self.cache.cypher(text, || graphiti_cypher::parse_query(text)) {
             Ok(pair) => pair,
             Err(e) => return (Err(e), false),
         };
-        (graphiti_cypher::eval_query(self.snapshot.schema(), self.snapshot.graph(), &ast), hit)
+        (graphiti_cypher::eval_query(snapshot.schema(), snapshot.graph(), &ast), hit)
     }
 
-    fn execute_sql(&self, text: &str, target: &SqlTarget) -> (Result<Table>, bool) {
-        let instance = match self.snapshot.sql_instance(target) {
+    fn execute_sql(
+        &self,
+        snapshot: &Snapshot,
+        text: &str,
+        target: &SqlTarget,
+    ) -> (Result<Table>, bool) {
+        let instance = match snapshot.sql_instance(target) {
             Ok(i) => i,
             Err(e) => return (Err(e), false),
         };
-        let columnar = match self.snapshot.sql_columnar(target) {
+        let columnar = match snapshot.sql_columnar(target) {
             Ok(c) => c,
             Err(e) => return (Err(e), false),
         };
@@ -331,9 +423,10 @@ impl EngineInner {
     }
 
     fn execute_sql_ast(&self, ast: &graphiti_sql::SqlQuery, target: &SqlTarget) -> QueryOutcome {
+        let snapshot = self.current();
         let start = Instant::now();
         let (result, cache_hit) =
-            match (self.snapshot.sql_instance(target), self.snapshot.sql_columnar(target)) {
+            match (snapshot.sql_instance(target), snapshot.sql_columnar(target)) {
                 (Ok(instance), Ok(columnar)) => {
                     let text = graphiti_sql::query_to_string(ast);
                     match self.cache.sql(&text, target, || {

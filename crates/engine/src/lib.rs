@@ -51,12 +51,12 @@ pub mod cache;
 pub mod pool;
 pub mod snapshot;
 
-pub use batch::{BatchQuery, BatchReport, Engine, QueryOutcome};
+pub use batch::{BatchQuery, BatchReport, Engine, EngineStats, QueryOutcome};
 pub use cache::{
     normalize_query_text, CacheStats, CachedPlan, PlanCache, SqlPlan, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use pool::WorkerPool;
-pub use snapshot::{Snapshot, SqlTarget};
+pub use snapshot::{SharedColumnarExtras, SharedExtras, Snapshot, SqlTarget};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -133,6 +133,7 @@ mod tests {
     use super::*;
     use graphiti_common::Value;
     use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+    use std::sync::Arc;
 
     fn emp_schema() -> GraphSchema {
         GraphSchema::new()
@@ -178,6 +179,103 @@ mod tests {
         let mut g = emp_graph();
         g.add_node("GHOST", [("x", Value::Int(1))]);
         assert!(Snapshot::freeze(emp_schema(), g).is_err());
+    }
+
+    #[test]
+    fn freeze_with_rejects_invalid_graphs_even_with_extras() {
+        // The graph check must fire before any extra instance is consulted.
+        let mut g = emp_graph();
+        g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("dup-id"))]);
+        let extra = graphiti_relational::RelInstance::new();
+        assert!(
+            Snapshot::freeze_with(emp_schema(), g, [("side".to_string(), extra)]).is_err(),
+            "duplicate default-key values must be rejected"
+        );
+    }
+
+    #[test]
+    fn freeze_with_rejects_schema_instance_mismatches() {
+        // A graph built against a *different* schema: labels undeclared.
+        let mut g = GraphInstance::new();
+        g.add_node("CUSTOMER", [("cid", Value::Int(1))]);
+        assert!(Snapshot::freeze_with(emp_schema(), g, []).is_err());
+        // Undeclared property on a declared label.
+        let mut g = emp_graph();
+        g.add_node("EMP", [("id", Value::Int(9)), ("salary", Value::Int(1))]);
+        assert!(Snapshot::freeze_with(emp_schema(), g, []).is_err());
+        // Edge endpoints violating the declared source/target types.
+        let mut g = GraphInstance::new();
+        let d1 = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let d2 = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", d1, d2, [("wid", Value::Int(1))]);
+        assert!(Snapshot::freeze_with(emp_schema(), g, []).is_err());
+    }
+
+    #[test]
+    fn freeze_with_rejects_schemas_the_sdt_cannot_be_inferred_for() {
+        // SDT inference fails when an edge type names an unknown endpoint
+        // label — freeze_with must surface that, not panic.
+        let bad_schema = GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "MISSING", ["wid"]));
+        let mut g = GraphInstance::new();
+        g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        assert!(Snapshot::freeze_with(bad_schema, g, []).is_err());
+        // Duplicate labels across types are a schema-validation error too.
+        let dup_schema = GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id"]))
+            .with_node(NodeType::new("EMP", ["id2"]));
+        let mut g = GraphInstance::new();
+        g.add_node("EMP", [("id", Value::Int(1))]);
+        assert!(Snapshot::freeze_with(dup_schema, g, []).is_err());
+    }
+
+    #[test]
+    fn freeze_with_missing_default_key_is_rejected() {
+        let mut g = emp_graph();
+        g.add_node("EMP", [("name", Value::str("NoId"))]);
+        assert!(Snapshot::freeze_with(emp_schema(), g, []).is_err());
+    }
+
+    #[test]
+    fn swap_snapshot_publishes_new_generations_without_disturbing_readers() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let gen0 = engine.snapshot();
+        let count = |e: &Engine| {
+            e.execute(&BatchQuery::cypher("MATCH (n:EMP) RETURN Count(*) AS c"))
+                .result
+                .unwrap()
+                .rows[0][0]
+                .clone()
+        };
+        assert_eq!(count(&engine), Value::Int(2));
+        // Publish a generation with one more employee.
+        let mut g2 = emp_graph();
+        g2.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        let gen1 = Snapshot::freeze(emp_schema(), g2).unwrap();
+        let old = engine.swap_snapshot(Arc::clone(&gen1));
+        assert!(Arc::ptr_eq(&old, &gen0), "swap must return the displaced generation");
+        assert_eq!(count(&engine), Value::Int(3));
+        // The displaced generation is still fully readable by holders.
+        assert_eq!(gen0.graph().node_count(), 4);
+        let warm = engine.execute(&BatchQuery::cypher("MATCH (n:EMP) RETURN Count(*) AS c"));
+        assert!(warm.cache_hit, "plan cache must survive generation swaps");
+    }
+
+    #[test]
+    fn stats_expose_pool_and_cache_without_running_a_batch() {
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let s = engine.stats();
+        assert_eq!(s.pool_threads, None, "pool spawns lazily");
+        assert_eq!(s.cache.hits + s.cache.misses, 0);
+        assert!(s.workers_available >= 1);
+        let batch: Vec<BatchQuery> =
+            test_batch().into_iter().filter(|q| !q.text().contains("bad")).collect();
+        engine.run_batch(&batch, 4);
+        let s = engine.stats();
+        assert!(s.pool_threads.unwrap_or(0) >= 4, "parallel batch spawns the pool");
+        assert_eq!(s.cache.misses as usize, batch.len());
+        assert_eq!(s.cache.entries, batch.len());
     }
 
     #[test]

@@ -21,6 +21,11 @@ use graphiti_transformer::apply_to_graph;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// The shared map of extra named row instances carried by a snapshot.
+pub type SharedExtras = Arc<BTreeMap<String, RelInstance>>;
+/// The shared map of the extra instances' columnar images.
+pub type SharedColumnarExtras = Arc<BTreeMap<String, ColumnInstance>>;
+
 /// The SQL-side evaluation target of a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum SqlTarget {
@@ -49,13 +54,21 @@ impl std::fmt::Display for SqlTarget {
 /// per-query conversion.
 #[derive(Debug)]
 pub struct Snapshot {
-    schema: GraphSchema,
-    graph: GraphInstance,
-    ctx: SdtContext,
+    // The schema, graph, and SDT context sit behind `Arc`s so successive
+    // MVCC generations published by a writable store share them: a
+    // data-only commit re-publishes these as reference-count bumps.  The
+    // same goes for the extra named instances, which a store never
+    // mutates; the induced images are per-generation values whose
+    // *tables* share untouched payloads internally (see
+    // [`RelInstance`]'s copy-on-write tables and [`ColumnTable`]'s
+    // `Arc`-shared columns).
+    schema: Arc<GraphSchema>,
+    graph: Arc<GraphInstance>,
+    ctx: Arc<SdtContext>,
     induced: RelInstance,
     induced_columnar: ColumnInstance,
-    extra: BTreeMap<String, RelInstance>,
-    extra_columnar: BTreeMap<String, ColumnInstance>,
+    extra: Arc<BTreeMap<String, RelInstance>>,
+    extra_columnar: Arc<BTreeMap<String, ColumnInstance>>,
 }
 
 impl Snapshot {
@@ -81,13 +94,13 @@ impl Snapshot {
         let extra_columnar =
             extra.iter().map(|(k, v)| (k.clone(), ColumnInstance::from_rel(v))).collect();
         Ok(Arc::new(Snapshot {
-            schema,
-            graph,
-            ctx,
+            schema: Arc::new(schema),
+            graph: Arc::new(graph),
+            ctx: Arc::new(ctx),
             induced,
             induced_columnar,
-            extra,
-            extra_columnar,
+            extra: Arc::new(extra),
+            extra_columnar: Arc::new(extra_columnar),
         }))
     }
 
@@ -105,7 +118,63 @@ impl Snapshot {
         let induced_columnar = ColumnInstance::from_rel(&induced);
         let extra_columnar =
             extra.iter().map(|(k, v)| (k.clone(), ColumnInstance::from_rel(v))).collect();
+        Arc::new(Snapshot {
+            schema: Arc::new(schema),
+            graph: Arc::new(graph),
+            ctx: Arc::new(ctx),
+            induced,
+            induced_columnar,
+            extra: Arc::new(extra),
+            extra_columnar: Arc::new(extra_columnar),
+        })
+    }
+
+    /// Assembles a snapshot from fully-precomputed parts, **including** the
+    /// columnar images — nothing is validated, converted, or copied.  This
+    /// is the incremental re-freeze publication point: a writable store's
+    /// commit path patches the previous generation's images with per-table
+    /// row deltas and hands them here, while the schema, SDT context, and
+    /// extra maps ride along as `Arc` bumps.  The caller vouches that
+    /// `induced_columnar` is the columnar image of `induced` and that
+    /// `induced` is the `ctx.sdt`-image of `graph`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_with_columnar(
+        schema: Arc<GraphSchema>,
+        graph: Arc<GraphInstance>,
+        ctx: Arc<SdtContext>,
+        induced: RelInstance,
+        induced_columnar: ColumnInstance,
+        extra: SharedExtras,
+        extra_columnar: SharedColumnarExtras,
+    ) -> Arc<Snapshot> {
         Arc::new(Snapshot { schema, graph, ctx, induced, induced_columnar, extra, extra_columnar })
+    }
+
+    /// The shared extra-instance maps (row and columnar), for publishing a
+    /// derived generation via [`Snapshot::from_parts_with_columnar`].
+    pub fn extra_parts(&self) -> (SharedExtras, SharedColumnarExtras) {
+        (Arc::clone(&self.extra), Arc::clone(&self.extra_columnar))
+    }
+
+    /// The shared schema handle.
+    pub fn schema_arc(&self) -> Arc<GraphSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The shared graph handle (what a derived generation republishes when
+    /// the graph itself is reused).
+    pub fn graph_arc(&self) -> Arc<GraphInstance> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The shared SDT-context handle.
+    pub fn ctx_arc(&self) -> Arc<SdtContext> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// The columnar image of the induced instance.
+    pub fn induced_columnar(&self) -> &ColumnInstance {
+        &self.induced_columnar
     }
 
     /// The graph schema.

@@ -165,6 +165,101 @@ impl GraphInstance {
         id
     }
 
+    /// Removes an edge, returning it.  The last edge of the arena is
+    /// swap-moved into the freed slot (its [`EdgeId`] changes to `id`), and
+    /// every index — the label index and both endpoint adjacency lists —
+    /// is patched so index-backed traversals keep agreeing with arena
+    /// scans.  O(degree + label population) for the affected entries.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<Edge> {
+        self.try_edge(id)?;
+        let last = EdgeId(self.edges.len() - 1);
+        let edge = self.edges.swap_remove(id.0);
+        // Detach the removed edge from its indexes.
+        remove_from_index(&mut self.edges_by_label, &edge.label, id);
+        self.out_adjacency[edge.src.0].retain(|e| *e != id);
+        self.in_adjacency[edge.tgt.0].retain(|e| *e != id);
+        if id != last {
+            // The former last edge now lives at `id`: renumber it and
+            // rewrite `last -> id` in its indexes, re-sorting them so they
+            // stay aligned with arena order.
+            let (label, src, tgt) = {
+                let moved = &mut self.edges[id.0];
+                moved.id = id;
+                (moved.label.clone(), moved.src, moved.tgt)
+            };
+            if let Some(ids) = self.edges_by_label.get_mut(&label) {
+                rewrite_id(ids, last, id);
+            }
+            rewrite_id(&mut self.out_adjacency[src.0], last, id);
+            rewrite_id(&mut self.in_adjacency[tgt.0], last, id);
+        }
+        Ok(edge)
+    }
+
+    /// Removes a node, returning it.  Fails if the node still has incident
+    /// edges (remove those first: a dangling endpoint would corrupt both
+    /// the adjacency indexes and any schema obligations).  The last node of
+    /// the arena is swap-moved into the freed slot (its [`NodeId`] changes
+    /// to `id`); its label-index entry, adjacency rows, and the endpoint
+    /// references of its incident edges are all patched.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Node> {
+        self.try_node(id)?;
+        if !self.out_adjacency[id.0].is_empty() || !self.in_adjacency[id.0].is_empty() {
+            return Err(Error::instance(format!("node {id} still has incident edges")));
+        }
+        let last = NodeId(self.nodes.len() - 1);
+        let node = self.nodes.swap_remove(id.0);
+        self.out_adjacency.swap_remove(id.0);
+        self.in_adjacency.swap_remove(id.0);
+        remove_from_index(&mut self.nodes_by_label, &node.label, id);
+        if id != last {
+            let label = {
+                let moved = &mut self.nodes[id.0];
+                moved.id = id;
+                moved.label.clone()
+            };
+            if let Some(ids) = self.nodes_by_label.get_mut(&label) {
+                rewrite_id(ids, last, id);
+            }
+            // Incident edges of the moved node still reference `last`.
+            for k in 0..self.out_adjacency[id.0].len() {
+                let e = self.out_adjacency[id.0][k];
+                self.edges[e.0].src = id;
+            }
+            for k in 0..self.in_adjacency[id.0].len() {
+                let e = self.in_adjacency[id.0][k];
+                self.edges[e.0].tgt = id;
+            }
+        }
+        Ok(node)
+    }
+
+    /// Sets (or, with `Null`, overwrites with an explicit `NULL`) one
+    /// property of a node, returning the previous value if any.  Purely a
+    /// storage primitive: schema obligations (declared keys, default-key
+    /// uniqueness) are the caller's to enforce.
+    pub fn set_node_prop(
+        &mut self,
+        id: NodeId,
+        key: impl Into<Ident>,
+        value: Value,
+    ) -> Result<Option<Value>> {
+        self.try_node(id)?;
+        Ok(self.nodes[id.0].props.insert(key.into(), value))
+    }
+
+    /// Sets one property of an edge, returning the previous value if any.
+    /// Like [`GraphInstance::set_node_prop`], a pure storage primitive.
+    pub fn set_edge_prop(
+        &mut self,
+        id: EdgeId,
+        key: impl Into<Ident>,
+        value: Value,
+    ) -> Result<Option<Value>> {
+        self.try_edge(id)?;
+        Ok(self.edges[id.0].props.insert(key.into(), value))
+    }
+
     /// All nodes.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -186,13 +281,37 @@ impl GraphInstance {
     }
 
     /// Returns the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a node of this instance; mutation and
+    /// validation paths that handle untrusted ids should use
+    /// [`GraphInstance::try_node`] instead.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0]
     }
 
     /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name an edge of this instance; mutation and
+    /// validation paths that handle untrusted ids should use
+    /// [`GraphInstance::try_edge`] instead.
     pub fn edge(&self, id: EdgeId) -> &Edge {
         &self.edges[id.0]
+    }
+
+    /// Returns the node with the given id, or an error for unknown ids —
+    /// the non-panicking form of [`GraphInstance::node`].
+    pub fn try_node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or_else(|| Error::instance(format!("unknown node id {id}")))
+    }
+
+    /// Returns the edge with the given id, or an error for unknown ids —
+    /// the non-panicking form of [`GraphInstance::edge`].
+    pub fn try_edge(&self, id: EdgeId) -> Result<&Edge> {
+        self.edges.get(id.0).ok_or_else(|| Error::instance(format!("unknown edge id {id}")))
     }
 
     /// Iterates over the nodes with a given label, in insertion order.
@@ -323,6 +442,32 @@ impl GraphInstance {
     }
 }
 
+/// Drops `id` from a label index entry, removing the entry once empty.
+fn remove_from_index<I: Copy + PartialEq>(
+    index: &mut HashMap<Ident, Vec<I>>,
+    label: &Ident,
+    id: I,
+) {
+    if let Some(ids) = index.get_mut(label) {
+        ids.retain(|e| *e != id);
+        if ids.is_empty() {
+            index.remove(label);
+        }
+    }
+}
+
+/// Renumbers `from` to `to` in an index vector, then re-sorts it: after a
+/// swap-remove, ids *are* arena slots, so id order is arena order and the
+/// sorted vector keeps index-backed iteration aligned with full scans.
+fn rewrite_id<I: Copy + PartialEq + Ord>(ids: &mut [I], from: I, to: I) {
+    for e in ids.iter_mut() {
+        if *e == from {
+            *e = to;
+        }
+    }
+    ids.sort_unstable();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +586,169 @@ mod tests {
     fn dangling_edge_endpoints_are_rejected_at_insertion() {
         let mut g = GraphInstance::new();
         g.add_edge("WORK_AT", NodeId(0), NodeId(1), [("wid", Value::Int(1))]);
+    }
+
+    #[test]
+    fn try_accessors_return_errors_for_unknown_ids() {
+        let g = fig15_instance();
+        assert!(g.try_node(NodeId(0)).is_ok());
+        assert!(g.try_node(NodeId(99)).is_err());
+        assert!(g.try_edge(EdgeId(1)).is_ok());
+        assert!(g.try_edge(EdgeId(99)).is_err());
+    }
+
+    /// Every index agrees with a full arena scan — the invariant the
+    /// removal paths must preserve.
+    fn assert_indexes_consistent(g: &GraphInstance) {
+        for (i, n) in g.nodes().iter().enumerate() {
+            assert_eq!(n.id, NodeId(i), "node ids must match arena slots");
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(e.id, EdgeId(i), "edge ids must match arena slots");
+            assert!(e.src.0 < g.node_count() && e.tgt.0 < g.node_count());
+        }
+        let labels: HashSet<Ident> = g.nodes().iter().map(|n| n.label.clone()).collect();
+        for l in &labels {
+            let scanned: Vec<_> =
+                g.nodes().iter().filter(|n| n.label == *l).map(|n| n.id).collect();
+            let indexed: Vec<_> = g.nodes_with_label(l.as_str()).map(|n| n.id).collect();
+            assert_eq!(scanned, indexed, "node label index for `{l}`");
+        }
+        let elabels: HashSet<Ident> = g.edges().iter().map(|e| e.label.clone()).collect();
+        for l in &elabels {
+            let scanned: Vec<_> =
+                g.edges().iter().filter(|e| e.label == *l).map(|e| e.id).collect();
+            let indexed: Vec<_> = g.edges_with_label(l.as_str()).map(|e| e.id).collect();
+            assert_eq!(scanned, indexed, "edge label index for `{l}`");
+        }
+        for n in g.nodes() {
+            let scanned: Vec<_> =
+                g.edges().iter().filter(|e| e.src == n.id).map(|e| e.id).collect();
+            let indexed: Vec<_> = g.out_edges(n.id).map(|e| e.id).collect();
+            assert_eq!(scanned, indexed, "out adjacency of {}", n.id);
+            let scanned_in: Vec<_> =
+                g.edges().iter().filter(|e| e.tgt == n.id).map(|e| e.id).collect();
+            let indexed_in: Vec<_> = g.in_edges(n.id).map(|e| e.id).collect();
+            assert_eq!(scanned_in, indexed_in, "in adjacency of {}", n.id);
+        }
+    }
+
+    #[test]
+    fn remove_edge_patches_every_index() {
+        let mut g = fig15_instance();
+        // Removing the first edge swap-moves the second into slot 0.
+        let removed = g.remove_edge(EdgeId(0)).unwrap();
+        assert_eq!(removed.prop("wid"), Value::Int(10));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(EdgeId(0)).prop("wid"), Value::Int(11));
+        assert_indexes_consistent(&g);
+        assert!(g.validate(&emp_schema()).is_ok());
+        assert!(g.remove_edge(EdgeId(5)).is_err());
+    }
+
+    #[test]
+    fn remove_node_requires_no_incident_edges() {
+        let mut g = fig15_instance();
+        let cs =
+            g.nodes_with_label("DEPT").find(|n| n.prop("dname") == Value::str("CS")).unwrap().id;
+        assert!(g.remove_node(cs).is_err(), "CS still has incoming WORK_AT edges");
+        // Detach, then removal succeeds and the moved node's edges follow.
+        let edge_ids: Vec<EdgeId> = g.in_edges(cs).map(|e| e.id).collect();
+        for id in edge_ids.into_iter().rev() {
+            g.remove_edge(id).unwrap();
+        }
+        g.remove_node(cs).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_indexes_consistent(&g);
+        assert!(g.validate(&emp_schema()).is_ok());
+    }
+
+    #[test]
+    fn removing_a_middle_node_renumbers_the_moved_nodes_edges() {
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let d1 = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        g.add_edge("WORK_AT", a, d1, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, d1, [("wid", Value::Int(11))]);
+        // Remove `b` (middle of the arena): the DEPT node moves into its
+        // slot, and both edges' `tgt` must follow it.
+        let edge: Vec<EdgeId> = g.out_edges(b).map(|e| e.id).collect();
+        for id in edge {
+            g.remove_edge(id).unwrap();
+        }
+        g.remove_node(b).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_indexes_consistent(&g);
+        assert!(g.validate(&emp_schema()).is_ok());
+        let dept = g.nodes_with_label("DEPT").next().unwrap();
+        assert_eq!(g.in_edges(dept.id).count(), 1);
+    }
+
+    #[test]
+    fn set_prop_updates_and_returns_old_values() {
+        let mut g = fig15_instance();
+        let a = g.nodes_with_label("EMP").next().unwrap().id;
+        let old = g.set_node_prop(a, "name", Value::str("A2")).unwrap();
+        assert_eq!(old, Some(Value::str("A")));
+        assert_eq!(g.node(a).prop("name"), Value::str("A2"));
+        let e = g.edges_with_label("WORK_AT").next().unwrap().id;
+        let old = g.set_edge_prop(e, "wid", Value::Int(99)).unwrap();
+        assert_eq!(old, Some(Value::Int(10)));
+        assert!(g.set_node_prop(NodeId(77), "name", Value::Null).is_err());
+        assert!(g.set_edge_prop(EdgeId(77), "wid", Value::Null).is_err());
+    }
+
+    /// A randomized add/remove churn keeps every index exactly consistent
+    /// with arena scans.
+    #[test]
+    fn randomized_churn_keeps_indexes_consistent() {
+        let mut g = GraphInstance::new();
+        let mut next = 0i64;
+        let mut state = 0x243F6A88_85A308D3u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..400 {
+            match rand() % 4 {
+                0 => {
+                    next += 1;
+                    g.add_node("EMP", [("id", Value::Int(next)), ("name", Value::str("x"))]);
+                }
+                1 => {
+                    next += 1;
+                    g.add_node("DEPT", [("dnum", Value::Int(next)), ("dname", Value::str("y"))]);
+                }
+                2 => {
+                    let emps: Vec<NodeId> = g.nodes_with_label("EMP").map(|n| n.id).collect();
+                    let depts: Vec<NodeId> = g.nodes_with_label("DEPT").map(|n| n.id).collect();
+                    if !emps.is_empty() && !depts.is_empty() {
+                        next += 1;
+                        let s = emps[(rand() % emps.len() as u64) as usize];
+                        let t = depts[(rand() % depts.len() as u64) as usize];
+                        g.add_edge("WORK_AT", s, t, [("wid", Value::Int(next))]);
+                    }
+                }
+                _ => {
+                    if g.edge_count() > 0 && rand() % 2 == 0 {
+                        let id = EdgeId((rand() % g.edge_count() as u64) as usize);
+                        g.remove_edge(id).unwrap();
+                    } else if g.node_count() > 0 {
+                        let id = NodeId((rand() % g.node_count() as u64) as usize);
+                        // Only succeeds on isolated nodes; failure must not
+                        // disturb anything.
+                        let _ = g.remove_node(id);
+                    }
+                }
+            }
+            if step % 40 == 0 {
+                assert_indexes_consistent(&g);
+            }
+        }
+        assert_indexes_consistent(&g);
+        assert!(g.validate(&emp_schema()).is_ok());
     }
 }

@@ -71,6 +71,12 @@ impl Bitmap {
         self.words[i / 64] |= 1 << (i % 64);
     }
 
+    /// Marks slot `i` invalid (`NULL`).
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
     /// Number of slots.
     pub fn len(&self) -> usize {
         self.len
@@ -429,6 +435,81 @@ impl Column {
         Column { data: Arc::new(data), validity: Some(Arc::new(bitmap)) }
     }
 
+    /// Returns a copy with the given slots replaced (`patches` are
+    /// `(slot, new value)` pairs).  Patches whose values stay within the
+    /// column's typed representation (same variant, or `NULL`) take a
+    /// typed fast path — one payload copy plus in-place writes; anything
+    /// else re-infers the representation from the materialized values
+    /// (still lossless).
+    pub fn patched(&self, patches: &[(usize, Value)]) -> Column {
+        if patches.is_empty() {
+            return self.clone();
+        }
+        let len = self.len();
+        if let ColumnData::Mixed(values) = self.data.as_ref() {
+            let mut v = values.clone();
+            for (i, val) in patches {
+                v[*i] = val.clone();
+            }
+            return Column { data: Arc::new(ColumnData::Mixed(v)), validity: None };
+        }
+        let compatible = patches.iter().all(|(_, v)| {
+            matches!(
+                (self.data.as_ref(), v),
+                (_, Value::Null)
+                    | (ColumnData::Int(_), Value::Int(_))
+                    | (ColumnData::Float(_), Value::Float(_))
+                    | (ColumnData::Bool(_), Value::Bool(_))
+                    | (ColumnData::Str(_), Value::Str(_))
+            )
+        });
+        if !compatible {
+            let mut values: Vec<Value> = (0..len).map(|i| self.value(i)).collect();
+            for (i, val) in patches {
+                values[*i] = val.clone();
+            }
+            return Column::from_values(values);
+        }
+        let needs_bitmap = self.validity.is_some() || patches.iter().any(|(_, v)| v.is_null());
+        let mut validity = needs_bitmap
+            .then(|| self.validity.as_deref().cloned().unwrap_or_else(|| Bitmap::all_valid(len)));
+        let mut data = self.data.as_ref().clone();
+        for (i, val) in patches {
+            if val.is_null() {
+                if let Some(b) = &mut validity {
+                    b.clear(*i);
+                }
+                continue;
+            }
+            match (&mut data, val) {
+                (ColumnData::Int(v), Value::Int(x)) => v[*i] = *x,
+                (ColumnData::Float(v), Value::Float(x)) => v[*i] = *x,
+                (ColumnData::Bool(v), Value::Bool(x)) => v[*i] = *x,
+                (ColumnData::Str(v), Value::Str(s)) => v[*i] = Arc::clone(s),
+                _ => unreachable!("patch compatibility checked above"),
+            }
+            if let Some(b) = &mut validity {
+                b.set(*i);
+            }
+        }
+        Column { data: Arc::new(data), validity: validity.map(Arc::new) }
+    }
+
+    /// Appends owned values to the column (copy-on-write).  A tail whose
+    /// values match the column's typed representation keeps it typed; a
+    /// mismatch degrades to [`ColumnData::Mixed`] via [`Column::concat`]'s
+    /// lossless fallback.
+    pub fn append_values(&self, tail: Vec<Value>) -> Column {
+        if tail.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            // An empty column carries no type commitment: infer fresh.
+            return Column::from_values(tail);
+        }
+        self.concat(&Column::from_values(tail))
+    }
+
     /// Concatenates two columns.  Matching typed variants stay typed;
     /// anything else degrades to [`ColumnData::Mixed`] (still lossless).
     pub fn concat(&self, other: &Column) -> Column {
@@ -663,6 +744,45 @@ impl ColumnTable {
             index: OnceLock::new(),
         }
     }
+
+    /// Applies a [`TableDelta`](crate::table::TableDelta) column-at-a-time:
+    /// cell patches per touched column ([`Column::patched`]), removals as
+    /// one survivor gather shared by every column, appends as typed tail
+    /// concatenation ([`Column::append_values`]).  Untouched columns of a
+    /// patch-and-append-only delta are shared (`Arc` bumps, no payload
+    /// copy).  The result is row-for-row identical to
+    /// [`Table::apply_delta`](crate::table::Table::apply_delta) on the
+    /// table's row image.
+    pub fn apply_delta(&self, delta: &crate::table::TableDelta) -> ColumnTable {
+        let mut cols = self.cols.clone();
+        if !delta.patches.is_empty() {
+            let mut per_col: BTreeMap<usize, Vec<(usize, Value)>> = BTreeMap::new();
+            for (row, col, value) in &delta.patches {
+                per_col.entry(*col).or_default().push((*row, value.clone()));
+            }
+            for (col, patches) in per_col {
+                cols[col] = cols[col].patched(&patches);
+            }
+        }
+        let mut len = self.len;
+        if !delta.removed.is_empty() {
+            let mut dead = vec![false; len];
+            for &r in &delta.removed {
+                dead[r as usize] = true;
+            }
+            let survivors: Vec<u32> = (0..len as u32).filter(|i| !dead[*i as usize]).collect();
+            cols = cols.iter().map(|c| c.gather(&survivors)).collect();
+            len = survivors.len();
+        }
+        if !delta.appended.is_empty() {
+            for (ci, col) in cols.iter_mut().enumerate() {
+                let tail: Vec<Value> = delta.appended.iter().map(|r| r[ci].clone()).collect();
+                *col = col.append_values(tail);
+            }
+            len += delta.appended.len();
+        }
+        ColumnTable { columns: Arc::clone(&self.columns), cols, len, index: OnceLock::new() }
+    }
 }
 
 impl PartialEq for ColumnTable {
@@ -857,6 +977,93 @@ mod tests {
         assert!(ci.table("EMP").is_some());
         assert!(ci.table("nope").is_none());
         assert_eq!(ci.table("emp").unwrap().value(0, "id"), Some(v(1)));
+    }
+
+    #[test]
+    fn patched_keeps_typed_representation_and_handles_nulls() {
+        let col = Column::from_values(vec![v(1), v(2), Value::Null, v(4)]);
+        let p = col.patched(&[(0, v(9)), (2, v(7)), (1, Value::Null)]);
+        assert!(matches!(p.data(), ColumnData::Int(_)));
+        assert_eq!(p.value(0), v(9));
+        assert_eq!(p.value(1), Value::Null);
+        assert_eq!(p.value(2), v(7));
+        assert_eq!(p.value(3), v(4));
+        // A type-changing patch re-infers losslessly.
+        let q = col.patched(&[(0, Value::str("s"))]);
+        assert_eq!(q.value(0), Value::str("s"));
+        assert_eq!(q.value(1), v(2));
+        // Null patch on a column without a validity bitmap grows one.
+        let dense = Column::from_values(vec![v(1), v(2)]);
+        let r = dense.patched(&[(1, Value::Null)]);
+        assert_eq!(r.value(1), Value::Null);
+        assert_eq!(r.value(0), v(1));
+    }
+
+    #[test]
+    fn append_values_stays_typed_or_degrades_losslessly() {
+        let col = Column::from_values(vec![v(1), v(2)]);
+        let a = col.append_values(vec![v(3), Value::Null]);
+        assert!(matches!(a.data(), ColumnData::Int(_)));
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.value(3), Value::Null);
+        let b = col.append_values(vec![Value::str("x")]);
+        assert!(matches!(b.data(), ColumnData::Mixed(_)));
+        assert_eq!(b.value(2), Value::str("x"));
+        // Appending onto an empty column adopts the tail's type.
+        let empty = Column::from_values(vec![]);
+        let c = empty.append_values(vec![Value::str("y")]);
+        assert!(matches!(c.data(), ColumnData::Str(_)));
+    }
+
+    #[test]
+    fn apply_delta_agrees_with_row_layout() {
+        use crate::table::TableDelta;
+        let t = sample_table();
+        let ct = ColumnTable::from_table(&t);
+        let deltas = vec![
+            TableDelta::new(),
+            TableDelta {
+                patches: vec![(0, 1, Value::str("Z")), (2, 0, v(9))],
+                removed: vec![1],
+                appended: vec![
+                    vec![v(4), Value::str("D"), Value::Float(2.5)],
+                    vec![Value::Null, Value::Null, Value::Null],
+                ],
+            },
+            TableDelta { patches: vec![], removed: vec![0, 1, 2], appended: vec![] },
+            TableDelta {
+                patches: vec![(1, 2, v(7))], // Int into a Float column
+                removed: vec![],
+                appended: vec![vec![v(5), Value::str("E"), Value::Bool(true)]],
+            },
+        ];
+        for delta in &deltas {
+            let via_rows = t.apply_delta(delta);
+            let via_cols = ct.apply_delta(delta).to_table();
+            assert_eq!(via_rows, via_cols, "layouts disagree on {delta:?}");
+        }
+        // Deltas compose: row-by-row identical again after a second hop.
+        let d1 = &deltas[1];
+        let d2 = TableDelta {
+            patches: vec![(0, 0, v(42))],
+            removed: vec![3],
+            appended: vec![vec![v(6), Value::str("F"), Value::Null]],
+        };
+        let rows2 = t.apply_delta(d1).apply_delta(&d2);
+        let cols2 = ct.apply_delta(d1).apply_delta(&d2).to_table();
+        assert_eq!(rows2, cols2);
+    }
+
+    #[test]
+    fn apply_delta_shares_untouched_columns() {
+        use crate::table::TableDelta;
+        let ct = ColumnTable::from_table(&sample_table());
+        let delta = TableDelta { patches: vec![(0, 0, v(9))], removed: vec![], appended: vec![] };
+        let out = ct.apply_delta(&delta);
+        // Column 0 was rewritten; columns 1 and 2 are shared payloads.
+        assert!(!std::ptr::eq(ct.col(0).data(), out.col(0).data()));
+        assert!(std::ptr::eq(ct.col(1).data(), out.col(1).data()));
+        assert!(std::ptr::eq(ct.col(2).data(), out.col(2).data()));
     }
 
     #[test]

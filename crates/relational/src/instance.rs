@@ -5,14 +5,20 @@ use crate::table::Table;
 use graphiti_common::{Error, Result, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// A relational database instance: one [`Table`] per relation.
 ///
 /// Table contents use the relation's declared attribute order; columns in the
 /// stored tables carry the *unqualified* attribute names.
+///
+/// Tables sit behind `Arc`s internally: cloning an instance is a map clone
+/// of reference-count bumps, so MVCC snapshot generations that replace only
+/// the tables a commit touched share every untouched table's payload.
+/// Mutable access ([`RelInstance::table_mut`]) is copy-on-write.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RelInstance {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl RelInstance {
@@ -28,7 +34,7 @@ impl RelInstance {
         for rel in &schema.relations {
             inst.tables.insert(
                 rel.name.as_str().to_string(),
-                Table::new(rel.attrs.iter().map(|a| a.as_str().to_string())),
+                Arc::new(Table::new(rel.attrs.iter().map(|a| a.as_str().to_string()))),
             );
         }
         inst
@@ -36,6 +42,11 @@ impl RelInstance {
 
     /// Inserts (or replaces) a whole table.
     pub fn insert_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Inserts (or replaces) an already-shared table (no copy).
+    pub fn insert_table_shared(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.tables.insert(name.into(), table);
     }
 
@@ -48,28 +59,32 @@ impl RelInstance {
         }
         let mut t = Table::new((0..row.len()).map(|i| format!("c{i}")));
         t.push_row(row);
-        self.tables.insert(name.to_string(), t);
+        self.insert_table(name.to_string(), t);
     }
 
     /// Looks up a table by name (falling back to a case-insensitive match).
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name).or_else(|| {
-            self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
-        })
+        self.tables
+            .get(name)
+            .or_else(|| {
+                self.tables.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v)
+            })
+            .map(Arc::as_ref)
     }
 
-    /// Mutable lookup of a table by name.
+    /// Mutable lookup of a table by name (copy-on-write: a table shared
+    /// with other instance generations is cloned on first write).
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         if self.tables.contains_key(name) {
-            return self.tables.get_mut(name);
+            return self.tables.get_mut(name).map(Arc::make_mut);
         }
         let key = self.tables.keys().find(|k| k.eq_ignore_ascii_case(name)).cloned()?;
-        self.tables.get_mut(&key)
+        self.tables.get_mut(&key).map(Arc::make_mut)
     }
 
     /// Iterates over `(name, table)` pairs.
     pub fn tables(&self) -> impl Iterator<Item = (&String, &Table)> {
-        self.tables.iter()
+        self.tables.iter().map(|(k, v)| (k, v.as_ref()))
     }
 
     /// Total number of rows across all tables.

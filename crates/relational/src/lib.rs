@@ -18,4 +18,4 @@ pub mod table;
 pub use column::{Bitmap, Column, ColumnData, ColumnInstance, ColumnTable, NameIndex, NULL_IDX};
 pub use instance::RelInstance;
 pub use schema::{Constraint, RelSchema, Relation};
-pub use table::{column_index_in, Row, Table};
+pub use table::{column_index_in, Row, Table, TableDelta};

@@ -237,6 +237,33 @@ impl Table {
         }
     }
 
+    /// Applies a [`TableDelta`] — cell patches, row removals, then row
+    /// appends — returning the patched table.  Surviving rows keep their
+    /// relative order (value clones are refcount bumps), so this is the
+    /// row-layout dual of
+    /// [`ColumnTable::apply_delta`](crate::column::ColumnTable::apply_delta):
+    /// applying one delta through both layouts yields identical tables.
+    pub fn apply_delta(&self, delta: &TableDelta) -> Table {
+        let mut rows: Vec<Row> = self.rows.clone();
+        for (row, col, value) in &delta.patches {
+            rows[*row][*col] = value.clone();
+        }
+        if !delta.removed.is_empty() {
+            let mut dead = vec![false; rows.len()];
+            for &r in &delta.removed {
+                dead[r as usize] = true;
+            }
+            let mut i = 0;
+            rows.retain(|_| {
+                let keep = !dead[i];
+                i += 1;
+                keep
+            });
+        }
+        rows.extend(delta.appended.iter().cloned());
+        Table { columns: self.columns.clone(), rows }
+    }
+
     /// Removes duplicate rows (set semantics), keeping the first occurrence.
     /// The seen-set holds row references; only the surviving rows are cloned
     /// into the output.
@@ -249,6 +276,40 @@ impl Table {
             }
         }
         out
+    }
+}
+
+/// One base-table change set, expressed against the table's **pre-delta**
+/// row numbering: first every cell patch is applied in place, then the
+/// `removed` rows are dropped (survivors keep their relative order), then
+/// the `appended` rows land at the end.
+///
+/// Produced by the writable graph store's commit path (one delta per
+/// touched induced table per commit) and consumed by both storage layouts
+/// — [`Table::apply_delta`] for the row image and
+/// [`ColumnTable::apply_delta`](crate::column::ColumnTable::apply_delta)
+/// for the columnar image — which are guaranteed to agree row-for-row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableDelta {
+    /// Cell patches `(row, column, new value)`, in pre-delta coordinates.
+    /// Patching a row that is also in `removed` is allowed (the patch is
+    /// simply dead work).
+    pub patches: Vec<(usize, usize, Value)>,
+    /// Pre-delta indices of the rows to drop — **sorted and deduplicated**.
+    pub removed: Vec<u32>,
+    /// Rows appended after removal, in order.
+    pub appended: Vec<Row>,
+}
+
+impl TableDelta {
+    /// A delta that changes nothing.
+    pub fn new() -> TableDelta {
+        TableDelta::default()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty() && self.removed.is_empty() && self.appended.is_empty()
     }
 }
 

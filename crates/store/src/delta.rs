@@ -1,0 +1,235 @@
+//! Batched graph mutations: stable element keys, in-delta references, and
+//! the [`Delta`] builder.
+//!
+//! A [`Delta`] is a *description* of a mutation batch, built without
+//! touching the store: additions return provisional references
+//! ([`NodeRef::New`] / [`EdgeRef::New`]) that later operations of the same
+//! delta can use, so one delta can create a node, hang edges off it, and
+//! re-point properties in a single atomic commit.  Elements that already
+//! exist in the store are addressed by their stable [`NodeKey`] /
+//! [`EdgeKey`] handles, which survive arbitrary mutation (unlike the
+//! dense arena ids of
+//! [`GraphInstance`](graphiti_graph::GraphInstance), which renumber on
+//! removal).
+
+use graphiti_common::{Ident, Value};
+
+/// A stable handle for a node in a [`GraphStore`](crate::GraphStore).
+/// Never reused, even after the node is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey(pub u64);
+
+/// A stable handle for an edge in a [`GraphStore`](crate::GraphStore).
+/// Never reused, even after the edge is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeKey(pub u64);
+
+impl std::fmt::Display for NodeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nk{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ek{}", self.0)
+    }
+}
+
+/// A node reference usable inside a delta: either a stable store key or
+/// the `i`-th node added by this delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// An existing node, by stable key.
+    Key(NodeKey),
+    /// The `i`-th node added by this delta (0-based, in
+    /// [`Delta::add_node`] order).
+    New(usize),
+}
+
+/// An edge reference usable inside a delta: either a stable store key or
+/// the `i`-th edge added by this delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRef {
+    /// An existing edge, by stable key.
+    Key(EdgeKey),
+    /// The `i`-th edge added by this delta (0-based, in
+    /// [`Delta::add_edge`] order).
+    New(usize),
+}
+
+impl From<NodeKey> for NodeRef {
+    fn from(k: NodeKey) -> NodeRef {
+        NodeRef::Key(k)
+    }
+}
+
+impl From<EdgeKey> for EdgeRef {
+    fn from(k: EdgeKey) -> EdgeRef {
+        EdgeRef::Key(k)
+    }
+}
+
+/// One primitive mutation of a delta.
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Add a node with the given label and properties.
+    AddNode {
+        /// Node label (must name a declared node type).
+        label: Ident,
+        /// Property key/value pairs.
+        props: Vec<(Ident, Value)>,
+    },
+    /// Add an edge with the given label, endpoints, and properties.
+    AddEdge {
+        /// Edge label (must name a declared edge type).
+        label: Ident,
+        /// Source node.
+        src: NodeRef,
+        /// Target node.
+        tgt: NodeRef,
+        /// Property key/value pairs.
+        props: Vec<(Ident, Value)>,
+    },
+    /// Remove a node (it must have no incident edges left at this point of
+    /// the delta).
+    RemoveNode {
+        /// The node to remove.
+        node: NodeRef,
+    },
+    /// Remove an edge.
+    RemoveEdge {
+        /// The edge to remove.
+        edge: EdgeRef,
+    },
+    /// Set one property of a node.
+    SetNodeProp {
+        /// The node to update.
+        node: NodeRef,
+        /// The property key (must be declared for the node's type).
+        key: Ident,
+        /// The new value.
+        value: Value,
+    },
+    /// Set one property of an edge.
+    SetEdgeProp {
+        /// The edge to update.
+        edge: EdgeRef,
+        /// The property key (must be declared for the edge's type).
+        key: Ident,
+        /// The new value.
+        value: Value,
+    },
+}
+
+/// An ordered batch of graph mutations, committed atomically by
+/// [`GraphStore::commit`](crate::GraphStore::commit).
+///
+/// Operations are validated and applied **in order**: a node must lose its
+/// edges before it can be removed, a default-key value freed by an earlier
+/// operation can be claimed by a later one, and so on.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    pub(crate) ops: Vec<Mutation>,
+    pub(crate) nodes_added: usize,
+    pub(crate) edges_added: usize,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Queues a node addition, returning a reference later operations of
+    /// this delta can use.
+    pub fn add_node(
+        &mut self,
+        label: impl Into<Ident>,
+        props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
+    ) -> NodeRef {
+        self.ops.push(Mutation::AddNode {
+            label: label.into(),
+            props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        });
+        let r = NodeRef::New(self.nodes_added);
+        self.nodes_added += 1;
+        r
+    }
+
+    /// Queues an edge addition between two (existing or just-added) nodes.
+    pub fn add_edge(
+        &mut self,
+        label: impl Into<Ident>,
+        src: impl Into<NodeRef>,
+        tgt: impl Into<NodeRef>,
+        props: impl IntoIterator<Item = (impl Into<Ident>, impl Into<Value>)>,
+    ) -> EdgeRef {
+        self.ops.push(Mutation::AddEdge {
+            label: label.into(),
+            src: src.into(),
+            tgt: tgt.into(),
+            props: props.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        });
+        let r = EdgeRef::New(self.edges_added);
+        self.edges_added += 1;
+        r
+    }
+
+    /// Queues a node removal.
+    pub fn remove_node(&mut self, node: impl Into<NodeRef>) -> &mut Delta {
+        self.ops.push(Mutation::RemoveNode { node: node.into() });
+        self
+    }
+
+    /// Queues an edge removal.
+    pub fn remove_edge(&mut self, edge: impl Into<EdgeRef>) -> &mut Delta {
+        self.ops.push(Mutation::RemoveEdge { edge: edge.into() });
+        self
+    }
+
+    /// Queues a node property update.
+    pub fn set_node_prop(
+        &mut self,
+        node: impl Into<NodeRef>,
+        key: impl Into<Ident>,
+        value: impl Into<Value>,
+    ) -> &mut Delta {
+        self.ops.push(Mutation::SetNodeProp {
+            node: node.into(),
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Queues an edge property update.
+    pub fn set_edge_prop(
+        &mut self,
+        edge: impl Into<EdgeRef>,
+        key: impl Into<Ident>,
+        value: impl Into<Value>,
+    ) -> &mut Delta {
+        self.ops.push(Mutation::SetEdgeProp {
+            edge: edge.into(),
+            key: key.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// The queued operations, in order.
+    pub fn ops(&self) -> &[Mutation] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta queues nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}

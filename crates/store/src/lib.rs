@@ -1,0 +1,1570 @@
+//! A writable, schema-validated property-graph store with MVCC snapshot
+//! generations and **incremental re-freeze**.
+//!
+//! [`Snapshot::freeze`](graphiti_engine::Snapshot::freeze) is the cold
+//! path: validate the whole graph, infer the SDT, run the standard
+//! transformer over every fact, and convert every induced table to
+//! columnar form.  That is the right oracle and the wrong write path — a
+//! one-property update would pay for the entire graph.  [`GraphStore`]
+//! keeps the induced-instance construction *compositional per label*
+//! (exactly what makes the paper's `InferSDT` incrementalizable): a
+//! [`Delta`] of graph mutations maps to per-label row deltas, so a commit
+//!
+//! 1. **validates incrementally** — only the touched nodes/edges and
+//!    their schema obligations (declared labels and keys, default-key
+//!    presence/uniqueness via a maintained primary-key index, endpoint
+//!    types, no dangling edges), never the whole graph;
+//! 2. **applies the delta** to the master graph (stable
+//!    [`NodeKey`]/[`EdgeKey`] handles survive the arena's swap-remove
+//!    renumbering) and to the per-label
+//!    [append + tombstone + compaction logs](`crate::table`);
+//! 3. **publishes a new generation** by patching the *previous*
+//!    generation's row and columnar images with
+//!    [`TableDelta`](graphiti_relational::TableDelta)s — untouched tables
+//!    are shared, touched columns are patched column-at-a-time — and
+//!    swapping the result into the embedded [`Engine`].
+//!
+//! Readers are never blocked: every query/batch pins the generation
+//! current at its start (`Arc<Snapshot>`), writers serialize on the
+//! store's internal lock, and the engine's plan cache survives commits
+//! (plans are keyed by query text + target, not data).  A rejected delta
+//! changes nothing — validation runs to completion before the first
+//! mutation is applied.
+//!
+//! # Example
+//!
+//! ```
+//! use graphiti_store::{Delta, GraphStore};
+//! use graphiti_engine::BatchQuery;
+//! use graphiti_graph::{GraphSchema, GraphInstance, NodeType, EdgeType};
+//! use graphiti_common::Value;
+//!
+//! let schema = GraphSchema::new()
+//!     .with_node(NodeType::new("EMP", ["id", "name"]))
+//!     .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+//!     .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]));
+//! let store = GraphStore::open(schema, GraphInstance::new()).unwrap();
+//!
+//! let mut delta = Delta::new();
+//! let ada = delta.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("Ada"))]);
+//! let cs = delta.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+//! delta.add_edge("WORK_AT", ada, cs, [("wid", Value::Int(10))]);
+//! let info = store.commit(delta).unwrap();
+//! assert_eq!(info.generation, 1);
+//!
+//! let report = store.run_batch(
+//!     &[BatchQuery::cypher("MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS d")],
+//!     1,
+//! );
+//! assert_eq!(report.ok_count(), 1);
+//! ```
+
+pub mod delta;
+mod table;
+
+pub use delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
+
+use crate::table::StoreTable;
+use graphiti_common::{Error, Ident, Result, Value};
+use graphiti_engine::{BatchQuery, BatchReport, Engine, Snapshot};
+use graphiti_graph::{EdgeId, GraphInstance, GraphSchema, NodeId};
+use graphiti_relational::{RelInstance, TableDelta};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// The outcome of a successful [`GraphStore::commit`].
+#[derive(Debug)]
+pub struct CommitInfo {
+    /// The generation the commit published (0 is the opening freeze).
+    pub generation: u64,
+    /// The published snapshot generation.
+    pub snapshot: Arc<Snapshot>,
+    /// Stable keys for the delta's added nodes, in [`Delta::add_node`]
+    /// order (keys are assigned even to nodes the same delta removed).
+    pub node_keys: Vec<NodeKey>,
+    /// Stable keys for the delta's added edges, in [`Delta::add_edge`]
+    /// order.
+    pub edge_keys: Vec<EdgeKey>,
+    /// Names of the induced tables the commit patched.
+    pub touched_tables: Vec<String>,
+}
+
+/// Point-in-time counters of a [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Latest published generation.
+    pub generation: u64,
+    /// Committed deltas (excluding rejected ones).
+    pub commits: u64,
+    /// Deltas rejected by incremental validation.
+    pub rejected_commits: u64,
+    /// Table-log compactions performed.
+    pub compactions: u64,
+    /// Live nodes in the master graph.
+    pub live_nodes: usize,
+    /// Live edges in the master graph.
+    pub live_edges: usize,
+    /// Total log slots across all induced tables (live + tombstoned).
+    pub logged_rows: usize,
+    /// Tombstoned log slots awaiting compaction.
+    pub tombstoned_rows: usize,
+    /// Commits that published the graph by cloning the master (a reader
+    /// still held every reclaimable buffer).
+    pub graph_clones: u64,
+    /// Commits that published the graph by replaying the delta backlog
+    /// onto a reclaimed buffer (O(delta), no full copy).
+    pub graph_reclaims: u64,
+}
+
+/// The writer-side state: master graph, stable-key maps, per-table logs.
+#[derive(Debug)]
+struct StoreState {
+    schema: GraphSchema,
+    graph: GraphInstance,
+    /// Arena-parallel stable keys (`node_keys[i]` is the key of `NodeId(i)`),
+    /// maintained through swap-removes.
+    node_keys: Vec<NodeKey>,
+    edge_keys: Vec<EdgeKey>,
+    node_ids: HashMap<NodeKey, NodeId>,
+    edge_ids: HashMap<EdgeKey, EdgeId>,
+    next_key: u64,
+    tables: BTreeMap<String, StoreTable>,
+    /// The snapshot the store last published.  Commits derive the next
+    /// generation from **this** lineage, never from whatever the engine
+    /// currently serves — `Engine::swap_snapshot` is public, so a caller
+    /// could have swapped in a foreign snapshot, and patching that would
+    /// silently desynchronize the published images from the master state.
+    published_snapshot: Arc<Snapshot>,
+    /// The graph handle published with the current generation (shared
+    /// with the engine's snapshot and any readers).
+    published_graph: Arc<GraphInstance>,
+    /// The previous generation's graph handle, kept so the next commit
+    /// can reclaim its buffer once every reader has released it.
+    retiring_graph: Option<Arc<GraphInstance>>,
+    /// Resolved (id-level) operation logs of the most recent generations,
+    /// enough to replay a reclaimed buffer forward to the master state.
+    backlog: VecDeque<(u64, Vec<ResolvedOp>)>,
+    generation: u64,
+    commits: u64,
+    rejected: u64,
+    compactions: u64,
+    graph_clones: u64,
+    graph_reclaims: u64,
+}
+
+/// A writable graph database: one master graph, one embedded batch
+/// [`Engine`], and a totally ordered sequence of published snapshot
+/// generations.  See the crate docs for the commit pipeline.
+#[derive(Debug)]
+pub struct GraphStore {
+    engine: Engine,
+    state: Mutex<StoreState>,
+}
+
+// The store is shared across writer and reader threads as-is.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphStore>();
+    assert_send_sync::<Delta>();
+    assert_send_sync::<CommitInfo>();
+};
+
+impl GraphStore {
+    /// Opens a store over a schema and an initial graph: one cold
+    /// [`Snapshot::freeze`] validates everything and becomes generation 0;
+    /// every subsequent [`GraphStore::commit`] is incremental.
+    pub fn open(schema: GraphSchema, graph: GraphInstance) -> Result<GraphStore> {
+        GraphStore::open_with(schema, graph, [])
+    }
+
+    /// [`GraphStore::open`] plus extra named relational instances
+    /// (immutable side databases batch queries can target via
+    /// [`SqlTarget::Named`](graphiti_engine::SqlTarget::Named)); they are
+    /// shared by reference across all generations.
+    pub fn open_with(
+        schema: GraphSchema,
+        graph: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+    ) -> Result<GraphStore> {
+        let snapshot = Snapshot::freeze_with(schema.clone(), graph, extra)?;
+        let ctx = snapshot.ctx().clone();
+        let graph = snapshot.graph().clone();
+        let node_keys: Vec<NodeKey> = (0..graph.node_count()).map(|i| NodeKey(i as u64)).collect();
+        let edge_keys: Vec<EdgeKey> =
+            (0..graph.edge_count()).map(|i| EdgeKey((graph.node_count() + i) as u64)).collect();
+        let node_ids = node_keys.iter().enumerate().map(|(i, k)| (*k, NodeId(i))).collect();
+        let edge_ids = edge_keys.iter().enumerate().map(|(i, k)| (*k, EdgeId(i))).collect();
+        let mut tables = BTreeMap::new();
+        for rel in &ctx.induced_schema.relations {
+            let name = rel.name.as_str();
+            debug_assert_eq!(
+                ctx.induced_schema.primary_key(name).map(Ident::as_str),
+                Some(rel.attrs[0].as_str()),
+                "InferSDT puts the default key first"
+            );
+            let image = snapshot
+                .induced()
+                .table(name)
+                .ok_or_else(|| Error::instance(format!("freeze produced no table `{name}`")))?;
+            tables.insert(name.to_string(), StoreTable::from_table(image));
+        }
+        let next_key = (graph.node_count() + graph.edge_count()) as u64;
+        let published_graph = snapshot.graph_arc();
+        let published_snapshot = Arc::clone(&snapshot);
+        Ok(GraphStore {
+            engine: Engine::new(snapshot),
+            state: Mutex::new(StoreState {
+                schema,
+                graph,
+                published_snapshot,
+                node_keys,
+                edge_keys,
+                node_ids,
+                edge_ids,
+                next_key,
+                tables,
+                published_graph,
+                retiring_graph: None,
+                backlog: VecDeque::new(),
+                generation: 0,
+                commits: 0,
+                rejected: 0,
+                compactions: 0,
+                graph_clones: 0,
+                graph_reclaims: 0,
+            }),
+        })
+    }
+
+    /// The embedded batch engine.  Its snapshot handle always points at
+    /// the latest published generation; its plan cache and worker pool
+    /// survive commits.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The latest published generation.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.engine.snapshot()
+    }
+
+    /// The latest generation number.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).generation
+    }
+
+    /// Runs a batch against the latest generation (pinned at batch start).
+    pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
+        self.engine.run_batch(batch, workers)
+    }
+
+    /// Point-in-time store counters.
+    pub fn stats(&self) -> StoreStats {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        StoreStats {
+            generation: st.generation,
+            commits: st.commits,
+            rejected_commits: st.rejected,
+            compactions: st.compactions,
+            live_nodes: st.graph.node_count(),
+            live_edges: st.graph.edge_count(),
+            logged_rows: st.tables.values().map(StoreTable::log_len).sum(),
+            tombstoned_rows: st.tables.values().map(StoreTable::dead_count).sum(),
+            graph_clones: st.graph_clones,
+            graph_reclaims: st.graph_reclaims,
+        }
+    }
+
+    /// Looks up the stable key of the node with the given label and
+    /// default-key value (O(label population)).
+    pub fn node_key(&self, label: &str, pk: &Value) -> Option<NodeKey> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let dk = st.schema.default_key_of(label)?.clone();
+        let key = st
+            .graph
+            .nodes_with_label(label)
+            .find(|n| n.prop(dk.as_str()) == *pk)
+            .map(|n| st.node_keys[n.id.0]);
+        key
+    }
+
+    /// Looks up the stable key of the edge with the given label and
+    /// default-key value (O(label population)).
+    pub fn edge_key(&self, label: &str, pk: &Value) -> Option<EdgeKey> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let dk = st.schema.default_key_of(label)?.clone();
+        let key = st
+            .graph
+            .edges_with_label(label)
+            .find(|e| e.prop(dk.as_str()) == *pk)
+            .map(|e| st.edge_keys[e.id.0]);
+        key
+    }
+
+    /// Every live node as `(key, label, default-key value)`.
+    pub fn node_directory(&self) -> Vec<(NodeKey, Ident, Value)> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.graph
+            .nodes()
+            .iter()
+            .map(|n| {
+                let dk = st.schema.default_key_of(n.label.as_str()).expect("declared label");
+                (st.node_keys[n.id.0], n.label.clone(), n.prop(dk.as_str()))
+            })
+            .collect()
+    }
+
+    /// Every live edge as `(key, label, default-key value, src key, tgt key)`.
+    pub fn edge_directory(&self) -> Vec<(EdgeKey, Ident, Value, NodeKey, NodeKey)> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let dk = st.schema.default_key_of(e.label.as_str()).expect("declared label");
+                (
+                    st.edge_keys[e.id.0],
+                    e.label.clone(),
+                    e.prop(dk.as_str()),
+                    st.node_keys[e.src.0],
+                    st.node_keys[e.tgt.0],
+                )
+            })
+            .collect()
+    }
+
+    /// Force-compacts every table log with tombstones, returning how many
+    /// were rewritten.  Published images are unaffected (compaction only
+    /// renumbers internal log slots).
+    pub fn compact_now(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut rewritten = 0;
+        for t in st.tables.values_mut() {
+            if t.compact(true) {
+                rewritten += 1;
+            }
+        }
+        st.compactions += rewritten as u64;
+        rewritten
+    }
+
+    /// Validates and applies a delta atomically, publishing a new snapshot
+    /// generation on success.
+    ///
+    /// Validation is **incremental and sequential**: each operation is
+    /// checked against the master state plus the effects of the delta's
+    /// earlier operations — touched elements and their schema obligations
+    /// only, never a whole-graph revalidation.  A delta that fails any
+    /// check is rejected wholesale: the master state, the published
+    /// generation, and all reader snapshots are untouched.
+    ///
+    /// On success, the commit patches the previous generation's row and
+    /// columnar induced images with per-label
+    /// [`TableDelta`](graphiti_relational::TableDelta)s (cold
+    /// re-materialization never runs), swaps the new generation into the
+    /// engine, and returns the assigned stable keys.
+    pub fn commit(&self, delta: Delta) -> Result<CommitInfo> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if delta.is_empty() {
+            return Ok(CommitInfo {
+                generation: st.generation,
+                snapshot: Arc::clone(&st.published_snapshot),
+                node_keys: Vec::new(),
+                edge_keys: Vec::new(),
+                touched_tables: Vec::new(),
+            });
+        }
+        // Phase 1: pure validation (no mutation on any failure path).
+        if let Err(e) = validate_delta(&st, &delta) {
+            st.rejected += 1;
+            return Err(e);
+        }
+        // Phase 2: apply to the master graph + table logs, recording
+        // per-table change sets.  Guaranteed to succeed by phase 1; an
+        // error here indicates an internal invariant violation.
+        let applied = apply_delta(&mut st, &delta)?;
+        // Phase 3: derive the new generation's images from the previous
+        // generation's by per-table delta application.
+        let prev = Arc::clone(&st.published_snapshot);
+        let mut induced = prev.induced().clone();
+        let mut columnar = prev.induced_columnar().clone();
+        let mut touched: Vec<String> = Vec::with_capacity(applied.deltas.len());
+        for (name, table_delta) in &applied.deltas {
+            let row_image = induced
+                .table(name)
+                .ok_or_else(|| Error::instance(format!("generation lost table `{name}`")))?
+                .apply_delta(table_delta);
+            let col_image = columnar
+                .table(name)
+                .ok_or_else(|| Error::instance(format!("generation lost columnar `{name}`")))?
+                .apply_delta(table_delta);
+            // The incrementally patched image must equal what the table
+            // log would materialize from scratch (debug builds only).
+            debug_assert_eq!(
+                row_image,
+                st.tables.get(name).expect("touched table exists").snapshot_table(),
+                "patched image of `{name}` diverges from its log"
+            );
+            induced.insert_table(name.clone(), row_image);
+            columnar.insert_table(name.clone(), col_image);
+            touched.push(name.clone());
+        }
+        // Compact eagerly-enough logs now that the change sets are
+        // extracted (compaction renumbers slots, not published rows).
+        for name in applied.deltas.keys() {
+            if let Some(t) = st.tables.get_mut(name) {
+                if t.compact(false) {
+                    st.compactions += 1;
+                }
+            }
+        }
+        let (extra, extra_columnar) = prev.extra_parts();
+        let graph = publish_graph(&mut st, applied.replay);
+        let snapshot = Snapshot::from_parts_with_columnar(
+            prev.schema_arc(),
+            graph,
+            prev.ctx_arc(),
+            induced,
+            columnar,
+            extra,
+            extra_columnar,
+        );
+        st.published_snapshot = Arc::clone(&snapshot);
+        self.engine.swap_snapshot(Arc::clone(&snapshot));
+        st.generation += 1;
+        st.commits += 1;
+        Ok(CommitInfo {
+            generation: st.generation,
+            snapshot,
+            node_keys: applied.node_keys,
+            edge_keys: applied.edge_keys,
+            touched_tables: touched,
+        })
+    }
+}
+
+// ----------------------------------------------------- graph publication
+
+/// One mutation resolved to concrete arena ids, exactly as phase 2
+/// executed it against the master graph.  Replaying a generation's log on
+/// a buffer that holds the previous generation reproduces the master
+/// graph bit-for-bit, because every [`GraphInstance`] mutation (including
+/// swap-remove renumbering) is deterministic.
+#[derive(Debug, Clone)]
+enum ResolvedOp {
+    AddNode { label: Ident, props: Vec<(Ident, Value)> },
+    AddEdge { label: Ident, src: NodeId, tgt: NodeId, props: Vec<(Ident, Value)> },
+    RemoveNode(NodeId),
+    RemoveEdge(EdgeId),
+    SetNodeProp(NodeId, Ident, Value),
+    SetEdgeProp(EdgeId, Ident, Value),
+}
+
+fn replay(g: &mut GraphInstance, ops: &[ResolvedOp]) -> Result<()> {
+    for op in ops {
+        match op {
+            ResolvedOp::AddNode { label, props } => {
+                g.add_node(label.clone(), props.iter().map(|(k, v)| (k.clone(), v.clone())));
+            }
+            ResolvedOp::AddEdge { label, src, tgt, props } => {
+                g.add_edge(
+                    label.clone(),
+                    *src,
+                    *tgt,
+                    props.iter().map(|(k, v)| (k.clone(), v.clone())),
+                );
+            }
+            ResolvedOp::RemoveNode(id) => {
+                g.remove_node(*id)?;
+            }
+            ResolvedOp::RemoveEdge(id) => {
+                g.remove_edge(*id)?;
+            }
+            ResolvedOp::SetNodeProp(id, key, value) => {
+                g.set_node_prop(*id, key.clone(), value.clone())?;
+            }
+            ResolvedOp::SetEdgeProp(id, key, value) => {
+                g.set_edge_prop(*id, key.clone(), value.clone())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Produces the graph handle for the generation being published.
+///
+/// Fast path: the generation-before-last's buffer has been released by
+/// every reader (`Arc::try_unwrap` succeeds), so the commit **replays**
+/// the backlog of resolved operations onto it — O(delta), no full copy.
+/// Slow path (a reader still pins that generation, or the store just
+/// opened): clone the master graph.  Readers are unaffected either way;
+/// this only decides how the new immutable buffer is produced.
+fn publish_graph(st: &mut StoreState, ops: Vec<ResolvedOp>) -> Arc<GraphInstance> {
+    let next_gen = st.generation + 1;
+    st.backlog.push_back((next_gen, ops));
+    while st.backlog.len() > 2 {
+        st.backlog.pop_front();
+    }
+    let reclaimed = st.retiring_graph.take().and_then(|arc| Arc::try_unwrap(arc).ok());
+    let new_graph = match reclaimed {
+        Some(mut g) => {
+            // The buffer holds generation `next_gen - backlog.len()`;
+            // replay every backlog entry to reach the master state.
+            let ok = st.backlog.iter().all(|(_, ops)| replay(&mut g, ops).is_ok());
+            if ok && g.node_count() == st.graph.node_count() {
+                debug_assert!(g == st.graph, "replayed buffer must equal the master graph");
+                st.graph_reclaims += 1;
+                g
+            } else {
+                // An impossible replay failure: fall back to a clone.
+                st.graph_clones += 1;
+                st.graph.clone()
+            }
+        }
+        None => {
+            st.graph_clones += 1;
+            st.graph.clone()
+        }
+    };
+    let arc = Arc::new(new_graph);
+    st.retiring_graph = Some(std::mem::replace(&mut st.published_graph, Arc::clone(&arc)));
+    arc
+}
+
+// ------------------------------------------------------------ validation
+
+/// An endpoint resolved during validation: an existing node or the `i`-th
+/// node staged by this delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Existing(NodeKey),
+    New(usize),
+}
+
+/// An edge resolved during validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeSlot {
+    Existing(EdgeKey),
+    New(usize),
+}
+
+#[derive(Debug)]
+struct StagedNode {
+    label: Ident,
+    props: BTreeMap<Ident, Value>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct StagedEdge {
+    label: Ident,
+    src: Endpoint,
+    tgt: Endpoint,
+    props: BTreeMap<Ident, Value>,
+    alive: bool,
+}
+
+/// Sequential validation state: the master store plus the staged effects
+/// of the delta's earlier operations.
+struct Check<'a> {
+    st: &'a StoreState,
+    new_nodes: Vec<StagedNode>,
+    new_edges: Vec<StagedEdge>,
+    removed_nodes: HashSet<NodeKey>,
+    removed_edges: HashSet<EdgeKey>,
+    node_overrides: HashMap<(NodeKey, Ident), Value>,
+    edge_overrides: HashMap<(EdgeKey, Ident), Value>,
+    /// Per-label default-key accounting: values freed (removals, re-keys)
+    /// and claimed (additions, re-keys) by earlier operations.
+    freed: HashSet<(Ident, Value)>,
+    claimed: HashSet<(Ident, Value)>,
+}
+
+impl<'a> Check<'a> {
+    fn resolve_node(&self, r: &NodeRef) -> Result<Endpoint> {
+        match r {
+            NodeRef::Key(k) => {
+                if self.removed_nodes.contains(k) || !self.st.node_ids.contains_key(k) {
+                    return Err(Error::instance(format!("unknown or removed node {k}")));
+                }
+                Ok(Endpoint::Existing(*k))
+            }
+            NodeRef::New(i) => match self.new_nodes.get(*i) {
+                Some(n) if n.alive => Ok(Endpoint::New(*i)),
+                _ => Err(Error::instance(format!("unknown or removed staged node #{i}"))),
+            },
+        }
+    }
+
+    fn node_label(&self, ep: Endpoint) -> &Ident {
+        match ep {
+            Endpoint::Existing(k) => &self.st.graph.nodes()[self.st.node_ids[&k].0].label,
+            Endpoint::New(i) => &self.new_nodes[i].label,
+        }
+    }
+
+    fn node_prop(&self, ep: Endpoint, key: &Ident) -> Value {
+        match ep {
+            Endpoint::Existing(k) => {
+                if let Some(v) = self.node_overrides.get(&(k, key.clone())) {
+                    return v.clone();
+                }
+                self.st.graph.nodes()[self.st.node_ids[&k].0].prop(key.as_str())
+            }
+            Endpoint::New(i) => self.new_nodes[i].props.get(key).cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Resolves an edge reference to its staged index or checks liveness of
+    /// an existing edge.
+    fn resolve_edge(&self, r: &EdgeRef) -> Result<EdgeSlot> {
+        match r {
+            EdgeRef::Key(k) => {
+                if self.removed_edges.contains(k) || !self.st.edge_ids.contains_key(k) {
+                    return Err(Error::instance(format!("unknown or removed edge {k}")));
+                }
+                Ok(EdgeSlot::Existing(*k))
+            }
+            EdgeRef::New(i) => match self.new_edges.get(*i) {
+                Some(e) if e.alive => Ok(EdgeSlot::New(*i)),
+                _ => Err(Error::instance(format!("unknown or removed staged edge #{i}"))),
+            },
+        }
+    }
+
+    fn edge_label(&self, slot: EdgeSlot) -> &Ident {
+        match slot {
+            EdgeSlot::Existing(k) => &self.st.graph.edges()[self.st.edge_ids[&k].0].label,
+            EdgeSlot::New(i) => &self.new_edges[i].label,
+        }
+    }
+
+    fn edge_prop(&self, slot: EdgeSlot, key: &Ident) -> Value {
+        match slot {
+            EdgeSlot::Existing(k) => {
+                if let Some(v) = self.edge_overrides.get(&(k, key.clone())) {
+                    return v.clone();
+                }
+                self.st.graph.edges()[self.st.edge_ids[&k].0].prop(key.as_str())
+            }
+            EdgeSlot::New(i) => self.new_edges[i].props.get(key).cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Claims a default-key value for a label, enforcing uniqueness
+    /// against the master index and the delta's earlier operations.
+    ///
+    /// A value is held iff (the master index holds it AND no earlier
+    /// operation freed the master's copy) OR an earlier operation staged a
+    /// claim on it.  `freed` deliberately keeps recording "the master's
+    /// copy is gone" even while a staged claim cycles the value — a
+    /// remove/add/remove/add chain on one key must stay valid.
+    fn claim(&mut self, label: &Ident, value: &Value) -> Result<()> {
+        let kv = (label.clone(), value.clone());
+        let held_by_master =
+            self.st.tables.get(label.as_str()).is_some_and(|t| t.contains_pk(value))
+                && !self.freed.contains(&kv);
+        if held_by_master || self.claimed.contains(&kv) {
+            return Err(Error::instance(format!(
+                "duplicate default-key value {value} for label `{label}`"
+            )));
+        }
+        self.claimed.insert(kv);
+        Ok(())
+    }
+
+    /// Releases a default-key value (element removed or re-keyed): a
+    /// staged claim is cancelled, a master-held value is marked freed.
+    fn free(&mut self, label: &Ident, value: &Value) {
+        let kv = (label.clone(), value.clone());
+        if !self.claimed.remove(&kv) {
+            self.freed.insert(kv);
+        }
+    }
+}
+
+/// Extracts and checks the default-key value from an addition's property
+/// list: present, non-null, and every key declared.
+fn check_props(
+    kind: &str,
+    label: &Ident,
+    declared: &[Ident],
+    props: &[(Ident, Value)],
+) -> Result<Value> {
+    for (k, _) in props {
+        if !declared.contains(k) {
+            return Err(Error::instance(format!("{kind} `{label}` has undeclared property `{k}`")));
+        }
+    }
+    let dk = &declared[0];
+    let pk =
+        props.iter().rev().find(|(k, _)| k == dk).map(|(_, v)| v.clone()).unwrap_or(Value::Null);
+    if pk.is_null() {
+        return Err(Error::instance(format!("{kind} `{label}` is missing its default key `{dk}`")));
+    }
+    Ok(pk)
+}
+
+/// Phase 1: sequential incremental validation.  Pure — the store state is
+/// untouched regardless of outcome.
+fn validate_delta(st: &StoreState, delta: &Delta) -> Result<()> {
+    let mut c = Check {
+        st,
+        new_nodes: Vec::new(),
+        new_edges: Vec::new(),
+        removed_nodes: HashSet::new(),
+        removed_edges: HashSet::new(),
+        node_overrides: HashMap::new(),
+        edge_overrides: HashMap::new(),
+        freed: HashSet::new(),
+        claimed: HashSet::new(),
+    };
+    for op in delta.ops() {
+        match op {
+            Mutation::AddNode { label, props } => {
+                let ty = st
+                    .schema
+                    .node_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("unknown node label `{label}`")))?;
+                let pk = check_props("node", label, &ty.keys, props)?;
+                c.claim(label, &pk)?;
+                c.new_nodes.push(StagedNode {
+                    label: label.clone(),
+                    props: props.iter().cloned().collect(),
+                    alive: true,
+                });
+            }
+            Mutation::AddEdge { label, src, tgt, props } => {
+                let ty = st
+                    .schema
+                    .edge_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("unknown edge label `{label}`")))?;
+                let src = c.resolve_node(src)?;
+                let tgt = c.resolve_node(tgt)?;
+                if *c.node_label(src) != ty.src || *c.node_label(tgt) != ty.tgt {
+                    return Err(Error::instance(format!(
+                        "edge `{label}` connects `{}`->`{}` but schema declares `{}`->`{}`",
+                        c.node_label(src),
+                        c.node_label(tgt),
+                        ty.src,
+                        ty.tgt
+                    )));
+                }
+                let pk = check_props("edge", label, &ty.keys, props)?;
+                c.claim(label, &pk)?;
+                c.new_edges.push(StagedEdge {
+                    label: label.clone(),
+                    src,
+                    tgt,
+                    props: props.iter().cloned().collect(),
+                    alive: true,
+                });
+            }
+            Mutation::RemoveEdge { edge } => {
+                let slot = c.resolve_edge(edge)?;
+                let label = c.edge_label(slot).clone();
+                let dk = st.schema.default_key_of(label.as_str()).expect("declared label");
+                let pk = c.edge_prop(slot, dk);
+                c.free(&label, &pk);
+                match slot {
+                    EdgeSlot::Existing(k) => {
+                        c.removed_edges.insert(k);
+                    }
+                    EdgeSlot::New(i) => c.new_edges[i].alive = false,
+                }
+            }
+            Mutation::RemoveNode { node } => {
+                let ep = c.resolve_node(node)?;
+                // No incident edge may survive to this point of the delta.
+                match ep {
+                    Endpoint::Existing(k) => {
+                        let id = st.node_ids[&k];
+                        let incident = st
+                            .graph
+                            .out_edges(id)
+                            .chain(st.graph.in_edges(id))
+                            .any(|e| !c.removed_edges.contains(&st.edge_keys[e.id.0]));
+                        if incident {
+                            return Err(Error::instance(format!(
+                                "node {k} still has incident edges"
+                            )));
+                        }
+                    }
+                    Endpoint::New(_) => {}
+                }
+                if c.new_edges.iter().any(|e| e.alive && (e.src == ep || e.tgt == ep)) {
+                    return Err(Error::instance(
+                        "node still has incident edges staged by this delta",
+                    ));
+                }
+                let label = c.node_label(ep).clone();
+                let dk = st.schema.default_key_of(label.as_str()).expect("declared label");
+                let pk = c.node_prop(ep, dk);
+                c.free(&label, &pk);
+                match ep {
+                    Endpoint::Existing(k) => {
+                        c.removed_nodes.insert(k);
+                    }
+                    Endpoint::New(i) => c.new_nodes[i].alive = false,
+                }
+            }
+            Mutation::SetNodeProp { node, key, value } => {
+                let ep = c.resolve_node(node)?;
+                let label = c.node_label(ep).clone();
+                let ty = st.schema.node_type(label.as_str()).expect("declared label");
+                if !ty.keys.contains(key) {
+                    return Err(Error::instance(format!(
+                        "node `{label}` has no declared property `{key}`"
+                    )));
+                }
+                if *key == *ty.default_key() {
+                    if value.is_null() {
+                        return Err(Error::instance(format!(
+                            "default key `{key}` of `{label}` cannot be NULL"
+                        )));
+                    }
+                    let old = c.node_prop(ep, key);
+                    if old != *value {
+                        c.free(&label, &old);
+                        c.claim(&label, value)?;
+                    }
+                }
+                match ep {
+                    Endpoint::Existing(k) => {
+                        c.node_overrides.insert((k, key.clone()), value.clone());
+                    }
+                    Endpoint::New(i) => {
+                        c.new_nodes[i].props.insert(key.clone(), value.clone());
+                    }
+                }
+            }
+            Mutation::SetEdgeProp { edge, key, value } => {
+                let slot = c.resolve_edge(edge)?;
+                let label = c.edge_label(slot).clone();
+                let ty = st.schema.edge_type(label.as_str()).expect("declared label");
+                if !ty.keys.contains(key) {
+                    return Err(Error::instance(format!(
+                        "edge `{label}` has no declared property `{key}`"
+                    )));
+                }
+                if *key == *ty.default_key() {
+                    if value.is_null() {
+                        return Err(Error::instance(format!(
+                            "default key `{key}` of `{label}` cannot be NULL"
+                        )));
+                    }
+                    let old = c.edge_prop(slot, key);
+                    if old != *value {
+                        c.free(&label, &old);
+                        c.claim(&label, value)?;
+                    }
+                }
+                match slot {
+                    EdgeSlot::Existing(k) => {
+                        c.edge_overrides.insert((k, key.clone()), value.clone());
+                    }
+                    EdgeSlot::New(i) => {
+                        c.new_edges[i].props.insert(key.clone(), value.clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// -------------------------------------------------------------- applying
+
+/// Everything phase 2 hands to the publication phase.
+struct Applied {
+    deltas: BTreeMap<String, TableDelta>,
+    node_keys: Vec<NodeKey>,
+    edge_keys: Vec<EdgeKey>,
+    /// The id-level operation log, for replay-based graph publication.
+    replay: Vec<ResolvedOp>,
+}
+
+/// Commit-local change set of one table log.
+struct Pending {
+    len_before: usize,
+    removed_slots: Vec<usize>,
+    patches: Vec<(usize, usize, Value)>,
+    appended_slots: Vec<usize>,
+}
+
+fn touch<'p>(
+    pending: &'p mut BTreeMap<String, Pending>,
+    tables: &BTreeMap<String, StoreTable>,
+    name: &str,
+) -> &'p mut Pending {
+    if !pending.contains_key(name) {
+        let len_before = tables.get(name).map(StoreTable::log_len).unwrap_or(0);
+        pending.insert(
+            name.to_string(),
+            Pending {
+                len_before,
+                removed_slots: Vec::new(),
+                patches: Vec::new(),
+                appended_slots: Vec::new(),
+            },
+        );
+    }
+    pending.get_mut(name).expect("just inserted")
+}
+
+/// Phase 2: applies a validated delta to the master graph and table logs,
+/// recording per-table change sets in pre-commit published coordinates.
+fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
+    let mut pending: BTreeMap<String, Pending> = BTreeMap::new();
+    let mut new_node_keys: Vec<NodeKey> = Vec::with_capacity(delta.nodes_added);
+    let mut new_edge_keys: Vec<EdgeKey> = Vec::with_capacity(delta.edges_added);
+    let mut replay: Vec<ResolvedOp> = Vec::with_capacity(delta.len());
+    for op in delta.ops() {
+        match op {
+            Mutation::AddNode { label, props } => {
+                let key = NodeKey(st.next_key);
+                st.next_key += 1;
+                let id = st
+                    .graph
+                    .add_node(label.clone(), props.iter().map(|(k, v)| (k.clone(), v.clone())));
+                st.node_keys.push(key);
+                st.node_ids.insert(key, id);
+                new_node_keys.push(key);
+                let ty = st.schema.node_type(label.as_str()).expect("validated");
+                let row: Vec<Value> =
+                    ty.keys.iter().map(|k| st.graph.node(id).prop(k.as_str())).collect();
+                append_row(st, &mut pending, label.as_str(), row)?;
+                replay.push(ResolvedOp::AddNode { label: label.clone(), props: props.clone() });
+            }
+            Mutation::AddEdge { label, src, tgt, props } => {
+                let key = EdgeKey(st.next_key);
+                st.next_key += 1;
+                let src_id = resolve_applied_node(st, &new_node_keys, src)?;
+                let tgt_id = resolve_applied_node(st, &new_node_keys, tgt)?;
+                let id = st.graph.add_edge(
+                    label.clone(),
+                    src_id,
+                    tgt_id,
+                    props.iter().map(|(k, v)| (k.clone(), v.clone())),
+                );
+                st.edge_keys.push(key);
+                st.edge_ids.insert(key, id);
+                new_edge_keys.push(key);
+                let ty = st.schema.edge_type(label.as_str()).expect("validated");
+                let src_dk = st.schema.default_key_of(ty.src.as_str()).expect("declared");
+                let tgt_dk = st.schema.default_key_of(ty.tgt.as_str()).expect("declared");
+                let mut row: Vec<Value> =
+                    ty.keys.iter().map(|k| st.graph.edge(id).prop(k.as_str())).collect();
+                row.push(st.graph.node(src_id).prop(src_dk.as_str()));
+                row.push(st.graph.node(tgt_id).prop(tgt_dk.as_str()));
+                append_row(st, &mut pending, label.as_str(), row)?;
+                replay.push(ResolvedOp::AddEdge {
+                    label: label.clone(),
+                    src: src_id,
+                    tgt: tgt_id,
+                    props: props.clone(),
+                });
+            }
+            Mutation::RemoveEdge { edge } => {
+                let key = match edge {
+                    EdgeRef::Key(k) => *k,
+                    EdgeRef::New(i) => new_edge_keys[*i],
+                };
+                let id = *st
+                    .edge_ids
+                    .get(&key)
+                    .ok_or_else(|| Error::instance(format!("lost edge {key}")))?;
+                let label = st.graph.try_edge(id)?.label.clone();
+                let dk = st.schema.default_key_of(label.as_str()).expect("declared");
+                let pk = st.graph.try_edge(id)?.prop(dk.as_str());
+                st.graph.remove_edge(id)?;
+                // Mirror the arena's swap-remove in the key maps.
+                let removed_key = st.edge_keys.swap_remove(id.0);
+                debug_assert_eq!(removed_key, key);
+                st.edge_ids.remove(&key);
+                if id.0 < st.edge_keys.len() {
+                    st.edge_ids.insert(st.edge_keys[id.0], id);
+                }
+                tombstone_row(st, &mut pending, label.as_str(), &pk)?;
+                replay.push(ResolvedOp::RemoveEdge(id));
+            }
+            Mutation::RemoveNode { node } => {
+                let key = match node {
+                    NodeRef::Key(k) => *k,
+                    NodeRef::New(i) => new_node_keys[*i],
+                };
+                let id = *st
+                    .node_ids
+                    .get(&key)
+                    .ok_or_else(|| Error::instance(format!("lost node {key}")))?;
+                let label = st.graph.try_node(id)?.label.clone();
+                let dk = st.schema.default_key_of(label.as_str()).expect("declared");
+                let pk = st.graph.try_node(id)?.prop(dk.as_str());
+                st.graph.remove_node(id)?;
+                let removed_key = st.node_keys.swap_remove(id.0);
+                debug_assert_eq!(removed_key, key);
+                st.node_ids.remove(&key);
+                if id.0 < st.node_keys.len() {
+                    st.node_ids.insert(st.node_keys[id.0], id);
+                }
+                tombstone_row(st, &mut pending, label.as_str(), &pk)?;
+                replay.push(ResolvedOp::RemoveNode(id));
+            }
+            Mutation::SetNodeProp { node, key, value } => {
+                let nkey = match node {
+                    NodeRef::Key(k) => *k,
+                    NodeRef::New(i) => new_node_keys[*i],
+                };
+                let id = *st
+                    .node_ids
+                    .get(&nkey)
+                    .ok_or_else(|| Error::instance(format!("lost node {nkey}")))?;
+                let label = st.graph.try_node(id)?.label.clone();
+                let ty = st.schema.node_type(label.as_str()).expect("validated");
+                let col = ty
+                    .keys
+                    .iter()
+                    .position(|k| k == key)
+                    .ok_or_else(|| Error::instance(format!("undeclared key `{key}`")))?;
+                let pk_before = st.graph.try_node(id)?.prop(ty.default_key().as_str());
+                st.graph.set_node_prop(id, key.clone(), value.clone())?;
+                replay.push(ResolvedOp::SetNodeProp(id, key.clone(), value.clone()));
+                patch_row(st, &mut pending, label.as_str(), &pk_before, col, value.clone())?;
+                if col == 0 && pk_before != *value {
+                    // The node's default key is the join value every
+                    // incident edge row carries in SRC/TGT: patch them too.
+                    let incident: Vec<(Ident, Value, bool)> = st
+                        .graph
+                        .out_edges(id)
+                        .map(|e| (e.label.clone(), e.id, true))
+                        .chain(st.graph.in_edges(id).map(|e| (e.label.clone(), e.id, false)))
+                        .map(|(elabel, eid, is_src)| {
+                            let edk =
+                                st.schema.default_key_of(elabel.as_str()).expect("declared label");
+                            (elabel.clone(), st.graph.edge(eid).prop(edk.as_str()), is_src)
+                        })
+                        .collect();
+                    for (elabel, epk, is_src) in incident {
+                        let ety = st.schema.edge_type(elabel.as_str()).expect("declared");
+                        let ecol = if is_src { ety.keys.len() } else { ety.keys.len() + 1 };
+                        patch_row(st, &mut pending, elabel.as_str(), &epk, ecol, value.clone())?;
+                    }
+                }
+            }
+            Mutation::SetEdgeProp { edge, key, value } => {
+                let ekey = match edge {
+                    EdgeRef::Key(k) => *k,
+                    EdgeRef::New(i) => new_edge_keys[*i],
+                };
+                let id = *st
+                    .edge_ids
+                    .get(&ekey)
+                    .ok_or_else(|| Error::instance(format!("lost edge {ekey}")))?;
+                let label = st.graph.try_edge(id)?.label.clone();
+                let ty = st.schema.edge_type(label.as_str()).expect("validated");
+                let col = ty
+                    .keys
+                    .iter()
+                    .position(|k| k == key)
+                    .ok_or_else(|| Error::instance(format!("undeclared key `{key}`")))?;
+                let pk_before = st.graph.try_edge(id)?.prop(ty.default_key().as_str());
+                st.graph.set_edge_prop(id, key.clone(), value.clone())?;
+                replay.push(ResolvedOp::SetEdgeProp(id, key.clone(), value.clone()));
+                patch_row(st, &mut pending, label.as_str(), &pk_before, col, value.clone())?;
+            }
+        }
+    }
+    // Translate commit-local slot coordinates into pre-commit published
+    // positions and extract one TableDelta per touched table.
+    let mut deltas: BTreeMap<String, TableDelta> = BTreeMap::new();
+    for (name, p) in pending {
+        let table = st.tables.get(&name).expect("touched table exists");
+        let mut out = TableDelta::new();
+        if !(p.removed_slots.is_empty() && p.patches.is_empty()) {
+            let removed_set: HashSet<usize> = p.removed_slots.iter().copied().collect();
+            let mut pos = vec![u32::MAX; p.len_before];
+            let mut next = 0u32;
+            for (slot, entry) in pos.iter_mut().enumerate() {
+                if !table.is_dead(slot) || removed_set.contains(&slot) {
+                    *entry = next;
+                    next += 1;
+                }
+            }
+            out.removed = p.removed_slots.iter().map(|s| pos[*s]).collect();
+            out.removed.sort_unstable();
+            out.removed.dedup();
+            out.patches =
+                p.patches.iter().map(|(s, c, v)| (pos[*s] as usize, *c, v.clone())).collect();
+        }
+        out.appended = p
+            .appended_slots
+            .iter()
+            .filter(|s| !table.is_dead(**s))
+            .map(|s| table.row(*s).clone())
+            .collect();
+        if !out.is_empty() {
+            deltas.insert(name, out);
+        }
+    }
+    Ok(Applied { deltas, node_keys: new_node_keys, edge_keys: new_edge_keys, replay })
+}
+
+fn resolve_applied_node(st: &StoreState, new_node_keys: &[NodeKey], r: &NodeRef) -> Result<NodeId> {
+    let key = match r {
+        NodeRef::Key(k) => *k,
+        NodeRef::New(i) => *new_node_keys
+            .get(*i)
+            .ok_or_else(|| Error::instance(format!("unknown staged node #{i}")))?,
+    };
+    st.node_ids
+        .get(&key)
+        .copied()
+        .ok_or_else(|| Error::instance(format!("unknown or removed node {key}")))
+}
+
+/// Appends a row to a table log and records the append.  The pending
+/// entry is created (capturing `len_before`) **before** the log grows, so
+/// pre-commit coordinates stay correct.
+fn append_row(
+    st: &mut StoreState,
+    pending: &mut BTreeMap<String, Pending>,
+    name: &str,
+    row: Vec<Value>,
+) -> Result<()> {
+    touch(pending, &st.tables, name);
+    let slot = st
+        .tables
+        .get_mut(name)
+        .ok_or_else(|| Error::instance(format!("no induced table `{name}`")))?
+        .append(row);
+    pending.get_mut(name).expect("touched above").appended_slots.push(slot);
+    Ok(())
+}
+
+/// Tombstones the row carrying `pk` and records the removal (or cancels
+/// the append when the row was added by this very commit).
+fn tombstone_row(
+    st: &mut StoreState,
+    pending: &mut BTreeMap<String, Pending>,
+    name: &str,
+    pk: &Value,
+) -> Result<()> {
+    let slot = st
+        .tables
+        .get_mut(name)
+        .and_then(|t| t.tombstone(pk))
+        .ok_or_else(|| Error::instance(format!("no row with key {pk} in `{name}`")))?;
+    let p = touch(pending, &st.tables, name);
+    if slot >= p.len_before {
+        p.appended_slots.retain(|s| *s != slot);
+    } else {
+        p.removed_slots.push(slot);
+    }
+    Ok(())
+}
+
+/// Patches one cell of the row carrying `pk_before` and records the patch
+/// when the row predates this commit (appended rows are read back from
+/// the log at extraction time, so their patches need no record).
+fn patch_row(
+    st: &mut StoreState,
+    pending: &mut BTreeMap<String, Pending>,
+    name: &str,
+    pk_before: &Value,
+    col: usize,
+    value: Value,
+) -> Result<()> {
+    let table = st
+        .tables
+        .get_mut(name)
+        .ok_or_else(|| Error::instance(format!("no induced table `{name}`")))?;
+    let slot = table
+        .slot_of(pk_before)
+        .ok_or_else(|| Error::instance(format!("no row with key {pk_before} in `{name}`")))?;
+    table.patch(slot, col, value.clone());
+    let p = touch(pending, &st.tables, name);
+    if slot < p.len_before {
+        p.patches.push((slot, col, value));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_engine::SqlTarget;
+    use graphiti_graph::{EdgeType, NodeType};
+
+    fn emp_schema() -> GraphSchema {
+        GraphSchema::new()
+            .with_node(NodeType::new("EMP", ["id", "name"]))
+            .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+            .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+    }
+
+    fn emp_graph() -> GraphInstance {
+        let mut g = GraphInstance::new();
+        let a = g.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("A"))]);
+        let b = g.add_node("EMP", [("id", Value::Int(2)), ("name", Value::str("B"))]);
+        let cs = g.add_node("DEPT", [("dnum", Value::Int(1)), ("dname", Value::str("CS"))]);
+        let _ee = g.add_node("DEPT", [("dnum", Value::Int(2)), ("dname", Value::str("EE"))]);
+        g.add_edge("WORK_AT", a, cs, [("wid", Value::Int(10))]);
+        g.add_edge("WORK_AT", b, cs, [("wid", Value::Int(11))]);
+        g
+    }
+
+    /// The incremental images must match a cold re-freeze of the master
+    /// graph: equal columns, bag-equal rows, and identical row/columnar
+    /// images.
+    fn assert_matches_cold_freeze(store: &GraphStore) {
+        let snap = store.snapshot();
+        let cold = Snapshot::freeze(snap.schema().clone(), snap.graph().clone())
+            .expect("master graph must stay schema-valid");
+        for (name, cold_table) in cold.induced().tables() {
+            let live = snap.induced().table(name).expect("table present");
+            assert_eq!(live.columns, cold_table.columns, "columns of `{name}`");
+            assert!(
+                live.rows_bag_equal(cold_table),
+                "rows of `{name}` diverge from cold freeze:\nincremental:\n{live}\ncold:\n{cold_table}"
+            );
+            let columnar = snap
+                .sql_columnar(&SqlTarget::Induced)
+                .unwrap()
+                .table(name)
+                .expect("columnar present")
+                .to_table();
+            assert_eq!(columnar, *live, "columnar image of `{name}` diverges from row image");
+        }
+    }
+
+    #[test]
+    fn open_then_incremental_adds_are_visible_and_consistent() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        assert_eq!(store.generation(), 0);
+        let mut d = Delta::new();
+        let zed = d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("Zed"))]);
+        let ee = store.node_key("DEPT", &Value::Int(2)).unwrap();
+        d.add_edge("WORK_AT", zed, ee, [("wid", Value::Int(12))]);
+        let info = store.commit(d).unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.node_keys.len(), 1);
+        assert_eq!(info.edge_keys.len(), 1);
+        let mut touched = info.touched_tables.clone();
+        touched.sort();
+        assert_eq!(touched, vec!["EMP".to_string(), "WORK_AT".to_string()]);
+        assert_matches_cold_freeze(&store);
+        let report = store.run_batch(
+            &[BatchQuery::cypher(
+                "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS d, Count(n) AS c",
+            )],
+            1,
+        );
+        let table = report.outcomes[0].result.as_ref().unwrap();
+        assert_eq!(table.len(), 2, "CS and EE both have workers now");
+    }
+
+    #[test]
+    fn readers_keep_their_generation_while_writers_commit() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let gen0 = store.snapshot();
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        store.commit(d).unwrap();
+        assert_eq!(gen0.graph().node_count(), 4, "pinned generation is immutable");
+        assert_eq!(store.snapshot().graph().node_count(), 5);
+        // Plans survive the generation change.
+        let q = BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e");
+        let first = store.engine().execute(&q);
+        assert_eq!(first.result.unwrap().rows[0][0], Value::Int(3));
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(4)), ("name", Value::str("D"))]);
+        store.commit(d).unwrap();
+        let warm = store.engine().execute(&q);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.result.unwrap().rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn rejected_deltas_change_nothing() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let gen_before = store.snapshot();
+        let bad_deltas: Vec<Delta> = vec![
+            // Duplicate default key.
+            {
+                let mut d = Delta::new();
+                d.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("dup"))]);
+                d
+            },
+            // Unknown label.
+            {
+                let mut d = Delta::new();
+                d.add_node("GHOST", [("gid", Value::Int(1))]);
+                d
+            },
+            // Undeclared property.
+            {
+                let mut d = Delta::new();
+                d.add_node("EMP", [("id", Value::Int(9)), ("salary", Value::Int(5))]);
+                d
+            },
+            // Missing default key.
+            {
+                let mut d = Delta::new();
+                d.add_node("EMP", [("name", Value::str("NoId"))]);
+                d
+            },
+            // Node removal while incident edges remain.
+            {
+                let mut d = Delta::new();
+                let k = GraphStore::open(emp_schema(), emp_graph())
+                    .unwrap()
+                    .node_key("EMP", &Value::Int(1))
+                    .unwrap();
+                d.remove_node(k);
+                d
+            },
+            // Default key set to NULL.
+            {
+                let mut d = Delta::new();
+                let k = GraphStore::open(emp_schema(), emp_graph())
+                    .unwrap()
+                    .node_key("EMP", &Value::Int(1))
+                    .unwrap();
+                d.set_node_prop(k, "id", Value::Null);
+                d
+            },
+            // Edge endpoints of the wrong type.
+            {
+                let mut d = Delta::new();
+                let d1 = d.add_node("DEPT", [("dnum", Value::Int(7)), ("dname", Value::str("X"))]);
+                let d2 = d.add_node("DEPT", [("dnum", Value::Int(8)), ("dname", Value::str("Y"))]);
+                d.add_edge("WORK_AT", d1, d2, [("wid", Value::Int(99))]);
+                d
+            },
+            // A valid prefix then one bad op: the whole delta must abort.
+            {
+                let mut d = Delta::new();
+                d.add_node("EMP", [("id", Value::Int(50)), ("name", Value::str("ok"))]);
+                d.add_node("EMP", [("id", Value::Int(50)), ("name", Value::str("dup"))]);
+                d
+            },
+        ];
+        for d in bad_deltas {
+            assert!(store.commit(d).is_err());
+        }
+        assert_eq!(store.generation(), 0, "no rejected delta may publish");
+        assert!(Arc::ptr_eq(&gen_before, &store.snapshot()));
+        assert_eq!(store.stats().rejected_commits, 8);
+        assert_matches_cold_freeze(&store);
+        // The store still accepts valid work afterwards.
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(60)), ("name", Value::str("fine"))]);
+        store.commit(d).unwrap();
+        assert_matches_cold_freeze(&store);
+    }
+
+    #[test]
+    fn default_key_change_rewrites_incident_edge_rows() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let ada = store.node_key("EMP", &Value::Int(1)).unwrap();
+        let mut d = Delta::new();
+        d.set_node_prop(ada, "id", Value::Int(100));
+        store.commit(d).unwrap();
+        assert_matches_cold_freeze(&store);
+        // The transpiled join through SRC still finds the renamed node.
+        let report = store.run_batch(
+            &[BatchQuery::sql(
+                "SELECT e.name FROM EMP AS e, WORK_AT AS w WHERE e.id = w.SRC AND e.id = 100",
+            )],
+            1,
+        );
+        let t = report.outcomes[0].result.as_ref().unwrap();
+        assert_eq!(t.rows, vec![vec![Value::str("A")]]);
+    }
+
+    #[test]
+    fn add_and_remove_in_one_delta_cancels_out() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let mut d = Delta::new();
+        let n = d.add_node("EMP", [("id", Value::Int(77)), ("name", Value::str("tmp"))]);
+        let dept = store.node_key("DEPT", &Value::Int(1)).unwrap();
+        let e = d.add_edge("WORK_AT", n, dept, [("wid", Value::Int(77))]);
+        d.remove_edge(e);
+        d.remove_node(n);
+        // The freed key is claimable again within the same delta.
+        d.add_node("EMP", [("id", Value::Int(77)), ("name", Value::str("kept"))]);
+        let info = store.commit(d).unwrap();
+        assert_eq!(info.node_keys.len(), 2);
+        assert_matches_cold_freeze(&store);
+        let snap = store.snapshot();
+        assert_eq!(snap.graph().node_count(), 5);
+        assert_eq!(snap.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn removals_tombstone_then_compact_without_changing_images() {
+        let store = GraphStore::open(emp_schema(), GraphInstance::new()).unwrap();
+        let mut d = Delta::new();
+        for i in 0..100 {
+            d.add_node("EMP", [("id", Value::Int(i)), ("name", Value::str("w"))]);
+        }
+        let info = store.commit(d).unwrap();
+        let mut d = Delta::new();
+        for key in info.node_keys.iter().take(80) {
+            d.remove_node(*key);
+        }
+        store.commit(d).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.live_nodes, 20);
+        assert!(stats.compactions >= 1, "80% tombstones must have compacted");
+        assert_matches_cold_freeze(&store);
+        // Force-compact whatever is left and re-verify.
+        store.compact_now();
+        assert_matches_cold_freeze(&store);
+        let report = store.run_batch(&[BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e")], 1);
+        assert_eq!(report.outcomes[0].result.as_ref().unwrap().rows[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_generations() {
+        let store = Arc::new(GraphStore::open(emp_schema(), emp_graph()).unwrap());
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let mut d = Delta::new();
+                    d.add_node("EMP", [("id", Value::Int(100 + i)), ("name", Value::str("w"))]);
+                    store.commit(d).unwrap();
+                }
+            })
+        };
+        let batch = vec![
+            BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e"),
+            BatchQuery::cypher("MATCH (n:EMP) RETURN Count(*) AS c"),
+        ];
+        for _ in 0..100 {
+            let report = store.run_batch(&batch, 2);
+            assert_eq!(report.ok_count(), 2, "reads must never fail mid-write");
+            // Both queries of a batch run on one pinned generation: they
+            // must agree with each other exactly.
+            let sql = &report.outcomes[0].result.as_ref().unwrap().rows[0][0];
+            let cypher = &report.outcomes[1].result.as_ref().unwrap().rows[0][0];
+            assert_eq!(sql, cypher, "batch saw a torn generation");
+        }
+        writer.join().unwrap();
+        assert_eq!(store.generation(), 50);
+        assert_matches_cold_freeze(&store);
+    }
+
+    #[test]
+    fn a_default_key_can_cycle_through_several_elements_in_one_delta() {
+        // remove/add/remove/add on one key: the "master's copy is freed"
+        // fact must survive intermediate staged claims.
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let ada = store.node_key("EMP", &Value::Int(1)).unwrap();
+        let mut d = Delta::new();
+        let edges: Vec<EdgeKey> = store
+            .edge_directory()
+            .into_iter()
+            .filter(|(_, _, _, src, _)| *src == ada)
+            .map(|(k, ..)| k)
+            .collect();
+        for e in edges {
+            d.remove_edge(e);
+        }
+        d.remove_node(ada);
+        let a = d.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("first"))]);
+        d.remove_node(a);
+        d.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("second"))]);
+        store.commit(d).expect("a net-valid key cycle must commit");
+        assert_matches_cold_freeze(&store);
+        let snap = store.snapshot();
+        let emp = snap.induced().table("EMP").unwrap();
+        assert!(emp.rows.contains(&vec![Value::Int(1), Value::str("second")]));
+        // And the value is still guarded: claiming it again must fail.
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("dup"))]);
+        assert!(store.commit(d).is_err());
+    }
+
+    #[test]
+    fn commits_derive_from_the_store_lineage_not_the_engine_slot() {
+        // A caller can reach the raw engine and swap in a foreign
+        // snapshot; the store's next commit must still derive from its
+        // own published lineage and stay consistent with the master.
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let foreign_schema = GraphSchema::new().with_node(NodeType::new("EMP", ["id", "name"]));
+        let mut foreign_graph = GraphInstance::new();
+        foreign_graph.add_node("EMP", [("id", Value::Int(77)), ("name", Value::str("alien"))]);
+        let foreign = Snapshot::freeze(foreign_schema, foreign_graph).unwrap();
+        store.engine().swap_snapshot(foreign);
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(5)), ("name", Value::str("E"))]);
+        store.commit(d).expect("foreign engine state must not break commits");
+        assert_matches_cold_freeze(&store);
+        let snap = store.snapshot();
+        assert_eq!(snap.graph().node_count(), 5, "the store's lineage won");
+        assert!(snap
+            .induced()
+            .table("EMP")
+            .unwrap()
+            .rows
+            .contains(&vec![Value::Int(5), Value::str("E")]));
+    }
+
+    #[test]
+    fn empty_deltas_publish_nothing() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let before = store.snapshot();
+        let info = store.commit(Delta::new()).unwrap();
+        assert_eq!(info.generation, 0);
+        assert!(Arc::ptr_eq(&before, &store.snapshot()));
+    }
+
+    #[test]
+    fn extra_instances_are_shared_across_generations() {
+        let mut extra = RelInstance::new();
+        extra.insert_table(
+            "side",
+            graphiti_relational::Table::with_rows(["x"], vec![vec![Value::Int(7)]]),
+        );
+        let store =
+            GraphStore::open_with(emp_schema(), emp_graph(), [("aux".to_string(), extra)]).unwrap();
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(9)), ("name", Value::str("N"))]);
+        store.commit(d).unwrap();
+        let q = BatchQuery::sql_on("aux", "SELECT side.x FROM side");
+        let out = store.engine().execute(&q);
+        assert_eq!(out.result.unwrap().rows, vec![vec![Value::Int(7)]]);
+        // The maps really are shared, not copied, across generations.
+        let (extra0, _) = store.snapshot().extra_parts();
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(10)), ("name", Value::str("M"))]);
+        store.commit(d).unwrap();
+        let (extra1, _) = store.snapshot().extra_parts();
+        assert!(Arc::ptr_eq(&extra0, &extra1));
+    }
+
+    #[test]
+    fn directories_and_key_lookup_track_mutations() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        assert_eq!(store.node_directory().len(), 4);
+        assert_eq!(store.edge_directory().len(), 2);
+        let ada = store.node_key("EMP", &Value::Int(1)).unwrap();
+        let mut d = Delta::new();
+        let edges: Vec<EdgeKey> = store
+            .edge_directory()
+            .into_iter()
+            .filter(|(_, _, _, src, _)| *src == ada)
+            .map(|(k, ..)| k)
+            .collect();
+        for e in edges {
+            d.remove_edge(e);
+        }
+        d.remove_node(ada);
+        store.commit(d).unwrap();
+        assert!(store.node_key("EMP", &Value::Int(1)).is_none());
+        assert_eq!(store.node_directory().len(), 3);
+        assert_matches_cold_freeze(&store);
+    }
+}

@@ -21,7 +21,9 @@
 //! * [`graphiti_baseline`] — the best-effort baseline transpiler;
 //! * [`graphiti_benchmarks`] — the evaluation corpus and mock data;
 //! * [`graphiti_engine`] — the parallel batch execution service (shared
-//!   snapshots + query-plan cache + worker pool).
+//!   snapshots + query-plan cache + worker pool);
+//! * [`graphiti_store`] — the writable graph store (transactional deltas,
+//!   MVCC snapshot generations, incremental re-freeze).
 //!
 //! Tests additionally use `graphiti-testkit` (shared fixtures, proptest
 //! generators, and the differential soundness oracle); it is a
@@ -66,4 +68,5 @@ pub use graphiti_engine as engine;
 pub use graphiti_graph as graph;
 pub use graphiti_relational as relational;
 pub use graphiti_sql as sql;
+pub use graphiti_store as store;
 pub use graphiti_transformer as transformer;
