@@ -26,7 +26,7 @@
 use crate::cache::{CacheStats, PlanCache, SqlPlan};
 use crate::pool::WorkerPool;
 use crate::snapshot::{Snapshot, SqlTarget};
-use graphiti_common::Result;
+use graphiti_common::{Error, Result};
 use graphiti_relational::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
@@ -147,6 +147,22 @@ impl BatchReport {
 struct EngineInner {
     snapshot: RwLock<Arc<Snapshot>>,
     cache: PlanCache,
+    /// Observer invoked (outside the snapshot lock) after each
+    /// [`Engine::swap_snapshot`] publication.
+    publish_hook: RwLock<Option<PublishHook>>,
+}
+
+/// The shape of a publication observer callback.
+type PublishFn = Arc<dyn Fn(&Arc<Snapshot>) + Send + Sync>;
+
+/// A publication observer: called with each newly published generation.
+/// Newtyped so `EngineInner` can keep deriving `Debug` over a `dyn Fn`.
+struct PublishHook(PublishFn);
+
+impl std::fmt::Debug for PublishHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PublishHook(..)")
+    }
 }
 
 impl EngineInner {
@@ -172,6 +188,7 @@ impl Engine {
             inner: Arc::new(EngineInner {
                 snapshot: RwLock::new(snapshot),
                 cache: PlanCache::new(),
+                publish_hook: RwLock::new(None),
             }),
             pool: OnceLock::new(),
         }
@@ -184,6 +201,7 @@ impl Engine {
             inner: Arc::new(EngineInner {
                 snapshot: RwLock::new(snapshot),
                 cache: PlanCache::with_capacity(capacity),
+                publish_hook: RwLock::new(None),
             }),
             pool: OnceLock::new(),
         }
@@ -211,8 +229,34 @@ impl Engine {
     /// are keyed by query text + target and compiled against schema-derived
     /// layouts, which a data-only generation change cannot alter.
     pub fn swap_snapshot(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
-        let mut slot = self.inner.snapshot.write().unwrap_or_else(|p| p.into_inner());
-        std::mem::replace(&mut *slot, next)
+        let prev = {
+            let mut slot = self.inner.snapshot.write().unwrap_or_else(|p| p.into_inner());
+            std::mem::replace(&mut *slot, Arc::clone(&next))
+        };
+        // The hook runs with the snapshot lock released: it may query the
+        // engine, but must not call back into the publishing store (the
+        // store's state lock is typically held across publication).
+        if let Some(hook) =
+            self.inner.publish_hook.read().unwrap_or_else(|p| p.into_inner()).as_ref()
+        {
+            (hook.0)(&next);
+        }
+        prev
+    }
+
+    /// Installs a publication observer, invoked with each generation
+    /// published through [`Engine::swap_snapshot`] (after the swap, with
+    /// no engine lock held).  Replaces any previous hook.  The hook must
+    /// not call back into the publishing store: the store holds its state
+    /// lock across publication.
+    pub fn set_publish_hook(&self, hook: impl Fn(&Arc<Snapshot>) + Send + Sync + 'static) {
+        *self.inner.publish_hook.write().unwrap_or_else(|p| p.into_inner()) =
+            Some(PublishHook(Arc::new(hook)));
+    }
+
+    /// Removes the publication observer, if any.
+    pub fn clear_publish_hook(&self) {
+        *self.inner.publish_hook.write().unwrap_or_else(|p| p.into_inner()) = None;
     }
 
     /// Current plan-cache counters.
@@ -347,12 +391,39 @@ impl Engine {
                 Err(_) => break, // a worker died; detected below
             }
         }
-        let mut pairs =
-            std::mem::take(&mut *shared.merged.lock().unwrap_or_else(|p| p.into_inner()));
-        assert_eq!(pairs.len(), batch.len(), "a pool worker panicked mid-batch");
-        pairs.sort_unstable_by_key(|(i, _)| *i);
-        pairs.into_iter().map(|(_, o)| o).collect()
+        let pairs = std::mem::take(&mut *shared.merged.lock().unwrap_or_else(|p| p.into_inner()));
+        merge_pooled_outcomes(pairs, batch.len())
     }
+}
+
+/// Reassembles pooled results into submission order.  A pool worker that
+/// panics mid-batch takes its claimed-but-unreported queries with it;
+/// rather than panicking the *caller* (the pre-PR6 behavior was an
+/// `assert_eq!` on the merged length), the lost slots surface as per-query
+/// errors and every query another worker finished is still returned.
+pub(crate) fn merge_pooled_outcomes(
+    pairs: Vec<(usize, QueryOutcome)>,
+    len: usize,
+) -> Vec<QueryOutcome> {
+    let mut slots: Vec<Option<QueryOutcome>> = (0..len).map(|_| None).collect();
+    for (i, outcome) in pairs {
+        if i < len {
+            slots[i] = Some(outcome);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| QueryOutcome {
+                result: Err(Error::eval(format!(
+                    "batch query #{i} was lost to a panicked pool worker"
+                ))),
+                micros: 0,
+                cache_hit: false,
+            })
+        })
+        .collect()
 }
 
 /// Pool size: every available core, but at least 8 so worker-ladder

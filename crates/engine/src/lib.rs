@@ -263,6 +263,54 @@ mod tests {
     }
 
     #[test]
+    fn publish_hooks_observe_every_swap_until_cleared() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let last_nodes = Arc::new(AtomicUsize::new(0));
+        {
+            let (seen, last_nodes) = (Arc::clone(&seen), Arc::clone(&last_nodes));
+            engine.set_publish_hook(move |snap: &Arc<Snapshot>| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                last_nodes.store(snap.graph().node_count(), Ordering::SeqCst);
+            });
+        }
+        let mut g2 = emp_graph();
+        g2.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        engine.swap_snapshot(Snapshot::freeze(emp_schema(), g2).unwrap());
+        assert_eq!(seen.load(Ordering::SeqCst), 1, "hook fires on publication");
+        assert_eq!(last_nodes.load(Ordering::SeqCst), 5, "hook sees the *new* generation");
+        // The hook may query the engine itself (no lock is held around it).
+        engine.clear_publish_hook();
+        engine.swap_snapshot(Snapshot::freeze(emp_schema(), emp_graph()).unwrap());
+        assert_eq!(seen.load(Ordering::SeqCst), 1, "cleared hooks stay silent");
+    }
+
+    #[test]
+    fn merge_pooled_outcomes_errors_lost_slots_instead_of_panicking() {
+        let ok = |i: usize| {
+            (
+                i,
+                QueryOutcome {
+                    result: Ok(graphiti_relational::Table::new(["c"])),
+                    micros: 1,
+                    cache_hit: false,
+                },
+            )
+        };
+        // Complete merge (out of order) comes back in submission order.
+        let merged = crate::batch::merge_pooled_outcomes(vec![ok(2), ok(0), ok(1)], 3);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(|o| o.result.is_ok()));
+        // A worker that died after claiming #1 loses only that slot.
+        let merged = crate::batch::merge_pooled_outcomes(vec![ok(2), ok(0)], 3);
+        assert!(merged[0].result.is_ok() && merged[2].result.is_ok());
+        let err = merged[1].result.as_ref().unwrap_err().to_string();
+        assert!(err.contains("panicked pool worker"), "unexpected error: {err}");
+        assert_eq!(merged[1].micros, 0);
+    }
+
+    #[test]
     fn stats_expose_pool_and_cache_without_running_a_batch() {
         let engine = Engine::for_graph(emp_schema(), emp_graph()).unwrap();
         let s = engine.stats();

@@ -1,0 +1,349 @@
+//! Checkpoints: checksummed snapshots of the writer-side store state
+//! that bound WAL replay cost.
+//!
+//! A checkpoint captures everything [`GraphStore`](crate::GraphStore)
+//! needs to resume at a generation without replaying the log from the
+//! beginning: the counters, the master graph **in arena order** with its
+//! stable keys, and every per-label row log *including tombstones and
+//! slot order* — the published image of a table is "live rows in log
+//! order", so storing the raw log (not just the live rows) lets recovery
+//! publish images that are bit-identical to what the crashed process
+//! served, and keeps the commit path's patched-image-equals-log
+//! invariant intact across a restart.
+//!
+//! The file is one length-prefixed, CRC-checksummed blob (same framing
+//! as a WAL record) written atomically: serialize to `*.tmp`, fsync,
+//! rename into place.  Recovery loads the newest checkpoint that passes
+//! its checksum and falls back to older ones (or to an empty store) if
+//! the newest is unreadable.
+
+use crate::wal::{crc32, io_err, put_str, put_u32, put_u64, put_value, Cursor};
+use graphiti_common::{Error, Result, Value};
+use graphiti_relational::Row;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One node of the master graph, in arena order.
+#[derive(Debug)]
+pub(crate) struct CkptNode {
+    pub(crate) key: u64,
+    pub(crate) label: String,
+    pub(crate) props: Vec<(String, Value)>,
+}
+
+/// One edge of the master graph, in arena order.  Endpoints are arena
+/// indexes (valid because nodes are restored in arena order).
+#[derive(Debug)]
+pub(crate) struct CkptEdge {
+    pub(crate) key: u64,
+    pub(crate) label: String,
+    pub(crate) src: u64,
+    pub(crate) tgt: u64,
+    pub(crate) props: Vec<(String, Value)>,
+}
+
+/// One per-label row log: every slot (live and tombstoned), in log order.
+#[derive(Debug)]
+pub(crate) struct CkptTable {
+    pub(crate) name: String,
+    pub(crate) columns: Vec<String>,
+    /// `(dead, row)` per slot.
+    pub(crate) slots: Vec<(bool, Row)>,
+}
+
+/// A complete writer-side image at one generation.
+#[derive(Debug)]
+pub(crate) struct CheckpointImage {
+    pub(crate) generation: u64,
+    pub(crate) commits: u64,
+    pub(crate) rejected: u64,
+    pub(crate) compactions: u64,
+    pub(crate) next_key: u64,
+    pub(crate) nodes: Vec<CkptNode>,
+    pub(crate) edges: Vec<CkptEdge>,
+    pub(crate) tables: Vec<CkptTable>,
+}
+
+fn put_string_props(buf: &mut Vec<u8>, props: &[(String, Value)]) {
+    put_u32(buf, props.len() as u32);
+    for (k, v) in props {
+        put_str(buf, k);
+        put_value(buf, v);
+    }
+}
+
+fn encode(image: &CheckpointImage) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4096);
+    put_u64(&mut buf, image.generation);
+    put_u64(&mut buf, image.commits);
+    put_u64(&mut buf, image.rejected);
+    put_u64(&mut buf, image.compactions);
+    put_u64(&mut buf, image.next_key);
+    put_u32(&mut buf, image.nodes.len() as u32);
+    for n in &image.nodes {
+        put_u64(&mut buf, n.key);
+        put_str(&mut buf, &n.label);
+        put_string_props(&mut buf, &n.props);
+    }
+    put_u32(&mut buf, image.edges.len() as u32);
+    for e in &image.edges {
+        put_u64(&mut buf, e.key);
+        put_str(&mut buf, &e.label);
+        put_u64(&mut buf, e.src);
+        put_u64(&mut buf, e.tgt);
+        put_string_props(&mut buf, &e.props);
+    }
+    put_u32(&mut buf, image.tables.len() as u32);
+    for t in &image.tables {
+        put_str(&mut buf, &t.name);
+        put_u32(&mut buf, t.columns.len() as u32);
+        for c in &t.columns {
+            put_str(&mut buf, c);
+        }
+        put_u32(&mut buf, t.slots.len() as u32);
+        for (dead, row) in &t.slots {
+            buf.push(*dead as u8);
+            debug_assert_eq!(row.len(), t.columns.len(), "checkpoint row arity");
+            for v in row {
+                put_value(&mut buf, v);
+            }
+        }
+    }
+    buf
+}
+
+fn decode_string_props(c: &mut Cursor<'_>) -> Result<Vec<(String, Value)>> {
+    let n = c.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = c.str()?;
+        let v = c.value()?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn decode(payload: &[u8]) -> Result<CheckpointImage> {
+    let mut c = Cursor::new(payload);
+    let generation = c.u64()?;
+    let commits = c.u64()?;
+    let rejected = c.u64()?;
+    let compactions = c.u64()?;
+    let next_key = c.u64()?;
+    let node_count = c.u32()? as usize;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let key = c.u64()?;
+        let label = c.str()?;
+        nodes.push(CkptNode { key, label, props: decode_string_props(&mut c)? });
+    }
+    let edge_count = c.u32()? as usize;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let key = c.u64()?;
+        let label = c.str()?;
+        let src = c.u64()?;
+        let tgt = c.u64()?;
+        edges.push(CkptEdge { key, label, src, tgt, props: decode_string_props(&mut c)? });
+    }
+    let table_count = c.u32()? as usize;
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let name = c.str()?;
+        let col_count = c.u32()? as usize;
+        let mut columns = Vec::with_capacity(col_count);
+        for _ in 0..col_count {
+            columns.push(c.str()?);
+        }
+        let slot_count = c.u32()? as usize;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let dead = c.u8()? != 0;
+            let mut row = Vec::with_capacity(col_count);
+            for _ in 0..col_count {
+                row.push(c.value()?);
+            }
+            slots.push((dead, row));
+        }
+        tables.push(CkptTable { name, columns, slots });
+    }
+    if !c.is_done() {
+        return Err(Error::instance("checkpoint: trailing bytes after image"));
+    }
+    Ok(CheckpointImage {
+        generation,
+        commits,
+        rejected,
+        compactions,
+        next_key,
+        nodes,
+        edges,
+        tables,
+    })
+}
+
+/// The path of the checkpoint taken at `generation`.
+pub(crate) fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:020}.ckpt"))
+}
+
+/// Every checkpoint in `dir` as `(generation, path)`, ascending.
+pub(crate) fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| io_err(&format!("checkpoint: listing `{}`", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("checkpoint: listing directory", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(generation) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse().ok())
+        {
+            out.push((generation, entry.path()));
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Writes a checkpoint atomically: `*.tmp` + fsync + rename.
+pub(crate) fn write(dir: &Path, image: &CheckpointImage) -> Result<PathBuf> {
+    let payload = encode(image);
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    let final_path = checkpoint_path(dir, image.generation);
+    let tmp_path = final_path.with_extension("tmp");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(|e| io_err(&format!("checkpoint: creating `{}`", tmp_path.display()), e))?;
+    file.write_all(&frame)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_err(&format!("checkpoint: writing `{}`", tmp_path.display()), e))?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| io_err(&format!("checkpoint: publishing `{}`", final_path.display()), e))?;
+    // Make the rename itself durable (best effort: not all platforms
+    // support fsync on directories).
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Loads and validates one checkpoint file.
+pub(crate) fn load(path: &Path) -> Result<CheckpointImage> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| io_err(&format!("checkpoint: reading `{}`", path.display()), e))?;
+    if bytes.len() < 8 {
+        return Err(Error::instance(format!(
+            "checkpoint `{}` is truncated ({} bytes)",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if bytes.len() != 8 + len {
+        return Err(Error::instance(format!(
+            "checkpoint `{}` has {} bytes, header declares {}",
+            path.display(),
+            bytes.len(),
+            8 + len
+        )));
+    }
+    let payload = &bytes[8..];
+    if crc32(payload) != crc {
+        return Err(Error::instance(format!("checkpoint `{}` fails its checksum", path.display())));
+    }
+    decode(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/ckpt-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image(generation: u64) -> CheckpointImage {
+        CheckpointImage {
+            generation,
+            commits: 9,
+            rejected: 2,
+            compactions: 1,
+            next_key: 11,
+            nodes: vec![CkptNode {
+                key: 3,
+                label: "EMP".into(),
+                props: vec![("id".into(), Value::Int(1)), ("name".into(), Value::str("A"))],
+            }],
+            edges: vec![CkptEdge {
+                key: 7,
+                label: "WORK_AT".into(),
+                src: 0,
+                tgt: 0,
+                props: vec![("wid".into(), Value::Float(2.5))],
+            }],
+            tables: vec![CkptTable {
+                name: "EMP".into(),
+                columns: vec!["id".into(), "name".into()],
+                slots: vec![
+                    (false, vec![Value::Int(1), Value::str("A")]),
+                    (true, vec![Value::Int(2), Value::Null]),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let path = write(&dir, &sample_image(12)).unwrap();
+        let image = load(&path).unwrap();
+        assert_eq!(image.generation, 12);
+        assert_eq!(image.commits, 9);
+        assert_eq!(image.next_key, 11);
+        assert_eq!(image.nodes.len(), 1);
+        assert_eq!(image.nodes[0].label, "EMP");
+        assert_eq!(image.edges[0].props[0].1, Value::Float(2.5));
+        assert_eq!(image.tables[0].slots.len(), 2);
+        assert!(image.tables[0].slots[1].0, "tombstone survives the round trip");
+        assert!(list_checkpoints(&dir).unwrap().iter().any(|(g, _)| *g == 12));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_flipped_byte_fails_the_checksum() {
+        let dir = scratch_dir("flip");
+        let path = write(&dir, &sample_image(3)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_truncated_checkpoint_is_rejected() {
+        let dir = scratch_dir("trunc");
+        let path = write(&dir, &sample_image(5)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,6 +31,19 @@
 //! changes nothing — validation runs to completion before the first
 //! mutation is applied.
 //!
+//! # Durability
+//!
+//! [`GraphStore::open_durable`] adds a crash-safe persistence layer:
+//! every committed delta is appended to a checksummed write-ahead log and
+//! flushed (optionally fsynced) **before** the generation is published;
+//! periodic checkpoints snapshot the per-label row logs so replay cost
+//! stays bounded; and recovery loads the newest valid checkpoint,
+//! replays the WAL suffix through the ordinary commit path, and
+//! truncates any torn tail record instead of failing.  A rejected delta
+//! writes no WAL record, so rejection is provably side-effect-free on
+//! disk too.  See [`DurabilityOptions`] for the fsync and checkpoint
+//! knobs.
+//!
 //! # Example
 //!
 //! ```
@@ -59,8 +72,10 @@
 //! assert_eq!(report.ok_count(), 1);
 //! ```
 
+mod checkpoint;
 pub mod delta;
 mod table;
+mod wal;
 
 pub use delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
 
@@ -68,8 +83,9 @@ use crate::table::StoreTable;
 use graphiti_common::{Error, Ident, Result, Value};
 use graphiti_engine::{BatchQuery, BatchReport, Engine, Snapshot};
 use graphiti_graph::{EdgeId, GraphInstance, GraphSchema, NodeId};
-use graphiti_relational::{RelInstance, TableDelta};
+use graphiti_relational::{ColumnInstance, RelInstance, TableDelta};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// The outcome of a successful [`GraphStore::commit`].
@@ -87,6 +103,51 @@ pub struct CommitInfo {
     pub edge_keys: Vec<EdgeKey>,
     /// Names of the induced tables the commit patched.
     pub touched_tables: Vec<String>,
+}
+
+/// Tuning knobs of a durable store (see [`GraphStore::open_durable_with`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Fsync the WAL on **every** commit (the strict redo rule: a
+    /// published generation always survives power loss).  When `false`,
+    /// records are still written and flushed to the OS per commit —
+    /// surviving a process crash — but only forced to stable storage at
+    /// checkpoints (amortized group durability).
+    pub fsync_each_commit: bool,
+    /// Write a checkpoint (and rotate + vacuum WAL segments) every this
+    /// many commits.  `0` disables automatic checkpoints; use
+    /// [`GraphStore::checkpoint_now`] instead.
+    pub checkpoint_interval: u64,
+    /// How many checkpoint files to retain (minimum 1; older ones are
+    /// vacuumed together with the WAL segments they cover).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions { fsync_each_commit: true, checkpoint_interval: 64, keep_checkpoints: 2 }
+    }
+}
+
+/// The durability attachment of a store: the open WAL segment plus
+/// checkpoint bookkeeping.  Present only for stores opened through
+/// [`GraphStore::open_durable`] / [`GraphStore::open_durable_with`].
+#[derive(Debug)]
+struct DurableState {
+    dir: PathBuf,
+    options: DurabilityOptions,
+    wal: wal::WalWriter,
+    /// Generation covered by the newest checkpoint on disk.
+    last_checkpoint: u64,
+    /// Records appended by this process.
+    wal_records: u64,
+    /// Bytes appended by this process.
+    wal_bytes: u64,
+    checkpoints_written: u64,
+    checkpoint_failures: u64,
+    segments_removed: u64,
+    /// Commits recovered by WAL replay when this store opened.
+    replayed: u64,
 }
 
 /// Point-in-time counters of a [`GraphStore`].
@@ -114,6 +175,22 @@ pub struct StoreStats {
     /// Commits that published the graph by replaying the delta backlog
     /// onto a reclaimed buffer (O(delta), no full copy).
     pub graph_reclaims: u64,
+    /// WAL records appended by this process (always 0 for an in-memory
+    /// store).
+    pub wal_records: u64,
+    /// WAL bytes appended by this process.
+    pub wal_bytes: u64,
+    /// Checkpoints written by this process.
+    pub checkpoints: u64,
+    /// Checkpoint writes that failed (the triggering commit still
+    /// succeeded; durability falls back to a longer WAL replay).
+    pub checkpoint_failures: u64,
+    /// Generation covered by the newest checkpoint (0 when none).
+    pub last_checkpoint_generation: u64,
+    /// Commits recovered by WAL replay when this store opened.
+    pub replayed_commits: u64,
+    /// WAL segments vacuumed after being covered by a checkpoint.
+    pub wal_segments_removed: u64,
 }
 
 /// The writer-side state: master graph, stable-key maps, per-table logs.
@@ -150,6 +227,8 @@ struct StoreState {
     compactions: u64,
     graph_clones: u64,
     graph_reclaims: u64,
+    /// WAL + checkpoint attachment (durable stores only).
+    durable: Option<DurableState>,
 }
 
 /// A writable graph database: one master graph, one embedded batch
@@ -232,8 +311,300 @@ impl GraphStore {
                 compactions: 0,
                 graph_clones: 0,
                 graph_reclaims: 0,
+                durable: None,
             }),
         })
+    }
+
+    /// Opens (or recovers) a **durable** store rooted at `path` with an
+    /// initially empty graph: committed deltas are written ahead to a
+    /// checksummed log and survive process crashes.  See
+    /// [`GraphStore::open_durable_with`] for the recovery contract.
+    pub fn open_durable(path: impl AsRef<Path>, schema: GraphSchema) -> Result<GraphStore> {
+        GraphStore::open_durable_with(
+            path,
+            schema,
+            GraphInstance::new(),
+            [],
+            DurabilityOptions::default(),
+        )
+    }
+
+    /// Opens (or recovers) a durable store rooted at the directory
+    /// `path`.
+    ///
+    /// **Fresh directory** (no checkpoint, no WAL): opens over
+    /// `bootstrap` exactly like [`GraphStore::open_with`], then writes a
+    /// generation-0 checkpoint and an empty WAL segment so the initial
+    /// state is durable before the first commit.
+    ///
+    /// **Existing directory**: `bootstrap` is ignored; the store is
+    /// **recovered** instead — the newest checkpoint that passes its
+    /// checksum is loaded (older ones are fallbacks), the recovered
+    /// graph is re-validated by a cold freeze and cross-checked against
+    /// the checkpointed row logs, and the WAL suffix is replayed through
+    /// the ordinary commit path.  A torn tail record (crash mid-append)
+    /// is truncated, recovering to the last fully durable commit, never
+    /// a partial generation.
+    pub fn open_durable_with(
+        path: impl AsRef<Path>,
+        schema: GraphSchema,
+        bootstrap: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+        options: DurabilityOptions,
+    ) -> Result<GraphStore> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| wal::io_err(&format!("store: creating `{}`", dir.display()), e))?;
+        let checkpoints = checkpoint::list_checkpoints(&dir)?;
+        let segments = wal::list_segments(&dir)?;
+        if checkpoints.is_empty() && segments.is_empty() {
+            let store = GraphStore::open_with(schema, bootstrap, extra)?;
+            store.attach_durability(dir, options)?;
+            return Ok(store);
+        }
+        // ---- recovery: newest valid checkpoint, oldest-first fallback.
+        let mut image = None;
+        for (_, p) in checkpoints.iter().rev() {
+            if let Ok(i) = checkpoint::load(p) {
+                image = Some(i);
+                break;
+            }
+        }
+        let store = match image {
+            Some(image) => GraphStore::from_checkpoint(schema, image, extra)?,
+            // A directory with WAL segments but no loadable checkpoint:
+            // replay everything onto an empty store.
+            None => GraphStore::open_with(schema, GraphInstance::new(), extra)?,
+        };
+        // ---- replay the WAL suffix, truncating any torn tail.
+        let mut replayed = 0u64;
+        let mut tail: Option<(PathBuf, u64)> = None;
+        let mut torn_at: Option<usize> = None;
+        for (i, (_, seg_path)) in segments.iter().enumerate() {
+            let scan = wal::read_segment(seg_path)?;
+            if scan.torn {
+                let f = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(seg_path)
+                    .map_err(|e| wal::io_err("wal: reopening torn segment", e))?;
+                f.set_len(scan.valid_len)
+                    .map_err(|e| wal::io_err("wal: truncating torn tail", e))?;
+            }
+            for rec in scan.records {
+                let current = store.generation();
+                if rec.generation <= current {
+                    continue; // already covered by the checkpoint
+                }
+                if rec.generation != current + 1 {
+                    return Err(Error::instance(format!(
+                        "wal gap: expected generation {}, found {}",
+                        current + 1,
+                        rec.generation
+                    )));
+                }
+                store.commit(rec.delta).map_err(|e| {
+                    Error::instance(format!(
+                        "wal replay of generation {} failed: {e}",
+                        rec.generation
+                    ))
+                })?;
+                replayed += 1;
+            }
+            tail = Some((seg_path.clone(), scan.valid_len));
+            if scan.torn {
+                torn_at = Some(i);
+                break;
+            }
+        }
+        // Anything after a tear is unreachable (its generations can
+        // never be replayed past the gap): vacuum it.
+        if let Some(i) = torn_at {
+            for (_, stale) in &segments[i + 1..] {
+                let _ = std::fs::remove_file(stale);
+            }
+        }
+        let writer = match tail {
+            Some((seg_path, valid_len)) => wal::WalWriter::open_append(seg_path, valid_len)?,
+            None => wal::WalWriter::create(wal::segment_path(&dir, store.generation()))?,
+        };
+        {
+            let mut st = store.state.lock().unwrap_or_else(|p| p.into_inner());
+            let last_checkpoint =
+                checkpoint::list_checkpoints(&dir)?.last().map(|(g, _)| *g).unwrap_or(0);
+            st.durable = Some(DurableState {
+                dir,
+                options,
+                wal: writer,
+                last_checkpoint,
+                wal_records: 0,
+                wal_bytes: 0,
+                checkpoints_written: 0,
+                checkpoint_failures: 0,
+                segments_removed: 0,
+                replayed,
+            });
+        }
+        Ok(store)
+    }
+
+    /// Rebuilds writer-side state from a checkpoint image: the master
+    /// graph in arena order, stable keys, and the per-label row logs
+    /// (slot-exact, tombstones included).  The recovered graph is
+    /// re-validated by a cold freeze, and the checkpointed logs are
+    /// cross-checked against the freeze-derived tables — recovery is
+    /// *checkable*, not just plausible.
+    fn from_checkpoint(
+        schema: GraphSchema,
+        image: checkpoint::CheckpointImage,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+    ) -> Result<GraphStore> {
+        let mut graph = GraphInstance::new();
+        for n in &image.nodes {
+            graph.add_node(
+                Ident::new(&n.label),
+                n.props.iter().map(|(k, v)| (Ident::new(k), v.clone())),
+            );
+        }
+        for e in &image.edges {
+            if e.src as usize >= image.nodes.len() || e.tgt as usize >= image.nodes.len() {
+                return Err(Error::instance(format!(
+                    "checkpoint edge `{}` references a missing node",
+                    e.label
+                )));
+            }
+            graph.add_edge(
+                Ident::new(&e.label),
+                NodeId(e.src as usize),
+                NodeId(e.tgt as usize),
+                e.props.iter().map(|(k, v)| (Ident::new(k), v.clone())),
+            );
+        }
+        // Cold freeze: re-validates the whole recovered graph against the
+        // schema and rebuilds the SDT context (the independent oracle the
+        // checkpointed logs are checked against below).
+        let cold = Snapshot::freeze_with(schema.clone(), graph, extra)?;
+        let graph = cold.graph().clone();
+        let node_keys: Vec<NodeKey> = image.nodes.iter().map(|n| NodeKey(n.key)).collect();
+        let edge_keys: Vec<EdgeKey> = image.edges.iter().map(|e| EdgeKey(e.key)).collect();
+        let max_key = node_keys
+            .iter()
+            .map(|k| k.0)
+            .chain(edge_keys.iter().map(|k| k.0))
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        if image.next_key < max_key {
+            return Err(Error::instance(format!(
+                "checkpoint next_key {} is below an assigned key ({max_key})",
+                image.next_key
+            )));
+        }
+        let node_ids: HashMap<NodeKey, NodeId> =
+            node_keys.iter().enumerate().map(|(i, k)| (*k, NodeId(i))).collect();
+        let edge_ids: HashMap<EdgeKey, EdgeId> =
+            edge_keys.iter().enumerate().map(|(i, k)| (*k, EdgeId(i))).collect();
+        if node_ids.len() != node_keys.len() || edge_ids.len() != edge_keys.len() {
+            return Err(Error::instance("checkpoint holds duplicate stable keys"));
+        }
+        let mut tables = BTreeMap::new();
+        let mut induced = RelInstance::new();
+        for t in image.tables {
+            let table = StoreTable::from_log_parts(t.columns, t.slots)?;
+            induced.insert_table(t.name.clone(), table.snapshot_table());
+            tables.insert(t.name, table);
+        }
+        // Checkable recovery: every freeze-derived table must exist in
+        // the checkpoint with the same columns and the same bag of rows.
+        let mut cold_tables = 0usize;
+        for (name, cold_table) in cold.induced().tables() {
+            cold_tables += 1;
+            let live = induced.table(name).ok_or_else(|| {
+                Error::instance(format!("checkpoint is missing induced table `{name}`"))
+            })?;
+            if live.columns != cold_table.columns || !live.rows_bag_equal(cold_table) {
+                return Err(Error::instance(format!(
+                    "checkpoint table `{name}` diverges from the recovered graph"
+                )));
+            }
+        }
+        if tables.len() != cold_tables {
+            return Err(Error::instance("checkpoint holds tables the schema does not induce"));
+        }
+        // Publish the checkpointed (log-ordered) images, not the cold
+        // arena-ordered ones: published row order must survive recovery
+        // so later incremental commits keep patching consistently.
+        let columnar = ColumnInstance::from_rel(&induced);
+        let (extra_maps, extra_columnar) = cold.extra_parts();
+        let published = Snapshot::from_parts_with_columnar(
+            cold.schema_arc(),
+            cold.graph_arc(),
+            cold.ctx_arc(),
+            induced,
+            columnar,
+            extra_maps,
+            extra_columnar,
+        );
+        let published_graph = cold.graph_arc();
+        Ok(GraphStore {
+            engine: Engine::new(Arc::clone(&published)),
+            state: Mutex::new(StoreState {
+                schema,
+                graph,
+                node_keys,
+                edge_keys,
+                node_ids,
+                edge_ids,
+                next_key: image.next_key,
+                tables,
+                published_snapshot: published,
+                published_graph,
+                retiring_graph: None,
+                backlog: VecDeque::new(),
+                generation: image.generation,
+                commits: image.commits,
+                rejected: image.rejected,
+                compactions: image.compactions,
+                graph_clones: 0,
+                graph_reclaims: 0,
+                durable: None,
+            }),
+        })
+    }
+
+    /// Bootstraps durability on a fresh directory: checkpoint the
+    /// current state, then open the first WAL segment.
+    fn attach_durability(&self, dir: PathBuf, options: DurabilityOptions) -> Result<()> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let image = build_checkpoint_image(&st);
+        checkpoint::write(&dir, &image)?;
+        let wal = wal::WalWriter::create(wal::segment_path(&dir, st.generation))?;
+        st.durable = Some(DurableState {
+            dir,
+            options,
+            wal,
+            last_checkpoint: st.generation,
+            wal_records: 0,
+            wal_bytes: 0,
+            checkpoints_written: 1,
+            checkpoint_failures: 0,
+            segments_removed: 0,
+            replayed: 0,
+        });
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the current generation now, rotating the
+    /// WAL and vacuuming segments (and checkpoints beyond the retention
+    /// count) the new checkpoint covers.  Returns the checkpointed
+    /// generation.  Errors if the store is not durable.
+    pub fn checkpoint_now(&self) -> Result<u64> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.durable.is_none() {
+            return Err(Error::instance("checkpoint_now: the store has no durability layer"));
+        }
+        write_checkpoint_locked(&mut st)?;
+        Ok(st.generation)
     }
 
     /// The embedded batch engine.  Its snapshot handle always points at
@@ -272,6 +643,13 @@ impl GraphStore {
             tombstoned_rows: st.tables.values().map(StoreTable::dead_count).sum(),
             graph_clones: st.graph_clones,
             graph_reclaims: st.graph_reclaims,
+            wal_records: st.durable.as_ref().map_or(0, |d| d.wal_records),
+            wal_bytes: st.durable.as_ref().map_or(0, |d| d.wal_bytes),
+            checkpoints: st.durable.as_ref().map_or(0, |d| d.checkpoints_written),
+            checkpoint_failures: st.durable.as_ref().map_or(0, |d| d.checkpoint_failures),
+            last_checkpoint_generation: st.durable.as_ref().map_or(0, |d| d.last_checkpoint),
+            replayed_commits: st.durable.as_ref().map_or(0, |d| d.replayed),
+            wal_segments_removed: st.durable.as_ref().map_or(0, |d| d.segments_removed),
         }
     }
 
@@ -375,9 +753,22 @@ impl GraphStore {
             });
         }
         // Phase 1: pure validation (no mutation on any failure path).
+        // Runs to completion BEFORE the WAL is touched, so a rejected
+        // delta is side-effect-free on disk as well as in memory.
         if let Err(e) = validate_delta(&st, &delta) {
             st.rejected += 1;
             return Err(e);
+        }
+        // Phase 1b (durable stores): the redo rule.  The record must be
+        // appended and flushed (optionally fsynced) before any reader can
+        // observe the generation it describes; a failed append aborts the
+        // commit with the master state untouched.
+        let next_generation = st.generation + 1;
+        if let Some(d) = st.durable.as_mut() {
+            let fsync = d.options.fsync_each_commit;
+            let bytes = d.wal.append(next_generation, &delta, fsync)?;
+            d.wal_records += 1;
+            d.wal_bytes += bytes;
         }
         // Phase 2: apply to the master graph + table logs, recording
         // per-table change sets.  Guaranteed to succeed by phase 1; an
@@ -433,6 +824,19 @@ impl GraphStore {
         self.engine.swap_snapshot(Arc::clone(&snapshot));
         st.generation += 1;
         st.commits += 1;
+        // Periodic checkpoint: bounds replay cost and lets old WAL
+        // segments be vacuumed.  The commit itself already succeeded and
+        // published; a checkpoint failure is recorded, not propagated —
+        // durability falls back to a longer replay.
+        let due = st.durable.as_ref().is_some_and(|d| {
+            d.options.checkpoint_interval > 0
+                && st.generation - d.last_checkpoint >= d.options.checkpoint_interval
+        });
+        if due && write_checkpoint_locked(&mut st).is_err() {
+            if let Some(d) = st.durable.as_mut() {
+                d.checkpoint_failures += 1;
+            }
+        }
         Ok(CommitInfo {
             generation: st.generation,
             snapshot,
@@ -441,6 +845,99 @@ impl GraphStore {
             touched_tables: touched,
         })
     }
+}
+
+/// The WAL segment files under a durable store directory, ascending by
+/// base generation (test and tooling support: crash simulation truncates
+/// or copies these).
+pub fn wal_segment_files(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+    Ok(wal::list_segments(dir.as_ref())?.into_iter().map(|(_, p)| p).collect())
+}
+
+/// The checkpoint files under a durable store directory, ascending by
+/// generation.
+pub fn checkpoint_files(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+    Ok(checkpoint::list_checkpoints(dir.as_ref())?.into_iter().map(|(_, p)| p).collect())
+}
+
+// ------------------------------------------------------------ durability
+
+/// Serializes the writer-side state into a checkpoint image: counters,
+/// the master graph in arena order with its stable keys, and every row
+/// log slot-exactly (tombstones included, so published log order
+/// survives recovery).
+fn build_checkpoint_image(st: &StoreState) -> checkpoint::CheckpointImage {
+    let nodes = st
+        .graph
+        .nodes()
+        .iter()
+        .map(|n| checkpoint::CkptNode {
+            key: st.node_keys[n.id.0].0,
+            label: n.label.as_str().to_owned(),
+            props: n.props.iter().map(|(k, v)| (k.as_str().to_owned(), v.clone())).collect(),
+        })
+        .collect();
+    let edges = st
+        .graph
+        .edges()
+        .iter()
+        .map(|e| checkpoint::CkptEdge {
+            key: st.edge_keys[e.id.0].0,
+            label: e.label.as_str().to_owned(),
+            src: e.src.0 as u64,
+            tgt: e.tgt.0 as u64,
+            props: e.props.iter().map(|(k, v)| (k.as_str().to_owned(), v.clone())).collect(),
+        })
+        .collect();
+    let tables = st
+        .tables
+        .iter()
+        .map(|(name, t)| checkpoint::CkptTable {
+            name: name.clone(),
+            columns: t.columns().to_vec(),
+            slots: t.log_slots().map(|(dead, row)| (dead, row.clone())).collect(),
+        })
+        .collect();
+    checkpoint::CheckpointImage {
+        generation: st.generation,
+        commits: st.commits,
+        rejected: st.rejected,
+        compactions: st.compactions,
+        next_key: st.next_key,
+        nodes,
+        edges,
+        tables,
+    }
+}
+
+/// Checkpoints the current generation, rotates the WAL to a fresh
+/// segment, and vacuums fully covered segments plus checkpoints beyond
+/// the retention count.  Caller must hold the state lock and have
+/// `st.durable` set.
+fn write_checkpoint_locked(st: &mut StoreState) -> Result<()> {
+    let image = build_checkpoint_image(st);
+    let generation = image.generation;
+    let d = st.durable.as_mut().expect("write_checkpoint_locked needs a durable store");
+    // Everything the checkpoint covers must be on stable storage before
+    // the segments holding it become eligible for vacuum.
+    d.wal.sync()?;
+    checkpoint::write(&d.dir, &image)?;
+    d.wal = wal::WalWriter::create(wal::segment_path(&d.dir, generation))?;
+    d.last_checkpoint = generation;
+    d.checkpoints_written += 1;
+    for (base, path) in wal::list_segments(&d.dir)? {
+        if base < generation && std::fs::remove_file(&path).is_ok() {
+            d.segments_removed += 1;
+        }
+    }
+    let ckpts = checkpoint::list_checkpoints(&d.dir)?;
+    let keep = d.options.keep_checkpoints.max(1);
+    if ckpts.len() > keep {
+        for (_, path) in &ckpts[..ckpts.len() - keep] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
 }
 
 // ----------------------------------------------------- graph publication
@@ -1543,6 +2040,424 @@ mod tests {
         store.commit(d).unwrap();
         let (extra1, _) = store.snapshot().extra_parts();
         assert!(Arc::ptr_eq(&extra0, &extra1));
+    }
+
+    // ------------------------------------------------------- durability
+
+    /// A unique scratch directory under the workspace `target/` dir
+    /// (tests must not touch paths outside the repository).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/store-durability-tests")
+            .join(format!("{tag}-{}-{}", std::process::id(), NEXT.fetch_add(1, Ordering::SeqCst)));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn copy_dir(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+
+    /// A deterministic mutation script over `emp_graph()`.  Stable keys
+    /// are assigned deterministically (emp_graph: nodes 0..=3, edges
+    /// 4..=5, next_key 6), so the same deltas replay identically on any
+    /// store opened over the same bootstrap graph.
+    fn scripted_deltas() -> Vec<Delta> {
+        let mut out = Vec::new();
+        let mut d = Delta::new();
+        let c = d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        d.add_edge("WORK_AT", c, NodeKey(3), [("wid", Value::Int(12))]);
+        out.push(d); // new node key 6, new edge key 7
+        let mut d = Delta::new();
+        d.set_node_prop(NodeKey(0), "name", Value::str("A2"));
+        d.add_node("EMP", [("id", Value::Int(4)), ("name", Value::str("D"))]);
+        out.push(d); // new node key 8
+        let mut d = Delta::new();
+        d.remove_edge(EdgeKey(5));
+        d.set_edge_prop(EdgeKey(4), "wid", Value::Int(100));
+        out.push(d);
+        let mut d = Delta::new();
+        d.remove_edge(EdgeKey(7));
+        d.remove_node(NodeKey(6));
+        d.add_node("DEPT", [("dnum", Value::Int(3)), ("dname", Value::str("ME"))]);
+        out.push(d); // new node key 9
+        let mut d = Delta::new();
+        d.set_node_prop(NodeKey(1), "id", Value::Int(20)); // pk change: edge rows rewrite
+        out.push(d);
+        out
+    }
+
+    /// An in-memory oracle: the same bootstrap graph with the first `n`
+    /// scripted deltas committed.
+    fn oracle_after(n: usize) -> GraphStore {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        for d in scripted_deltas().into_iter().take(n) {
+            store.commit(d).unwrap();
+        }
+        store
+    }
+
+    /// Recovered state must be *exactly* the oracle's: same generation,
+    /// identical published images in both layouts (row order included —
+    /// log order survives recovery), and query-equivalent through the
+    /// engine.
+    fn assert_stores_equal(recovered: &GraphStore, oracle: &GraphStore) {
+        assert_eq!(recovered.generation(), oracle.generation(), "generation");
+        let (a, b) = (recovered.snapshot(), oracle.snapshot());
+        let mut names_a: Vec<&String> = a.induced().tables().map(|(n, _)| n).collect();
+        let mut names_b: Vec<&String> = b.induced().tables().map(|(n, _)| n).collect();
+        names_a.sort();
+        names_b.sort();
+        assert_eq!(names_a, names_b, "induced table sets");
+        for (name, ta) in a.induced().tables() {
+            let tb = b.induced().table(name).unwrap();
+            assert_eq!(ta, tb, "row image of `{name}` (log order must survive recovery)");
+            let ca = a.sql_columnar(&SqlTarget::Induced).unwrap().table(name).unwrap().to_table();
+            assert_eq!(ca, *tb, "columnar image of `{name}`");
+        }
+        let queries = [
+            BatchQuery::sql("SELECT e.id, e.name FROM EMP AS e"),
+            BatchQuery::sql("SELECT Count(*) AS c FROM WORK_AT AS w"),
+            BatchQuery::cypher(
+                "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.id AS i, m.dname AS d",
+            ),
+            BatchQuery::cypher("MATCH (n:DEPT) RETURN Count(*) AS c"),
+        ];
+        let ra = recovered.run_batch(&queries, 2);
+        let rb = oracle.run_batch(&queries, 2);
+        for (qa, qb) in ra.outcomes.iter().zip(rb.outcomes.iter()) {
+            let (ta, tb) = (qa.result.as_ref().unwrap(), qb.result.as_ref().unwrap());
+            assert_eq!(ta.columns, tb.columns);
+            assert!(ta.rows_bag_equal(tb), "query results diverge:\n{ta}\nvs\n{tb}");
+        }
+        assert_matches_cold_freeze(recovered);
+    }
+
+    fn durable_opts(fsync: bool, interval: u64) -> DurabilityOptions {
+        DurabilityOptions {
+            fsync_each_commit: fsync,
+            checkpoint_interval: interval,
+            keep_checkpoints: 2,
+        }
+    }
+
+    #[test]
+    fn durable_store_recovers_after_reopen() {
+        let dir = scratch("reopen");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            for d in scripted_deltas() {
+                store.commit(d).unwrap();
+            }
+            let stats = store.stats();
+            assert_eq!(stats.wal_records, 5);
+            assert!(stats.wal_bytes > 0);
+        }
+        let recovered = GraphStore::open_durable_with(
+            &dir,
+            emp_schema(),
+            GraphInstance::new(), // ignored: the directory is non-empty
+            [],
+            durable_opts(true, 0),
+        )
+        .unwrap();
+        assert_eq!(recovered.stats().replayed_commits, 5);
+        assert_stores_equal(&recovered, &oracle_after(5));
+        // The recovered store keeps accepting (and logging) commits.
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(500)), ("name", Value::str("post"))]);
+        recovered.commit(d).unwrap();
+        assert_eq!(recovered.generation(), 6);
+        assert_matches_cold_freeze(&recovered);
+    }
+
+    #[test]
+    fn checkpoints_bound_replay_and_vacuum_segments() {
+        let dir = scratch("ckpt");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(false, 2),
+            )
+            .unwrap();
+            for d in scripted_deltas() {
+                store.commit(d).unwrap();
+            }
+            let stats = store.stats();
+            assert!(stats.checkpoints >= 2, "interval 2 over 5 commits checkpoints twice");
+            assert_eq!(stats.checkpoint_failures, 0);
+            assert_eq!(stats.last_checkpoint_generation, 4);
+            assert!(stats.wal_segments_removed >= 1, "covered segments are vacuumed");
+        }
+        assert!(checkpoint_files(&dir).unwrap().len() <= 2, "retention keeps 2 checkpoints");
+        let recovered = GraphStore::open_durable_with(
+            &dir,
+            emp_schema(),
+            GraphInstance::new(),
+            [],
+            durable_opts(false, 2),
+        )
+        .unwrap();
+        assert_eq!(recovered.stats().replayed_commits, 1, "replay only past generation 4");
+        assert_stores_equal(&recovered, &oracle_after(5));
+    }
+
+    #[test]
+    fn checkpoint_now_rotates_and_later_crash_recovers_without_replay() {
+        let dir = scratch("manual-ckpt");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            for d in scripted_deltas() {
+                store.commit(d).unwrap();
+            }
+            assert_eq!(store.checkpoint_now().unwrap(), 5);
+        }
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.stats().replayed_commits, 0, "checkpoint covers everything");
+        assert_stores_equal(&recovered, &oracle_after(5));
+    }
+
+    #[test]
+    fn rejected_deltas_write_no_wal_record_and_recovery_is_pre_delta() {
+        let dir = scratch("reject");
+        let store = GraphStore::open_durable_with(
+            &dir,
+            emp_schema(),
+            emp_graph(),
+            [],
+            durable_opts(true, 0),
+        )
+        .unwrap();
+        let mut good = Delta::new();
+        good.add_node("EMP", [("id", Value::Int(10)), ("name", Value::str("ok"))]);
+        store.commit(good).unwrap();
+        let wal_file = wal_segment_files(&dir).unwrap().pop().unwrap();
+        let bytes_before = std::fs::metadata(&wal_file).unwrap().len();
+        // A duplicate default key: validated and rejected before the WAL
+        // is touched.
+        let mut bad = Delta::new();
+        bad.add_node("EMP", [("id", Value::Int(10)), ("name", Value::str("dup"))]);
+        assert!(store.commit(bad).is_err());
+        assert_eq!(
+            std::fs::metadata(&wal_file).unwrap().len(),
+            bytes_before,
+            "a rejected delta must write no WAL record"
+        );
+        assert_eq!(store.stats().wal_records, 1);
+        // Crash (drop without checkpoint) and recover: the rejected
+        // delta must have left no trace on disk either.
+        drop(store);
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.generation(), 1);
+        assert_eq!(recovered.stats().rejected_commits, 0, "rejection predates the checkpoint era");
+        let emp = recovered.snapshot().induced().table("EMP").unwrap().clone();
+        assert!(emp.rows.contains(&vec![Value::Int(10), Value::str("ok")]));
+        assert_eq!(emp.rows.iter().filter(|r| r[0] == Value::Int(10)).count(), 1);
+        assert_matches_cold_freeze(&recovered);
+    }
+
+    #[test]
+    fn torn_tail_recovers_at_every_byte_offset_of_the_final_record() {
+        let dir = scratch("torn");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            for d in scripted_deltas().into_iter().take(2) {
+                store.commit(d).unwrap();
+            }
+        }
+        let wal_file = wal_segment_files(&dir).unwrap().pop().unwrap();
+        let full = std::fs::metadata(&wal_file).unwrap().len();
+        let first_len = {
+            let bytes = std::fs::read(&wal_file).unwrap();
+            8 + u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64
+        };
+        let oracle1 = oracle_after(1);
+        let oracle2 = oracle_after(2);
+        for cut in first_len..=full {
+            let cut_dir = scratch("torn-cut");
+            copy_dir(&dir, &cut_dir);
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(wal_segment_files(&cut_dir).unwrap().pop().unwrap())
+                .unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let recovered = GraphStore::open_durable(&cut_dir, emp_schema()).unwrap();
+            if cut == full {
+                assert_stores_equal(&recovered, &oracle2);
+            } else {
+                // Any byte missing from the final record rolls back to
+                // the previous commit: no panic, no partial generation.
+                assert_stores_equal(&recovered, &oracle1);
+                // The tear was truncated away, so the next commit
+                // appends cleanly and a further recovery still works.
+                let mut d = Delta::new();
+                d.add_node("EMP", [("id", Value::Int(900)), ("name", Value::str("again"))]);
+                recovered.commit(d).unwrap();
+                assert_eq!(recovered.generation(), 2);
+            }
+            std::fs::remove_dir_all(&cut_dir).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_corrupt_newest_checkpoint_falls_back_to_an_older_one() {
+        let dir = scratch("fallback");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            store.commit(scripted_deltas().remove(0)).unwrap();
+            store.checkpoint_now().unwrap();
+        }
+        // Corrupt the newest checkpoint (generation 1); generation 0's
+        // bootstrap checkpoint remains, but its WAL segment was vacuumed,
+        // so recovery lands on generation 1 via... nothing — it must land
+        // on generation 0 cleanly (old checkpoint, no replayable records).
+        let newest = checkpoint_files(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.generation(), 0);
+        assert_stores_equal(&recovered, &oracle_after(0));
+    }
+
+    #[test]
+    fn durable_bootstrap_checkpoints_generation_zero() {
+        let dir = scratch("bootstrap");
+        {
+            let _store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            // No commits at all: the opening state alone must be durable.
+        }
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.generation(), 0);
+        assert_stores_equal(&recovered, &oracle_after(0));
+    }
+
+    #[test]
+    fn wal_record_is_on_disk_before_the_generation_publishes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let dir = scratch("ordering");
+        let store = GraphStore::open_durable_with(
+            &dir,
+            emp_schema(),
+            emp_graph(),
+            [],
+            durable_opts(true, 0),
+        )
+        .unwrap();
+        let wal_file = wal_segment_files(&dir).unwrap().pop().unwrap();
+        let observed = Arc::new(AtomicU64::new(u64::MAX));
+        {
+            let (observed, wal_file) = (Arc::clone(&observed), wal_file.clone());
+            store.engine().set_publish_hook(move |_snap| {
+                // Runs inside commit, between WAL flush and return: the
+                // record for the generation being published must already
+                // be durable.
+                observed.store(std::fs::metadata(&wal_file).unwrap().len(), Ordering::SeqCst);
+            });
+        }
+        let base = std::fs::metadata(&wal_file).unwrap().len();
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(50)), ("name", Value::str("hook"))]);
+        store.commit(d).unwrap();
+        let at_publish = observed.load(Ordering::SeqCst);
+        assert_ne!(at_publish, u64::MAX, "publication must fire the hook");
+        assert!(
+            at_publish > base,
+            "the WAL record must be appended before the generation publishes \
+             (saw {at_publish} bytes at publish time, {base} before the commit)"
+        );
+        assert_eq!(
+            at_publish,
+            std::fs::metadata(&wal_file).unwrap().len(),
+            "nothing is written after publication"
+        );
+    }
+
+    // --------------------------------------- interned-Ident regression
+
+    #[test]
+    fn clone_fallback_publication_shares_interned_idents() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let mut pinned = vec![store.snapshot()];
+        for i in 0..5 {
+            let mut d = Delta::new();
+            d.add_node("EMP", [("id", Value::Int(100 + i)), ("name", Value::str("w"))]);
+            store.commit(d).unwrap();
+            // Pin every generation: publication must clone every time.
+            pinned.push(store.snapshot());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.graph_clones, 5, "pinned readers force the clone fallback");
+        assert_eq!(stats.graph_reclaims, 0);
+        // Regression (interned `Ident`): even deep graph clones share the
+        // identifier allocations — labels across generations are
+        // pointer-identical, not copied strings.
+        let label_arc = |s: &Snapshot| {
+            s.graph().nodes().iter().find(|n| n.label == "EMP").unwrap().label.as_arc().clone()
+        };
+        assert!(
+            Arc::ptr_eq(&label_arc(&pinned[1]), &label_arc(&pinned[5])),
+            "clone-fallback publication deep-copied an identifier string"
+        );
+        drop(pinned);
+        // With no reader pinning the retiring buffer, publication goes
+        // back to O(delta) reclaim-and-replay.
+        for i in 0..2 {
+            let mut d = Delta::new();
+            d.add_node("EMP", [("id", Value::Int(200 + i)), ("name", Value::str("w"))]);
+            store.commit(d).unwrap();
+        }
+        assert!(store.stats().graph_reclaims >= 1, "released buffers are reclaimed again");
     }
 
     #[test]

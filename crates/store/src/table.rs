@@ -16,7 +16,7 @@
 //! changes the published image — it only renumbers internal slots — so it
 //! can run at any commit boundary.
 
-use graphiti_common::Value;
+use graphiti_common::{Error, Result, Value};
 use graphiti_relational::{Row, Table};
 use std::collections::HashMap;
 
@@ -53,6 +53,51 @@ impl StoreTable {
             dead_count: 0,
             pk,
         }
+    }
+
+    /// Rebuilds a log from its checkpointed slots — every row (live
+    /// **and** tombstoned), in log order — re-deriving the primary-key
+    /// index.  Restoring tombstones too keeps slot numbering, and hence
+    /// the published live-rows-in-log-order image, bit-identical to the
+    /// pre-crash state.
+    pub(crate) fn from_log_parts(
+        columns: Vec<String>,
+        slots: Vec<(bool, Row)>,
+    ) -> Result<StoreTable> {
+        let mut pk = HashMap::with_capacity(slots.len());
+        let mut rows = Vec::with_capacity(slots.len());
+        let mut dead = Vec::with_capacity(slots.len());
+        let mut dead_count = 0;
+        for (i, (is_dead, row)) in slots.into_iter().enumerate() {
+            if row.len() != columns.len() {
+                return Err(Error::instance(format!(
+                    "checkpoint row arity {} does not match {} columns",
+                    row.len(),
+                    columns.len()
+                )));
+            }
+            if is_dead {
+                dead_count += 1;
+            } else if pk.insert(row[0].clone(), i).is_some() {
+                return Err(Error::instance(format!(
+                    "checkpoint holds a duplicate live primary key {}",
+                    row[0]
+                )));
+            }
+            rows.push(row);
+            dead.push(is_dead);
+        }
+        Ok(StoreTable { columns, rows, dead, dead_count, pk })
+    }
+
+    /// The column names, primary key first.
+    pub(crate) fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Every log slot as `(dead, row)`, in log order (for checkpointing).
+    pub(crate) fn log_slots(&self) -> impl Iterator<Item = (bool, &Row)> + '_ {
+        self.rows.iter().enumerate().map(|(i, r)| (self.dead[i], r))
     }
 
     /// Total log slots (live + tombstoned).

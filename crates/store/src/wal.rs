@@ -1,0 +1,584 @@
+//! The write-ahead log: crash-durable, checksummed records of committed
+//! deltas.
+//!
+//! Every committed [`Delta`] is serialized as one **length-prefixed,
+//! CRC-checksummed record** and appended (and flushed, optionally
+//! fsynced) to the current log segment *before* the generation is
+//! published — the classic redo rule: a generation a reader can observe
+//! is always reconstructible from disk.  The codec is hand-rolled binary
+//! (little-endian integers, length-prefixed UTF-8 strings, tagged
+//! enums); the environment is offline, so the checksum is a hand-rolled
+//! CRC-32 (IEEE polynomial) rather than a dependency.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! ┌─────────────┬─────────────┬────────────────────────────────┐
+//! │ len: u32 LE │ crc: u32 LE │ payload (len bytes)            │
+//! └─────────────┴─────────────┴────────────────────────────────┘
+//! payload = generation: u64 LE, op_count: u32 LE, ops…
+//! ```
+//!
+//! A **torn tail** — a crash mid-append leaving a truncated or
+//! corrupted final record — is detected by the length prefix running
+//! past end-of-file or by a CRC mismatch; [`read_segment`] stops at the
+//! last intact record and reports the valid prefix length so recovery
+//! can truncate the tear instead of failing.
+//!
+//! ## Segments
+//!
+//! Segment files are named `wal-<base>.wal`, where `base` is the
+//! generation the segment starts *after*: a segment created by the
+//! checkpoint at generation `g` holds records for generations `g+1`,
+//! `g+2`, ….  Once a newer checkpoint covers a segment entirely, the
+//! segment is vacuumed (see `GraphStore::checkpoint_now`).
+
+use crate::delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
+use graphiti_common::{Error, Ident, Result, Value};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Maps an I/O failure into the workspace error type with context.
+pub(crate) fn io_err(ctx: &str, e: std::io::Error) -> Error {
+    Error::instance(format!("{ctx}: {e}"))
+}
+
+// ----------------------------------------------------------------- CRC-32
+
+/// Hand-rolled CRC-32 (IEEE 802.3 polynomial, reflected), bitwise.
+/// Records are small (one delta), so a lookup table buys nothing here.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------- encoding
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            put_u64(buf, *i as u64);
+        }
+        Value::Float(f) => {
+            buf.push(3);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_props(buf: &mut Vec<u8>, props: &[(Ident, Value)]) {
+    put_u32(buf, props.len() as u32);
+    for (k, v) in props {
+        put_str(buf, k.as_str());
+        put_value(buf, v);
+    }
+}
+
+fn put_node_ref(buf: &mut Vec<u8>, r: &NodeRef) {
+    match r {
+        NodeRef::Key(k) => {
+            buf.push(0);
+            put_u64(buf, k.0);
+        }
+        NodeRef::New(i) => {
+            buf.push(1);
+            put_u64(buf, *i as u64);
+        }
+    }
+}
+
+fn put_edge_ref(buf: &mut Vec<u8>, r: &EdgeRef) {
+    match r {
+        EdgeRef::Key(k) => {
+            buf.push(0);
+            put_u64(buf, k.0);
+        }
+        EdgeRef::New(i) => {
+            buf.push(1);
+            put_u64(buf, *i as u64);
+        }
+    }
+}
+
+fn put_mutation(buf: &mut Vec<u8>, op: &Mutation) {
+    match op {
+        Mutation::AddNode { label, props } => {
+            buf.push(0);
+            put_str(buf, label.as_str());
+            put_props(buf, props);
+        }
+        Mutation::AddEdge { label, src, tgt, props } => {
+            buf.push(1);
+            put_str(buf, label.as_str());
+            put_node_ref(buf, src);
+            put_node_ref(buf, tgt);
+            put_props(buf, props);
+        }
+        Mutation::RemoveNode { node } => {
+            buf.push(2);
+            put_node_ref(buf, node);
+        }
+        Mutation::RemoveEdge { edge } => {
+            buf.push(3);
+            put_edge_ref(buf, edge);
+        }
+        Mutation::SetNodeProp { node, key, value } => {
+            buf.push(4);
+            put_node_ref(buf, node);
+            put_str(buf, key.as_str());
+            put_value(buf, value);
+        }
+        Mutation::SetEdgeProp { edge, key, value } => {
+            buf.push(5);
+            put_edge_ref(buf, edge);
+            put_str(buf, key.as_str());
+            put_value(buf, value);
+        }
+    }
+}
+
+/// Serializes one record payload: generation + the delta's operations.
+fn encode_record(generation: u64, delta: &Delta) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u64(&mut buf, generation);
+    put_u32(&mut buf, delta.ops().len() as u32);
+    for op in delta.ops() {
+        put_mutation(&mut buf, op);
+    }
+    buf
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A bounds-checked reader over a byte slice.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(Error::instance("wal: record payload is truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::instance("wal: string is not valid UTF-8"))
+    }
+
+    pub(crate) fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.u64()? as i64),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::str_owned(self.str()?),
+            t => return Err(Error::instance(format!("wal: unknown value tag {t}"))),
+        })
+    }
+
+    fn props(&mut self) -> Result<Vec<(Ident, Value)>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = Ident::new(self.str()?);
+            let v = self.value()?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+
+    fn node_ref(&mut self) -> Result<NodeRef> {
+        Ok(match self.u8()? {
+            0 => NodeRef::Key(NodeKey(self.u64()?)),
+            1 => NodeRef::New(self.u64()? as usize),
+            t => return Err(Error::instance(format!("wal: unknown node-ref tag {t}"))),
+        })
+    }
+
+    fn edge_ref(&mut self) -> Result<EdgeRef> {
+        Ok(match self.u8()? {
+            0 => EdgeRef::Key(EdgeKey(self.u64()?)),
+            1 => EdgeRef::New(self.u64()? as usize),
+            t => return Err(Error::instance(format!("wal: unknown edge-ref tag {t}"))),
+        })
+    }
+
+    fn mutation(&mut self) -> Result<Mutation> {
+        Ok(match self.u8()? {
+            0 => Mutation::AddNode { label: Ident::new(self.str()?), props: self.props()? },
+            1 => {
+                let label = Ident::new(self.str()?);
+                let src = self.node_ref()?;
+                let tgt = self.node_ref()?;
+                Mutation::AddEdge { label, src, tgt, props: self.props()? }
+            }
+            2 => Mutation::RemoveNode { node: self.node_ref()? },
+            3 => Mutation::RemoveEdge { edge: self.edge_ref()? },
+            4 => {
+                let node = self.node_ref()?;
+                let key = Ident::new(self.str()?);
+                Mutation::SetNodeProp { node, key, value: self.value()? }
+            }
+            5 => {
+                let edge = self.edge_ref()?;
+                let key = Ident::new(self.str()?);
+                Mutation::SetEdgeProp { edge, key, value: self.value()? }
+            }
+            t => return Err(Error::instance(format!("wal: unknown mutation tag {t}"))),
+        })
+    }
+}
+
+/// Rebuilds a [`Delta`] from decoded mutations (the builder counters are
+/// derived from the operations themselves).
+fn delta_from_ops(ops: Vec<Mutation>) -> Delta {
+    let nodes_added = ops.iter().filter(|op| matches!(op, Mutation::AddNode { .. })).count();
+    let edges_added = ops.iter().filter(|op| matches!(op, Mutation::AddEdge { .. })).count();
+    Delta { ops, nodes_added, edges_added }
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord> {
+    let mut c = Cursor::new(payload);
+    let generation = c.u64()?;
+    let n = c.u32()? as usize;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(c.mutation()?);
+    }
+    if !c.is_done() {
+        return Err(Error::instance("wal: trailing bytes after record payload"));
+    }
+    Ok(WalRecord { generation, delta: delta_from_ops(ops) })
+}
+
+// ----------------------------------------------------------------- segments
+
+/// One decoded WAL record: the generation a commit published and the
+/// delta that produced it.
+#[derive(Debug)]
+pub(crate) struct WalRecord {
+    pub(crate) generation: u64,
+    pub(crate) delta: Delta,
+}
+
+/// The result of scanning one segment file.
+#[derive(Debug)]
+pub(crate) struct SegmentScan {
+    /// Every intact record, in file order.
+    pub(crate) records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (where the torn tail, if any,
+    /// starts).
+    pub(crate) valid_len: u64,
+    /// Whether bytes past `valid_len` exist (a torn or corrupt tail).
+    pub(crate) torn: bool,
+}
+
+/// Scans a segment, stopping at the first torn or corrupt record.  Never
+/// fails on a tear — only on unreadable files.
+pub(crate) fn read_segment(path: &Path) -> Result<SegmentScan> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| io_err(&format!("wal: reading `{}`", path.display()), e))?;
+    let mut records = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(SegmentScan { records, valid_len: pos as u64, torn: false });
+        }
+        if remaining < 8 {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > remaining - 8 {
+            break; // torn payload
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt payload (e.g. a partial overwrite)
+        }
+        match decode_record(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break, // checksum passed but the payload is garbage
+        }
+        pos += 8 + len;
+    }
+    Ok(SegmentScan { records, valid_len: pos as u64, torn: true })
+}
+
+/// The path of the segment that starts after `base` generations.
+pub(crate) fn segment_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base:020}.wal"))
+}
+
+/// Every segment in `dir` as `(base generation, path)`, ascending.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| io_err(&format!("wal: listing `{}`", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("wal: listing directory", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(base) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".wal"))
+            .and_then(|s| s.parse().ok())
+        {
+            out.push((base, entry.path()));
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// The append side of one segment: buffered writes with an explicit
+/// flush (and optional fsync) per record, so a record is on its way to
+/// disk before the commit that logged it publishes.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    path: PathBuf,
+    len: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh (empty) segment.
+    pub(crate) fn create(path: PathBuf) -> Result<WalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&format!("wal: creating `{}`", path.display()), e))?;
+        Ok(WalWriter { file, path, len: 0 })
+    }
+
+    /// Opens an existing segment for appending, first truncating it to
+    /// its valid prefix (dropping any torn tail).
+    pub(crate) fn open_append(path: PathBuf, valid_len: u64) -> Result<WalWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&format!("wal: opening `{}`", path.display()), e))?;
+        file.set_len(valid_len)
+            .map_err(|e| io_err(&format!("wal: truncating `{}`", path.display()), e))?;
+        Ok(WalWriter { file, path, len: valid_len })
+    }
+
+    /// Appends and flushes one record, optionally fsyncing.  Returns the
+    /// record's size in bytes.  On failure the file is truncated back to
+    /// the previous record boundary (best effort), so a failed append
+    /// never leaves a half-record ahead of the valid prefix.
+    pub(crate) fn append(&mut self, generation: u64, delta: &Delta, fsync: bool) -> Result<u64> {
+        let payload = encode_record(generation, delta);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        let write = (|| {
+            use std::io::Seek;
+            self.file.seek(std::io::SeekFrom::Start(self.len))?;
+            self.file.write_all(&frame)?;
+            self.file.flush()?;
+            if fsync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = self.file.set_len(self.len);
+            return Err(io_err(&format!("wal: appending to `{}`", self.path.display()), e));
+        }
+        self.len += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub(crate) fn sync(&self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&format!("wal: syncing `{}`", self.path.display()), e))
+    }
+
+    /// Bytes of valid records in this segment.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphiti_common::Value;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/wal-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_delta() -> Delta {
+        let mut d = Delta::new();
+        let n = d.add_node(
+            "EMP",
+            [
+                ("id", Value::Int(-3)),
+                ("name", Value::str("Ada")),
+                ("score", Value::Float(1.5)),
+                ("flag", Value::Bool(true)),
+                ("nil", Value::Null),
+            ],
+        );
+        let m = d.add_node("DEPT", [("dnum", Value::Int(1))]);
+        let e = d.add_edge("WORK_AT", n, m, [("wid", Value::Int(7))]);
+        d.set_node_prop(NodeKey(4), "name", Value::str("Bob"));
+        d.set_edge_prop(e, "wid", Value::Int(8));
+        d.remove_edge(EdgeKey(9));
+        d.remove_node(NodeKey(2));
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let delta = sample_delta();
+        let payload = encode_record(42, &delta);
+        let rec = decode_record(&payload).unwrap();
+        assert_eq!(rec.generation, 42);
+        assert_eq!(rec.delta.ops().len(), delta.ops().len());
+        assert_eq!(rec.delta.nodes_added, 2);
+        assert_eq!(rec.delta.edges_added, 1);
+        assert_eq!(format!("{:?}", rec.delta.ops()), format!("{:?}", delta.ops()));
+    }
+
+    #[test]
+    fn append_then_scan_round_trips_and_detects_tears() {
+        let dir = scratch_dir("roundtrip");
+        let path = segment_path(&dir, 0);
+        let mut w = WalWriter::create(path.clone()).unwrap();
+        w.append(1, &sample_delta(), false).unwrap();
+        w.append(2, &sample_delta(), true).unwrap();
+        let full = w.len();
+        let scan = read_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].generation, 1);
+        assert_eq!(scan.records[1].generation, 2);
+        assert_eq!(scan.valid_len, full);
+        assert!(!scan.torn);
+        // Truncating anywhere inside the second record tears it off.
+        let first_len = {
+            let bytes = std::fs::read(&path).unwrap();
+            let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+            8 + len
+        };
+        for cut in [first_len + 1, full - 1] {
+            std::fs::copy(&path, dir.join("cut.wal")).unwrap();
+            let f = OpenOptions::new().write(true).open(dir.join("cut.wal")).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let scan = read_segment(&dir.join("cut.wal")).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut} keeps one record");
+            assert_eq!(scan.valid_len, first_len);
+            assert!(scan.torn);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_tear_not_a_panic() {
+        let dir = scratch_dir("corrupt");
+        let path = segment_path(&dir, 7);
+        let mut w = WalWriter::create(path.clone()).unwrap();
+        w.append(1, &sample_delta(), false).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_segment(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_listing_sorts_by_base() {
+        let dir = scratch_dir("list");
+        for base in [30u64, 2, 700] {
+            WalWriter::create(segment_path(&dir, base)).unwrap();
+        }
+        std::fs::write(dir.join("not-a-segment.txt"), b"x").unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.iter().map(|(b, _)| *b).collect::<Vec<_>>(), vec![2, 30, 700]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
