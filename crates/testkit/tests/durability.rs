@@ -259,10 +259,11 @@ proptest! {
             fsync_each_commit: false,
             checkpoint_interval: [0, 2, 3][rng.gen_range(0..3usize)],
             keep_checkpoints: 2,
+            ..DurabilityOptions::default()
         };
         let dir = scratch("crash");
         let store = GraphStore::open_durable_with(
-            &dir, schema.clone(), graph.clone(), [], opts.clone(),
+            &dir, schema.clone(), graph.clone(), [], opts,
         ).expect("durable open on a valid instance");
         let mut deltas: Vec<Delta> = Vec::new();
         let mut next_pk: i64 = 1_000_000;
@@ -331,10 +332,11 @@ proptest! {
             fsync_each_commit: false,
             checkpoint_interval: [0, 1, 4][rng.gen_range(0..3usize)],
             keep_checkpoints: 1,
+            ..DurabilityOptions::default()
         };
         let dir = scratch("reopen");
         let store = GraphStore::open_durable_with(
-            &dir, schema.clone(), graph.clone(), [], opts.clone(),
+            &dir, schema.clone(), graph.clone(), [], opts,
         ).expect("durable open");
         let oracle = GraphStore::open(schema.clone(), graph).expect("valid instance");
         let mut next_pk: i64 = 1_000_000;
