@@ -42,7 +42,7 @@ use graphiti_core::reduce;
 use graphiti_engine::{BatchQuery, Engine, Snapshot};
 use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
 use graphiti_relational::RelInstance;
-use graphiti_store::{Delta, GraphStore};
+use graphiti_store::{Delta, GraphStore, QuerySurface};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -11,7 +11,7 @@
 //! * **recovery time vs WAL length** — directories prepared with
 //!   checkpointing disabled (the whole history replays) and with a
 //!   checkpoint cadence (replay is bounded by the newest checkpoint),
-//!   then timed through `GraphStore::open_durable`.  The gate asserts
+//!   then timed through `open_durable`.  The gate asserts
 //!   `checkpoint_bounds_replay`: the checkpointed directory replays at
 //!   most one cadence interval while the unbounded one replays its whole
 //!   WAL;
@@ -94,6 +94,24 @@ fn delta_for(i: i64) -> Delta {
     d
 }
 
+/// Builder-based stand-ins for the retired `open_durable*` ladder,
+/// keeping the argument shape this harness has always used.
+fn open_durable(
+    dir: &std::path::Path,
+    schema: GraphSchema,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).open()
+}
+
+fn open_durable_with(
+    dir: &std::path::Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).open()
+}
+
 /// A unique scratch directory under `target/` (the harness must not touch
 /// paths outside the repository).
 fn scratch(tag: &str) -> PathBuf {
@@ -134,8 +152,7 @@ fn stores_equal(a: &GraphStore, b: &GraphStore) -> bool {
 /// drops the store without a parting checkpoint (the "kill").
 fn prepare_dir(tag: &str, seed_emps: i64, commits: i64, opts: DurabilityOptions) -> PathBuf {
     let dir = scratch(tag);
-    let store =
-        GraphStore::open_durable_with(&dir, schema(), seed_graph(seed_emps), [], opts).unwrap();
+    let store = open_durable_with(&dir, schema(), seed_graph(seed_emps), opts).unwrap();
     for i in 0..commits {
         store.commit(delta_for(i)).expect("scripted commits are valid");
     }
@@ -159,7 +176,7 @@ fn measure_recovery(seed_emps: i64, commits: i64, interval: u64) -> RecoveryPoin
     };
     let dir = prepare_dir("recovery", seed_emps, commits, opts);
     let start = Instant::now();
-    let recovered = GraphStore::open_durable(&dir, schema()).expect("recovery");
+    let recovered = open_durable(&dir, schema()).expect("recovery");
     let recovery_micros = start.elapsed().as_micros() as f64;
     let oracle = GraphStore::open(schema(), seed_graph(seed_emps)).unwrap();
     for i in 0..commits {
@@ -204,7 +221,7 @@ fn torn_tail_case(seed_emps: i64) -> (bool, u64, u64) {
     let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
     f.set_len(cut as u64).unwrap();
     drop(f);
-    let Ok(recovered) = GraphStore::open_durable(&dir, schema()) else {
+    let Ok(recovered) = open_durable(&dir, schema()) else {
         return (false, 0, commits as u64 - 1);
     };
     let landed = recovered.generation();
@@ -227,11 +244,10 @@ fn main() {
     println!("  in-memory:            {in_memory_micros:9.1} us/commit");
 
     let dir = scratch("latency-fsync");
-    let fsync_store = GraphStore::open_durable_with(
+    let fsync_store = open_durable_with(
         &dir,
         schema(),
         seed_graph(seed_emps),
-        [],
         DurabilityOptions {
             fsync_each_commit: true,
             checkpoint_interval: 0,
@@ -248,11 +264,10 @@ fn main() {
     std::fs::remove_dir_all(&dir).ok();
 
     let dir = scratch("latency-amortized");
-    let amortized_store = GraphStore::open_durable_with(
+    let amortized_store = open_durable_with(
         &dir,
         schema(),
         seed_graph(seed_emps),
-        [],
         DurabilityOptions {
             fsync_each_commit: false,
             checkpoint_interval: interval,

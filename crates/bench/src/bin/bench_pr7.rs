@@ -98,6 +98,34 @@ fn delta_for(i: i64) -> Delta {
     d
 }
 
+/// Builder-based stand-ins for the retired `open_durable*` ladder,
+/// keeping the argument shape this harness has always used.
+fn open_durable(
+    dir: &std::path::Path,
+    schema: GraphSchema,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).open()
+}
+
+fn open_durable_with(
+    dir: &std::path::Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).open()
+}
+
+fn open_durable_with_vfs(
+    dir: &std::path::Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+    fs: Arc<dyn graphiti_store::Vfs>,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).vfs(fs).open()
+}
+
 /// A unique scratch directory under `target/` (the harness must not touch
 /// paths outside the repository).
 fn scratch(tag: &str) -> PathBuf {
@@ -175,14 +203,9 @@ fn vfs_relative_throughput(seed_emps: i64, commits: i64, reps: usize) -> Indirec
         // Durable side: fsync off, checkpoints off — the commit cost over
         // in-memory is precisely the VFS-routed WAL append.
         let dir = scratch("indirection-durable");
-        let store = GraphStore::open_durable_with(
-            &dir,
-            schema(),
-            seed_graph(seed_emps),
-            [],
-            durable_opts(false, 0),
-        )
-        .unwrap();
+        let store =
+            open_durable_with(&dir, schema(), seed_graph(seed_emps), durable_opts(false, 0))
+                .unwrap();
         let durable_micros = time_commits(&store, commits);
         let stats = store.stats();
         let frame_len = (stats.wal_bytes / stats.wal_records.max(1)).max(32) as usize;
@@ -214,11 +237,10 @@ fn vfs_relative_throughput(seed_emps: i64, commits: i64, reps: usize) -> Indirec
 // ------------------------------------------------------ failure contract
 
 fn open_faulted(dir: &std::path::Path, vfs: &FaultVfs) -> GraphStore {
-    GraphStore::open_durable_with_vfs(
+    open_durable_with_vfs(
         dir,
         schema(),
         seed_graph(8),
-        [],
         durable_opts(true, 0),
         Arc::new(vfs.clone()),
     )
@@ -269,7 +291,7 @@ fn fenced_on_fsync_failure() -> (bool, PathBuf, FaultVfs, GraphStore, u64) {
 /// A fenced directory must reopen (real FS) to exactly the committed
 /// prefix and accept new commits.
 fn reopen_after_fence_recovers(dir: &PathBuf, committed: u64) -> bool {
-    let reopened = match GraphStore::open_durable(dir, schema()) {
+    let reopened = match open_durable(dir, schema()) {
         Ok(s) => s,
         Err(_) => return false,
     };
@@ -319,7 +341,7 @@ fn checkpoint_survives_injected_faults() -> bool {
             return false;
         }
         drop(store);
-        let reopened = match GraphStore::open_durable(&dir, schema()) {
+        let reopened = match open_durable(&dir, schema()) {
             Ok(s) => s,
             Err(_) => return false,
         };
@@ -351,28 +373,16 @@ fn main() {
     // --- commit latency / recovery (informational) ---------------------
     println!("== commit latency ({commits} commits, seed graph {seed_emps} EMPs) ==");
     let dir = scratch("latency-fsync");
-    let store = GraphStore::open_durable_with(
-        &dir,
-        schema(),
-        seed_graph(seed_emps),
-        [],
-        durable_opts(true, 0),
-    )
-    .unwrap();
+    let store =
+        open_durable_with(&dir, schema(), seed_graph(seed_emps), durable_opts(true, 0)).unwrap();
     let fsync_micros = time_commits(&store, commits);
     println!("  fsync-per-commit:     {fsync_micros:9.1} us/commit");
     drop(store);
     std::fs::remove_dir_all(&dir).ok();
 
     let dir = scratch("latency-amortized");
-    let store = GraphStore::open_durable_with(
-        &dir,
-        schema(),
-        seed_graph(seed_emps),
-        [],
-        durable_opts(false, 16),
-    )
-    .unwrap();
+    let store =
+        open_durable_with(&dir, schema(), seed_graph(seed_emps), durable_opts(false, 16)).unwrap();
     let amortized_micros = time_commits(&store, commits);
     println!("  checkpoint-amortized: {amortized_micros:9.1} us/commit");
     drop(store);
@@ -380,20 +390,15 @@ fn main() {
 
     let dir = scratch("recovery");
     {
-        let store = GraphStore::open_durable_with(
-            &dir,
-            schema(),
-            seed_graph(seed_emps),
-            [],
-            durable_opts(false, 0),
-        )
-        .unwrap();
+        let store =
+            open_durable_with(&dir, schema(), seed_graph(seed_emps), durable_opts(false, 0))
+                .unwrap();
         for i in 0..commits {
             store.commit(delta_for(i)).unwrap();
         }
     }
     let start = Instant::now();
-    let recovered = GraphStore::open_durable(&dir, schema()).expect("recovery");
+    let recovered = open_durable(&dir, schema()).expect("recovery");
     let recovery_micros = start.elapsed().as_micros() as f64;
     let replayed = recovered.stats().replayed_commits;
     println!("== recovery: replayed {replayed} commits in {recovery_micros:9.1} us ==");

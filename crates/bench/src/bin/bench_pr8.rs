@@ -1,0 +1,388 @@
+//! PR 8 serving harness: group-commit writer throughput, read latency
+//! under write load, and a live-server smoke check, under
+//! `check_bench`'s gate.
+//!
+//! Measurements:
+//!
+//! * **group-commit speedup** — 8 concurrent writers against a durable
+//!   store with `fsync_each_commit: true`, solo `GraphStore::commit`
+//!   (one WAL append + fsync + publication per commit) vs the same
+//!   workload through a [`GroupCommitter`] (concurrent commits coalesce
+//!   into one append + fsync + publication per *group*).  The speedup
+//!   is a same-machine ratio, gated **absolutely** via
+//!   `floors.group_commit_speedup >= 3.0`;
+//! * **reads under group-committed writes** — pinned-session query
+//!   throughput while 4 group-commit writers run, as a fraction of the
+//!   quiet-store throughput; MVCC pinning means reads must survive
+//!   (`reads_survive_writes`, gated boolean);
+//! * **server smoke** — a unix-socket server under a 32-client mixed
+//!   workload (commits, queries, batches, refresh, stats) with a clean
+//!   shutdown (`server_smoke`, gated boolean).
+//!
+//! Emits `BENCH_PR8.json` with `"gate"` + `"floors"` objects
+//! (regression-checked by `check_bench`; every tracked metric is a
+//! boolean or a same-machine ratio, so the gate is hardware-portable).
+//!
+//! Usage: `cargo run --release -p graphiti-bench --bin bench_pr8 --
+//! [--quick] [--out PATH]`.
+
+use graphiti_common::Value;
+use graphiti_engine::BatchQuery;
+use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+use graphiti_server::{Client, Server, ServerOptions};
+use graphiti_store::{
+    Delta, DurabilityOptions, GraphStore, Graphiti, GroupOptions, NodeKey, Session,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut opts = Options { quick: false, out: "BENCH_PR8.json".to_string() };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--out" if i + 1 < args.len() => {
+                    opts.out = args[i + 1].clone();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+fn schema() -> GraphSchema {
+    GraphSchema::new()
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_node(NodeType::new("EMP", ["id", "name"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+}
+
+fn seed_graph(emps: i64) -> GraphInstance {
+    let mut g = GraphInstance::new();
+    let depts: Vec<_> = (0..4)
+        .map(|i| {
+            g.add_node("DEPT", [("dnum", Value::Int(i)), ("dname", Value::str(format!("D{i}")))])
+        })
+        .collect();
+    for i in 0..emps {
+        let e = g.add_node("EMP", [("id", Value::Int(i)), ("name", Value::str("seed"))]);
+        g.add_edge("WORK_AT", e, depts[(i % 4) as usize], [("wid", Value::Int(i))]);
+    }
+    g
+}
+
+/// A self-contained delta with globally unique default keys for `i`.
+fn delta_for(i: i64) -> Delta {
+    let mut d = Delta::new();
+    let n = d.add_node("EMP", [("id", Value::Int(1_000_000 + i)), ("name", Value::str("w"))]);
+    d.add_edge("WORK_AT", n, NodeKey((i % 4) as u64), [("wid", Value::Int(2_000_000 + i))]);
+    d
+}
+
+/// A unique scratch directory under `target/` (the harness must not touch
+/// paths outside the repository).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target/bench-pr8").join(format!("{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fsync_store(dir: &std::path::Path, seed_emps: i64) -> GraphStore {
+    GraphStore::builder(schema())
+        .durable(dir)
+        .bootstrap(seed_graph(seed_emps))
+        .durability(DurabilityOptions {
+            fsync_each_commit: true,
+            checkpoint_interval: 0,
+            keep_checkpoints: 2,
+            ..DurabilityOptions::default()
+        })
+        .open()
+        .expect("durable store opens")
+}
+
+// ---------------------------------------------------- group-commit speedup
+
+struct GroupRun {
+    speedup: f64,
+    solo_commits_per_sec: f64,
+    group_commits_per_sec: f64,
+    mean_group_size: f64,
+    backpressured: u64,
+}
+
+/// Wall-clock for `writers` threads each running `per_writer` commits
+/// through `commit_one` against a shared store.
+fn drive_writers(writers: i64, per_writer: i64, commit_one: impl Fn(Delta) + Send + Sync) -> f64 {
+    let commit_one = &commit_one;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    commit_one(delta_for(w * per_writer + i));
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` solo-vs-group fsync'd writer throughput at `writers`
+/// concurrent committers.  Rep 0 is a warmup (page cache, allocator).
+fn group_commit_speedup(seed_emps: i64, writers: i64, per_writer: i64, reps: usize) -> GroupRun {
+    let mut best = GroupRun {
+        speedup: 0.0,
+        solo_commits_per_sec: 0.0,
+        group_commits_per_sec: 0.0,
+        mean_group_size: 0.0,
+        backpressured: 0,
+    };
+    let total = (writers * per_writer) as f64;
+    for rep in 0..=reps {
+        // Solo: every commit pays its own WAL append + fsync +
+        // publication, serialized by the store's write lock.
+        let dir = scratch("solo");
+        let store = fsync_store(&dir, seed_emps);
+        let solo_secs = drive_writers(writers, per_writer, |d| {
+            store.commit(d).expect("scripted commits are valid");
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Group: the same workload funnels through one committer;
+        // whatever queues while a group is being fsynced forms the
+        // next group.
+        let dir = scratch("group");
+        let store = Arc::new(fsync_store(&dir, seed_emps));
+        let committer = store.group_committer(GroupOptions::default());
+        let group_secs = drive_writers(writers, per_writer, |d| {
+            committer.submit(d).wait().expect("scripted commits are valid");
+        });
+        let gstats = committer.stats();
+        drop(committer);
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+
+        let run = GroupRun {
+            speedup: solo_secs / group_secs.max(1e-9),
+            solo_commits_per_sec: total / solo_secs.max(1e-9),
+            group_commits_per_sec: total / group_secs.max(1e-9),
+            mean_group_size: gstats.group_members as f64 / gstats.groups_formed.max(1) as f64,
+            backpressured: gstats.backpressured,
+        };
+        if rep > 0 && run.speedup > best.speedup {
+            best = run;
+        }
+    }
+    best
+}
+
+// ------------------------------------------------- reads under write load
+
+struct ReadRun {
+    quiet_queries_per_sec: f64,
+    under_write_queries_per_sec: f64,
+    ratio: f64,
+    writer_commits_per_sec: f64,
+}
+
+/// Pinned-session query throughput, quiet vs with 4 group-commit
+/// writers running.  MVCC pinning means the read path never blocks on
+/// the write path; the ratio only pays for shared CPU and allocator.
+fn reads_under_writes(seed_emps: i64, queries: usize) -> ReadRun {
+    let service = Graphiti::builder(schema())
+        .bootstrap(seed_graph(seed_emps))
+        .group_commit_default()
+        .open()
+        .expect("in-memory service opens");
+    let q = BatchQuery::cypher(
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS dept, Count(n) AS headcount",
+    );
+
+    let time_reads = |session: &mut dyn Session| {
+        let start = Instant::now();
+        for _ in 0..queries {
+            session.query(&q).expect("read-only query succeeds");
+        }
+        queries as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let mut session = service.session();
+    let quiet = time_reads(&mut session);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let under_write = std::thread::scope(|scope| {
+        for w in 0..4i64 {
+            let service = service.clone();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut i = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let delta = delta_for(3_000_000 + w * 1_000_000 + i);
+                    service.commit(delta).expect("writer commits succeed");
+                    i += 1;
+                }
+            });
+        }
+        let qps = time_reads(&mut session);
+        stop.store(true, Ordering::Relaxed);
+        qps
+    });
+    let write_secs = start.elapsed().as_secs_f64();
+    let committed = service.service_stats().commits;
+    ReadRun {
+        quiet_queries_per_sec: quiet,
+        under_write_queries_per_sec: under_write,
+        ratio: under_write / quiet.max(1e-9),
+        writer_commits_per_sec: committed as f64 / write_secs.max(1e-9),
+    }
+}
+
+// ------------------------------------------------------------ server smoke
+
+/// A unix-socket server under a mixed `clients`-client workload with a
+/// clean shutdown; `true` only if every step succeeds.
+fn server_smoke(clients: u64) -> bool {
+    let sock = std::env::temp_dir().join(format!("graphiti-bench-pr8-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let Ok(service) =
+        Graphiti::builder(schema()).bootstrap(seed_graph(64)).group_commit_default().open()
+    else {
+        return false;
+    };
+    let handle = match Server::with_options(
+        service.clone(),
+        ServerOptions { max_connections: clients as usize + 4, ..ServerOptions::default() },
+    )
+    .serve_unix(&sock)
+    {
+        Ok(h) => h,
+        Err(_) => return false,
+    };
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        let sock = sock.clone();
+        threads.push(std::thread::spawn(move || -> bool {
+            let Ok(mut session) = Client::connect_unix(&sock) else { return false };
+            for i in 0..2 {
+                if session.commit(delta_for(8_000_000 + (c * 2 + i) as i64)).is_err() {
+                    return false;
+                }
+            }
+            let rows = session.query(&BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS id"));
+            if !rows.is_ok_and(|t| !t.rows.is_empty()) {
+                return false;
+            }
+            let report = session.batch(&[
+                BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e"),
+                BatchQuery::cypher("MATCH (n:EMP) RETURN n.name AS w"),
+            ]);
+            if !report.is_ok_and(|r| r.outcomes.iter().all(|o| o.result.is_ok())) {
+                return false;
+            }
+            session.refresh().is_ok() && session.stats().is_ok() && session.close().is_ok()
+        }));
+    }
+    let all_ok = threads.into_iter().all(|t| t.join().unwrap_or(false));
+    let stats = service.service_stats();
+    handle.shutdown();
+    all_ok && stats.commits == clients * 2 && stats.rejected_commits == 0 && !sock.exists()
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let (seed_emps, per_writer, queries, reps) =
+        if opts.quick { (200i64, 16i64, 64usize, 2) } else { (800, 64, 256, 4) };
+    const WRITERS: i64 = 8;
+
+    // --- group-commit speedup ------------------------------------------
+    let group = group_commit_speedup(seed_emps, WRITERS, per_writer, reps);
+    println!(
+        "== group commit ({WRITERS} writers x {per_writer} fsync'd commits, best of {reps}) =="
+    );
+    println!("  solo:  {:9.1} commits/s", group.solo_commits_per_sec);
+    println!(
+        "  group: {:9.1} commits/s (mean group size {:.1}, backpressured {})",
+        group.group_commits_per_sec, group.mean_group_size, group.backpressured
+    );
+    println!("  speedup: {:.2}x (floor 3.0)", group.speedup);
+
+    // --- reads under writes --------------------------------------------
+    let reads = reads_under_writes(seed_emps, queries);
+    let survives = reads.ratio >= 0.30;
+    println!("== reads under group-committed writes ({queries} queries) ==");
+    println!("  quiet:       {:9.1} queries/s", reads.quiet_queries_per_sec);
+    println!(
+        "  under write: {:9.1} queries/s (ratio {:.3}, writers {:.1} commits/s)",
+        reads.under_write_queries_per_sec, reads.ratio, reads.writer_commits_per_sec
+    );
+
+    // --- server smoke ---------------------------------------------------
+    let smoke = server_smoke(32);
+    println!("== server smoke (unix socket, 32 clients): {smoke} ==");
+
+    // --- JSON -----------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"harness\": \"bench_pr8\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if opts.quick { "quick" } else { "full" });
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"seed_emps\": {seed_emps}, \"writers\": {WRITERS}, \"commits_per_writer\": {per_writer}, \"queries\": {queries}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"group_commit\": {{\"solo_commits_per_sec\": {:.1}, \"group_commits_per_sec\": {:.1}, \"mean_group_size\": {:.2}, \"backpressured\": {}}},",
+        group.solo_commits_per_sec,
+        group.group_commits_per_sec,
+        group.mean_group_size,
+        group.backpressured
+    );
+    let _ = writeln!(
+        json,
+        "  \"reads_under_writes\": {{\"quiet_queries_per_sec\": {:.1}, \"under_write_queries_per_sec\": {:.1}, \"ratio\": {:.3}, \"writer_commits_per_sec\": {:.1}}},",
+        reads.quiet_queries_per_sec,
+        reads.under_write_queries_per_sec,
+        reads.ratio,
+        reads.writer_commits_per_sec
+    );
+    // Ratios and booleans only: hardware-portable by design.
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"group_commit_speedup\": {:.2},", group.speedup);
+    let _ = writeln!(json, "    \"reads_survive_writes\": {survives},");
+    let _ = writeln!(json, "    \"server_smoke\": {smoke}");
+    let _ = writeln!(json, "  }},");
+    // The speedup is additionally an *absolute* requirement: coalescing
+    // must buy >= 3x over per-commit fsync at 8 writers, even against a
+    // fresh baseline.
+    let _ = writeln!(json, "  \"floors\": {{");
+    let _ = writeln!(json, "    \"group_commit_speedup\": 3.0");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, json).expect("write bench json");
+    println!("wrote {}", opts.out);
+    assert!(
+        group.speedup >= 3.0 && survives && smoke,
+        "serving gate failed: speedup {:.2} (floor 3.0), reads_survive_writes {survives}, server_smoke {smoke}",
+        group.speedup
+    );
+}

@@ -12,12 +12,14 @@
 //!   [`Value::Str`], making value clones cheap on evaluator hot paths.
 //! * Small helpers for identifier handling and deterministic hashing.
 
+pub mod api;
 pub mod error;
 pub mod ident;
 pub mod intern;
 pub mod truth;
 pub mod value;
 
+pub use api::{ApiError, ApiResult};
 pub use error::{Error, Result};
 pub use ident::Ident;
 pub use intern::intern;

@@ -313,7 +313,27 @@ impl Engine {
     /// state is the plan cache, which never changes results (a cached plan
     /// is exactly what the miss path would have built).
     pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
-        self.run_batch_with(batch, workers, true)
+        self.run_batch_with(batch, workers, true, None)
+    }
+
+    /// [`Engine::run_batch`] against an **explicitly pinned** snapshot
+    /// generation instead of the latest published one.  This is the
+    /// session primitive: a serving session holds one `Arc<Snapshot>`
+    /// and keeps reading that generation — across any number of
+    /// intervening publications — until it opts into a refresh.
+    pub fn run_batch_on(
+        &self,
+        snapshot: &Arc<Snapshot>,
+        batch: &[BatchQuery],
+        workers: usize,
+    ) -> BatchReport {
+        self.run_batch_with(batch, workers, true, Some(Arc::clone(snapshot)))
+    }
+
+    /// Executes one query against an explicitly pinned snapshot
+    /// generation (the single-query form of [`Engine::run_batch_on`]).
+    pub fn execute_on(&self, snapshot: &Snapshot, query: &BatchQuery) -> QueryOutcome {
+        self.inner.execute_on(snapshot, query)
     }
 
     /// The pre-pool execution model: `workers` *scoped threads spawned for
@@ -322,17 +342,23 @@ impl Engine {
     /// small-batch comparison); results are identical to
     /// [`Engine::run_batch`].
     pub fn run_batch_unpooled(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
-        self.run_batch_with(batch, workers, false)
+        self.run_batch_with(batch, workers, false, None)
     }
 
-    fn run_batch_with(&self, batch: &[BatchQuery], workers: usize, pooled: bool) -> BatchReport {
+    fn run_batch_with(
+        &self,
+        batch: &[BatchQuery],
+        workers: usize,
+        pooled: bool,
+        pin: Option<Arc<Snapshot>>,
+    ) -> BatchReport {
         let before = self.inner.cache.stats();
         let start = Instant::now();
         let workers = workers.max(1).min(batch.len().max(1));
         // Pin one generation for the whole batch: every query of the batch
         // sees the same immutable snapshot even if a writer publishes new
-        // generations mid-flight.
-        let snapshot = self.inner.current();
+        // generations mid-flight.  A session passes its own pin instead.
+        let snapshot = pin.unwrap_or_else(|| self.inner.current());
         let outcomes = if workers <= 1 {
             batch.iter().map(|q| self.inner.execute_on(&snapshot, q)).collect()
         } else if pooled {

@@ -50,6 +50,7 @@ pub mod batch;
 pub mod cache;
 pub mod pool;
 pub mod snapshot;
+pub mod surface;
 
 pub use batch::{BatchQuery, BatchReport, Engine, EngineStats, QueryOutcome};
 pub use cache::{
@@ -57,6 +58,7 @@ pub use cache::{
 };
 pub use pool::WorkerPool;
 pub use snapshot::{SharedColumnarExtras, SharedExtras, Snapshot, SqlTarget};
+pub use surface::QuerySurface;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,83 @@
+//! The shared read surface of everything that can answer queries.
+//!
+//! Before this trait existed, `Engine::run_batch` and the store's
+//! `GraphStore::run_batch` were copy-pasted dispatch: the store method
+//! just forwarded to its embedded engine, and every consumer that wanted
+//! to work over "either an engine or a store" (most prominently the
+//! testkit's differential oracle) had to be written twice or take the
+//! engine out by hand.  [`QuerySurface`] is the one trait both
+//! implement: a type exposes its embedded [`Engine`] and inherits the
+//! whole read API — single queries, transpiled-AST execution, pinned
+//! and unpinned batches — as default methods.
+
+use crate::batch::{BatchQuery, BatchReport, Engine, QueryOutcome};
+use crate::snapshot::{Snapshot, SqlTarget};
+use std::sync::Arc;
+
+/// Anything that can answer Cypher/SQL queries through an embedded
+/// [`Engine`]: the engine itself, a writable `GraphStore`, or a serving
+/// facade.  Implementors provide [`QuerySurface::query_engine`]; every
+/// read entry point is a default method delegating to it, so all
+/// surfaces answer queries identically by construction — which is what
+/// lets one differential oracle check any of them.
+pub trait QuerySurface {
+    /// The embedded batch engine this surface executes through.
+    fn query_engine(&self) -> &Engine;
+
+    /// Pins the surface's latest published snapshot generation.
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.query_engine().snapshot()
+    }
+
+    /// Executes one query against the latest generation.
+    fn execute(&self, query: &BatchQuery) -> QueryOutcome {
+        self.query_engine().execute(query)
+    }
+
+    /// Executes one query against an explicitly pinned generation.
+    fn execute_on(&self, snapshot: &Snapshot, query: &BatchQuery) -> QueryOutcome {
+        self.query_engine().execute_on(snapshot, query)
+    }
+
+    /// Executes an already-parsed SQL query (the differential oracle's
+    /// trusted path: no pretty-print/re-parse round trip).
+    fn execute_sql_ast(&self, ast: &graphiti_sql::SqlQuery, target: &SqlTarget) -> QueryOutcome {
+        self.query_engine().execute_sql_ast(ast, target)
+    }
+
+    /// Runs a batch against the latest generation (pinned at batch
+    /// start), across up to `workers` pool threads.
+    fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
+        self.query_engine().run_batch(batch, workers)
+    }
+
+    /// Runs a batch against an explicitly pinned generation.
+    fn run_batch_on(
+        &self,
+        snapshot: &Arc<Snapshot>,
+        batch: &[BatchQuery],
+        workers: usize,
+    ) -> BatchReport {
+        self.query_engine().run_batch_on(snapshot, batch, workers)
+    }
+}
+
+impl QuerySurface for Engine {
+    fn query_engine(&self) -> &Engine {
+        self
+    }
+}
+
+// A surface behind a reference or `Arc` is still a surface (lets
+// generic consumers take `&impl QuerySurface` or shared handles alike).
+impl<S: QuerySurface + ?Sized> QuerySurface for &S {
+    fn query_engine(&self) -> &Engine {
+        (**self).query_engine()
+    }
+}
+
+impl<S: QuerySurface + ?Sized> QuerySurface for Arc<S> {
+    fn query_engine(&self) -> &Engine {
+        (**self).query_engine()
+    }
+}

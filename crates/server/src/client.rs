@@ -1,0 +1,222 @@
+//! The wire client: a [`Session`] implementation over a socket.
+//!
+//! [`Client::connect_tcp`]/[`Client::connect_unix`] perform the version
+//! handshake and open the connection's session, returning a
+//! [`WireSession`] that implements the same [`Session`] trait as the
+//! in-process [`EmbeddedSession`](graphiti_store::EmbeddedSession) — a
+//! caller cannot observe which transport it is behind, down to the
+//! error vocabulary.
+
+use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use graphiti_common::{ApiError, ApiResult};
+use graphiti_engine::{BatchQuery, BatchReport};
+use graphiti_relational::Table;
+use graphiti_store::{CommitAck, Delta, ServiceStats, Session};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Connection factory for [`WireSession`]s.
+pub struct Client;
+
+impl Client {
+    /// Connects over TCP, handshakes, and opens the session.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> ApiResult<WireSession> {
+        let stream = TcpStream::connect(addr).map_err(|e| ApiError::Io(e.to_string()))?;
+        WireSession::open(Conn::Tcp(stream))
+    }
+
+    /// Connects over a unix-domain socket, handshakes, and opens the
+    /// session.
+    pub fn connect_unix(path: impl AsRef<Path>) -> ApiResult<WireSession> {
+        let stream = UnixStream::connect(path).map_err(|e| ApiError::Io(e.to_string()))?;
+        WireSession::open(Conn::Unix(stream))
+    }
+}
+
+/// A server-backed session, pinned at one snapshot generation until it
+/// refreshes or commits (the server re-pins a committing session for
+/// read-your-writes, and replies with the new generation).
+#[derive(Debug)]
+pub struct WireSession {
+    conn: Conn,
+    next_id: u64,
+    generation: u64,
+    closed: bool,
+}
+
+impl WireSession {
+    fn open(conn: Conn) -> ApiResult<WireSession> {
+        let mut s = WireSession { conn, next_id: 1, generation: 0, closed: false };
+        match s.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::HelloOk { .. } => {}
+            other => return Err(unexpected("HelloOk", &other)),
+        }
+        match s.roundtrip(&Request::OpenSession)? {
+            Response::SessionOpen { generation } => s.generation = generation,
+            other => return Err(unexpected("SessionOpen", &other)),
+        }
+        Ok(s)
+    }
+
+    /// Sends one request and decodes its reply, checking the id echo
+    /// and unwrapping error frames into typed [`ApiError`]s.
+    fn roundtrip(&mut self, req: &Request) -> ApiResult<Response> {
+        if self.closed {
+            return Err(ApiError::SessionClosed("the wire session is closed".into()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Err(send_err) =
+            protocol::write_frame(&mut self.conn, &protocol::encode_request(id, req))
+        {
+            // A failed send can mean the server already answered and
+            // hung up — an admission refusal races our write.  A
+            // pending error frame names the real reason.
+            self.closed = true;
+            if let Ok(Some(payload)) = protocol::read_frame(&mut self.conn, DEFAULT_MAX_FRAME) {
+                if let (_, Ok(Response::Error { code, message })) =
+                    protocol::decode_response(&payload)
+                {
+                    return Err(ApiError::from_wire(code, message));
+                }
+            }
+            return Err(send_err);
+        }
+        let payload =
+            protocol::read_frame(&mut self.conn, DEFAULT_MAX_FRAME)?.ok_or_else(|| {
+                self.closed = true;
+                ApiError::Protocol("server closed the connection without replying".into())
+            })?;
+        let (echo, resp) = protocol::decode_response(&payload);
+        let resp = resp?;
+        if let Response::Error { code, message } = resp {
+            // Error frames are honored even with a zero id: the server
+            // addresses pre-read failures (admission refusal, torn
+            // frames) to request 0.
+            if echo != id && echo != 0 {
+                self.closed = true;
+                return Err(ApiError::Protocol(format!(
+                    "error frame for request {echo} while awaiting {id}"
+                )));
+            }
+            let err = ApiError::from_wire(code, message);
+            // A server that answered with Internal/SessionClosed/
+            // Protocol has torn down the session on its side.
+            if matches!(
+                err,
+                ApiError::Internal(_) | ApiError::SessionClosed(_) | ApiError::Protocol(_)
+            ) {
+                self.closed = true;
+            }
+            return Err(err);
+        }
+        if echo != id {
+            self.closed = true;
+            return Err(ApiError::Protocol(format!(
+                "response for request {echo} while awaiting {id}"
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ApiError {
+    ApiError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+impl Session for WireSession {
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn refresh(&mut self) -> ApiResult<u64> {
+        match self.roundtrip(&Request::Refresh)? {
+            Response::Generation(g) => {
+                self.generation = g;
+                Ok(g)
+            }
+            other => Err(unexpected("Generation", &other)),
+        }
+    }
+
+    fn query(&mut self, query: &BatchQuery) -> ApiResult<Table> {
+        match self.roundtrip(&Request::Query(query.clone()))? {
+            Response::Rows(table) => Ok(table),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    fn batch(&mut self, queries: &[BatchQuery]) -> ApiResult<BatchReport> {
+        match self.roundtrip(&Request::Batch(queries.to_vec()))? {
+            Response::BatchOk(report) => Ok(report),
+            other => Err(unexpected("BatchOk", &other)),
+        }
+    }
+
+    fn commit(&mut self, delta: Delta) -> ApiResult<CommitAck> {
+        match self.roundtrip(&Request::Commit(delta))? {
+            Response::CommitOk { ack, session_generation } => {
+                self.generation = session_generation;
+                Ok(ack)
+            }
+            other => Err(unexpected("CommitOk", &other)),
+        }
+    }
+
+    fn stats(&mut self) -> ApiResult<ServiceStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsOk(stats) => Ok(stats),
+            other => Err(unexpected("StatsOk", &other)),
+        }
+    }
+
+    fn checkpoint(&mut self) -> ApiResult<u64> {
+        match self.roundtrip(&Request::Checkpoint)? {
+            Response::CheckpointOk(g) => Ok(g),
+            other => Err(unexpected("CheckpointOk", &other)),
+        }
+    }
+
+    fn close(&mut self) -> ApiResult<()> {
+        match self.roundtrip(&Request::Close)? {
+            Response::Closed => {
+                self.closed = true;
+                Ok(())
+            }
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Serving front-end for the graphiti store.
+//!
+//! This crate turns an embedded [`Graphiti`](graphiti_store::Graphiti)
+//! service into a network server, without pulling in an async runtime:
+//! a hand-rolled **length-prefixed binary protocol** (the store's own
+//! WAL codec behind [`graphiti_store::codec`]) over TCP or unix-domain
+//! sockets, one OS thread per connection.
+//!
+//! * [`protocol`] — the frame format and typed request/response codec.
+//!   Decoding is total: hostile bytes become typed errors, never
+//!   panics.
+//! * [`Server`] — the accept loop.  Admission control is a connection
+//!   cap (typed backpressure frame at accept) plus the service's
+//!   bounded group-commit queue (typed backpressure reply per commit).
+//!   A panicking handler answers with a typed internal-error frame and
+//!   closes the session instead of hanging the client.
+//! * [`Client`]/[`WireSession`] — the client side, implementing the
+//!   same [`Session`](graphiti_store::Session) trait as the in-process
+//!   embedding, down to the error vocabulary.
+//!
+//! Sessions are **pinned**: a wire session reads the snapshot
+//! generation it opened at until it explicitly refreshes; its own
+//! commits re-pin it (read-your-writes).  Writes from all connections
+//! funnel into the service's group committer, so concurrent commits
+//! coalesce into one fsync and one publication.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+
+mod client;
+mod server;
+
+pub use client::{Client, WireSession};
+pub use server::{Server, ServerHandle, ServerOptions};

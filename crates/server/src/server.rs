@@ -1,0 +1,407 @@
+//! The serving loop: thread-per-connection over TCP or unix sockets.
+//!
+//! One [`Server`] wraps a [`Graphiti`] service.  Each accepted
+//! connection gets its own OS thread and its own wire session, pinned
+//! at the generation it opened at; admission control is two-layered:
+//!
+//! * a **connection cap** — a connection over [`ServerOptions::max_connections`]
+//!   receives one typed [`ApiError::Backpressure`] frame and is closed
+//!   before a session ever exists;
+//! * a **bounded commit queue** — wire commits go through the service's
+//!   group committer with [`Graphiti::try_commit`]; a full queue is a
+//!   typed backpressure *reply* (the connection survives, the client
+//!   retries).
+//!
+//! A panic while handling a request never hangs the client: the
+//! connection thread catches it, answers with a typed
+//! [`ApiError::Internal`] frame, drops the session, and closes the
+//! connection.
+
+use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use graphiti_common::{ApiError, ApiResult};
+use graphiti_store::{Graphiti, Session};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum concurrently served connections; the next one is
+    /// backpressured at accept time.
+    pub max_connections: usize,
+    /// Ceiling on one frame's payload, bytes.
+    pub max_frame_bytes: u32,
+    /// Test hook: a query whose text equals this panics inside the
+    /// handler, exercising the panic-to-typed-error-frame path.
+    pub poison_query: Option<String>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_connections: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            poison_query: None,
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// One accepted connection, either transport.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A serving front-end over a [`Graphiti`] service.
+pub struct Server {
+    service: Graphiti,
+    options: ServerOptions,
+}
+
+impl Server {
+    /// Wraps a service with default options.
+    pub fn new(service: Graphiti) -> Server {
+        Server::with_options(service, ServerOptions::default())
+    }
+
+    /// Wraps a service with explicit options.
+    pub fn with_options(service: Graphiti, options: ServerOptions) -> Server {
+        Server { service, options }
+    }
+
+    /// Binds a TCP listener (use port 0 for an OS-assigned port; the
+    /// bound address is on the handle) and starts accepting.
+    pub fn serve_tcp(self, addr: impl std::net::ToSocketAddrs) -> ApiResult<ServerHandle> {
+        let listener = TcpListener::bind(addr).map_err(|e| ApiError::Io(e.to_string()))?;
+        let local = listener.local_addr().map_err(|e| ApiError::Io(e.to_string()))?;
+        self.spawn(Listener::Tcp(listener), Some(local), None)
+    }
+
+    /// Binds a unix-domain socket at `path` (removed again on shutdown)
+    /// and starts accepting.
+    pub fn serve_unix(self, path: impl AsRef<Path>) -> ApiResult<ServerHandle> {
+        let path = path.as_ref().to_path_buf();
+        // A stale socket file from a crashed predecessor would make
+        // bind fail; serving is the only reason the file exists.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).map_err(|e| ApiError::Io(e.to_string()))?;
+        self.spawn(Listener::Unix(listener), None, Some(path))
+    }
+
+    fn spawn(
+        self,
+        listener: Listener,
+        tcp_addr: Option<SocketAddr>,
+        unix_path: Option<PathBuf>,
+    ) -> ApiResult<ServerHandle> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accepter = {
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("graphiti-accept".into())
+                .spawn(move || accept_loop(self, listener, shutdown, active, conns))
+                .map_err(|e| ApiError::Io(e.to_string()))?
+        };
+        Ok(ServerHandle { shutdown, accepter: Some(accepter), conns, tcp_addr, unix_path })
+    }
+}
+
+fn accept_loop(
+    server: Server,
+    listener: Listener,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Admission layer one: the connection cap.
+        if active.fetch_add(1, Ordering::SeqCst) >= server.options.max_connections {
+            active.fetch_sub(1, Ordering::SeqCst);
+            let err = ApiError::Backpressure(format!(
+                "server at its {}-connection cap; retry later",
+                server.options.max_connections
+            ));
+            let (code, message) = err.to_wire();
+            let _ = protocol::write_frame(
+                &mut stream,
+                &protocol::encode_response(0, &Response::Error { code, message }),
+            );
+            continue;
+        }
+        let service = server.service.clone();
+        let options = server.options.clone();
+        let conn_active = Arc::clone(&active);
+        let handle = std::thread::Builder::new().name("graphiti-conn".into()).spawn(move || {
+            serve_conn(service, options, &mut stream);
+            conn_active.fetch_sub(1, Ordering::SeqCst);
+        });
+        match handle {
+            Ok(h) => conns.lock().expect("conn registry lock").push(h),
+            Err(_) => {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// One connection's request loop.  Returns when the peer disconnects,
+/// sends something malformed, closes its session, or a handler panics.
+fn serve_conn(service: Graphiti, options: ServerOptions, stream: &mut Stream) {
+    let mut session: Option<graphiti_store::EmbeddedSession> = None;
+    let mut greeted = false;
+    loop {
+        let payload = match protocol::read_frame(stream, options.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(err) => {
+                // A torn or hostile frame gets a typed reply; the
+                // stream is unsynchronized past it, so close.
+                send_error(stream, 0, &err);
+                return;
+            }
+        };
+        let (request_id, request) = protocol::decode_request(&payload);
+        let request = match request {
+            Ok(request) => request,
+            Err(err) => {
+                send_error(stream, request_id, &err);
+                return;
+            }
+        };
+        let closing = matches!(request, Request::Close);
+        // The handler runs under catch_unwind so a panic — a store bug,
+        // or the poison-query test hook — becomes a typed error frame
+        // instead of a hung client.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&service, &options, &mut session, &mut greeted, request)
+        }));
+        match outcome {
+            Ok(Ok(response)) => {
+                if protocol::write_frame(stream, &protocol::encode_response(request_id, &response))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Err(err)) => {
+                if !send_error(stream, request_id, &err) {
+                    return;
+                }
+            }
+            Err(_panic) => {
+                // The session's state is suspect; drop it and close.
+                drop(session.take());
+                send_error(
+                    stream,
+                    request_id,
+                    &ApiError::Internal(
+                        "server panicked handling the request; session closed".into(),
+                    ),
+                );
+                return;
+            }
+        }
+        if closing {
+            return;
+        }
+    }
+}
+
+/// Writes a typed error frame; false when the stream is already gone.
+fn send_error(stream: &mut Stream, request_id: u64, err: &ApiError) -> bool {
+    let (code, message) = err.to_wire();
+    protocol::write_frame(
+        stream,
+        &protocol::encode_response(request_id, &Response::Error { code, message }),
+    )
+    .is_ok()
+}
+
+fn handle_request(
+    service: &Graphiti,
+    options: &ServerOptions,
+    session: &mut Option<graphiti_store::EmbeddedSession>,
+    greeted: &mut bool,
+    request: Request,
+) -> ApiResult<Response> {
+    // The handshake gates everything else.
+    if !*greeted {
+        return match request {
+            Request::Hello { version: PROTOCOL_VERSION } => {
+                *greeted = true;
+                Ok(Response::HelloOk { version: PROTOCOL_VERSION })
+            }
+            Request::Hello { version } => Err(ApiError::Protocol(format!(
+                "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+            ))),
+            _ => Err(ApiError::Protocol("expected Hello as the first request".into())),
+        };
+    }
+    match request {
+        Request::Hello { .. } => {
+            Err(ApiError::Protocol("duplicate Hello on an established connection".into()))
+        }
+        Request::OpenSession => {
+            let s = service.session();
+            let generation = s.generation();
+            *session = Some(s);
+            Ok(Response::SessionOpen { generation })
+        }
+        Request::Query(query) => {
+            if let (Some(poison), Some(text)) = (&options.poison_query, query_text(&query)) {
+                assert_ne!(poison, text, "poison query tripped (test hook)");
+            }
+            let s = open(session)?;
+            Ok(Response::Rows(s.query(&query)?))
+        }
+        Request::Batch(queries) => {
+            let s = open(session)?;
+            Ok(Response::BatchOk(s.batch(&queries)?))
+        }
+        Request::Commit(delta) => {
+            let s = open(session)?;
+            // The bounded admission queue, surfaced as typed
+            // backpressure instead of blocking the connection thread.
+            match service.try_commit(delta)? {
+                Ok(ack) => {
+                    // Re-pin for read-your-writes, matching the
+                    // embedded session's commit semantics.
+                    let session_generation = s.refresh()?;
+                    Ok(Response::CommitOk { ack, session_generation })
+                }
+                Err(_delta) => Err(ApiError::Backpressure("commit queue full; retry later".into())),
+            }
+        }
+        Request::Refresh => Ok(Response::Generation(open(session)?.refresh()?)),
+        Request::Stats => Ok(Response::StatsOk(service.service_stats())),
+        Request::Checkpoint => Ok(Response::CheckpointOk(open(session)?.checkpoint()?)),
+        Request::Close => {
+            if let Some(mut s) = session.take() {
+                s.close()?;
+            }
+            Ok(Response::Closed)
+        }
+    }
+}
+
+fn query_text(q: &graphiti_engine::BatchQuery) -> Option<&str> {
+    match q {
+        graphiti_engine::BatchQuery::Cypher { text } => Some(text),
+        graphiti_engine::BatchQuery::Sql { text, .. } => Some(text),
+    }
+}
+
+fn open(
+    session: &mut Option<graphiti_store::EmbeddedSession>,
+) -> ApiResult<&mut graphiti_store::EmbeddedSession> {
+    session.as_mut().ok_or_else(|| {
+        ApiError::SessionClosed("no open session on this connection (send OpenSession)".into())
+    })
+}
+
+/// A running server.  Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    accepter: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (None for a unix-socket server).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The unix socket path (None for a TCP server).
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Stops accepting, joins every connection thread, and removes the
+    /// unix socket file.  Established connections finish their request
+    /// loops first (clients should `Close` before the server stops).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accepter) = self.accepter.take() else { return };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accepter blocks in accept(); poke it awake with one
+        // throwaway connection so it observes the flag.
+        match (&self.tcp_addr, &self.unix_path) {
+            (Some(addr), _) => {
+                let _ = TcpStream::connect(addr);
+            }
+            (_, Some(path)) => {
+                let _ = UnixStream::connect(path);
+            }
+            _ => {}
+        }
+        let _ = accepter.join();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conn registry lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

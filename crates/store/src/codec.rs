@@ -1,0 +1,150 @@
+//! The store's binary codec, exposed for the wire protocol.
+//!
+//! The WAL already defines a hand-rolled binary encoding for [`Value`]s
+//! and [`Delta`]s (little-endian integers, length-prefixed UTF-8,
+//! tagged enums, CRC-32 framing).  The serving protocol must ship the
+//! same payloads over sockets, and inventing a second encoding would
+//! mean two codecs to fuzz and keep honest — so this module re-exports
+//! the WAL's primitives behind a small public facade: writer functions
+//! over a `Vec<u8>` and a bounds-checked [`Reader`].  Every decode
+//! failure is a typed [`Error`](graphiti_common::Error), never a panic,
+//! no matter how hostile the bytes.
+
+use crate::delta::Delta;
+use crate::wal;
+use graphiti_common::{Result, Value};
+
+/// Hand-rolled CRC-32 (IEEE 802.3 polynomial) — the same checksum the
+/// WAL frames records with, reused by the wire protocol's frames.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    wal::crc32(bytes)
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    wal::put_u32(buf, v);
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    wal::put_u64(buf, v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    wal::put_str(buf, s);
+}
+
+/// Appends a tagged [`Value`].
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    wal::put_value(buf, v);
+}
+
+/// Appends a [`Delta`] as an op count followed by its operations — the
+/// exact shape of a WAL record body, so a wire commit and its WAL
+/// record are byte-identical past the generation header.
+pub fn put_delta(buf: &mut Vec<u8>, delta: &Delta) {
+    wal::put_delta(buf, delta);
+}
+
+/// A bounds-checked reader over received bytes.  Every accessor returns
+/// a typed error on truncated or malformed input.
+pub struct Reader<'a> {
+    inner: wal::Cursor<'a>,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { inner: wal::Cursor::new(buf) }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        self.inner.u8()
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let lo = self.inner.u8()? as u16;
+        let hi = self.inner.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        self.inner.u32()
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        self.inner.u64()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        self.inner.str()
+    }
+
+    /// Reads a tagged [`Value`].
+    pub fn value(&mut self) -> Result<Value> {
+        self.inner.value()
+    }
+
+    /// Reads a [`put_delta`]-shaped [`Delta`].
+    pub fn delta(&mut self) -> Result<Delta> {
+        self.inner.delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::NodeKey;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_str(&mut buf, "héllo");
+        put_value(&mut buf, &Value::Float(-0.5));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.value().unwrap(), Value::Float(-0.5));
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn delta_round_trips_and_garbage_is_a_typed_error() {
+        let mut d = Delta::new();
+        let n = d.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("Ada"))]);
+        d.set_node_prop(NodeKey(3), "name", Value::Null);
+        d.remove_node(n);
+        let mut buf = Vec::new();
+        put_delta(&mut buf, &d);
+        let got = Reader::new(&buf).delta().unwrap();
+        assert_eq!(format!("{:?}", got.ops()), format!("{:?}", d.ops()));
+        // Truncation and tag garbage must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(Reader::new(&buf[..cut]).delta().is_err(), "cut at {cut} must error");
+        }
+        let mut bad = buf.clone();
+        bad[4] = 0xFF; // first op tag -> unknown mutation
+        assert!(Reader::new(&bad).delta().is_err());
+    }
+}

@@ -19,7 +19,7 @@
 //! pages clean, so a retry that "succeeds" proves nothing — the
 //! fsyncgate lesson), so the store fences itself instead of guessing.
 
-use graphiti_common::Error;
+use graphiti_common::{ApiError, Error};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -135,6 +135,22 @@ impl From<StoreError> for Error {
     }
 }
 
+/// Maps store failures into the public façade's [`ApiError`], keeping
+/// the caller-actionable classes (`Rejected`, `Fenced`, `Io`) distinct
+/// so wire clients can react without parsing messages.
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> ApiError {
+        match e {
+            StoreError::Rejected(inner) => ApiError::Rejected(inner.to_string()),
+            StoreError::Fenced { reason } => ApiError::Fenced(reason),
+            StoreError::Io { .. } => ApiError::Io(e.to_string()),
+            StoreError::Corrupt { .. } => ApiError::Corrupt(e.to_string()),
+            StoreError::Unsupported(m) => ApiError::Unsupported(m),
+            StoreError::Internal(m) => ApiError::Internal(m),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +178,14 @@ mod tests {
         assert!(e.is_fenced());
         let e: Error = StoreError::Rejected(Error::instance("dup pk")).into();
         assert_eq!(e, Error::instance("dup pk"));
+    }
+
+    #[test]
+    fn converts_into_api_error() {
+        let e: ApiError = StoreError::Fenced { reason: "fsync failed".into() }.into();
+        assert!(e.is_fenced());
+        let e: ApiError = StoreError::Rejected(Error::instance("dup pk")).into();
+        assert!(e.is_rejected());
+        assert!(e.to_string().contains("dup pk"));
     }
 }

@@ -62,7 +62,7 @@
 //! # Example
 //!
 //! ```
-//! use graphiti_store::{Delta, GraphStore};
+//! use graphiti_store::{Delta, GraphStore, QuerySurface};
 //! use graphiti_engine::BatchQuery;
 //! use graphiti_graph::{GraphSchema, GraphInstance, NodeType, EdgeType};
 //! use graphiti_common::Value;
@@ -87,20 +87,28 @@
 //! assert_eq!(report.ok_count(), 1);
 //! ```
 
+mod builder;
 mod checkpoint;
+pub mod codec;
 pub mod delta;
 mod error;
+mod group;
+mod session;
 mod table;
 pub mod vfs;
 mod wal;
 
+pub use builder::StoreBuilder;
 pub use delta::{Delta, EdgeKey, EdgeRef, Mutation, NodeKey, NodeRef};
 pub use error::{StoreError, StoreResult};
+pub use graphiti_engine::QuerySurface;
+pub use group::{CommitTicket, GroupCommitter, GroupOptions, GroupStats};
+pub use session::{CommitAck, EmbeddedSession, Graphiti, GraphitiBuilder, ServiceStats, Session};
 pub use vfs::{std_vfs, FaultKind, FaultVfs, OpClass, StdVfs, Vfs, VfsFile};
 
 use crate::table::StoreTable;
 use graphiti_common::{Error, Ident, Result, Value};
-use graphiti_engine::{BatchQuery, BatchReport, Engine, Snapshot};
+use graphiti_engine::{Engine, Snapshot};
 use graphiti_graph::{EdgeId, GraphInstance, GraphSchema, NodeId};
 use graphiti_relational::{ColumnInstance, RelInstance, TableDelta};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -112,6 +120,12 @@ use std::sync::{Arc, Mutex};
 pub struct CommitInfo {
     /// The generation the commit published (0 is the opening freeze).
     pub generation: u64,
+    /// The generation of [`CommitInfo::snapshot`].  Equal to
+    /// [`CommitInfo::generation`] for a solo [`GraphStore::commit`]; for
+    /// a member of a [`GraphStore::commit_group`] it is the generation of
+    /// the *group's* single publication, which already includes every
+    /// later member of the same group.
+    pub published_generation: u64,
     /// The published snapshot generation.
     pub snapshot: Arc<Snapshot>,
     /// Stable keys for the delta's added nodes, in [`Delta::add_node`]
@@ -330,6 +344,17 @@ impl GraphStore {
         graph: GraphInstance,
         extra: impl IntoIterator<Item = (String, RelInstance)>,
     ) -> Result<GraphStore> {
+        GraphStore::open_with_capacity(schema, graph, extra, None)
+    }
+
+    /// [`GraphStore::open_with`] with an optional plan-cache capacity
+    /// for the embedded engine (the [`StoreBuilder`] plumbing).
+    fn open_with_capacity(
+        schema: GraphSchema,
+        graph: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+        cache_capacity: Option<usize>,
+    ) -> Result<GraphStore> {
         let snapshot = Snapshot::freeze_with(schema.clone(), graph, extra)?;
         let ctx = snapshot.ctx().clone();
         let graph = snapshot.graph().clone();
@@ -356,7 +381,7 @@ impl GraphStore {
         let published_graph = snapshot.graph_arc();
         let published_snapshot = Arc::clone(&snapshot);
         Ok(GraphStore {
-            engine: Engine::new(snapshot),
+            engine: make_engine(snapshot, cache_capacity),
             state: Mutex::new(StoreState {
                 schema,
                 graph,
@@ -388,13 +413,16 @@ impl GraphStore {
     /// initially empty graph: committed deltas are written ahead to a
     /// checksummed log and survive process crashes.  See
     /// [`GraphStore::open_durable_with`] for the recovery contract.
+    #[deprecated(since = "0.1.0", note = "use `GraphStore::builder(schema).durable(path).open()`")]
     pub fn open_durable(path: impl AsRef<Path>, schema: GraphSchema) -> StoreResult<GraphStore> {
-        GraphStore::open_durable_with(
-            path,
+        GraphStore::durable_open_impl(
+            path.as_ref().to_path_buf(),
             schema,
             GraphInstance::new(),
             [],
             DurabilityOptions::default(),
+            vfs::std_vfs(),
+            None,
         )
     }
 
@@ -414,6 +442,10 @@ impl GraphStore {
     /// the ordinary commit path.  A torn tail record (crash mid-append)
     /// is truncated, recovering to the last fully durable commit, never
     /// a partial generation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GraphStore::builder(schema).durable(path).bootstrap(..).durability(..).open()`"
+    )]
     pub fn open_durable_with(
         path: impl AsRef<Path>,
         schema: GraphSchema,
@@ -421,13 +453,25 @@ impl GraphStore {
         extra: impl IntoIterator<Item = (String, RelInstance)>,
         options: DurabilityOptions,
     ) -> StoreResult<GraphStore> {
-        GraphStore::open_durable_with_vfs(path, schema, bootstrap, extra, options, vfs::std_vfs())
+        GraphStore::durable_open_impl(
+            path.as_ref().to_path_buf(),
+            schema,
+            bootstrap,
+            extra,
+            options,
+            vfs::std_vfs(),
+            None,
+        )
     }
 
     /// [`GraphStore::open_durable_with`] over an explicit [`vfs::Vfs`]
     /// — the hook fault-injection tests use to fail any individual I/O
     /// operation of the bootstrap, recovery, commit, and checkpoint
     /// paths.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GraphStore::builder(schema).durable(path).vfs(fs).open()`"
+    )]
     pub fn open_durable_with_vfs(
         path: impl AsRef<Path>,
         schema: GraphSchema,
@@ -436,13 +480,34 @@ impl GraphStore {
         options: DurabilityOptions,
         fs: Arc<dyn vfs::Vfs>,
     ) -> StoreResult<GraphStore> {
-        let dir = path.as_ref().to_path_buf();
+        GraphStore::durable_open_impl(
+            path.as_ref().to_path_buf(),
+            schema,
+            bootstrap,
+            extra,
+            options,
+            fs,
+            None,
+        )
+    }
+
+    /// The one durable open/recover path behind both the builder and
+    /// the deprecated ladder.
+    fn durable_open_impl(
+        dir: PathBuf,
+        schema: GraphSchema,
+        bootstrap: GraphInstance,
+        extra: impl IntoIterator<Item = (String, RelInstance)>,
+        options: DurabilityOptions,
+        fs: Arc<dyn vfs::Vfs>,
+        cache_capacity: Option<usize>,
+    ) -> StoreResult<GraphStore> {
         fs.create_dir_all(&dir).map_err(|e| StoreError::io("store: creating", &dir, e))?;
         let checkpoints = checkpoint::list_checkpoints(&*fs, &dir)?;
         let segments = wal::list_segments(&*fs, &dir)?;
         if checkpoints.is_empty() && segments.is_empty() {
-            let store =
-                GraphStore::open_with(schema, bootstrap, extra).map_err(StoreError::Rejected)?;
+            let store = GraphStore::open_with_capacity(schema, bootstrap, extra, cache_capacity)
+                .map_err(StoreError::Rejected)?;
             store.attach_durability(fs, dir, options)?;
             return Ok(store);
         }
@@ -456,7 +521,7 @@ impl GraphStore {
         }
         let recovered_from_checkpoint = image.is_some();
         let store = match image {
-            Some(image) => GraphStore::from_checkpoint(schema, image, extra)
+            Some(image) => GraphStore::from_checkpoint(schema, image, extra, cache_capacity)
                 .map_err(|e| StoreError::Internal(e.to_string()))?,
             None => {
                 // Checkpoint files exist but none can be loaded: WAL
@@ -478,7 +543,7 @@ impl GraphStore {
                 // gap and corrupt-head checks below reject anything else
                 // with a typed `Corrupt` instead of silently starting
                 // empty.
-                GraphStore::open_with(schema, GraphInstance::new(), extra)
+                GraphStore::open_with_capacity(schema, GraphInstance::new(), extra, cache_capacity)
                     .map_err(StoreError::Rejected)?
             }
         };
@@ -597,6 +662,7 @@ impl GraphStore {
         schema: GraphSchema,
         image: checkpoint::CheckpointImage,
         extra: impl IntoIterator<Item = (String, RelInstance)>,
+        cache_capacity: Option<usize>,
     ) -> Result<GraphStore> {
         let mut graph = GraphInstance::new();
         for n in &image.nodes {
@@ -686,7 +752,7 @@ impl GraphStore {
         );
         let published_graph = cold.graph_arc();
         Ok(GraphStore {
-            engine: Engine::new(Arc::clone(&published)),
+            engine: make_engine(Arc::clone(&published), cache_capacity),
             state: Mutex::new(StoreState {
                 schema,
                 graph,
@@ -804,9 +870,13 @@ impl GraphStore {
         self.state.lock().unwrap_or_else(|p| p.into_inner()).generation
     }
 
-    /// Runs a batch against the latest generation (pinned at batch start).
-    pub fn run_batch(&self, batch: &[BatchQuery], workers: usize) -> BatchReport {
-        self.engine.run_batch(batch, workers)
+    /// The latest published generation number and its snapshot, read
+    /// atomically (one lock acquisition — `generation()` followed by
+    /// `snapshot()` could straddle a concurrent publication).  This is
+    /// what a session pins.
+    pub fn published(&self) -> (u64, Arc<Snapshot>) {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        (st.generation, Arc::clone(&st.published_snapshot))
     }
 
     /// Point-in-time store counters.
@@ -958,6 +1028,7 @@ impl GraphStore {
         if delta.is_empty() {
             return Ok(CommitInfo {
                 generation: st.generation,
+                published_generation: st.generation,
                 snapshot: Arc::clone(&st.published_snapshot),
                 node_keys: Vec::new(),
                 edge_keys: Vec::new(),
@@ -984,7 +1055,7 @@ impl GraphStore {
                 // Invariant: `durable` checked non-None two lines up and
                 // the lock is held throughout.
                 let d = st.durable.as_mut().expect("durable checked above");
-                wal_append_with_retry(d, next_generation, &delta)
+                wal_append_with_retry(d, next_generation, &delta, true)
             };
             match outcome {
                 WalOutcome::Appended { bytes } => {
@@ -1085,11 +1156,301 @@ impl GraphStore {
         }
         Ok(CommitInfo {
             generation: st.generation,
+            published_generation: st.generation,
             snapshot,
             node_keys: applied.node_keys,
             edge_keys: applied.edge_keys,
             touched_tables: touched,
         })
+    }
+
+    /// Validates and applies a **group** of deltas under one lock
+    /// acquisition, one WAL fsync, and one generation publication — the
+    /// group-commit write path.  Returns one result per delta, in input
+    /// order.
+    ///
+    /// Each member keeps its *individual* transactional identity:
+    ///
+    /// - members validate **in order**, each against the master state as
+    ///   mutated by the accepted members before it (exactly the
+    ///   incremental sequential validation of [`GraphStore::commit`], so
+    ///   a group is equivalent to committing its accepted members
+    ///   serially in input order);
+    /// - a member that fails validation gets [`StoreError::Rejected`]
+    ///   and is skipped — it never poisons the rest of the group;
+    /// - each accepted member gets its **own WAL record and generation
+    ///   number** (replay stays strictly sequential), but records are
+    ///   only flushed per member and fsynced **once** for the whole
+    ///   group, and the engine sees **one** snapshot publication
+    ///   covering all accepted members.
+    ///
+    /// The amortization is exactly that sharing: at 8 concurrent
+    /// writers, 8 fsyncs, 8 per-table image derivations (each member's
+    /// table deltas are folded with [`TableDelta::absorb`] and
+    /// materialized once per group), and 8 snapshot publications
+    /// collapse into 1.
+    ///
+    /// # Failure semantics
+    ///
+    /// Per-member failures (rejection, a rolled-back WAL write) affect
+    /// only that member.  Failures that leave on-disk or in-memory state
+    /// uncertain (un-rollbackable WAL write, apply-phase error, failed
+    /// group fsync) fence the store; members already applied in memory
+    /// but **not yet published** also get [`StoreError::Fenced`] —
+    /// nothing they wrote is observable, and recovery replays only what
+    /// the WAL proves.  Readers keep the last published generation
+    /// either way.
+    pub fn commit_group(&self, deltas: Vec<Delta>) -> Vec<StoreResult<CommitInfo>> {
+        if deltas.is_empty() {
+            return Vec::new();
+        }
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(reason) = st.fence.as_ref().map(|f| f.reason.clone()) {
+            st.fenced_commits += deltas.len() as u64;
+            return deltas
+                .iter()
+                .map(|_| Err(StoreError::Fenced { reason: reason.clone() }))
+                .collect();
+        }
+        /// An accepted member awaiting the group's publication.
+        struct Accepted {
+            idx: usize,
+            generation: u64,
+            node_keys: Vec<NodeKey>,
+            edge_keys: Vec<EdgeKey>,
+            touched: Vec<String>,
+        }
+        let mut results: Vec<Option<StoreResult<CommitInfo>>> =
+            deltas.iter().map(|_| None).collect();
+        let mut accepted: Vec<Accepted> = Vec::new();
+        let mut empties: Vec<usize> = Vec::new();
+        let mut group_replay: Vec<ResolvedOp> = Vec::new();
+        let prev = Arc::clone(&st.published_snapshot);
+        let mut induced = prev.induced().clone();
+        let mut columnar = prev.induced_columnar().clone();
+        // Per touched table: the pre-group row count and the group's
+        // folded delta (every member's table delta absorbed in commit
+        // order) — materialized into row + columnar images once per
+        // group, not once per member.
+        let mut folded: BTreeMap<String, (usize, TableDelta)> = BTreeMap::new();
+        let mut appended_any = false;
+        let mut fence_abort: Option<String> = None;
+        'members: for (idx, delta) in deltas.iter().enumerate() {
+            if delta.is_empty() {
+                empties.push(idx);
+                continue;
+            }
+            // Validate against master + the accepted members before this
+            // one (they are already applied to `st`), reusing the solo
+            // commit's sequential incremental validator.
+            if let Err(e) = validate_delta(&st, delta) {
+                st.rejected += 1;
+                results[idx] = Some(Err(StoreError::Rejected(e)));
+                continue;
+            }
+            let next_generation = st.generation + 1;
+            if st.durable.is_some() {
+                let outcome = {
+                    // Invariant: `durable` checked non-None above; the
+                    // lock is held throughout.
+                    let d = st.durable.as_mut().expect("durable checked above");
+                    // Append + flush only: the group shares one fsync.
+                    wal_append_with_retry(d, next_generation, delta, false)
+                };
+                match outcome {
+                    WalOutcome::Appended { bytes } => {
+                        let d = st.durable.as_mut().expect("durable checked above");
+                        d.wal_records += 1;
+                        d.wal_bytes += bytes;
+                        appended_any = true;
+                    }
+                    WalOutcome::Aborted(e) => {
+                        // Rolled back cleanly: this member aborts alone
+                        // and the group continues (generations stay
+                        // contiguous because none was consumed).
+                        results[idx] = Some(Err(e));
+                        continue;
+                    }
+                    WalOutcome::MustFence(e) => {
+                        fence_abort =
+                            Some(format!("wal failure with uncertain on-disk state: {e}"));
+                        break 'members;
+                    }
+                }
+            }
+            let applied = match apply_delta(&mut st, delta) {
+                Ok(a) => a,
+                Err(e) => {
+                    fence_abort =
+                        Some(format!("group commit apply phase failed mid-mutation: {e}"));
+                    break 'members;
+                }
+            };
+            let mut touched: Vec<String> = Vec::with_capacity(applied.deltas.len());
+            for (name, table_delta) in &applied.deltas {
+                // Fold this member's per-table delta into the group's
+                // accumulated delta (cheap index arithmetic — no row is
+                // copied until the single per-group image derivation
+                // below).  The fold base is the *pre-group* image, fixed
+                // at first touch.
+                if !folded.contains_key(name) {
+                    match (induced.table(name), columnar.table(name)) {
+                        (Some(r), Some(_)) => {
+                            folded.insert(name.clone(), (r.len(), TableDelta::new()));
+                        }
+                        _ => {
+                            fence_abort =
+                                Some(format!("generation lost table `{name}` mid-publish"));
+                            break 'members;
+                        }
+                    }
+                }
+                let (base_rows, acc) = folded.get_mut(name).expect("inserted above");
+                acc.absorb(*base_rows, table_delta);
+                touched.push(name.clone());
+            }
+            for name in applied.deltas.keys() {
+                if let Some(t) = st.tables.get_mut(name) {
+                    if t.compact(false) {
+                        st.compactions += 1;
+                    }
+                }
+            }
+            st.generation = next_generation;
+            group_replay.extend(applied.replay);
+            accepted.push(Accepted {
+                idx,
+                generation: next_generation,
+                node_keys: applied.node_keys,
+                edge_keys: applied.edge_keys,
+                touched,
+            });
+        }
+        // The single per-group image derivation — the second amortized
+        // step next to the shared fsync: each touched table is patched
+        // once with the group's folded delta, in both layouts.
+        if fence_abort.is_none() {
+            for (name, (_, delta)) in &folded {
+                let images = match (induced.table(name), columnar.table(name)) {
+                    (Some(r), Some(c)) => (r.apply_delta(delta), c.apply_delta(delta)),
+                    _ => {
+                        fence_abort = Some(format!("generation lost table `{name}` mid-publish"));
+                        break;
+                    }
+                };
+                // The folded image must equal what the master log would
+                // materialize (debug builds only), exactly as in the
+                // solo commit.
+                debug_assert_eq!(
+                    images.0,
+                    st.tables.get(name).expect("touched table exists").snapshot_table(),
+                    "patched group image of `{name}` diverges from its log"
+                );
+                induced.insert_table(name.clone(), images.0);
+                columnar.insert_table(name.clone(), images.1);
+            }
+        }
+        // The group's single fsync: the amortized step.  Failure can
+        // never be trusted retroactively, so it fences (memory has
+        // advanced past the published images — reopen-only).
+        if fence_abort.is_none()
+            && appended_any
+            && st.durable.as_ref().is_some_and(|d| d.options.fsync_each_commit)
+        {
+            let sync = st.durable.as_mut().expect("durable checked above").wal.sync();
+            if let Err(e) = sync {
+                fence_abort = Some(format!("wal group fsync failed: {e}"));
+            }
+        }
+        if let Some(reason) = fence_abort {
+            // Accepted-but-unpublished members are lost with the fence:
+            // the master state has advanced past the published images,
+            // so only a reopen (replaying what the WAL proves) recovers.
+            engage_fence(&mut st, reason.clone(), false);
+            for r in results.iter_mut() {
+                if r.is_none() {
+                    st.fenced_commits += 1;
+                    *r = Some(Err(StoreError::Fenced { reason: reason.clone() }));
+                }
+            }
+            return results.into_iter().map(|r| r.expect("every member resolved")).collect();
+        }
+        if accepted.is_empty() {
+            // Nothing to publish (all empty or rejected): empty members
+            // succeed against the unchanged current generation.
+            let snapshot = Arc::clone(&st.published_snapshot);
+            let generation = st.generation;
+            for idx in empties {
+                results[idx] = Some(Ok(CommitInfo {
+                    generation,
+                    published_generation: generation,
+                    snapshot: Arc::clone(&snapshot),
+                    node_keys: Vec::new(),
+                    edge_keys: Vec::new(),
+                    touched_tables: Vec::new(),
+                }));
+            }
+            return results.into_iter().map(|r| r.expect("every member resolved")).collect();
+        }
+        // One publication for the whole group: one backlog entry holding
+        // the concatenated resolved ops, one snapshot, one engine swap.
+        let (extra, extra_columnar) = prev.extra_parts();
+        let publish_gen = st.generation;
+        let graph = publish_graph_at(&mut st, publish_gen, group_replay);
+        let snapshot = Snapshot::from_parts_with_columnar(
+            prev.schema_arc(),
+            graph,
+            prev.ctx_arc(),
+            induced,
+            columnar,
+            extra,
+            extra_columnar,
+        );
+        st.published_snapshot = Arc::clone(&snapshot);
+        self.engine.swap_snapshot(Arc::clone(&snapshot));
+        st.commits += accepted.len() as u64;
+        let published_generation = st.generation;
+        let due = st.durable.as_ref().is_some_and(|d| {
+            d.options.checkpoint_interval > 0
+                && st.generation - d.last_checkpoint >= d.options.checkpoint_interval
+        });
+        if due && write_checkpoint_locked(&mut st).is_err() {
+            if let Some(d) = st.durable.as_mut() {
+                d.checkpoint_failures += 1;
+            }
+        }
+        for m in accepted {
+            results[m.idx] = Some(Ok(CommitInfo {
+                generation: m.generation,
+                published_generation,
+                snapshot: Arc::clone(&snapshot),
+                node_keys: m.node_keys,
+                edge_keys: m.edge_keys,
+                touched_tables: m.touched,
+            }));
+        }
+        for idx in empties {
+            results[idx] = Some(Ok(CommitInfo {
+                generation: published_generation,
+                published_generation,
+                snapshot: Arc::clone(&snapshot),
+                node_keys: Vec::new(),
+                edge_keys: Vec::new(),
+                touched_tables: Vec::new(),
+            }));
+        }
+        results.into_iter().map(|r| r.expect("every member resolved")).collect()
+    }
+}
+
+/// The store answers queries exactly like its embedded engine: the whole
+/// read API ([`run_batch`](QuerySurface::run_batch),
+/// [`execute`](QuerySurface::execute), pinned variants, ...) comes from
+/// the shared [`QuerySurface`] trait, so the testkit's differential
+/// oracle checks a store and a bare engine through one code path.
+impl QuerySurface for GraphStore {
+    fn query_engine(&self) -> &Engine {
+        &self.engine
     }
 }
 
@@ -1110,6 +1471,14 @@ pub fn checkpoint_files(dir: impl AsRef<Path>) -> StoreResult<Vec<PathBuf>> {
 }
 
 // ------------------------------------------------------------ durability
+
+/// Builds the embedded engine, honoring an optional plan-cache bound.
+fn make_engine(snapshot: Arc<Snapshot>, cache_capacity: Option<usize>) -> Engine {
+    match cache_capacity {
+        Some(capacity) => Engine::with_cache_capacity(snapshot, capacity),
+        None => Engine::new(snapshot),
+    }
+}
 
 /// Flips the store into read-only degraded mode.  `memory_ok` records
 /// whether the in-memory state is still trustworthy (it decides whether
@@ -1135,14 +1504,21 @@ enum WalOutcome {
 /// Appends one commit record, retrying transient **write** failures with
 /// linear backoff.  Fsync is never retried: a failed fsync may already
 /// have dropped the dirty pages (fsyncgate), so the only honest outcomes
-/// are "fence" or "not configured to fsync".
-fn wal_append_with_retry(d: &mut DurableState, generation: u64, delta: &Delta) -> WalOutcome {
+/// are "fence" or "not configured to fsync".  A group commit passes
+/// `fsync = false` per member and issues one shared
+/// [`WalWriter::sync`](wal::WalWriter::sync) for the whole group.
+fn wal_append_with_retry(
+    d: &mut DurableState,
+    generation: u64,
+    delta: &Delta,
+    fsync: bool,
+) -> WalOutcome {
     let max_retries = d.options.wal_retry_attempts;
     let mut attempt = 0u32;
     loop {
         match d.wal.append(generation, delta) {
             Ok(bytes) => {
-                if d.options.fsync_each_commit {
+                if fsync && d.options.fsync_each_commit {
                     if let Err(e) = d.wal.sync() {
                         // Best-effort removal of the record whose
                         // durability is unknown; the fence stands either
@@ -1320,7 +1696,15 @@ fn replay(g: &mut GraphInstance, ops: &[ResolvedOp]) -> Result<()> {
 /// this only decides how the new immutable buffer is produced.
 fn publish_graph(st: &mut StoreState, ops: Vec<ResolvedOp>) -> Arc<GraphInstance> {
     let next_gen = st.generation + 1;
-    st.backlog.push_back((next_gen, ops));
+    publish_graph_at(st, next_gen, ops)
+}
+
+/// [`publish_graph`] with the published generation passed explicitly: a
+/// group commit advances `st.generation` per member *before* its single
+/// end-of-group publication, so "the generation being published" is no
+/// longer `st.generation + 1` there.
+fn publish_graph_at(st: &mut StoreState, gen: u64, ops: Vec<ResolvedOp>) -> Arc<GraphInstance> {
+    st.backlog.push_back((gen, ops));
     while st.backlog.len() > 2 {
         st.backlog.pop_front();
     }
@@ -2065,8 +2449,11 @@ fn patch_row(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `open_durable*` ladder keeps its original test
+    // coverage here; new code goes through `GraphStore::builder`.
+    #![allow(deprecated)]
     use super::*;
-    use graphiti_engine::SqlTarget;
+    use graphiti_engine::{BatchQuery, SqlTarget};
     use graphiti_graph::{EdgeType, NodeType};
 
     fn emp_schema() -> GraphSchema {

@@ -163,14 +163,20 @@ fn put_mutation(buf: &mut Vec<u8>, op: &Mutation) {
     }
 }
 
+/// Serializes a delta as an op count followed by its operations (the
+/// shared shape of WAL record bodies and wire-protocol commit frames).
+pub(crate) fn put_delta(buf: &mut Vec<u8>, delta: &Delta) {
+    put_u32(buf, delta.ops().len() as u32);
+    for op in delta.ops() {
+        put_mutation(buf, op);
+    }
+}
+
 /// Serializes one record payload: generation + the delta's operations.
 fn encode_record(generation: u64, delta: &Delta) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     put_u64(&mut buf, generation);
-    put_u32(&mut buf, delta.ops().len() as u32);
-    for op in delta.ops() {
-        put_mutation(&mut buf, op);
-    }
+    put_delta(&mut buf, delta);
     buf
 }
 
@@ -281,6 +287,19 @@ impl<'a> Cursor<'a> {
             t => return Err(Error::instance(format!("wal: unknown mutation tag {t}"))),
         })
     }
+
+    /// Decodes a [`put_delta`]-shaped delta: op count, then operations.
+    pub(crate) fn delta(&mut self) -> Result<Delta> {
+        let n = self.u32()? as usize;
+        // Cap the pre-allocation: `n` comes off the wire/disk, so a
+        // hostile count must not allocate gigabytes before the bounds
+        // checks reject the payload.
+        let mut ops = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            ops.push(self.mutation()?);
+        }
+        Ok(delta_from_ops(ops))
+    }
 }
 
 /// Rebuilds a [`Delta`] from decoded mutations (the builder counters are
@@ -294,15 +313,11 @@ fn delta_from_ops(ops: Vec<Mutation>) -> Delta {
 fn decode_record(payload: &[u8]) -> Result<WalRecord> {
     let mut c = Cursor::new(payload);
     let generation = c.u64()?;
-    let n = c.u32()? as usize;
-    let mut ops = Vec::with_capacity(n);
-    for _ in 0..n {
-        ops.push(c.mutation()?);
-    }
+    let delta = c.delta()?;
     if !c.is_done() {
         return Err(Error::instance("wal: trailing bytes after record payload"));
     }
-    Ok(WalRecord { generation, delta: delta_from_ops(ops) })
+    Ok(WalRecord { generation, delta })
 }
 
 // ----------------------------------------------------------------- segments

@@ -35,6 +35,7 @@ pub mod oracle;
 pub mod strategies;
 
 pub use oracle::{
-    differential_oracle, differential_oracle_against_sql, differential_oracle_batch, OracleError,
+    differential_oracle, differential_oracle_against_sql, differential_oracle_batch,
+    differential_oracle_on, OracleError,
 };
 pub use strategies::{arb_cypher, arb_instance, ArbCypher, ArbInstance};

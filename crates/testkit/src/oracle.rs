@@ -18,7 +18,7 @@
 
 use graphiti_core::transpile_query;
 use graphiti_cypher::ast::Query;
-use graphiti_engine::{BatchQuery, Engine, SqlTarget};
+use graphiti_engine::{BatchQuery, Engine, QuerySurface, SqlTarget};
 use graphiti_graph::{GraphInstance, GraphSchema};
 use graphiti_relational::Table;
 
@@ -109,21 +109,36 @@ fn differential_oracle_impl(
     check_one(&engine, cypher_text, sql_text)
 }
 
-/// Runs one (cypher, optional handwritten sql) check through a prebuilt
-/// engine.
+/// Checks the soundness property against **any** query surface — a bare
+/// [`Engine`], a live `GraphStore`, or anything else implementing
+/// [`QuerySurface`].  The Cypher query and its transpilation both
+/// evaluate on the surface's *current* snapshot, so running this against
+/// a store after a mutation history differentially tests the
+/// incremental re-freeze path against the paper's semantics, with no
+/// store-vs-engine dispatch anywhere in the oracle.
 #[allow(clippy::result_large_err)]
-fn check_one(
-    engine: &Engine,
+pub fn differential_oracle_on<S: QuerySurface + ?Sized>(
+    surface: &S,
+    cypher_text: &str,
+) -> Result<(Table, Table), OracleError> {
+    check_one(surface, cypher_text, None)
+}
+
+/// Runs one (cypher, optional handwritten sql) check through a prebuilt
+/// query surface.
+#[allow(clippy::result_large_err)]
+fn check_one<S: QuerySurface + ?Sized>(
+    surface: &S,
     cypher_text: &str,
     sql_text: Option<&str>,
 ) -> Result<(Table, Table), OracleError> {
     let query = graphiti_cypher::parse_query(cypher_text)?;
-    let cypher_result = engine.execute(&BatchQuery::cypher(cypher_text)).result?;
+    let cypher_result = surface.execute(&BatchQuery::cypher(cypher_text)).result?;
     let sql = match sql_text {
-        None => transpile_query(engine.snapshot().ctx(), &query)?,
+        None => transpile_query(surface.snapshot().ctx(), &query)?,
         Some(text) => graphiti_sql::parse_query(text)?,
     };
-    let sql_result = engine.execute_sql_ast(&sql, &SqlTarget::Induced).result?;
+    let sql_result = surface.execute_sql_ast(&sql, &SqlTarget::Induced).result?;
 
     let equivalent = if matches!(query, Query::OrderBy { .. }) {
         cypher_result.equivalent_ordered(&sql_result)

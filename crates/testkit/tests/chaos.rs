@@ -40,6 +40,30 @@ use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+/// Opens a durable store through [`GraphStore::builder`] — the one
+/// supported entry point; every durable open in this harness funnels
+/// through these two helpers.
+fn open_durable_with(
+    dir: &Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).open()
+}
+
+/// Like [`open_durable_with`], with every I/O operation routed through
+/// the given (fault-injecting) VFS.
+fn open_durable_with_vfs(
+    dir: &Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+    fs: Arc<dyn graphiti_store::Vfs>,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).vfs(fs).open()
+}
+
 /// `PROPTEST_CASES`-honoring case count (`ProptestConfig::with_cases`
 /// would pin it, so the nightly deep run could not raise it).
 fn cases(default_cases: u32) -> u32 {
@@ -289,8 +313,8 @@ proptest! {
         let total_ops = {
             let dir = scratch("probe");
             let vfs = FaultVfs::default();
-            let store = GraphStore::open_durable_with_vfs(
-                &dir, schema.clone(), graph.clone(), [], opts, Arc::new(vfs.clone()),
+            let store = open_durable_with_vfs(
+                &dir, schema.clone(), graph.clone(), opts, Arc::new(vfs.clone()),
             ).expect("fault-free open");
             for d in &deltas {
                 store.commit(d.clone()).expect("fault-free commit");
@@ -306,8 +330,8 @@ proptest! {
             let dir = scratch("sweep");
             let vfs = FaultVfs::default();
             vfs.fail_nth_kind(k, kind);
-            let opened = GraphStore::open_durable_with_vfs(
-                &dir, schema.clone(), graph.clone(), [], opts, Arc::new(vfs.clone()),
+            let opened = open_durable_with_vfs(
+                &dir, schema.clone(), graph.clone(), opts, Arc::new(vfs.clone()),
             );
             let mut committed = 0usize;
             match opened {
@@ -354,8 +378,8 @@ proptest! {
             // a lost acknowledged one.  (One-shot faults always roll the
             // failed record back, so "exact" is the right bound.)
             if committed > 0 || wal_or_checkpoint_exists(&dir) {
-                let recovered = GraphStore::open_durable_with(
-                    &dir, schema.clone(), GraphInstance::new(), [], opts,
+                let recovered = open_durable_with(
+                    &dir, schema.clone(), GraphInstance::new(), opts,
                 ).expect("reopen after a contained fault must recover");
                 let oracle = oracle_at(&schema, &graph, &deltas, committed);
                 assert_store_equals_oracle(&recovered, &oracle, &format!("recovery k={k}"));
@@ -380,8 +404,8 @@ proptest! {
         let deltas = scripted(&schema, &graph, &mut rng, commits);
         let dir = scratch("sticky");
         let vfs = FaultVfs::default();
-        let store = GraphStore::open_durable_with_vfs(
-            &dir, schema.clone(), graph.clone(), [], opts, Arc::new(vfs.clone()),
+        let store = open_durable_with_vfs(
+            &dir, schema.clone(), graph.clone(), opts, Arc::new(vfs.clone()),
         ).expect("fault-free open");
         let healthy = rng.gen_range(0..deltas.len());
         for d in &deltas[..healthy] {
@@ -421,8 +445,8 @@ proptest! {
             assert_store_equals_oracle(&store, &oracle, "final state");
         }
         drop(store);
-        let recovered = GraphStore::open_durable_with(
-            &dir, schema.clone(), GraphInstance::new(), [], opts,
+        let recovered = open_durable_with(
+            &dir, schema.clone(), GraphInstance::new(), opts,
         ).expect("reopen");
         if fenced || committed == deltas.len() {
             assert_store_equals_oracle(&recovered, &oracle, "final recovery");
@@ -446,8 +470,8 @@ proptest! {
         let deltas = scripted(&schema, &graph, &mut rng, commits);
         let dir = scratch("recovery-base");
         {
-            let store = GraphStore::open_durable_with(
-                &dir, schema.clone(), graph.clone(), [], opts,
+            let store = open_durable_with(
+                &dir, schema.clone(), graph.clone(), opts,
             ).expect("durable open");
             for d in &deltas {
                 store.commit(d.clone()).expect("fault-free commit");
@@ -459,8 +483,8 @@ proptest! {
             let probe_dir = scratch("recovery-probe");
             copy_dir(&dir, &probe_dir);
             let vfs = FaultVfs::default();
-            let recovered = GraphStore::open_durable_with_vfs(
-                &probe_dir, schema.clone(), GraphInstance::new(), [], opts,
+            let recovered = open_durable_with_vfs(
+                &probe_dir, schema.clone(), GraphInstance::new(), opts,
                 Arc::new(vfs.clone()),
             ).expect("fault-free recovery");
             assert_store_equals_oracle(&recovered, &oracle, "probe recovery");
@@ -473,8 +497,8 @@ proptest! {
             copy_dir(&dir, &case_dir);
             let vfs = FaultVfs::default();
             vfs.fail_nth(k);
-            match GraphStore::open_durable_with_vfs(
-                &case_dir, schema.clone(), GraphInstance::new(), [], opts,
+            match open_durable_with_vfs(
+                &case_dir, schema.clone(), GraphInstance::new(), opts,
                 Arc::new(vfs.clone()),
             ) {
                 Ok(recovered) => {

@@ -35,6 +35,18 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
+/// Opens a durable store through [`GraphStore::builder`] — the one
+/// supported entry point; every durable open in this harness funnels
+/// through here.
+fn open_durable_with(
+    dir: &Path,
+    schema: GraphSchema,
+    bootstrap: GraphInstance,
+    opts: DurabilityOptions,
+) -> Result<GraphStore, graphiti_store::StoreError> {
+    GraphStore::builder(schema).durable(dir).bootstrap(bootstrap).durability(opts).open()
+}
+
 /// A unique scratch directory under the workspace `target/` dir (tests
 /// must not touch paths outside the repository).
 fn scratch(tag: &str) -> PathBuf {
@@ -262,8 +274,8 @@ proptest! {
             ..DurabilityOptions::default()
         };
         let dir = scratch("crash");
-        let store = GraphStore::open_durable_with(
-            &dir, schema.clone(), graph.clone(), [], opts,
+        let store = open_durable_with(
+            &dir, schema.clone(), graph.clone(), opts,
         ).expect("durable open on a valid instance");
         let mut deltas: Vec<Delta> = Vec::new();
         let mut next_pk: i64 = 1_000_000;
@@ -287,8 +299,8 @@ proptest! {
             f.set_len(cut.min(len)).unwrap();
         }
 
-        let recovered = GraphStore::open_durable_with(
-            &cut_dir, schema.clone(), GraphInstance::new(), [], opts,
+        let recovered = open_durable_with(
+            &cut_dir, schema.clone(), GraphInstance::new(), opts,
         ).expect("recovery must never fail on a torn tail");
         let g = recovered.generation();
         prop_assert!(g <= committed, "recovery cannot invent generations");
@@ -335,8 +347,8 @@ proptest! {
             ..DurabilityOptions::default()
         };
         let dir = scratch("reopen");
-        let store = GraphStore::open_durable_with(
-            &dir, schema.clone(), graph.clone(), [], opts,
+        let store = open_durable_with(
+            &dir, schema.clone(), graph.clone(), opts,
         ).expect("durable open");
         let oracle = GraphStore::open(schema.clone(), graph).expect("valid instance");
         let mut next_pk: i64 = 1_000_000;
@@ -346,8 +358,8 @@ proptest! {
             store.commit(d).expect("durable commit");
         }
         drop(store);
-        let recovered = GraphStore::open_durable_with(
-            &dir, schema.clone(), GraphInstance::new(), [], opts,
+        let recovered = open_durable_with(
+            &dir, schema.clone(), GraphInstance::new(), opts,
         ).expect("reopen");
         assert_recovered_equals_oracle(&recovered, &oracle, fixtures::emp::QUERIES);
         std::fs::remove_dir_all(&dir).ok();

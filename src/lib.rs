@@ -23,7 +23,9 @@
 //! * [`graphiti_engine`] — the parallel batch execution service (shared
 //!   snapshots + query-plan cache + worker pool);
 //! * [`graphiti_store`] — the writable graph store (transactional deltas,
-//!   MVCC snapshot generations, incremental re-freeze).
+//!   MVCC snapshot generations, incremental re-freeze);
+//! * [`graphiti_server`] — the serving front-end (length-prefixed binary
+//!   protocol over TCP/unix sockets, group-commit write path).
 //!
 //! Tests additionally use `graphiti-testkit` (shared fixtures, proptest
 //! generators, and the differential soundness oracle); it is a
@@ -57,6 +59,33 @@
 //! let sql = transpile_query(&ctx, &q).unwrap();
 //! println!("{}", graphiti::sql::query_to_string(&sql));
 //! ```
+//!
+//! # Session example
+//!
+//! The serving API: one [`Graphiti`] service, [`Session`]s pinned at a
+//! snapshot generation, commits through the group-commit write path.
+//! The same trait is implemented by the wire client
+//! ([`Client::connect_tcp`]), so this code is transport-agnostic.
+//!
+//! ```
+//! use graphiti::common::Value;
+//! use graphiti::engine::BatchQuery;
+//! use graphiti::graph::{GraphSchema, NodeType};
+//! use graphiti::store::Delta;
+//! use graphiti::{Graphiti, Session};
+//!
+//! let schema = GraphSchema::new().with_node(NodeType::new("EMP", ["id", "name"]));
+//! let service = Graphiti::builder(schema).group_commit_default().open().unwrap();
+//! let mut session = service.session();
+//! let mut delta = Delta::new();
+//! delta.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("Ada"))]);
+//! let ack = session.commit(delta).unwrap();
+//! assert!(session.generation() >= ack.published_generation); // read-your-writes
+//! let rows = session
+//!     .query(&BatchQuery::cypher("MATCH (n:EMP) RETURN n.name AS name"))
+//!     .unwrap();
+//! assert_eq!(rows.rows.len(), 1);
+//! ```
 
 pub use graphiti_baseline as baseline;
 pub use graphiti_benchmarks as benchmarks;
@@ -67,6 +96,16 @@ pub use graphiti_cypher as cypher;
 pub use graphiti_engine as engine;
 pub use graphiti_graph as graph;
 pub use graphiti_relational as relational;
+pub use graphiti_server as server;
 pub use graphiti_sql as sql;
 pub use graphiti_store as store;
 pub use graphiti_transformer as transformer;
+
+// The unified session API: one builder, one error enum, one `Session`
+// trait — implemented by both the in-process embedding and the wire
+// client, so callers cannot observe which transport they are behind.
+pub use graphiti_common::{ApiError, ApiResult};
+pub use graphiti_server::{Client, Server, ServerHandle, ServerOptions, WireSession};
+pub use graphiti_store::{
+    CommitAck, EmbeddedSession, Graphiti, GraphitiBuilder, ServiceStats, Session,
+};
