@@ -51,6 +51,13 @@ pub enum ApiError {
     SessionClosed(String),
     /// An internal invariant broke (including panicked workers).
     Internal(String),
+    /// The request's deadline budget expired before a reply could be
+    /// produced.  For commits the outcome is ambiguous: the write may
+    /// still land, so retries must carry an idempotency token.
+    DeadlineExceeded(String),
+    /// The server is draining for shutdown and refuses new requests;
+    /// retry against another (or the restarted) server.
+    Draining(String),
 }
 
 impl ApiError {
@@ -71,6 +78,8 @@ impl ApiError {
             ApiError::Protocol(_) => 11,
             ApiError::SessionClosed(_) => 12,
             ApiError::Internal(_) => 13,
+            ApiError::DeadlineExceeded(_) => 14,
+            ApiError::Draining(_) => 15,
         }
     }
 
@@ -90,7 +99,9 @@ impl ApiError {
             | ApiError::Backpressure(m)
             | ApiError::Protocol(m)
             | ApiError::SessionClosed(m)
-            | ApiError::Internal(m) => m,
+            | ApiError::Internal(m)
+            | ApiError::DeadlineExceeded(m)
+            | ApiError::Draining(m) => m,
         }
     }
 
@@ -118,6 +129,8 @@ impl ApiError {
             11 => ApiError::Protocol(m),
             12 => ApiError::SessionClosed(m),
             13 => ApiError::Internal(m),
+            14 => ApiError::DeadlineExceeded(m),
+            15 => ApiError::Draining(m),
             other => ApiError::Internal(format!("unknown error code {other}: {m}")),
         }
     }
@@ -137,6 +150,24 @@ impl ApiError {
     pub fn is_rejected(&self) -> bool {
         matches!(self, ApiError::Rejected(_))
     }
+
+    /// Whether a client may safely retry the request after backing off.
+    ///
+    /// Retryable errors are transient serving conditions — admission
+    /// pushback, an expired deadline, a draining server — where the
+    /// request itself is fine.  Validation failures ([`Rejected`]), a
+    /// fenced store, and protocol/internal faults are never retryable:
+    /// repeating them cannot succeed and may mask real damage.  Note
+    /// that retrying a timed-out or disconnected *commit* is only
+    /// exactly-once when it carries an idempotency token.
+    ///
+    /// [`Rejected`]: ApiError::Rejected
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Backpressure(_) | ApiError::DeadlineExceeded(_) | ApiError::Draining(_)
+        )
+    }
 }
 
 impl fmt::Display for ApiError {
@@ -155,6 +186,8 @@ impl fmt::Display for ApiError {
             ApiError::Protocol(m) => write!(f, "protocol error: {m}"),
             ApiError::SessionClosed(m) => write!(f, "session closed: {m}"),
             ApiError::Internal(m) => write!(f, "internal error: {m}"),
+            ApiError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            ApiError::Draining(m) => write!(f, "server draining: {m}"),
         }
     }
 }
@@ -195,7 +228,11 @@ impl From<ApiError> for Error {
             }
             ApiError::Eval(m) => Error::eval(m),
             ApiError::Unsupported(m) => Error::unsupported(m),
-            ApiError::Io(m) | ApiError::Backpressure(m) | ApiError::Protocol(m) => Error::io(m),
+            ApiError::Io(m)
+            | ApiError::Backpressure(m)
+            | ApiError::Protocol(m)
+            | ApiError::DeadlineExceeded(m)
+            | ApiError::Draining(m) => Error::io(m),
             ApiError::Fenced(m) => Error::fenced(m),
             ApiError::SessionClosed(m) | ApiError::Internal(m) => Error::checker(m),
         }
@@ -222,6 +259,8 @@ mod tests {
             ApiError::Protocol("oversized frame".into()),
             ApiError::SessionClosed("worker panicked".into()),
             ApiError::Internal("invariant".into()),
+            ApiError::DeadlineExceeded("budget spent in queue".into()),
+            ApiError::Draining("server is shutting down".into()),
         ];
         let mut codes: Vec<u16> = all.iter().map(ApiError::code).collect();
         codes.dedup();
@@ -230,6 +269,17 @@ mod tests {
             let (code, message) = e.to_wire();
             assert_eq!(ApiError::from_wire(code, message), e);
         }
+    }
+
+    #[test]
+    fn retryable_predicate_covers_transient_errors_only() {
+        assert!(ApiError::Backpressure("queue full".into()).is_retryable());
+        assert!(ApiError::DeadlineExceeded("budget spent".into()).is_retryable());
+        assert!(ApiError::Draining("shutting down".into()).is_retryable());
+        assert!(!ApiError::Rejected("duplicate key".into()).is_retryable());
+        assert!(!ApiError::Fenced("fsync failed".into()).is_retryable());
+        assert!(!ApiError::Internal("invariant".into()).is_retryable());
+        assert!(!ApiError::Io("short write".into()).is_retryable());
     }
 
     #[test]

@@ -6,6 +6,17 @@
 //! in-process [`EmbeddedSession`](graphiti_store::EmbeddedSession) — a
 //! caller cannot observe which transport it is behind, down to the
 //! error vocabulary.
+//!
+//! The `_with` constructors add the request-lifecycle discipline: a
+//! bounded [`RetryPolicy`] (exponential backoff with jitter, retrying
+//! only typed-retryable errors — never `Rejected`/`Fenced`), a
+//! per-request deadline sent in the frame header, and client-generated
+//! **idempotency tokens** on commits.  One logical commit keeps one
+//! token across every retry and reconnect, so a commit retried after an
+//! ambiguous disconnect or timeout is exactly-once: the store dedupes
+//! the token and replays the original acknowledgement.  A plain
+//! [`Client::connect_tcp`]/[`Client::connect_unix`] session never
+//! retries and never reconnects — every failure surfaces immediately.
 
 use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use graphiti_common::{ApiError, ApiResult};
@@ -13,9 +24,72 @@ use graphiti_engine::{BatchQuery, BatchReport};
 use graphiti_relational::Table;
 use graphiti_store::{CommitAck, Delta, ServiceStats, Session};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Bounded retry discipline for a [`WireSession`].
+///
+/// Retries apply only to typed-retryable failures
+/// ([`ApiError::is_retryable`]) and to disconnects — and a disconnected
+/// or timed-out *commit* is retried only when it carries an idempotency
+/// token, because without one the retry could double-apply.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts for one logical call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any one backoff sleep (jitter applies under it).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure surfaces at once).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+}
+
+/// Knobs for a retrying [`WireSession`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    /// The retry discipline ([`RetryPolicy::default`] retries up to 4
+    /// attempts with jittered exponential backoff).
+    pub retry: RetryPolicy,
+    /// Per-request deadline budget sent in every frame header; `None`
+    /// sends `0`, deferring to the server's default.
+    pub deadline: Option<Duration>,
+    /// Whether commits carry client-generated idempotency tokens.
+    /// Without tokens, a commit is never retried across a disconnect
+    /// or timeout (the outcome would be ambiguous).
+    pub tokens: bool,
+}
+
+impl ClientOptions {
+    /// The full lifecycle discipline: default retry policy, tokens on.
+    pub fn resilient() -> ClientOptions {
+        ClientOptions { retry: RetryPolicy::default(), deadline: None, tokens: true }
+    }
+}
+
+/// How to re-establish a dropped connection.
+#[derive(Debug, Clone)]
+enum Reconnector {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
 
 #[derive(Debug)]
 enum Conn {
@@ -52,18 +126,82 @@ impl Write for Conn {
 pub struct Client;
 
 impl Client {
-    /// Connects over TCP, handshakes, and opens the session.
-    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> ApiResult<WireSession> {
+    /// Connects over TCP, handshakes, and opens the session.  The
+    /// session never retries or reconnects; see
+    /// [`Client::connect_tcp_with`] for the resilient variant.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> ApiResult<WireSession> {
         let stream = TcpStream::connect(addr).map_err(|e| ApiError::Io(e.to_string()))?;
-        WireSession::open(Conn::Tcp(stream))
+        WireSession::open(
+            Conn::Tcp(stream),
+            ClientOptions { retry: RetryPolicy::none(), ..ClientOptions::default() },
+            None,
+        )
     }
 
     /// Connects over a unix-domain socket, handshakes, and opens the
-    /// session.
+    /// session.  The session never retries or reconnects; see
+    /// [`Client::connect_unix_with`] for the resilient variant.
     pub fn connect_unix(path: impl AsRef<Path>) -> ApiResult<WireSession> {
         let stream = UnixStream::connect(path).map_err(|e| ApiError::Io(e.to_string()))?;
-        WireSession::open(Conn::Unix(stream))
+        WireSession::open(
+            Conn::Unix(stream),
+            ClientOptions { retry: RetryPolicy::none(), ..ClientOptions::default() },
+            None,
+        )
     }
+
+    /// Connects over TCP with retry/deadline/token discipline; the
+    /// dial itself retries `Io`-on-connect under the policy's backoff.
+    pub fn connect_tcp_with(
+        addr: impl ToSocketAddrs,
+        options: ClientOptions,
+    ) -> ApiResult<WireSession> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ApiError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| ApiError::Io("address resolved to nothing".into()))?;
+        WireSession::open_with_retry(Reconnector::Tcp(addr), options)
+    }
+
+    /// Connects over a unix-domain socket with retry/deadline/token
+    /// discipline; the dial itself retries `Io`-on-connect under the
+    /// policy's backoff.
+    pub fn connect_unix_with(
+        path: impl AsRef<Path>,
+        options: ClientOptions,
+    ) -> ApiResult<WireSession> {
+        WireSession::open_with_retry(Reconnector::Unix(path.as_ref().to_path_buf()), options)
+    }
+}
+
+fn dial(reconnect: &Reconnector) -> ApiResult<Conn> {
+    match reconnect {
+        Reconnector::Tcp(addr) => {
+            TcpStream::connect(addr).map(Conn::Tcp).map_err(|e| ApiError::Io(e.to_string()))
+        }
+        Reconnector::Unix(path) => {
+            UnixStream::connect(path).map(Conn::Unix).map_err(|e| ApiError::Io(e.to_string()))
+        }
+    }
+}
+
+/// splitmix64: one multiply-shift-xor chain per draw — plenty for
+/// backoff jitter and token uniqueness, with no dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed_rng() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    nanos ^ (std::process::id() as u64).rotate_left(32)
 }
 
 /// A server-backed session, pinned at one snapshot generation until it
@@ -72,23 +210,84 @@ impl Client {
 #[derive(Debug)]
 pub struct WireSession {
     conn: Conn,
+    options: ClientOptions,
+    reconnect: Option<Reconnector>,
+    rng: u64,
     next_id: u64,
     generation: u64,
     closed: bool,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl WireSession {
-    fn open(conn: Conn) -> ApiResult<WireSession> {
-        let mut s = WireSession { conn, next_id: 1, generation: 0, closed: false };
-        match s.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
+    fn open(
+        conn: Conn,
+        options: ClientOptions,
+        reconnect: Option<Reconnector>,
+    ) -> ApiResult<WireSession> {
+        let mut s = WireSession {
+            conn,
+            options,
+            reconnect,
+            rng: seed_rng(),
+            next_id: 1,
+            generation: 0,
+            closed: false,
+            retries: 0,
+            reconnects: 0,
+        };
+        s.handshake()?;
+        Ok(s)
+    }
+
+    fn open_with_retry(reconnect: Reconnector, options: ClientOptions) -> ApiResult<WireSession> {
+        let policy = options.retry.clone();
+        let mut rng = seed_rng();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match dial(&reconnect)
+                .and_then(|conn| WireSession::open(conn, options.clone(), Some(reconnect.clone())))
+            {
+                Ok(session) => return Ok(session),
+                Err(err) if attempt < policy.max_attempts && connect_retryable(&err) => {
+                    std::thread::sleep(backoff(&policy, attempt, &mut rng));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    fn handshake(&mut self) -> ApiResult<()> {
+        match self.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
             Response::HelloOk { .. } => {}
             other => return Err(unexpected("HelloOk", &other)),
         }
-        match s.roundtrip(&Request::OpenSession)? {
-            Response::SessionOpen { generation } => s.generation = generation,
+        match self.roundtrip(&Request::OpenSession)? {
+            Response::SessionOpen { generation } => self.generation = generation,
             other => return Err(unexpected("SessionOpen", &other)),
         }
-        Ok(s)
+        Ok(())
+    }
+
+    /// Lifecycle observability: in-place retries this session has
+    /// attempted (backoff-then-resend on the live connection).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Lifecycle observability: times this session re-dialed, handshook
+    /// and re-opened after losing its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn deadline_ms(&self) -> u32 {
+        self.options
+            .deadline
+            .map(|d| u64::min(d.as_millis() as u64, u32::MAX as u64) as u32)
+            .unwrap_or(0)
     }
 
     /// Sends one request and decodes its reply, checking the id echo
@@ -99,8 +298,9 @@ impl WireSession {
         }
         let id = self.next_id;
         self.next_id += 1;
+        let deadline_ms = self.deadline_ms();
         if let Err(send_err) =
-            protocol::write_frame(&mut self.conn, &protocol::encode_request(id, req))
+            protocol::write_frame(&mut self.conn, &protocol::encode_request(id, deadline_ms, req))
         {
             // A failed send can mean the server already answered and
             // hung up — an admission refusal races our write.  A
@@ -115,13 +315,21 @@ impl WireSession {
             }
             return Err(send_err);
         }
-        let payload =
-            protocol::read_frame(&mut self.conn, DEFAULT_MAX_FRAME)?.ok_or_else(|| {
+        // Any failure reading the reply — torn frame, bad checksum,
+        // dead socket — leaves the stream unsynchronized, so the
+        // session is closed either way.
+        let payload = protocol::read_frame(&mut self.conn, DEFAULT_MAX_FRAME)
+            .inspect_err(|_| {
+                self.closed = true;
+            })?
+            .ok_or_else(|| {
                 self.closed = true;
                 ApiError::Protocol("server closed the connection without replying".into())
             })?;
         let (echo, resp) = protocol::decode_response(&payload);
-        let resp = resp?;
+        let resp = resp.inspect_err(|_| {
+            self.closed = true;
+        })?;
         if let Response::Error { code, message } = resp {
             // Error frames are honored even with a zero id: the server
             // addresses pre-read failures (admission refusal, torn
@@ -134,10 +342,13 @@ impl WireSession {
             }
             let err = ApiError::from_wire(code, message);
             // A server that answered with Internal/SessionClosed/
-            // Protocol has torn down the session on its side.
+            // Protocol/Draining has torn down the session on its side.
             if matches!(
                 err,
-                ApiError::Internal(_) | ApiError::SessionClosed(_) | ApiError::Protocol(_)
+                ApiError::Internal(_)
+                    | ApiError::SessionClosed(_)
+                    | ApiError::Protocol(_)
+                    | ApiError::Draining(_)
             ) {
                 self.closed = true;
             }
@@ -151,6 +362,98 @@ impl WireSession {
         }
         Ok(resp)
     }
+
+    /// The retry loop around [`WireSession::roundtrip`].
+    /// `ambiguous_ok` says whether resending after a *disconnect or
+    /// expired deadline* is safe — true for idempotent reads and for
+    /// tokened commits, false for an untagged commit (where the first
+    /// send may have landed).
+    fn call(&mut self, req: &Request, ambiguous_ok: bool) -> ApiResult<Response> {
+        let policy = self.options.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.roundtrip(req) {
+                Ok(resp) => return Ok(resp),
+                Err(err) => err,
+            };
+            if attempt >= policy.max_attempts {
+                return Err(err);
+            }
+            // A clean typed refusal (reply received, request not
+            // applied) retries in place on the live connection.
+            let clean_refusal = matches!(err, ApiError::Backpressure(_));
+            // Ambiguity: the connection died or the deadline expired
+            // with the request possibly applied server-side.
+            let ambiguous = matches!(err, ApiError::DeadlineExceeded(_))
+                || (self.closed
+                    && matches!(
+                        err,
+                        ApiError::Io(_) | ApiError::Protocol(_) | ApiError::Draining(_)
+                    ));
+            if clean_refusal {
+                self.retries += 1;
+                std::thread::sleep(backoff(&policy, attempt, &mut self.rng));
+                continue;
+            }
+            if ambiguous && ambiguous_ok {
+                std::thread::sleep(backoff(&policy, attempt, &mut self.rng));
+                if self.closed {
+                    if !self.try_reconnect() {
+                        return Err(err);
+                    }
+                } else {
+                    self.retries += 1;
+                }
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    /// Re-dials, handshakes, and reopens the session after a lost
+    /// connection.  False when there is nothing to reconnect to (plain
+    /// sessions) or the dial/handshake failed.
+    fn try_reconnect(&mut self) -> bool {
+        let Some(reconnect) = self.reconnect.clone() else { return false };
+        let Ok(conn) = dial(&reconnect) else { return false };
+        self.conn = conn;
+        self.closed = false;
+        if self.handshake().is_err() {
+            self.closed = true;
+            return false;
+        }
+        self.reconnects += 1;
+        true
+    }
+
+    fn fresh_token(&mut self) -> u128 {
+        loop {
+            let hi = splitmix64(&mut self.rng) as u128;
+            let lo = splitmix64(&mut self.rng) as u128;
+            let token = (hi << 64) | lo;
+            // Zero means "untagged" on the wire; never hand it out.
+            if token != 0 {
+                return token;
+            }
+        }
+    }
+}
+
+/// Connect-time failures worth another dial: refused/reset sockets
+/// (`Io`), a connection that died mid-handshake (`Protocol`), and the
+/// typed-retryable refusals.  Nothing stateful has happened yet, so
+/// re-dialing is always safe.
+fn connect_retryable(err: &ApiError) -> bool {
+    matches!(err, ApiError::Io(_) | ApiError::Protocol(_)) || err.is_retryable()
+}
+
+/// Exponential backoff with multiplicative jitter in [0.5, 1.0).
+fn backoff(policy: &RetryPolicy, attempt: u32, rng: &mut u64) -> Duration {
+    let exp = policy.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+    let capped = exp.min(policy.max_backoff);
+    let jitter = 0.5 + (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    capped.mul_f64(jitter)
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ApiError {
@@ -163,7 +466,7 @@ impl Session for WireSession {
     }
 
     fn refresh(&mut self) -> ApiResult<u64> {
-        match self.roundtrip(&Request::Refresh)? {
+        match self.call(&Request::Refresh, true)? {
             Response::Generation(g) => {
                 self.generation = g;
                 Ok(g)
@@ -173,21 +476,26 @@ impl Session for WireSession {
     }
 
     fn query(&mut self, query: &BatchQuery) -> ApiResult<Table> {
-        match self.roundtrip(&Request::Query(query.clone()))? {
+        match self.call(&Request::Query(query.clone()), true)? {
             Response::Rows(table) => Ok(table),
             other => Err(unexpected("Rows", &other)),
         }
     }
 
     fn batch(&mut self, queries: &[BatchQuery]) -> ApiResult<BatchReport> {
-        match self.roundtrip(&Request::Batch(queries.to_vec()))? {
+        match self.call(&Request::Batch(queries.to_vec()), true)? {
             Response::BatchOk(report) => Ok(report),
             other => Err(unexpected("BatchOk", &other)),
         }
     }
 
     fn commit(&mut self, delta: Delta) -> ApiResult<CommitAck> {
-        match self.roundtrip(&Request::Commit(delta))? {
+        // One token per logical commit, held across every retry and
+        // reconnect: the store dedupes it, making the retried commit
+        // exactly-once even when the first attempt's fate is unknown.
+        let token = if self.options.tokens { self.fresh_token() } else { 0 };
+        let req = Request::Commit { delta, token };
+        match self.call(&req, token != 0)? {
             Response::CommitOk { ack, session_generation } => {
                 self.generation = session_generation;
                 Ok(ack)
@@ -197,14 +505,14 @@ impl Session for WireSession {
     }
 
     fn stats(&mut self) -> ApiResult<ServiceStats> {
-        match self.roundtrip(&Request::Stats)? {
+        match self.call(&Request::Stats, true)? {
             Response::StatsOk(stats) => Ok(stats),
             other => Err(unexpected("StatsOk", &other)),
         }
     }
 
     fn checkpoint(&mut self) -> ApiResult<u64> {
-        match self.roundtrip(&Request::Checkpoint)? {
+        match self.call(&Request::Checkpoint, true)? {
             Response::CheckpointOk(g) => Ok(g),
             other => Err(unexpected("CheckpointOk", &other)),
         }

@@ -16,7 +16,16 @@
 //!   closes the session instead of hanging the client.
 //! * [`Client`]/[`WireSession`] — the client side, implementing the
 //!   same [`Session`](graphiti_store::Session) trait as the in-process
-//!   embedding, down to the error vocabulary.
+//!   embedding, down to the error vocabulary.  The `_with` connectors
+//!   add bounded retries with jittered backoff, per-request deadlines,
+//!   and idempotency-tokened commits (exactly-once across retries).
+//!
+//! The request lifecycle is governed end to end: every socket read
+//! runs under a timeout tick, every request carries a deadline budget
+//! checked at admission / before the commit queue / before reply
+//! serialization, idle and stalled peers are reaped, and shutdown
+//! drains in bounded time ([`ServerHandle::shutdown`] returns a
+//! [`DrainReport`]).
 //!
 //! Sessions are **pinned**: a wire session reads the snapshot
 //! generation it opened at until it explicitly refreshes; its own
@@ -31,5 +40,5 @@ pub mod protocol;
 mod client;
 mod server;
 
-pub use client::{Client, WireSession};
-pub use server::{Server, ServerHandle, ServerOptions};
+pub use client::{Client, ClientOptions, RetryPolicy, WireSession};
+pub use server::{DrainReport, Server, ServerHandle, ServerOptions, DEADLINE_ENV};

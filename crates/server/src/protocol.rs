@@ -12,15 +12,19 @@
 //! the system to fuzz and keep honest.  The payload is
 //!
 //! ```text
-//! kind: u8 | request_id: u64 LE | body (kind-specific)
+//! requests:  kind: u8 | request_id: u64 LE | deadline_ms: u32 LE | body
+//! responses: kind: u8 | request_id: u64 LE | body (kind-specific)
 //! ```
 //!
 //! Request ids are chosen by the client and echoed verbatim by the
 //! server, which answers every request with exactly one frame (typed
-//! reply or [`Response::Error`]).  Decoding is **total**: truncated,
-//! oversized, checksum-corrupt, or otherwise malformed bytes produce a
-//! typed [`ApiError::Protocol`] — never a panic, no matter how hostile
-//! the input.
+//! reply or [`Response::Error`]).  `deadline_ms` is the request's
+//! deadline budget in milliseconds measured from server receipt; `0`
+//! means the client sets no deadline and the server applies its
+//! default.  Decoding is **total**: truncated, oversized,
+//! checksum-corrupt, or otherwise malformed bytes produce a typed
+//! [`ApiError::Protocol`] — never a panic, no matter how hostile the
+//! input.
 
 use graphiti_common::{ApiError, ApiResult, Error};
 use graphiti_engine::{BatchQuery, BatchReport, QueryOutcome, SqlTarget};
@@ -30,8 +34,9 @@ use graphiti_store::{CommitAck, Delta, ServiceStats};
 use std::io::{Read, Write};
 
 /// Protocol revision; a [`Request::Hello`] with any other value is
-/// refused.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// refused.  Version 2 added the `deadline_ms` request-header field and
+/// the commit idempotency token.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default ceiling on one frame's payload (16 MiB).  A peer advertising
 /// a larger frame is cut off before any allocation happens.
@@ -53,7 +58,14 @@ pub enum Request {
     /// Runs a batch on the session's pinned snapshot.
     Batch(Vec<BatchQuery>),
     /// Commits a delta through the server's group-commit write path.
-    Commit(Delta),
+    Commit {
+        /// The mutation to apply.
+        delta: Delta,
+        /// Client-generated idempotency token; `0` means untagged.  A
+        /// retried commit resending the same non-zero token is deduped
+        /// by the store (the replay returns the original generation).
+        token: u128,
+    },
     /// Re-pins the session to the latest published generation.
     Refresh,
     /// Fetches service-level counters.
@@ -263,6 +275,11 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServiceStats) {
     codec::put_u64(buf, s.groups_formed);
     codec::put_u64(buf, s.group_members);
     codec::put_u64(buf, s.backpressured);
+    codec::put_u64(buf, s.idempotent_replays);
+    codec::put_u64(buf, s.deadlines_exceeded);
+    codec::put_u64(buf, s.connections_reaped);
+    codec::put_u64(buf, s.draining_refusals);
+    codec::put_u64(buf, s.drain_micros);
 }
 
 fn read_stats(r: &mut Reader<'_>) -> ApiResult<ServiceStats> {
@@ -276,6 +293,11 @@ fn read_stats(r: &mut Reader<'_>) -> ApiResult<ServiceStats> {
         groups_formed: r.u64().map_err(wire_decode)?,
         group_members: r.u64().map_err(wire_decode)?,
         backpressured: r.u64().map_err(wire_decode)?,
+        idempotent_replays: r.u64().map_err(wire_decode)?,
+        deadlines_exceeded: r.u64().map_err(wire_decode)?,
+        connections_reaped: r.u64().map_err(wire_decode)?,
+        draining_refusals: r.u64().map_err(wire_decode)?,
+        drain_micros: r.u64().map_err(wire_decode)?,
     })
 }
 
@@ -334,14 +356,16 @@ fn read_report(r: &mut Reader<'_>) -> ApiResult<BatchReport> {
 // ---------------------------------------------------------------------
 
 /// Encodes a request payload (frame it with [`write_frame`]).
-pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
+/// `deadline_ms` is the request's deadline budget in milliseconds from
+/// server receipt; `0` defers to the server default.
+pub fn encode_request(request_id: u64, deadline_ms: u32, req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
     let kind = match req {
         Request::Hello { .. } => K_HELLO,
         Request::OpenSession => K_OPEN,
         Request::Query(_) => K_QUERY,
         Request::Batch(_) => K_BATCH,
-        Request::Commit(_) => K_COMMIT,
+        Request::Commit { .. } => K_COMMIT,
         Request::Refresh => K_REFRESH,
         Request::Stats => K_STATS,
         Request::Checkpoint => K_CHECKPOINT,
@@ -349,6 +373,7 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     };
     buf.push(kind);
     codec::put_u64(&mut buf, request_id);
+    codec::put_u32(&mut buf, deadline_ms);
     match req {
         Request::Hello { version } => codec::put_u32(&mut buf, *version),
         Request::Query(q) => put_query(&mut buf, q),
@@ -358,7 +383,11 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
                 put_query(&mut buf, q);
             }
         }
-        Request::Commit(delta) => codec::put_delta(&mut buf, delta),
+        Request::Commit { delta, token } => {
+            codec::put_u64(&mut buf, (*token >> 64) as u64);
+            codec::put_u64(&mut buf, *token as u64);
+            codec::put_delta(&mut buf, delta);
+        }
         Request::OpenSession
         | Request::Refresh
         | Request::Stats
@@ -368,16 +397,20 @@ pub fn encode_request(request_id: u64, req: &Request) -> Vec<u8> {
     buf
 }
 
-/// Decodes a request payload.  The returned id is `0` when the payload
-/// is too short to even carry one — the server still has something to
-/// address its error reply to.
-pub fn decode_request(payload: &[u8]) -> (u64, ApiResult<Request>) {
+/// Decodes a request payload into `(request_id, deadline_ms, request)`.
+/// The returned id is `0` when the payload is too short to even carry
+/// one — the server still has something to address its error reply to;
+/// likewise the deadline degrades to `0` (server default).
+pub fn decode_request(payload: &[u8]) -> (u64, u32, ApiResult<Request>) {
     let mut r = Reader::new(payload);
     let Ok(kind) = r.u8() else {
-        return (0, Err(proto_err("empty request payload")));
+        return (0, 0, Err(proto_err("empty request payload")));
     };
     let Ok(request_id) = r.u64() else {
-        return (0, Err(proto_err("request payload too short for a request id")));
+        return (0, 0, Err(proto_err("request payload too short for a request id")));
+    };
+    let Ok(deadline_ms) = r.u32() else {
+        return (request_id, 0, Err(proto_err("request payload too short for a deadline")));
     };
     let req = decode_request_body(kind, &mut r);
     let req = req.and_then(|req| {
@@ -387,7 +420,7 @@ pub fn decode_request(payload: &[u8]) -> (u64, ApiResult<Request>) {
             Err(proto_err("trailing bytes after the request body"))
         }
     });
-    (request_id, req)
+    (request_id, deadline_ms, req)
 }
 
 fn decode_request_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Request> {
@@ -403,7 +436,12 @@ fn decode_request_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Request> {
             }
             Ok(Request::Batch(qs))
         }
-        K_COMMIT => Ok(Request::Commit(r.delta().map_err(wire_decode)?)),
+        K_COMMIT => {
+            let hi = r.u64().map_err(wire_decode)?;
+            let lo = r.u64().map_err(wire_decode)?;
+            let token = ((hi as u128) << 64) | lo as u128;
+            Ok(Request::Commit { delta: r.delta().map_err(wire_decode)?, token })
+        }
         K_REFRESH => Ok(Request::Refresh),
         K_STATS => Ok(Request::Stats),
         K_CHECKPOINT => Ok(Request::Checkpoint),
@@ -514,7 +552,7 @@ mod tests {
 
     #[test]
     fn frames_round_trip_and_detect_corruption() {
-        let payload = encode_request(7, &Request::Refresh);
+        let payload = encode_request(7, 0, &Request::Refresh);
         let framed = frame(&payload);
         let mut cursor = std::io::Cursor::new(framed.clone());
         let got = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
@@ -560,16 +598,19 @@ mod tests {
                 BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e"),
                 BatchQuery::cypher("MATCH (n:EMP) RETURN n.name AS w"),
             ]),
-            Request::Commit(delta),
+            Request::Commit { delta, token: (0xFEED_u128 << 64) | 0xBEEF },
+            Request::Commit { delta: Delta::new(), token: 0 },
             Request::Refresh,
             Request::Stats,
             Request::Checkpoint,
             Request::Close,
         ];
         for (i, req) in reqs.into_iter().enumerate() {
-            let payload = encode_request(i as u64, &req);
-            let (id, got) = decode_request(&payload);
+            let deadline_ms = (i as u32) * 250;
+            let payload = encode_request(i as u64, deadline_ms, &req);
+            let (id, got_deadline, got) = decode_request(&payload);
             assert_eq!(id, i as u64);
+            assert_eq!(got_deadline, deadline_ms);
             let got = got.unwrap_or_else(|e| panic!("decoding {req:?}: {e}"));
             // Delta is not PartialEq; compare the debug projection.
             assert_eq!(format!("{got:?}"), format!("{req:?}"));
@@ -600,6 +641,11 @@ mod tests {
                 groups_formed: 3,
                 group_members: 7,
                 backpressured: 4,
+                idempotent_replays: 2,
+                deadlines_exceeded: 6,
+                connections_reaped: 1,
+                draining_refusals: 3,
+                drain_micros: 1234,
             }),
             Response::CheckpointOk(9),
             Response::Closed,
@@ -647,15 +693,15 @@ mod tests {
     #[test]
     fn garbage_payloads_decode_to_typed_errors() {
         for payload in [&[][..], &[0xFF][..], &[K_QUERY, 1, 2, 3][..], &[0x42; 64][..]] {
-            let (_, req) = decode_request(payload);
+            let (_, _, req) = decode_request(payload);
             assert!(req.is_err(), "payload {payload:?} must not decode");
             let (_, resp) = decode_response(payload);
             assert!(resp.is_err(), "payload {payload:?} must not decode as a response");
         }
         // Trailing bytes after a valid body are refused too.
-        let mut payload = encode_request(1, &Request::Refresh);
+        let mut payload = encode_request(1, 0, &Request::Refresh);
         payload.push(0);
-        let (_, req) = decode_request(&payload);
+        let (_, _, req) = decode_request(&payload);
         assert!(matches!(req, Err(ApiError::Protocol(_))));
     }
 }

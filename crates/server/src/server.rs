@@ -8,9 +8,27 @@
 //!   receives one typed [`ApiError::Backpressure`] frame and is closed
 //!   before a session ever exists;
 //! * a **bounded commit queue** — wire commits go through the service's
-//!   group committer with [`Graphiti::try_commit`]; a full queue is a
-//!   typed backpressure *reply* (the connection survives, the client
-//!   retries).
+//!   group committer with [`Graphiti::try_commit_tagged`]; a full queue
+//!   is a typed backpressure *reply* (the connection survives, the
+//!   client retries).
+//!
+//! Every socket read runs under a short timeout tick
+//! ([`ServerOptions::tick`]) so no connection thread ever blocks
+//! indefinitely: an idle peer is reaped after
+//! [`ServerOptions::idle_timeout`], a peer stalled mid-frame is cut off
+//! after [`ServerOptions::stall_timeout`], and a draining server
+//! interrupts blocked readers within one tick.  Each request carries a
+//! deadline budget (wire header, or [`ServerOptions::default_deadline`])
+//! checked at admission, before the commit queue, and before reply
+//! serialization — an expired budget answers a typed
+//! [`ApiError::DeadlineExceeded`] instead of late work.
+//!
+//! [`ServerHandle::shutdown`] drains rather than aborts: accepting
+//! stops, requests arriving after the flag flips are refused with a
+//! typed [`ApiError::Draining`] frame, in-flight handlers finish, and
+//! readers blocked mid-frame are cut off after
+//! [`ServerOptions::drain_deadline`] — so shutdown completes in bounded
+//! time against any mix of idle, slow, and mid-request peers.
 //!
 //! A panic while handling a request never hangs the client: the
 //! connection thread catches it, answers with a typed
@@ -19,15 +37,23 @@
 
 use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 use graphiti_common::{ApiError, ApiResult};
+use graphiti_store::codec;
 use graphiti_store::{Graphiti, Session};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the server's default per-request
+/// deadline budget in milliseconds (used when a request's wire header
+/// carries `deadline_ms == 0`).  Unset, unparsable, or `0` means no
+/// default deadline.
+pub const DEADLINE_ENV: &str = "GRAPHITI_DEADLINE_MS";
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -37,9 +63,35 @@ pub struct ServerOptions {
     pub max_connections: usize,
     /// Ceiling on one frame's payload, bytes.
     pub max_frame_bytes: u32,
+    /// Socket read-timeout granularity.  Every blocking read wakes at
+    /// least this often to check the drain flag and the idle/stall
+    /// budgets; it bounds how stale those checks can be.
+    pub tick: Duration,
+    /// Socket write timeout: a peer that stops draining its receive
+    /// buffer cannot pin a connection thread in `write` forever.
+    pub write_timeout: Duration,
+    /// A connection idle (no bytes between frames) longer than this is
+    /// reaped: closed, with the reap counted in the lifecycle stats.
+    pub idle_timeout: Duration,
+    /// A peer that started a frame but stops making progress for this
+    /// long is cut off (a trickling or wedged peer cannot hold a thread
+    /// hostage mid-frame).
+    pub stall_timeout: Duration,
+    /// Deadline budget applied to requests whose wire header carries
+    /// `deadline_ms == 0`.  Defaults from [`DEADLINE_ENV`]; `None`
+    /// means such requests run without a deadline.
+    pub default_deadline: Option<Duration>,
+    /// How long a drain waits on peers blocked mid-frame before
+    /// cutting them off.  Idle peers close within one tick; this only
+    /// bounds the stragglers, so shutdown completes in roughly
+    /// `max(in-flight handler time, drain_deadline)`.
+    pub drain_deadline: Duration,
     /// Test hook: a query whose text equals this panics inside the
     /// handler, exercising the panic-to-typed-error-frame path.
     pub poison_query: Option<String>,
+    /// Test hook: sleep this long inside the handler before executing
+    /// any post-handshake request, exercising the deadline checks.
+    pub handler_delay: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -47,9 +99,50 @@ impl Default for ServerOptions {
         ServerOptions {
             max_connections: 64,
             max_frame_bytes: DEFAULT_MAX_FRAME,
+            tick: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            stall_timeout: Duration::from_secs(10),
+            default_deadline: deadline_from_env(),
+            drain_deadline: Duration::from_secs(5),
             poison_query: None,
+            handler_delay: None,
         }
     }
+}
+
+fn deadline_from_env() -> Option<Duration> {
+    std::env::var(DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// Server-side request-lifecycle counters, merged into the
+/// [`ServiceStats`](graphiti_store::ServiceStats) a wire `Stats`
+/// request returns.
+#[derive(Debug, Default)]
+struct LifecycleCounters {
+    deadlines_exceeded: AtomicU64,
+    connections_reaped: AtomicU64,
+    draining_refusals: AtomicU64,
+    drain_micros: AtomicU64,
+}
+
+/// What [`ServerHandle::shutdown`] observed while draining.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Wall-clock time from the drain flag flipping to the last
+    /// connection thread joining.
+    pub duration: Duration,
+    /// Requests refused with a typed [`ApiError::Draining`] frame
+    /// because they arrived after the drain began (whole server life,
+    /// monotone — a server drains once).
+    pub draining_refusals: u64,
+    /// Connection threads joined by this drain (idle, in-flight, and
+    /// stalled peers alike).
+    pub connections_joined: usize,
 }
 
 enum Listener {
@@ -61,6 +154,22 @@ enum Listener {
 enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(t),
+            Stream::Unix(s) => s.set_write_timeout(t),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -132,17 +241,26 @@ impl Server {
     ) -> ApiResult<ServerHandle> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
+        let lifecycle = Arc::new(LifecycleCounters::default());
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accepter = {
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
+            let lifecycle = Arc::clone(&lifecycle);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("graphiti-accept".into())
-                .spawn(move || accept_loop(self, listener, shutdown, active, conns))
+                .spawn(move || accept_loop(self, listener, shutdown, active, lifecycle, conns))
                 .map_err(|e| ApiError::Io(e.to_string()))?
         };
-        Ok(ServerHandle { shutdown, accepter: Some(accepter), conns, tcp_addr, unix_path })
+        Ok(ServerHandle {
+            shutdown,
+            accepter: Some(accepter),
+            conns,
+            lifecycle,
+            tcp_addr,
+            unix_path,
+        })
     }
 }
 
@@ -151,6 +269,7 @@ fn accept_loop(
     listener: Listener,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    lifecycle: Arc<LifecycleCounters>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     loop {
@@ -178,9 +297,11 @@ fn accept_loop(
         }
         let service = server.service.clone();
         let options = server.options.clone();
+        let conn_shutdown = Arc::clone(&shutdown);
+        let conn_lifecycle = Arc::clone(&lifecycle);
         let conn_active = Arc::clone(&active);
         let handle = std::thread::Builder::new().name("graphiti-conn".into()).spawn(move || {
-            serve_conn(service, options, &mut stream);
+            serve_conn(service, options, &mut stream, &conn_shutdown, &conn_lifecycle);
             conn_active.fetch_sub(1, Ordering::SeqCst);
         });
         match handle {
@@ -192,39 +313,254 @@ fn accept_loop(
     }
 }
 
+/// How one governed `read_exact` over the timeout tick ended.
+enum GovRead {
+    /// The buffer is full.
+    Full,
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The peer closed mid-read.
+    Torn,
+    /// The drain flag flipped while idle at a frame boundary.
+    Draining,
+    /// Idle at a frame boundary past the idle timeout.
+    IdleReap,
+    /// Mid-read without progress past the stall timeout.
+    Stalled,
+    /// Mid-read when the drain deadline expired.
+    DrainExpired,
+    /// A hard I/O failure.
+    Io(String),
+}
+
+/// Fills `buf` under the connection's timeout tick.  `at_boundary`
+/// marks a read that starts between frames, where zero bytes so far
+/// means the peer is merely idle (eligible for clean EOF, drain close,
+/// and idle reaping) rather than stalled mid-frame.
+fn read_governed(
+    stream: &mut Stream,
+    buf: &mut [u8],
+    at_boundary: bool,
+    options: &ServerOptions,
+    shutdown: &AtomicBool,
+    first_byte: &mut Option<Instant>,
+) -> GovRead {
+    let started = Instant::now();
+    let mut progress_at = started;
+    let mut drain_seen: Option<Instant> = None;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_boundary => return GovRead::Eof,
+            Ok(0) => return GovRead::Torn,
+            Ok(n) => {
+                filled += n;
+                progress_at = Instant::now();
+                first_byte.get_or_insert(progress_at);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let now = Instant::now();
+                let idle = filled == 0 && at_boundary;
+                if shutdown.load(Ordering::SeqCst) {
+                    if idle {
+                        return GovRead::Draining;
+                    }
+                    let seen = *drain_seen.get_or_insert(now);
+                    if now.duration_since(seen) >= options.drain_deadline {
+                        return GovRead::DrainExpired;
+                    }
+                }
+                if idle {
+                    if now.duration_since(started) >= options.idle_timeout {
+                        return GovRead::IdleReap;
+                    }
+                } else if now.duration_since(progress_at) >= options.stall_timeout {
+                    return GovRead::Stalled;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return GovRead::Io(e.to_string()),
+        }
+    }
+    GovRead::Full
+}
+
+/// One whole frame read under the lifecycle governor.
+enum FrameOutcome {
+    /// A complete payload, plus when its first byte arrived (the
+    /// request's deadline budget is measured from there, so a
+    /// trickled-in frame spends its own budget).
+    Frame(Vec<u8>, Instant),
+    /// Clean end-of-stream between frames.
+    Eof,
+    /// Close quietly: drain observed while idle.
+    Draining,
+    /// Close and count a reap: idle or stalled peer.
+    Reaped,
+    /// Close: the drain deadline expired on a mid-frame peer.
+    DrainExpired,
+    /// Close after a typed error frame: torn, oversized, or corrupt.
+    Failed(ApiError),
+}
+
+fn read_frame_governed(
+    stream: &mut Stream,
+    options: &ServerOptions,
+    shutdown: &AtomicBool,
+) -> FrameOutcome {
+    let mut first_byte = None;
+    let mut header = [0u8; 8];
+    match read_governed(stream, &mut header, true, options, shutdown, &mut first_byte) {
+        GovRead::Full => {}
+        GovRead::Eof => return FrameOutcome::Eof,
+        GovRead::Draining => return FrameOutcome::Draining,
+        GovRead::IdleReap | GovRead::Stalled => return FrameOutcome::Reaped,
+        GovRead::DrainExpired => return FrameOutcome::DrainExpired,
+        GovRead::Torn => {
+            return FrameOutcome::Failed(ApiError::Protocol(
+                "connection closed inside a frame header".into(),
+            ))
+        }
+        GovRead::Io(m) => return FrameOutcome::Failed(ApiError::Io(m)),
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len == 0 {
+        return FrameOutcome::Failed(ApiError::Protocol("empty frame payload".into()));
+    }
+    if len > options.max_frame_bytes {
+        return FrameOutcome::Failed(ApiError::Protocol(format!(
+            "oversized frame: {len} bytes exceeds the {} cap",
+            options.max_frame_bytes
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_governed(stream, &mut payload, false, options, shutdown, &mut first_byte) {
+        GovRead::Full => {}
+        GovRead::Eof | GovRead::Torn => {
+            return FrameOutcome::Failed(ApiError::Protocol(
+                "connection closed inside a frame payload".into(),
+            ))
+        }
+        GovRead::Stalled | GovRead::IdleReap => return FrameOutcome::Reaped,
+        GovRead::Draining | GovRead::DrainExpired => return FrameOutcome::DrainExpired,
+        GovRead::Io(m) => return FrameOutcome::Failed(ApiError::Io(m)),
+    }
+    if codec::crc32(&payload) != crc {
+        return FrameOutcome::Failed(ApiError::Protocol("frame checksum mismatch".into()));
+    }
+    FrameOutcome::Frame(payload, first_byte.unwrap_or_else(Instant::now))
+}
+
 /// One connection's request loop.  Returns when the peer disconnects,
-/// sends something malformed, closes its session, or a handler panics.
-fn serve_conn(service: Graphiti, options: ServerOptions, stream: &mut Stream) {
+/// sends something malformed, closes its session, idles or stalls past
+/// its budgets, the server drains, or a handler panics.
+fn serve_conn(
+    service: Graphiti,
+    options: ServerOptions,
+    stream: &mut Stream,
+    shutdown: &AtomicBool,
+    lifecycle: &LifecycleCounters,
+) {
+    let _ = stream.set_read_timeout(Some(options.tick));
+    let _ = stream.set_write_timeout(Some(options.write_timeout));
     let mut session: Option<graphiti_store::EmbeddedSession> = None;
     let mut greeted = false;
     loop {
-        let payload = match protocol::read_frame(stream, options.max_frame_bytes) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return,
-            Err(err) => {
+        let (payload, arrived) = match read_frame_governed(stream, &options, shutdown) {
+            FrameOutcome::Frame(payload, arrived) => (payload, arrived),
+            FrameOutcome::Eof | FrameOutcome::Draining | FrameOutcome::DrainExpired => return,
+            FrameOutcome::Reaped => {
+                lifecycle.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            FrameOutcome::Failed(err) => {
                 // A torn or hostile frame gets a typed reply; the
                 // stream is unsynchronized past it, so close.
-                send_error(stream, 0, &err);
+                send_error(stream, 0, &err, lifecycle);
                 return;
             }
         };
-        let (request_id, request) = protocol::decode_request(&payload);
+        let (request_id, deadline_ms, request) = protocol::decode_request(&payload);
+        // A request that arrives once the drain began is refused with a
+        // typed frame; only handlers already running are in-flight.
+        if shutdown.load(Ordering::SeqCst) {
+            lifecycle.draining_refusals.fetch_add(1, Ordering::Relaxed);
+            send_error(
+                stream,
+                request_id,
+                &ApiError::Draining("server is draining for shutdown; retry after restart".into()),
+                lifecycle,
+            );
+            return;
+        }
         let request = match request {
             Ok(request) => request,
             Err(err) => {
-                send_error(stream, request_id, &err);
+                send_error(stream, request_id, &err, lifecycle);
                 return;
             }
         };
+        // The deadline budget runs from the frame's first byte: the
+        // wire header's, or the server default when the header says 0.
+        let budget = if deadline_ms > 0 {
+            Some(Duration::from_millis(deadline_ms as u64))
+        } else {
+            options.default_deadline
+        };
+        let deadline = budget.map(|b| arrived + b);
+        // Admission check: a frame that trickled in past its own
+        // budget is answered without running the handler at all.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            if !send_error(
+                stream,
+                request_id,
+                &ApiError::DeadlineExceeded("deadline expired before admission".into()),
+                lifecycle,
+            ) {
+                return;
+            }
+            continue;
+        }
         let closing = matches!(request, Request::Close);
         // The handler runs under catch_unwind so a panic — a store bug,
         // or the poison-query test hook — becomes a typed error frame
         // instead of a hung client.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&service, &options, &mut session, &mut greeted, request)
+            handle_request(
+                &service,
+                &options,
+                lifecycle,
+                &mut session,
+                &mut greeted,
+                deadline,
+                request,
+            )
         }));
         match outcome {
             Ok(Ok(response)) => {
+                // Pre-reply check: a reply the client has given up on
+                // is not worth serializing; the typed error keeps the
+                // connection usable.
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    if !send_error(
+                        stream,
+                        request_id,
+                        &ApiError::DeadlineExceeded(
+                            "deadline expired before the reply was serialized".into(),
+                        ),
+                        lifecycle,
+                    ) {
+                        return;
+                    }
+                    if closing {
+                        return;
+                    }
+                    continue;
+                }
                 if protocol::write_frame(stream, &protocol::encode_response(request_id, &response))
                     .is_err()
                 {
@@ -232,7 +568,7 @@ fn serve_conn(service: Graphiti, options: ServerOptions, stream: &mut Stream) {
                 }
             }
             Ok(Err(err)) => {
-                if !send_error(stream, request_id, &err) {
+                if !send_error(stream, request_id, &err, lifecycle) {
                     return;
                 }
             }
@@ -245,6 +581,7 @@ fn serve_conn(service: Graphiti, options: ServerOptions, stream: &mut Stream) {
                     &ApiError::Internal(
                         "server panicked handling the request; session closed".into(),
                     ),
+                    lifecycle,
                 );
                 return;
             }
@@ -255,8 +592,17 @@ fn serve_conn(service: Graphiti, options: ServerOptions, stream: &mut Stream) {
     }
 }
 
-/// Writes a typed error frame; false when the stream is already gone.
-fn send_error(stream: &mut Stream, request_id: u64, err: &ApiError) -> bool {
+/// Writes a typed error frame (counting expired deadlines); false when
+/// the stream is already gone.
+fn send_error(
+    stream: &mut Stream,
+    request_id: u64,
+    err: &ApiError,
+    lifecycle: &LifecycleCounters,
+) -> bool {
+    if matches!(err, ApiError::DeadlineExceeded(_)) {
+        lifecycle.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
     let (code, message) = err.to_wire();
     protocol::write_frame(
         stream,
@@ -268,8 +614,10 @@ fn send_error(stream: &mut Stream, request_id: u64, err: &ApiError) -> bool {
 fn handle_request(
     service: &Graphiti,
     options: &ServerOptions,
+    lifecycle: &LifecycleCounters,
     session: &mut Option<graphiti_store::EmbeddedSession>,
     greeted: &mut bool,
+    deadline: Option<Instant>,
     request: Request,
 ) -> ApiResult<Response> {
     // The handshake gates everything else.
@@ -284,6 +632,9 @@ fn handle_request(
             ))),
             _ => Err(ApiError::Protocol("expected Hello as the first request".into())),
         };
+    }
+    if let Some(delay) = options.handler_delay {
+        std::thread::sleep(delay);
     }
     match request {
         Request::Hello { .. } => {
@@ -306,11 +657,18 @@ fn handle_request(
             let s = open(session)?;
             Ok(Response::BatchOk(s.batch(&queries)?))
         }
-        Request::Commit(delta) => {
+        Request::Commit { delta, token } => {
             let s = open(session)?;
+            // Pre-queue check: an already-expired budget is refused
+            // before the commit is ever submitted (nothing ambiguous).
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(ApiError::DeadlineExceeded(
+                    "deadline expired before the commit was queued; nothing was submitted".into(),
+                ));
+            }
             // The bounded admission queue, surfaced as typed
             // backpressure instead of blocking the connection thread.
-            match service.try_commit(delta)? {
+            match service.try_commit_tagged(delta, (token != 0).then_some(token), deadline)? {
                 Ok(ack) => {
                     // Re-pin for read-your-writes, matching the
                     // embedded session's commit semantics.
@@ -321,7 +679,14 @@ fn handle_request(
             }
         }
         Request::Refresh => Ok(Response::Generation(open(session)?.refresh()?)),
-        Request::Stats => Ok(Response::StatsOk(service.service_stats())),
+        Request::Stats => {
+            let mut stats = service.service_stats();
+            stats.deadlines_exceeded = lifecycle.deadlines_exceeded.load(Ordering::Relaxed);
+            stats.connections_reaped = lifecycle.connections_reaped.load(Ordering::Relaxed);
+            stats.draining_refusals = lifecycle.draining_refusals.load(Ordering::Relaxed);
+            stats.drain_micros = lifecycle.drain_micros.load(Ordering::Relaxed);
+            Ok(Response::StatsOk(stats))
+        }
         Request::Checkpoint => Ok(Response::CheckpointOk(open(session)?.checkpoint()?)),
         Request::Close => {
             if let Some(mut s) = session.take() {
@@ -352,6 +717,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     accepter: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    lifecycle: Arc<LifecycleCounters>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
 }
@@ -367,15 +733,19 @@ impl ServerHandle {
         self.unix_path.as_deref()
     }
 
-    /// Stops accepting, joins every connection thread, and removes the
-    /// unix socket file.  Established connections finish their request
-    /// loops first (clients should `Close` before the server stops).
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Drains and stops the server in bounded time: accepting stops,
+    /// requests arriving past this point are refused with typed
+    /// [`ApiError::Draining`] frames, in-flight handlers finish, idle
+    /// connections close within one tick, and peers blocked mid-frame
+    /// are cut off after [`ServerOptions::drain_deadline`].  Joins
+    /// every connection thread and removes the unix socket file.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop().unwrap_or_default()
     }
 
-    fn stop(&mut self) {
-        let Some(accepter) = self.accepter.take() else { return };
+    fn stop(&mut self) -> Option<DrainReport> {
+        let accepter = self.accepter.take()?;
+        let started = Instant::now();
         self.shutdown.store(true, Ordering::SeqCst);
         // The accepter blocks in accept(); poke it awake with one
         // throwaway connection so it observes the flag.
@@ -391,12 +761,23 @@ impl ServerHandle {
         let _ = accepter.join();
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.conns.lock().expect("conn registry lock"));
+        let connections_joined = handles.len();
+        // Every connection thread reads under the timeout tick, so each
+        // observes the drain flag within a tick and exits on its own;
+        // these joins are bounded, idle peers included.
         for h in handles {
             let _ = h.join();
         }
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
+        let duration = started.elapsed();
+        self.lifecycle.drain_micros.store(duration.as_micros() as u64, Ordering::Relaxed);
+        Some(DrainReport {
+            duration,
+            draining_refusals: self.lifecycle.draining_refusals.load(Ordering::Relaxed),
+            connections_joined,
+        })
     }
 }
 

@@ -1,0 +1,281 @@
+//! Wire-level chaos: the `FaultVfs` sweep philosophy lifted to the
+//! socket layer.
+//!
+//! A [`FaultLink`] proxy sits between a retrying, token-carrying
+//! client and a live server, counting transfer operations.  Each case
+//! draws a random mutation script, probes it once fault-free to learn
+//! its op count, then **sweeps**: re-runs the script on a fresh
+//! server with a disconnect (and, on a subset of indexes, a stall or a
+//! torn write) injected at the k-th transfer op, for every k.  The
+//! invariants, regardless of where the fault lands:
+//!
+//! * **no panic, no hang** — every client call returns, success or
+//!   typed error, within its deadline discipline;
+//! * **exactly-once commits** — the retried history commits each
+//!   logical delta exactly once (the store's commit counter equals the
+//!   script's commit count; an ambiguous retry lands as an idempotent
+//!   replay, never a double-apply);
+//! * **store ≡ oracle** — the final node set equals the in-memory
+//!   oracle, checked through a fresh direct (unproxied) session.
+//!
+//! The per-push CI `chaos-wire` job runs a modest case count; the
+//! nightly leg raises it via `PROPTEST_CASES` (honored below).
+
+use graphiti_common::Value;
+use graphiti_engine::BatchQuery;
+use graphiti_server::{
+    Client, ClientOptions, RetryPolicy, Server, ServerHandle, ServerOptions, WireSession,
+};
+use graphiti_store::{Delta, Graphiti, Session};
+use graphiti_testkit::{fixtures, FaultLink, LinkFault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// `PROPTEST_CASES`-honoring case count (the nightly deep leg raises
+/// it; the per-push job keeps it modest).
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_cases)
+}
+
+fn service() -> Graphiti {
+    Graphiti::builder(fixtures::emp::schema())
+        .group_commit_default()
+        .open()
+        .expect("in-memory service opens")
+}
+
+/// Fast lifecycle ticks so faulted connections die and drain quickly.
+fn fast_options() -> ServerOptions {
+    ServerOptions {
+        tick: Duration::from_millis(20),
+        stall_timeout: Duration::from_millis(500),
+        drain_deadline: Duration::from_millis(500),
+        ..ServerOptions::default()
+    }
+}
+
+/// A server plus a fault proxy in front of it.
+struct Rig {
+    service: Graphiti,
+    handle: Option<ServerHandle>,
+    link: FaultLink,
+    direct: SocketAddr,
+}
+
+impl Rig {
+    fn start() -> Rig {
+        let service = service();
+        let handle = Server::with_options(service.clone(), fast_options())
+            .serve_tcp("127.0.0.1:0")
+            .expect("server binds");
+        let direct = handle.tcp_addr().expect("tcp server has an address");
+        let link = FaultLink::start(direct).expect("fault proxy starts");
+        Rig { service, handle: Some(handle), link, direct }
+    }
+
+    /// A retrying, deadline-carrying, token-carrying client routed
+    /// through the fault proxy.
+    fn resilient_client(&self) -> WireSession {
+        Client::connect_tcp_with(
+            self.link.addr(),
+            ClientOptions {
+                retry: RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: Duration::from_millis(5),
+                    max_backoff: Duration::from_millis(40),
+                },
+                deadline: Some(Duration::from_secs(2)),
+                tokens: true,
+            },
+        )
+        .expect("resilient client connects through the proxy")
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+    }
+}
+
+/// One random mutation script: a sequence of unique-id node commits
+/// interleaved with snapshot queries.
+#[derive(Debug, Clone)]
+enum Op {
+    Commit(i64),
+    Query,
+}
+
+fn script(rng: &mut StdRng) -> Vec<Op> {
+    let commits = rng.gen_range(4..9i64);
+    let mut ops = Vec::new();
+    for id in 0..commits {
+        ops.push(Op::Commit(id));
+        if rng.gen_bool(0.3) {
+            ops.push(Op::Query);
+        }
+    }
+    ops
+}
+
+/// Runs the script through the rig's proxy with a retrying client.
+/// Every op must succeed: the injected fault is single-shot, so the
+/// bounded retry discipline absorbs it.
+fn run_script(rig: &Rig, ops: &[Op]) {
+    let mut session = rig.resilient_client();
+    for op in ops {
+        match op {
+            Op::Commit(id) => {
+                let mut delta = Delta::new();
+                delta.add_node(
+                    "EMP",
+                    [("id", Value::Int(*id)), ("ename", Value::str(format!("w{id}")))],
+                );
+                let ack = session.commit(delta).expect("tokened commit is exactly-once");
+                assert!(ack.published_generation >= ack.generation);
+            }
+            Op::Query => {
+                session
+                    .query(&BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS id"))
+                    .expect("idempotent query retries to success");
+            }
+        }
+    }
+}
+
+/// Checks the final server state against the oracle through a fresh
+/// direct (unproxied) connection, and returns the replay counter.
+fn verify_against_oracle(rig: &Rig, ops: &[Op]) -> u64 {
+    let expected: Vec<i64> = ops
+        .iter()
+        .filter_map(|op| if let Op::Commit(id) = op { Some(*id) } else { None })
+        .collect();
+    let mut direct = Client::connect_tcp(rig.direct).expect("direct client connects");
+    let rows = direct
+        .query(&BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS id"))
+        .expect("verification query runs");
+    let mut got: Vec<i64> = rows
+        .rows
+        .iter()
+        .map(|row| match &row[0] {
+            Value::Int(i) => *i,
+            other => panic!("non-integer id {other:?}"),
+        })
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expected, "final store state equals the oracle");
+    let stats = rig.service.service_stats();
+    assert_eq!(
+        stats.commits,
+        expected.len() as u64,
+        "exactly-once: the store committed each logical delta once ({stats:?})"
+    );
+    assert_eq!(stats.live_nodes, expected.len() as u64);
+    direct.close().expect("clean close");
+    stats.idempotent_replays
+}
+
+/// The tentpole sweep: disconnect injected at every transfer-op index
+/// of each random script (torn writes and stalls on a rotating subset),
+/// asserting exactly-once commits and store ≡ oracle after every fault.
+#[test]
+fn fault_sweep_is_exactly_once_and_matches_oracle() {
+    let scripts = cases(4);
+    let mut total_replays = 0u64;
+    for case in 0..scripts {
+        let mut rng = StdRng::seed_from_u64(0x9A0E + case as u64);
+        let ops = script(&mut rng);
+        // Probe: run once fault-free to learn the op count.
+        let total_ops = {
+            let rig = Rig::start();
+            run_script(&rig, &ops);
+            total_replays += verify_against_oracle(&rig, &ops);
+            rig.link.ops()
+        };
+        assert!(total_ops > 4, "the script moves bytes: {total_ops} ops");
+        // Sweep: one fresh rig per index; every third index throws a
+        // torn write instead of a clean disconnect, and two fixed
+        // indexes per script exercise the stall path.
+        for k in 1..=total_ops {
+            let fault = if k % 7 == 3 {
+                LinkFault::Stall(Duration::from_millis(120))
+            } else if k % 3 == 0 {
+                LinkFault::TornWrite
+            } else {
+                LinkFault::Disconnect
+            };
+            let rig = Rig::start();
+            rig.link.fail_nth(k, fault);
+            run_script(&rig, &ops);
+            rig.link.disarm();
+            total_replays += verify_against_oracle(&rig, &ops);
+        }
+    }
+    // Across a full sweep some fault necessarily lands on a commit
+    // response, so the ambiguous-retry path must have replayed.
+    assert!(total_replays > 0, "the sweep exercised idempotent replay");
+}
+
+/// The deterministic ambiguous-disconnect case: the fault eats exactly
+/// the commit's *response*, so the commit landed but the client cannot
+/// know.  The retried commit must resolve as one idempotent replay —
+/// same generation, one commit in the store's history.
+#[test]
+fn ambiguous_disconnect_resolves_via_token_replay() {
+    // Probe: learn which transfer op carries the commit response.
+    let (handshake_ops, commit_response_op, probe_generation) = {
+        let rig = Rig::start();
+        let mut session = rig.resilient_client();
+        let handshake_ops = rig.link.ops();
+        let mut delta = Delta::new();
+        delta.add_node("EMP", [("id", Value::Int(1)), ("ename", Value::str("Ada"))]);
+        let ack = session.commit(delta).expect("probe commit lands");
+        (handshake_ops, rig.link.ops(), ack.generation)
+    };
+    assert!(commit_response_op > handshake_ops, "the commit moved bytes");
+
+    // Re-run with the response chunk eaten.
+    let rig = Rig::start();
+    rig.link.fail_nth(commit_response_op, LinkFault::Disconnect);
+    let mut session = rig.resilient_client();
+    let mut delta = Delta::new();
+    delta.add_node("EMP", [("id", Value::Int(1)), ("ename", Value::str("Ada"))]);
+    let ack = session.commit(delta).expect("ambiguous commit retries to success");
+    assert_eq!(
+        ack.generation, probe_generation,
+        "the replay returns the original commit's generation"
+    );
+    assert_eq!(session.reconnects(), 1, "the client re-dialed once");
+
+    // Exactly-once, observable both embedded and over the wire.
+    let stats = rig.service.service_stats();
+    assert_eq!(stats.commits, 1, "one logical commit, applied once: {stats:?}");
+    assert_eq!(stats.idempotent_replays, 1, "resolved by replay: {stats:?}");
+    let wire_stats = session.stats().expect("stats over the wire");
+    assert_eq!(wire_stats.commits, 1);
+    assert_eq!(wire_stats.idempotent_replays, 1);
+}
+
+/// Backpressure retries stay on the live connection: a clean typed
+/// refusal is not a disconnect, and the in-place retry succeeds
+/// without re-dialing.
+#[test]
+fn backpressure_retries_in_place_without_reconnecting() {
+    let rig = Rig::start();
+    let mut session = rig.resilient_client();
+    let mut delta = Delta::new();
+    delta.add_node("EMP", [("id", Value::Int(7)), ("ename", Value::str("Bea"))]);
+    session.commit(delta).expect("commit lands");
+    assert_eq!(session.reconnects(), 0, "no fault, no reconnect");
+
+    // A rejected commit (duplicate key) is fatal, never retried.
+    let mut dup = Delta::new();
+    dup.add_node("EMP", [("id", Value::Int(7)), ("ename", Value::str("Bee"))]);
+    let err = session.commit(dup).expect_err("duplicate id is rejected");
+    assert!(err.is_rejected(), "typed rejection surfaces unretried: {err}");
+    assert_eq!(rig.service.service_stats().commits, 1);
+}

@@ -1,0 +1,224 @@
+//! Request-lifecycle tests: bounded shutdown against idle and
+//! mid-request clients, idle-connection reaping, per-request deadline
+//! enforcement at every checkpoint, and the lifecycle counters moving
+//! through the wire `Stats` frame.
+
+use graphiti_common::ApiError;
+use graphiti_engine::BatchQuery;
+use graphiti_server::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use graphiti_server::{Client, Server, ServerOptions};
+use graphiti_store::{Graphiti, Session};
+use graphiti_testkit::fixtures;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn sock_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("graphiti-lc-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn service() -> Graphiti {
+    Graphiti::builder(fixtures::emp::schema())
+        .group_commit_default()
+        .open()
+        .expect("in-memory service opens")
+}
+
+/// Fast lifecycle ticks so the tests finish quickly.
+fn fast_options() -> ServerOptions {
+    ServerOptions {
+        tick: Duration::from_millis(20),
+        drain_deadline: Duration::from_millis(500),
+        ..ServerOptions::default()
+    }
+}
+
+/// One raw request/reply exchange over an already-connected stream.
+fn raw_call(
+    conn: &mut std::os::unix::net::UnixStream,
+    id: u64,
+    deadline_ms: u32,
+    req: &Request,
+) -> Response {
+    protocol::write_frame(conn, &protocol::encode_request(id, deadline_ms, req)).expect("send");
+    let payload = protocol::read_frame(conn, DEFAULT_MAX_FRAME)
+        .expect("a reply, not a dropped connection")
+        .expect("a frame, not EOF");
+    let (_, resp) = protocol::decode_response(&payload);
+    resp.expect("reply decodes")
+}
+
+/// The PR-9 bug pin: an idle connection that never sends a byte must
+/// not hang `shutdown` (the seed joined its reader with no timeout).
+#[test]
+fn shutdown_returns_promptly_with_idle_connection() {
+    let path = sock_path("idle-drain");
+    let handle =
+        Server::with_options(service(), fast_options()).serve_unix(&path).expect("server binds");
+
+    // An idle peer: connected, never sends anything, never closes.
+    let idle = std::os::unix::net::UnixStream::connect(&path).expect("idle peer connects");
+    // Give the accept loop time to hand the connection to its thread.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let started = Instant::now();
+    let report = handle.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shutdown must be bounded with an idle peer; took {elapsed:?}"
+    );
+    assert!(report.connections_joined >= 1, "the idle connection was joined");
+    assert!(report.duration <= elapsed);
+    drop(idle);
+}
+
+/// A full drain: in-flight requests finish, requests arriving after the
+/// drain begins get a typed `Draining` frame, and the report counts it.
+#[test]
+fn drain_finishes_in_flight_and_refuses_new_requests() {
+    let path = sock_path("drain-mix");
+    let options =
+        ServerOptions { handler_delay: Some(Duration::from_millis(400)), ..fast_options() };
+    let handle = Server::with_options(service(), options).serve_unix(&path).expect("server binds");
+
+    // An in-flight client: its query is sleeping inside the handler
+    // when the drain begins, and must still complete.  (Handshake
+    // happens here, pre-drain — OpenSession pays the handler delay
+    // too.)
+    let mut session = Client::connect_unix(&path).expect("client connects");
+    let in_flight = std::thread::spawn(move || {
+        session
+            .query(&BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS id"))
+            .expect("the in-flight query completes through the drain")
+    });
+    // A second established connection whose handler is also mid-sleep
+    // when the drain begins; its *next* request is already buffered
+    // behind the in-flight one, so the connection thread reads it
+    // post-drain and must refuse it with a typed Draining frame.  (An
+    // idle connection is simply closed — there is no request to
+    // refuse.)
+    let mut late = std::os::unix::net::UnixStream::connect(&path).expect("late peer connects");
+    match raw_call(&mut late, 1, 0, &Request::Hello { version: PROTOCOL_VERSION }) {
+        Response::HelloOk { .. } => {}
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+    protocol::write_frame(&mut late, &protocol::encode_request(2, 0, &Request::Stats))
+        .expect("send in-flight request");
+    // Let both handlers reach their sleeps, then drain.
+    std::thread::sleep(Duration::from_millis(150));
+    let drainer = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(50));
+    // Queued behind the sleeping handler; read post-drain.
+    protocol::write_frame(&mut late, &protocol::encode_request(3, 0, &Request::Stats))
+        .expect("send mid-drain request");
+
+    // The in-flight request completes through the drain...
+    let payload = protocol::read_frame(&mut late, DEFAULT_MAX_FRAME)
+        .expect("the in-flight reply arrives")
+        .expect("a frame, not EOF");
+    let (_, resp) = protocol::decode_response(&payload);
+    assert!(matches!(resp, Ok(Response::StatsOk(_))), "in-flight request finished: {resp:?}");
+    // ... and the mid-drain one gets a typed Draining refusal.
+    let payload = protocol::read_frame(&mut late, DEFAULT_MAX_FRAME)
+        .expect("a typed refusal, not a dropped connection")
+        .expect("a frame, not EOF");
+    let (_, resp) = protocol::decode_response(&payload);
+    let Ok(Response::Error { code, message }) = resp else { panic!("expected an error frame") };
+    assert!(
+        matches!(ApiError::from_wire(code, message), ApiError::Draining(_)),
+        "mid-drain requests are refused with Draining"
+    );
+
+    let rows = in_flight.join().expect("in-flight client never panics");
+    assert_eq!(rows.columns, vec!["id".to_string()]);
+    let report = drainer.join().expect("drain thread never panics");
+    assert!(report.draining_refusals >= 1, "the refusal is counted: {report:?}");
+    assert!(
+        report.duration < Duration::from_secs(3),
+        "drain is bounded with mixed clients; took {:?}",
+        report.duration
+    );
+}
+
+/// Deadline budgets are enforced at admission (a frame that trickles in
+/// past its own budget) and before reply serialization (a handler that
+/// outlives the budget), both answering typed `DeadlineExceeded` — and
+/// the counter surfaces through the wire `Stats` frame.
+#[test]
+fn deadlines_are_enforced_and_counted() {
+    let path = sock_path("deadline");
+    let options =
+        ServerOptions { handler_delay: Some(Duration::from_millis(150)), ..fast_options() };
+    let handle = Server::with_options(service(), options).serve_unix(&path).expect("server binds");
+
+    let mut conn = std::os::unix::net::UnixStream::connect(&path).expect("connects");
+    match raw_call(&mut conn, 1, 0, &Request::Hello { version: PROTOCOL_VERSION }) {
+        Response::HelloOk { .. } => {}
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+    // No deadline: the delayed handler is slow but succeeds.
+    match raw_call(&mut conn, 2, 0, &Request::OpenSession) {
+        Response::SessionOpen { .. } => {}
+        other => panic!("expected SessionOpen, got {other:?}"),
+    }
+    // A 50 ms budget cannot survive the 150 ms handler delay: the
+    // pre-reply check fires and the reply is a typed DeadlineExceeded.
+    match raw_call(&mut conn, 3, 50, &Request::Refresh) {
+        Response::Error { code, message } => {
+            let err = ApiError::from_wire(code, message);
+            assert!(matches!(err, ApiError::DeadlineExceeded(_)), "pre-reply check: {err}");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    // Admission check: trickle a frame in over 200 ms against a 50 ms
+    // budget — the server answers without running the handler.
+    let framed = protocol::frame(&protocol::encode_request(4, 50, &Request::Refresh));
+    let (head, tail) = framed.split_at(framed.len() / 2);
+    conn.write_all(head).expect("send first half");
+    std::thread::sleep(Duration::from_millis(200));
+    conn.write_all(tail).expect("send second half");
+    let payload = protocol::read_frame(&mut conn, DEFAULT_MAX_FRAME)
+        .expect("a typed reply")
+        .expect("a frame, not EOF");
+    let (_, resp) = protocol::decode_response(&payload);
+    let Ok(Response::Error { code, message }) = resp else { panic!("expected an error frame") };
+    assert!(
+        matches!(ApiError::from_wire(code, message), ApiError::DeadlineExceeded(_)),
+        "admission check catches trickled-in frames"
+    );
+    // The connection survived both refusals; Stats shows the counter.
+    match raw_call(&mut conn, 5, 0, &Request::Stats) {
+        Response::StatsOk(stats) => {
+            assert!(stats.deadlines_exceeded >= 2, "both checks counted: {stats:?}")
+        }
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// An idle connection past `idle_timeout` is reaped — closed by the
+/// server — and the reap is counted in the wire stats.
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let path = sock_path("reap");
+    let options = ServerOptions {
+        tick: Duration::from_millis(10),
+        idle_timeout: Duration::from_millis(100),
+        ..ServerOptions::default()
+    };
+    let handle = Server::with_options(service(), options).serve_unix(&path).expect("server binds");
+
+    let mut session = Client::connect_unix(&path).expect("client connects");
+    std::thread::sleep(Duration::from_millis(400));
+    // The server reaped the idle connection; the next call fails.
+    session.refresh().expect_err("the reaped connection is dead");
+
+    let mut fresh = Client::connect_unix(&path).expect("fresh client connects");
+    let stats = fresh.stats().expect("stats run");
+    assert!(stats.connections_reaped >= 1, "the reap is counted: {stats:?}");
+    fresh.close().expect("clean close");
+    handle.shutdown();
+}

@@ -56,7 +56,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::OpenSession),
         arb_query().prop_map(Request::Query),
         collection::vec(arb_query(), 0..4).prop_map(Request::Batch),
-        arb_delta().prop_map(Request::Commit),
+        (arb_delta(), any::<u64>(), any::<u64>()).prop_map(|(delta, hi, lo)| {
+            Request::Commit { delta, token: ((hi as u128) << 64) | lo as u128 }
+        }),
         Just(Request::Refresh),
         Just(Request::Stats),
         Just(Request::Checkpoint),
@@ -67,10 +69,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
 proptest! {
     /// Any request round-trips bit-exactly through encode/decode.
     #[test]
-    fn requests_round_trip(id in any::<u64>(), req in arb_request()) {
-        let payload = protocol::encode_request(id, &req);
-        let (echo, got) = protocol::decode_request(&payload);
+    fn requests_round_trip(id in any::<u64>(), deadline_ms in any::<u32>(), req in arb_request()) {
+        let payload = protocol::encode_request(id, deadline_ms, &req);
+        let (echo, echo_deadline, got) = protocol::decode_request(&payload);
         prop_assert_eq!(echo, id);
+        prop_assert_eq!(echo_deadline, deadline_ms);
         let got = got.unwrap();
         prop_assert_eq!(format!("{got:?}"), format!("{req:?}"));
     }
@@ -93,13 +96,13 @@ proptest! {
         cut_at in any::<usize>(),
         flip_at in any::<usize>(),
     ) {
-        let framed = protocol::frame(&protocol::encode_request(id, &req));
+        let framed = protocol::frame(&protocol::encode_request(id, 0, &req));
         let cut = cut_at % (framed.len() + 1);
         match protocol::read_frame(&mut &framed[..cut], DEFAULT_MAX_FRAME) {
             Ok(None) => prop_assert_eq!(cut, 0, "only the empty prefix is a clean EOF"),
             Ok(Some(payload)) => {
                 prop_assert_eq!(cut, framed.len());
-                prop_assert!(protocol::decode_request(&payload).1.is_ok());
+                prop_assert!(protocol::decode_request(&payload).2.is_ok());
             }
             Err(ApiError::Protocol(_)) | Err(ApiError::Io(_)) => {}
             Err(other) => prop_assert!(false, "unexpected error class: {other}"),
@@ -151,6 +154,7 @@ fn live_server_replies_typed_error_to_malformed_frames() {
     let mut conn = UnixStream::connect(&path).expect("connects");
     let whole = protocol::frame(&protocol::encode_request(
         1,
+        0,
         &Request::Hello { version: PROTOCOL_VERSION },
     ));
     conn.write_all(&whole[..whole.len() - 3]).expect("send prefix");

@@ -63,6 +63,12 @@ pub(crate) struct CheckpointImage {
     pub(crate) nodes: Vec<CkptNode>,
     pub(crate) edges: Vec<CkptEdge>,
     pub(crate) tables: Vec<CkptTable>,
+    /// The commit-idempotency dedup entries `(token, generation)` in
+    /// insertion (eviction) order, so a retried commit stays
+    /// exactly-once across a crash+recovery.  Serialized as a trailing
+    /// section: checkpoints written before tokens existed simply end
+    /// early and decode to an empty table.
+    pub(crate) tokens: Vec<(u128, u64)>,
 }
 
 fn put_string_props(buf: &mut Vec<u8>, props: &[(String, Value)]) {
@@ -109,6 +115,12 @@ fn encode(image: &CheckpointImage) -> Vec<u8> {
                 put_value(&mut buf, v);
             }
         }
+    }
+    put_u32(&mut buf, image.tokens.len() as u32);
+    for (token, generation) in &image.tokens {
+        put_u64(&mut buf, (*token >> 64) as u64);
+        put_u64(&mut buf, *token as u64);
+        put_u64(&mut buf, *generation);
     }
     buf
 }
@@ -168,6 +180,17 @@ fn decode(payload: &[u8]) -> Result<CheckpointImage> {
         }
         tables.push(CkptTable { name, columns, slots });
     }
+    // Trailing idempotency-token section (absent in older checkpoints).
+    let mut tokens = Vec::new();
+    if !c.is_done() {
+        let token_count = c.u32()? as usize;
+        for _ in 0..token_count {
+            let hi = c.u64()?;
+            let lo = c.u64()?;
+            let generation = c.u64()?;
+            tokens.push((((hi as u128) << 64) | lo as u128, generation));
+        }
+    }
     if !c.is_done() {
         return Err(Error::instance("checkpoint: trailing bytes after image"));
     }
@@ -180,6 +203,7 @@ fn decode(payload: &[u8]) -> Result<CheckpointImage> {
         nodes,
         edges,
         tables,
+        tokens,
     })
 }
 
@@ -306,6 +330,7 @@ mod tests {
                     (true, vec![Value::Int(2), Value::Null]),
                 ],
             }],
+            tokens: vec![((5u128 << 64) | 6, generation)],
         }
     }
 
@@ -323,6 +348,7 @@ mod tests {
         assert_eq!(image.edges[0].props[0].1, Value::Float(2.5));
         assert_eq!(image.tables[0].slots.len(), 2);
         assert!(image.tables[0].slots[1].0, "tombstone survives the round trip");
+        assert_eq!(image.tokens, vec![((5u128 << 64) | 6, 12)]);
         assert!(list_checkpoints(&vfs, &dir).unwrap().iter().any(|(g, _)| *g == 12));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -16,9 +16,10 @@
 
 use crate::{CommitInfo, Delta, GraphStore, StoreError, StoreResult};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs of a [`GroupCommitter`].
 #[derive(Debug, Clone, Copy)]
@@ -57,9 +58,11 @@ struct Counters {
     backpressured: AtomicU64,
 }
 
-/// One queued delta plus the channel its result travels back on.
+/// One queued delta (with its optional idempotency token) plus the
+/// channel its result travels back on.
 struct Submission {
     delta: Delta,
+    token: Option<u128>,
     reply: SyncSender<StoreResult<CommitInfo>>,
 }
 
@@ -80,6 +83,37 @@ impl CommitTicket {
                 "group committer shut down before replying to a submission".into(),
             ))
         })
+    }
+
+    /// [`CommitTicket::wait`] bounded by a deadline.  `Err(self)` means
+    /// the deadline passed with the group still in flight: the commit
+    /// **may still land** (it is queued, not cancelled), so the caller
+    /// must treat the outcome as ambiguous — reply `DeadlineExceeded`
+    /// and rely on an idempotency token to make the retry exactly-once.
+    pub fn wait_deadline(
+        self,
+        deadline: Instant,
+    ) -> std::result::Result<StoreResult<CommitInfo>, CommitTicket> {
+        loop {
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                // One last non-blocking look: the reply may already be
+                // queued, in which case the commit is not ambiguous.
+                return match self.rx.try_recv() {
+                    Ok(result) => Ok(result),
+                    Err(_) => Err(self),
+                };
+            };
+            match self.rx.recv_timeout(left) {
+                Ok(result) => return Ok(result),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Ok(Err(StoreError::Internal(
+                        "group committer shut down before replying to a submission".into(),
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -117,12 +151,12 @@ impl GroupCommitter {
                     let mut deltas = Vec::with_capacity(batch.len());
                     let mut replies = Vec::with_capacity(batch.len());
                     for s in batch {
-                        deltas.push(s.delta);
+                        deltas.push((s.delta, s.token));
                         replies.push(s.reply);
                     }
                     thread_counters.groups.fetch_add(1, Ordering::Relaxed);
                     thread_counters.members.fetch_add(replies.len() as u64, Ordering::Relaxed);
-                    let results = store.commit_group(deltas);
+                    let results = store.commit_group_tagged(deltas);
                     debug_assert_eq!(results.len(), replies.len());
                     for (result, reply) in results.into_iter().zip(replies) {
                         // A submitter that stopped waiting is its own
@@ -138,11 +172,17 @@ impl GroupCommitter {
     /// Queues a delta, **blocking** while the queue is full, and
     /// returns the ticket its result arrives on.
     pub fn submit(&self, delta: Delta) -> CommitTicket {
+        self.submit_tagged(delta, None)
+    }
+
+    /// [`GroupCommitter::submit`] with an optional idempotency token
+    /// (see [`GraphStore::commit_tagged`]).
+    pub fn submit_tagged(&self, delta: Delta, token: Option<u128>) -> CommitTicket {
         let (reply, rx) = sync_channel(1);
         let tx = self.tx.as_ref().expect("sender lives until drop");
         // The worker owns the receiver for the committer's lifetime, so
         // a send only fails after drop (unreachable from `&self`).
-        tx.send(Submission { delta, reply }).expect("group-commit worker is alive");
+        tx.send(Submission { delta, token, reply }).expect("group-commit worker is alive");
         CommitTicket { rx }
     }
 
@@ -150,9 +190,18 @@ impl GroupCommitter {
     /// delta back (`Err`) so the caller can reply with backpressure
     /// instead of stalling.
     pub fn try_submit(&self, delta: Delta) -> std::result::Result<CommitTicket, Delta> {
+        self.try_submit_tagged(delta, None)
+    }
+
+    /// [`GroupCommitter::try_submit`] with an optional idempotency token.
+    pub fn try_submit_tagged(
+        &self,
+        delta: Delta,
+        token: Option<u128>,
+    ) -> std::result::Result<CommitTicket, Delta> {
         let (reply, rx) = sync_channel(1);
         let tx = self.tx.as_ref().expect("sender lives until drop");
-        match tx.try_send(Submission { delta, reply }) {
+        match tx.try_send(Submission { delta, token, reply }) {
             Ok(()) => Ok(CommitTicket { rx }),
             Err(TrySendError::Full(s)) | Err(TrySendError::Disconnected(s)) => {
                 self.counters.backpressured.fetch_add(1, Ordering::Relaxed);

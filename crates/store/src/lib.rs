@@ -266,6 +266,57 @@ pub struct StoreStats {
     /// Commits aborted by an unrecoverable WAL write failure (rolled
     /// back cleanly; the store stayed live).
     pub wal_append_failures: u64,
+    /// Commits answered from the idempotency dedup table: a retried
+    /// token whose original commit already landed (the reply carries the
+    /// original generation; nothing is re-applied).
+    pub idempotent_replays: u64,
+}
+
+/// How many `(token, generation)` dedup entries the store retains.  A
+/// retry arriving after its token was evicted re-applies the delta; the
+/// bound is sized far past any sane retry window (retries happen within
+/// seconds, eviction after thousands of later tokened commits).
+const IDEMPOTENCY_RETENTION: usize = 4096;
+
+/// The commit-idempotency dedup table: client token → the generation its
+/// commit produced, bounded FIFO.  Only *successful* commits are
+/// recorded — an aborted or rejected attempt leaves no entry, so its
+/// retry runs the full commit path again.
+#[derive(Debug, Default)]
+struct IdempotencyTable {
+    by_token: HashMap<u128, u64>,
+    /// Insertion order, for FIFO eviction and checkpoint serialization.
+    fifo: VecDeque<u128>,
+}
+
+impl IdempotencyTable {
+    fn lookup(&self, token: u128) -> Option<u64> {
+        self.by_token.get(&token).copied()
+    }
+
+    fn record(&mut self, token: u128, generation: u64) {
+        if self.by_token.insert(token, generation).is_none() {
+            self.fifo.push_back(token);
+        }
+        while self.fifo.len() > IDEMPOTENCY_RETENTION {
+            if let Some(evicted) = self.fifo.pop_front() {
+                self.by_token.remove(&evicted);
+            }
+        }
+    }
+
+    /// Entries in insertion order (the shape checkpoints persist).
+    fn entries(&self) -> Vec<(u128, u64)> {
+        self.fifo.iter().filter_map(|t| self.by_token.get(t).map(|g| (*t, *g))).collect()
+    }
+
+    fn from_entries(entries: Vec<(u128, u64)>) -> IdempotencyTable {
+        let mut table = IdempotencyTable::default();
+        for (token, generation) in entries {
+            table.record(token, generation);
+        }
+        table
+    }
 }
 
 /// The writer-side state: master graph, stable-key maps, per-table logs.
@@ -308,6 +359,9 @@ struct StoreState {
     fence: Option<Fence>,
     fence_events: u64,
     fenced_commits: u64,
+    /// Commit-idempotency dedup table (token → generation).
+    idempotency: IdempotencyTable,
+    idempotent_replays: u64,
 }
 
 /// A writable graph database: one master graph, one embedded batch
@@ -405,6 +459,8 @@ impl GraphStore {
                 fence: None,
                 fence_events: 0,
                 fenced_commits: 0,
+                idempotency: IdempotencyTable::default(),
+                idempotent_replays: 0,
             }),
         })
     }
@@ -585,7 +641,7 @@ impl GraphStore {
                     ));
                 }
                 let generation = rec.generation;
-                store.commit(rec.delta).map_err(|e| {
+                store.commit_tagged(rec.delta, rec.token).map_err(|e| {
                     StoreError::corrupt(
                         seg_path,
                         format!("wal replay of generation {generation} failed: {e}"),
@@ -776,6 +832,8 @@ impl GraphStore {
                 fence: None,
                 fence_events: 0,
                 fenced_commits: 0,
+                idempotency: IdempotencyTable::from_entries(image.tokens),
+                idempotent_replays: 0,
             }),
         })
     }
@@ -905,6 +963,7 @@ impl GraphStore {
             fenced_commits: st.fenced_commits,
             wal_retries: st.durable.as_ref().map_or(0, |d| d.wal_retries),
             wal_append_failures: st.durable.as_ref().map_or(0, |d| d.wal_append_failures),
+            idempotent_replays: st.idempotent_replays,
         }
     }
 
@@ -1020,12 +1079,45 @@ impl GraphStore {
     ///   mid-mutation; the store fences with suspect in-memory state and
     ///   only a reopen recovers.
     pub fn commit(&self, delta: Delta) -> StoreResult<CommitInfo> {
+        self.commit_tagged(delta, None)
+    }
+
+    /// [`GraphStore::commit`] with an optional client-generated
+    /// **idempotency token**.  The token is recorded in the commit's WAL
+    /// record and in a bounded dedup table; a later commit carrying the
+    /// same token is **not re-applied** — it returns a [`CommitInfo`]
+    /// whose `generation` is the original commit's generation (and whose
+    /// key lists are empty, since nothing new was assigned).  This is
+    /// what makes a retried commit after an ambiguous disconnect or
+    /// timeout exactly-once.  Only successful commits are recorded:
+    /// rejected or aborted attempts leave no entry, so their retries run
+    /// the full commit path.
+    pub fn commit_tagged(&self, delta: Delta, token: Option<u128>) -> StoreResult<CommitInfo> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(reason) = st.fence.as_ref().map(|f| f.reason.clone()) {
             st.fenced_commits += 1;
             return Err(StoreError::Fenced { reason });
         }
+        if let Some(t) = token {
+            if let Some(generation) = st.idempotency.lookup(t) {
+                st.idempotent_replays += 1;
+                return Ok(CommitInfo {
+                    generation,
+                    published_generation: st.generation,
+                    snapshot: Arc::clone(&st.published_snapshot),
+                    node_keys: Vec::new(),
+                    edge_keys: Vec::new(),
+                    touched_tables: Vec::new(),
+                });
+            }
+        }
         if delta.is_empty() {
+            // Empty commits publish nothing, but a token still pins the
+            // reply generation so a retry answers consistently.
+            if let Some(t) = token {
+                let generation = st.generation;
+                st.idempotency.record(t, generation);
+            }
             return Ok(CommitInfo {
                 generation: st.generation,
                 published_generation: st.generation,
@@ -1055,7 +1147,7 @@ impl GraphStore {
                 // Invariant: `durable` checked non-None two lines up and
                 // the lock is held throughout.
                 let d = st.durable.as_mut().expect("durable checked above");
-                wal_append_with_retry(d, next_generation, &delta, true)
+                wal_append_with_retry(d, next_generation, token, &delta, true)
             };
             match outcome {
                 WalOutcome::Appended { bytes } => {
@@ -1141,6 +1233,13 @@ impl GraphStore {
         self.engine.swap_snapshot(Arc::clone(&snapshot));
         st.generation += 1;
         st.commits += 1;
+        // Record the token only now that the commit is fully published:
+        // a failed attempt must leave no dedup entry.  (Recording before
+        // the periodic checkpoint below lets the checkpoint carry it.)
+        if let Some(t) = token {
+            let generation = st.generation;
+            st.idempotency.record(t, generation);
+        }
         // Periodic checkpoint: bounds replay cost and lets old WAL
         // segments be vacuumed.  The commit itself already succeeded and
         // published; a checkpoint failure is recorded, not propagated —
@@ -1201,6 +1300,19 @@ impl GraphStore {
     /// the WAL proves.  Readers keep the last published generation
     /// either way.
     pub fn commit_group(&self, deltas: Vec<Delta>) -> Vec<StoreResult<CommitInfo>> {
+        self.commit_group_tagged(deltas.into_iter().map(|d| (d, None)).collect())
+    }
+
+    /// [`GraphStore::commit_group`] with an optional idempotency token
+    /// per member — the group-commit face of
+    /// [`GraphStore::commit_tagged`].  A member whose token already
+    /// committed is answered from the dedup table (original generation,
+    /// nothing re-applied) and consumes no WAL record or generation; the
+    /// rest of the group proceeds normally.
+    pub fn commit_group_tagged(
+        &self,
+        deltas: Vec<(Delta, Option<u128>)>,
+    ) -> Vec<StoreResult<CommitInfo>> {
         if deltas.is_empty() {
             return Vec::new();
         }
@@ -1216,6 +1328,7 @@ impl GraphStore {
         struct Accepted {
             idx: usize,
             generation: u64,
+            token: Option<u128>,
             node_keys: Vec<NodeKey>,
             edge_keys: Vec<EdgeKey>,
             touched: Vec<String>,
@@ -1235,8 +1348,29 @@ impl GraphStore {
         let mut folded: BTreeMap<String, (usize, TableDelta)> = BTreeMap::new();
         let mut appended_any = false;
         let mut fence_abort: Option<String> = None;
-        'members: for (idx, delta) in deltas.iter().enumerate() {
+        'members: for (idx, (delta, token)) in deltas.iter().enumerate() {
+            if let Some(t) = token {
+                if let Some(generation) = st.idempotency.lookup(*t) {
+                    // Replay hit: the original commit is already durable
+                    // and published, so answer immediately — this member
+                    // consumes no WAL record, generation, or apply work.
+                    st.idempotent_replays += 1;
+                    results[idx] = Some(Ok(CommitInfo {
+                        generation,
+                        published_generation: st.generation,
+                        snapshot: Arc::clone(&st.published_snapshot),
+                        node_keys: Vec::new(),
+                        edge_keys: Vec::new(),
+                        touched_tables: Vec::new(),
+                    }));
+                    continue;
+                }
+            }
             if delta.is_empty() {
+                if let Some(t) = token {
+                    let generation = st.generation;
+                    st.idempotency.record(*t, generation);
+                }
                 empties.push(idx);
                 continue;
             }
@@ -1255,7 +1389,7 @@ impl GraphStore {
                     // lock is held throughout.
                     let d = st.durable.as_mut().expect("durable checked above");
                     // Append + flush only: the group shares one fsync.
-                    wal_append_with_retry(d, next_generation, delta, false)
+                    wal_append_with_retry(d, next_generation, *token, delta, false)
                 };
                 match outcome {
                     WalOutcome::Appended { bytes } => {
@@ -1321,6 +1455,7 @@ impl GraphStore {
             accepted.push(Accepted {
                 idx,
                 generation: next_generation,
+                token: *token,
                 node_keys: applied.node_keys,
                 edge_keys: applied.edge_keys,
                 touched,
@@ -1409,6 +1544,13 @@ impl GraphStore {
         st.published_snapshot = Arc::clone(&snapshot);
         self.engine.swap_snapshot(Arc::clone(&snapshot));
         st.commits += accepted.len() as u64;
+        // Record member tokens only now that the group is published (and
+        // before the periodic checkpoint, so it carries them).
+        for m in &accepted {
+            if let Some(t) = m.token {
+                st.idempotency.record(t, m.generation);
+            }
+        }
         let published_generation = st.generation;
         let due = st.durable.as_ref().is_some_and(|d| {
             d.options.checkpoint_interval > 0
@@ -1510,13 +1652,14 @@ enum WalOutcome {
 fn wal_append_with_retry(
     d: &mut DurableState,
     generation: u64,
+    token: Option<u128>,
     delta: &Delta,
     fsync: bool,
 ) -> WalOutcome {
     let max_retries = d.options.wal_retry_attempts;
     let mut attempt = 0u32;
     loop {
-        match d.wal.append(generation, delta) {
+        match d.wal.append(generation, token, delta) {
             Ok(bytes) => {
                 if fsync && d.options.fsync_each_commit {
                     if let Err(e) = d.wal.sync() {
@@ -1596,6 +1739,7 @@ fn build_checkpoint_image(st: &StoreState) -> checkpoint::CheckpointImage {
         nodes,
         edges,
         tables,
+        tokens: st.idempotency.entries(),
     }
 }
 
@@ -2486,7 +2630,8 @@ mod tests {
             assert_eq!(live.columns, cold_table.columns, "columns of `{name}`");
             assert!(
                 live.rows_bag_equal(cold_table),
-                "rows of `{name}` diverge from cold freeze:\nincremental:\n{live}\ncold:\n{cold_table}"
+                "rows of `{name}` diverge from cold freeze:\nincremental:\n{live}
+cold:\n{cold_table}"
             );
             let columnar = snap
                 .sql_columnar(&SqlTarget::Induced)
@@ -2901,7 +3046,11 @@ mod tests {
         for (qa, qb) in ra.outcomes.iter().zip(rb.outcomes.iter()) {
             let (ta, tb) = (qa.result.as_ref().unwrap(), qb.result.as_ref().unwrap());
             assert_eq!(ta.columns, tb.columns);
-            assert!(ta.rows_bag_equal(tb), "query results diverge:\n{ta}\nvs\n{tb}");
+            assert!(
+                ta.rows_bag_equal(tb),
+                "query results diverge:\n{ta}
+vs\n{tb}"
+            );
         }
         assert_matches_cold_freeze(recovered);
     }
@@ -3559,5 +3708,127 @@ mod tests {
         assert!(store.node_key("EMP", &Value::Int(1)).is_none());
         assert_eq!(store.node_directory().len(), 3);
         assert_matches_cold_freeze(&store);
+    }
+
+    // ----------------------------------------------------- idempotency
+
+    #[test]
+    fn tagged_commit_replays_instead_of_reapplying() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let token = 0xABCD_u128;
+        let mut d = Delta::new();
+        d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        let first = store.commit_tagged(d.clone(), Some(token)).unwrap();
+        assert_eq!(first.generation, 1);
+        // The retry would be Rejected (duplicate id 3) if it re-applied;
+        // the dedup table answers it with the original generation.
+        let replay = store.commit_tagged(d.clone(), Some(token)).unwrap();
+        assert_eq!(replay.generation, 1);
+        assert!(replay.node_keys.is_empty(), "nothing new is assigned on replay");
+        assert_eq!(store.stats().commits, 1, "exactly one commit happened");
+        assert_eq!(store.stats().idempotent_replays, 1);
+        // A different token is a different logical commit: it runs the
+        // full path and (here) rejects on the duplicate key.
+        assert!(matches!(store.commit_tagged(d, Some(token + 1)), Err(StoreError::Rejected(_))));
+        assert_eq!(store.stats().rejected_commits, 1);
+        assert_matches_cold_freeze(&store);
+    }
+
+    #[test]
+    fn rejected_tagged_commits_leave_no_dedup_entry() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let token = 7_u128;
+        let mut dup = Delta::new();
+        dup.add_node("EMP", [("id", Value::Int(1)), ("name", Value::str("dup"))]);
+        assert!(matches!(store.commit_tagged(dup, Some(token)), Err(StoreError::Rejected(_))));
+        // The same token with a *valid* delta must commit for real — a
+        // failed attempt records nothing.
+        let mut ok = Delta::new();
+        ok.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        let info = store.commit_tagged(ok, Some(token)).unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(store.stats().idempotent_replays, 0);
+    }
+
+    #[test]
+    fn group_commit_dedupes_tagged_members() {
+        let store = GraphStore::open(emp_schema(), emp_graph()).unwrap();
+        let mut a = Delta::new();
+        a.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+        let mut b = Delta::new();
+        b.add_node("EMP", [("id", Value::Int(4)), ("name", Value::str("D"))]);
+        let r = store.commit_group_tagged(vec![(a.clone(), Some(1)), (b, Some(2))]);
+        assert_eq!(r[0].as_ref().unwrap().generation, 1);
+        assert_eq!(r[1].as_ref().unwrap().generation, 2);
+        // Retry member 1 inside a later group alongside a fresh member.
+        let mut c = Delta::new();
+        c.add_node("EMP", [("id", Value::Int(5)), ("name", Value::str("E"))]);
+        let r = store.commit_group_tagged(vec![(a, Some(1)), (c, Some(3))]);
+        assert_eq!(r[0].as_ref().unwrap().generation, 1, "replayed, not re-applied");
+        assert_eq!(r[1].as_ref().unwrap().generation, 3, "fresh member gets the next generation");
+        assert_eq!(store.stats().commits, 3);
+        assert_eq!(store.stats().idempotent_replays, 1);
+        assert_matches_cold_freeze(&store);
+    }
+
+    #[test]
+    fn idempotency_survives_crash_recovery_via_wal_and_checkpoint() {
+        let dir = scratch("idem");
+        let token = 0x1234_5678_u128;
+        {
+            let store = GraphStore::builder(emp_schema())
+                .bootstrap(emp_graph())
+                .durable(&dir)
+                .open()
+                .unwrap();
+            let mut d = Delta::new();
+            d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+            assert_eq!(store.commit_tagged(d, Some(token)).unwrap().generation, 1);
+        }
+        // Recovery replays the WAL record, token included: the dedup
+        // table repopulates and the retry replays.
+        {
+            let store = GraphStore::builder(emp_schema())
+                .bootstrap(emp_graph())
+                .durable(&dir)
+                .open()
+                .unwrap();
+            let mut d = Delta::new();
+            d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+            let replay = store.commit_tagged(d, Some(token)).unwrap();
+            assert_eq!(replay.generation, 1);
+            assert_eq!(store.stats().idempotent_replays, 1);
+            // Checkpoint now: the token must survive via the checkpoint
+            // image too (the WAL segment gets vacuumed).
+            store.checkpoint_now().unwrap();
+        }
+        {
+            let store = GraphStore::builder(emp_schema())
+                .bootstrap(emp_graph())
+                .durable(&dir)
+                .open()
+                .unwrap();
+            let mut d = Delta::new();
+            d.add_node("EMP", [("id", Value::Int(3)), ("name", Value::str("C"))]);
+            let replay = store.commit_tagged(d, Some(token)).unwrap();
+            assert_eq!(replay.generation, 1, "token restored from the checkpoint image");
+            assert_eq!(store.stats().commits, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idempotency_table_evicts_fifo_at_retention() {
+        let mut t = IdempotencyTable::default();
+        for i in 0..(IDEMPOTENCY_RETENTION as u128 + 10) {
+            t.record(i, i as u64 + 1);
+        }
+        assert_eq!(t.fifo.len(), IDEMPOTENCY_RETENTION);
+        assert_eq!(t.lookup(0), None, "oldest entries evicted");
+        assert_eq!(t.lookup(10), Some(11), "survivors intact");
+        let entries = t.entries();
+        assert_eq!(entries.len(), IDEMPOTENCY_RETENTION);
+        let rebuilt = IdempotencyTable::from_entries(entries);
+        assert_eq!(rebuilt.lookup(10), Some(11));
     }
 }

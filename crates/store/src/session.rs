@@ -21,6 +21,7 @@ use graphiti_graph::{GraphInstance, GraphSchema};
 use graphiti_relational::{RelInstance, Table};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Acknowledgement of a committed delta.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,21 @@ pub struct ServiceStats {
     pub group_members: u64,
     /// Submissions refused with backpressure.
     pub backpressured: u64,
+    /// Commits answered from the idempotency dedup table (a retried
+    /// token whose original commit already landed).
+    pub idempotent_replays: u64,
+    /// Requests refused or abandoned because their deadline budget
+    /// expired (server-side; 0 for an embedded service).
+    pub deadlines_exceeded: u64,
+    /// Idle connections reaped by the server's lifecycle governor
+    /// (server-side; 0 for an embedded service).
+    pub connections_reaped: u64,
+    /// Requests refused with a typed `Draining` reply during shutdown
+    /// (server-side; 0 for an embedded service).
+    pub draining_refusals: u64,
+    /// Wall-clock microseconds the last graceful drain took
+    /// (server-side; 0 until a drain has run).
+    pub drain_micros: u64,
 }
 
 /// One logical client of a graphiti service: a pinned read generation
@@ -169,6 +185,48 @@ impl Graphiti {
         }
     }
 
+    /// [`Graphiti::try_commit`] with an optional idempotency token and a
+    /// wait deadline — the serving front-end's commit path.
+    ///
+    /// Outcomes:
+    /// - `Ok(Ok(ack))` — committed (or answered from the dedup table).
+    /// - `Ok(Err(delta))` — the group queue was full; reply backpressure.
+    /// - `Err(DeadlineExceeded)` — the deadline passed while the commit
+    ///   was queued.  The commit **may still land** (the submission is
+    ///   not cancelled), so the outcome is ambiguous; the token is what
+    ///   makes a retry exactly-once.
+    /// - `Err(other)` — the commit itself failed.
+    pub fn try_commit_tagged(
+        &self,
+        delta: Delta,
+        token: Option<u128>,
+        deadline: Option<Instant>,
+    ) -> ApiResult<std::result::Result<CommitAck, Delta>> {
+        let ack = |info: crate::CommitInfo| CommitAck {
+            generation: info.generation,
+            published_generation: info.published_generation,
+        };
+        match &self.committer {
+            Some(c) => match c.try_submit_tagged(delta, token) {
+                Ok(ticket) => match deadline {
+                    Some(d) => match ticket.wait_deadline(d) {
+                        Ok(result) => Ok(Ok(ack(result?))),
+                        Err(_abandoned) => Err(ApiError::DeadlineExceeded(
+                            "deadline expired while the commit was queued; the write may still                              land — retry with the same idempotency token"
+                                .into(),
+                        )),
+                    },
+                    None => Ok(Ok(ack(ticket.wait()?))),
+                },
+                Err(delta) => Ok(Err(delta)),
+            },
+            // Solo path: the store's mutex is the only queue.  The lock
+            // is not abandonable, so the deadline is checked by the
+            // caller before entering; a token still dedupes retries.
+            None => Ok(Ok(ack(self.store.commit_tagged(delta, token)?))),
+        }
+    }
+
     /// Service-level counters.
     pub fn service_stats(&self) -> ServiceStats {
         let s = self.store.stats();
@@ -187,6 +245,13 @@ impl Graphiti {
             groups_formed: g.groups_formed,
             group_members: g.group_members,
             backpressured: g.backpressured,
+            idempotent_replays: s.idempotent_replays,
+            // The lifecycle counters are owned by the serving layer; a
+            // wire server merges its own values into this snapshot.
+            deadlines_exceeded: 0,
+            connections_reaped: 0,
+            draining_refusals: 0,
+            drain_micros: 0,
         }
     }
 

@@ -172,10 +172,26 @@ pub(crate) fn put_delta(buf: &mut Vec<u8>, delta: &Delta) {
     }
 }
 
-/// Serializes one record payload: generation + the delta's operations.
-fn encode_record(generation: u64, delta: &Delta) -> Vec<u8> {
+/// Record flag bit: the payload carries a 16-byte idempotency token
+/// between the flags byte and the delta.
+const FLAG_TOKEN: u8 = 1;
+
+/// Serializes one record payload: generation, a flags byte, the
+/// commit's idempotency token (when the client supplied one), then the
+/// delta's operations.  The token rides in the WAL so recovery can
+/// rebuild the store's dedup table and a retried commit stays
+/// exactly-once across a crash.
+fn encode_record(generation: u64, token: Option<u128>, delta: &Delta) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     put_u64(&mut buf, generation);
+    match token {
+        Some(t) => {
+            buf.push(FLAG_TOKEN);
+            put_u64(&mut buf, (t >> 64) as u64);
+            put_u64(&mut buf, t as u64);
+        }
+        None => buf.push(0),
+    }
     put_delta(&mut buf, delta);
     buf
 }
@@ -313,11 +329,22 @@ fn delta_from_ops(ops: Vec<Mutation>) -> Delta {
 fn decode_record(payload: &[u8]) -> Result<WalRecord> {
     let mut c = Cursor::new(payload);
     let generation = c.u64()?;
+    let flags = c.u8()?;
+    if flags & !FLAG_TOKEN != 0 {
+        return Err(Error::instance("wal: unknown record flags"));
+    }
+    let token = if flags & FLAG_TOKEN != 0 {
+        let hi = c.u64()?;
+        let lo = c.u64()?;
+        Some(((hi as u128) << 64) | lo as u128)
+    } else {
+        None
+    };
     let delta = c.delta()?;
     if !c.is_done() {
         return Err(Error::instance("wal: trailing bytes after record payload"));
     }
-    Ok(WalRecord { generation, delta })
+    Ok(WalRecord { generation, token, delta })
 }
 
 // ----------------------------------------------------------------- segments
@@ -327,6 +354,8 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord> {
 #[derive(Debug)]
 pub(crate) struct WalRecord {
     pub(crate) generation: u64,
+    /// The client-supplied idempotency token, if the commit carried one.
+    pub(crate) token: Option<u128>,
     pub(crate) delta: Delta,
 }
 
@@ -444,9 +473,10 @@ impl WalWriter {
     pub(crate) fn append(
         &mut self,
         generation: u64,
+        token: Option<u128>,
         delta: &Delta,
     ) -> std::result::Result<u64, AppendError> {
-        let payload = encode_record(generation, delta);
+        let payload = encode_record(generation, token, delta);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
@@ -534,13 +564,29 @@ mod tests {
     #[test]
     fn record_round_trip() {
         let delta = sample_delta();
-        let payload = encode_record(42, &delta);
+        let payload = encode_record(42, None, &delta);
         let rec = decode_record(&payload).unwrap();
         assert_eq!(rec.generation, 42);
+        assert_eq!(rec.token, None);
         assert_eq!(rec.delta.ops().len(), delta.ops().len());
         assert_eq!(rec.delta.nodes_added, 2);
         assert_eq!(rec.delta.edges_added, 1);
         assert_eq!(format!("{:?}", rec.delta.ops()), format!("{:?}", delta.ops()));
+    }
+
+    #[test]
+    fn tokened_record_round_trip() {
+        let delta = sample_delta();
+        let token = (7u128 << 64) | 0xDEAD_BEEF;
+        let payload = encode_record(9, Some(token), &delta);
+        let rec = decode_record(&payload).unwrap();
+        assert_eq!(rec.generation, 9);
+        assert_eq!(rec.token, Some(token));
+        assert_eq!(format!("{:?}", rec.delta.ops()), format!("{:?}", delta.ops()));
+        // Unknown flag bits are refused, not silently skipped.
+        let mut bad = encode_record(9, None, &delta);
+        bad[8] |= 0x80;
+        assert!(decode_record(&bad).is_err());
     }
 
     #[test]
@@ -549,8 +595,8 @@ mod tests {
         let vfs = StdVfs;
         let path = segment_path(&dir, 0);
         let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
-        w.append(1, &sample_delta()).unwrap();
-        w.append(2, &sample_delta()).unwrap();
+        w.append(1, None, &sample_delta()).unwrap();
+        w.append(2, None, &sample_delta()).unwrap();
         w.sync().unwrap();
         let full = w.len();
         let scan = read_segment(&vfs, &path).unwrap();
@@ -584,7 +630,7 @@ mod tests {
         let vfs = StdVfs;
         let path = segment_path(&dir, 7);
         let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
-        w.append(1, &sample_delta()).unwrap();
+        w.append(1, None, &sample_delta()).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
@@ -615,13 +661,13 @@ mod tests {
         let vfs = crate::vfs::FaultVfs::default();
         let path = segment_path(&dir, 0);
         let mut w = WalWriter::create(&vfs, path.clone()).unwrap();
-        w.append(1, &sample_delta()).unwrap();
+        w.append(1, None, &sample_delta()).unwrap();
         let one = w.len();
         // Short-write the next record, then let the rollback set_len
         // succeed: the scan must still see exactly one intact record.
         let at = vfs.ops() + 1;
         vfs.fail_nth_kind(at, crate::vfs::FaultKind::ShortWrite);
-        let err = w.append(2, &sample_delta()).unwrap_err();
+        let err = w.append(2, None, &sample_delta()).unwrap_err();
         assert!(err.rolled_back, "one-shot fault lets the rollback succeed");
         assert!(err.error.is_io());
         assert_eq!(w.len(), one);
@@ -630,7 +676,7 @@ mod tests {
         assert!(!scan.torn, "the torn tail was rolled back");
         // A sticky fault makes the rollback itself fail.
         vfs.fail_from(vfs.ops() + 1);
-        let err = w.append(3, &sample_delta()).unwrap_err();
+        let err = w.append(3, None, &sample_delta()).unwrap_err();
         assert!(!err.rolled_back, "sticky fault blocks the rollback too");
         vfs.clear();
         std::fs::remove_dir_all(&dir).ok();

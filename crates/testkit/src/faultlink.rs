@@ -1,0 +1,207 @@
+//! `FaultLink`: deterministic wire-fault injection for socket traffic.
+//!
+//! The store's `FaultVfs` proved out a method — make failure a
+//! *scheduled, deterministic* event indexed by operation count, then
+//! sweep the index over a whole workload and assert invariants after
+//! every single fault point.  `FaultLink` is the same philosophy one
+//! layer up: a TCP proxy that forwards bytes between a client and a
+//! server, counting **transfer operations** (each successful read of a
+//! chunk in either direction is one op, shared across both directions
+//! and all connections), and injecting one configured fault when the
+//! counter reaches a target index:
+//!
+//! * [`LinkFault::Disconnect`] — drop the connection instead of
+//!   forwarding the chunk (the bytes vanish; both sides see a dead
+//!   peer);
+//! * [`LinkFault::Stall`] — sit on the chunk for a fixed duration
+//!   before forwarding it (exercising idle/stall/deadline governors);
+//! * [`LinkFault::TornWrite`] — forward only the first half of the
+//!   chunk, then drop the connection (a torn frame mid-flight).
+//!
+//! The op counter is 1-based and monotone across the proxy's lifetime,
+//! so a sweep driver can probe a workload once (counting total ops with
+//! no fault armed), then re-run it once per index — exactly the
+//! probe-then-sweep shape of the store's chaos tests.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scheduled wire fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Drop the connection instead of forwarding the chunk.
+    Disconnect,
+    /// Delay the chunk this long before forwarding it.
+    Stall(Duration),
+    /// Forward only the first half of the chunk, then drop the
+    /// connection.
+    TornWrite,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    /// Transfer ops performed so far (1-based: the first chunk is op 1).
+    ops: AtomicU64,
+    /// The op index at which to inject; 0 means no fault armed.
+    fail_at: AtomicU64,
+    /// Encoded fault kind: 0 disconnect, 1 torn write, else stall ms.
+    fault_code: AtomicU64,
+    stop: AtomicBool,
+}
+
+const FAULT_DISCONNECT: u64 = u64::MAX;
+const FAULT_TORN: u64 = u64::MAX - 1;
+
+/// A fault-injecting TCP proxy in front of one target address.
+///
+/// Connect clients to [`FaultLink::addr`]; each accepted connection is
+/// paired with a fresh connection to the target and pumped in both
+/// directions until one side closes or a fault kills it.
+#[derive(Debug)]
+pub struct FaultLink {
+    addr: SocketAddr,
+    state: Arc<LinkState>,
+    accepter: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultLink {
+    /// Starts a proxy on an OS-assigned localhost port, forwarding to
+    /// `target`.
+    pub fn start(target: SocketAddr) -> std::io::Result<FaultLink> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(LinkState {
+            ops: AtomicU64::new(0),
+            fail_at: AtomicU64::new(0),
+            fault_code: AtomicU64::new(FAULT_DISCONNECT),
+            stop: AtomicBool::new(false),
+        });
+        // Short accept timeout so `stop` is observed promptly.
+        listener.set_nonblocking(false)?;
+        let accept_state = Arc::clone(&state);
+        let accepter =
+            std::thread::Builder::new().name("faultlink-accept".into()).spawn(move || {
+                // A connect-poke from Drop unblocks accept(); afterwards
+                // the stop flag ends the loop.
+                for conn in listener.incoming() {
+                    if accept_state.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(client) = conn else { continue };
+                    let Ok(server) = TcpStream::connect(target) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    pump_pair(client, server, Arc::clone(&accept_state));
+                }
+            })?;
+        Ok(FaultLink { addr, state, accepter: Some(accepter) })
+    }
+
+    /// The proxy's listening address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Transfer ops performed so far across all connections and both
+    /// directions.
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Arms `fault` to fire at the `k`-th transfer op (1-based,
+    /// counted from proxy start).  Passing `0` disarms.
+    pub fn fail_nth(&self, k: u64, fault: LinkFault) {
+        let code = match fault {
+            LinkFault::Disconnect => FAULT_DISCONNECT,
+            LinkFault::TornWrite => FAULT_TORN,
+            LinkFault::Stall(d) => (d.as_millis() as u64).min(FAULT_TORN - 1),
+        };
+        self.state.fault_code.store(code, Ordering::SeqCst);
+        self.state.fail_at.store(k, Ordering::SeqCst);
+    }
+
+    /// Disarms any scheduled fault.
+    pub fn disarm(&self) {
+        self.state.fail_at.store(0, Ordering::SeqCst);
+    }
+}
+
+impl Drop for FaultLink {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Poke the accepter out of accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accepter.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns the two one-directional pumps for one proxied connection.
+fn pump_pair(client: TcpStream, server: TcpStream, state: Arc<LinkState>) {
+    let (Ok(client_rx), Ok(server_rx)) = (client.try_clone(), server.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let up_state = Arc::clone(&state);
+    let _ = std::thread::Builder::new()
+        .name("faultlink-up".into())
+        .spawn(move || pump(client_rx, server, up_state));
+    let _ = std::thread::Builder::new()
+        .name("faultlink-down".into())
+        .spawn(move || pump(server_rx, client, state));
+}
+
+/// Forwards chunks from `from` to `to`, injecting the armed fault when
+/// the global op counter hits the target.  Read timeouts keep the pump
+/// responsive to the stop flag.
+fn pump(mut from: TcpStream, mut to: TcpStream, state: Arc<LinkState>) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let op = state.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let fail_at = state.fail_at.load(Ordering::SeqCst);
+        if fail_at != 0 && op == fail_at {
+            match state.fault_code.load(Ordering::SeqCst) {
+                FAULT_DISCONNECT => break,
+                FAULT_TORN => {
+                    let _ = to.write_all(&buf[..n / 2]);
+                    let _ = to.flush();
+                    break;
+                }
+                stall_ms => {
+                    std::thread::sleep(Duration::from_millis(stall_ms));
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    // Tear down both directions so the peers observe the death.
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -16,7 +16,10 @@
 //! * [`oracle`] — [`differential_oracle`](oracle::differential_oracle), the
 //!   executable form of the paper's Theorem 5.7: evaluating a Cypher query
 //!   on a graph must agree with evaluating its transpilation on the
-//!   SDT-image of that graph.
+//!   SDT-image of that graph;
+//! * [`faultlink`] — [`FaultLink`](faultlink::FaultLink), a
+//!   deterministic fault-injecting TCP proxy (disconnect, stall, torn
+//!   write by operation index) for wire-level chaos sweeps.
 //!
 //! # Example
 //!
@@ -30,10 +33,12 @@
 //! }
 //! ```
 
+pub mod faultlink;
 pub mod fixtures;
 pub mod oracle;
 pub mod strategies;
 
+pub use faultlink::{FaultLink, LinkFault};
 pub use oracle::{
     differential_oracle, differential_oracle_against_sql, differential_oracle_batch,
     differential_oracle_on, OracleError,
