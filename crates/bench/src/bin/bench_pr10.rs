@@ -1,0 +1,508 @@
+//! PR 10 observability harness: the always-on metrics + tracing layer
+//! must be happy-path cheap, query profiles must agree with the results
+//! they describe, and the live introspection surface must round-trip
+//! over a real socket.
+//!
+//! Measurements:
+//!
+//! * **observability-on relative throughput** — single-session commit
+//!   throughput over a unix-socket server (the PR 8/PR 9 hot path),
+//!   a plain client (trace id 0; the server still mints ids and runs
+//!   the full span pipeline) vs a client stamping a distinct trace id
+//!   on every commit.  With metrics and tracing live on both legs, the
+//!   ratio prices the *client-visible* observability machinery — the
+//!   extra wire bytes plus the per-request span bookkeeping — and is
+//!   gated **absolutely** via `floors.obs_relative_throughput >= 0.95`
+//!   (overhead <= 5%);
+//! * **profiles match results** — the corpus sweep (every benchmark's
+//!   Cypher query, its transpilation, and the hand-written SQL — 612
+//!   queries in full mode) replayed through the opt-in profiled entry
+//!   point: for every query the profile's `rows` must equal the result
+//!   table's cardinality, the profiled result must be equivalent to
+//!   the plain path's, and the profile must carry stages
+//!   (`profiles_match_results`, gated boolean);
+//! * **profiled relative throughput** — the same sweep timed plain vs
+//!   profiled (reported, not gated: profiling is opt-in, so its cost
+//!   is a disclosure, not a requirement);
+//! * **introspect round-trip** — against a live unix-socket server:
+//!   `Introspect(Metrics)` must carry the store/server counter names,
+//!   `Introspect(Traces)` must parse as JSON and contain
+//!   `server.request` spans, and the v3 `Stats` reply must show
+//!   recorded spans (`introspect_roundtrip`, gated boolean);
+//! * **slow-query log live** — after a named query runs, the
+//!   `Introspect(SlowQueries)` JSON must parse and contain that query's
+//!   text, and a wire `query_profiled` reply's profile JSON must parse
+//!   with `rows` equal to the returned table (`slow_query_log_live`,
+//!   gated boolean).
+//!
+//! Emits `BENCH_PR10.json` with `"gate"` + `"floors"` objects
+//! (regression-checked by `check_bench`; every tracked metric is a
+//! boolean or a same-machine ratio, so the gate is hardware-portable).
+//!
+//! Usage: `cargo run --release -p graphiti-bench --bin bench_pr10 --
+//! [--quick] [--out PATH]`.
+
+use graphiti_bench::json::{parse, Json};
+use graphiti_benchmarks::{build_databases, small_corpus};
+use graphiti_common::Value;
+use graphiti_core::reduce;
+use graphiti_engine::{BatchQuery, Engine, Snapshot};
+use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+use graphiti_server::{Client, IntrospectMode, Server, WireSession};
+use graphiti_store::{Delta, Graphiti, NodeKey, Session};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+impl Options {
+    fn from_args() -> Options {
+        let mut opts = Options { quick: false, out: "BENCH_PR10.json".to_string() };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--out" if i + 1 < args.len() => {
+                    opts.out = args[i + 1].clone();
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+// ------------------------------------------------ wire-path fixtures
+
+fn schema() -> GraphSchema {
+    GraphSchema::new()
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_node(NodeType::new("EMP", ["id", "name"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]))
+}
+
+fn seed_graph(emps: i64) -> GraphInstance {
+    let mut g = GraphInstance::new();
+    let depts: Vec<_> = (0..4)
+        .map(|i| {
+            g.add_node("DEPT", [("dnum", Value::Int(i)), ("dname", Value::str(format!("D{i}")))])
+        })
+        .collect();
+    for i in 0..emps {
+        let e = g.add_node("EMP", [("id", Value::Int(i)), ("name", Value::str("seed"))]);
+        g.add_edge("WORK_AT", e, depts[(i % 4) as usize], [("wid", Value::Int(i))]);
+    }
+    g
+}
+
+/// A self-contained delta with globally unique default keys for `i`.
+fn delta_for(i: i64) -> Delta {
+    let mut d = Delta::new();
+    let n = d.add_node("EMP", [("id", Value::Int(1_000_000 + i)), ("name", Value::str("w"))]);
+    d.add_edge("WORK_AT", n, NodeKey((i % 4) as u64), [("wid", Value::Int(2_000_000 + i))]);
+    d
+}
+
+fn service(seed_emps: i64) -> Graphiti {
+    Graphiti::builder(schema())
+        .bootstrap(seed_graph(seed_emps))
+        .group_commit_default()
+        .open()
+        .expect("in-memory service opens")
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("graphiti-bench-pr10-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+// ------------------------------------- observability-on commit overhead
+
+struct OverheadRun {
+    plain_commits_per_sec: f64,
+    traced_commits_per_sec: f64,
+    ratio: f64,
+}
+
+/// Commit throughput for one session over a fresh unix-socket server.
+/// `stamp` runs before each commit (the traced leg mints a fresh trace
+/// id there; the plain leg is a no-op).
+fn commit_throughput(tag: &str, commits: i64, mut stamp: impl FnMut(&mut WireSession, i64)) -> f64 {
+    let sock = sock_path(tag);
+    let handle = Server::new(service(64)).serve_unix(&sock).expect("server binds");
+    let mut session = Client::connect_unix(&sock).expect("client connects");
+    let start = Instant::now();
+    for i in 0..commits {
+        stamp(&mut session, i);
+        session.commit(delta_for(i)).expect("scripted commits are valid");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    session.close().expect("clean close");
+    handle.shutdown();
+    commits as f64 / secs.max(1e-9)
+}
+
+/// Plain-vs-traced commit throughput, best of `reps` per leg taken
+/// *independently* (the ratio of two tight max-throughput estimates is
+/// far more stable than the max of per-rep ratios).  Rep 0 is a warmup
+/// (page cache, allocator).  Metrics histograms and server-minted spans
+/// are live on *both* legs — they are always-on by design — so the
+/// ratio prices the incremental client-supplied-trace machinery: 8
+/// extra wire bytes, the id adoption, and span labeling.
+fn obs_overhead(commits: i64, reps: usize) -> OverheadRun {
+    let mut best_plain = 0.0f64;
+    let mut best_traced = 0.0f64;
+    for rep in 0..=reps {
+        let plain = commit_throughput("plain", commits, |_, _| {});
+        let traced = commit_throughput("traced", commits, |session, i| {
+            session.set_trace_id(0x5000_0000 + i as u64 + 1);
+        });
+        if rep > 0 {
+            best_plain = best_plain.max(plain);
+            best_traced = best_traced.max(traced);
+        }
+    }
+    OverheadRun {
+        plain_commits_per_sec: best_plain,
+        traced_commits_per_sec: best_traced,
+        ratio: best_traced / best_plain.max(1e-9),
+    }
+}
+
+// --------------------------------------------- corpus profile agreement
+
+/// One benchmark's frozen state.
+struct BenchCtx {
+    snapshot: Arc<Snapshot>,
+}
+
+/// One workload item.
+struct Item {
+    bench: usize,
+    query: BatchQuery,
+}
+
+const TARGET: &str = "target";
+
+/// The bench_pr4 corpus sweep: every benchmark contributes its Cypher
+/// query, the transpiled SQL, and the hand-written SQL.
+fn build_workload(quick: bool) -> (Vec<BenchCtx>, Vec<Item>) {
+    let corpus = if quick { small_corpus(8) } else { small_corpus(2) };
+    let mut ctxs: Vec<BenchCtx> = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
+    for b in &corpus {
+        let (Ok(cypher), Ok(_sql), Ok(transformer)) = (b.cypher(), b.sql(), b.transformer()) else {
+            continue;
+        };
+        let Ok(reduction) = reduce(&b.graph_schema, &cypher, &transformer) else { continue };
+        let Ok(dbs) = build_databases(&reduction.ctx, &transformer, &b.target_schema, 6, 2, 0x93A7)
+        else {
+            continue;
+        };
+        let transpiled_text = graphiti_sql::query_to_string(&reduction.transpiled);
+        let snapshot = Snapshot::from_parts(
+            b.graph_schema.clone(),
+            dbs.graph,
+            reduction.ctx.clone(),
+            dbs.induced,
+            [(TARGET.to_string(), dbs.target)],
+        );
+        let bench = ctxs.len();
+        ctxs.push(BenchCtx { snapshot });
+        items.push(Item { bench, query: BatchQuery::cypher(&b.cypher_text) });
+        items.push(Item { bench, query: BatchQuery::sql(transpiled_text) });
+        items.push(Item { bench, query: BatchQuery::sql_on(TARGET, &b.sql_text) });
+    }
+    (ctxs, items)
+}
+
+struct SweepRun {
+    queries: usize,
+    mismatches: usize,
+    all_match: bool,
+    plain_qps: f64,
+    profiled_qps: f64,
+    ratio: f64,
+}
+
+/// Replays the sweep through the plain and profiled entry points.  For
+/// every query the profiled result must be table-equivalent to the
+/// plain result, and the profile's own `rows` count must equal the
+/// table's cardinality — the profile is an account of the execution
+/// that produced the result, not a parallel estimate.
+fn profile_sweep(quick: bool) -> SweepRun {
+    let (ctxs, items) = build_workload(quick);
+    let engines: Vec<Engine> = ctxs.iter().map(|c| Engine::new(Arc::clone(&c.snapshot))).collect();
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    for it in &items {
+        let snapshot = &ctxs[it.bench].snapshot;
+        let plain = engines[it.bench].execute_on(snapshot, &it.query);
+        let profiled = engines[it.bench].execute_on_profiled(snapshot, &it.query);
+        let (Ok(want), Ok(got)) = (&plain.result, &profiled.result) else {
+            // Parse/plan errors must at least agree between the paths.
+            if plain.result.is_ok() != profiled.result.is_ok() {
+                eprintln!("plain/profiled disagree on error for `{}`", it.query.text());
+                mismatches += 1;
+            }
+            continue;
+        };
+        checked += 1;
+        let Some(profile) = &profiled.profile else {
+            eprintln!("profiled run returned no profile for `{}`", it.query.text());
+            mismatches += 1;
+            continue;
+        };
+        if !got.equivalent(want) {
+            eprintln!("profiled result diverges for `{}`", it.query.text());
+            mismatches += 1;
+            continue;
+        }
+        if profile.rows != got.len() as u64 {
+            eprintln!(
+                "profile rows {} != result cardinality {} for `{}`",
+                profile.rows,
+                got.len(),
+                it.query.text()
+            );
+            mismatches += 1;
+            continue;
+        }
+        if profile.stages.is_empty() {
+            eprintln!("profile has no stages for `{}`", it.query.text());
+            mismatches += 1;
+        }
+    }
+
+    // Warm-round timing, plain vs profiled (plans cached on both legs).
+    let rounds = if quick { 3 } else { 6 };
+    let time = |profiled: bool| {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for it in &items {
+                let snapshot = &ctxs[it.bench].snapshot;
+                let outcome = if profiled {
+                    engines[it.bench].execute_on_profiled(snapshot, &it.query)
+                } else {
+                    engines[it.bench].execute_on(snapshot, &it.query)
+                };
+                let _ = outcome.result;
+            }
+        }
+        (rounds * items.len()) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+    let plain_qps = time(false);
+    let profiled_qps = time(true);
+
+    SweepRun {
+        queries: checked,
+        mismatches,
+        all_match: checked > 0 && mismatches == 0,
+        plain_qps,
+        profiled_qps,
+        ratio: profiled_qps / plain_qps.max(1e-9),
+    }
+}
+
+// ------------------------------------------- live introspection surface
+
+struct IntrospectRun {
+    introspect_roundtrip: bool,
+    slow_query_log_live: bool,
+}
+
+/// Drives a live unix-socket server through commits and a *named* query,
+/// then checks each introspection surface end to end: counter names in
+/// the metrics text, `server.request` spans in parseable trace JSON,
+/// span counts in the v3 `Stats` reply, the named query in the
+/// slow-query JSON, and a wire `query_profiled` whose profile JSON
+/// parses with `rows` equal to the returned table.
+fn introspect_roundtrip() -> IntrospectRun {
+    let sock = sock_path("introspect");
+    let handle = Server::new(service(32)).serve_unix(&sock).expect("server binds");
+    let mut session = Client::connect_unix(&sock).expect("client connects");
+    assert!(session.negotiated_version() >= 3, "a fresh client negotiates wire protocol version 3");
+    for i in 0..8 {
+        session.commit(delta_for(8_000_000 + i)).expect("commit lands");
+    }
+    let probe = BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS obs_probe_column");
+    session.query(&probe).expect("probe query runs");
+    let (table, profile_json) = session.query_profiled(&probe).expect("profiled query runs");
+
+    // The opt-in wire profile is valid JSON and accounts for the rows
+    // the very same reply carried.
+    let wire_profile_ok = match parse(&profile_json) {
+        Ok(json) => {
+            json.get("rows").and_then(Json::as_num) == Some(table.len() as f64)
+                && json.get("stages").and_then(Json::as_arr).is_some_and(|s| !s.is_empty())
+        }
+        Err(e) => {
+            eprintln!("wire profile JSON does not parse: {e}");
+            false
+        }
+    };
+
+    // v3 Stats carries the observability tail fields.
+    let stats = session.stats().expect("stats reply");
+    let stats_ok = stats.spans_recorded > 0 && stats.queries >= 2 && stats.slow_queries > 0;
+    if !stats_ok {
+        eprintln!(
+            "v3 stats observability fields did not move: spans_recorded {} queries {} slow {}",
+            stats.spans_recorded, stats.queries, stats.slow_queries
+        );
+    }
+
+    // Metrics text: the registry vocabulary, store + server side.
+    let metrics = session.introspect(IntrospectMode::Metrics).expect("metrics introspect");
+    let metrics_ok = [
+        "graphiti_store_commits_total",
+        "graphiti_commit_e2e_micros",
+        "graphiti_request_micros_commit",
+        "graphiti_request_micros_query",
+        "graphiti_trace_spans_begun_total",
+    ]
+    .iter()
+    .all(|name| {
+        let present = metrics.contains(name);
+        if !present {
+            eprintln!("metrics text is missing `{name}`");
+        }
+        present
+    });
+
+    // Trace ring: parseable JSON with server.request spans in it.
+    let traces = session.introspect(IntrospectMode::Traces).expect("traces introspect");
+    let traces_ok = match parse(&traces) {
+        Ok(Json::Arr(events)) => {
+            !events.is_empty()
+                && events
+                    .iter()
+                    .any(|e| e.get("name").and_then(Json::as_str) == Some("server.request"))
+        }
+        Ok(_) => {
+            eprintln!("traces JSON is not an array");
+            false
+        }
+        Err(e) => {
+            eprintln!("traces JSON does not parse: {e}");
+            false
+        }
+    };
+
+    // Slow-query log: parseable JSON naming the probe query.
+    let slow = session.introspect(IntrospectMode::SlowQueries).expect("slow introspect");
+    let slow_ok = match parse(&slow) {
+        Ok(Json::Arr(entries)) => {
+            !entries.is_empty()
+                && entries.iter().any(|e| {
+                    e.get("text")
+                        .and_then(Json::as_str)
+                        .is_some_and(|t| t.contains("obs_probe_column"))
+                })
+        }
+        Ok(_) => {
+            eprintln!("slow-query JSON is not an array");
+            false
+        }
+        Err(e) => {
+            eprintln!("slow-query JSON does not parse: {e}");
+            false
+        }
+    };
+
+    session.close().expect("clean close");
+    handle.shutdown();
+    IntrospectRun {
+        introspect_roundtrip: metrics_ok && traces_ok && stats_ok,
+        slow_query_log_live: slow_ok && wire_profile_ok,
+    }
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let (commits, reps) = if opts.quick { (96i64, 2usize) } else { (512, 4) };
+
+    // --- observability-on commit overhead --------------------------------
+    let overhead = obs_overhead(commits, reps);
+    println!("== observability overhead ({commits} commits, best of {reps}) ==");
+    println!("  plain:  {:9.1} commits/s", overhead.plain_commits_per_sec);
+    println!("  traced: {:9.1} commits/s", overhead.traced_commits_per_sec);
+    println!("  relative throughput: {:.3} (floor 0.95)", overhead.ratio);
+
+    // --- corpus profile agreement ----------------------------------------
+    let sweep = profile_sweep(opts.quick);
+    println!(
+        "== profile sweep: {} queries, {} mismatches (profiles match: {}) ==",
+        sweep.queries, sweep.mismatches, sweep.all_match
+    );
+    println!(
+        "  plain: {:9.1} q/s  profiled: {:9.1} q/s  (profiled relative: {:.3}, opt-in)",
+        sweep.plain_qps, sweep.profiled_qps, sweep.ratio
+    );
+
+    // --- live introspection ----------------------------------------------
+    let live = introspect_roundtrip();
+    println!(
+        "== introspect round-trip: {} | slow-query log live: {} ==",
+        live.introspect_roundtrip, live.slow_query_log_live
+    );
+
+    // --- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"harness\": \"bench_pr10\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if opts.quick { "quick" } else { "full" });
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"commits\": {commits}, \"reps\": {reps}, \"sweep_queries\": {}}},",
+        sweep.queries
+    );
+    let _ = writeln!(
+        json,
+        "  \"obs_overhead\": {{\"plain_commits_per_sec\": {:.1}, \"traced_commits_per_sec\": {:.1}}},",
+        overhead.plain_commits_per_sec, overhead.traced_commits_per_sec
+    );
+    // Profiling is opt-in, so its cost is disclosed but not gated.
+    let _ = writeln!(
+        json,
+        "  \"profiling\": {{\"plain_queries_per_sec\": {:.1}, \"profiled_queries_per_sec\": {:.1}, \"profiled_relative_throughput\": {:.3}}},",
+        sweep.plain_qps, sweep.profiled_qps, sweep.ratio
+    );
+    // Ratios and booleans only: hardware-portable by design.
+    let _ = writeln!(json, "  \"gate\": {{");
+    let _ = writeln!(json, "    \"obs_relative_throughput\": {:.3},", overhead.ratio);
+    let _ = writeln!(json, "    \"profiles_match_results\": {},", sweep.all_match);
+    let _ = writeln!(json, "    \"introspect_roundtrip\": {},", live.introspect_roundtrip);
+    let _ = writeln!(json, "    \"slow_query_log_live\": {}", live.slow_query_log_live);
+    let _ = writeln!(json, "  }},");
+    // The overhead bound is additionally an *absolute* requirement: the
+    // always-on observability layer must cost <= 5% on the happy path,
+    // even against a fresh baseline.
+    let _ = writeln!(json, "  \"floors\": {{");
+    let _ = writeln!(json, "    \"obs_relative_throughput\": 0.95");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&opts.out, json).expect("write bench json");
+    println!("wrote {}", opts.out);
+    assert!(
+        overhead.ratio >= 0.95
+            && sweep.all_match
+            && live.introspect_roundtrip
+            && live.slow_query_log_live,
+        "observability gate failed: relative throughput {:.3} (floor 0.95), profiles_match {}, introspect {}, slow_log {}",
+        overhead.ratio,
+        sweep.all_match,
+        live.introspect_roundtrip,
+        live.slow_query_log_live
+    );
+}

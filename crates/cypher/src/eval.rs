@@ -9,6 +9,7 @@
 use crate::ast::*;
 use graphiti_common::{AggKind, Error, Ident, Result, Truth, Value};
 use graphiti_graph::{Edge, EdgeId, GraphInstance, GraphSchema, NodeId};
+use graphiti_obs::profile::{StageProfile, StageSink};
 use graphiti_relational::Table;
 use std::collections::{BTreeMap, HashMap};
 
@@ -37,8 +38,28 @@ pub type Binding = BTreeMap<Ident, Option<ElemRef>>;
 /// differential testing; both engines produce table-equivalent results
 /// (Definition 4.4) by construction.
 pub fn eval_query(schema: &GraphSchema, graph: &GraphInstance, query: &Query) -> Result<Table> {
-    let ev = Evaluator { schema, graph, use_index: true };
+    let ev = Evaluator { schema, graph, use_index: true, prof: None };
     ev.query(query)
+}
+
+/// [`eval_query`] with per-operator profiling: the pattern-match phase
+/// and each query-level operator (`return`, `order_by`, `union`) report
+/// wall time and rows in/out.  Stages come back in completion (post)
+/// order; results are identical to the unprofiled path.
+pub fn eval_query_profiled(
+    schema: &GraphSchema,
+    graph: &GraphInstance,
+    query: &Query,
+) -> Result<(Table, Vec<StageProfile>)> {
+    let ev = Evaluator {
+        schema,
+        graph,
+        use_index: true,
+        prof: Some(std::cell::RefCell::new(StageSink::new())),
+    };
+    let out = ev.query(query)?;
+    let stages = ev.prof.expect("sink installed above").into_inner().finish();
+    Ok((out, stages))
 }
 
 /// Evaluates a Cypher query with the naive pattern matcher: every partial
@@ -52,7 +73,7 @@ pub fn eval_query_unoptimized(
     graph: &GraphInstance,
     query: &Query,
 ) -> Result<Table> {
-    let ev = Evaluator { schema, graph, use_index: false };
+    let ev = Evaluator { schema, graph, use_index: false, prof: None };
     ev.query(query)
 }
 
@@ -62,12 +83,30 @@ struct Evaluator<'a> {
     /// Walk adjacency indexes (`true`) or rescan the edge arena per binding
     /// (`false`, the retained naive path).
     use_index: bool,
+    /// Per-operator stage collection, installed by [`eval_query_profiled`]
+    /// (`None` costs one branch per query node).
+    prof: Option<std::cell::RefCell<StageSink>>,
 }
 
 impl<'a> Evaluator<'a> {
     // ---------------------------------------------------------------- query
 
+    /// Evaluates one query node, recording a profile stage when a sink
+    /// is installed.
     fn query(&self, q: &Query) -> Result<Table> {
+        let Some(prof) = &self.prof else { return self.query_node(q) };
+        prof.borrow_mut().begin(match q {
+            Query::Return(_) => "return",
+            Query::OrderBy { .. } => "order_by",
+            Query::Union(..) => "union",
+            Query::UnionAll(..) => "union_all",
+        });
+        let out = self.query_node(q);
+        prof.borrow_mut().end(out.as_ref().map(|t| t.rows.len() as u64).unwrap_or(0));
+        out
+    }
+
+    fn query_node(&self, q: &Query) -> Result<Table> {
         match q {
             Query::Return(r) => self.return_query(r),
             Query::OrderBy { input, keys } => {
@@ -117,8 +156,18 @@ impl<'a> Evaluator<'a> {
         Ok(table)
     }
 
+    /// The pattern-match phase, reported as its own `match` stage when
+    /// profiling (rows out = bindings produced).
+    fn clause_profiled(&self, c: &Clause) -> Result<Vec<Binding>> {
+        let Some(prof) = &self.prof else { return self.clause(c) };
+        prof.borrow_mut().begin("match");
+        let out = self.clause(c);
+        prof.borrow_mut().end(out.as_ref().map(|b| b.len() as u64).unwrap_or(0));
+        out
+    }
+
     fn return_query(&self, r: &ReturnQuery) -> Result<Table> {
-        let bindings = self.clause(&r.clause)?;
+        let bindings = self.clause_profiled(&r.clause)?;
         let columns: Vec<String> = r.names.iter().map(|n| n.to_string()).collect();
         let mut table = Table::new(columns);
         if !r.has_agg() {

@@ -23,10 +23,13 @@
 //! path is retained as [`Engine::run_batch_unpooled`] for ablation
 //! benchmarks.
 
-use crate::cache::{CacheStats, PlanCache, SqlPlan};
+use crate::cache::{CacheStats, PlanCache, SqlPlan, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::pool::WorkerPool;
 use crate::snapshot::{Snapshot, SqlTarget};
 use graphiti_common::{Error, Result};
+use graphiti_obs::metrics::Histogram;
+use graphiti_obs::profile::{QueryProfile, StageProfile};
+use graphiti_obs::Obs;
 use graphiti_relational::Table;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
@@ -84,6 +87,10 @@ pub struct QueryOutcome {
     pub micros: u64,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
+    /// The per-operator execution profile — populated only by the
+    /// opt-in profiled entry points ([`Engine::execute_profiled`],
+    /// [`Engine::execute_on_profiled`]); `None` on the plain path.
+    pub profile: Option<QueryProfile>,
 }
 
 /// The result of a whole batch.
@@ -150,6 +157,12 @@ struct EngineInner {
     /// Observer invoked (outside the snapshot lock) after each
     /// [`Engine::swap_snapshot`] publication.
     publish_hook: RwLock<Option<PublishHook>>,
+    /// The shared observability context (registry + tracer + slow-query
+    /// log).  Standalone engines own a private one; a store-embedded
+    /// engine shares its service's.
+    obs: Arc<Obs>,
+    /// Per-query end-to-end service-time distribution.
+    query_micros: Arc<Histogram>,
 }
 
 /// The shape of a publication observer callback.
@@ -181,30 +194,58 @@ pub struct Engine {
     pool: OnceLock<WorkerPool>,
 }
 
+/// Builds the inner state: the plan cache counts into the observability
+/// context's registry, so cache traffic, query latency, and the
+/// slow-query log all live in one namespace.
+fn build_inner(snapshot: Arc<Snapshot>, capacity: Option<usize>, obs: Arc<Obs>) -> EngineInner {
+    let registry = obs.registry();
+    let cache = PlanCache::with_capacity_and_counters(
+        capacity.unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY),
+        registry.counter("graphiti_plan_cache_hits_total"),
+        registry.counter("graphiti_plan_cache_misses_total"),
+        registry.counter("graphiti_plan_cache_evictions_total"),
+    );
+    let query_micros = registry.histogram("graphiti_query_micros");
+    EngineInner {
+        snapshot: RwLock::new(snapshot),
+        cache,
+        publish_hook: RwLock::new(None),
+        obs,
+        query_micros,
+    }
+}
+
 impl Engine {
     /// Creates an engine (with an empty plan cache) over a snapshot.
     pub fn new(snapshot: Arc<Snapshot>) -> Engine {
-        Engine {
-            inner: Arc::new(EngineInner {
-                snapshot: RwLock::new(snapshot),
-                cache: PlanCache::new(),
-                publish_hook: RwLock::new(None),
-            }),
-            pool: OnceLock::new(),
-        }
+        Engine::with_observability(snapshot, None, Arc::new(Obs::new()))
     }
 
     /// [`Engine::new`] with an explicit plan-cache capacity (see
     /// [`PlanCache::with_capacity`]).
     pub fn with_cache_capacity(snapshot: Arc<Snapshot>, capacity: usize) -> Engine {
+        Engine::with_observability(snapshot, Some(capacity), Arc::new(Obs::new()))
+    }
+
+    /// An engine wired into the caller's observability context: metric
+    /// names (plan cache, query latency) register in the shared
+    /// registry, and slow queries land in the shared log.  This is how
+    /// a graph store threads one namespace through store + engine +
+    /// server.
+    pub fn with_observability(
+        snapshot: Arc<Snapshot>,
+        cache_capacity: Option<usize>,
+        obs: Arc<Obs>,
+    ) -> Engine {
         Engine {
-            inner: Arc::new(EngineInner {
-                snapshot: RwLock::new(snapshot),
-                cache: PlanCache::with_capacity(capacity),
-                publish_hook: RwLock::new(None),
-            }),
+            inner: Arc::new(build_inner(snapshot, cache_capacity, obs)),
             pool: OnceLock::new(),
         }
+    }
+
+    /// The engine's observability context.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
     }
 
     /// Convenience: freeze `schema`/`graph` and build an engine over it.
@@ -285,6 +326,20 @@ impl Engine {
     /// Executes one query, consulting (and populating) the plan cache.
     pub fn execute(&self, query: &BatchQuery) -> QueryOutcome {
         self.inner.execute(query)
+    }
+
+    /// [`Engine::execute`] with the per-operator profile collected and
+    /// returned in the outcome (the opt-in profiling flag).  Results
+    /// are identical to the plain path.
+    pub fn execute_profiled(&self, query: &BatchQuery) -> QueryOutcome {
+        let snapshot = self.inner.current();
+        self.inner.execute_on_with(&snapshot, query, true)
+    }
+
+    /// [`Engine::execute_on`] with the per-operator profile collected
+    /// and returned in the outcome.
+    pub fn execute_on_profiled(&self, snapshot: &Snapshot, query: &BatchQuery) -> QueryOutcome {
+        self.inner.execute_on_with(snapshot, query, true)
     }
 
     /// Executes an already-parsed SQL query through the snapshot and plan
@@ -454,6 +509,7 @@ pub(crate) fn merge_pooled_outcomes(
                 ))),
                 micros: 0,
                 cache_hit: false,
+                profile: None,
             })
         })
         .collect()
@@ -485,20 +541,62 @@ impl EngineInner {
 
     /// Executes one query against an explicitly pinned generation.
     fn execute_on(&self, snapshot: &Snapshot, query: &BatchQuery) -> QueryOutcome {
-        let start = Instant::now();
-        let (result, cache_hit) = match query {
-            BatchQuery::Cypher { text } => self.execute_cypher(snapshot, text),
-            BatchQuery::Sql { text, target } => self.execute_sql(snapshot, text, target),
-        };
-        QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
+        self.execute_on_with(snapshot, query, false)
     }
 
-    fn execute_cypher(&self, snapshot: &Snapshot, text: &str) -> (Result<Table>, bool) {
+    /// The single execution funnel.  Every query — profiled or not —
+    /// records its end-to-end service time into the engine's histogram
+    /// and offers itself to the slow-query log (stage-less when
+    /// unprofiled: one relaxed load on the fast path once the log is
+    /// warm).
+    fn execute_on_with(
+        &self,
+        snapshot: &Snapshot,
+        query: &BatchQuery,
+        profiled: bool,
+    ) -> QueryOutcome {
+        let start = Instant::now();
+        let (result, cache_hit, stages) = match query {
+            BatchQuery::Cypher { text } => self.execute_cypher(snapshot, text, profiled),
+            BatchQuery::Sql { text, target } => self.execute_sql(snapshot, text, target, profiled),
+        };
+        let micros = start.elapsed().as_micros() as u64;
+        self.query_micros.record(micros);
+        let profile = QueryProfile {
+            language: match query {
+                BatchQuery::Cypher { .. } => "cypher".to_string(),
+                BatchQuery::Sql { .. } => "sql".to_string(),
+            },
+            text: query.text().to_string(),
+            micros,
+            cache_hit,
+            rows: result.as_ref().map(|t| t.rows.len() as u64).unwrap_or(0),
+            stages,
+        };
+        let returned = profiled.then(|| profile.clone());
+        self.obs.slow_queries().record(profile);
+        QueryOutcome { result, micros, cache_hit, profile: returned }
+    }
+
+    fn execute_cypher(
+        &self,
+        snapshot: &Snapshot,
+        text: &str,
+        profiled: bool,
+    ) -> (Result<Table>, bool, Vec<StageProfile>) {
         let (ast, hit) = match self.cache.cypher(text, || graphiti_cypher::parse_query(text)) {
             Ok(pair) => pair,
-            Err(e) => return (Err(e), false),
+            Err(e) => return (Err(e), false, Vec::new()),
         };
-        (graphiti_cypher::eval_query(snapshot.schema(), snapshot.graph(), &ast), hit)
+        let (schema, graph) = (snapshot.schema(), snapshot.graph());
+        if profiled {
+            match graphiti_cypher::eval_query_profiled(schema, graph, &ast) {
+                Ok((table, stages)) => (Ok(table), hit, stages),
+                Err(e) => (Err(e), hit, Vec::new()),
+            }
+        } else {
+            (graphiti_cypher::eval_query(schema, graph, &ast), hit, Vec::new())
+        }
     }
 
     fn execute_sql(
@@ -506,14 +604,15 @@ impl EngineInner {
         snapshot: &Snapshot,
         text: &str,
         target: &SqlTarget,
-    ) -> (Result<Table>, bool) {
+        profiled: bool,
+    ) -> (Result<Table>, bool, Vec<StageProfile>) {
         let instance = match snapshot.sql_instance(target) {
             Ok(i) => i,
-            Err(e) => return (Err(e), false),
+            Err(e) => return (Err(e), false, Vec::new()),
         };
         let columnar = match snapshot.sql_columnar(target) {
             Ok(c) => c,
-            Err(e) => return (Err(e), false),
+            Err(e) => return (Err(e), false, Vec::new()),
         };
         let (plan, hit) = match self.cache.sql(text, target, || {
             let ast = graphiti_sql::parse_query(text)?;
@@ -521,9 +620,16 @@ impl EngineInner {
             Ok(SqlPlan { ast, plan })
         }) {
             Ok(pair) => pair,
-            Err(e) => return (Err(e), false),
+            Err(e) => return (Err(e), false, Vec::new()),
         };
-        (graphiti_sql::eval_vectorized(instance, columnar, &plan.plan), hit)
+        if profiled {
+            match graphiti_sql::eval_vectorized_profiled(instance, columnar, &plan.plan) {
+                Ok((table, stages)) => (Ok(table), hit, stages),
+                Err(e) => (Err(e), hit, Vec::new()),
+            }
+        } else {
+            (graphiti_sql::eval_vectorized(instance, columnar, &plan.plan), hit, Vec::new())
+        }
     }
 
     fn execute_sql_ast(&self, ast: &graphiti_sql::SqlQuery, target: &SqlTarget) -> QueryOutcome {
@@ -545,6 +651,8 @@ impl EngineInner {
                 }
                 (Err(e), _) | (_, Err(e)) => (Err(e), false),
             };
-        QueryOutcome { result, micros: start.elapsed().as_micros() as u64, cache_hit }
+        let micros = start.elapsed().as_micros() as u64;
+        self.query_micros.record(micros);
+        QueryOutcome { result, micros, cache_hit, profile: None }
     }
 }

@@ -25,8 +25,8 @@
 
 use crate::snapshot::SqlTarget;
 use graphiti_common::Result;
+use graphiti_obs::metrics::Counter;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default bound on resident plans.  Far above any benign workload's
@@ -92,9 +92,13 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct PlanCache {
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    /// Shared-registry counter handles ([`CacheStats`] is a *view* over
+    /// them): detached for a standalone cache, registered under the
+    /// `graphiti_plan_cache_*` names when the engine carries an
+    /// observability context.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 #[derive(Debug)]
@@ -164,8 +168,26 @@ impl PlanCache {
         PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
     }
 
-    /// Creates an empty cache bounded to `capacity` entries (minimum 1).
+    /// Creates an empty cache bounded to `capacity` entries (minimum 1),
+    /// counting into detached (registry-less) handles.
     pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache::with_capacity_and_counters(
+            capacity,
+            Counter::detached(),
+            Counter::detached(),
+            Counter::detached(),
+        )
+    }
+
+    /// [`PlanCache::with_capacity`] with the caller's counter handles —
+    /// the engine passes registry-backed ones so cache traffic shows up
+    /// in the unified metric namespace.
+    pub fn with_capacity_and_counters(
+        capacity: usize,
+        hits: Counter,
+        misses: Counter,
+        evictions: Counter,
+    ) -> PlanCache {
         PlanCache {
             inner: Mutex::new(CacheInner {
                 capacity: capacity.max(1),
@@ -173,9 +195,9 @@ impl PlanCache {
                 table: HashMap::new(),
                 order: BTreeMap::new(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -241,11 +263,11 @@ impl PlanCache {
                 if let Some(entry) = inner.table.get_mut(key) {
                     entry.1 = stamp;
                 }
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(plan)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -262,7 +284,7 @@ impl PlanCache {
             // Evict the least-recently-used entry.
             if let Some((_, victim)) = inner.order.pop_first() {
                 inner.table.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         inner.order.insert(stamp, key.clone());
@@ -273,10 +295,10 @@ impl PlanCache {
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: inner.table.len(),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: self.evictions.get(),
             capacity: inner.capacity,
         }
     }

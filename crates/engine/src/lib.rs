@@ -297,6 +297,7 @@ mod tests {
                     result: Ok(graphiti_relational::Table::new(["c"])),
                     micros: 1,
                     cache_hit: false,
+                    profile: None,
                 },
             )
         };

@@ -1,0 +1,414 @@
+//! The lock-free metrics registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared
+//! atomics: recording is a relaxed atomic op with no lock and no
+//! allocation, so instrumented hot paths pay nanoseconds.  The registry
+//! itself is only locked at **registration** (get-or-create by name,
+//! once per handle) and at **render** time — never while recording.
+//!
+//! Histograms use fixed log₂ buckets over `u64` samples: bucket `0`
+//! holds zeros, bucket `i` holds values with `i` significant bits
+//! (`2^(i-1) ..= 2^i - 1`), and the top bucket saturates.  Quantiles are
+//! answered from bucket counts as the bucket's upper bound, clamped to
+//! the exact max seen — coarse by design (≤ 2× relative error), which
+//! is what makes recording one `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Log₂ bucket count: bucket 0 for zero, 63 more for each bit width.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not (yet) attached to any registry.
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (recovery restores checkpointed counters).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time signed value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log₂ histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Which bucket a sample lands in: 0 for zero, else its bit width,
+/// saturating at the top bucket.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of a bucket (`u64::MAX` for the top one).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A consistent-enough point-in-time read of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping beyond `u64::MAX`).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Median estimate (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Records one sample: three relaxed atomic ops, no lock.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Raw per-bucket counts (index = bit width of the sample).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// Quantile estimate in `[0, 1]`: the upper bound of the bucket the
+    /// `q`-th sample falls in, clamped to the exact max.  `0` when no
+    /// samples have been recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper(i).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Count, sum, max, and the standard percentiles in one read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time value of one registered metric (render support).
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's percentile summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// The named-metric namespace.  Handles are created (or re-fetched) by
+/// name; re-registering a name returns the *same* underlying metric, so
+/// every component naming `graphiti_store_commits_total` shares one
+/// counter.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-register the named counter.  A name already registered as
+    /// a different metric kind yields a detached handle (recorded but
+    /// never rendered) rather than a panic — observability must never
+    /// take the server down.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c.clone(),
+            _ => {
+                debug_assert!(false, "metric `{name}` registered with two kinds");
+                Counter::detached()
+            }
+        }
+    }
+
+    /// Get-or-register the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        match m.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g.clone(),
+            _ => {
+                debug_assert!(false, "metric `{name}` registered with two kinds");
+                Gauge::default()
+            }
+        }
+    }
+
+    /// Get-or-register the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => {
+                debug_assert!(false, "metric `{name}` registered with two kinds");
+                Arc::new(Histogram::default())
+            }
+        }
+    }
+
+    /// Every registered metric's current value, name-ordered.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let m = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as single
+    /// samples, histograms as summaries (`{quantile=...}` plus `_count`,
+    /// `_sum`, `_max`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, snap) in self.snapshot() {
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", h.p50);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", h.p95);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", h.p99);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_max {}", h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("a_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a_total").get(), 5, "same name shares the counter");
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(r.gauge("depth").get(), 5);
+    }
+
+    #[test]
+    fn histogram_zero_samples_is_all_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum, s.max, s.p50, s.p95, s.p99),
+            (0, 0, 0, 0, 0, 0),
+            "empty histogram answers zeros, never garbage"
+        );
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_every_percentile() {
+        let h = Histogram::default();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 1000);
+        assert_eq!(s.max, 1000);
+        // All percentiles clamp to the one exact sample.
+        assert_eq!((s.p50, s.p95, s.p99), (1000, 1000, 1000));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_order_of_magnitude_right() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log-bucket estimates: within one bucket (2x) of the truth.
+        assert!((400..=1000).contains(&s.p50), "p50 {}", s.p50);
+        assert!(s.p95 >= 900 || s.p95 <= 1023, "p95 {}", s.p95);
+        assert_eq!(s.max, 1000);
+        assert!(s.p99 <= s.max);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "monotone percentiles");
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates_without_overflow() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99, u64::MAX, "top-bucket quantile clamps to max");
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::default());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("recorder thread joins");
+        }
+        assert_eq!(h.count(), threads * per_thread, "total count ≡ recorded ops under concurrency");
+    }
+
+    #[test]
+    fn render_prometheus_emits_types_and_summaries() {
+        let r = Registry::new();
+        r.counter("x_total").add(3);
+        r.gauge("y").set(-2);
+        r.histogram("z_micros").record(5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE x_total counter"), "{text}");
+        assert!(text.contains("x_total 3"), "{text}");
+        assert!(text.contains("y -2"), "{text}");
+        assert!(text.contains("z_micros_count 1"), "{text}");
+        assert!(text.contains("z_micros{quantile=\"0.5\"} 5"), "{text}");
+    }
+}

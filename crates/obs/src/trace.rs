@@ -1,0 +1,322 @@
+//! Per-request span tracing.
+//!
+//! A **trace id** is a 64-bit value minted at the serving edge (frame
+//! decode) or supplied by the client, and carried through session →
+//! commit queue → group committer → WAL → publish.  Each instrumented
+//! stage pushes explicit **begin/end span events** (with a parent span
+//! id) into a bounded ring buffer.
+//!
+//! The ring never blocks the hot path: slots are claimed with one
+//! relaxed `fetch_add` and written under a `try_lock` — a contended
+//! slot (a reader holding it, or a lapped writer) *drops* the event and
+//! counts it instead of waiting.  The accounting identity is exact:
+//! `recorded + dropped == begun + ended` at every instant.
+
+use crate::metrics::{Counter, Registry};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Mints a fresh nonzero 64-bit trace id: wall-clock entropy mixed with
+/// a process-wide sequence through splitmix64, so ids are unique within
+/// a process and effectively unique across processes.
+pub fn mint_trace_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x0B5);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut z = nanos ^ seq.rotate_left(32) ^ ((std::process::id() as u64) << 17);
+    // splitmix64 finalizer: avalanche so sequential seeds don't collide
+    // in the low bits.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
+
+/// Microseconds since the process-wide tracing epoch (first use).
+pub fn now_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The span started.
+    Begin,
+    /// The span finished.
+    End,
+}
+
+/// One begin/end event in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Opens or closes the span.
+    pub kind: SpanKind,
+    /// The request's trace id (0 = untraced background work).
+    pub trace_id: u64,
+    /// This span's id, unique per tracer.
+    pub span_id: u64,
+    /// The enclosing span's id (0 = root).
+    pub parent_span: u64,
+    /// Static stage name (`server.request`, `store.wal_append`, ...).
+    pub name: &'static str,
+    /// Microseconds since the tracing epoch.
+    pub at_micros: u64,
+}
+
+impl SpanEvent {
+    /// One JSON object for the introspection surface.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"trace_id\":{},\"span_id\":{},\"parent_span\":{},\"name\":\"{}\",\"at_micros\":{}}}",
+            match self.kind {
+                SpanKind::Begin => "begin",
+                SpanKind::End => "end",
+            },
+            self.trace_id,
+            self.span_id,
+            self.parent_span,
+            crate::json_escape(self.name),
+            self.at_micros
+        )
+    }
+}
+
+/// The bounded, never-blocking span ring plus its accounting counters.
+#[derive(Debug)]
+pub struct Tracer {
+    slots: Vec<Mutex<Option<SpanEvent>>>,
+    head: AtomicUsize,
+    next_span: AtomicU64,
+    begun: Counter,
+    ended: Counter,
+    recorded: Counter,
+    dropped: Counter,
+}
+
+impl Tracer {
+    /// A tracer whose counters live in `registry` under the
+    /// `graphiti_trace_*` names.
+    pub fn new(registry: &Registry, capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
+        Tracer {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            next_span: AtomicU64::new(1),
+            begun: registry.counter("graphiti_trace_spans_begun_total"),
+            ended: registry.counter("graphiti_trace_spans_ended_total"),
+            recorded: registry.counter("graphiti_trace_events_recorded_total"),
+            dropped: registry.counter("graphiti_trace_events_dropped_total"),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans begun since startup.
+    pub fn spans_begun(&self) -> u64 {
+        self.begun.get()
+    }
+
+    /// Spans ended since startup.
+    pub fn spans_ended(&self) -> u64 {
+        self.ended.get()
+    }
+
+    /// Events recorded into the ring (including since-overwritten ones).
+    pub fn events_recorded(&self) -> u64 {
+        self.recorded.get()
+    }
+
+    /// Events dropped at a contended slot instead of blocking.
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Opens a span and returns its id (pass as `parent_span` to
+    /// children, and back to [`Tracer::span_end`]).
+    pub fn span_begin(&self, trace_id: u64, parent_span: u64, name: &'static str) -> u64 {
+        let span_id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        self.begun.inc();
+        self.push(SpanEvent {
+            kind: SpanKind::Begin,
+            trace_id,
+            span_id,
+            parent_span,
+            name,
+            at_micros: now_micros(),
+        });
+        span_id
+    }
+
+    /// Closes a span opened by [`Tracer::span_begin`].
+    pub fn span_end(&self, trace_id: u64, span_id: u64, parent_span: u64, name: &'static str) {
+        self.ended.inc();
+        self.push(SpanEvent {
+            kind: SpanKind::End,
+            trace_id,
+            span_id,
+            parent_span,
+            name,
+            at_micros: now_micros(),
+        });
+    }
+
+    /// RAII span: begins now, ends when the guard drops.
+    pub fn span<'a>(
+        &'a self,
+        trace_id: u64,
+        parent_span: u64,
+        name: &'static str,
+    ) -> SpanGuard<'a> {
+        let span_id = self.span_begin(trace_id, parent_span, name);
+        SpanGuard { tracer: self, trace_id, span_id, parent_span, name }
+    }
+
+    /// Claims the next slot and records the event, or counts a drop.
+    /// One `fetch_add` plus one uncontended `try_lock` on the hot path;
+    /// never a wait.
+    fn push(&self, ev: SpanEvent) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => {
+                *slot = Some(ev);
+                self.recorded.inc();
+            }
+            Err(_) => self.dropped.inc(),
+        }
+    }
+
+    /// The retained events, oldest first.  Readers lock slots one at a
+    /// time (writers skip a locked slot, counting a drop), so reading
+    /// never stalls recording.
+    pub fn recent(&self) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> =
+            self.slots.iter().filter_map(|slot| slot.try_lock().ok().and_then(|s| *s)).collect();
+        events.sort_by_key(|e| (e.at_micros, e.span_id));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(cap: usize) -> (Registry, Tracer) {
+        let r = Registry::new();
+        let t = Tracer::new(&r, cap);
+        (r, t)
+    }
+
+    #[test]
+    fn minted_trace_ids_are_nonzero_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn span_guard_emits_begin_then_end_with_parent() {
+        let (_r, t) = tracer(16);
+        let trace = mint_trace_id();
+        let root = t.span(trace, 0, "root");
+        let child = t.span(trace, root.id(), "child");
+        drop(child);
+        drop(root);
+        let events = t.recent();
+        assert_eq!(events.len(), 4);
+        assert_eq!(t.spans_begun(), 2);
+        assert_eq!(t.spans_ended(), 2);
+        let child_begin = events
+            .iter()
+            .find(|e| e.name == "child" && e.kind == SpanKind::Begin)
+            .expect("child begin recorded");
+        assert_ne!(child_begin.parent_span, 0, "child carries its parent span");
+        let mut ends: Vec<&str> =
+            events.iter().filter(|e| e.kind == SpanKind::End).map(|e| e.name).collect();
+        ends.sort_unstable();
+        assert_eq!(ends, ["child", "root"], "both spans closed");
+    }
+
+    #[test]
+    fn ring_bounds_retention_and_counts_exactly() {
+        let (_r, t) = tracer(8);
+        for _ in 0..100 {
+            let s = t.span(1, 0, "loop");
+            drop(s);
+        }
+        assert!(t.recent().len() <= 8, "ring retains at most its capacity");
+        assert_eq!(t.spans_begun(), 100);
+        assert_eq!(t.spans_ended(), 100);
+        assert_eq!(
+            t.events_recorded() + t.events_dropped(),
+            t.spans_begun() + t.spans_ended(),
+            "every event is recorded or counted dropped"
+        );
+    }
+
+    #[test]
+    fn concurrent_spans_never_block_and_account_exactly() {
+        let r = Registry::new();
+        let t = std::sync::Arc::new(Tracer::new(&r, 32));
+        let threads = 8;
+        let per_thread = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for j in 0..per_thread {
+                        let span = t.span(i * per_thread + j, 0, "chaos");
+                        drop(span);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("span thread joins");
+        }
+        assert_eq!(t.spans_begun(), threads * per_thread);
+        assert_eq!(t.spans_ended(), t.spans_begun(), "every span closed");
+        assert_eq!(
+            t.events_recorded() + t.events_dropped(),
+            t.spans_begun() + t.spans_ended(),
+            "exact accounting under contention"
+        );
+    }
+}
+
+/// Ends its span on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
+    name: &'static str,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id (pass as `parent_span` to children).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.span_end(self.trace_id, self.span_id, self.parent_span, self.name);
+    }
+}

@@ -1,0 +1,63 @@
+//! `graphiti-serve`: host a small demo graph on a socket, so the wire
+//! client — and `graphiti_top` — have a live server to talk to.
+//!
+//! ```text
+//! cargo run -p graphiti-server --example graphiti_serve -- --unix /tmp/graphiti.sock
+//! cargo run -p graphiti-server --example graphiti_serve -- --tcp 127.0.0.1:7687
+//! ```
+//!
+//! Serves until killed.  The demo graph is a tiny EMP/DEPT instance;
+//! commit and query it over the wire, then point `graphiti_top` at the
+//! same address to watch the metrics move.
+
+use graphiti_common::Value;
+use graphiti_graph::{EdgeType, GraphInstance, GraphSchema, NodeType};
+use graphiti_server::Server;
+use graphiti_store::Graphiti;
+
+fn demo_service() -> Graphiti {
+    let schema = GraphSchema::new()
+        .with_node(NodeType::new("DEPT", ["dnum", "dname"]))
+        .with_node(NodeType::new("EMP", ["id", "name"]))
+        .with_edge(EdgeType::new("WORK_AT", "EMP", "DEPT", ["wid"]));
+    let mut g = GraphInstance::new();
+    let depts: Vec<_> = (0..3)
+        .map(|i| {
+            g.add_node("DEPT", [("dnum", Value::Int(i)), ("dname", Value::str(format!("D{i}")))])
+        })
+        .collect();
+    for i in 0..12 {
+        let e = g.add_node("EMP", [("id", Value::Int(i)), ("name", Value::str(format!("e{i}")))]);
+        g.add_edge("WORK_AT", e, depts[(i % 3) as usize], [("wid", Value::Int(i))]);
+    }
+    Graphiti::builder(schema)
+        .bootstrap(g)
+        .group_commit_default()
+        .open()
+        .expect("demo service opens")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (transport, addr) = match (args.next().as_deref(), args.next()) {
+        (Some("--unix"), Some(path)) => ("unix", path),
+        (Some("--tcp"), Some(addr)) => ("tcp", addr),
+        _ => {
+            eprintln!("usage: graphiti_serve (--unix <path> | --tcp <addr>)");
+            std::process::exit(2);
+        }
+    };
+    let handle = match transport {
+        "unix" => {
+            let _ = std::fs::remove_file(&addr);
+            Server::new(demo_service()).serve_unix(&addr).expect("server binds")
+        }
+        _ => Server::new(demo_service()).serve_tcp(addr.as_str()).expect("server binds"),
+    };
+    println!("graphiti-serve: listening on {transport} {addr} (ctrl-c to stop)");
+    // Serve until killed; the handle drains on drop.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+        let _ = &handle;
+    }
+}

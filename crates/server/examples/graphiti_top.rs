@@ -1,0 +1,122 @@
+//! `graphiti-top`: a terminal view of a live server's observability
+//! surface.
+//!
+//! Connects over the wire protocol (version 3), issues `Introspect`
+//! requests, and renders the three surfaces a running server exposes:
+//!
+//! * the metrics registry as Prometheus-style text (counters, gauges,
+//!   and histogram quantiles — commit end-to-end latency, WAL
+//!   append/fsync latency, group sizes, queue waits, per-request-kind
+//!   service times);
+//! * recent trace span events as JSON (request → group queue → WAL
+//!   append → fsync → publish);
+//! * the slow-query log as JSON (the N worst queries with their
+//!   per-operator profiles).
+//!
+//! ```text
+//! cargo run -p graphiti-server --example graphiti_top -- --unix /tmp/graphiti.sock
+//! cargo run -p graphiti-server --example graphiti_top -- --tcp 127.0.0.1:7687 --watch 2
+//! ```
+//!
+//! With `--watch <secs>` it redraws every interval until interrupted;
+//! without it, it prints one snapshot and exits.
+
+use graphiti_server::{Client, IntrospectMode, WireSession};
+use std::time::Duration;
+
+struct Args {
+    tcp: Option<String>,
+    unix: Option<String>,
+    watch: Option<u64>,
+    mode: Vec<IntrospectMode>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { tcp: None, unix: None, watch: None, mode: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => args.tcp = Some(it.next().ok_or("--tcp needs an address")?),
+            "--unix" => args.unix = Some(it.next().ok_or("--unix needs a path")?),
+            "--watch" => {
+                let secs = it.next().ok_or("--watch needs an interval in seconds")?;
+                args.watch = Some(secs.parse().map_err(|_| "--watch wants a number")?);
+            }
+            "--metrics" => args.mode.push(IntrospectMode::Metrics),
+            "--traces" => args.mode.push(IntrospectMode::Traces),
+            "--slow" => args.mode.push(IntrospectMode::SlowQueries),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.tcp.is_none() && args.unix.is_none() {
+        return Err("pass --tcp <addr> or --unix <path>".into());
+    }
+    if args.mode.is_empty() {
+        args.mode =
+            vec![IntrospectMode::Metrics, IntrospectMode::Traces, IntrospectMode::SlowQueries];
+    }
+    Ok(args)
+}
+
+fn connect(args: &Args) -> Result<WireSession, String> {
+    let session = match (&args.tcp, &args.unix) {
+        (Some(addr), _) => Client::connect_tcp(addr.as_str()),
+        (_, Some(path)) => Client::connect_unix(path),
+        _ => unreachable!("parse_args requires a transport"),
+    }
+    .map_err(|e| format!("connect failed: {e}"))?;
+    if session.negotiated_version() < 3 {
+        return Err(format!(
+            "server negotiated protocol version {}, but Introspect needs 3",
+            session.negotiated_version()
+        ));
+    }
+    Ok(session)
+}
+
+fn render(session: &mut WireSession, modes: &[IntrospectMode]) -> Result<(), String> {
+    for mode in modes {
+        let (title, text) = match mode {
+            IntrospectMode::Metrics => ("metrics", session.introspect(IntrospectMode::Metrics)),
+            IntrospectMode::Traces => ("traces", session.introspect(IntrospectMode::Traces)),
+            IntrospectMode::SlowQueries => {
+                ("slow queries", session.introspect(IntrospectMode::SlowQueries))
+            }
+        };
+        let text = text.map_err(|e| format!("introspect({title}) failed: {e}"))?;
+        println!("==== {title} ====");
+        println!("{text}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("graphiti-top: {msg}");
+            eprintln!(
+                "usage: graphiti_top (--tcp <addr> | --unix <path>) \
+                 [--watch <secs>] [--metrics] [--traces] [--slow]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut session = match connect(&args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("graphiti-top: {msg}");
+            std::process::exit(1);
+        }
+    };
+    loop {
+        if let Err(msg) = render(&mut session, &args.mode) {
+            eprintln!("graphiti-top: {msg}");
+            std::process::exit(1);
+        }
+        match args.watch {
+            Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+            None => break,
+        }
+    }
+}

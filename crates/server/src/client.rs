@@ -18,7 +18,10 @@
 //! [`Client::connect_tcp`]/[`Client::connect_unix`] session never
 //! retries and never reconnects — every failure surfaces immediately.
 
-use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::protocol::{
+    self, IntrospectMode, Request, Response, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 use graphiti_common::{ApiError, ApiResult};
 use graphiti_engine::{BatchQuery, BatchReport};
 use graphiti_relational::Table;
@@ -218,6 +221,12 @@ pub struct WireSession {
     closed: bool,
     retries: u64,
     reconnects: u64,
+    /// The framing version the handshake negotiated (the server may
+    /// answer with an older one than we asked for).
+    version: u32,
+    /// Trace id stamped on every outgoing request while non-zero
+    /// (version 3 connections only); `0` lets the server mint one.
+    trace_id: u64,
 }
 
 impl WireSession {
@@ -236,6 +245,8 @@ impl WireSession {
             closed: false,
             retries: 0,
             reconnects: 0,
+            version: MIN_PROTOCOL_VERSION,
+            trace_id: 0,
         };
         s.handshake()?;
         Ok(s)
@@ -260,8 +271,22 @@ impl WireSession {
     }
 
     fn handshake(&mut self) -> ApiResult<()> {
+        // Ask for the newest version we speak; adopt whatever (still
+        // supported) version the server echoes.  The Hello exchange
+        // itself always uses the oldest framing, so this decodes on any
+        // server.
+        self.version = MIN_PROTOCOL_VERSION;
         match self.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
-            Response::HelloOk { .. } => {}
+            Response::HelloOk { version }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                self.version = version;
+            }
+            Response::HelloOk { version } => {
+                return Err(ApiError::Protocol(format!(
+                    "server answered the handshake with unsupported version {version}"
+                )))
+            }
             other => return Err(unexpected("HelloOk", &other)),
         }
         match self.roundtrip(&Request::OpenSession)? {
@@ -269,6 +294,51 @@ impl WireSession {
             other => return Err(unexpected("SessionOpen", &other)),
         }
         Ok(())
+    }
+
+    /// The protocol version the handshake negotiated.
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Stamps `trace_id` on every subsequent request (version 3
+    /// connections), correlating its server-side spans; `0` reverts to
+    /// server-minted ids.
+    pub fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
+    }
+
+    /// Fetches the server's live observability surface: Prometheus-style
+    /// metrics text, or trace / slow-query JSON.  Requires a version-3
+    /// connection.
+    pub fn introspect(&mut self, mode: IntrospectMode) -> ApiResult<String> {
+        self.require_v3("Introspect")?;
+        match self.call(&Request::Introspect { mode }, true)? {
+            Response::IntrospectOk(text) => Ok(text),
+            other => Err(unexpected("IntrospectOk", &other)),
+        }
+    }
+
+    /// Runs one query with per-operator profiling enabled, returning
+    /// the rows plus the profile as JSON.  Requires a version-3
+    /// connection.
+    pub fn query_profiled(&mut self, query: &BatchQuery) -> ApiResult<(Table, String)> {
+        self.require_v3("QueryProfiled")?;
+        match self.call(&Request::QueryProfiled(query.clone()), true)? {
+            Response::RowsProfiled { table, profile_json } => Ok((table, profile_json)),
+            other => Err(unexpected("RowsProfiled", &other)),
+        }
+    }
+
+    fn require_v3(&self, what: &str) -> ApiResult<()> {
+        if self.version >= 3 {
+            Ok(())
+        } else {
+            Err(ApiError::Protocol(format!(
+                "{what} requires protocol version 3; this connection negotiated {}",
+                self.version
+            )))
+        }
     }
 
     /// Lifecycle observability: in-place retries this session has
@@ -299,9 +369,9 @@ impl WireSession {
         let id = self.next_id;
         self.next_id += 1;
         let deadline_ms = self.deadline_ms();
-        if let Err(send_err) =
-            protocol::write_frame(&mut self.conn, &protocol::encode_request(id, deadline_ms, req))
-        {
+        let payload =
+            protocol::encode_request_versioned(self.version, id, deadline_ms, self.trace_id, req);
+        if let Err(send_err) = protocol::write_frame(&mut self.conn, &payload) {
             // A failed send can mean the server already answered and
             // hung up — an admission refusal races our write.  A
             // pending error frame names the real reason.
@@ -326,7 +396,7 @@ impl WireSession {
                 self.closed = true;
                 ApiError::Protocol("server closed the connection without replying".into())
             })?;
-        let (echo, resp) = protocol::decode_response(&payload);
+        let (echo, resp) = protocol::decode_response_versioned(&payload, self.version);
         let resp = resp.inspect_err(|_| {
             self.closed = true;
         })?;

@@ -41,4 +41,5 @@ mod client;
 mod server;
 
 pub use client::{Client, ClientOptions, RetryPolicy, WireSession};
+pub use protocol::IntrospectMode;
 pub use server::{DrainReport, Server, ServerHandle, ServerOptions, DEADLINE_ENV};

@@ -33,10 +33,20 @@ use graphiti_store::codec::{self, Reader};
 use graphiti_store::{CommitAck, Delta, ServiceStats};
 use std::io::{Read, Write};
 
-/// Protocol revision; a [`Request::Hello`] with any other value is
-/// refused.  Version 2 added the `deadline_ms` request-header field and
-/// the commit idempotency token.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Protocol revision; a [`Request::Hello`] outside the supported range
+/// is refused.  Version 2 added the `deadline_ms` request-header field
+/// and the commit idempotency token.  Version 3 adds a `trace_id: u64`
+/// request-header field after `deadline_ms` on every post-`Hello`
+/// request (the `Hello` frame itself keeps the version-2 layout so the
+/// negotiation is decodable before a version is known), the
+/// [`Request::Introspect`] and [`Request::QueryProfiled`] kinds, and
+/// five appended observability fields on the `Stats` reply.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest protocol revision the server still speaks.  A version-2 peer
+/// gets version-2 framing back (no trace ids, no appended stats
+/// fields); the version-3 request kinds are refused on its connection.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// Default ceiling on one frame's payload (16 MiB).  A peer advertising
 /// a larger frame is cut off before any allocation happens.
@@ -75,6 +85,44 @@ pub enum Request {
     /// Closes the session (the server replies, then the connection
     /// winds down).
     Close,
+    /// Fetches the live observability surface (protocol v3+).
+    Introspect {
+        /// What to render: see [`IntrospectMode`].
+        mode: IntrospectMode,
+    },
+    /// Runs one query with per-operator profiling enabled (protocol
+    /// v3+); the reply carries the result rows plus the profile.
+    QueryProfiled(BatchQuery),
+}
+
+/// What a [`Request::Introspect`] renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntrospectMode {
+    /// The metrics registry as Prometheus-style text.
+    Metrics,
+    /// Recent trace span events as JSON.
+    Traces,
+    /// The slow-query log as JSON.
+    SlowQueries,
+}
+
+impl IntrospectMode {
+    fn to_wire(self) -> u8 {
+        match self {
+            IntrospectMode::Metrics => 0,
+            IntrospectMode::Traces => 1,
+            IntrospectMode::SlowQueries => 2,
+        }
+    }
+
+    fn from_wire(v: u8) -> ApiResult<IntrospectMode> {
+        match v {
+            0 => Ok(IntrospectMode::Metrics),
+            1 => Ok(IntrospectMode::Traces),
+            2 => Ok(IntrospectMode::SlowQueries),
+            other => Err(proto_err(format!("unknown introspect mode {other}"))),
+        }
+    }
 }
 
 /// Everything the server can answer.
@@ -110,6 +158,18 @@ pub enum Response {
     CheckpointOk(u64),
     /// Session closed.
     Closed,
+    /// The rendered observability surface (protocol v3+): Prometheus
+    /// text for metrics, JSON for traces and slow queries.
+    IntrospectOk(String),
+    /// A profiled query's result table plus its per-operator profile,
+    /// rendered as JSON (protocol v3+).
+    RowsProfiled {
+        /// The result rows (identical to the unprofiled query's).
+        table: Table,
+        /// The [`QueryProfile`](graphiti_obs::profile::QueryProfile) as
+        /// a JSON object.
+        profile_json: String,
+    },
     /// The request failed; the pair round-trips through
     /// [`ApiError::from_wire`].
     Error {
@@ -130,6 +190,8 @@ const K_REFRESH: u8 = 0x06;
 const K_STATS: u8 = 0x07;
 const K_CHECKPOINT: u8 = 0x08;
 const K_CLOSE: u8 = 0x09;
+const K_INTROSPECT: u8 = 0x0A;
+const K_QUERY_PROFILED: u8 = 0x0B;
 const K_ERROR: u8 = 0xEE;
 
 fn proto_err(detail: impl Into<String>) -> ApiError {
@@ -265,7 +327,7 @@ fn wire_decode(e: Error) -> ApiError {
     proto_err(format!("malformed frame body: {e}"))
 }
 
-fn put_stats(buf: &mut Vec<u8>, s: &ServiceStats) {
+fn put_stats(buf: &mut Vec<u8>, s: &ServiceStats, version: u32) {
     codec::put_u64(buf, s.generation);
     codec::put_u64(buf, s.commits);
     codec::put_u64(buf, s.rejected_commits);
@@ -280,10 +342,20 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServiceStats) {
     codec::put_u64(buf, s.connections_reaped);
     codec::put_u64(buf, s.draining_refusals);
     codec::put_u64(buf, s.drain_micros);
+    if version >= 3 {
+        // Version 3 appends the observability view; a version-2 reader
+        // decoding these extra bytes fails its trailing-bytes check with
+        // a typed Protocol error instead of misreading them.
+        codec::put_u64(buf, s.queries);
+        codec::put_u64(buf, s.query_p95_micros);
+        codec::put_u64(buf, s.spans_recorded);
+        codec::put_u64(buf, s.spans_dropped);
+        codec::put_u64(buf, s.slow_queries);
+    }
 }
 
-fn read_stats(r: &mut Reader<'_>) -> ApiResult<ServiceStats> {
-    Ok(ServiceStats {
+fn read_stats(r: &mut Reader<'_>, version: u32) -> ApiResult<ServiceStats> {
+    let mut stats = ServiceStats {
         generation: r.u64().map_err(wire_decode)?,
         commits: r.u64().map_err(wire_decode)?,
         rejected_commits: r.u64().map_err(wire_decode)?,
@@ -298,7 +370,20 @@ fn read_stats(r: &mut Reader<'_>) -> ApiResult<ServiceStats> {
         connections_reaped: r.u64().map_err(wire_decode)?,
         draining_refusals: r.u64().map_err(wire_decode)?,
         drain_micros: r.u64().map_err(wire_decode)?,
-    })
+        queries: 0,
+        query_p95_micros: 0,
+        spans_recorded: 0,
+        spans_dropped: 0,
+        slow_queries: 0,
+    };
+    if version >= 3 {
+        stats.queries = r.u64().map_err(wire_decode)?;
+        stats.query_p95_micros = r.u64().map_err(wire_decode)?;
+        stats.spans_recorded = r.u64().map_err(wire_decode)?;
+        stats.spans_dropped = r.u64().map_err(wire_decode)?;
+        stats.slow_queries = r.u64().map_err(wire_decode)?;
+    }
+    Ok(stats)
 }
 
 fn put_report(buf: &mut Vec<u8>, report: &BatchReport) {
@@ -340,7 +425,7 @@ fn read_report(r: &mut Reader<'_>) -> ApiResult<BatchReport> {
         };
         let micros = r.u64().map_err(wire_decode)?;
         let cache_hit = r.u8().map_err(wire_decode)? != 0;
-        outcomes.push(QueryOutcome { result, micros, cache_hit });
+        outcomes.push(QueryOutcome { result, micros, cache_hit, profile: None });
     }
     Ok(BatchReport {
         outcomes,
@@ -355,10 +440,25 @@ fn read_report(r: &mut Reader<'_>) -> ApiResult<BatchReport> {
 // Requests
 // ---------------------------------------------------------------------
 
-/// Encodes a request payload (frame it with [`write_frame`]).
+/// Encodes a request payload with version-2 framing (no trace id).
 /// `deadline_ms` is the request's deadline budget in milliseconds from
 /// server receipt; `0` defers to the server default.
 pub fn encode_request(request_id: u64, deadline_ms: u32, req: &Request) -> Vec<u8> {
+    encode_request_versioned(MIN_PROTOCOL_VERSION, request_id, deadline_ms, 0, req)
+}
+
+/// Encodes a request payload for a negotiated protocol `version` (frame
+/// it with [`write_frame`]).  On version 3+ every request except
+/// [`Request::Hello`] carries `trace_id` after the deadline; `0` asks
+/// the server to mint one.  `Hello` always uses the version-2 layout so
+/// the handshake decodes before any version is agreed.
+pub fn encode_request_versioned(
+    version: u32,
+    request_id: u64,
+    deadline_ms: u32,
+    trace_id: u64,
+    req: &Request,
+) -> Vec<u8> {
     let mut buf = Vec::new();
     let kind = match req {
         Request::Hello { .. } => K_HELLO,
@@ -370,10 +470,15 @@ pub fn encode_request(request_id: u64, deadline_ms: u32, req: &Request) -> Vec<u
         Request::Stats => K_STATS,
         Request::Checkpoint => K_CHECKPOINT,
         Request::Close => K_CLOSE,
+        Request::Introspect { .. } => K_INTROSPECT,
+        Request::QueryProfiled(_) => K_QUERY_PROFILED,
     };
     buf.push(kind);
     codec::put_u64(&mut buf, request_id);
     codec::put_u32(&mut buf, deadline_ms);
+    if version >= 3 && kind != K_HELLO {
+        codec::put_u64(&mut buf, trace_id);
+    }
     match req {
         Request::Hello { version } => codec::put_u32(&mut buf, *version),
         Request::Query(q) => put_query(&mut buf, q),
@@ -388,6 +493,8 @@ pub fn encode_request(request_id: u64, deadline_ms: u32, req: &Request) -> Vec<u
             codec::put_u64(&mut buf, *token as u64);
             codec::put_delta(&mut buf, delta);
         }
+        Request::Introspect { mode } => buf.push(mode.to_wire()),
+        Request::QueryProfiled(q) => put_query(&mut buf, q),
         Request::OpenSession
         | Request::Refresh
         | Request::Stats
@@ -397,22 +504,50 @@ pub fn encode_request(request_id: u64, deadline_ms: u32, req: &Request) -> Vec<u
     buf
 }
 
-/// Decodes a request payload into `(request_id, deadline_ms, request)`.
-/// The returned id is `0` when the payload is too short to even carry
-/// one — the server still has something to address its error reply to;
-/// likewise the deadline degrades to `0` (server default).
+/// Decodes a version-2 request payload into
+/// `(request_id, deadline_ms, request)`.
 pub fn decode_request(payload: &[u8]) -> (u64, u32, ApiResult<Request>) {
+    let (request_id, deadline_ms, _trace, req) =
+        decode_request_versioned(payload, MIN_PROTOCOL_VERSION);
+    (request_id, deadline_ms, req)
+}
+
+/// Decodes a request payload for a negotiated protocol `version` into
+/// `(request_id, deadline_ms, trace_id, request)`.  The returned id is
+/// `0` when the payload is too short to even carry one — the server
+/// still has something to address its error reply to; likewise the
+/// deadline and trace id degrade to `0` (server default / untraced).
+/// On version 2 the trace id is always `0`.
+pub fn decode_request_versioned(
+    payload: &[u8],
+    version: u32,
+) -> (u64, u32, u64, ApiResult<Request>) {
     let mut r = Reader::new(payload);
     let Ok(kind) = r.u8() else {
-        return (0, 0, Err(proto_err("empty request payload")));
+        return (0, 0, 0, Err(proto_err("empty request payload")));
     };
     let Ok(request_id) = r.u64() else {
-        return (0, 0, Err(proto_err("request payload too short for a request id")));
+        return (0, 0, 0, Err(proto_err("request payload too short for a request id")));
     };
     let Ok(deadline_ms) = r.u32() else {
-        return (request_id, 0, Err(proto_err("request payload too short for a deadline")));
+        return (request_id, 0, 0, Err(proto_err("request payload too short for a deadline")));
     };
-    let req = decode_request_body(kind, &mut r);
+    let trace_id = if version >= 3 && kind != K_HELLO {
+        match r.u64() {
+            Ok(t) => t,
+            Err(_) => {
+                return (
+                    request_id,
+                    deadline_ms,
+                    0,
+                    Err(proto_err("request payload too short for a trace id")),
+                );
+            }
+        }
+    } else {
+        0
+    };
+    let req = decode_request_body(kind, &mut r, version);
     let req = req.and_then(|req| {
         if r.is_done() {
             Ok(req)
@@ -420,10 +555,15 @@ pub fn decode_request(payload: &[u8]) -> (u64, u32, ApiResult<Request>) {
             Err(proto_err("trailing bytes after the request body"))
         }
     });
-    (request_id, deadline_ms, req)
+    (request_id, deadline_ms, trace_id, req)
 }
 
-fn decode_request_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Request> {
+fn decode_request_body(kind: u8, r: &mut Reader<'_>, version: u32) -> ApiResult<Request> {
+    if version < 3 && matches!(kind, K_INTROSPECT | K_QUERY_PROFILED) {
+        return Err(proto_err(format!(
+            "request kind 0x{kind:02x} requires protocol version 3 (negotiated {version})"
+        )));
+    }
     match kind {
         K_HELLO => Ok(Request::Hello { version: r.u32().map_err(wire_decode)? }),
         K_OPEN => Ok(Request::OpenSession),
@@ -446,6 +586,10 @@ fn decode_request_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Request> {
         K_STATS => Ok(Request::Stats),
         K_CHECKPOINT => Ok(Request::Checkpoint),
         K_CLOSE => Ok(Request::Close),
+        K_INTROSPECT => Ok(Request::Introspect {
+            mode: IntrospectMode::from_wire(r.u8().map_err(wire_decode)?)?,
+        }),
+        K_QUERY_PROFILED => Ok(Request::QueryProfiled(read_query(r)?)),
         other => Err(proto_err(format!("unknown request kind 0x{other:02x}"))),
     }
 }
@@ -454,8 +598,16 @@ fn decode_request_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Request> {
 // Responses
 // ---------------------------------------------------------------------
 
-/// Encodes a response payload (frame it with [`write_frame`]).
+/// Encodes a response payload with version-2 framing.
 pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
+    encode_response_versioned(MIN_PROTOCOL_VERSION, request_id, resp)
+}
+
+/// Encodes a response payload for a negotiated protocol `version`
+/// (frame it with [`write_frame`]).  The version picks the `Stats`
+/// layout: version-2 peers get the original fourteen fields, version-3
+/// peers get the appended observability fields too.
+pub fn encode_response_versioned(version: u32, request_id: u64, resp: &Response) -> Vec<u8> {
     let mut buf = Vec::new();
     let kind = match resp {
         Response::HelloOk { .. } => K_HELLO | 0x80,
@@ -467,6 +619,8 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
         Response::StatsOk(_) => K_STATS | 0x80,
         Response::CheckpointOk(_) => K_CHECKPOINT | 0x80,
         Response::Closed => K_CLOSE | 0x80,
+        Response::IntrospectOk(_) => K_INTROSPECT | 0x80,
+        Response::RowsProfiled { .. } => K_QUERY_PROFILED | 0x80,
         Response::Error { .. } => K_ERROR,
     };
     buf.push(kind);
@@ -482,9 +636,14 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
             codec::put_u64(&mut buf, *session_generation);
         }
         Response::Generation(g) => codec::put_u64(&mut buf, *g),
-        Response::StatsOk(stats) => put_stats(&mut buf, stats),
+        Response::StatsOk(stats) => put_stats(&mut buf, stats, version),
         Response::CheckpointOk(g) => codec::put_u64(&mut buf, *g),
         Response::Closed => {}
+        Response::IntrospectOk(text) => codec::put_str(&mut buf, text),
+        Response::RowsProfiled { table, profile_json } => {
+            put_table(&mut buf, table);
+            codec::put_str(&mut buf, profile_json);
+        }
         Response::Error { code, message } => {
             codec::put_u16(&mut buf, *code);
             codec::put_str(&mut buf, message);
@@ -493,8 +652,16 @@ pub fn encode_response(request_id: u64, resp: &Response) -> Vec<u8> {
     buf
 }
 
-/// Decodes a response payload into `(request_id, response)`.
+/// Decodes a version-2 response payload into `(request_id, response)`.
 pub fn decode_response(payload: &[u8]) -> (u64, ApiResult<Response>) {
+    decode_response_versioned(payload, MIN_PROTOCOL_VERSION)
+}
+
+/// Decodes a response payload for a negotiated protocol `version` into
+/// `(request_id, response)`.  A version-2 decoder handed a version-3
+/// payload fails typed: extra `Stats` bytes trip the trailing-bytes
+/// check and the version-3 response kinds are refused outright.
+pub fn decode_response_versioned(payload: &[u8], version: u32) -> (u64, ApiResult<Response>) {
     let mut r = Reader::new(payload);
     let Ok(kind) = r.u8() else {
         return (0, Err(proto_err("empty response payload")));
@@ -502,7 +669,7 @@ pub fn decode_response(payload: &[u8]) -> (u64, ApiResult<Response>) {
     let Ok(request_id) = r.u64() else {
         return (0, Err(proto_err("response payload too short for a request id")));
     };
-    let resp = decode_response_body(kind, &mut r);
+    let resp = decode_response_body(kind, &mut r, version);
     let resp = resp.and_then(|resp| {
         if r.is_done() {
             Ok(resp)
@@ -513,7 +680,13 @@ pub fn decode_response(payload: &[u8]) -> (u64, ApiResult<Response>) {
     (request_id, resp)
 }
 
-fn decode_response_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Response> {
+fn decode_response_body(kind: u8, r: &mut Reader<'_>, version: u32) -> ApiResult<Response> {
+    if version < 3 && matches!(kind, k if k == K_INTROSPECT | 0x80 || k == K_QUERY_PROFILED | 0x80)
+    {
+        return Err(proto_err(format!(
+            "response kind 0x{kind:02x} requires protocol version 3 (negotiated {version})"
+        )));
+    }
     match kind {
         k if k == K_HELLO | 0x80 => {
             Ok(Response::HelloOk { version: r.u32().map_err(wire_decode)? })
@@ -533,9 +706,15 @@ fn decode_response_body(kind: u8, r: &mut Reader<'_>) -> ApiResult<Response> {
             })
         }
         k if k == K_REFRESH | 0x80 => Ok(Response::Generation(r.u64().map_err(wire_decode)?)),
-        k if k == K_STATS | 0x80 => Ok(Response::StatsOk(read_stats(r)?)),
+        k if k == K_STATS | 0x80 => Ok(Response::StatsOk(read_stats(r, version)?)),
         k if k == K_CHECKPOINT | 0x80 => Ok(Response::CheckpointOk(r.u64().map_err(wire_decode)?)),
         k if k == K_CLOSE | 0x80 => Ok(Response::Closed),
+        k if k == K_INTROSPECT | 0x80 => Ok(Response::IntrospectOk(r.str().map_err(wire_decode)?)),
+        k if k == K_QUERY_PROFILED | 0x80 => {
+            let table = read_table(r)?;
+            let profile_json = r.str().map_err(wire_decode)?;
+            Ok(Response::RowsProfiled { table, profile_json })
+        }
         k if k == K_ERROR => {
             let code = r.u16().map_err(wire_decode)?;
             let message = r.str().map_err(wire_decode)?;
@@ -646,6 +825,11 @@ mod tests {
                 connections_reaped: 1,
                 draining_refusals: 3,
                 drain_micros: 1234,
+                queries: 0,
+                query_p95_micros: 0,
+                spans_recorded: 0,
+                spans_dropped: 0,
+                slow_queries: 0,
             }),
             Response::CheckpointOk(9),
             Response::Closed,
@@ -666,11 +850,12 @@ mod tests {
         table.push_row(vec![Value::Int(3)]);
         let report = BatchReport {
             outcomes: vec![
-                QueryOutcome { result: Ok(table), micros: 120, cache_hit: true },
+                QueryOutcome { result: Ok(table), micros: 120, cache_hit: true, profile: None },
                 QueryOutcome {
                     result: Err(Error::eval("unknown column `x`")),
                     micros: 40,
                     cache_hit: false,
+                    profile: None,
                 },
             ],
             wall_micros: 200,
@@ -703,5 +888,142 @@ mod tests {
         payload.push(0);
         let (_, _, req) = decode_request(&payload);
         assert!(matches!(req, Err(ApiError::Protocol(_))));
+    }
+
+    #[test]
+    fn v3_requests_round_trip_with_trace_ids() {
+        let reqs = [
+            Request::OpenSession,
+            Request::Query(BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS i")),
+            Request::Introspect { mode: IntrospectMode::Metrics },
+            Request::Introspect { mode: IntrospectMode::Traces },
+            Request::Introspect { mode: IntrospectMode::SlowQueries },
+            Request::QueryProfiled(BatchQuery::sql("SELECT Count(*) AS c FROM EMP AS e")),
+            Request::Close,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let trace = 0xABCD_0000 + i as u64;
+            let payload = encode_request_versioned(3, i as u64, 125, trace, &req);
+            let (id, deadline, got_trace, got) = decode_request_versioned(&payload, 3);
+            assert_eq!(id, i as u64);
+            assert_eq!(deadline, 125);
+            assert_eq!(got_trace, trace, "trace id must survive the v3 header");
+            let got = got.unwrap_or_else(|e| panic!("decoding {req:?}: {e}"));
+            assert_eq!(format!("{got:?}"), format!("{req:?}"));
+        }
+    }
+
+    #[test]
+    fn hello_keeps_the_v2_layout_on_every_version() {
+        // The handshake must decode before a version is negotiated, so
+        // its bytes are identical no matter which version encodes it.
+        let hello = Request::Hello { version: PROTOCOL_VERSION };
+        let v2 = encode_request(1, 0, &hello);
+        let v3 = encode_request_versioned(3, 1, 0, 0xDEAD, &hello);
+        assert_eq!(v2, v3);
+        let (_, _, trace, got) = decode_request_versioned(&v2, 3);
+        assert_eq!(trace, 0);
+        assert!(matches!(got, Ok(Request::Hello { version }) if version == PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn v3_responses_round_trip() {
+        let mut table = Table::new(["c"]);
+        table.push_row(vec![Value::Int(3)]);
+        let resps = [
+            Response::IntrospectOk("# TYPE graphiti_commits_total counter\n".into()),
+            Response::RowsProfiled {
+                table,
+                profile_json: "{\"language\":\"sql\",\"stages\":[]}".into(),
+            },
+            Response::StatsOk(ServiceStats {
+                generation: 9,
+                commits: 7,
+                rejected_commits: 1,
+                live_nodes: 5,
+                live_edges: 2,
+                fenced: false,
+                groups_formed: 3,
+                group_members: 7,
+                backpressured: 4,
+                idempotent_replays: 2,
+                deadlines_exceeded: 6,
+                connections_reaped: 1,
+                draining_refusals: 3,
+                drain_micros: 1234,
+                queries: 612,
+                query_p95_micros: 480,
+                spans_recorded: 99,
+                spans_dropped: 1,
+                slow_queries: 8,
+            }),
+        ];
+        for (i, resp) in resps.into_iter().enumerate() {
+            let payload = encode_response_versioned(3, i as u64, &resp);
+            let (id, got) = decode_response_versioned(&payload, 3);
+            assert_eq!(id, i as u64);
+            let got = got.unwrap_or_else(|e| panic!("decoding {resp:?}: {e}"));
+            assert_eq!(format!("{got:?}"), format!("{resp:?}"));
+        }
+    }
+
+    #[test]
+    fn v2_reader_never_sees_garbage_from_v3_payloads() {
+        // A v3 Stats reply carries five appended fields; a v2 decoder
+        // must refuse the surplus bytes rather than misparse them.
+        let stats = ServiceStats { queries: 612, spans_recorded: 99, ..ServiceStats::default() };
+        let v3_payload = encode_response_versioned(3, 7, &Response::StatsOk(stats));
+        let (_, got) = decode_response(&v3_payload);
+        match got {
+            Err(ApiError::Protocol(msg)) => {
+                assert!(msg.contains("trailing bytes"), "{msg}")
+            }
+            other => panic!("v2 decode of a v3 stats reply must fail typed, got {other:?}"),
+        }
+
+        // The v3-only response kinds are refused outright at v2.
+        let intro = encode_response_versioned(3, 8, &Response::IntrospectOk("x".into()));
+        let (_, got) = decode_response(&intro);
+        assert!(matches!(got, Err(ApiError::Protocol(_))), "{got:?}");
+
+        // Same story for requests: the v3-only kinds and the trace-id
+        // header field are both invisible to a v2 server — typed errors,
+        // never a misdecode.
+        let introspect_req = encode_request_versioned(
+            3,
+            9,
+            0,
+            0x1234,
+            &Request::Introspect { mode: IntrospectMode::Metrics },
+        );
+        let (_, _, got) = decode_request(&introspect_req);
+        assert!(matches!(got, Err(ApiError::Protocol(_))), "{got:?}");
+        let traced_query = encode_request_versioned(
+            3,
+            10,
+            0,
+            0x5678,
+            &Request::Query(BatchQuery::cypher("MATCH (n:EMP) RETURN n.id AS i")),
+        );
+        let (_, _, got) = decode_request(&traced_query);
+        assert!(matches!(got, Err(ApiError::Protocol(_))), "{got:?}");
+
+        // And every truncation of a v3 payload is total at both
+        // versions: a typed error, or — at v2, exactly at the v2 field
+        // boundary — a clean truncation whose shared fields are intact.
+        // Never garbage.
+        for cut in 0..v3_payload.len() {
+            match decode_response(&v3_payload[..cut]).1 {
+                Err(ApiError::Protocol(_)) => {}
+                Ok(Response::StatsOk(s)) => {
+                    assert_eq!(s.queries, 0, "cut {cut}: v2 cannot see the appended fields");
+                    assert_eq!(s.commits, 0);
+                    assert_eq!(s.generation, 0);
+                }
+                other => panic!("cut {cut} decoded {other:?} at v2"),
+            }
+            let (_, got) = decode_response_versioned(&v3_payload[..cut], 3);
+            assert!(got.is_err(), "cut {cut} must not decode at v3");
+        }
     }
 }

@@ -35,8 +35,13 @@
 //! [`ApiError::Internal`] frame, drops the session, and closes the
 //! connection.
 
-use crate::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::protocol::{
+    self, IntrospectMode, Request, Response, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 use graphiti_common::{ApiError, ApiResult};
+use graphiti_obs::metrics::{Counter, Histogram, Registry};
+use graphiti_obs::trace::mint_trace_id;
 use graphiti_store::codec;
 use graphiti_store::{Graphiti, Session};
 use std::io::{Read, Write};
@@ -44,7 +49,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -119,15 +124,81 @@ fn deadline_from_env() -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
-/// Server-side request-lifecycle counters, merged into the
+/// Server-side request-lifecycle counters: live registry cells (so the
+/// introspection surface sees them) merged into the
 /// [`ServiceStats`](graphiti_store::ServiceStats) a wire `Stats`
 /// request returns.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LifecycleCounters {
-    deadlines_exceeded: AtomicU64,
-    connections_reaped: AtomicU64,
-    draining_refusals: AtomicU64,
-    drain_micros: AtomicU64,
+    deadlines_exceeded: Counter,
+    connections_reaped: Counter,
+    draining_refusals: Counter,
+    drain_micros: Counter,
+}
+
+impl LifecycleCounters {
+    fn register(registry: &Registry) -> LifecycleCounters {
+        LifecycleCounters {
+            deadlines_exceeded: registry.counter("graphiti_deadlines_exceeded_total"),
+            connections_reaped: registry.counter("graphiti_connections_reaped_total"),
+            draining_refusals: registry.counter("graphiti_draining_refusals_total"),
+            drain_micros: registry.counter("graphiti_drain_micros"),
+        }
+    }
+}
+
+/// Per-request-kind service-time distributions plus the deadline slack
+/// observed at admission, registered once per server.
+#[derive(Debug)]
+struct ServerMetrics {
+    deadline_slack_ms: Arc<Histogram>,
+    hello: Arc<Histogram>,
+    open: Arc<Histogram>,
+    query: Arc<Histogram>,
+    batch: Arc<Histogram>,
+    commit: Arc<Histogram>,
+    refresh: Arc<Histogram>,
+    stats: Arc<Histogram>,
+    checkpoint: Arc<Histogram>,
+    close: Arc<Histogram>,
+    introspect: Arc<Histogram>,
+    query_profiled: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn register(registry: &Registry) -> ServerMetrics {
+        let h = |kind: &str| registry.histogram(&format!("graphiti_request_micros_{kind}"));
+        ServerMetrics {
+            deadline_slack_ms: registry.histogram("graphiti_deadline_slack_ms"),
+            hello: h("hello"),
+            open: h("open"),
+            query: h("query"),
+            batch: h("batch"),
+            commit: h("commit"),
+            refresh: h("refresh"),
+            stats: h("stats"),
+            checkpoint: h("checkpoint"),
+            close: h("close"),
+            introspect: h("introspect"),
+            query_profiled: h("query_profiled"),
+        }
+    }
+
+    fn service_time(&self, request: &Request) -> &Arc<Histogram> {
+        match request {
+            Request::Hello { .. } => &self.hello,
+            Request::OpenSession => &self.open,
+            Request::Query(_) => &self.query,
+            Request::Batch(_) => &self.batch,
+            Request::Commit { .. } => &self.commit,
+            Request::Refresh => &self.refresh,
+            Request::Stats => &self.stats,
+            Request::Checkpoint => &self.checkpoint,
+            Request::Close => &self.close,
+            Request::Introspect { .. } => &self.introspect,
+            Request::QueryProfiled(_) => &self.query_profiled,
+        }
+    }
 }
 
 /// What [`ServerHandle::shutdown`] observed while draining.
@@ -241,16 +312,21 @@ impl Server {
     ) -> ApiResult<ServerHandle> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
-        let lifecycle = Arc::new(LifecycleCounters::default());
+        let registry = Arc::clone(self.service.obs().registry());
+        let lifecycle = Arc::new(LifecycleCounters::register(&registry));
+        let metrics = Arc::new(ServerMetrics::register(&registry));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accepter = {
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
             let lifecycle = Arc::clone(&lifecycle);
+            let metrics = Arc::clone(&metrics);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("graphiti-accept".into())
-                .spawn(move || accept_loop(self, listener, shutdown, active, lifecycle, conns))
+                .spawn(move || {
+                    accept_loop(self, listener, shutdown, active, lifecycle, metrics, conns)
+                })
                 .map_err(|e| ApiError::Io(e.to_string()))?
         };
         Ok(ServerHandle {
@@ -264,12 +340,14 @@ impl Server {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     server: Server,
     listener: Listener,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     lifecycle: Arc<LifecycleCounters>,
+    metrics: Arc<ServerMetrics>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     loop {
@@ -299,9 +377,17 @@ fn accept_loop(
         let options = server.options.clone();
         let conn_shutdown = Arc::clone(&shutdown);
         let conn_lifecycle = Arc::clone(&lifecycle);
+        let conn_metrics = Arc::clone(&metrics);
         let conn_active = Arc::clone(&active);
         let handle = std::thread::Builder::new().name("graphiti-conn".into()).spawn(move || {
-            serve_conn(service, options, &mut stream, &conn_shutdown, &conn_lifecycle);
+            serve_conn(
+                service,
+                options,
+                &mut stream,
+                &conn_shutdown,
+                &conn_lifecycle,
+                &conn_metrics,
+            );
             conn_active.fetch_sub(1, Ordering::SeqCst);
         });
         match handle {
@@ -464,33 +550,40 @@ fn serve_conn(
     stream: &mut Stream,
     shutdown: &AtomicBool,
     lifecycle: &LifecycleCounters,
+    metrics: &ServerMetrics,
 ) {
     let _ = stream.set_read_timeout(Some(options.tick));
     let _ = stream.set_write_timeout(Some(options.write_timeout));
     let mut session: Option<graphiti_store::EmbeddedSession> = None;
     let mut greeted = false;
+    // The framing version this connection negotiated at Hello; until
+    // then the oldest supported layout, which the Hello frame itself
+    // always uses.
+    let mut version: u32 = MIN_PROTOCOL_VERSION;
     loop {
         let (payload, arrived) = match read_frame_governed(stream, &options, shutdown) {
             FrameOutcome::Frame(payload, arrived) => (payload, arrived),
             FrameOutcome::Eof | FrameOutcome::Draining | FrameOutcome::DrainExpired => return,
             FrameOutcome::Reaped => {
-                lifecycle.connections_reaped.fetch_add(1, Ordering::Relaxed);
+                lifecycle.connections_reaped.inc();
                 return;
             }
             FrameOutcome::Failed(err) => {
                 // A torn or hostile frame gets a typed reply; the
                 // stream is unsynchronized past it, so close.
-                send_error(stream, 0, &err, lifecycle);
+                send_error(stream, version, 0, &err, lifecycle);
                 return;
             }
         };
-        let (request_id, deadline_ms, request) = protocol::decode_request(&payload);
+        let (request_id, deadline_ms, wire_trace, request) =
+            protocol::decode_request_versioned(&payload, version);
         // A request that arrives once the drain began is refused with a
         // typed frame; only handlers already running are in-flight.
         if shutdown.load(Ordering::SeqCst) {
-            lifecycle.draining_refusals.fetch_add(1, Ordering::Relaxed);
+            lifecycle.draining_refusals.inc();
             send_error(
                 stream,
+                version,
                 request_id,
                 &ApiError::Draining("server is draining for shutdown; retry after restart".into()),
                 lifecycle,
@@ -500,9 +593,21 @@ fn serve_conn(
         let request = match request {
             Ok(request) => request,
             Err(err) => {
-                send_error(stream, request_id, &err, lifecycle);
+                send_error(stream, version, request_id, &err, lifecycle);
                 return;
             }
+        };
+        // Every post-handshake request gets a trace id: the client's if
+        // it supplied one (version 3+), minted at decode otherwise — so
+        // a version-2 peer's requests still trace server-side.
+        let trace = if greeted && !matches!(request, Request::Hello { .. }) {
+            if wire_trace != 0 {
+                wire_trace
+            } else {
+                mint_trace_id()
+            }
+        } else {
+            0
         };
         // The deadline budget runs from the frame's first byte: the
         // wire header's, or the server default when the header says 0.
@@ -513,10 +618,17 @@ fn serve_conn(
         };
         let deadline = budget.map(|b| arrived + b);
         // Admission check: a frame that trickled in past its own
-        // budget is answered without running the handler at all.
+        // budget is answered without running the handler at all.  The
+        // slack distribution records how much budget survives admission
+        // (an expired budget is zero slack).
+        if let Some(d) = deadline {
+            let slack = d.saturating_duration_since(Instant::now());
+            metrics.deadline_slack_ms.record(slack.as_millis() as u64);
+        }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             if !send_error(
                 stream,
+                version,
                 request_id,
                 &ApiError::DeadlineExceeded("deadline expired before admission".into()),
                 lifecycle,
@@ -526,6 +638,11 @@ fn serve_conn(
             continue;
         }
         let closing = matches!(request, Request::Close);
+        let service_time = Arc::clone(metrics.service_time(&request));
+        let span = (trace != 0)
+            .then(|| service.obs().tracer().clone())
+            .map(|tracer| OwnedSpan::begin(tracer, trace));
+        let served = Instant::now();
         // The handler runs under catch_unwind so a panic — a store bug,
         // or the poison-query test hook — becomes a typed error frame
         // instead of a hung client.
@@ -536,10 +653,14 @@ fn serve_conn(
                 lifecycle,
                 &mut session,
                 &mut greeted,
+                &mut version,
                 deadline,
+                trace,
                 request,
             )
         }));
+        drop(span);
+        service_time.record(served.elapsed().as_micros() as u64);
         match outcome {
             Ok(Ok(response)) => {
                 // Pre-reply check: a reply the client has given up on
@@ -548,6 +669,7 @@ fn serve_conn(
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     if !send_error(
                         stream,
+                        version,
                         request_id,
                         &ApiError::DeadlineExceeded(
                             "deadline expired before the reply was serialized".into(),
@@ -561,14 +683,13 @@ fn serve_conn(
                     }
                     continue;
                 }
-                if protocol::write_frame(stream, &protocol::encode_response(request_id, &response))
-                    .is_err()
-                {
+                let encoded = protocol::encode_response_versioned(version, request_id, &response);
+                if protocol::write_frame(stream, &encoded).is_err() {
                     return;
                 }
             }
             Ok(Err(err)) => {
-                if !send_error(stream, request_id, &err, lifecycle) {
+                if !send_error(stream, version, request_id, &err, lifecycle) {
                     return;
                 }
             }
@@ -577,6 +698,7 @@ fn serve_conn(
                 drop(session.take());
                 send_error(
                     stream,
+                    version,
                     request_id,
                     &ApiError::Internal(
                         "server panicked handling the request; session closed".into(),
@@ -592,43 +714,78 @@ fn serve_conn(
     }
 }
 
+/// A `server.request` span that owns its tracer, so it can outlive the
+/// borrow checker's view of the request while the handler runs.
+struct OwnedSpan {
+    tracer: Arc<graphiti_obs::trace::Tracer>,
+    trace: u64,
+    span: u64,
+}
+
+impl OwnedSpan {
+    fn begin(tracer: Arc<graphiti_obs::trace::Tracer>, trace: u64) -> OwnedSpan {
+        let span = tracer.span_begin(trace, 0, "server.request");
+        OwnedSpan { tracer, trace, span }
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        self.tracer.span_end(self.trace, self.span, 0, "server.request");
+    }
+}
+
 /// Writes a typed error frame (counting expired deadlines); false when
 /// the stream is already gone.
 fn send_error(
     stream: &mut Stream,
+    version: u32,
     request_id: u64,
     err: &ApiError,
     lifecycle: &LifecycleCounters,
 ) -> bool {
     if matches!(err, ApiError::DeadlineExceeded(_)) {
-        lifecycle.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        lifecycle.deadlines_exceeded.inc();
     }
     let (code, message) = err.to_wire();
     protocol::write_frame(
         stream,
-        &protocol::encode_response(request_id, &Response::Error { code, message }),
+        &protocol::encode_response_versioned(
+            version,
+            request_id,
+            &Response::Error { code, message },
+        ),
     )
     .is_ok()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
     service: &Graphiti,
     options: &ServerOptions,
     lifecycle: &LifecycleCounters,
     session: &mut Option<graphiti_store::EmbeddedSession>,
     greeted: &mut bool,
+    negotiated: &mut u32,
     deadline: Option<Instant>,
+    trace: u64,
     request: Request,
 ) -> ApiResult<Response> {
-    // The handshake gates everything else.
+    // The handshake gates everything else.  The server accepts any
+    // version it still speaks and echoes it back; the connection then
+    // uses that framing both ways.
     if !*greeted {
         return match request {
-            Request::Hello { version: PROTOCOL_VERSION } => {
+            Request::Hello { version }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
                 *greeted = true;
-                Ok(Response::HelloOk { version: PROTOCOL_VERSION })
+                *negotiated = version;
+                Ok(Response::HelloOk { version })
             }
             Request::Hello { version } => Err(ApiError::Protocol(format!(
-                "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                "protocol version {version} not supported (server speaks \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
             ))),
             _ => Err(ApiError::Protocol("expected Hello as the first request".into())),
         };
@@ -668,7 +825,14 @@ fn handle_request(
             }
             // The bounded admission queue, surfaced as typed
             // backpressure instead of blocking the connection thread.
-            match service.try_commit_tagged(delta, (token != 0).then_some(token), deadline)? {
+            // The request's trace id rides along so the commit's WAL,
+            // fsync, and publish spans join the server.request span.
+            match service.try_commit_traced(
+                delta,
+                (token != 0).then_some(token),
+                deadline,
+                trace,
+            )? {
                 Ok(ack) => {
                     // Re-pin for read-your-writes, matching the
                     // embedded session's commit semantics.
@@ -681,10 +845,10 @@ fn handle_request(
         Request::Refresh => Ok(Response::Generation(open(session)?.refresh()?)),
         Request::Stats => {
             let mut stats = service.service_stats();
-            stats.deadlines_exceeded = lifecycle.deadlines_exceeded.load(Ordering::Relaxed);
-            stats.connections_reaped = lifecycle.connections_reaped.load(Ordering::Relaxed);
-            stats.draining_refusals = lifecycle.draining_refusals.load(Ordering::Relaxed);
-            stats.drain_micros = lifecycle.drain_micros.load(Ordering::Relaxed);
+            stats.deadlines_exceeded = lifecycle.deadlines_exceeded.get();
+            stats.connections_reaped = lifecycle.connections_reaped.get();
+            stats.draining_refusals = lifecycle.draining_refusals.get();
+            stats.drain_micros = lifecycle.drain_micros.get();
             Ok(Response::StatsOk(stats))
         }
         Request::Checkpoint => Ok(Response::CheckpointOk(open(session)?.checkpoint()?)),
@@ -693,6 +857,23 @@ fn handle_request(
                 s.close()?;
             }
             Ok(Response::Closed)
+        }
+        Request::Introspect { mode } => {
+            let obs = service.obs();
+            let text = match mode {
+                IntrospectMode::Metrics => obs.render_metrics(),
+                IntrospectMode::Traces => obs.render_traces_json(),
+                IntrospectMode::SlowQueries => obs.render_slow_queries_json(),
+            };
+            Ok(Response::IntrospectOk(text))
+        }
+        Request::QueryProfiled(query) => {
+            if let (Some(poison), Some(text)) = (&options.poison_query, query_text(&query)) {
+                assert_ne!(poison, text, "poison query tripped (test hook)");
+            }
+            let s = open(session)?;
+            let (table, profile) = s.query_profiled(&query)?;
+            Ok(Response::RowsProfiled { table, profile_json: profile.to_json() })
         }
     }
 }
@@ -772,10 +953,10 @@ impl ServerHandle {
             let _ = std::fs::remove_file(path);
         }
         let duration = started.elapsed();
-        self.lifecycle.drain_micros.store(duration.as_micros() as u64, Ordering::Relaxed);
+        self.lifecycle.drain_micros.set(duration.as_micros() as u64);
         Some(DrainReport {
             duration,
-            draining_refusals: self.lifecycle.draining_refusals.load(Ordering::Relaxed),
+            draining_refusals: self.lifecycle.draining_refusals.get(),
             connections_joined,
         })
     }

@@ -179,6 +179,35 @@ fn verify_against_oracle(rig: &Rig, ops: &[Op]) -> u64 {
     stats.idempotent_replays
 }
 
+/// PR10 tie-in: injected wire faults must leave the observability
+/// surface panic-free and internally consistent.  Spans abandoned by a
+/// cut connection may linger open, but accounting never goes negative:
+/// ends never exceed begins, and every begin/end event is either in the
+/// ring or counted by the dropped-span counter — the identity
+/// `recorded + dropped == begun + ended` holds at every fault point.
+fn verify_obs_consistency(rig: &Rig) {
+    let obs = rig.service.obs();
+    let tracer = obs.tracer();
+    let begun = tracer.spans_begun();
+    let ended = tracer.spans_ended();
+    assert!(ended <= begun, "span ends ({ended}) must never exceed begins ({begun}) under faults");
+    assert_eq!(
+        tracer.events_recorded() + tracer.events_dropped(),
+        begun + ended,
+        "every span event is recorded or counted dropped, even mid-disconnect"
+    );
+    // The whole surface renders without panicking on a store that just
+    // absorbed a fault, and the registry carries the trace counters.
+    let rendered = obs.render_metrics();
+    assert!(rendered.contains("graphiti_trace_spans_begun_total"));
+    let _ = obs.render_traces_json();
+    let _ = obs.render_slow_queries_json();
+    // The v3 stats view reads the same cells.
+    let stats = rig.service.service_stats();
+    assert_eq!(stats.spans_recorded, tracer.events_recorded());
+    assert_eq!(stats.spans_dropped, tracer.events_dropped());
+}
+
 /// The tentpole sweep: disconnect injected at every transfer-op index
 /// of each random script (torn writes and stalls on a rotating subset),
 /// asserting exactly-once commits and store ≡ oracle after every fault.
@@ -213,6 +242,11 @@ fn fault_sweep_is_exactly_once_and_matches_oracle() {
             run_script(&rig, &ops);
             rig.link.disarm();
             total_replays += verify_against_oracle(&rig, &ops);
+            verify_obs_consistency(&rig);
+            assert!(
+                rig.service.obs().tracer().spans_begun() > 0,
+                "a version-3 client's requests trace server-side"
+            );
         }
     }
     // Across a full sweep some fault necessarily lands on a commit

@@ -5,7 +5,7 @@
 
 use graphiti_common::ApiError;
 use graphiti_engine::BatchQuery;
-use graphiti_server::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use graphiti_server::protocol::{self, Request, Response, DEFAULT_MAX_FRAME, MIN_PROTOCOL_VERSION};
 use graphiti_server::{Client, Server, ServerOptions};
 use graphiti_store::{Graphiti, Session};
 use graphiti_testkit::fixtures;
@@ -101,7 +101,7 @@ fn drain_finishes_in_flight_and_refuses_new_requests() {
     // idle connection is simply closed — there is no request to
     // refuse.)
     let mut late = std::os::unix::net::UnixStream::connect(&path).expect("late peer connects");
-    match raw_call(&mut late, 1, 0, &Request::Hello { version: PROTOCOL_VERSION }) {
+    match raw_call(&mut late, 1, 0, &Request::Hello { version: MIN_PROTOCOL_VERSION }) {
         Response::HelloOk { .. } => {}
         other => panic!("expected HelloOk, got {other:?}"),
     }
@@ -155,7 +155,7 @@ fn deadlines_are_enforced_and_counted() {
     let handle = Server::with_options(service(), options).serve_unix(&path).expect("server binds");
 
     let mut conn = std::os::unix::net::UnixStream::connect(&path).expect("connects");
-    match raw_call(&mut conn, 1, 0, &Request::Hello { version: PROTOCOL_VERSION }) {
+    match raw_call(&mut conn, 1, 0, &Request::Hello { version: MIN_PROTOCOL_VERSION }) {
         Response::HelloOk { .. } => {}
         other => panic!("expected HelloOk, got {other:?}"),
     }

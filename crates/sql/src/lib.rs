@@ -56,4 +56,4 @@ pub use optimize::optimize;
 pub use parser::parse_query;
 pub use plan::{compile_query, CompiledQuery};
 pub use pretty::query_to_string;
-pub use vectorized::eval_vectorized;
+pub use vectorized::{eval_vectorized, eval_vectorized_profiled};

@@ -35,6 +35,7 @@ use crate::compile::{CExpr, CGroupExpr, CGroupPred, CPred};
 use crate::eval::{CteEnv, Evaluator, Scope, SubqCache};
 use crate::plan::{CompiledQuery, PlanNode, PlanOp};
 use graphiti_common::{AggKind, BinArith, CmpOp, Error, Result, Truth, Value};
+use graphiti_obs::profile::{StageProfile, StageSink};
 use graphiti_relational::{
     Bitmap, Column, ColumnData, ColumnInstance, ColumnTable, RelInstance, Table, NULL_IDX,
 };
@@ -54,9 +55,29 @@ pub fn eval_vectorized(
     columnar: &ColumnInstance,
     plan: &CompiledQuery,
 ) -> Result<Table> {
-    let ev = VecEvaluator { rowwise: Evaluator { instance, compiled: true }, columnar };
+    let ev = VecEvaluator { rowwise: Evaluator { instance, compiled: true }, columnar, prof: None };
     let out = ev.eval(&plan.root, &Ctes::default())?;
     Ok(out.to_table())
+}
+
+/// [`eval_vectorized`] with per-operator profiling: every plan node
+/// reports its wall time (inclusive of children), rows in/out, and —
+/// for vectorized selections — the selection-vector density.  Stages
+/// come back in completion (post) order; results are identical to the
+/// unprofiled path.
+pub fn eval_vectorized_profiled(
+    instance: &RelInstance,
+    columnar: &ColumnInstance,
+    plan: &CompiledQuery,
+) -> Result<(Table, Vec<StageProfile>)> {
+    let ev = VecEvaluator {
+        rowwise: Evaluator { instance, compiled: true },
+        columnar,
+        prof: Some(std::cell::RefCell::new(StageSink::new())),
+    };
+    let out = ev.eval(&plan.root, &Ctes::default())?;
+    let stages = ev.prof.expect("sink installed above").into_inner().finish();
+    Ok((out.to_table(), stages))
 }
 
 /// CTE environment: definitions live in columnar form; the row-oriented
@@ -89,6 +110,26 @@ impl Ctes {
 struct VecEvaluator<'a> {
     rowwise: Evaluator<'a>,
     columnar: &'a ColumnInstance,
+    /// Per-operator stage collection, installed by
+    /// [`eval_vectorized_profiled`] (`None` costs one branch per node).
+    prof: Option<std::cell::RefCell<StageSink>>,
+}
+
+/// The profile label of a plan operator.
+fn op_name(op: &PlanOp) -> &'static str {
+    match op {
+        PlanOp::Scan { .. } => "scan",
+        PlanOp::Rename { .. } => "rename",
+        PlanOp::Select { .. } => "select",
+        PlanOp::Project { .. } => "project",
+        PlanOp::Cross { .. } => "cross",
+        PlanOp::HashJoin { .. } => "hash_join",
+        PlanOp::LoopJoin { .. } => "loop_join",
+        PlanOp::Union { .. } => "union",
+        PlanOp::GroupBy { .. } => "group_by",
+        PlanOp::With { .. } => "with",
+        PlanOp::OrderBy { .. } => "order_by",
+    }
 }
 
 // ------------------------------------------------------------ vector types
@@ -213,7 +254,18 @@ fn having_agg_inners_vectorizable(p: &CGroupPred) -> bool {
 // ---------------------------------------------------------------- executor
 
 impl<'a> VecEvaluator<'a> {
+    /// Evaluates one plan node, recording a profile stage when a sink
+    /// is installed.  The stage's `rows_in` is derived structurally by
+    /// the sink (children report their output to the enclosing frame).
     fn eval(&self, node: &PlanNode, ctes: &Ctes) -> Result<ColumnTable> {
+        let Some(prof) = &self.prof else { return self.eval_node(node, ctes) };
+        prof.borrow_mut().begin(op_name(&node.op));
+        let out = self.eval_node(node, ctes);
+        prof.borrow_mut().end(out.as_ref().map(|t| t.len() as u64).unwrap_or(0));
+        out
+    }
+
+    fn eval_node(&self, node: &PlanNode, ctes: &Ctes) -> Result<ColumnTable> {
         match &node.op {
             PlanOp::Scan { name } => self.scan(name.as_str(), &node.columns, ctes),
             PlanOp::Rename { input, .. } => {
@@ -322,6 +374,9 @@ impl<'a> VecEvaluator<'a> {
             let mask = self.eval_pred_vec(program, t, ctes)?;
             let keep: Vec<u32> =
                 (0..t.len()).filter(|&i| mask[i] == Truth::True).map(|i| i as u32).collect();
+            if let Some(prof) = &self.prof {
+                prof.borrow_mut().set_density(keep.len() as f64 / t.len() as f64);
+            }
             return Ok(t.gather(&keep));
         }
         // Subquery predicate: run the row engine's own select over this

@@ -15,7 +15,8 @@
 //! backpressure reply.
 
 use crate::{CommitInfo, Delta, GraphStore, StoreError, StoreResult};
-use std::sync::atomic::{AtomicU64, Ordering};
+use graphiti_obs::metrics::{Counter, Histogram};
+use graphiti_obs::trace::Tracer;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,11 +52,11 @@ pub struct GroupStats {
     pub backpressured: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Counters {
-    groups: AtomicU64,
-    members: AtomicU64,
-    backpressured: AtomicU64,
+    groups: Counter,
+    members: Counter,
+    backpressured: Counter,
 }
 
 /// One queued delta (with its optional idempotency token) plus the
@@ -63,6 +64,11 @@ struct Counters {
 struct Submission {
     delta: Delta,
     token: Option<u128>,
+    /// The request's trace id (0 = untraced) and the `group.queue` span
+    /// opened at submission, closed when the worker drains it.
+    trace: u64,
+    queue_span: u64,
+    enqueued: Instant,
     reply: SyncSender<StoreResult<CommitInfo>>,
 }
 
@@ -125,14 +131,23 @@ pub struct GroupCommitter {
     tx: Option<SyncSender<Submission>>,
     worker: Option<JoinHandle<()>>,
     counters: Arc<Counters>,
+    tracer: Arc<Tracer>,
 }
 
 impl GroupCommitter {
     /// Spawns a committer over `store` with the given options.
     pub fn new(store: Arc<GraphStore>, options: GroupOptions) -> GroupCommitter {
         let (tx, rx) = sync_channel::<Submission>(options.queue_depth.max(1));
-        let counters = Arc::new(Counters::default());
+        let registry = store.obs().registry();
+        let counters = Arc::new(Counters {
+            groups: registry.counter("graphiti_groups_formed_total"),
+            members: registry.counter("graphiti_group_members_total"),
+            backpressured: registry.counter("graphiti_backpressured_total"),
+        });
+        let queue_wait: Arc<Histogram> = registry.histogram("graphiti_group_queue_wait_micros");
+        let tracer = Arc::clone(store.obs().tracer());
         let thread_counters = Arc::clone(&counters);
+        let thread_tracer = Arc::clone(&tracer);
         let max_group = options.max_group.max(1);
         let worker = std::thread::Builder::new()
             .name("graphiti-group-commit".into())
@@ -151,12 +166,16 @@ impl GroupCommitter {
                     let mut deltas = Vec::with_capacity(batch.len());
                     let mut replies = Vec::with_capacity(batch.len());
                     for s in batch {
-                        deltas.push((s.delta, s.token));
+                        queue_wait.record(s.enqueued.elapsed().as_micros() as u64);
+                        if s.trace != 0 {
+                            thread_tracer.span_end(s.trace, s.queue_span, 0, "group.queue");
+                        }
+                        deltas.push((s.delta, s.token, s.trace));
                         replies.push(s.reply);
                     }
-                    thread_counters.groups.fetch_add(1, Ordering::Relaxed);
-                    thread_counters.members.fetch_add(replies.len() as u64, Ordering::Relaxed);
-                    let results = store.commit_group_tagged(deltas);
+                    thread_counters.groups.inc();
+                    thread_counters.members.add(replies.len() as u64);
+                    let results = store.commit_group_traced(deltas);
                     debug_assert_eq!(results.len(), replies.len());
                     for (result, reply) in results.into_iter().zip(replies) {
                         // A submitter that stopped waiting is its own
@@ -166,7 +185,7 @@ impl GroupCommitter {
                 }
             })
             .expect("spawning the group-commit thread");
-        GroupCommitter { tx: Some(tx), worker: Some(worker), counters }
+        GroupCommitter { tx: Some(tx), worker: Some(worker), counters, tracer }
     }
 
     /// Queues a delta, **blocking** while the queue is full, and
@@ -178,11 +197,23 @@ impl GroupCommitter {
     /// [`GroupCommitter::submit`] with an optional idempotency token
     /// (see [`GraphStore::commit_tagged`]).
     pub fn submit_tagged(&self, delta: Delta, token: Option<u128>) -> CommitTicket {
+        self.submit_traced(delta, token, 0)
+    }
+
+    /// [`GroupCommitter::submit_tagged`] carrying a request **trace id**
+    /// (0 = untraced).  A traced submission opens a `group.queue` span
+    /// here and the worker closes it when the submission is drained, so
+    /// queue wait is visible per request as well as in the
+    /// `graphiti_group_queue_wait_micros` histogram.
+    pub fn submit_traced(&self, delta: Delta, token: Option<u128>, trace: u64) -> CommitTicket {
         let (reply, rx) = sync_channel(1);
         let tx = self.tx.as_ref().expect("sender lives until drop");
+        let queue_span =
+            if trace != 0 { self.tracer.span_begin(trace, 0, "group.queue") } else { 0 };
         // The worker owns the receiver for the committer's lifetime, so
         // a send only fails after drop (unreachable from `&self`).
-        tx.send(Submission { delta, token, reply }).expect("group-commit worker is alive");
+        tx.send(Submission { delta, token, trace, queue_span, enqueued: Instant::now(), reply })
+            .expect("group-commit worker is alive");
         CommitTicket { rx }
     }
 
@@ -199,12 +230,36 @@ impl GroupCommitter {
         delta: Delta,
         token: Option<u128>,
     ) -> std::result::Result<CommitTicket, Delta> {
+        self.try_submit_traced(delta, token, 0)
+    }
+
+    /// [`GroupCommitter::try_submit_tagged`] carrying a request trace id
+    /// (see [`GroupCommitter::submit_traced`]).
+    pub fn try_submit_traced(
+        &self,
+        delta: Delta,
+        token: Option<u128>,
+        trace: u64,
+    ) -> std::result::Result<CommitTicket, Delta> {
         let (reply, rx) = sync_channel(1);
         let tx = self.tx.as_ref().expect("sender lives until drop");
-        match tx.try_send(Submission { delta, token, reply }) {
+        let queue_span =
+            if trace != 0 { self.tracer.span_begin(trace, 0, "group.queue") } else { 0 };
+        match tx.try_send(Submission {
+            delta,
+            token,
+            trace,
+            queue_span,
+            enqueued: Instant::now(),
+            reply,
+        }) {
             Ok(()) => Ok(CommitTicket { rx }),
             Err(TrySendError::Full(s)) | Err(TrySendError::Disconnected(s)) => {
-                self.counters.backpressured.fetch_add(1, Ordering::Relaxed);
+                self.counters.backpressured.inc();
+                if s.trace != 0 {
+                    // The refused submission never queued: close its span.
+                    self.tracer.span_end(s.trace, s.queue_span, 0, "group.queue");
+                }
                 Err(s.delta)
             }
         }
@@ -213,9 +268,9 @@ impl GroupCommitter {
     /// Point-in-time batching counters.
     pub fn stats(&self) -> GroupStats {
         GroupStats {
-            groups_formed: self.counters.groups.load(Ordering::Relaxed),
-            group_members: self.counters.members.load(Ordering::Relaxed),
-            backpressured: self.counters.backpressured.load(Ordering::Relaxed),
+            groups_formed: self.counters.groups.get(),
+            group_members: self.counters.members.get(),
+            backpressured: self.counters.backpressured.get(),
         }
     }
 }

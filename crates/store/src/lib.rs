@@ -110,10 +110,13 @@ use crate::table::StoreTable;
 use graphiti_common::{Error, Ident, Result, Value};
 use graphiti_engine::{Engine, Snapshot};
 use graphiti_graph::{EdgeId, GraphInstance, GraphSchema, NodeId};
+use graphiti_obs::metrics::{Counter, Histogram, Registry};
+use graphiti_obs::Obs;
 use graphiti_relational::{ColumnInstance, RelInstance, TableDelta};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The outcome of a successful [`GraphStore::commit`].
 #[derive(Debug)]
@@ -187,19 +190,58 @@ struct DurableState {
     wal: wal::WalWriter,
     /// Generation covered by the newest checkpoint on disk.
     last_checkpoint: u64,
-    /// Records appended by this process.
-    wal_records: u64,
+    /// Records appended by this process (registry-backed: the same
+    /// handles render through the shared observability registry, so
+    /// [`StoreStats`] is a *view*, not a second vocabulary).
+    wal_records: Counter,
     /// Bytes appended by this process.
-    wal_bytes: u64,
-    checkpoints_written: u64,
-    checkpoint_failures: u64,
-    segments_removed: u64,
+    wal_bytes: Counter,
+    checkpoints_written: Counter,
+    checkpoint_failures: Counter,
+    segments_removed: Counter,
     /// Commits recovered by WAL replay when this store opened.
-    replayed: u64,
+    replayed: Counter,
     /// WAL write retries that eventually succeeded or were exhausted.
-    wal_retries: u64,
+    wal_retries: Counter,
     /// Commits aborted by a WAL write failure (rolled back, store live).
-    wal_append_failures: u64,
+    wal_append_failures: Counter,
+    /// Per-record WAL append latency (write + flush, excluding fsync).
+    wal_append_micros: Arc<Histogram>,
+    /// WAL fsync latency (solo commits and the group's shared fsync).
+    wal_fsync_micros: Arc<Histogram>,
+}
+
+impl DurableState {
+    /// Registers the durable layer's counters and latency histograms in
+    /// `registry` under the shared `graphiti_wal_*` / `graphiti_checkpoint*`
+    /// names.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        dir: PathBuf,
+        fs: Arc<dyn vfs::Vfs>,
+        options: DurabilityOptions,
+        wal: wal::WalWriter,
+        last_checkpoint: u64,
+        registry: &Registry,
+    ) -> DurableState {
+        DurableState {
+            dir,
+            vfs: fs,
+            options,
+            wal,
+            last_checkpoint,
+            wal_records: registry.counter("graphiti_wal_records_total"),
+            wal_bytes: registry.counter("graphiti_wal_bytes_total"),
+            checkpoints_written: registry.counter("graphiti_checkpoints_written_total"),
+            checkpoint_failures: registry.counter("graphiti_checkpoint_failures_total"),
+            segments_removed: registry.counter("graphiti_wal_segments_removed_total"),
+            replayed: registry.counter("graphiti_wal_replayed_commits_total"),
+            wal_retries: registry.counter("graphiti_wal_retries_total"),
+            wal_append_failures: registry.counter("graphiti_wal_append_failures_total"),
+            wal_append_micros: registry.histogram("graphiti_wal_append_micros"),
+            wal_fsync_micros: registry.histogram("graphiti_wal_fsync_micros"),
+        }
+    }
 }
 
 /// Why (and how badly) a store fenced itself read-only.
@@ -348,20 +390,53 @@ struct StoreState {
     /// enough to replay a reclaimed buffer forward to the master state.
     backlog: VecDeque<(u64, Vec<ResolvedOp>)>,
     generation: u64,
-    commits: u64,
-    rejected: u64,
-    compactions: u64,
-    graph_clones: u64,
-    graph_reclaims: u64,
+    /// Counters are registry-backed [`Counter`] handles: the store
+    /// increments them exactly where the plain `u64`s used to live, and
+    /// the shared observability registry renders the same cells —
+    /// [`StoreStats`] stays a point-in-time *view* over them.
+    commits: Counter,
+    rejected: Counter,
+    compactions: Counter,
+    graph_clones: Counter,
+    graph_reclaims: Counter,
     /// WAL + checkpoint attachment (durable stores only).
     durable: Option<DurableState>,
     /// Set when the store has fenced itself read-only.
     fence: Option<Fence>,
-    fence_events: u64,
-    fenced_commits: u64,
+    fence_events: Counter,
+    fenced_commits: Counter,
     /// Commit-idempotency dedup table (token → generation).
     idempotency: IdempotencyTable,
-    idempotent_replays: u64,
+    idempotent_replays: Counter,
+}
+
+/// Registers the writer-side counters in `registry` under the shared
+/// `graphiti_store_*` names (one call per store; re-registration returns
+/// the same cells).
+struct StoreCounters {
+    commits: Counter,
+    rejected: Counter,
+    compactions: Counter,
+    graph_clones: Counter,
+    graph_reclaims: Counter,
+    fence_events: Counter,
+    fenced_commits: Counter,
+    idempotent_replays: Counter,
+}
+
+impl StoreCounters {
+    fn register(registry: &Registry) -> StoreCounters {
+        StoreCounters {
+            commits: registry.counter("graphiti_store_commits_total"),
+            rejected: registry.counter("graphiti_store_rejected_commits_total"),
+            compactions: registry.counter("graphiti_store_compactions_total"),
+            graph_clones: registry.counter("graphiti_store_graph_clones_total"),
+            graph_reclaims: registry.counter("graphiti_store_graph_reclaims_total"),
+            fence_events: registry.counter("graphiti_store_fence_events_total"),
+            fenced_commits: registry.counter("graphiti_store_fenced_commits_total"),
+            idempotent_replays: registry.counter("graphiti_store_idempotent_replays_total"),
+        }
+    }
 }
 
 /// A writable graph database: one master graph, one embedded batch
@@ -371,6 +446,15 @@ struct StoreState {
 pub struct GraphStore {
     engine: Engine,
     state: Mutex<StoreState>,
+    /// The shared observability surface: one registry + tracer + slow
+    /// query log for the store, its embedded engine, and any serving
+    /// layer stacked on top.
+    obs: Arc<Obs>,
+    /// Commit end-to-end latency (lock acquisition through publication),
+    /// solo and per group member alike.
+    commit_e2e_micros: Arc<Histogram>,
+    /// Accepted members per `commit_group_tagged` call.
+    group_commit_size: Arc<Histogram>,
 }
 
 // The store is shared across writer and reader threads as-is.
@@ -434,8 +518,12 @@ impl GraphStore {
         let next_key = (graph.node_count() + graph.edge_count()) as u64;
         let published_graph = snapshot.graph_arc();
         let published_snapshot = Arc::clone(&snapshot);
+        let obs = Arc::new(Obs::new());
+        let c = StoreCounters::register(obs.registry());
+        let commit_e2e_micros = obs.registry().histogram("graphiti_commit_e2e_micros");
+        let group_commit_size = obs.registry().histogram("graphiti_group_commit_size");
         Ok(GraphStore {
-            engine: make_engine(snapshot, cache_capacity),
+            engine: make_engine(snapshot, cache_capacity, Arc::clone(&obs)),
             state: Mutex::new(StoreState {
                 schema,
                 graph,
@@ -450,18 +538,21 @@ impl GraphStore {
                 retiring_graph: None,
                 backlog: VecDeque::new(),
                 generation: 0,
-                commits: 0,
-                rejected: 0,
-                compactions: 0,
-                graph_clones: 0,
-                graph_reclaims: 0,
+                commits: c.commits,
+                rejected: c.rejected,
+                compactions: c.compactions,
+                graph_clones: c.graph_clones,
+                graph_reclaims: c.graph_reclaims,
                 durable: None,
                 fence: None,
-                fence_events: 0,
-                fenced_commits: 0,
+                fence_events: c.fence_events,
+                fenced_commits: c.fenced_commits,
                 idempotency: IdempotencyTable::default(),
-                idempotent_replays: 0,
+                idempotent_replays: c.idempotent_replays,
             }),
+            obs,
+            commit_e2e_micros,
+            group_commit_size,
         })
     }
 
@@ -689,21 +780,10 @@ impl GraphStore {
             let mut st = store.state.lock().unwrap_or_else(|p| p.into_inner());
             let last_checkpoint =
                 checkpoint::list_checkpoints(&*fs, &dir)?.last().map(|(g, _)| *g).unwrap_or(0);
-            st.durable = Some(DurableState {
-                dir,
-                vfs: fs,
-                options,
-                wal: writer,
-                last_checkpoint,
-                wal_records: 0,
-                wal_bytes: 0,
-                checkpoints_written: 0,
-                checkpoint_failures: 0,
-                segments_removed: 0,
-                replayed,
-                wal_retries: 0,
-                wal_append_failures: 0,
-            });
+            let d =
+                DurableState::new(dir, fs, options, writer, last_checkpoint, store.obs.registry());
+            d.replayed.set(replayed);
+            st.durable = Some(d);
         }
         Ok(store)
     }
@@ -807,8 +887,17 @@ impl GraphStore {
             extra_columnar,
         );
         let published_graph = cold.graph_arc();
+        let obs = Arc::new(Obs::new());
+        let c = StoreCounters::register(obs.registry());
+        // Restore the checkpointed lifetime counters into the registry
+        // cells so recovery is stats-transparent.
+        c.commits.set(image.commits);
+        c.rejected.set(image.rejected);
+        c.compactions.set(image.compactions);
+        let commit_e2e_micros = obs.registry().histogram("graphiti_commit_e2e_micros");
+        let group_commit_size = obs.registry().histogram("graphiti_group_commit_size");
         Ok(GraphStore {
-            engine: make_engine(Arc::clone(&published), cache_capacity),
+            engine: make_engine(Arc::clone(&published), cache_capacity, Arc::clone(&obs)),
             state: Mutex::new(StoreState {
                 schema,
                 graph,
@@ -823,18 +912,21 @@ impl GraphStore {
                 retiring_graph: None,
                 backlog: VecDeque::new(),
                 generation: image.generation,
-                commits: image.commits,
-                rejected: image.rejected,
-                compactions: image.compactions,
-                graph_clones: 0,
-                graph_reclaims: 0,
+                commits: c.commits,
+                rejected: c.rejected,
+                compactions: c.compactions,
+                graph_clones: c.graph_clones,
+                graph_reclaims: c.graph_reclaims,
                 durable: None,
                 fence: None,
-                fence_events: 0,
-                fenced_commits: 0,
+                fence_events: c.fence_events,
+                fenced_commits: c.fenced_commits,
                 idempotency: IdempotencyTable::from_entries(image.tokens),
-                idempotent_replays: 0,
+                idempotent_replays: c.idempotent_replays,
             }),
+            obs,
+            commit_e2e_micros,
+            group_commit_size,
         })
     }
 
@@ -850,21 +942,9 @@ impl GraphStore {
         let image = build_checkpoint_image(&st);
         checkpoint::write(&*fs, &dir, &image)?;
         let wal = wal::WalWriter::create(&*fs, wal::segment_path(&dir, st.generation))?;
-        st.durable = Some(DurableState {
-            dir,
-            vfs: fs,
-            options,
-            wal,
-            last_checkpoint: st.generation,
-            wal_records: 0,
-            wal_bytes: 0,
-            checkpoints_written: 1,
-            checkpoint_failures: 0,
-            segments_removed: 0,
-            replayed: 0,
-            wal_retries: 0,
-            wal_append_failures: 0,
-        });
+        let d = DurableState::new(dir, fs, options, wal, st.generation, self.obs.registry());
+        d.checkpoints_written.inc();
+        st.durable = Some(d);
         Ok(())
     }
 
@@ -942,29 +1022,36 @@ impl GraphStore {
         let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         StoreStats {
             generation: st.generation,
-            commits: st.commits,
-            rejected_commits: st.rejected,
-            compactions: st.compactions,
+            commits: st.commits.get(),
+            rejected_commits: st.rejected.get(),
+            compactions: st.compactions.get(),
             live_nodes: st.graph.node_count(),
             live_edges: st.graph.edge_count(),
             logged_rows: st.tables.values().map(StoreTable::log_len).sum(),
             tombstoned_rows: st.tables.values().map(StoreTable::dead_count).sum(),
-            graph_clones: st.graph_clones,
-            graph_reclaims: st.graph_reclaims,
-            wal_records: st.durable.as_ref().map_or(0, |d| d.wal_records),
-            wal_bytes: st.durable.as_ref().map_or(0, |d| d.wal_bytes),
-            checkpoints: st.durable.as_ref().map_or(0, |d| d.checkpoints_written),
-            checkpoint_failures: st.durable.as_ref().map_or(0, |d| d.checkpoint_failures),
+            graph_clones: st.graph_clones.get(),
+            graph_reclaims: st.graph_reclaims.get(),
+            wal_records: st.durable.as_ref().map_or(0, |d| d.wal_records.get()),
+            wal_bytes: st.durable.as_ref().map_or(0, |d| d.wal_bytes.get()),
+            checkpoints: st.durable.as_ref().map_or(0, |d| d.checkpoints_written.get()),
+            checkpoint_failures: st.durable.as_ref().map_or(0, |d| d.checkpoint_failures.get()),
             last_checkpoint_generation: st.durable.as_ref().map_or(0, |d| d.last_checkpoint),
-            replayed_commits: st.durable.as_ref().map_or(0, |d| d.replayed),
-            wal_segments_removed: st.durable.as_ref().map_or(0, |d| d.segments_removed),
+            replayed_commits: st.durable.as_ref().map_or(0, |d| d.replayed.get()),
+            wal_segments_removed: st.durable.as_ref().map_or(0, |d| d.segments_removed.get()),
             fenced: st.fence.is_some(),
-            fence_events: st.fence_events,
-            fenced_commits: st.fenced_commits,
-            wal_retries: st.durable.as_ref().map_or(0, |d| d.wal_retries),
-            wal_append_failures: st.durable.as_ref().map_or(0, |d| d.wal_append_failures),
-            idempotent_replays: st.idempotent_replays,
+            fence_events: st.fence_events.get(),
+            fenced_commits: st.fenced_commits.get(),
+            wal_retries: st.durable.as_ref().map_or(0, |d| d.wal_retries.get()),
+            wal_append_failures: st.durable.as_ref().map_or(0, |d| d.wal_append_failures.get()),
+            idempotent_replays: st.idempotent_replays.get(),
         }
+    }
+
+    /// The store's observability surface: the shared metrics registry,
+    /// the span-ring tracer, and the slow-query log (shared with the
+    /// embedded engine and any serving layer above).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Looks up the stable key of the node with the given label and
@@ -1044,7 +1131,7 @@ impl GraphStore {
                 rewritten += 1;
             }
         }
-        st.compactions += rewritten as u64;
+        st.compactions.add(rewritten as u64);
         rewritten
     }
 
@@ -1093,14 +1180,15 @@ impl GraphStore {
     /// rejected or aborted attempts leave no entry, so their retries run
     /// the full commit path.
     pub fn commit_tagged(&self, delta: Delta, token: Option<u128>) -> StoreResult<CommitInfo> {
+        let commit_started = Instant::now();
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(reason) = st.fence.as_ref().map(|f| f.reason.clone()) {
-            st.fenced_commits += 1;
+            st.fenced_commits.inc();
             return Err(StoreError::Fenced { reason });
         }
         if let Some(t) = token {
             if let Some(generation) = st.idempotency.lookup(t) {
-                st.idempotent_replays += 1;
+                st.idempotent_replays.inc();
                 return Ok(CommitInfo {
                     generation,
                     published_generation: st.generation,
@@ -1131,7 +1219,7 @@ impl GraphStore {
         // Runs to completion BEFORE the WAL is touched, so a rejected
         // delta is side-effect-free on disk as well as in memory.
         if let Err(e) = validate_delta(&st, &delta) {
-            st.rejected += 1;
+            st.rejected.inc();
             return Err(StoreError::Rejected(e));
         }
         // Phase 1b (durable stores): the redo rule.  The record must be
@@ -1152,8 +1240,8 @@ impl GraphStore {
             match outcome {
                 WalOutcome::Appended { bytes } => {
                     let d = st.durable.as_mut().expect("durable checked above");
-                    d.wal_records += 1;
-                    d.wal_bytes += bytes;
+                    d.wal_records.inc();
+                    d.wal_bytes.add(bytes);
                 }
                 WalOutcome::Aborted(e) => return Err(e),
                 WalOutcome::MustFence(e) => {
@@ -1214,7 +1302,7 @@ impl GraphStore {
         for name in applied.deltas.keys() {
             if let Some(t) = st.tables.get_mut(name) {
                 if t.compact(false) {
-                    st.compactions += 1;
+                    st.compactions.inc();
                 }
             }
         }
@@ -1232,7 +1320,7 @@ impl GraphStore {
         st.published_snapshot = Arc::clone(&snapshot);
         self.engine.swap_snapshot(Arc::clone(&snapshot));
         st.generation += 1;
-        st.commits += 1;
+        st.commits.inc();
         // Record the token only now that the commit is fully published:
         // a failed attempt must leave no dedup entry.  (Recording before
         // the periodic checkpoint below lets the checkpoint carry it.)
@@ -1250,9 +1338,10 @@ impl GraphStore {
         });
         if due && write_checkpoint_locked(&mut st).is_err() {
             if let Some(d) = st.durable.as_mut() {
-                d.checkpoint_failures += 1;
+                d.checkpoint_failures.inc();
             }
         }
+        self.commit_e2e_micros.record(commit_started.elapsed().as_micros() as u64);
         Ok(CommitInfo {
             generation: st.generation,
             published_generation: st.generation,
@@ -1313,12 +1402,28 @@ impl GraphStore {
         &self,
         deltas: Vec<(Delta, Option<u128>)>,
     ) -> Vec<StoreResult<CommitInfo>> {
+        self.commit_group_traced(deltas.into_iter().map(|(d, t)| (d, t, 0)).collect())
+    }
+
+    /// [`GraphStore::commit_group_tagged`] with a per-member **trace
+    /// id** (0 = untraced): traced members emit `store.wal_append`
+    /// spans, and the group's shared fsync and publication emit
+    /// `store.fsync` / `store.publish` spans under the first traced
+    /// member, into the store's span ring.  Tracing never blocks and
+    /// never changes commit semantics.
+    pub fn commit_group_traced(
+        &self,
+        deltas: Vec<(Delta, Option<u128>, u64)>,
+    ) -> Vec<StoreResult<CommitInfo>> {
         if deltas.is_empty() {
             return Vec::new();
         }
+        let commit_started = Instant::now();
+        let tracer = Arc::clone(self.obs.tracer());
+        let group_trace = deltas.iter().map(|(_, _, t)| *t).find(|t| *t != 0).unwrap_or(0);
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(reason) = st.fence.as_ref().map(|f| f.reason.clone()) {
-            st.fenced_commits += deltas.len() as u64;
+            st.fenced_commits.add(deltas.len() as u64);
             return deltas
                 .iter()
                 .map(|_| Err(StoreError::Fenced { reason: reason.clone() }))
@@ -1348,13 +1453,13 @@ impl GraphStore {
         let mut folded: BTreeMap<String, (usize, TableDelta)> = BTreeMap::new();
         let mut appended_any = false;
         let mut fence_abort: Option<String> = None;
-        'members: for (idx, (delta, token)) in deltas.iter().enumerate() {
+        'members: for (idx, (delta, token, trace)) in deltas.iter().enumerate() {
             if let Some(t) = token {
                 if let Some(generation) = st.idempotency.lookup(*t) {
                     // Replay hit: the original commit is already durable
                     // and published, so answer immediately — this member
                     // consumes no WAL record, generation, or apply work.
-                    st.idempotent_replays += 1;
+                    st.idempotent_replays.inc();
                     results[idx] = Some(Ok(CommitInfo {
                         generation,
                         published_generation: st.generation,
@@ -1378,7 +1483,7 @@ impl GraphStore {
             // one (they are already applied to `st`), reusing the solo
             // commit's sequential incremental validator.
             if let Err(e) = validate_delta(&st, delta) {
-                st.rejected += 1;
+                st.rejected.inc();
                 results[idx] = Some(Err(StoreError::Rejected(e)));
                 continue;
             }
@@ -1389,13 +1494,16 @@ impl GraphStore {
                     // lock is held throughout.
                     let d = st.durable.as_mut().expect("durable checked above");
                     // Append + flush only: the group shares one fsync.
-                    wal_append_with_retry(d, next_generation, *token, delta, false)
+                    let span = (*trace != 0).then(|| tracer.span(*trace, 0, "store.wal_append"));
+                    let outcome = wal_append_with_retry(d, next_generation, *token, delta, false);
+                    drop(span);
+                    outcome
                 };
                 match outcome {
                     WalOutcome::Appended { bytes } => {
                         let d = st.durable.as_mut().expect("durable checked above");
-                        d.wal_records += 1;
-                        d.wal_bytes += bytes;
+                        d.wal_records.inc();
+                        d.wal_bytes.add(bytes);
                         appended_any = true;
                     }
                     WalOutcome::Aborted(e) => {
@@ -1446,7 +1554,7 @@ impl GraphStore {
             for name in applied.deltas.keys() {
                 if let Some(t) = st.tables.get_mut(name) {
                     if t.compact(false) {
-                        st.compactions += 1;
+                        st.compactions.inc();
                     }
                 }
             }
@@ -1492,7 +1600,13 @@ impl GraphStore {
             && appended_any
             && st.durable.as_ref().is_some_and(|d| d.options.fsync_each_commit)
         {
+            let span = (group_trace != 0).then(|| tracer.span(group_trace, 0, "store.fsync"));
+            let sync_started = Instant::now();
             let sync = st.durable.as_mut().expect("durable checked above").wal.sync();
+            if let Some(d) = st.durable.as_ref() {
+                d.wal_fsync_micros.record(sync_started.elapsed().as_micros() as u64);
+            }
+            drop(span);
             if let Err(e) = sync {
                 fence_abort = Some(format!("wal group fsync failed: {e}"));
             }
@@ -1504,7 +1618,7 @@ impl GraphStore {
             engage_fence(&mut st, reason.clone(), false);
             for r in results.iter_mut() {
                 if r.is_none() {
-                    st.fenced_commits += 1;
+                    st.fenced_commits.inc();
                     *r = Some(Err(StoreError::Fenced { reason: reason.clone() }));
                 }
             }
@@ -1529,6 +1643,7 @@ impl GraphStore {
         }
         // One publication for the whole group: one backlog entry holding
         // the concatenated resolved ops, one snapshot, one engine swap.
+        let publish_span = (group_trace != 0).then(|| tracer.span(group_trace, 0, "store.publish"));
         let (extra, extra_columnar) = prev.extra_parts();
         let publish_gen = st.generation;
         let graph = publish_graph_at(&mut st, publish_gen, group_replay);
@@ -1543,7 +1658,13 @@ impl GraphStore {
         );
         st.published_snapshot = Arc::clone(&snapshot);
         self.engine.swap_snapshot(Arc::clone(&snapshot));
-        st.commits += accepted.len() as u64;
+        drop(publish_span);
+        st.commits.add(accepted.len() as u64);
+        self.group_commit_size.record(accepted.len() as u64);
+        let member_e2e = commit_started.elapsed().as_micros() as u64;
+        for _ in 0..accepted.len() {
+            self.commit_e2e_micros.record(member_e2e);
+        }
         // Record member tokens only now that the group is published (and
         // before the periodic checkpoint, so it carries them).
         for m in &accepted {
@@ -1558,7 +1679,7 @@ impl GraphStore {
         });
         if due && write_checkpoint_locked(&mut st).is_err() {
             if let Some(d) = st.durable.as_mut() {
-                d.checkpoint_failures += 1;
+                d.checkpoint_failures.inc();
             }
         }
         for m in accepted {
@@ -1614,12 +1735,10 @@ pub fn checkpoint_files(dir: impl AsRef<Path>) -> StoreResult<Vec<PathBuf>> {
 
 // ------------------------------------------------------------ durability
 
-/// Builds the embedded engine, honoring an optional plan-cache bound.
-fn make_engine(snapshot: Arc<Snapshot>, cache_capacity: Option<usize>) -> Engine {
-    match cache_capacity {
-        Some(capacity) => Engine::with_cache_capacity(snapshot, capacity),
-        None => Engine::new(snapshot),
-    }
+/// Builds the embedded engine over the store's shared observability
+/// surface, honoring an optional plan-cache bound.
+fn make_engine(snapshot: Arc<Snapshot>, cache_capacity: Option<usize>, obs: Arc<Obs>) -> Engine {
+    Engine::with_observability(snapshot, cache_capacity, obs)
 }
 
 /// Flips the store into read-only degraded mode.  `memory_ok` records
@@ -1627,7 +1746,7 @@ fn make_engine(snapshot: Arc<Snapshot>, cache_capacity: Option<usize>) -> Engine
 /// [`GraphStore::checkpoint_now`] may lift the fence).
 fn engage_fence(st: &mut StoreState, reason: String, memory_ok: bool) {
     st.fence = Some(Fence { reason, memory_ok });
-    st.fence_events += 1;
+    st.fence_events.inc();
 }
 
 /// How the WAL phase of a commit ended.
@@ -1659,10 +1778,15 @@ fn wal_append_with_retry(
     let max_retries = d.options.wal_retry_attempts;
     let mut attempt = 0u32;
     loop {
+        let append_started = Instant::now();
         match d.wal.append(generation, token, delta) {
             Ok(bytes) => {
+                d.wal_append_micros.record(append_started.elapsed().as_micros() as u64);
                 if fsync && d.options.fsync_each_commit {
-                    if let Err(e) = d.wal.sync() {
+                    let sync_started = Instant::now();
+                    let sync = d.wal.sync();
+                    d.wal_fsync_micros.record(sync_started.elapsed().as_micros() as u64);
+                    if let Err(e) = sync {
                         // Best-effort removal of the record whose
                         // durability is unknown; the fence stands either
                         // way (even a successful truncate only lives in
@@ -1680,14 +1804,14 @@ fn wal_append_with_retry(
                 }
                 if attempt < max_retries {
                     attempt += 1;
-                    d.wal_retries += 1;
+                    d.wal_retries.inc();
                     let ms = d.options.wal_retry_backoff_ms.saturating_mul(attempt as u64);
                     if ms > 0 {
                         std::thread::sleep(std::time::Duration::from_millis(ms));
                     }
                     continue;
                 }
-                d.wal_append_failures += 1;
+                d.wal_append_failures.inc();
                 return WalOutcome::Aborted(ae.error);
             }
         }
@@ -1732,9 +1856,9 @@ fn build_checkpoint_image(st: &StoreState) -> checkpoint::CheckpointImage {
         .collect();
     checkpoint::CheckpointImage {
         generation: st.generation,
-        commits: st.commits,
-        rejected: st.rejected,
-        compactions: st.compactions,
+        commits: st.commits.get(),
+        rejected: st.rejected.get(),
+        compactions: st.compactions.get(),
         next_key: st.next_key,
         nodes,
         edges,
@@ -1766,10 +1890,10 @@ fn write_checkpoint_locked(st: &mut StoreState) -> StoreResult<()> {
     checkpoint::write(&*d.vfs, &d.dir, &image)?;
     d.wal = wal::WalWriter::create(&*d.vfs, wal::segment_path(&d.dir, generation))?;
     d.last_checkpoint = generation;
-    d.checkpoints_written += 1;
+    d.checkpoints_written.inc();
     for (base, path) in wal::list_segments(&*d.vfs, &d.dir)? {
         if base < generation && d.vfs.remove_file(&path).is_ok() {
-            d.segments_removed += 1;
+            d.segments_removed.inc();
         }
     }
     let ckpts = checkpoint::list_checkpoints(&*d.vfs, &d.dir)?;
@@ -1860,16 +1984,16 @@ fn publish_graph_at(st: &mut StoreState, gen: u64, ops: Vec<ResolvedOp>) -> Arc<
             let ok = st.backlog.iter().all(|(_, ops)| replay(&mut g, ops).is_ok());
             if ok && g.node_count() == st.graph.node_count() {
                 debug_assert!(g == st.graph, "replayed buffer must equal the master graph");
-                st.graph_reclaims += 1;
+                st.graph_reclaims.inc();
                 g
             } else {
                 // An impossible replay failure: fall back to a clone.
-                st.graph_clones += 1;
+                st.graph_clones.inc();
                 st.graph.clone()
             }
         }
         None => {
-            st.graph_clones += 1;
+            st.graph_clones.inc();
             st.graph.clone()
         }
     };

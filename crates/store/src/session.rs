@@ -70,6 +70,17 @@ pub struct ServiceStats {
     /// Wall-clock microseconds the last graceful drain took
     /// (server-side; 0 until a drain has run).
     pub drain_micros: u64,
+    /// Queries executed by the embedded engine (wire protocol v3+).
+    pub queries: u64,
+    /// p95 query service time in microseconds (wire protocol v3+).
+    pub query_p95_micros: u64,
+    /// Span events recorded into the trace ring (wire protocol v3+).
+    pub spans_recorded: u64,
+    /// Span events dropped at contended ring slots (wire protocol v3+).
+    pub spans_dropped: u64,
+    /// Entries currently retained by the slow-query log (wire protocol
+    /// v3+).
+    pub slow_queries: u64,
 }
 
 /// One logical client of a graphiti service: a pinned read generation
@@ -202,12 +213,25 @@ impl Graphiti {
         token: Option<u128>,
         deadline: Option<Instant>,
     ) -> ApiResult<std::result::Result<CommitAck, Delta>> {
+        self.try_commit_traced(delta, token, deadline, 0)
+    }
+
+    /// [`Graphiti::try_commit_tagged`] carrying a request **trace id**
+    /// (0 = untraced): the submission's queue wait, WAL append, group
+    /// fsync, and publication emit spans into the store's trace ring.
+    pub fn try_commit_traced(
+        &self,
+        delta: Delta,
+        token: Option<u128>,
+        deadline: Option<Instant>,
+        trace: u64,
+    ) -> ApiResult<std::result::Result<CommitAck, Delta>> {
         let ack = |info: crate::CommitInfo| CommitAck {
             generation: info.generation,
             published_generation: info.published_generation,
         };
         match &self.committer {
-            Some(c) => match c.try_submit_tagged(delta, token) {
+            Some(c) => match c.try_submit_traced(delta, token, trace) {
                 Ok(ticket) => match deadline {
                     Some(d) => match ticket.wait_deadline(d) {
                         Ok(result) => Ok(Ok(ack(result?))),
@@ -223,11 +247,20 @@ impl Graphiti {
             // Solo path: the store's mutex is the only queue.  The lock
             // is not abandonable, so the deadline is checked by the
             // caller before entering; a token still dedupes retries.
+            // The traced group path handles its own spans; the solo path
+            // commits through the group entry point so a traced solo
+            // commit still emits WAL/publish spans.
+            None if trace != 0 => {
+                let mut results = self.store.commit_group_traced(vec![(delta, token, trace)]);
+                let info = results.pop().expect("one member yields one result")?;
+                Ok(Ok(ack(info)))
+            }
             None => Ok(Ok(ack(self.store.commit_tagged(delta, token)?))),
         }
     }
 
-    /// Service-level counters.
+    /// Service-level counters — a point-in-time *view* over the shared
+    /// observability registry plus the group committer's counters.
     pub fn service_stats(&self) -> ServiceStats {
         let s = self.store.stats();
         let g = self.committer.as_ref().map(|c| c.stats()).unwrap_or(GroupStats {
@@ -235,6 +268,8 @@ impl Graphiti {
             group_members: 0,
             backpressured: 0,
         });
+        let obs = self.store.obs();
+        let query_hist = obs.registry().histogram("graphiti_query_micros");
         ServiceStats {
             generation: s.generation,
             commits: s.commits,
@@ -252,7 +287,18 @@ impl Graphiti {
             connections_reaped: 0,
             draining_refusals: 0,
             drain_micros: 0,
+            queries: query_hist.count(),
+            query_p95_micros: query_hist.quantile(0.95),
+            spans_recorded: obs.tracer().events_recorded(),
+            spans_dropped: obs.tracer().events_dropped(),
+            slow_queries: obs.slow_queries().len() as u64,
         }
+    }
+
+    /// The service's observability surface (the store's registry,
+    /// tracer, and slow-query log).
+    pub fn obs(&self) -> &Arc<graphiti_obs::Obs> {
+        self.store.obs()
     }
 
     fn engine(&self) -> &Engine {
@@ -271,6 +317,21 @@ pub struct EmbeddedSession {
 }
 
 impl EmbeddedSession {
+    /// Runs one query with per-operator profiling enabled, returning
+    /// the result rows together with the
+    /// [`QueryProfile`](graphiti_obs::profile::QueryProfile) the
+    /// executor recorded for them.
+    pub fn query_profiled(
+        &mut self,
+        query: &BatchQuery,
+    ) -> ApiResult<(Table, graphiti_obs::profile::QueryProfile)> {
+        self.open()?;
+        let outcome = self.service.engine().execute_on_profiled(&self.snapshot, query);
+        let profile = outcome.profile.clone().expect("profiled execution returns a profile");
+        let table = outcome.result.map_err(ApiError::from)?;
+        Ok((table, profile))
+    }
+
     fn open(&self) -> ApiResult<()> {
         if self.closed {
             Err(ApiError::SessionClosed("session is closed".into()))
